@@ -1,0 +1,114 @@
+// Ablation (§3.3.1, Listings 1 vs 2): hardware-atomic translation strategy.
+// The naive translation serializes every atomic behind one global spinlock,
+// so threads hammering *disjoint* locations still contend; the builtin
+// translation (IR atomics) only serializes genuinely aliasing accesses.
+#include "bench/bench_util.h"
+
+#include "src/cc/compiler.h"
+#include "src/cfg/cfg.h"
+#include "src/exec/engine.h"
+#include "src/lift/lifter.h"
+#include "src/opt/passes.h"
+
+namespace polynima::bench {
+namespace {
+
+// Four threads, each incrementing its own atomic counter (no true sharing).
+const char* kDisjoint = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern void print_i64(long v);
+long counters[32];   // one cache-line-ish slot per thread
+long worker(long tid) {
+  for (long i = 0; i < 800; i++) {
+    __atomic_fetch_add(&counters[tid * 8], 1);
+  }
+  return 0;
+}
+int main() {
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  long total = 0;
+  for (int i = 0; i < 4; i++) total += counters[i * 8];
+  print_i64(total);
+  return 0;
+}
+)";
+
+// Four threads sharing one counter (true contention either way).
+const char* kShared = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern void print_i64(long v);
+long counter;
+long worker(long tid) {
+  for (long i = 0; i < 800; i++) {
+    __atomic_fetch_add(&counter, 1);
+  }
+  return 0;
+}
+int main() {
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  print_i64(counter);
+  return 0;
+}
+)";
+
+double Measure(const char* source, lift::LiftOptions::AtomicsMode mode) {
+  cc::CompileOptions cc_options;
+  cc_options.name = "atomics_ablation";
+  cc_options.opt_level = 2;
+  auto image = cc::Compile(source, cc_options);
+  POLY_CHECK(image.ok());
+  auto graph = cfg::RecoverStatic(*image);
+  POLY_CHECK(graph.ok());
+  lift::LiftOptions lift_options;
+  lift_options.atomics = mode;
+  auto program = lift::Lift(*image, *graph, lift_options);
+  POLY_CHECK(program.ok());
+  POLY_CHECK(opt::RunPipeline(*program->module).ok());
+
+  vm::ExternalLibrary lib1;
+  vm::Vm virtual_machine(*image, &lib1, {});
+  vm::RunResult original = virtual_machine.Run();
+  POLY_CHECK(original.ok && original.output == "3200");
+
+  vm::ExternalLibrary lib2;
+  exec::Engine engine(*program, *image, &lib2, {});
+  exec::ExecResult recompiled = engine.Run();
+  POLY_CHECK(recompiled.ok) << recompiled.fault_message;
+  POLY_CHECK(recompiled.output == "3200") << "atomics translation unsound";
+  return Normalized(recompiled, original);
+}
+
+int Run() {
+  std::printf(
+      "Ablation: hardware-atomic translation (Listing 1 naive global lock\n"
+      "vs Listing 2 IR builtins). Normalized runtime; lower is better.\n\n");
+  std::printf("%-22s %-12s %-12s\n", "workload", "builtin", "naive-lock");
+  double d_builtin =
+      Measure(kDisjoint, lift::LiftOptions::AtomicsMode::kBuiltin);
+  double d_naive =
+      Measure(kDisjoint, lift::LiftOptions::AtomicsMode::kNaiveGlobalLock);
+  std::printf("%-22s %-12s %-12s\n", "disjoint-counters",
+              Cell(d_builtin).c_str(), Cell(d_naive).c_str());
+  double s_builtin = Measure(kShared, lift::LiftOptions::AtomicsMode::kBuiltin);
+  double s_naive =
+      Measure(kShared, lift::LiftOptions::AtomicsMode::kNaiveGlobalLock);
+  std::printf("%-22s %-12s %-12s\n", "shared-counter",
+              Cell(s_builtin).c_str(), Cell(s_naive).c_str());
+  std::printf(
+      "\nThe naive strategy's penalty on disjoint counters (%.2fx vs %.2fx)\n"
+      "is the false contention the paper's optimized translation removes.\n",
+      d_naive, d_builtin);
+  POLY_CHECK(d_naive > d_builtin);
+  return 0;
+}
+
+}  // namespace
+}  // namespace polynima::bench
+
+int main() { return polynima::bench::Run(); }

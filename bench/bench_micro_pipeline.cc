@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark) for the recompilation pipeline stages:
+// decode, static CFG recovery, lifting, the optimizer pipeline, and IR
+// execution throughput. Useful for tracking regressions in the toolchain
+// itself (host performance), as opposed to the table benches which measure
+// the guest-level experiment results.
+#include <benchmark/benchmark.h>
+
+#include "src/cc/compiler.h"
+#include "src/cfg/cfg.h"
+#include "src/exec/engine.h"
+#include "src/lift/lifter.h"
+#include "src/opt/passes.h"
+#include "src/vm/vm.h"
+#include "src/workloads/workloads.h"
+#include "src/x86/decoder.h"
+
+namespace polynima {
+namespace {
+
+const binary::Image& TestImage() {
+  static const binary::Image* image = [] {
+    const workloads::Workload* w = workloads::FindWorkload("bzip2_like");
+    cc::CompileOptions options;
+    options.name = "micro";
+    options.opt_level = 2;
+    auto img = cc::Compile(w->source, options);
+    POLY_CHECK(img.ok());
+    return new binary::Image(std::move(*img));
+  }();
+  return *image;
+}
+
+void BM_Decode(benchmark::State& state) {
+  const binary::Image& image = TestImage();
+  const binary::Segment& text = image.segments[0];
+  size_t decoded = 0;
+  for (auto _ : state) {
+    uint64_t addr = text.address;
+    while (addr < text.end()) {
+      auto inst = x86::Decode(
+          std::span(text.bytes)
+              .subspan(addr - text.address,
+                       std::min<size_t>(16, text.end() - addr)),
+          addr);
+      if (!inst.ok()) {
+        ++addr;
+        continue;
+      }
+      ++decoded;
+      addr = inst->Next();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(decoded));
+}
+BENCHMARK(BM_Decode);
+
+void BM_StaticRecovery(benchmark::State& state) {
+  const binary::Image& image = TestImage();
+  for (auto _ : state) {
+    auto graph = cfg::RecoverStatic(image);
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_StaticRecovery);
+
+void BM_Lift(benchmark::State& state) {
+  const binary::Image& image = TestImage();
+  auto graph = cfg::RecoverStatic(image);
+  POLY_CHECK(graph.ok());
+  for (auto _ : state) {
+    auto program = lift::Lift(image, *graph, {});
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_Lift);
+
+void BM_OptimizePipeline(benchmark::State& state) {
+  const binary::Image& image = TestImage();
+  auto graph = cfg::RecoverStatic(image);
+  POLY_CHECK(graph.ok());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto program = lift::Lift(image, *graph, {});
+    POLY_CHECK(program.ok());
+    state.ResumeTiming();
+    POLY_CHECK(opt::RunPipeline(*program->module).ok());
+  }
+}
+BENCHMARK(BM_OptimizePipeline);
+
+void BM_VmExecution(benchmark::State& state) {
+  const binary::Image& image = TestImage();
+  const workloads::Workload* w = workloads::FindWorkload("bzip2_like");
+  auto inputs = w->make_inputs(0);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    vm::ExternalLibrary library;
+    vm::Vm virtual_machine(image, &library, {});
+    virtual_machine.SetInputs(inputs);
+    vm::RunResult r = virtual_machine.Run();
+    POLY_CHECK(r.ok);
+    instructions += r.instructions;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(instructions));
+}
+BENCHMARK(BM_VmExecution);
+
+void BM_EngineExecution(benchmark::State& state) {
+  const binary::Image& image = TestImage();
+  const workloads::Workload* w = workloads::FindWorkload("bzip2_like");
+  auto inputs = w->make_inputs(0);
+  auto graph = cfg::RecoverStatic(image);
+  POLY_CHECK(graph.ok());
+  auto program = lift::Lift(image, *graph, {});
+  POLY_CHECK(program.ok());
+  POLY_CHECK(opt::RunPipeline(*program->module).ok());
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    vm::ExternalLibrary library;
+    exec::Engine engine(*program, image, &library, {});
+    engine.SetInputs(inputs);
+    exec::ExecResult r = engine.Run();
+    POLY_CHECK(r.ok);
+    steps += r.steps;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_EngineExecution);
+
+}  // namespace
+}  // namespace polynima
+
+BENCHMARK_MAIN();

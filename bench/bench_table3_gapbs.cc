@@ -1,0 +1,65 @@
+// Table 3: gapbs normalized runtimes, 32-bit vs 64-bit node ids × O0/O3.
+#include "bench/bench_util.h"
+
+namespace polynima::bench {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double o0_32, o3_32, o0_64, o3_64;
+};
+const PaperRow kPaper[] = {
+    {"bc", 1.20, 2.48, 1.26, 1.17},   {"bfs", 0.87, 1.02, 0.94, 1.01},
+    {"cc", 0.93, 0.97, 0.88, 1.02},   {"cc_sv", 0.92, 0.97, 0.88, 1.04},
+    {"pr", 1.90, 2.94, 1.37, 1.81},   {"pr_spmv", 2.03, 3.08, 1.45, 1.92},
+    {"sssp", 0.85, 1.06, 0.89, 1.01}, {"tc", 1.30, 1.42, 1.40, 1.41},
+};
+
+int Run() {
+  std::printf(
+      "Table 3: gapbs normalized runtime (recompiled / original)\n"
+      "columns: measured [paper]; 32-bit / 64-bit node ids\n\n");
+  std::printf("%-10s %-14s %-16s %-14s %s\n", "benchmark", "32 O0", "32 O3",
+              "64 O0", "64 O3");
+
+  std::vector<double> g[4];
+  for (size_t row = 0; row < workloads::Gapbs(true).size(); ++row) {
+    const workloads::Workload& narrow = workloads::Gapbs(false)[row];
+    const workloads::Workload& wide = workloads::Gapbs(true)[row];
+    const PaperRow* paper = nullptr;
+    for (const PaperRow& p : kPaper) {
+      if (narrow.name == p.name) {
+        paper = &p;
+      }
+    }
+    POLY_CHECK(paper != nullptr);
+    double cells[4];
+    int idx = 0;
+    for (const workloads::Workload* w : {&narrow, &wide}) {
+      for (int opt : {0, 2}) {
+        binary::Image image = CompileWorkload(*w, opt);
+        std::vector<std::vector<uint8_t>> inputs = w->make_inputs(0);
+        vm::RunResult original = RunOriginal(image, inputs);
+        RecompiledRun rec =
+            RunRecompiled(image, inputs, false, &original.output);
+        cells[idx] = Normalized(rec.result, original);
+        g[idx].push_back(cells[idx]);
+        ++idx;
+      }
+    }
+    std::printf("%-10s %-5s [%.2f]   %-5s [%.2f]     %-5s [%.2f]   %-5s [%.2f]\n",
+                narrow.name.c_str(), Cell(cells[0]).c_str(), paper->o0_32,
+                Cell(cells[1]).c_str(), paper->o3_32, Cell(cells[2]).c_str(),
+                paper->o0_64, Cell(cells[3]).c_str(), paper->o3_64);
+  }
+  std::printf("%-10s %-5s [1.18]   %-5s [1.55]     %-5s [1.12]   %-5s [1.32]\n",
+              "geomean", Cell(Geomean(g[0])).c_str(),
+              Cell(Geomean(g[1])).c_str(), Cell(Geomean(g[2])).c_str(),
+              Cell(Geomean(g[3])).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace polynima::bench
+
+int main() { return polynima::bench::Run(); }

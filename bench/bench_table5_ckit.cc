@@ -1,0 +1,63 @@
+// Table 5 (Appendix A): ConcurrencyKit spinlock lock/unlock latency in
+// simulated cycles, native (VM) vs recovered (recompiled). Validation (the
+// 4-thread counter run) is asserted for every lock first.
+#include "bench/bench_util.h"
+
+namespace polynima::bench {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  int native, recovered;
+};
+const PaperRow kPaper[] = {
+    {"ck_anderson", 31, 25}, {"ck_cas", 26, 25},      {"ck_clh", 26, 26},
+    {"ck_dec", 26, 24},      {"ck_fas", 26, 25},      {"ck_hclh", 57, 57},
+    {"ck_mcs", 56, 54},      {"ck_spinlock", 26, 25}, {"ck_ticket", 36, 49},
+    {"ck_ticket_pb", 36, 35}, {"linux_spinlock", 26, 23},
+};
+
+int64_t ParseLatency(const std::string& output) {
+  return std::atoll(output.c_str());
+}
+
+int Run() {
+  std::printf(
+      "Table 5: ckit spinlock latency (cycles per lock/unlock pair)\n"
+      "columns: measured [paper]\n\n");
+  std::printf("%-16s %-14s %s\n", "spinlock", "native", "recovered");
+
+  const std::vector<std::vector<uint8_t>> latency_inputs = {{'1'}};
+  for (const workloads::Workload& w : workloads::CkitSpinlocks()) {
+    const PaperRow* paper = nullptr;
+    for (const PaperRow& p : kPaper) {
+      if (w.name == p.name) {
+        paper = &p;
+      }
+    }
+    POLY_CHECK(paper != nullptr);
+    binary::Image image = CompileWorkload(w, 2);
+
+    // Correctness first: the validation run must be exact.
+    vm::RunResult validation = RunOriginal(image, {});
+    POLY_CHECK(validation.output == "480") << w.name << " native validation";
+    RecompiledRun rec_val = RunRecompiled(image, {}, false);
+    POLY_CHECK(rec_val.result.output == "480")
+        << w.name << " recovered validation";
+
+    // Latency mode.
+    vm::RunResult native = RunOriginal(image, latency_inputs);
+    RecompiledRun recovered = RunRecompiled(image, latency_inputs, false);
+    std::printf("%-16s %-4lld [%d]     %-4lld [%d]\n", w.name.c_str(),
+                static_cast<long long>(ParseLatency(native.output)),
+                paper->native,
+                static_cast<long long>(ParseLatency(recovered.result.output)),
+                paper->recovered);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace polynima::bench
+
+int main() { return polynima::bench::Run(); }

@@ -1,0 +1,66 @@
+#include "bench/bench_util.h"
+
+namespace polynima::bench {
+
+binary::Image CompileWorkload(const workloads::Workload& w, int opt_level) {
+  cc::CompileOptions options;
+  options.name = w.name;
+  options.opt_level = opt_level;
+  auto image = cc::Compile(w.source, options);
+  POLY_CHECK(image.ok()) << w.name << ": " << image.status().ToString();
+  return std::move(*image);
+}
+
+vm::RunResult RunOriginal(const binary::Image& image,
+                          const std::vector<std::vector<uint8_t>>& inputs) {
+  vm::ExternalLibrary library;
+  vm::Vm virtual_machine(image, &library, {});
+  virtual_machine.SetInputs(inputs);
+  vm::RunResult result = virtual_machine.Run();
+  POLY_CHECK(result.ok) << image.name << ": " << result.fault_message;
+  return result;
+}
+
+RecompiledRun RunRecompiled(const binary::Image& image,
+                            const std::vector<std::vector<uint8_t>>& inputs,
+                            bool remove_fences,
+                            const std::string* expect_output) {
+  recomp::RecompileOptions options;
+  options.remove_fences = remove_fences;
+  recomp::Recompiler recompiler(image, options);
+  auto binary = recompiler.Recompile();
+  POLY_CHECK(binary.ok()) << image.name << ": " << binary.status().ToString();
+  auto result = recompiler.RunAdditive(*binary, inputs);
+  POLY_CHECK(result.ok()) << image.name << ": " << result.status().ToString();
+  POLY_CHECK(result->ok) << image.name << ": " << result->fault_message;
+  if (expect_output != nullptr) {
+    POLY_CHECK(result->output == *expect_output)
+        << image.name << ": recompiled output diverges";
+  }
+  return {std::move(*result), recompiler.stats()};
+}
+
+double Normalized(const exec::ExecResult& recompiled,
+                  const vm::RunResult& original) {
+  return static_cast<double>(recompiled.wall_time) /
+         static_cast<double>(original.wall_time);
+}
+
+double Geomean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double v : values) {
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string Cell(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace polynima::bench

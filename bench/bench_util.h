@@ -1,0 +1,55 @@
+// Shared helpers for the experiment harnesses (one binary per paper table /
+// figure). Each harness prints the measured rows next to the paper's
+// reported values; absolute numbers are not expected to match (the substrate
+// is a simulator), the shape is.
+#ifndef POLYNIMA_BENCH_BENCH_UTIL_H_
+#define POLYNIMA_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/binary/image.h"
+#include "src/cc/compiler.h"
+#include "src/exec/engine.h"
+#include "src/recomp/recompiler.h"
+#include "src/support/check.h"
+#include "src/vm/vm.h"
+#include "src/workloads/workloads.h"
+
+namespace polynima::bench {
+
+// Compiles a workload at the given optimization level; aborts on error
+// (workloads are covered by tests).
+binary::Image CompileWorkload(const workloads::Workload& w, int opt_level);
+
+// Runs the original binary in the VM; aborts on guest fault.
+vm::RunResult RunOriginal(const binary::Image& image,
+                          const std::vector<std::vector<uint8_t>>& inputs);
+
+struct RecompiledRun {
+  exec::ExecResult result;
+  recomp::RecompileStats stats;
+};
+
+// Recompiles (optionally with fences removed) and runs with additive
+// lifting; aborts on non-miss failure and checks output equality against
+// `expect_output` when non-null.
+RecompiledRun RunRecompiled(const binary::Image& image,
+                            const std::vector<std::vector<uint8_t>>& inputs,
+                            bool remove_fences = false,
+                            const std::string* expect_output = nullptr);
+
+// Normalized runtime: recompiled cycles / original cycles.
+double Normalized(const exec::ExecResult& recompiled,
+                  const vm::RunResult& original);
+
+double Geomean(const std::vector<double>& values);
+
+// Formats "1.23" style cells.
+std::string Cell(double v);
+
+}  // namespace polynima::bench
+
+#endif  // POLYNIMA_BENCH_BENCH_UTIL_H_

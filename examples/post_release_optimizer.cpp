@@ -1,0 +1,92 @@
+// Polynima as a post-release optimizer (§4.2): take a binary that shipped
+// unoptimized (-O0), prove the absence of implicit synchronization (§3.4),
+// remove the superfluous fences, run the callback analysis, and produce a
+// faster drop-in replacement — no source required.
+//
+// Build & run:  ./build/examples/post_release_optimizer
+#include <cstdio>
+
+#include "src/cc/compiler.h"
+#include "src/cfg/cfg.h"
+#include "src/fenceopt/spinloop.h"
+#include "src/recomp/recompiler.h"
+#include "src/vm/vm.h"
+#include "src/workloads/workloads.h"
+
+using namespace polynima;
+
+int main() {
+  // The "legacy binary": Phoenix word_count built at -O0 years ago.
+  const workloads::Workload* w = workloads::FindWorkload("word_count");
+  cc::CompileOptions options;
+  options.name = "word_count_legacy";
+  options.opt_level = 0;
+  auto image = cc::Compile(w->source, options);
+  if (!image.ok()) {
+    std::printf("compile failed: %s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<uint8_t>> inputs = w->make_inputs(1);
+
+  vm::ExternalLibrary library;
+  vm::Vm virtual_machine(*image, &library, {});
+  virtual_machine.SetInputs(inputs);
+  vm::RunResult original = virtual_machine.Run();
+  std::printf("legacy -O0 binary: output \"%s\", %llu simulated cycles\n",
+              original.output.c_str(),
+              static_cast<unsigned long long>(original.wall_time));
+
+  // Step 1: prove the binary implements no implicit synchronization.
+  auto graph = cfg::RecoverStatic(*image);
+  auto analysis =
+      fenceopt::DetectImplicitSynchronization(*image, *graph, {inputs});
+  if (!analysis.ok()) {
+    std::printf("analysis failed: %s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("spinloop analysis: %zu loops, %d potentially spinning -> "
+              "fence removal %s\n",
+              analysis->loops.size(), analysis->SpinningCount(),
+              analysis->FenceRemovalSafe() ? "SAFE" : "withheld");
+
+  // Step 2: recompile at increasing levels of trust.
+  struct Config {
+    const char* label;
+    bool remove_fences;
+    bool callback_analysis;
+  };
+  const Config kConfigs[] = {
+      {"conservative (fences kept)", false, false},
+      {"fence removal (section 3.4)", true, false},
+      {"+ callback analysis & inlining", true, true},
+  };
+  for (const Config& config : kConfigs) {
+    recomp::RecompileOptions ropts;
+    ropts.remove_fences = config.remove_fences && analysis->FenceRemovalSafe();
+    recomp::Recompiler recompiler(*image, ropts);
+    Expected<recomp::RecompiledBinary> binary =
+        config.callback_analysis
+            ? recompiler.RecompileWithCallbackAnalysis({inputs})
+            : recompiler.Recompile();
+    if (!binary.ok()) {
+      std::printf("recompile failed: %s\n",
+                  binary.status().ToString().c_str());
+      return 1;
+    }
+    exec::ExecResult result = binary->Run(inputs);
+    if (!result.ok || result.output != original.output) {
+      std::printf("%s: WRONG (%s)\n", config.label,
+                  result.fault_message.c_str());
+      return 1;
+    }
+    std::printf("%-32s normalized runtime %.2fx\n", config.label,
+                static_cast<double>(result.wall_time) /
+                    static_cast<double>(original.wall_time));
+  }
+  std::printf(
+      "\nThe recompiled replacement is faster than the original -O0 binary\n"
+      "while producing identical output: modern compiler optimizations\n"
+      "applied to a legacy binary, as in the paper's post-release-optimizer\n"
+      "use case.\n");
+  return 0;
+}

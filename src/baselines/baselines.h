@@ -1,0 +1,77 @@
+// Simplified comparator recompilers reproducing the documented failure modes
+// of the tools Polynima is evaluated against (Table 1, Table 4, Figure 4).
+// Each baseline succeeds or fails through a real mechanism in this codebase,
+// not a hardcoded table:
+//
+//  - McSema-like: static recovery; emulated state as *shared* globals (one
+//    global emulated stack — §2.2.1) and non-atomic translation of
+//    lock-prefixed instructions (its recompilation of atomics is
+//    experimental — §2.2.2). Single-threaded binaries recompile fine;
+//    multithreaded ones corrupt state or lose updates.
+//  - Rev.Ng-like: static recovery with shared emulated state and no
+//    per-thread initialization of the virtual CPU on external entry —
+//    faults when the binary spawns threads (the do_fork failure, §4).
+//  - BinRec-like: dynamic recovery by whole-program tracing inside an
+//    emulator (two orders of magnitude slower than native tracing), precise
+//    indirect targets by construction, but no thread-local emulated stack
+//    (§2.2.3): single-threaded correct, multithreaded broken. Control-flow
+//    misses re-trace the whole input (incremental lifting, Figure 4).
+//  - Lasagne-like: static lifter (mctoll-based) that rejects inputs using
+//    constructs outside its supported subset: OpenMP runtime calls,
+//    hardware atomics beyond plain lock add/sub (cmpxchg/xadd/xchg),
+//    callback-taking externals with unknown signatures (qsort), and
+//    unresolved indirect jumps.
+#ifndef POLYNIMA_BASELINES_BASELINES_H_
+#define POLYNIMA_BASELINES_BASELINES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/binary/image.h"
+#include "src/recomp/recompiler.h"
+#include "src/support/status.h"
+
+namespace polynima::baselines {
+
+enum class Kind { kMcSemaLike, kRevNgLike, kBinRecLike, kLasagneLike };
+
+const char* KindName(Kind kind);
+
+struct Attempt {
+  bool lifted = false;          // an artifact was produced
+  std::string reject_reason;    // why lifting was refused
+  std::optional<recomp::RecompiledBinary> binary;
+  uint64_t lift_host_ns = 0;    // host time spent lifting (incl. tracing)
+};
+
+// Attempts to recompile `image` with the given baseline. BinRec-like needs
+// concrete inputs to trace (it is a dynamic recompiler).
+Attempt TryRecompile(
+    Kind kind, const binary::Image& image,
+    const std::vector<std::vector<std::vector<uint8_t>>>& trace_inputs = {});
+
+// Full Table-1-style evaluation: recompile, run against each input set, and
+// compare observable behaviour with the original binary in the VM.
+struct Verdict {
+  bool supported = false;
+  std::string reason;
+};
+Verdict Evaluate(Kind kind, const binary::Image& image,
+                 const std::vector<std::vector<std::vector<uint8_t>>>& input_sets);
+
+// BinRec-like whole-program emulation trace of one run (used for lift-time
+// measurements and incremental lifting). Returns observed indirect targets
+// and burns host time proportional to the emulation overhead.
+trace::TraceResult EmulationTrace(const binary::Image& image,
+                                  const std::vector<std::vector<uint8_t>>& inputs);
+
+// BinRec-like incremental lifting: on every control-flow miss, re-trace the
+// whole input in the emulator and rebuild. Returns total host ns spent.
+Expected<uint64_t> BinRecIncrementalRun(
+    const binary::Image& image,
+    const std::vector<std::vector<uint8_t>>& inputs);
+
+}  // namespace polynima::baselines
+
+#endif  // POLYNIMA_BASELINES_BASELINES_H_

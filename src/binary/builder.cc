@@ -1,0 +1,50 @@
+#include "src/binary/builder.h"
+
+#include "src/support/check.h"
+
+namespace polynima::binary {
+
+uint64_t ImageBuilder::Extern(const std::string& external_name) {
+  for (size_t i = 0; i < externals_.size(); ++i) {
+    if (externals_[i] == external_name) {
+      return kExternalBase + 16 * i;
+    }
+  }
+  externals_.push_back(external_name);
+  return kExternalBase + 16 * (externals_.size() - 1);
+}
+
+void ImageBuilder::AddSymbol(const std::string& symbol_name, uint64_t address,
+                             uint64_t size) {
+  symbols_.push_back({symbol_name, address, size});
+}
+
+Image ImageBuilder::Build() {
+  Image img;
+  img.name = name_;
+  img.entry_point = entry_;
+  POLY_CHECK(entry_ != 0) << "entry point not set";
+
+  Segment text;
+  text.name = ".text";
+  text.address = kCodeBase;
+  text.executable = true;
+  text.bytes = code_.Finalize();
+  POLY_CHECK_LE(text.end(), kDataBase) << "code overflows into data region";
+  img.segments.push_back(std::move(text));
+
+  Segment data;
+  data.name = ".data";
+  data.address = kDataBase;
+  data.executable = false;
+  data.bytes = data_.Finalize();
+  if (!data.bytes.empty()) {
+    img.segments.push_back(std::move(data));
+  }
+
+  img.symbols = std::move(symbols_);
+  img.externals = std::move(externals_);
+  return img;
+}
+
+}  // namespace polynima::binary

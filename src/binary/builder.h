@@ -1,0 +1,46 @@
+// Convenience builder assembling code + data into an Image with the canonical
+// layout (code at kCodeBase, data at kDataBase, externals in declared order).
+#ifndef POLYNIMA_BINARY_BUILDER_H_
+#define POLYNIMA_BINARY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/binary/image.h"
+#include "src/x86/assembler.h"
+
+namespace polynima::binary {
+
+class ImageBuilder {
+ public:
+  explicit ImageBuilder(std::string name)
+      : name_(std::move(name)), code_(kCodeBase), data_(kDataBase) {}
+
+  // Code assembler (instructions, jump tables).
+  x86::Assembler& code() { return code_; }
+  // Data assembler (globals, strings). Data is non-executable.
+  x86::Assembler& data() { return data_; }
+
+  // Declares an imported external; returns its fixed address.
+  uint64_t Extern(const std::string& external_name);
+
+  // Records a ground-truth symbol (tests/debugging only).
+  void AddSymbol(const std::string& symbol_name, uint64_t address,
+                 uint64_t size = 0);
+
+  void SetEntry(uint64_t address) { entry_ = address; }
+
+  Image Build();
+
+ private:
+  std::string name_;
+  x86::Assembler code_;
+  x86::Assembler data_;
+  std::vector<std::string> externals_;
+  std::vector<Symbol> symbols_;
+  uint64_t entry_ = 0;
+};
+
+}  // namespace polynima::binary
+
+#endif  // POLYNIMA_BINARY_BUILDER_H_

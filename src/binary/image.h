@@ -1,0 +1,89 @@
+// Binary image format: the recompiler's view of an input program.
+//
+// An Image is the moral equivalent of a stripped, non-relocatable ELF
+// executable: byte segments mapped at fixed addresses plus an entry point.
+// Optional symbols carry ground-truth function addresses; they exist for
+// tests and debugging only — the recompiler itself never reads them (the
+// paper operates on stripped legacy binaries).
+#ifndef POLYNIMA_BINARY_IMAGE_H_
+#define POLYNIMA_BINARY_IMAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace polynima::binary {
+
+// Canonical address-space layout used by the toolchain. Everything lives
+// below 2^31 so absolute disp32 addressing reaches all of it.
+inline constexpr uint64_t kCodeBase = 0x400000;
+inline constexpr uint64_t kDataBase = 0x600000;
+inline constexpr uint64_t kHeapBase = 0x10000000;
+inline constexpr uint64_t kHeapLimit = 0x40000000;
+inline constexpr uint64_t kStackRegionBase = 0x50000000;
+inline constexpr uint64_t kStackRegionLimit = 0x60000000;
+// External library functions occupy one-slot-per-function addresses here.
+inline constexpr uint64_t kExternalBase = 0x70000000;
+inline constexpr uint64_t kExternalLimit = 0x70010000;
+// Returning to this sentinel terminates the thread (pushed by thread spawn)
+// or the program (pushed below the entry point's frame).
+inline constexpr uint64_t kThreadExitMagic = 0x7fee0000;
+inline constexpr uint64_t kProgramExitMagic = 0x7fee1000;
+// Returning here ends a synchronous guest callback (qsort comparators etc.).
+inline constexpr uint64_t kCallbackReturnMagic = 0x7fee2000;
+
+inline bool IsExternalAddress(uint64_t addr) {
+  return addr >= kExternalBase && addr < kExternalLimit;
+}
+
+struct Segment {
+  std::string name;  // ".text", ".data", ...
+  uint64_t address = 0;
+  bool executable = false;
+  std::vector<uint8_t> bytes;
+
+  uint64_t end() const { return address + bytes.size(); }
+  bool Contains(uint64_t addr) const { return addr >= address && addr < end(); }
+};
+
+struct Symbol {
+  std::string name;
+  uint64_t address = 0;
+  // Size in bytes when known (0 otherwise).
+  uint64_t size = 0;
+};
+
+class Image {
+ public:
+  std::string name;
+  uint64_t entry_point = 0;
+  std::vector<Segment> segments;
+  std::vector<Symbol> symbols;  // ground truth; not consumed by the lifter
+  // Names of external functions this image imports, in slot order: the
+  // function `externals[i]` lives at address kExternalBase + 16 * i.
+  std::vector<std::string> externals;
+
+  const Segment* SegmentContaining(uint64_t addr) const;
+  // Reads up to `n` bytes starting at `addr` from whichever segment contains
+  // it; returns the span actually available (shorter at segment end).
+  std::vector<uint8_t> ReadBytes(uint64_t addr, size_t n) const;
+  bool IsCodeAddress(uint64_t addr) const;
+
+  const Symbol* FindSymbol(const std::string& symbol_name) const;
+
+  uint64_t ExternalAddress(const std::string& external_name) const;
+
+  // On-disk serialization (a simple tagged binary format, magic "PLYB").
+  Status WriteTo(const std::string& path) const;
+  static Expected<Image> ReadFrom(const std::string& path);
+
+  std::vector<uint8_t> Serialize() const;
+  static Expected<Image> Deserialize(const std::vector<uint8_t>& data);
+};
+
+}  // namespace polynima::binary
+
+#endif  // POLYNIMA_BINARY_IMAGE_H_

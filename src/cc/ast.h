@@ -1,0 +1,128 @@
+// AST for the mcc dialect. Nodes are tagged structs (no visitor hierarchy);
+// `type` fields are filled during code generation's typing pass.
+#ifndef POLYNIMA_CC_AST_H_
+#define POLYNIMA_CC_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cc/lexer.h"
+#include "src/cc/types.h"
+
+namespace polynima::cc {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind : uint8_t {
+  kNumber,
+  kString,
+  kIdent,
+  kUnary,     // op in {kMinus, kBang, kTilde, kStar(deref), kAmp(addr-of)}
+  kBinary,    // arithmetic / comparison / logical (op field)
+  kAssign,    // a = b
+  kCompound,  // a op= b (op field holds base operator, e.g. kPlus)
+  kCond,      // a ? b : c
+  kCall,      // a(args...); a is kIdent for direct calls or any fn-ptr expr
+  kIndex,     // a[b]
+  kMember,    // a.field
+  kArrow,     // a->field
+  kCast,      // (type)a
+  kSizeof,    // sizeof(type)
+  kPreInc,
+  kPreDec,
+  kPostInc,
+  kPostDec,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  int64_t number = 0;    // kNumber
+  std::string text;      // kIdent name / kString contents / member field name
+  Tok op = Tok::kEof;    // kUnary / kBinary / kCompound operator
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> args;       // kCall
+  const Type* named_type = nullptr;  // kCast / kSizeof
+
+  // Filled during typing.
+  const Type* type = nullptr;
+};
+
+enum class StmtKind : uint8_t {
+  kExpr,
+  kDecl,
+  kBlock,
+  kIf,
+  kWhile,
+  kDoWhile,
+  kFor,
+  kBreak,
+  kContinue,
+  kReturn,
+  kSwitch,
+  kCase,     // label inside a switch block
+  kDefault,  // label inside a switch block
+  kEmpty,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  ExprPtr expr;  // kExpr / kReturn value / kSwitch selector
+  ExprPtr cond;  // kIf / kWhile / kDoWhile / kFor condition
+  ExprPtr inc;   // kFor increment
+  StmtPtr init;  // kFor init (kDecl or kExpr)
+  StmtPtr then_stmt, else_stmt;  // kIf
+  StmtPtr body;                  // loop / switch body
+  std::vector<StmtPtr> stmts;    // kBlock
+  // kBlock only: a synthetic group (multi-declarator line) that must not
+  // open a new scope.
+  bool transparent = false;
+
+  // kDecl
+  const Type* decl_type = nullptr;
+  std::string decl_name;
+  ExprPtr decl_init;
+
+  int64_t case_value = 0;  // kCase
+};
+
+struct Param {
+  const Type* type = nullptr;
+  std::string name;
+};
+
+struct Func {
+  std::string name;
+  const Type* ret = nullptr;
+  std::vector<Param> params;
+  StmtPtr body;  // null for extern declarations
+  bool is_extern = false;
+  int line = 0;
+};
+
+struct GlobalVar {
+  std::string name;
+  const Type* type = nullptr;
+  // Initializer: flat scalar list (arrays use element order) or a string.
+  std::vector<int64_t> init_values;
+  std::string init_string;
+  bool init_is_string = false;
+  bool has_init = false;
+};
+
+struct Program {
+  std::shared_ptr<TypeTable> types;
+  std::vector<Func> funcs;
+  std::vector<GlobalVar> globals;
+};
+
+}  // namespace polynima::cc
+
+#endif  // POLYNIMA_CC_AST_H_

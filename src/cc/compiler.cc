@@ -1,0 +1,2179 @@
+#include "src/cc/compiler.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "src/binary/builder.h"
+#include "src/cc/parser.h"
+#include "src/support/check.h"
+#include "src/support/strings.h"
+#include "src/vm/external.h"
+#include "src/x86/assembler.h"
+
+namespace polynima::cc {
+namespace {
+
+using binary::ImageBuilder;
+using x86::Cond;
+using x86::I0;
+using x86::I1;
+using x86::I2;
+using x86::I3;
+using x86::Inst;
+using x86::Label;
+using x86::MemRef;
+using x86::Mnemonic;
+using x86::Operand;
+using x86::Reg;
+
+Operand R(Reg r) { return Operand::R(r); }
+Operand Imm(int64_t v) { return Operand::I(v); }
+
+MemRef MemAbs(uint64_t addr) {
+  MemRef m;
+  m.disp = static_cast<int32_t>(addr);
+  return m;
+}
+
+MemRef MemBase(Reg base, int32_t disp = 0) {
+  MemRef m;
+  m.base = base;
+  m.disp = disp;
+  return m;
+}
+
+MemRef MemIndex(Reg base, Reg index, uint8_t scale, int32_t disp = 0) {
+  MemRef m;
+  m.base = base;
+  m.index = index;
+  m.scale = scale;
+  m.disp = disp;
+  return m;
+}
+
+bool IsBuiltinName(const std::string& name) {
+  return StartsWith(name, "__atomic_") || name == "__pause" ||
+         StartsWith(name, "__v");
+}
+
+// Lvalue classification for the O2 "direct operand" shortcut.
+struct SimpleValue {
+  enum class Kind { kImm, kMem, kReg } kind;
+  int64_t imm = 0;
+  MemRef mem;
+  Reg reg = Reg::kNone;
+  const Type* type = nullptr;
+};
+
+struct LocalVar {
+  const Type* type = nullptr;
+  int32_t slot = 0;        // negative offset from rbp
+  Reg promoted = Reg::kNone;
+  bool IsPromoted() const { return promoted != Reg::kNone; }
+};
+
+struct FuncInfo {
+  Label label;
+  const Type* ret = nullptr;
+  std::vector<const Type*> params;
+  bool is_external = false;
+  uint64_t ext_addr = 0;
+};
+
+class CodeGen {
+ public:
+  CodeGen(Program program, const CompileOptions& options)
+      : program_(std::move(program)),
+        options_(options),
+        builder_(options.name),
+        types_(program_.types) {}
+
+  Expected<binary::Image> Run();
+
+ private:
+  // --- top-level passes ---
+  Status LayoutGlobals();
+  Status DeclareFunctions();
+  Status GenFunction(const Func& fn);
+
+  // --- statement generation ---
+  void GenStmt(const Stmt& s);
+  void GenBlock(const Stmt& s);
+  void GenSwitch(const Stmt& s);
+
+  // --- expression generation (result in rax, width = type's operand size) ---
+  const Type* GenExpr(const Expr& e);
+  // Leaves the lvalue's address in rax; returns the value type.
+  const Type* GenAddr(const Expr& e);
+  const Type* GenBinaryOp(const Expr& e);
+  const Type* GenCall(const Expr& e);
+  const Type* GenBuiltin(const Expr& e);
+  void GenVectorBuiltin(const std::string& name, const Expr& e);
+  const Type* GenAssign(const Expr& e);
+  const Type* GenIncDec(const Expr& e, bool is_inc, bool is_post);
+  void EmitCompoundOp(Tok op, const Type* t);
+  void EmitLoadConst(const Type* t, int64_t v);
+  void LoadScalarFromMem(const MemRef& mem, const Type* t);
+  uint64_t InternString(const std::string& s);
+
+  // Branch to `target` if e is true (branch_if_true) / false.
+  void GenBranch(const Expr& e, Label target, bool branch_if_true);
+
+  // --- typing ---
+  const Type* TypeOf(const Expr& e);
+  const Type* Arith(const Type* a, const Type* b) const;
+  // Array-to-pointer decay.
+  const Type* Decay(const Type* t) {
+    return t->kind == TypeKind::kArray ? types_->PointerTo(t->pointee) : t;
+  }
+
+  // --- helpers ---
+  void Error(int line, const std::string& message) {
+    if (error_.ok()) {
+      error_ = Status::InvalidArgument(
+          StrCat("compile error (", options_.name, ") line ", line, ": ",
+                 message));
+    }
+  }
+  LocalVar* FindLocal(const std::string& name);
+  // Loads a scalar at [address in rax] with the value type's width; result
+  // in rax (chars sign-extend to 32 bits).
+  void LoadScalarFromRaxAddr(const Type* t);
+  void StoreRcxAddrFromRax(const Type* t);
+  // Sign-extends the value in rax from `from` to `to` width if needed.
+  void Widen(const Type* from, const Type* to);
+  // Emits code scaling rax by the size of `pointee` (for pointer arith).
+  void ScaleRaxBy(int64_t elem_size);
+  int OpSize(const Type* t) const { return t->OperandSize(); }
+  // O2: classify `e` as a direct operand (imm / memory slot / promoted reg).
+  std::optional<SimpleValue> TrySimple(const Expr& e);
+  void Push();  // push rax
+  void Pop(Reg r);
+
+  // AST constant folding (O2).
+  std::optional<int64_t> FoldConst(const Expr& e);
+
+  void CollectLocals(const Stmt& s, int64_t& bytes,
+                     std::map<std::string, int>& decl_counts);
+  void CountUses(const Stmt& s, std::map<std::string, int>& uses,
+                 std::set<std::string>& addr_taken);
+  void CountUsesExpr(const Expr& e, std::map<std::string, int>& uses,
+                     std::set<std::string>& addr_taken);
+
+  Program program_;
+  CompileOptions options_;
+  ImageBuilder builder_;
+  std::shared_ptr<TypeTable> types_;
+  Status error_;
+
+  // globals: name -> (address, type)
+  std::map<std::string, std::pair<uint64_t, const Type*>> globals_;
+  std::map<std::string, FuncInfo> funcs_;
+
+  // per-function state
+  struct ScopeEntry {
+    std::string name;
+  };
+  std::map<std::string, std::vector<LocalVar>> locals_;
+  std::vector<std::vector<std::string>> scopes_;
+  std::map<std::string, Reg> promotions_;
+  int32_t next_slot_ = 0;
+  Label epilogue_;
+  const Type* current_ret_ = nullptr;
+  std::vector<Label> break_stack_;
+  std::vector<Label> continue_stack_;
+
+  std::map<std::string, uint64_t> string_cache_;
+};
+
+Expected<binary::Image> CodeGen::Run() {
+  POLY_RETURN_IF_ERROR(LayoutGlobals());
+  POLY_RETURN_IF_ERROR(DeclareFunctions());
+  for (const Func& fn : program_.funcs) {
+    if (fn.body != nullptr) {
+      POLY_RETURN_IF_ERROR(GenFunction(fn));
+      if (!error_.ok()) {
+        return error_;
+      }
+    }
+  }
+  if (!error_.ok()) {
+    return error_;
+  }
+  auto main_it = funcs_.find("main");
+  if (main_it == funcs_.end() || main_it->second.is_external) {
+    return Status::InvalidArgument("no main() defined");
+  }
+  builder_.SetEntry(builder_.code().AddressOf(main_it->second.label));
+  return builder_.Build();
+}
+
+Status CodeGen::LayoutGlobals() {
+  auto& d = builder_.data();
+  for (const GlobalVar& g : program_.globals) {
+    d.Align(static_cast<int>(std::max<int64_t>(g.type->Align(), 1)), 0);
+    uint64_t addr = d.CurrentAddress();
+    globals_[g.name] = {addr, g.type};
+
+    int64_t total = g.type->Size();
+    if (!g.has_init) {
+      for (int64_t i = 0; i < total; ++i) {
+        d.Db(static_cast<uint8_t>(0));
+      }
+      continue;
+    }
+    if (g.init_is_string) {
+      if (g.type->kind == TypeKind::kArray) {
+        // char buf[N] = "str";
+        std::string s = g.init_string;
+        s.resize(static_cast<size_t>(total), '\0');
+        d.Db(s.data(), s.size());
+      } else {
+        // char* p = "str": string first would shift addr; instead place the
+        // pointer slot now and the string bytes after all globals. Simpler:
+        // write placeholder, patch via a second data region — avoided by
+        // emitting the string immediately after the pointer slot.
+        uint64_t str_addr = addr + 8;
+        d.Dq(str_addr);
+        d.Dstr(g.init_string);
+      }
+      continue;
+    }
+    // Scalar / array-of-scalar initializers.
+    const Type* elem =
+        g.type->kind == TypeKind::kArray ? g.type->pointee : g.type;
+    int64_t elem_size = elem->Size();
+    int64_t count = g.type->kind == TypeKind::kArray ? g.type->array_len : 1;
+    for (int64_t i = 0; i < count; ++i) {
+      int64_t v = i < static_cast<int64_t>(g.init_values.size())
+                      ? g.init_values[static_cast<size_t>(i)]
+                      : 0;
+      for (int64_t byte = 0; byte < elem_size; ++byte) {
+        d.Db(static_cast<uint8_t>(static_cast<uint64_t>(v) >> (8 * byte)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CodeGen::DeclareFunctions() {
+  // Definitions first so that forward declarations of locally-defined
+  // functions do not become imports.
+  for (const Func& fn : program_.funcs) {
+    if (fn.body == nullptr) {
+      continue;
+    }
+    FuncInfo info;
+    info.ret = fn.ret;
+    for (const Param& p : fn.params) {
+      info.params.push_back(p.type);
+    }
+    info.label = builder_.code().NewLabel();
+    funcs_[fn.name] = std::move(info);
+  }
+  for (const Func& fn : program_.funcs) {
+    if (fn.body != nullptr || funcs_.count(fn.name) != 0) {
+      continue;
+    }
+    FuncInfo info;
+    info.ret = fn.ret;
+    for (const Param& p : fn.params) {
+      info.params.push_back(p.type);
+    }
+    // Imported external (must be provided by the external library).
+    info.is_external = true;
+    info.ext_addr = builder_.Extern(fn.name);
+    funcs_[fn.name] = std::move(info);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Function body generation
+// ---------------------------------------------------------------------------
+
+void CodeGen::CollectLocals(const Stmt& s, int64_t& bytes,
+                            std::map<std::string, int>& decl_counts) {
+  switch (s.kind) {
+    case StmtKind::kDecl:
+      bytes += (s.decl_type->Size() + 7) / 8 * 8;
+      decl_counts[s.decl_name]++;
+      break;
+    case StmtKind::kBlock:
+      for (const StmtPtr& c : s.stmts) {
+        CollectLocals(*c, bytes, decl_counts);
+      }
+      break;
+    case StmtKind::kIf:
+      if (s.then_stmt) CollectLocals(*s.then_stmt, bytes, decl_counts);
+      if (s.else_stmt) CollectLocals(*s.else_stmt, bytes, decl_counts);
+      break;
+    case StmtKind::kWhile:
+    case StmtKind::kDoWhile:
+    case StmtKind::kSwitch:
+      if (s.body) CollectLocals(*s.body, bytes, decl_counts);
+      break;
+    case StmtKind::kFor:
+      if (s.init) CollectLocals(*s.init, bytes, decl_counts);
+      if (s.body) CollectLocals(*s.body, bytes, decl_counts);
+      break;
+    default:
+      break;
+  }
+}
+
+void CodeGen::CountUsesExpr(const Expr& e, std::map<std::string, int>& uses,
+                            std::set<std::string>& addr_taken) {
+  if (e.kind == ExprKind::kIdent) {
+    uses[e.text]++;
+  }
+  if (e.kind == ExprKind::kUnary && e.op == Tok::kAmp &&
+      e.a->kind == ExprKind::kIdent) {
+    addr_taken.insert(e.a->text);
+  }
+  if (e.a) CountUsesExpr(*e.a, uses, addr_taken);
+  if (e.b) CountUsesExpr(*e.b, uses, addr_taken);
+  if (e.c) CountUsesExpr(*e.c, uses, addr_taken);
+  for (const ExprPtr& arg : e.args) {
+    CountUsesExpr(*arg, uses, addr_taken);
+  }
+}
+
+void CodeGen::CountUses(const Stmt& s, std::map<std::string, int>& uses,
+                        std::set<std::string>& addr_taken) {
+  int weight = 1;
+  if (s.kind == StmtKind::kWhile || s.kind == StmtKind::kDoWhile ||
+      s.kind == StmtKind::kFor) {
+    weight = 8;  // loop bodies dominate execution: weight their uses higher
+  }
+  auto count_expr = [&](const ExprPtr& e) {
+    if (e) {
+      std::map<std::string, int> local;
+      CountUsesExpr(*e, local, addr_taken);
+      for (auto& [name, n] : local) {
+        uses[name] += n * weight;
+      }
+    }
+  };
+  count_expr(s.expr);
+  count_expr(s.cond);
+  count_expr(s.inc);
+  count_expr(s.decl_init);
+  if (s.init) CountUses(*s.init, uses, addr_taken);
+  if (s.then_stmt) CountUses(*s.then_stmt, uses, addr_taken);
+  if (s.else_stmt) CountUses(*s.else_stmt, uses, addr_taken);
+  if (s.body) {
+    std::map<std::string, int> inner;
+    CountUses(*s.body, inner, addr_taken);
+    for (auto& [name, n] : inner) {
+      uses[name] += n * weight;
+    }
+  }
+  for (const StmtPtr& c : s.stmts) {
+    CountUses(*c, uses, addr_taken);
+  }
+}
+
+Status CodeGen::GenFunction(const Func& fn) {
+  auto& a = builder_.code();
+  FuncInfo& info = funcs_[fn.name];
+  a.Align(16);
+  a.Bind(info.label);
+  builder_.AddSymbol(fn.name, a.CurrentAddress());
+
+  locals_.clear();
+  scopes_.clear();
+  scopes_.emplace_back();
+  promotions_.clear();
+  next_slot_ = 0;
+  epilogue_ = a.NewLabel();
+  current_ret_ = fn.ret;
+  break_stack_.clear();
+  continue_stack_.clear();
+
+  // Pass 1: frame sizing and promotion selection.
+  int64_t local_bytes = 0;
+  std::map<std::string, int> decl_counts;
+  std::map<std::string, int> uses;
+  std::set<std::string> addr_taken;
+  CollectLocals(*fn.body, local_bytes, decl_counts);
+  CountUses(*fn.body, uses, addr_taken);
+  for (const Param& p : fn.params) {
+    decl_counts[p.name]++;
+    local_bytes += 8;
+  }
+
+  static const Reg kPromotable[] = {Reg::kRbx, Reg::kR12, Reg::kR13,
+                                    Reg::kR14, Reg::kR15};
+  std::vector<Reg> saved_regs;
+  if (options_.opt_level >= 2) {
+    // Rank scalar, non-address-taken, uniquely-declared locals by use count.
+    std::vector<std::pair<int, std::string>> ranked;
+    for (const auto& [name, count] : uses) {
+      if (addr_taken.count(name) || decl_counts[name] != 1) {
+        continue;
+      }
+      ranked.push_back({count, name});
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    size_t reg_i = 0;
+    for (const auto& [count, name] : ranked) {
+      if (reg_i >= std::size(kPromotable) || count < 3) {
+        break;
+      }
+      promotions_[name] = kPromotable[reg_i++];
+    }
+    for (size_t i = 0; i < reg_i; ++i) {
+      saved_regs.push_back(kPromotable[i]);
+    }
+  }
+
+  // Frame: [rbp-8 .. rbp-8*n]: saved callee-saved regs, then locals.
+  int64_t save_bytes = static_cast<int64_t>(saved_regs.size()) * 8;
+  int64_t frame = (save_bytes + local_bytes + 15) / 16 * 16 + 16;
+  next_slot_ = static_cast<int32_t>(-save_bytes);
+
+  // Prologue.
+  a.Emit(I1(Mnemonic::kPush, 8, R(Reg::kRbp)));
+  a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRbp), R(Reg::kRsp)));
+  a.Emit(I2(Mnemonic::kSub, 8, R(Reg::kRsp), Imm(frame)));
+  for (size_t i = 0; i < saved_regs.size(); ++i) {
+    a.Emit(I2(Mnemonic::kMov, 8,
+              Operand::M(MemBase(Reg::kRbp, static_cast<int32_t>(-8 * (i + 1)))),
+              R(saved_regs[i])));
+  }
+
+  // Bind parameters.
+  static const Reg kArgRegs[6] = {Reg::kRdi, Reg::kRsi, Reg::kRdx,
+                                  Reg::kRcx, Reg::kR8,  Reg::kR9};
+  if (fn.params.size() > 6) {
+    Error(fn.line, "more than 6 parameters not supported");
+    return error_;
+  }
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    const Param& p = fn.params[i];
+    LocalVar var;
+    var.type = p.type;
+    auto promo = promotions_.find(p.name);
+    if (promo != promotions_.end()) {
+      var.promoted = promo->second;
+      a.Emit(I2(Mnemonic::kMov, 8, R(var.promoted), R(kArgRegs[i])));
+    } else {
+      next_slot_ -= 8;
+      var.slot = next_slot_;
+      a.Emit(I2(Mnemonic::kMov, 8, Operand::M(MemBase(Reg::kRbp, var.slot)),
+                R(kArgRegs[i])));
+    }
+    locals_[p.name].push_back(var);
+    scopes_.back().push_back(p.name);
+  }
+
+  GenStmt(*fn.body);
+
+  // Implicit `return 0`.
+  a.Emit(I2(Mnemonic::kXor, 4, R(Reg::kRax), R(Reg::kRax)));
+  a.Bind(epilogue_);
+  for (size_t i = 0; i < saved_regs.size(); ++i) {
+    a.Emit(I2(Mnemonic::kMov, 8, R(saved_regs[i]),
+              Operand::M(MemBase(Reg::kRbp, static_cast<int32_t>(-8 * (i + 1))))));
+  }
+  a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRsp), R(Reg::kRbp)));
+  a.Emit(I1(Mnemonic::kPop, 8, R(Reg::kRbp)));
+  a.Emit(I0(Mnemonic::kRet));
+  return error_;
+}
+
+LocalVar* CodeGen::FindLocal(const std::string& name) {
+  auto it = locals_.find(name);
+  if (it == locals_.end() || it->second.empty()) {
+    return nullptr;
+  }
+  return &it->second.back();
+}
+
+void CodeGen::Push() {
+  builder_.code().Emit(I1(Mnemonic::kPush, 8, R(Reg::kRax)));
+}
+
+void CodeGen::Pop(Reg r) {
+  builder_.code().Emit(I1(Mnemonic::kPop, 8, R(r)));
+}
+
+// ---------------------------------------------------------------------------
+// Typing
+// ---------------------------------------------------------------------------
+
+const Type* CodeGen::Arith(const Type* a, const Type* b) const {
+  if (a->kind == TypeKind::kPtr) {
+    return a;
+  }
+  if (b->kind == TypeKind::kPtr) {
+    return b;
+  }
+  if (a->kind == TypeKind::kLong || b->kind == TypeKind::kLong) {
+    return types_->Long();
+  }
+  return types_->Int();
+}
+
+const Type* CodeGen::TypeOf(const Expr& e) {
+  if (e.type != nullptr) {
+    return e.type;
+  }
+  const Type* t = types_->Long();
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      t = (e.number >= INT32_MIN && e.number <= INT32_MAX) ? types_->Int()
+                                                           : types_->Long();
+      break;
+    case ExprKind::kString:
+      t = types_->PointerTo(types_->Char());
+      break;
+    case ExprKind::kIdent: {
+      if (LocalVar* var = FindLocal(e.text)) {
+        t = var->type;
+      } else if (auto git = globals_.find(e.text); git != globals_.end()) {
+        t = git->second.second;
+      } else if (auto fit = funcs_.find(e.text); fit != funcs_.end()) {
+        t = types_->PointerTo(
+            types_->FunctionOf(fit->second.ret, fit->second.params));
+      } else {
+        Error(e.line, "undefined identifier '" + e.text + "'");
+      }
+      break;
+    }
+    case ExprKind::kUnary:
+      switch (e.op) {
+        case Tok::kStar: {
+          const Type* p = TypeOf(*e.a);
+          if (!p->IsPointerLike()) {
+            Error(e.line, "dereference of non-pointer");
+            t = types_->Long();
+          } else {
+            t = p->pointee;
+          }
+          break;
+        }
+        case Tok::kAmp:
+          t = types_->PointerTo(TypeOf(*e.a));
+          break;
+        case Tok::kBang:
+          t = types_->Int();
+          break;
+        default:
+          t = TypeOf(*e.a);
+          if (t->kind == TypeKind::kChar) {
+            t = types_->Int();
+          }
+          break;
+      }
+      break;
+    case ExprKind::kBinary:
+      switch (e.op) {
+        case Tok::kEqEq:
+        case Tok::kBangEq:
+        case Tok::kLess:
+        case Tok::kLessEq:
+        case Tok::kGreater:
+        case Tok::kGreaterEq:
+        case Tok::kAmpAmp:
+        case Tok::kPipePipe:
+          t = types_->Int();
+          break;
+        case Tok::kMinus: {
+          const Type* ta = TypeOf(*e.a);
+          const Type* tb = TypeOf(*e.b);
+          if (ta->IsPointerLike() && tb->IsPointerLike()) {
+            t = types_->Long();  // pointer difference (in elements)
+          } else {
+            t = Arith(Decay(ta), Decay(tb));
+          }
+          break;
+        }
+        default:
+          t = Arith(Decay(TypeOf(*e.a)), Decay(TypeOf(*e.b)));
+          break;
+      }
+      break;
+    case ExprKind::kAssign:
+    case ExprKind::kCompound:
+      t = TypeOf(*e.a);
+      break;
+    case ExprKind::kCond: {
+      const Type* tb = Decay(TypeOf(*e.b));
+      const Type* tc = Decay(TypeOf(*e.c));
+      if (tb->IsInteger() && tc->IsInteger()) {
+        t = Arith(tb, tc);
+      } else {
+        // Pointer-typed arms: both sides share the pointer type.
+        t = tb->kind == TypeKind::kPtr ? tb : tc;
+      }
+      break;
+    }
+    case ExprKind::kCall: {
+      if (e.a->kind == ExprKind::kIdent) {
+        const std::string& name = e.a->text;
+        if (IsBuiltinName(name)) {
+          if (StartsWith(name, "__atomic_")) {
+            const Type* p = TypeOf(*e.args[0]);
+            t = p->IsPointerLike() ? p->pointee : types_->Long();
+          } else if (name == "__vdot_i32" || name == "__vsum_i32") {
+            t = types_->Int();
+          } else {
+            t = types_->Void();
+          }
+          break;
+        }
+        if (auto fit = funcs_.find(name); fit != funcs_.end()) {
+          t = fit->second.ret;
+          break;
+        }
+      }
+      const Type* callee = TypeOf(*e.a);
+      if (callee->kind == TypeKind::kPtr &&
+          callee->pointee->kind == TypeKind::kFunc) {
+        t = callee->pointee->ret;
+      } else {
+        Error(e.line, "call of non-function");
+      }
+      break;
+    }
+    case ExprKind::kIndex: {
+      const Type* p = TypeOf(*e.a);
+      if (!p->IsPointerLike()) {
+        Error(e.line, "indexing non-pointer");
+      } else {
+        t = p->pointee;
+      }
+      break;
+    }
+    case ExprKind::kMember:
+    case ExprKind::kArrow: {
+      const Type* base = TypeOf(*e.a);
+      const Type* st = e.kind == ExprKind::kArrow
+                           ? (base->IsPointerLike() ? base->pointee : nullptr)
+                           : base;
+      if (st == nullptr || st->kind != TypeKind::kStruct) {
+        Error(e.line, "member access on non-struct");
+      } else if (const StructField* f = st->struct_info->FindField(e.text)) {
+        t = f->type;
+      } else {
+        Error(e.line, "no field '" + e.text + "'");
+      }
+      break;
+    }
+    case ExprKind::kCast:
+      t = e.named_type;
+      break;
+    case ExprKind::kSizeof:
+      t = types_->Long();
+      break;
+    case ExprKind::kPreInc:
+    case ExprKind::kPreDec:
+    case ExprKind::kPostInc:
+    case ExprKind::kPostDec:
+      t = TypeOf(*e.a);
+      break;
+  }
+  const_cast<Expr&>(e).type = t;
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Expression helpers
+// ---------------------------------------------------------------------------
+
+void CodeGen::LoadScalarFromRaxAddr(const Type* t) {
+  auto& a = builder_.code();
+  if (t->kind == TypeKind::kArray || t->kind == TypeKind::kStruct) {
+    return;  // aggregate value == its address
+  }
+  switch (OpSize(t)) {
+    case 1: {
+      Inst i = I2(Mnemonic::kMovsx, 4, R(Reg::kRax),
+                  Operand::M(MemBase(Reg::kRax)));
+      i.src_size = 1;
+      a.Emit(i);
+      break;
+    }
+    case 4:
+      a.Emit(I2(Mnemonic::kMov, 4, R(Reg::kRax),
+                Operand::M(MemBase(Reg::kRax))));
+      break;
+    default:
+      a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRax),
+                Operand::M(MemBase(Reg::kRax))));
+      break;
+  }
+}
+
+void CodeGen::StoreRcxAddrFromRax(const Type* t) {
+  builder_.code().Emit(I2(Mnemonic::kMov, OpSize(t),
+                          Operand::M(MemBase(Reg::kRcx)), R(Reg::kRax)));
+}
+
+void CodeGen::LoadScalarFromMem(const MemRef& mem, const Type* t) {
+  auto& a = builder_.code();
+  if (t->kind == TypeKind::kChar) {
+    Inst i = I2(Mnemonic::kMovsx, 4, R(Reg::kRax), Operand::M(mem));
+    i.src_size = 1;
+    a.Emit(i);
+  } else {
+    a.Emit(I2(Mnemonic::kMov, OpSize(t), R(Reg::kRax), Operand::M(mem)));
+  }
+}
+
+// Width of the value as held in a register: chars are kept sign-extended to
+// 32 bits by every load path.
+static int RegWidth(const Type* t) {
+  return t->kind == TypeKind::kChar ? 4 : t->OperandSize();
+}
+
+void CodeGen::Widen(const Type* from, const Type* to) {
+  auto& a = builder_.code();
+  int f = RegWidth(from);
+  int t = to->kind == TypeKind::kChar ? 1 : to->OperandSize();
+  if (f == 4 && t == 8) {
+    Inst i = I2(Mnemonic::kMovsx, 8, R(Reg::kRax), R(Reg::kRax));
+    i.src_size = 4;
+    a.Emit(i);
+  } else if (t == 1) {
+    // Normalize to a sign-extended char value.
+    Inst i = I2(Mnemonic::kMovsx, 4, R(Reg::kRax), R(Reg::kRax));
+    i.src_size = 1;
+    a.Emit(i);
+  } else if (f == 8 && t == 4) {
+    // Truncate: clear the upper half.
+    a.Emit(I2(Mnemonic::kMov, 4, R(Reg::kRax), R(Reg::kRax)));
+  }
+}
+
+void CodeGen::ScaleRaxBy(int64_t elem_size) {
+  auto& a = builder_.code();
+  if (elem_size == 1) {
+    return;
+  }
+  if ((elem_size & (elem_size - 1)) == 0) {
+    int shift = 0;
+    while ((int64_t{1} << shift) < elem_size) {
+      ++shift;
+    }
+    a.Emit(I2(Mnemonic::kShl, 8, R(Reg::kRax), Imm(shift)));
+  } else {
+    a.Emit(I3(Mnemonic::kImul, 8, R(Reg::kRax), R(Reg::kRax), Imm(elem_size)));
+  }
+}
+
+std::optional<SimpleValue> CodeGen::TrySimple(const Expr& e) {
+  // Direct-operand forms (`add eax, [rbp-8]`) are what gcc emits even at
+  // -O0; only register promotion and folding are O2-gated.
+  SimpleValue v;
+  if (e.kind == ExprKind::kNumber && e.number >= INT32_MIN &&
+      e.number <= INT32_MAX) {
+    v.kind = SimpleValue::Kind::kImm;
+    v.imm = e.number;
+    v.type = const_cast<Expr&>(e).type != nullptr ? e.type : nullptr;
+    return v;
+  }
+  if (e.kind != ExprKind::kIdent) {
+    return std::nullopt;
+  }
+  if (LocalVar* var = FindLocal(e.text)) {
+    if (!var->type->IsScalar() || var->type->kind == TypeKind::kChar) {
+      return std::nullopt;
+    }
+    v.type = var->type;
+    if (var->IsPromoted()) {
+      v.kind = SimpleValue::Kind::kReg;
+      v.reg = var->promoted;
+    } else {
+      v.kind = SimpleValue::Kind::kMem;
+      v.mem = MemBase(Reg::kRbp, var->slot);
+    }
+    return v;
+  }
+  auto git = globals_.find(e.text);
+  if (git != globals_.end() && git->second.second->IsScalar() &&
+      git->second.second->kind != TypeKind::kChar) {
+    v.kind = SimpleValue::Kind::kMem;
+    v.mem = MemAbs(git->second.first);
+    v.type = git->second.second;
+    return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<int64_t> CodeGen::FoldConst(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      return e.number;
+    case ExprKind::kSizeof:
+      return e.named_type->Size();
+    case ExprKind::kUnary: {
+      auto a = FoldConst(*e.a);
+      if (!a) {
+        return std::nullopt;
+      }
+      switch (e.op) {
+        case Tok::kMinus:
+          return -*a;
+        case Tok::kTilde:
+          return ~*a;
+        case Tok::kBang:
+          return *a == 0 ? 1 : 0;
+        default:
+          return std::nullopt;
+      }
+    }
+    case ExprKind::kCast: {
+      auto a = FoldConst(*e.a);
+      if (!a || !e.named_type->IsInteger()) {
+        return std::nullopt;
+      }
+      return *a;
+    }
+    case ExprKind::kBinary: {
+      auto a = FoldConst(*e.a);
+      auto b = FoldConst(*e.b);
+      if (!a || !b) {
+        return std::nullopt;
+      }
+      switch (e.op) {
+        case Tok::kPlus:
+          return *a + *b;
+        case Tok::kMinus:
+          return *a - *b;
+        case Tok::kStar:
+          return *a * *b;
+        case Tok::kSlash:
+          return *b == 0 ? std::nullopt : std::optional<int64_t>(*a / *b);
+        case Tok::kPercent:
+          return *b == 0 ? std::nullopt : std::optional<int64_t>(*a % *b);
+        case Tok::kAmp:
+          return *a & *b;
+        case Tok::kPipe:
+          return *a | *b;
+        case Tok::kCaret:
+          return *a ^ *b;
+        case Tok::kShl:
+          return *a << (*b & 63);
+        case Tok::kShr:
+          return *a >> (*b & 63);
+        case Tok::kLess:
+          return *a < *b;
+        case Tok::kLessEq:
+          return *a <= *b;
+        case Tok::kGreater:
+          return *a > *b;
+        case Tok::kGreaterEq:
+          return *a >= *b;
+        case Tok::kEqEq:
+          return *a == *b;
+        case Tok::kBangEq:
+          return *a != *b;
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+void CodeGen::EmitLoadConst(const Type* t, int64_t v) {
+  auto& a = builder_.code();
+  if (v == 0) {
+    a.Emit(I2(Mnemonic::kXor, 4, R(Reg::kRax), R(Reg::kRax)));
+  } else if (v >= INT32_MIN && v <= INT32_MAX) {
+    a.Emit(I2(Mnemonic::kMov, OpSize(t) == 8 ? 8 : 4, R(Reg::kRax), Imm(v)));
+  } else {
+    a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRax), Imm(v)));  // movabs
+  }
+}
+
+uint64_t CodeGen::InternString(const std::string& s) {
+  auto it = string_cache_.find(s);
+  if (it != string_cache_.end()) {
+    return it->second;
+  }
+  auto& d = builder_.data();
+  uint64_t addr = d.CurrentAddress();
+  d.Dstr(s);
+  string_cache_[s] = addr;
+  return addr;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+const Type* CodeGen::GenExpr(const Expr& e) {
+  auto& a = builder_.code();
+  const Type* t = TypeOf(e);
+  if (options_.opt_level >= 2 && e.kind != ExprKind::kNumber) {
+    if (auto folded = FoldConst(e)) {
+      EmitLoadConst(t, *folded);
+      return t;
+    }
+  }
+  switch (e.kind) {
+    case ExprKind::kNumber:
+      EmitLoadConst(t, e.number);
+      return t;
+    case ExprKind::kString:
+      EmitLoadConst(t, static_cast<int64_t>(InternString(e.text)));
+      return t;
+    case ExprKind::kSizeof:
+      EmitLoadConst(t, e.named_type->Size());
+      return t;
+
+    case ExprKind::kIdent: {
+      if (LocalVar* var = FindLocal(e.text)) {
+        if (var->IsPromoted()) {
+          a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRax), R(var->promoted)));
+          return t;
+        }
+        if (t->kind == TypeKind::kArray || t->kind == TypeKind::kStruct) {
+          a.Emit(I2(Mnemonic::kLea, 8, R(Reg::kRax),
+                    Operand::M(MemBase(Reg::kRbp, var->slot))));
+          return t;
+        }
+        a.Emit(I2(Mnemonic::kLea, 8, R(Reg::kRax),
+                  Operand::M(MemBase(Reg::kRbp, var->slot))));
+        LoadScalarFromRaxAddr(t);
+        return t;
+      }
+      if (auto git = globals_.find(e.text); git != globals_.end()) {
+        if (t->kind == TypeKind::kArray || t->kind == TypeKind::kStruct) {
+          EmitLoadConst(types_->Long(),
+                        static_cast<int64_t>(git->second.first));
+          return t;
+        }
+        EmitLoadConst(types_->Long(), static_cast<int64_t>(git->second.first));
+        LoadScalarFromRaxAddr(t);
+        return t;
+      }
+      if (auto fit = funcs_.find(e.text); fit != funcs_.end()) {
+        if (fit->second.is_external) {
+          EmitLoadConst(types_->Long(),
+                        static_cast<int64_t>(fit->second.ext_addr));
+        } else {
+          a.MovLabelAddress(Reg::kRax, fit->second.label);
+        }
+        return t;
+      }
+      Error(e.line, "undefined identifier '" + e.text + "'");
+      return t;
+    }
+
+    case ExprKind::kUnary:
+      switch (e.op) {
+        case Tok::kStar: {
+          GenExpr(*e.a);
+          LoadScalarFromRaxAddr(t);
+          return t;
+        }
+        case Tok::kAmp:
+          GenAddr(*e.a);
+          return t;
+        case Tok::kMinus: {
+          const Type* at = GenExpr(*e.a);
+          Widen(at, t);
+          a.Emit(I1(Mnemonic::kNeg, OpSize(t), R(Reg::kRax)));
+          return t;
+        }
+        case Tok::kTilde: {
+          const Type* at = GenExpr(*e.a);
+          Widen(at, t);
+          a.Emit(I1(Mnemonic::kNot, OpSize(t), R(Reg::kRax)));
+          return t;
+        }
+        case Tok::kBang:
+        default: {
+          Label ltrue = a.NewLabel(), lend = a.NewLabel();
+          GenBranch(e, ltrue, true);
+          a.Emit(I2(Mnemonic::kXor, 4, R(Reg::kRax), R(Reg::kRax)));
+          a.Jmp(lend);
+          a.Bind(ltrue);
+          a.Emit(I2(Mnemonic::kMov, 4, R(Reg::kRax), Imm(1)));
+          a.Bind(lend);
+          return t;
+        }
+      }
+
+    case ExprKind::kBinary:
+      switch (e.op) {
+        case Tok::kEqEq:
+        case Tok::kBangEq:
+        case Tok::kLess:
+        case Tok::kLessEq:
+        case Tok::kGreater:
+        case Tok::kGreaterEq:
+        case Tok::kAmpAmp:
+        case Tok::kPipePipe: {
+          Label ltrue = a.NewLabel(), lend = a.NewLabel();
+          GenBranch(e, ltrue, true);
+          a.Emit(I2(Mnemonic::kXor, 4, R(Reg::kRax), R(Reg::kRax)));
+          a.Jmp(lend);
+          a.Bind(ltrue);
+          a.Emit(I2(Mnemonic::kMov, 4, R(Reg::kRax), Imm(1)));
+          a.Bind(lend);
+          return t;
+        }
+        default:
+          return GenBinaryOp(e);
+      }
+
+    case ExprKind::kAssign:
+    case ExprKind::kCompound:
+      return GenAssign(e);
+
+    case ExprKind::kCond: {
+      Label lfalse = a.NewLabel(), lend = a.NewLabel();
+      GenBranch(*e.a, lfalse, false);
+      const Type* bt = GenExpr(*e.b);
+      Widen(bt, t);
+      a.Jmp(lend);
+      a.Bind(lfalse);
+      const Type* ct = GenExpr(*e.c);
+      Widen(ct, t);
+      a.Bind(lend);
+      return t;
+    }
+
+    case ExprKind::kCall:
+      return GenCall(e);
+
+    case ExprKind::kIndex:
+    case ExprKind::kMember:
+    case ExprKind::kArrow: {
+      GenAddr(e);
+      LoadScalarFromRaxAddr(t);
+      return t;
+    }
+
+    case ExprKind::kCast: {
+      const Type* at = GenExpr(*e.a);
+      Widen(at, t);
+      return t;
+    }
+
+    case ExprKind::kPreInc:
+      return GenIncDec(e, /*is_inc=*/true, /*is_post=*/false);
+    case ExprKind::kPreDec:
+      return GenIncDec(e, false, false);
+    case ExprKind::kPostInc:
+      return GenIncDec(e, true, true);
+    case ExprKind::kPostDec:
+      return GenIncDec(e, false, true);
+  }
+  POLY_UNREACHABLE("bad expr kind");
+}
+
+const Type* CodeGen::GenAddr(const Expr& e) {
+  auto& a = builder_.code();
+  const Type* t = TypeOf(e);
+  switch (e.kind) {
+    case ExprKind::kIdent: {
+      if (LocalVar* var = FindLocal(e.text)) {
+        if (var->IsPromoted()) {
+          Error(e.line, "cannot take address of register variable '" + e.text +
+                            "' (compiler bug: promotion of address-taken)");
+          return t;
+        }
+        a.Emit(I2(Mnemonic::kLea, 8, R(Reg::kRax),
+                  Operand::M(MemBase(Reg::kRbp, var->slot))));
+        return t;
+      }
+      if (auto git = globals_.find(e.text); git != globals_.end()) {
+        EmitLoadConst(types_->Long(), static_cast<int64_t>(git->second.first));
+        return t;
+      }
+      Error(e.line, "cannot take address of '" + e.text + "'");
+      return t;
+    }
+    case ExprKind::kUnary:
+      if (e.op == Tok::kStar) {
+        GenExpr(*e.a);
+        return t;
+      }
+      Error(e.line, "not an lvalue");
+      return t;
+    case ExprKind::kIndex: {
+      const Type* base_t = TypeOf(*e.a);
+      int64_t elem = base_t->pointee != nullptr ? base_t->pointee->Size() : 1;
+      // O2 + simple index + power-of-two scale: scaled addressing.
+      auto idx_simple = TrySimple(*e.b);
+      if (idx_simple && (elem == 1 || elem == 2 || elem == 4 || elem == 8)) {
+        GenExpr(*e.a);  // base pointer in rax
+        switch (idx_simple->kind) {
+          case SimpleValue::Kind::kImm:
+            a.Emit(I2(Mnemonic::kLea, 8, R(Reg::kRax),
+                      Operand::M(MemBase(Reg::kRax,
+                                         static_cast<int32_t>(idx_simple->imm *
+                                                              elem)))));
+            return t;
+          case SimpleValue::Kind::kReg:
+            if (RegWidth(idx_simple->type) == 4) {
+              Inst sx = I2(Mnemonic::kMovsx, 8, R(Reg::kRcx),
+                           R(idx_simple->reg));
+              sx.src_size = 4;
+              a.Emit(sx);
+            } else {
+              a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRcx), R(idx_simple->reg)));
+            }
+            break;
+          case SimpleValue::Kind::kMem:
+            if (RegWidth(idx_simple->type) == 4) {
+              Inst sx = I2(Mnemonic::kMovsx, 8, R(Reg::kRcx),
+                           Operand::M(idx_simple->mem));
+              sx.src_size = 4;
+              a.Emit(sx);
+            } else {
+              a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRcx),
+                        Operand::M(idx_simple->mem)));
+            }
+            break;
+        }
+        a.Emit(I2(Mnemonic::kLea, 8, R(Reg::kRax),
+                  Operand::M(MemIndex(Reg::kRax, Reg::kRcx,
+                                      static_cast<uint8_t>(elem)))));
+        return t;
+      }
+      // General: base on stack, index scaled.
+      GenExpr(*e.a);
+      Push();
+      const Type* it = GenExpr(*e.b);
+      Widen(it, types_->Long());
+      ScaleRaxBy(elem);
+      Pop(Reg::kRcx);
+      a.Emit(I2(Mnemonic::kAdd, 8, R(Reg::kRax), R(Reg::kRcx)));
+      return t;
+    }
+    case ExprKind::kMember:
+    case ExprKind::kArrow: {
+      const Type* base_t = TypeOf(*e.a);
+      const Type* st = e.kind == ExprKind::kArrow ? base_t->pointee : base_t;
+      const StructField* f = st->struct_info->FindField(e.text);
+      POLY_CHECK(f != nullptr);
+      if (e.kind == ExprKind::kArrow) {
+        GenExpr(*e.a);
+      } else {
+        GenAddr(*e.a);
+      }
+      if (f->offset != 0) {
+        a.Emit(I2(Mnemonic::kAdd, 8, R(Reg::kRax), Imm(f->offset)));
+      }
+      return t;
+    }
+    default:
+      Error(e.line, "expression is not an lvalue");
+      return t;
+  }
+}
+
+namespace {
+Cond CondForOp(Tok op, bool is_unsigned) {
+  switch (op) {
+    case Tok::kEqEq:
+      return Cond::kE;
+    case Tok::kBangEq:
+      return Cond::kNe;
+    case Tok::kLess:
+      return is_unsigned ? Cond::kB : Cond::kL;
+    case Tok::kLessEq:
+      return is_unsigned ? Cond::kBe : Cond::kLe;
+    case Tok::kGreater:
+      return is_unsigned ? Cond::kA : Cond::kG;
+    case Tok::kGreaterEq:
+      return is_unsigned ? Cond::kAe : Cond::kGe;
+    default:
+      POLY_UNREACHABLE("not a comparison");
+  }
+}
+Cond Negate(Cond c) {
+  return static_cast<Cond>(static_cast<uint8_t>(c) ^ 1);
+}
+}  // namespace
+
+void CodeGen::GenBranch(const Expr& e, Label target, bool branch_if_true) {
+  auto& a = builder_.code();
+  if (options_.opt_level >= 2) {
+    if (auto folded = FoldConst(e)) {
+      if ((*folded != 0) == branch_if_true) {
+        a.Jmp(target);
+      }
+      return;
+    }
+  }
+  if (e.kind == ExprKind::kUnary && e.op == Tok::kBang) {
+    GenBranch(*e.a, target, !branch_if_true);
+    return;
+  }
+  if (e.kind == ExprKind::kBinary &&
+      (e.op == Tok::kAmpAmp || e.op == Tok::kPipePipe)) {
+    bool is_and = e.op == Tok::kAmpAmp;
+    if (is_and == branch_if_true) {
+      // Both must match: short-circuit through a skip label.
+      Label skip = a.NewLabel();
+      GenBranch(*e.a, skip, !is_and);
+      GenBranch(*e.b, target, branch_if_true);
+      a.Bind(skip);
+    } else {
+      GenBranch(*e.a, target, branch_if_true);
+      GenBranch(*e.b, target, branch_if_true);
+    }
+    return;
+  }
+  if (e.kind == ExprKind::kBinary) {
+    switch (e.op) {
+      case Tok::kEqEq:
+      case Tok::kBangEq:
+      case Tok::kLess:
+      case Tok::kLessEq:
+      case Tok::kGreater:
+      case Tok::kGreaterEq: {
+        const Type* ta = Decay(TypeOf(*e.a));
+        const Type* tb = Decay(TypeOf(*e.b));
+        const Type* common = Arith(ta, tb);
+        bool is_unsigned = common->kind == TypeKind::kPtr;
+        int size = OpSize(common);
+        auto simple = TrySimple(*e.b);
+        if (simple &&
+            (simple->kind == SimpleValue::Kind::kImm ||
+             RegWidth(simple->type) == size)) {
+          const Type* at = GenExpr(*e.a);
+          Widen(at, common);
+          switch (simple->kind) {
+            case SimpleValue::Kind::kImm:
+              a.Emit(I2(Mnemonic::kCmp, size, R(Reg::kRax), Imm(simple->imm)));
+              break;
+            case SimpleValue::Kind::kReg:
+              a.Emit(I2(Mnemonic::kCmp, size, R(Reg::kRax), R(simple->reg)));
+              break;
+            case SimpleValue::Kind::kMem:
+              a.Emit(I2(Mnemonic::kCmp, size, R(Reg::kRax),
+                        Operand::M(simple->mem)));
+              break;
+          }
+        } else {
+          const Type* bt = GenExpr(*e.b);
+          Widen(bt, common);
+          Push();
+          const Type* at = GenExpr(*e.a);
+          Widen(at, common);
+          Pop(Reg::kRcx);
+          a.Emit(I2(Mnemonic::kCmp, size, R(Reg::kRax), R(Reg::kRcx)));
+        }
+        Cond c = CondForOp(e.op, is_unsigned);
+        a.Jcc(branch_if_true ? c : Negate(c), target);
+        return;
+      }
+      default:
+        break;
+    }
+  }
+  // Generic: evaluate and test.
+  const Type* t = GenExpr(e);
+  int size = RegWidth(Decay(t));
+  a.Emit(I2(Mnemonic::kTest, size, R(Reg::kRax), R(Reg::kRax)));
+  a.Jcc(branch_if_true ? Cond::kNe : Cond::kE, target);
+}
+
+const Type* CodeGen::GenBinaryOp(const Expr& e) {
+  auto& a = builder_.code();
+  const Type* t = TypeOf(e);
+  const Type* ta = Decay(TypeOf(*e.a));
+  const Type* tb = Decay(TypeOf(*e.b));
+
+  // Pointer arithmetic.
+  if (e.op == Tok::kPlus || e.op == Tok::kMinus) {
+    bool a_ptr = ta->kind == TypeKind::kPtr;
+    bool b_ptr = tb->kind == TypeKind::kPtr;
+    if (a_ptr && b_ptr) {
+      POLY_CHECK(e.op == Tok::kMinus);
+      const Type* bt = GenExpr(*e.b);
+      (void)bt;
+      Push();
+      GenExpr(*e.a);
+      Pop(Reg::kRcx);
+      a.Emit(I2(Mnemonic::kSub, 8, R(Reg::kRax), R(Reg::kRcx)));
+      int64_t elem = ta->pointee->Size();
+      if (elem > 1) {
+        if ((elem & (elem - 1)) == 0) {
+          int shift = 0;
+          while ((int64_t{1} << shift) < elem) {
+            ++shift;
+          }
+          a.Emit(I2(Mnemonic::kSar, 8, R(Reg::kRax), Imm(shift)));
+        } else {
+          a.Emit(I0(Mnemonic::kCqo, 8));
+          a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRcx), Imm(elem)));
+          a.Emit(I1(Mnemonic::kIdiv, 8, R(Reg::kRcx)));
+        }
+      }
+      return types_->Long();
+    }
+    if (a_ptr || b_ptr) {
+      const Expr& ptr_e = a_ptr ? *e.a : *e.b;
+      const Expr& int_e = a_ptr ? *e.b : *e.a;
+      const Type* pt = a_ptr ? ta : tb;
+      const Type* it = GenExpr(int_e);
+      Widen(it, types_->Long());
+      ScaleRaxBy(pt->pointee->Size());
+      if (e.op == Tok::kMinus) {
+        a.Emit(I1(Mnemonic::kNeg, 8, R(Reg::kRax)));
+      }
+      Push();
+      GenExpr(ptr_e);
+      Pop(Reg::kRcx);
+      a.Emit(I2(Mnemonic::kAdd, 8, R(Reg::kRax), R(Reg::kRcx)));
+      return pt;
+    }
+  }
+
+  const int size = OpSize(t);
+
+  // Division / modulo need rdx:rax.
+  if (e.op == Tok::kSlash || e.op == Tok::kPercent) {
+    const Type* bt = GenExpr(*e.b);
+    Widen(bt, t);
+    Push();
+    const Type* at = GenExpr(*e.a);
+    Widen(at, t);
+    Pop(Reg::kRcx);
+    a.Emit(I0(Mnemonic::kCqo, size));
+    a.Emit(I1(Mnemonic::kIdiv, size, R(Reg::kRcx)));
+    if (e.op == Tok::kPercent) {
+      a.Emit(I2(Mnemonic::kMov, size, R(Reg::kRax), R(Reg::kRdx)));
+    }
+    return t;
+  }
+
+  // Shifts: count in cl.
+  if (e.op == Tok::kShl || e.op == Tok::kShr) {
+    Mnemonic m = e.op == Tok::kShl ? Mnemonic::kShl : Mnemonic::kSar;
+    if (auto folded = FoldConst(*e.b);
+        folded && options_.opt_level >= 2) {
+      const Type* at = GenExpr(*e.a);
+      Widen(at, t);
+      a.Emit(I2(m, size, R(Reg::kRax), Imm(*folded & 63)));
+      return t;
+    }
+    const Type* bt = GenExpr(*e.b);
+    (void)bt;
+    Push();
+    const Type* at = GenExpr(*e.a);
+    Widen(at, t);
+    Pop(Reg::kRcx);
+    a.Emit(I2(m, size, R(Reg::kRax), R(Reg::kRcx)));
+    return t;
+  }
+
+  Mnemonic m;
+  switch (e.op) {
+    case Tok::kPlus:
+      m = Mnemonic::kAdd;
+      break;
+    case Tok::kMinus:
+      m = Mnemonic::kSub;
+      break;
+    case Tok::kStar:
+      m = Mnemonic::kImul;
+      break;
+    case Tok::kAmp:
+      m = Mnemonic::kAnd;
+      break;
+    case Tok::kPipe:
+      m = Mnemonic::kOr;
+      break;
+    case Tok::kCaret:
+      m = Mnemonic::kXor;
+      break;
+    default:
+      Error(e.line, "unsupported binary operator");
+      return t;
+  }
+
+  // Strength reduction: multiply by power-of-two constant.
+  if (options_.opt_level >= 2 && m == Mnemonic::kImul) {
+    if (auto folded = FoldConst(*e.b);
+        folded && *folded > 0 && (*folded & (*folded - 1)) == 0) {
+      const Type* at = GenExpr(*e.a);
+      Widen(at, t);
+      int shift = 0;
+      while ((int64_t{1} << shift) < *folded) {
+        ++shift;
+      }
+      if (shift > 0) {
+        a.Emit(I2(Mnemonic::kShl, size, R(Reg::kRax), Imm(shift)));
+      }
+      return t;
+    }
+  }
+
+  // O2 direct-operand form.
+  auto simple = TrySimple(*e.b);
+  if (simple && (simple->kind == SimpleValue::Kind::kImm ||
+                 RegWidth(simple->type) == size)) {
+    const Type* at = GenExpr(*e.a);
+    Widen(at, t);
+    Operand rhs = simple->kind == SimpleValue::Kind::kImm ? Imm(simple->imm)
+                  : simple->kind == SimpleValue::Kind::kReg
+                      ? R(simple->reg)
+                      : Operand::M(simple->mem);
+    if (m == Mnemonic::kImul) {
+      if (simple->kind == SimpleValue::Kind::kImm) {
+        a.Emit(I3(Mnemonic::kImul, size, R(Reg::kRax), R(Reg::kRax),
+                  Imm(simple->imm)));
+      } else {
+        a.Emit(I2(Mnemonic::kImul, size, R(Reg::kRax), rhs));
+      }
+    } else {
+      a.Emit(I2(m, size, R(Reg::kRax), rhs));
+    }
+    return t;
+  }
+
+  const Type* bt = GenExpr(*e.b);
+  Widen(bt, t);
+  Push();
+  const Type* at = GenExpr(*e.a);
+  Widen(at, t);
+  Pop(Reg::kRcx);
+  if (m == Mnemonic::kImul) {
+    a.Emit(I2(Mnemonic::kImul, size, R(Reg::kRax), R(Reg::kRcx)));
+  } else {
+    a.Emit(I2(m, size, R(Reg::kRax), R(Reg::kRcx)));
+  }
+  return t;
+}
+
+const Type* CodeGen::GenAssign(const Expr& e) {
+  auto& a = builder_.code();
+  const Type* lhs_t = TypeOf(*e.a);
+  const bool compound = e.kind == ExprKind::kCompound;
+
+  // Promoted register lvalue.
+  if (e.a->kind == ExprKind::kIdent) {
+    if (LocalVar* var = FindLocal(e.a->text); var && var->IsPromoted()) {
+      if (!compound) {
+        const Type* rt = GenExpr(*e.b);
+        Widen(rt, lhs_t);
+        a.Emit(I2(Mnemonic::kMov, 8, R(var->promoted), R(Reg::kRax)));
+        return lhs_t;
+      }
+      // rX = rX op rhs
+      const Type* rt = GenExpr(*e.b);
+      Widen(rt, lhs_t);
+      a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kR11), R(Reg::kRax)));
+      a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRax), R(var->promoted)));
+      EmitCompoundOp(e.op, lhs_t);
+      a.Emit(I2(Mnemonic::kMov, 8, R(var->promoted), R(Reg::kRax)));
+      return lhs_t;
+    }
+  }
+
+  // Direct store to a named scalar slot/global (both opt levels; matches
+  // what gcc emits at -O0 too).
+  if (!compound && e.a->kind == ExprKind::kIdent && lhs_t->IsScalar()) {
+    std::optional<MemRef> dest;
+    LocalVar* var = FindLocal(e.a->text);
+    if (var != nullptr && !var->IsPromoted()) {
+      dest = MemBase(Reg::kRbp, var->slot);
+    } else if (var == nullptr) {
+      if (auto git = globals_.find(e.a->text); git != globals_.end()) {
+        dest = MemAbs(git->second.first);
+      }
+    }
+    if (dest) {
+      const Type* rt = GenExpr(*e.b);
+      Widen(rt, lhs_t);
+      a.Emit(I2(Mnemonic::kMov, OpSize(lhs_t), Operand::M(*dest),
+                R(Reg::kRax)));
+      return lhs_t;
+    }
+  }
+
+  if (!compound) {
+    GenAddr(*e.a);
+    Push();
+    const Type* rt = GenExpr(*e.b);
+    Widen(rt, lhs_t);
+    Pop(Reg::kRcx);
+    StoreRcxAddrFromRax(lhs_t);
+    return lhs_t;
+  }
+
+  // Compound with a named scalar slot/global: operate on [rbp+slot] or the
+  // absolute address directly (what gcc emits at -O0).
+  if (e.a->kind == ExprKind::kIdent && lhs_t->IsScalar()) {
+    std::optional<MemRef> dest;
+    LocalVar* var = FindLocal(e.a->text);
+    if (var != nullptr && !var->IsPromoted()) {
+      dest = MemBase(Reg::kRbp, var->slot);
+    } else if (var == nullptr) {
+      if (auto git = globals_.find(e.a->text); git != globals_.end()) {
+        dest = MemAbs(git->second.first);
+      }
+    }
+    if (dest) {
+      const Type* rt = GenExpr(*e.b);
+      Widen(rt, lhs_t);
+      a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kR11), R(Reg::kRax)));
+      LoadScalarFromMem(*dest, lhs_t);
+      EmitCompoundOp(e.op, lhs_t);
+      a.Emit(I2(Mnemonic::kMov, OpSize(lhs_t), Operand::M(*dest),
+                R(Reg::kRax)));
+      return lhs_t;
+    }
+  }
+
+  // Compound with a memory lvalue: address in r10, rhs in r11.
+  GenAddr(*e.a);
+  Push();
+  const Type* rt = GenExpr(*e.b);
+  Widen(rt, lhs_t);
+  a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kR11), R(Reg::kRax)));
+  Pop(Reg::kR10);
+  a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRax), R(Reg::kR10)));
+  LoadScalarFromRaxAddr(lhs_t);
+  EmitCompoundOp(e.op, lhs_t);
+  a.Emit(I2(Mnemonic::kMov, OpSize(lhs_t),
+            Operand::M(MemBase(Reg::kR10)), R(Reg::kRax)));
+  return lhs_t;
+}
+
+// Applies `rax = rax op r11` at the width of `t`.
+void CodeGen::EmitCompoundOp(Tok op, const Type* t) {
+  auto& a = builder_.code();
+  int size = OpSize(t);
+  // Pointer compound (p += n): scale r11.
+  if (t->kind == TypeKind::kPtr && (op == Tok::kPlus || op == Tok::kMinus)) {
+    int64_t elem = t->pointee->Size();
+    if (elem > 1) {
+      a.Emit(I3(Mnemonic::kImul, 8, R(Reg::kR11), R(Reg::kR11), Imm(elem)));
+    }
+    size = 8;
+  }
+  switch (op) {
+    case Tok::kPlus:
+      a.Emit(I2(Mnemonic::kAdd, size, R(Reg::kRax), R(Reg::kR11)));
+      break;
+    case Tok::kMinus:
+      a.Emit(I2(Mnemonic::kSub, size, R(Reg::kRax), R(Reg::kR11)));
+      break;
+    case Tok::kStar:
+      a.Emit(I2(Mnemonic::kImul, size, R(Reg::kRax), R(Reg::kR11)));
+      break;
+    case Tok::kSlash:
+    case Tok::kPercent:
+      a.Emit(I0(Mnemonic::kCqo, size));
+      a.Emit(I1(Mnemonic::kIdiv, size, R(Reg::kR11)));
+      if (op == Tok::kPercent) {
+        a.Emit(I2(Mnemonic::kMov, size, R(Reg::kRax), R(Reg::kRdx)));
+      }
+      break;
+    case Tok::kAmp:
+      a.Emit(I2(Mnemonic::kAnd, size, R(Reg::kRax), R(Reg::kR11)));
+      break;
+    case Tok::kPipe:
+      a.Emit(I2(Mnemonic::kOr, size, R(Reg::kRax), R(Reg::kR11)));
+      break;
+    case Tok::kCaret:
+      a.Emit(I2(Mnemonic::kXor, size, R(Reg::kRax), R(Reg::kR11)));
+      break;
+    case Tok::kShl:
+    case Tok::kShr:
+      a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRcx), R(Reg::kR11)));
+      a.Emit(I2(op == Tok::kShl ? Mnemonic::kShl : Mnemonic::kSar, size,
+                R(Reg::kRax), R(Reg::kRcx)));
+      break;
+    default:
+      POLY_UNREACHABLE("bad compound op");
+  }
+}
+
+const Type* CodeGen::GenIncDec(const Expr& e, bool is_inc, bool is_post) {
+  auto& a = builder_.code();
+  const Type* t = TypeOf(*e.a);
+  int64_t delta = t->kind == TypeKind::kPtr ? t->pointee->Size() : 1;
+  int size = OpSize(t);
+  Mnemonic m = is_inc ? Mnemonic::kAdd : Mnemonic::kSub;
+
+  if (e.a->kind == ExprKind::kIdent) {
+    if (LocalVar* var = FindLocal(e.a->text); var && var->IsPromoted()) {
+      a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRax), R(var->promoted)));
+      if (is_post) {
+        a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kR11), R(Reg::kRax)));
+      }
+      a.Emit(I2(m, size, R(Reg::kRax), Imm(delta)));
+      a.Emit(I2(Mnemonic::kMov, 8, R(var->promoted), R(Reg::kRax)));
+      if (is_post) {
+        a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRax), R(Reg::kR11)));
+      }
+      return t;
+    }
+  }
+
+  // Named scalar slot/global: operate on memory directly.
+  if (e.a->kind == ExprKind::kIdent && t->IsScalar()) {
+    std::optional<MemRef> dest;
+    LocalVar* var = FindLocal(e.a->text);
+    if (var != nullptr && !var->IsPromoted()) {
+      dest = MemBase(Reg::kRbp, var->slot);
+    } else if (var == nullptr) {
+      if (auto git = globals_.find(e.a->text); git != globals_.end()) {
+        dest = MemAbs(git->second.first);
+      }
+    }
+    if (dest) {
+      LoadScalarFromMem(*dest, t);
+      if (is_post) {
+        a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kR11), R(Reg::kRax)));
+      }
+      a.Emit(I2(m, size, R(Reg::kRax), Imm(delta)));
+      a.Emit(I2(Mnemonic::kMov, OpSize(t), Operand::M(*dest), R(Reg::kRax)));
+      if (is_post) {
+        a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRax), R(Reg::kR11)));
+      }
+      return t;
+    }
+  }
+
+  GenAddr(*e.a);
+  a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRcx), R(Reg::kRax)));
+  LoadScalarFromRaxAddr(t);
+  if (is_post) {
+    a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kR11), R(Reg::kRax)));
+  }
+  a.Emit(I2(m, size, R(Reg::kRax), Imm(delta)));
+  StoreRcxAddrFromRax(t);
+  if (is_post) {
+    a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRax), R(Reg::kR11)));
+  }
+  return t;
+}
+
+const Type* CodeGen::GenCall(const Expr& e) {
+  auto& a = builder_.code();
+  const Type* t = TypeOf(e);
+  if (e.a->kind == ExprKind::kIdent && IsBuiltinName(e.a->text)) {
+    return GenBuiltin(e);
+  }
+  static const Reg kArgRegs[6] = {Reg::kRdi, Reg::kRsi, Reg::kRdx,
+                                  Reg::kRcx, Reg::kR8,  Reg::kR9};
+  if (e.args.size() > 6) {
+    Error(e.line, "more than 6 call arguments");
+    return t;
+  }
+
+  const FuncInfo* direct = nullptr;
+  const Type* fn_type = nullptr;
+  if (e.a->kind == ExprKind::kIdent && FindLocal(e.a->text) == nullptr &&
+      globals_.find(e.a->text) == globals_.end()) {
+    auto fit = funcs_.find(e.a->text);
+    if (fit != funcs_.end()) {
+      direct = &fit->second;
+    }
+  }
+  if (direct == nullptr) {
+    const Type* callee_t = TypeOf(*e.a);
+    if (callee_t->kind == TypeKind::kPtr &&
+        callee_t->pointee->kind == TypeKind::kFunc) {
+      fn_type = callee_t->pointee;
+    }
+    GenExpr(*e.a);
+    Push();  // callee under the args
+  }
+
+  for (size_t i = 0; i < e.args.size(); ++i) {
+    const Type* at = GenExpr(*e.args[i]);
+    const Type* pt = nullptr;
+    if (direct != nullptr && i < direct->params.size()) {
+      pt = direct->params[i];
+    } else if (fn_type != nullptr && i < fn_type->params.size()) {
+      pt = fn_type->params[i];
+    }
+    if (pt != nullptr && pt->IsScalar()) {
+      Widen(Decay(at), pt);
+    } else {
+      Widen(Decay(at), types_->Long());
+    }
+    Push();
+  }
+  for (size_t i = e.args.size(); i-- > 0;) {
+    Pop(kArgRegs[i]);
+  }
+  if (direct != nullptr) {
+    if (direct->is_external) {
+      a.CallAbs(direct->ext_addr);
+    } else {
+      a.Call(direct->label);
+    }
+  } else {
+    Pop(Reg::kR10);
+    a.Emit(I1(Mnemonic::kCall, 8, R(Reg::kR10)));
+  }
+  return t;
+}
+
+const Type* CodeGen::GenBuiltin(const Expr& e) {
+  auto& a = builder_.code();
+  const std::string& name = e.a->text;
+  const Type* t = TypeOf(e);
+
+  if (name == "__pause") {
+    a.Emit(I0(Mnemonic::kPause));
+    return t;
+  }
+  if (StartsWith(name, "__v")) {
+    GenVectorBuiltin(name, e);
+    return t;
+  }
+
+  // Atomics: width follows the pointee of the first argument.
+  if (e.args.empty()) {
+    Error(e.line, name + " needs arguments");
+    return t;
+  }
+  const Type* pt = Decay(TypeOf(*e.args[0]));
+  const Type* vt = pt->kind == TypeKind::kPtr ? pt->pointee : types_->Long();
+  int size = OpSize(vt);
+
+  if (name == "__atomic_fetch_add") {
+    GenExpr(*e.args[0]);
+    Push();
+    const Type* at = GenExpr(*e.args[1]);
+    Widen(at, vt);
+    Pop(Reg::kRcx);
+    Inst xadd = I2(Mnemonic::kXadd, size, Operand::M(MemBase(Reg::kRcx)),
+                   R(Reg::kRax));
+    xadd.lock = true;
+    a.Emit(xadd);
+    return vt;
+  }
+  if (name == "__atomic_cas") {
+    GenExpr(*e.args[0]);
+    Push();
+    const Type* ot = GenExpr(*e.args[1]);
+    Widen(ot, vt);
+    Push();
+    const Type* nt = GenExpr(*e.args[2]);
+    Widen(nt, vt);
+    a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRdx), R(Reg::kRax)));
+    Pop(Reg::kRax);
+    Pop(Reg::kRcx);
+    Inst cas = I2(Mnemonic::kCmpxchg, size, Operand::M(MemBase(Reg::kRcx)),
+                  R(Reg::kRdx));
+    cas.lock = true;
+    a.Emit(cas);
+    return vt;  // rax holds the witnessed old value
+  }
+  if (name == "__atomic_exchange") {
+    GenExpr(*e.args[0]);
+    Push();
+    const Type* at = GenExpr(*e.args[1]);
+    Widen(at, vt);
+    Pop(Reg::kRcx);
+    a.Emit(I2(Mnemonic::kXchg, size, Operand::M(MemBase(Reg::kRcx)),
+              R(Reg::kRax)));
+    return vt;
+  }
+  if (name == "__atomic_load") {
+    GenExpr(*e.args[0]);
+    LoadScalarFromRaxAddr(vt);
+    return vt;
+  }
+  if (name == "__atomic_store") {
+    GenExpr(*e.args[0]);
+    Push();
+    const Type* at = GenExpr(*e.args[1]);
+    Widen(at, vt);
+    Pop(Reg::kRcx);
+    StoreRcxAddrFromRax(vt);
+    return types_->Void();
+  }
+  Error(e.line, "unknown builtin " + name);
+  return t;
+}
+
+void CodeGen::GenVectorBuiltin(const std::string& name, const Expr& e) {
+  auto& a = builder_.code();
+  // Argument layout: reduce forms (a, [b,] n) -> r8, r9, r10;
+  // map forms (dst, a, b, n) -> r11, r8, r9, r10.
+  bool has_dst = name == "__vadd_i32" || name == "__vmul_i32";
+  bool has_b = name == "__vdot_i32" || has_dst;
+  size_t expected = 1 + (has_b ? 1 : 0) + (has_dst ? 1 : 0) + 1;
+  if (e.args.size() != expected) {
+    Error(e.line, name + ": wrong argument count");
+    return;
+  }
+  for (const ExprPtr& arg : e.args) {
+    const Type* at = GenExpr(*arg);
+    Widen(Decay(at), types_->Long());
+    Push();
+  }
+  // Pop in reverse: n, [b], a, [dst].
+  Pop(Reg::kR10);  // n
+  if (has_b) {
+    Pop(Reg::kR9);  // b
+  }
+  Pop(Reg::kR8);  // a
+  if (has_dst) {
+    Pop(Reg::kR11);  // dst
+  }
+
+  bool reduce = !has_dst;
+  bool multiply = name == "__vdot_i32" || name == "__vmul_i32";
+
+  if (reduce) {
+    a.Emit(I2(Mnemonic::kXor, 4, R(Reg::kRax), R(Reg::kRax)));
+  }
+  a.Emit(I2(Mnemonic::kXor, 4, R(Reg::kRcx), R(Reg::kRcx)));
+
+  if (options_.opt_level >= 2) {
+    // Vector main loop, 4 int lanes per iteration.
+    Label vec_loop = a.NewLabel(), vec_done = a.NewLabel();
+    if (reduce) {
+      a.Emit(I2(Mnemonic::kPxor, 16, Operand::X(0), Operand::X(0)));
+    }
+    a.Bind(vec_loop);
+    a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRdx), R(Reg::kRcx)));
+    a.Emit(I2(Mnemonic::kAdd, 8, R(Reg::kRdx), Imm(4)));
+    a.Emit(I2(Mnemonic::kCmp, 8, R(Reg::kRdx), R(Reg::kR10)));
+    a.Jcc(Cond::kG, vec_done);
+    a.Emit(I2(Mnemonic::kMovdqu, 16, Operand::X(1),
+              Operand::M(MemIndex(Reg::kR8, Reg::kRcx, 4))));
+    if (has_b) {
+      a.Emit(I2(Mnemonic::kMovdqu, 16, Operand::X(2),
+                Operand::M(MemIndex(Reg::kR9, Reg::kRcx, 4))));
+      a.Emit(I2(multiply ? Mnemonic::kPmulld : Mnemonic::kPaddd, 16,
+                Operand::X(1), Operand::X(2)));
+    }
+    if (reduce) {
+      a.Emit(I2(Mnemonic::kPaddd, 16, Operand::X(0), Operand::X(1)));
+    } else {
+      a.Emit(I2(Mnemonic::kMovdqu, 16,
+                Operand::M(MemIndex(Reg::kR11, Reg::kRcx, 4)), Operand::X(1)));
+    }
+    a.Emit(I2(Mnemonic::kAdd, 8, R(Reg::kRcx), Imm(4)));
+    a.Jmp(vec_loop);
+    a.Bind(vec_done);
+    if (reduce) {
+      // Horizontal add through a stack scratch.
+      a.Emit(I2(Mnemonic::kSub, 8, R(Reg::kRsp), Imm(16)));
+      a.Emit(I2(Mnemonic::kMovdqu, 16, Operand::M(MemBase(Reg::kRsp)),
+                Operand::X(0)));
+      a.Emit(I2(Mnemonic::kAdd, 4, R(Reg::kRax),
+                Operand::M(MemBase(Reg::kRsp, 0))));
+      a.Emit(I2(Mnemonic::kAdd, 4, R(Reg::kRax),
+                Operand::M(MemBase(Reg::kRsp, 4))));
+      a.Emit(I2(Mnemonic::kAdd, 4, R(Reg::kRax),
+                Operand::M(MemBase(Reg::kRsp, 8))));
+      a.Emit(I2(Mnemonic::kAdd, 4, R(Reg::kRax),
+                Operand::M(MemBase(Reg::kRsp, 12))));
+      a.Emit(I2(Mnemonic::kAdd, 8, R(Reg::kRsp), Imm(16)));
+    }
+  }
+
+  // Scalar (remainder) loop.
+  Label scalar_loop = a.NewLabel(), done = a.NewLabel();
+  a.Bind(scalar_loop);
+  a.Emit(I2(Mnemonic::kCmp, 8, R(Reg::kRcx), R(Reg::kR10)));
+  a.Jcc(Cond::kGe, done);
+  a.Emit(I2(Mnemonic::kMov, 4, R(Reg::kRdx),
+            Operand::M(MemIndex(Reg::kR8, Reg::kRcx, 4))));
+  if (has_b) {
+    if (multiply) {
+      a.Emit(I2(Mnemonic::kImul, 4, R(Reg::kRdx),
+                Operand::M(MemIndex(Reg::kR9, Reg::kRcx, 4))));
+    } else {
+      a.Emit(I2(Mnemonic::kAdd, 4, R(Reg::kRdx),
+                Operand::M(MemIndex(Reg::kR9, Reg::kRcx, 4))));
+    }
+  }
+  if (reduce) {
+    a.Emit(I2(Mnemonic::kAdd, 4, R(Reg::kRax), R(Reg::kRdx)));
+  } else {
+    a.Emit(I2(Mnemonic::kMov, 4,
+              Operand::M(MemIndex(Reg::kR11, Reg::kRcx, 4)), R(Reg::kRdx)));
+  }
+  a.Emit(I2(Mnemonic::kAdd, 8, R(Reg::kRcx), Imm(1)));
+  a.Jmp(scalar_loop);
+  a.Bind(done);
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void CodeGen::GenBlock(const Stmt& s) {
+  if (s.transparent) {
+    // Multi-declarator line: declarations belong to the enclosing scope.
+    for (const StmtPtr& c : s.stmts) {
+      GenStmt(*c);
+    }
+    return;
+  }
+  scopes_.emplace_back();
+  for (const StmtPtr& c : s.stmts) {
+    GenStmt(*c);
+  }
+  for (const std::string& name : scopes_.back()) {
+    locals_[name].pop_back();
+  }
+  scopes_.pop_back();
+}
+
+void CodeGen::GenStmt(const Stmt& s) {
+  auto& a = builder_.code();
+  switch (s.kind) {
+    case StmtKind::kEmpty:
+      break;
+    case StmtKind::kExpr:
+      GenExpr(*s.expr);
+      break;
+    case StmtKind::kBlock:
+      GenBlock(s);
+      break;
+
+    case StmtKind::kDecl: {
+      LocalVar var;
+      var.type = s.decl_type;
+      auto promo = promotions_.find(s.decl_name);
+      if (promo != promotions_.end() && s.decl_type->IsScalar() &&
+          s.decl_type->kind != TypeKind::kChar) {
+        var.promoted = promo->second;
+      } else {
+        int64_t bytes = (s.decl_type->Size() + 7) / 8 * 8;
+        next_slot_ -= static_cast<int32_t>(bytes);
+        var.slot = next_slot_;
+      }
+      locals_[s.decl_name].push_back(var);
+      scopes_.back().push_back(s.decl_name);
+      if (s.decl_init != nullptr) {
+        const Type* rt = GenExpr(*s.decl_init);
+        Widen(Decay(rt), var.type);
+        if (var.IsPromoted()) {
+          a.Emit(I2(Mnemonic::kMov, 8, R(var.promoted), R(Reg::kRax)));
+        } else {
+          a.Emit(I2(Mnemonic::kMov, OpSize(var.type),
+                    Operand::M(MemBase(Reg::kRbp, var.slot)), R(Reg::kRax)));
+        }
+      }
+      break;
+    }
+
+    case StmtKind::kIf: {
+      Label lelse = a.NewLabel(), lend = a.NewLabel();
+      GenBranch(*s.cond, lelse, false);
+      GenStmt(*s.then_stmt);
+      if (s.else_stmt != nullptr) {
+        a.Jmp(lend);
+      }
+      a.Bind(lelse);
+      if (s.else_stmt != nullptr) {
+        GenStmt(*s.else_stmt);
+        a.Bind(lend);
+      }
+      break;
+    }
+
+    case StmtKind::kWhile: {
+      Label lcond = a.NewLabel(), lend = a.NewLabel();
+      a.Bind(lcond);
+      GenBranch(*s.cond, lend, false);
+      break_stack_.push_back(lend);
+      continue_stack_.push_back(lcond);
+      GenStmt(*s.body);
+      break_stack_.pop_back();
+      continue_stack_.pop_back();
+      a.Jmp(lcond);
+      a.Bind(lend);
+      break;
+    }
+
+    case StmtKind::kDoWhile: {
+      Label lbody = a.NewLabel(), lcond = a.NewLabel(), lend = a.NewLabel();
+      a.Bind(lbody);
+      break_stack_.push_back(lend);
+      continue_stack_.push_back(lcond);
+      GenStmt(*s.body);
+      break_stack_.pop_back();
+      continue_stack_.pop_back();
+      a.Bind(lcond);
+      GenBranch(*s.cond, lbody, true);
+      a.Bind(lend);
+      break;
+    }
+
+    case StmtKind::kFor: {
+      Label lcond = a.NewLabel(), lcont = a.NewLabel(), lend = a.NewLabel();
+      scopes_.emplace_back();  // for-init scope
+      if (s.init != nullptr) {
+        GenStmt(*s.init);
+      }
+      a.Bind(lcond);
+      if (s.cond != nullptr) {
+        GenBranch(*s.cond, lend, false);
+      }
+      break_stack_.push_back(lend);
+      continue_stack_.push_back(lcont);
+      GenStmt(*s.body);
+      break_stack_.pop_back();
+      continue_stack_.pop_back();
+      a.Bind(lcont);
+      if (s.inc != nullptr) {
+        GenExpr(*s.inc);
+      }
+      a.Jmp(lcond);
+      a.Bind(lend);
+      for (const std::string& name : scopes_.back()) {
+        locals_[name].pop_back();
+      }
+      scopes_.pop_back();
+      break;
+    }
+
+    case StmtKind::kBreak:
+      if (break_stack_.empty()) {
+        Error(s.line, "break outside loop/switch");
+      } else {
+        a.Jmp(break_stack_.back());
+      }
+      break;
+    case StmtKind::kContinue:
+      if (continue_stack_.empty()) {
+        Error(s.line, "continue outside loop");
+      } else {
+        a.Jmp(continue_stack_.back());
+      }
+      break;
+
+    case StmtKind::kReturn:
+      if (s.expr != nullptr) {
+        const Type* rt = GenExpr(*s.expr);
+        if (current_ret_->IsScalar()) {
+          Widen(Decay(rt), current_ret_);
+        }
+      }
+      a.Jmp(epilogue_);
+      break;
+
+    case StmtKind::kSwitch:
+      GenSwitch(s);
+      break;
+
+    case StmtKind::kCase:
+    case StmtKind::kDefault:
+      Error(s.line, "case/default outside switch");
+      break;
+  }
+}
+
+void CodeGen::GenSwitch(const Stmt& s) {
+  auto& a = builder_.code();
+  const Type* st = GenExpr(*s.expr);
+  Widen(Decay(st), types_->Long());
+
+  // Collect case labels from the (block) body.
+  struct CaseEntry {
+    int64_t value;
+    Label label;
+    const Stmt* marker;
+  };
+  std::vector<CaseEntry> cases;
+  Label default_label;
+  const Stmt* default_marker = nullptr;
+  POLY_CHECK(s.body->kind == StmtKind::kBlock);
+  std::map<const Stmt*, Label> marker_labels;
+  for (const StmtPtr& c : s.body->stmts) {
+    if (c->kind == StmtKind::kCase) {
+      Label l = a.NewLabel();
+      cases.push_back({c->case_value, l, c.get()});
+      marker_labels[c.get()] = l;
+    } else if (c->kind == StmtKind::kDefault) {
+      default_label = a.NewLabel();
+      default_marker = c.get();
+      marker_labels[c.get()] = default_label;
+    }
+  }
+  Label lend = a.NewLabel();
+  Label miss = default_marker != nullptr ? default_label : lend;
+
+  // Dense value range at O2 -> jump table (indirect jump + data-in-code).
+  bool used_table = false;
+  if (options_.opt_level >= 2 && cases.size() >= 4) {
+    int64_t min = cases[0].value, max = cases[0].value;
+    for (const CaseEntry& c : cases) {
+      min = std::min(min, c.value);
+      max = std::max(max, c.value);
+    }
+    int64_t range = max - min + 1;
+    if (range <= static_cast<int64_t>(cases.size()) * 3 && range <= 512) {
+      used_table = true;
+      Label table = a.NewLabel();
+      Label do_dispatch = a.NewLabel();
+      if (min != 0) {
+        a.Emit(I2(Mnemonic::kSub, 8, R(Reg::kRax), Imm(min)));
+      }
+      a.Emit(I2(Mnemonic::kCmp, 8, R(Reg::kRax), Imm(range)));
+      a.Jcc(Cond::kB, do_dispatch);
+      a.Jmp(miss);
+      a.Bind(do_dispatch);
+      a.MovLabelAddress(Reg::kRcx, table);
+      a.Emit(I2(Mnemonic::kMov, 8, R(Reg::kRax),
+                Operand::M(MemIndex(Reg::kRcx, Reg::kRax, 8))));
+      a.Emit(I1(Mnemonic::kJmp, 8, R(Reg::kRax)));
+      a.Align(8);
+      a.Bind(table);
+      for (int64_t v = min; v <= max; ++v) {
+        Label entry = miss;
+        for (const CaseEntry& c : cases) {
+          if (c.value == v) {
+            entry = c.label;
+            break;
+          }
+        }
+        a.Dq(entry);
+      }
+    }
+  }
+  if (!used_table) {
+    for (const CaseEntry& c : cases) {
+      a.Emit(I2(Mnemonic::kCmp, 8, R(Reg::kRax), Imm(c.value)));
+      a.Jcc(Cond::kE, c.label);
+    }
+    a.Jmp(miss);
+  }
+
+  // Emit the body, binding labels at the markers.
+  break_stack_.push_back(lend);
+  scopes_.emplace_back();
+  for (const StmtPtr& c : s.body->stmts) {
+    if (c->kind == StmtKind::kCase || c->kind == StmtKind::kDefault) {
+      a.Bind(marker_labels[c.get()]);
+      continue;
+    }
+    GenStmt(*c);
+  }
+  for (const std::string& name : scopes_.back()) {
+    locals_[name].pop_back();
+  }
+  scopes_.pop_back();
+  break_stack_.pop_back();
+  a.Bind(lend);
+}
+
+}  // namespace
+
+Expected<binary::Image> Compile(const std::string& source,
+                                const CompileOptions& options) {
+  POLY_ASSIGN_OR_RETURN(Program program, Parse(source));
+  return CodeGen(std::move(program), options).Run();
+}
+
+}  // namespace polynima::cc

@@ -1,0 +1,50 @@
+// mcc: the mini-C compiler used to produce every evaluation workload binary.
+//
+// Two optimization levels reproduce the paper's gcc -O0 / -O3 input shapes:
+//   -O0: every local lives in a stack slot and is reloaded on each use;
+//        expression temporaries round-trip through the machine stack;
+//        switch lowers to compare chains; vector builtins expand to scalar
+//        loops.
+//   -O2: constant folding, hot scalar locals promoted to callee-saved
+//        registers, direct memory operands instead of push/pop temporaries,
+//        scaled addressing for indexing, jump tables for dense switches, and
+//        SSE expansion of the __v*_i32 vector builtins (the stand-in for
+//        gcc's auto-vectorizer, see DESIGN.md).
+//
+// Builtins (lowered inline):
+//   __atomic_fetch_add(p, v)   -> lock xadd        (returns old value)
+//   __atomic_cas(p, old, new)  -> lock cmpxchg     (returns witnessed value)
+//   __atomic_exchange(p, v)    -> xchg             (returns old value)
+//   __atomic_load(p)           -> mov (x86 TSO: acquire for free)
+//   __atomic_store(p, v)       -> mov (x86 TSO: release for free)
+//   __pause()                  -> pause
+//   __vdot_i32(a, b, n)        -> sum a[i]*b[i]    (int lanes)
+//   __vsum_i32(a, n)           -> sum a[i]
+//   __vadd_i32(dst, a, b, n)   -> dst[i] = a[i] + b[i]
+//   __vmul_i32(dst, a, b, n)   -> dst[i] = a[i] * b[i]
+//
+// Undefined functions that appear in the external library's name table
+// become imports; `main` is the entry point.
+#ifndef POLYNIMA_CC_COMPILER_H_
+#define POLYNIMA_CC_COMPILER_H_
+
+#include <string>
+
+#include "src/binary/image.h"
+#include "src/support/status.h"
+
+namespace polynima::cc {
+
+struct CompileOptions {
+  std::string name = "a.out";
+  int opt_level = 0;  // 0 or 2
+};
+
+// Compiles mcc source to an executable Image. Function symbols (ground
+// truth) are recorded in the image for tests; the recompiler ignores them.
+Expected<binary::Image> Compile(const std::string& source,
+                                const CompileOptions& options);
+
+}  // namespace polynima::cc
+
+#endif  // POLYNIMA_CC_COMPILER_H_

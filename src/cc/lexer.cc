@@ -1,0 +1,331 @@
+#include "src/cc/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "src/support/strings.h"
+
+namespace polynima::cc {
+namespace {
+
+const std::unordered_map<std::string, Tok>& Keywords() {
+  static const auto* map = new std::unordered_map<std::string, Tok>{
+      {"int", Tok::kInt},         {"long", Tok::kLong},
+      {"char", Tok::kChar},       {"void", Tok::kVoid},
+      {"struct", Tok::kStruct},   {"if", Tok::kIf},
+      {"else", Tok::kElse},       {"while", Tok::kWhile},
+      {"for", Tok::kFor},         {"do", Tok::kDo},
+      {"break", Tok::kBreak},     {"continue", Tok::kContinue},
+      {"return", Tok::kReturn},   {"switch", Tok::kSwitch},
+      {"case", Tok::kCase},       {"default", Tok::kDefault},
+      {"extern", Tok::kExtern},   {"sizeof", Tok::kSizeof},
+      {"static", Tok::kStatic},
+  };
+  return *map;
+}
+
+}  // namespace
+
+Expected<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1;
+  auto error = [&](const std::string& m) {
+    return Status::InvalidArgument(StrCat("lex error line ", line, ": ", m));
+  };
+
+  auto decode_escape = [&](size_t& pos) -> int {
+    char e = source[pos++];
+    switch (e) {
+      case 'n':
+        return '\n';
+      case 't':
+        return '\t';
+      case 'r':
+        return '\r';
+      case '0':
+        return '\0';
+      case '\\':
+        return '\\';
+      case '\'':
+        return '\'';
+      case '"':
+        return '"';
+      default:
+        return e;
+    }
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      while (i < source.size() && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < source.size() &&
+             !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i + 1 >= source.size()) {
+        return error("unterminated block comment");
+      }
+      i += 2;
+      continue;
+    }
+
+    Token tok;
+    tok.line = line;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      tok.text = source.substr(start, i - start);
+      auto it = Keywords().find(tok.text);
+      tok.kind = it != Keywords().end() ? it->second : Tok::kIdent;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      int base = 10;
+      if (c == '0' && i + 1 < source.size() &&
+          (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+        start = i;
+      }
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])))) {
+        ++i;
+      }
+      std::string digits = source.substr(start, i - start);
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(digits.c_str(), &end, base);
+      if (end != digits.c_str() + digits.size()) {
+        return error("bad number '" + digits + "'");
+      }
+      tok.kind = Tok::kNumber;
+      tok.number = v;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\\') {
+          ++i;
+          if (i >= source.size()) {
+            return error("unterminated string");
+          }
+          text.push_back(static_cast<char>(decode_escape(i)));
+        } else {
+          text.push_back(source[i++]);
+        }
+      }
+      if (i >= source.size()) {
+        return error("unterminated string");
+      }
+      ++i;
+      tok.kind = Tok::kString;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '\'') {
+      ++i;
+      if (i >= source.size()) {
+        return error("unterminated char literal");
+      }
+      int value;
+      if (source[i] == '\\') {
+        ++i;
+        value = decode_escape(i);
+      } else {
+        value = static_cast<unsigned char>(source[i++]);
+      }
+      if (i >= source.size() || source[i] != '\'') {
+        return error("unterminated char literal");
+      }
+      ++i;
+      tok.kind = Tok::kCharLit;
+      tok.number = value;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < source.size() && source[i + 1] == second;
+    };
+    auto push1 = [&](Tok k) {
+      tok.kind = k;
+      ++i;
+      tokens.push_back(tok);
+    };
+    auto push2 = [&](Tok k) {
+      tok.kind = k;
+      i += 2;
+      tokens.push_back(tok);
+    };
+    auto push3 = [&](Tok k) {
+      tok.kind = k;
+      i += 3;
+      tokens.push_back(tok);
+    };
+
+    switch (c) {
+      case '(':
+        push1(Tok::kLParen);
+        break;
+      case ')':
+        push1(Tok::kRParen);
+        break;
+      case '{':
+        push1(Tok::kLBrace);
+        break;
+      case '}':
+        push1(Tok::kRBrace);
+        break;
+      case '[':
+        push1(Tok::kLBracket);
+        break;
+      case ']':
+        push1(Tok::kRBracket);
+        break;
+      case ';':
+        push1(Tok::kSemi);
+        break;
+      case ',':
+        push1(Tok::kComma);
+        break;
+      case ':':
+        push1(Tok::kColon);
+        break;
+      case '?':
+        push1(Tok::kQuestion);
+        break;
+      case '~':
+        push1(Tok::kTilde);
+        break;
+      case '+':
+        if (two('+')) {
+          push2(Tok::kPlusPlus);
+        } else if (two('=')) {
+          push2(Tok::kPlusEq);
+        } else {
+          push1(Tok::kPlus);
+        }
+        break;
+      case '-':
+        if (two('-')) {
+          push2(Tok::kMinusMinus);
+        } else if (two('=')) {
+          push2(Tok::kMinusEq);
+        } else if (two('>')) {
+          push2(Tok::kArrow);
+        } else {
+          push1(Tok::kMinus);
+        }
+        break;
+      case '*':
+        two('=') ? push2(Tok::kStarEq) : push1(Tok::kStar);
+        break;
+      case '/':
+        two('=') ? push2(Tok::kSlashEq) : push1(Tok::kSlash);
+        break;
+      case '%':
+        two('=') ? push2(Tok::kPercentEq) : push1(Tok::kPercent);
+        break;
+      case '&':
+        if (two('&')) {
+          push2(Tok::kAmpAmp);
+        } else if (two('=')) {
+          push2(Tok::kAmpEq);
+        } else {
+          push1(Tok::kAmp);
+        }
+        break;
+      case '|':
+        if (two('|')) {
+          push2(Tok::kPipePipe);
+        } else if (two('=')) {
+          push2(Tok::kPipeEq);
+        } else {
+          push1(Tok::kPipe);
+        }
+        break;
+      case '^':
+        two('=') ? push2(Tok::kCaretEq) : push1(Tok::kCaret);
+        break;
+      case '!':
+        two('=') ? push2(Tok::kBangEq) : push1(Tok::kBang);
+        break;
+      case '=':
+        two('=') ? push2(Tok::kEqEq) : push1(Tok::kAssign);
+        break;
+      case '.':
+        push1(Tok::kDot);
+        break;
+      case '<':
+        if (two('<')) {
+          if (i + 2 < source.size() && source[i + 2] == '=') {
+            push3(Tok::kShlEq);
+          } else {
+            push2(Tok::kShl);
+          }
+        } else if (two('=')) {
+          push2(Tok::kLessEq);
+        } else {
+          push1(Tok::kLess);
+        }
+        break;
+      case '>':
+        if (two('>')) {
+          if (i + 2 < source.size() && source[i + 2] == '=') {
+            push3(Tok::kShrEq);
+          } else {
+            push2(Tok::kShr);
+          }
+        } else if (two('=')) {
+          push2(Tok::kGreaterEq);
+        } else {
+          push1(Tok::kGreater);
+        }
+        break;
+      default:
+        return error(StrCat("unexpected character '", std::string(1, c), "'"));
+    }
+  }
+
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.line = line;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace polynima::cc

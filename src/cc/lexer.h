@@ -1,0 +1,100 @@
+// Lexer for the mcc mini-C dialect (the stand-in for gcc-8 that produces the
+// evaluation's input binaries; see DESIGN.md §1).
+#ifndef POLYNIMA_CC_LEXER_H_
+#define POLYNIMA_CC_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace polynima::cc {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdent,
+  kNumber,
+  kString,
+  kCharLit,
+  // keywords
+  kInt,
+  kLong,
+  kChar,
+  kVoid,
+  kStruct,
+  kIf,
+  kElse,
+  kWhile,
+  kFor,
+  kDo,
+  kBreak,
+  kContinue,
+  kReturn,
+  kSwitch,
+  kCase,
+  kDefault,
+  kExtern,
+  kSizeof,
+  kStatic,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemi,
+  kComma,
+  kColon,
+  kQuestion,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kLess,
+  kGreater,
+  kLessEq,
+  kGreaterEq,
+  kEqEq,
+  kBangEq,
+  kAmpAmp,
+  kPipePipe,
+  kShl,
+  kShr,
+  kPlusEq,
+  kMinusEq,
+  kStarEq,
+  kSlashEq,
+  kPercentEq,
+  kAmpEq,
+  kPipeEq,
+  kCaretEq,
+  kShlEq,
+  kShrEq,
+  kPlusPlus,
+  kMinusMinus,
+  kArrow,
+  kDot,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;     // identifier / string contents
+  int64_t number = 0;   // kNumber / kCharLit value
+  int line = 0;
+};
+
+// Tokenizes the whole source. Comments (// and /* */) are skipped.
+Expected<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace polynima::cc
+
+#endif  // POLYNIMA_CC_LEXER_H_

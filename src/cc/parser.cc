@@ -1,0 +1,802 @@
+#include "src/cc/parser.h"
+
+#include "src/support/check.h"
+#include "src/support/strings.h"
+
+namespace polynima::cc {
+namespace {
+
+ExprPtr NewExpr(ExprKind kind, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->line = line;
+  return e;
+}
+
+StmtPtr NewStmt(StmtKind kind, int line) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->line = line;
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)), types_(std::make_shared<TypeTable>()) {}
+
+  Expected<Program> Run() {
+    Program program;
+    program.types = types_;
+    while (!At(Tok::kEof)) {
+      if (!error_.ok()) {
+        return error_;
+      }
+      ParseTopLevel(program);
+    }
+    if (!error_.ok()) {
+      return error_;
+    }
+    return program;
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(Tok k) const { return Peek().kind == k; }
+  Token Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Accept(Tok k) {
+    if (At(k)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Token Expect(Tok k, const char* what) {
+    if (!At(k)) {
+      Error(StrCat("expected ", what));
+      return Peek();
+    }
+    return Advance();
+  }
+  void Error(const std::string& message) {
+    if (error_.ok()) {
+      error_ = Status::InvalidArgument(
+          StrCat("parse error line ", Peek().line, ": ", message));
+    }
+    // Skip to EOF so parsing terminates.
+    pos_ = tokens_.size() - 1;
+  }
+
+  bool AtTypeStart() const {
+    switch (Peek().kind) {
+      case Tok::kInt:
+      case Tok::kLong:
+      case Tok::kChar:
+      case Tok::kVoid:
+      case Tok::kStruct:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // Parses a type specifier (no declarator): int/long/char/void/struct NAME
+  // plus leading '*'s are handled by ParseDeclarator.
+  const Type* ParseTypeSpec() {
+    switch (Peek().kind) {
+      case Tok::kInt:
+        Advance();
+        return types_->Int();
+      case Tok::kLong:
+        Advance();
+        return types_->Long();
+      case Tok::kChar:
+        Advance();
+        return types_->Char();
+      case Tok::kVoid:
+        Advance();
+        return types_->Void();
+      case Tok::kStruct: {
+        Advance();
+        Token name = Expect(Tok::kIdent, "struct name");
+        return types_->StructByName(name.text);
+      }
+      default:
+        Error("expected type");
+        return types_->Void();
+    }
+  }
+
+  // Parses '*'* and either NAME ('[' N ']')* or the function-pointer form
+  // '(' '*' NAME ')' '(' params ')'.
+  const Type* ParseDeclarator(const Type* base, std::string& name_out) {
+    while (Accept(Tok::kStar)) {
+      base = types_->PointerTo(base);
+    }
+    if (Accept(Tok::kLParen)) {
+      Expect(Tok::kStar, "'*' in function pointer declarator");
+      name_out = Expect(Tok::kIdent, "name").text;
+      // Optional array dimension: `T (*name[N])(params)`.
+      int64_t array_len = -1;
+      if (Accept(Tok::kLBracket)) {
+        array_len = Expect(Tok::kNumber, "array length").number;
+        Expect(Tok::kRBracket, "']'");
+      }
+      Expect(Tok::kRParen, "')'");
+      Expect(Tok::kLParen, "'('");
+      std::vector<const Type*> params;
+      if (!At(Tok::kRParen)) {
+        do {
+          const Type* pt = ParseTypeSpec();
+          std::string ignored;
+          pt = ParseAbstractPointer(pt, &ignored);
+          params.push_back(pt);
+        } while (Accept(Tok::kComma));
+      }
+      Expect(Tok::kRParen, "')'");
+      const Type* fp =
+          types_->PointerTo(types_->FunctionOf(base, std::move(params)));
+      return array_len >= 0 ? types_->ArrayOf(fp, array_len) : fp;
+    }
+    name_out = Expect(Tok::kIdent, "name").text;
+    // Array dimensions (outer to inner).
+    std::vector<int64_t> dims;
+    while (Accept(Tok::kLBracket)) {
+      Token n = Expect(Tok::kNumber, "array length");
+      dims.push_back(n.number);
+      Expect(Tok::kRBracket, "']'");
+    }
+    for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+      base = types_->ArrayOf(base, *it);
+    }
+    return base;
+  }
+
+  // Pointer declarator with optional name (parameter lists, casts, sizeof).
+  // Supports the abstract function-pointer form `T (*)(params)`.
+  const Type* ParseAbstractPointer(const Type* base, std::string* name_out) {
+    while (Accept(Tok::kStar)) {
+      base = types_->PointerTo(base);
+    }
+    if (At(Tok::kLParen) && Peek(1).kind == Tok::kStar) {
+      Advance();
+      Expect(Tok::kStar, "'*'");
+      Expect(Tok::kRParen, "')'");
+      Expect(Tok::kLParen, "'('");
+      std::vector<const Type*> params;
+      if (!At(Tok::kRParen)) {
+        do {
+          const Type* pt = ParseTypeSpec();
+          std::string ignored;
+          pt = ParseAbstractPointer(pt, &ignored);
+          params.push_back(pt);
+        } while (Accept(Tok::kComma));
+      }
+      Expect(Tok::kRParen, "')'");
+      return types_->PointerTo(types_->FunctionOf(base, std::move(params)));
+    }
+    if (At(Tok::kIdent)) {
+      *name_out = Advance().text;
+    }
+    return base;
+  }
+
+  void ParseTopLevel(Program& program) {
+    bool is_extern = Accept(Tok::kExtern);
+    Accept(Tok::kStatic);  // accepted and ignored (single TU)
+
+    if (At(Tok::kStruct) && Peek(1).kind == Tok::kIdent &&
+        Peek(2).kind == Tok::kLBrace) {
+      ParseStructDef();
+      return;
+    }
+
+    const Type* base = ParseTypeSpec();
+    std::string name;
+    const Type* type = ParseDeclarator(base, name);
+
+    if (At(Tok::kLParen)) {
+      ParseFunction(program, type, name, is_extern);
+      return;
+    }
+    // Global variable(s).
+    ParseGlobalRest(program, type, name);
+    while (Accept(Tok::kComma)) {
+      std::string next_name;
+      const Type* next_type = ParseDeclarator(base, next_name);
+      ParseGlobalRest(program, next_type, next_name);
+    }
+    Expect(Tok::kSemi, "';'");
+  }
+
+  void ParseStructDef() {
+    Expect(Tok::kStruct, "'struct'");
+    Token name = Expect(Tok::kIdent, "struct name");
+    Expect(Tok::kLBrace, "'{'");
+    StructInfo* info = types_->MutableStructInfo(name.text);
+    int64_t offset = 0;
+    int64_t max_align = 1;
+    while (!At(Tok::kRBrace) && !At(Tok::kEof)) {
+      const Type* base = ParseTypeSpec();
+      do {
+        std::string field_name;
+        const Type* ft = ParseDeclarator(base, field_name);
+        int64_t align = ft->Align();
+        offset = (offset + align - 1) / align * align;
+        info->fields.push_back({field_name, ft, offset});
+        offset += ft->Size();
+        max_align = std::max(max_align, align);
+      } while (Accept(Tok::kComma));
+      Expect(Tok::kSemi, "';'");
+    }
+    Expect(Tok::kRBrace, "'}'");
+    Expect(Tok::kSemi, "';'");
+    info->align = max_align;
+    info->size = (offset + max_align - 1) / max_align * max_align;
+  }
+
+  void ParseGlobalRest(Program& program, const Type* type,
+                       const std::string& name) {
+    GlobalVar g;
+    g.name = name;
+    g.type = type;
+    if (Accept(Tok::kAssign)) {
+      g.has_init = true;
+      if (At(Tok::kString)) {
+        g.init_is_string = true;
+        g.init_string = Advance().text;
+      } else if (Accept(Tok::kLBrace)) {
+        while (!At(Tok::kRBrace) && !At(Tok::kEof)) {
+          g.init_values.push_back(ParseConstant());
+          if (!Accept(Tok::kComma)) {
+            break;
+          }
+        }
+        Expect(Tok::kRBrace, "'}'");
+      } else {
+        g.init_values.push_back(ParseConstant());
+      }
+    }
+    program.globals.push_back(std::move(g));
+  }
+
+  int64_t ParseConstant() {
+    bool neg = Accept(Tok::kMinus);
+    if (At(Tok::kNumber) || At(Tok::kCharLit)) {
+      int64_t v = Advance().number;
+      return neg ? -v : v;
+    }
+    Error("expected constant");
+    return 0;
+  }
+
+  void ParseFunction(Program& program, const Type* ret, const std::string& name,
+                     bool is_extern) {
+    Func fn;
+    fn.name = name;
+    fn.ret = ret;
+    fn.is_extern = is_extern;
+    fn.line = Peek().line;
+    Expect(Tok::kLParen, "'('");
+    if (!At(Tok::kRParen)) {
+      if (At(Tok::kVoid) && Peek(1).kind == Tok::kRParen) {
+        Advance();
+      } else {
+        do {
+          const Type* base = ParseTypeSpec();
+          std::string pname;
+          const Type* pt = ParseParamDeclarator(base, pname);
+          fn.params.push_back({pt, pname});
+        } while (Accept(Tok::kComma));
+      }
+    }
+    Expect(Tok::kRParen, "')'");
+    if (Accept(Tok::kSemi)) {
+      fn.is_extern = true;  // declaration only
+      program.funcs.push_back(std::move(fn));
+      return;
+    }
+    fn.body = ParseBlock();
+    program.funcs.push_back(std::move(fn));
+  }
+
+  // Parameter declarator: pointers, optional name, optional fn-ptr form,
+  // arrays decay to pointers.
+  const Type* ParseParamDeclarator(const Type* base, std::string& name_out) {
+    while (Accept(Tok::kStar)) {
+      base = types_->PointerTo(base);
+    }
+    if (Accept(Tok::kLParen)) {
+      Expect(Tok::kStar, "'*'");
+      if (At(Tok::kIdent)) {
+        name_out = Advance().text;
+      }
+      Expect(Tok::kRParen, "')'");
+      Expect(Tok::kLParen, "'('");
+      std::vector<const Type*> params;
+      if (!At(Tok::kRParen)) {
+        do {
+          const Type* pt = ParseTypeSpec();
+          std::string ignored;
+          pt = ParseAbstractPointer(pt, &ignored);
+          params.push_back(pt);
+        } while (Accept(Tok::kComma));
+      }
+      Expect(Tok::kRParen, "')'");
+      return types_->PointerTo(types_->FunctionOf(base, std::move(params)));
+    }
+    if (At(Tok::kIdent)) {
+      name_out = Advance().text;
+    }
+    if (Accept(Tok::kLBracket)) {  // T name[] decays to T*
+      Accept(Tok::kNumber);
+      Expect(Tok::kRBracket, "']'");
+      base = types_->PointerTo(base);
+    }
+    return base;
+  }
+
+  // --- statements ---
+
+  StmtPtr ParseBlock() {
+    int line = Peek().line;
+    Expect(Tok::kLBrace, "'{'");
+    auto block = NewStmt(StmtKind::kBlock, line);
+    while (!At(Tok::kRBrace) && !At(Tok::kEof)) {
+      block->stmts.push_back(ParseStatement());
+    }
+    Expect(Tok::kRBrace, "'}'");
+    return block;
+  }
+
+  StmtPtr ParseStatement() {
+    int line = Peek().line;
+    switch (Peek().kind) {
+      case Tok::kLBrace:
+        return ParseBlock();
+      case Tok::kSemi:
+        Advance();
+        return NewStmt(StmtKind::kEmpty, line);
+      case Tok::kIf: {
+        Advance();
+        auto s = NewStmt(StmtKind::kIf, line);
+        Expect(Tok::kLParen, "'('");
+        s->cond = ParseExpr();
+        Expect(Tok::kRParen, "')'");
+        s->then_stmt = ParseStatement();
+        if (Accept(Tok::kElse)) {
+          s->else_stmt = ParseStatement();
+        }
+        return s;
+      }
+      case Tok::kWhile: {
+        Advance();
+        auto s = NewStmt(StmtKind::kWhile, line);
+        Expect(Tok::kLParen, "'('");
+        s->cond = ParseExpr();
+        Expect(Tok::kRParen, "')'");
+        s->body = ParseStatement();
+        return s;
+      }
+      case Tok::kDo: {
+        Advance();
+        auto s = NewStmt(StmtKind::kDoWhile, line);
+        s->body = ParseStatement();
+        Expect(Tok::kWhile, "'while'");
+        Expect(Tok::kLParen, "'('");
+        s->cond = ParseExpr();
+        Expect(Tok::kRParen, "')'");
+        Expect(Tok::kSemi, "';'");
+        return s;
+      }
+      case Tok::kFor: {
+        Advance();
+        auto s = NewStmt(StmtKind::kFor, line);
+        Expect(Tok::kLParen, "'('");
+        if (!At(Tok::kSemi)) {
+          if (AtTypeStart()) {
+            s->init = ParseDeclStatement();
+          } else {
+            auto e = NewStmt(StmtKind::kExpr, line);
+            e->expr = ParseExpr();
+            s->init = std::move(e);
+            Expect(Tok::kSemi, "';'");
+          }
+        } else {
+          Advance();
+        }
+        if (!At(Tok::kSemi)) {
+          s->cond = ParseExpr();
+        }
+        Expect(Tok::kSemi, "';'");
+        if (!At(Tok::kRParen)) {
+          s->inc = ParseExpr();
+        }
+        Expect(Tok::kRParen, "')'");
+        s->body = ParseStatement();
+        return s;
+      }
+      case Tok::kBreak:
+        Advance();
+        Expect(Tok::kSemi, "';'");
+        return NewStmt(StmtKind::kBreak, line);
+      case Tok::kContinue:
+        Advance();
+        Expect(Tok::kSemi, "';'");
+        return NewStmt(StmtKind::kContinue, line);
+      case Tok::kReturn: {
+        Advance();
+        auto s = NewStmt(StmtKind::kReturn, line);
+        if (!At(Tok::kSemi)) {
+          s->expr = ParseExpr();
+        }
+        Expect(Tok::kSemi, "';'");
+        return s;
+      }
+      case Tok::kSwitch: {
+        Advance();
+        auto s = NewStmt(StmtKind::kSwitch, line);
+        Expect(Tok::kLParen, "'('");
+        s->expr = ParseExpr();
+        Expect(Tok::kRParen, "')'");
+        s->body = ParseBlock();
+        return s;
+      }
+      case Tok::kCase: {
+        Advance();
+        auto s = NewStmt(StmtKind::kCase, line);
+        s->case_value = ParseConstant();
+        Expect(Tok::kColon, "':'");
+        return s;
+      }
+      case Tok::kDefault: {
+        Advance();
+        Expect(Tok::kColon, "':'");
+        return NewStmt(StmtKind::kDefault, line);
+      }
+      default:
+        if (AtTypeStart()) {
+          return ParseDeclStatement();
+        }
+        {
+          auto s = NewStmt(StmtKind::kExpr, line);
+          s->expr = ParseExpr();
+          Expect(Tok::kSemi, "';'");
+          return s;
+        }
+    }
+  }
+
+  // Local declaration: `type declarator (= init)? (, declarator (= init)?)* ;`
+  // Multi-declarator lines become a block of kDecl statements.
+  StmtPtr ParseDeclStatement() {
+    int line = Peek().line;
+    const Type* base = ParseTypeSpec();
+    std::vector<StmtPtr> decls;
+    do {
+      auto s = NewStmt(StmtKind::kDecl, line);
+      std::string name;
+      s->decl_type = ParseDeclarator(base, name);
+      s->decl_name = name;
+      if (Accept(Tok::kAssign)) {
+        s->decl_init = ParseAssignment();
+      }
+      decls.push_back(std::move(s));
+    } while (Accept(Tok::kComma));
+    Expect(Tok::kSemi, "';'");
+    if (decls.size() == 1) {
+      return std::move(decls[0]);
+    }
+    auto block = NewStmt(StmtKind::kBlock, line);
+    block->stmts = std::move(decls);
+    block->transparent = true;  // the declarations join the enclosing scope
+    return block;
+  }
+
+  // --- expressions (precedence climbing) ---
+
+  ExprPtr ParseExpr() { return ParseAssignment(); }
+
+  ExprPtr ParseAssignment() {
+    ExprPtr lhs = ParseConditional();
+    int line = Peek().line;
+    Tok k = Peek().kind;
+    switch (k) {
+      case Tok::kAssign: {
+        Advance();
+        auto e = NewExpr(ExprKind::kAssign, line);
+        e->a = std::move(lhs);
+        e->b = ParseAssignment();
+        return e;
+      }
+      case Tok::kPlusEq:
+      case Tok::kMinusEq:
+      case Tok::kStarEq:
+      case Tok::kSlashEq:
+      case Tok::kPercentEq:
+      case Tok::kAmpEq:
+      case Tok::kPipeEq:
+      case Tok::kCaretEq:
+      case Tok::kShlEq:
+      case Tok::kShrEq: {
+        Advance();
+        auto e = NewExpr(ExprKind::kCompound, line);
+        switch (k) {
+          case Tok::kPlusEq:
+            e->op = Tok::kPlus;
+            break;
+          case Tok::kMinusEq:
+            e->op = Tok::kMinus;
+            break;
+          case Tok::kStarEq:
+            e->op = Tok::kStar;
+            break;
+          case Tok::kSlashEq:
+            e->op = Tok::kSlash;
+            break;
+          case Tok::kPercentEq:
+            e->op = Tok::kPercent;
+            break;
+          case Tok::kAmpEq:
+            e->op = Tok::kAmp;
+            break;
+          case Tok::kPipeEq:
+            e->op = Tok::kPipe;
+            break;
+          case Tok::kCaretEq:
+            e->op = Tok::kCaret;
+            break;
+          case Tok::kShlEq:
+            e->op = Tok::kShl;
+            break;
+          default:
+            e->op = Tok::kShr;
+            break;
+        }
+        e->a = std::move(lhs);
+        e->b = ParseAssignment();
+        return e;
+      }
+      default:
+        return lhs;
+    }
+  }
+
+  ExprPtr ParseConditional() {
+    ExprPtr cond = ParseBinary(0);
+    if (At(Tok::kQuestion)) {
+      int line = Advance().line;
+      auto e = NewExpr(ExprKind::kCond, line);
+      e->a = std::move(cond);
+      e->b = ParseExpr();
+      Expect(Tok::kColon, "':'");
+      e->c = ParseConditional();
+      return e;
+    }
+    return cond;
+  }
+
+  static int Precedence(Tok k) {
+    switch (k) {
+      case Tok::kPipePipe:
+        return 1;
+      case Tok::kAmpAmp:
+        return 2;
+      case Tok::kPipe:
+        return 3;
+      case Tok::kCaret:
+        return 4;
+      case Tok::kAmp:
+        return 5;
+      case Tok::kEqEq:
+      case Tok::kBangEq:
+        return 6;
+      case Tok::kLess:
+      case Tok::kLessEq:
+      case Tok::kGreater:
+      case Tok::kGreaterEq:
+        return 7;
+      case Tok::kShl:
+      case Tok::kShr:
+        return 8;
+      case Tok::kPlus:
+      case Tok::kMinus:
+        return 9;
+      case Tok::kStar:
+      case Tok::kSlash:
+      case Tok::kPercent:
+        return 10;
+      default:
+        return -1;
+    }
+  }
+
+  ExprPtr ParseBinary(int min_prec) {
+    ExprPtr lhs = ParseUnary();
+    while (true) {
+      Tok k = Peek().kind;
+      int prec = Precedence(k);
+      if (prec < min_prec || prec < 0) {
+        return lhs;
+      }
+      int line = Advance().line;
+      ExprPtr rhs = ParseBinary(prec + 1);
+      auto e = NewExpr(ExprKind::kBinary, line);
+      e->op = k;
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr ParseUnary() {
+    int line = Peek().line;
+    switch (Peek().kind) {
+      case Tok::kMinus:
+      case Tok::kBang:
+      case Tok::kTilde:
+      case Tok::kStar:
+      case Tok::kAmp: {
+        Tok op = Advance().kind;
+        auto e = NewExpr(ExprKind::kUnary, line);
+        e->op = op;
+        e->a = ParseUnary();
+        return e;
+      }
+      case Tok::kPlusPlus: {
+        Advance();
+        auto e = NewExpr(ExprKind::kPreInc, line);
+        e->a = ParseUnary();
+        return e;
+      }
+      case Tok::kMinusMinus: {
+        Advance();
+        auto e = NewExpr(ExprKind::kPreDec, line);
+        e->a = ParseUnary();
+        return e;
+      }
+      case Tok::kSizeof: {
+        Advance();
+        Expect(Tok::kLParen, "'('");
+        auto e = NewExpr(ExprKind::kSizeof, line);
+        const Type* base = ParseTypeSpec();
+        std::string ignored;
+        e->named_type = ParseAbstractPointer(base, &ignored);
+        Expect(Tok::kRParen, "')'");
+        return e;
+      }
+      case Tok::kLParen:
+        // Cast: '(' type ')' unary
+        if (IsTypeStartKind(Peek(1).kind)) {
+          Advance();
+          auto e = NewExpr(ExprKind::kCast, line);
+          const Type* base = ParseTypeSpec();
+          std::string ignored;
+          e->named_type = ParseAbstractPointer(base, &ignored);
+          Expect(Tok::kRParen, "')'");
+          e->a = ParseUnary();
+          return e;
+        }
+        return ParsePostfix();
+      default:
+        return ParsePostfix();
+    }
+  }
+
+  static bool IsTypeStartKind(Tok k) {
+    return k == Tok::kInt || k == Tok::kLong || k == Tok::kChar ||
+           k == Tok::kVoid || k == Tok::kStruct;
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr e = ParsePrimary();
+    while (true) {
+      int line = Peek().line;
+      switch (Peek().kind) {
+        case Tok::kLParen: {
+          Advance();
+          auto call = NewExpr(ExprKind::kCall, line);
+          call->a = std::move(e);
+          if (!At(Tok::kRParen)) {
+            do {
+              call->args.push_back(ParseAssignment());
+            } while (Accept(Tok::kComma));
+          }
+          Expect(Tok::kRParen, "')'");
+          e = std::move(call);
+          break;
+        }
+        case Tok::kLBracket: {
+          Advance();
+          auto idx = NewExpr(ExprKind::kIndex, line);
+          idx->a = std::move(e);
+          idx->b = ParseExpr();
+          Expect(Tok::kRBracket, "']'");
+          e = std::move(idx);
+          break;
+        }
+        case Tok::kDot: {
+          Advance();
+          auto m = NewExpr(ExprKind::kMember, line);
+          m->a = std::move(e);
+          m->text = Expect(Tok::kIdent, "field name").text;
+          e = std::move(m);
+          break;
+        }
+        case Tok::kArrow: {
+          Advance();
+          auto m = NewExpr(ExprKind::kArrow, line);
+          m->a = std::move(e);
+          m->text = Expect(Tok::kIdent, "field name").text;
+          e = std::move(m);
+          break;
+        }
+        case Tok::kPlusPlus: {
+          Advance();
+          auto p = NewExpr(ExprKind::kPostInc, line);
+          p->a = std::move(e);
+          e = std::move(p);
+          break;
+        }
+        case Tok::kMinusMinus: {
+          Advance();
+          auto p = NewExpr(ExprKind::kPostDec, line);
+          p->a = std::move(e);
+          e = std::move(p);
+          break;
+        }
+        default:
+          return e;
+      }
+    }
+  }
+
+  ExprPtr ParsePrimary() {
+    int line = Peek().line;
+    switch (Peek().kind) {
+      case Tok::kNumber:
+      case Tok::kCharLit: {
+        auto e = NewExpr(ExprKind::kNumber, line);
+        e->number = Advance().number;
+        return e;
+      }
+      case Tok::kString: {
+        auto e = NewExpr(ExprKind::kString, line);
+        e->text = Advance().text;
+        return e;
+      }
+      case Tok::kIdent: {
+        auto e = NewExpr(ExprKind::kIdent, line);
+        e->text = Advance().text;
+        return e;
+      }
+      case Tok::kLParen: {
+        Advance();
+        ExprPtr e = ParseExpr();
+        Expect(Tok::kRParen, "')'");
+        return e;
+      }
+      default:
+        Error("expected expression");
+        return NewExpr(ExprKind::kNumber, line);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::shared_ptr<TypeTable> types_;
+  Status error_;
+};
+
+}  // namespace
+
+Expected<Program> Parse(const std::string& source) {
+  POLY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace polynima::cc

@@ -1,0 +1,24 @@
+// Parser for the mcc dialect.
+#ifndef POLYNIMA_CC_PARSER_H_
+#define POLYNIMA_CC_PARSER_H_
+
+#include <string>
+
+#include "src/cc/ast.h"
+#include "src/support/status.h"
+
+namespace polynima::cc {
+
+// Parses a translation unit. Grammar summary (C-like):
+//   program    := (struct-def | extern-decl | global-var | function)*
+//   type       := (int|long|char|void|struct NAME) '*'*
+//   function   := type NAME '(' params ')' (block | ';')
+//   statements := if/else, while, do-while, for, switch/case/default,
+//                 break, continue, return, blocks, declarations, expressions
+//   expressions: full C operator set except comma operator; function
+//                pointers via `type (*name)(params)` declarators.
+Expected<Program> Parse(const std::string& source);
+
+}  // namespace polynima::cc
+
+#endif  // POLYNIMA_CC_PARSER_H_

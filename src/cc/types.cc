@@ -1,0 +1,162 @@
+#include "src/cc/types.h"
+
+#include "src/support/check.h"
+#include "src/support/strings.h"
+
+namespace polynima::cc {
+
+const StructField* StructInfo::FindField(const std::string& field_name) const {
+  for (const StructField& f : fields) {
+    if (f.name == field_name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+int64_t Type::Size() const {
+  switch (kind) {
+    case TypeKind::kVoid:
+      return 0;
+    case TypeKind::kChar:
+      return 1;
+    case TypeKind::kInt:
+      return 4;
+    case TypeKind::kLong:
+    case TypeKind::kPtr:
+      return 8;
+    case TypeKind::kArray:
+      return pointee->Size() * array_len;
+    case TypeKind::kStruct:
+      return struct_info->size;
+    case TypeKind::kFunc:
+      return 0;
+  }
+  return 0;
+}
+
+int64_t Type::Align() const {
+  switch (kind) {
+    case TypeKind::kArray:
+      return pointee->Align();
+    case TypeKind::kStruct:
+      return struct_info->align;
+    default:
+      return Size() == 0 ? 1 : Size();
+  }
+}
+
+int Type::OperandSize() const {
+  switch (kind) {
+    case TypeKind::kChar:
+      return 1;
+    case TypeKind::kInt:
+      return 4;
+    default:
+      return 8;
+  }
+}
+
+std::string Type::ToString() const {
+  switch (kind) {
+    case TypeKind::kVoid:
+      return "void";
+    case TypeKind::kChar:
+      return "char";
+    case TypeKind::kInt:
+      return "int";
+    case TypeKind::kLong:
+      return "long";
+    case TypeKind::kPtr:
+      return pointee->ToString() + "*";
+    case TypeKind::kArray:
+      return StrCat(pointee->ToString(), "[", array_len, "]");
+    case TypeKind::kStruct:
+      return "struct " + struct_info->name;
+    case TypeKind::kFunc: {
+      std::string s = ret->ToString() + "(";
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (i > 0) {
+          s += ", ";
+        }
+        s += params[i]->ToString();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+TypeTable::TypeTable() {
+  auto make = [this](TypeKind k) {
+    Type* t = NewType();
+    t->kind = k;
+    return t;
+  };
+  void_ = make(TypeKind::kVoid);
+  char_ = make(TypeKind::kChar);
+  int_ = make(TypeKind::kInt);
+  long_ = make(TypeKind::kLong);
+}
+
+Type* TypeTable::NewType() {
+  storage_.emplace_back();
+  return &storage_.back();
+}
+
+const Type* TypeTable::PointerTo(const Type* pointee) {
+  auto it = pointer_cache_.find(pointee);
+  if (it != pointer_cache_.end()) {
+    return it->second;
+  }
+  Type* t = NewType();
+  t->kind = TypeKind::kPtr;
+  t->pointee = pointee;
+  pointer_cache_[pointee] = t;
+  return t;
+}
+
+const Type* TypeTable::ArrayOf(const Type* element, int64_t len) {
+  auto key = std::make_pair(element, len);
+  auto it = array_cache_.find(key);
+  if (it != array_cache_.end()) {
+    return it->second;
+  }
+  Type* t = NewType();
+  t->kind = TypeKind::kArray;
+  t->pointee = element;
+  t->array_len = len;
+  array_cache_[key] = t;
+  return t;
+}
+
+const Type* TypeTable::FunctionOf(const Type* ret,
+                                  std::vector<const Type*> params) {
+  // Function types are not interned (comparison is never by identity).
+  Type* t = NewType();
+  t->kind = TypeKind::kFunc;
+  t->ret = ret;
+  t->params = std::move(params);
+  return t;
+}
+
+const Type* TypeTable::StructByName(const std::string& name) {
+  auto it = struct_cache_.find(name);
+  if (it != struct_cache_.end()) {
+    return it->second;
+  }
+  struct_storage_.emplace_back();
+  struct_storage_.back().name = name;
+  Type* t = NewType();
+  t->kind = TypeKind::kStruct;
+  t->struct_info = &struct_storage_.back();
+  struct_cache_[name] = t;
+  return t;
+}
+
+StructInfo* TypeTable::MutableStructInfo(const std::string& name) {
+  const Type* t = StructByName(name);
+  return const_cast<StructInfo*>(t->struct_info);
+}
+
+}  // namespace polynima::cc

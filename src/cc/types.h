@@ -1,0 +1,104 @@
+// Type system for the mcc dialect: void, char (8-bit signed), int (32-bit),
+// long (64-bit), pointers, fixed arrays, structs (by pointer only) and
+// function types (through pointers). Types are interned in a TypeTable and
+// referenced by const pointer.
+#ifndef POLYNIMA_CC_TYPES_H_
+#define POLYNIMA_CC_TYPES_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace polynima::cc {
+
+enum class TypeKind : uint8_t {
+  kVoid,
+  kChar,
+  kInt,
+  kLong,
+  kPtr,
+  kArray,
+  kStruct,
+  kFunc,
+};
+
+struct Type;
+
+struct StructField {
+  std::string name;
+  const Type* type = nullptr;
+  int64_t offset = 0;
+};
+
+struct StructInfo {
+  std::string name;
+  std::vector<StructField> fields;
+  int64_t size = 0;
+  int64_t align = 1;
+
+  const StructField* FindField(const std::string& field_name) const;
+};
+
+struct Type {
+  TypeKind kind = TypeKind::kVoid;
+  const Type* pointee = nullptr;   // kPtr / kArray element
+  int64_t array_len = 0;           // kArray
+  const StructInfo* struct_info = nullptr;  // kStruct
+  const Type* ret = nullptr;                // kFunc
+  std::vector<const Type*> params;          // kFunc
+
+  bool IsInteger() const {
+    return kind == TypeKind::kChar || kind == TypeKind::kInt ||
+           kind == TypeKind::kLong;
+  }
+  bool IsPointerLike() const {
+    return kind == TypeKind::kPtr || kind == TypeKind::kArray;
+  }
+  bool IsScalar() const { return IsInteger() || kind == TypeKind::kPtr; }
+
+  // Storage size in bytes; arrays and structs have their full size.
+  int64_t Size() const;
+  int64_t Align() const;
+  // Operand size for loads/stores of this scalar (1, 4 or 8).
+  int OperandSize() const;
+
+  std::string ToString() const;
+};
+
+class TypeTable {
+ public:
+  TypeTable();
+
+  const Type* Void() const { return void_; }
+  const Type* Char() const { return char_; }
+  const Type* Int() const { return int_; }
+  const Type* Long() const { return long_; }
+
+  const Type* PointerTo(const Type* pointee);
+  const Type* ArrayOf(const Type* element, int64_t len);
+  const Type* FunctionOf(const Type* ret, std::vector<const Type*> params);
+
+  // Declares (or returns the existing) struct by name; fields may be filled
+  // in later via DefineStruct.
+  const Type* StructByName(const std::string& name);
+  StructInfo* MutableStructInfo(const std::string& name);
+
+ private:
+  Type* NewType();
+  std::deque<Type> storage_;
+  std::deque<StructInfo> struct_storage_;
+  const Type* void_;
+  const Type* char_;
+  const Type* int_;
+  const Type* long_;
+  std::map<const Type*, const Type*> pointer_cache_;
+  std::map<std::pair<const Type*, int64_t>, const Type*> array_cache_;
+  std::map<std::string, const Type*> struct_cache_;
+};
+
+}  // namespace polynima::cc
+
+#endif  // POLYNIMA_CC_TYPES_H_

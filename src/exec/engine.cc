@@ -1,0 +1,895 @@
+#include "src/exec/engine.h"
+
+#include <algorithm>
+
+#include "src/support/strings.h"
+#include "src/x86/registers.h"
+
+namespace polynima::exec {
+
+namespace x86 = ::polynima::x86;
+
+using binary::kCallbackReturnMagic;
+using binary::kProgramExitMagic;
+using binary::kThreadExitMagic;
+using ir::BasicBlock;
+using ir::Function;
+using ir::Global;
+using ir::Instruction;
+using ir::Op;
+using ir::Pred;
+using ir::RmwOp;
+using ir::Value;
+
+namespace {
+
+constexpr uint64_t kThreadStackSize = 1 << 20;
+
+uint64_t MaskBytes(uint64_t v, int size) {
+  if (size >= 8) {
+    return v;
+  }
+  return v & ((uint64_t{1} << (size * 8)) - 1);
+}
+
+uint64_t EvalPred(Pred pred, uint64_t a, uint64_t b) {
+  int64_t sa = static_cast<int64_t>(a);
+  int64_t sb = static_cast<int64_t>(b);
+  switch (pred) {
+    case Pred::kEq:
+      return a == b;
+    case Pred::kNe:
+      return a != b;
+    case Pred::kSlt:
+      return sa < sb;
+    case Pred::kSle:
+      return sa <= sb;
+    case Pred::kSgt:
+      return sa > sb;
+    case Pred::kSge:
+      return sa >= sb;
+    case Pred::kUlt:
+      return a < b;
+    case Pred::kUle:
+      return a <= b;
+    case Pred::kUgt:
+      return a > b;
+    case Pred::kUge:
+      return a >= b;
+  }
+  return 0;
+}
+
+uint64_t PackedLanes32(uint64_t a, uint64_t b, char op) {
+  uint32_t a0 = static_cast<uint32_t>(a), a1 = static_cast<uint32_t>(a >> 32);
+  uint32_t b0 = static_cast<uint32_t>(b), b1 = static_cast<uint32_t>(b >> 32);
+  uint32_t r0, r1;
+  switch (op) {
+    case '+':
+      r0 = a0 + b0;
+      r1 = a1 + b1;
+      break;
+    case '-':
+      r0 = a0 - b0;
+      r1 = a1 - b1;
+      break;
+    default:
+      r0 = a0 * b0;
+      r1 = a1 * b1;
+      break;
+  }
+  return static_cast<uint64_t>(r0) | (static_cast<uint64_t>(r1) << 32);
+}
+
+}  // namespace
+
+Engine::Engine(const lift::LiftedProgram& program, const binary::Image& image,
+               vm::ExternalLibrary* library, ExecOptions options)
+    : program_(program),
+      image_(image),
+      library_(library),
+      options_(options),
+      rng_(options.seed) {
+  for (const binary::Segment& seg : image_.segments) {
+    memory_.MapSegment(seg.address, seg.bytes, /*writable=*/!seg.executable);
+  }
+  memory_.AllowRegion(binary::kHeapBase, binary::kHeapLimit, true);
+  memory_.AllowRegion(binary::kStackRegionBase, binary::kStackRegionLimit,
+                      true);
+
+  shared_globals_.assign(
+      static_cast<size_t>(program_.module->num_global_slots()), 0);
+  // Cache virtual-register slots for marshaling.
+  for (int i = 0; i < x86::kNumGprs; ++i) {
+    Global* g = program_.module->GetGlobal(
+        "vr_" + x86::RegName(static_cast<x86::Reg>(i), 8));
+    POLY_CHECK(g != nullptr);
+    vr_slot_[i] = g->slot();
+    vr_tls_ = g->is_thread_local();
+  }
+}
+
+uint64_t& Engine::GlobalSlot(Thread& t, const Global* g) {
+  if (g->is_thread_local()) {
+    return t.tls[static_cast<size_t>(g->slot())];
+  }
+  return shared_globals_[static_cast<size_t>(g->slot())];
+}
+
+Engine::Thread& Engine::CreateThread(uint64_t entry_pc, uint64_t arg0,
+                                     uint64_t arg1, uint64_t exit_magic) {
+  auto thread = std::make_unique<Thread>();
+  thread->id = static_cast<int>(threads_.size());
+  thread->tls.assign(
+      static_cast<size_t>(program_.module->num_global_slots()), 0);
+  uint64_t low = binary::kStackRegionBase +
+                 static_cast<uint64_t>(thread->id) * kThreadStackSize;
+  POLY_CHECK_LT(low + kThreadStackSize, binary::kStackRegionLimit);
+  thread->estack_low = low;
+  thread->estack_high = low + kThreadStackSize;
+  uint64_t sp = thread->estack_high - 8;
+  memory_.Write(sp, 8, exit_magic);
+
+  auto vr = [&](int reg) -> uint64_t& {
+    if (vr_tls_) {
+      return thread->tls[static_cast<size_t>(vr_slot_[reg])];
+    }
+    return shared_globals_[static_cast<size_t>(vr_slot_[reg])];
+  };
+  vr(static_cast<int>(x86::Reg::kRsp)) = sp;
+  vr(static_cast<int>(x86::Reg::kRdi)) = arg0;
+  vr(static_cast<int>(x86::Reg::kRsi)) = arg1;
+
+  thread->pending_pc = entry_pc;
+  thread->exit_magic = exit_magic;
+  threads_.push_back(std::move(thread));
+  return *threads_.back();
+}
+
+void Engine::Fault(std::string message) {
+  if (!faulted_) {
+    faulted_ = true;
+    fault_message_ = std::move(message);
+  }
+}
+
+void Engine::RecordAccess(const Instruction* inst, Thread& t, uint64_t addr) {
+  if (!options_.record_accesses) {
+    return;
+  }
+  AccessRecord& rec = accesses_[inst];
+  if (addr >= t.estack_low && addr < t.estack_high) {
+    rec.stack_local = true;
+  } else {
+    rec.shared = true;
+  }
+  if (rec.addresses.size() < 4096) {
+    rec.addresses.insert(addr);
+  } else {
+    rec.overflow = true;
+  }
+}
+
+uint64_t Engine::Eval(const Frame& f, const Value* v) const {
+  switch (v->kind()) {
+    case Value::Kind::kConstant:
+      return static_cast<uint64_t>(static_cast<const ir::Constant*>(v)->value());
+    case Value::Kind::kInstruction: {
+      const auto* inst = static_cast<const Instruction*>(v);
+      POLY_CHECK_GE(inst->id, 0);
+      return f.values[static_cast<size_t>(inst->id)];
+    }
+    default:
+      POLY_UNREACHABLE("bad operand kind");
+  }
+}
+
+void Engine::ComputeAddressingOnly(const Function* fn) {
+  // Candidates: add/sub/shl-by-small-constant. Iteratively remove any whose
+  // user is not a memory-address position or another surviving candidate.
+  std::set<const Instruction*>& fold = addressing_only_[fn];
+  for (const auto& block : fn->blocks()) {
+    for (const auto& inst : block->insts()) {
+      if (inst->users().empty()) {
+        continue;
+      }
+      switch (inst->op()) {
+        case Op::kAdd:
+        case Op::kSub:
+          fold.insert(inst.get());
+          break;
+        case Op::kShl:
+          if (inst->operand(1)->is_const() &&
+              static_cast<const ir::Constant*>(inst->operand(1))->value() <=
+                  3) {
+            fold.insert(inst.get());
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = fold.begin(); it != fold.end();) {
+      bool ok = true;
+      for (const Instruction* user : (*it)->users()) {
+        bool address_use =
+            (user->op() == Op::kLoad && user->operand(0) == *it) ||
+            (user->op() == Op::kStore && user->operand(0) == *it) ||
+            fold.count(user) != 0;
+        if (!address_use) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        it = fold.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void Engine::PushFrame(Thread& t, Function* fn, bool dispatch_root) {
+  auto it = slot_counts_.find(fn);
+  if (it == slot_counts_.end()) {
+    it = slot_counts_.emplace(fn, fn->Renumber()).first;
+    ComputeAddressingOnly(fn);
+  }
+  Frame frame;
+  frame.fn = fn;
+  frame.values.assign(static_cast<size_t>(it->second), 0);
+  frame.block = fn->entry();
+  frame.it = frame.block->insts().begin();
+  frame.dispatch_root = dispatch_root;
+  frame.fold = &addressing_only_[fn];
+  t.stack.push_back(std::move(frame));
+}
+
+void Engine::EnterBlock(Frame& f, BasicBlock* target) {
+  // Two-phase phi evaluation (parallel copy semantics).
+  BasicBlock* from = f.block;
+  std::vector<std::pair<const Instruction*, uint64_t>> phi_values;
+  for (const auto& inst : target->insts()) {
+    if (inst->op() != Op::kPhi) {
+      break;
+    }
+    int idx = -1;
+    for (size_t i = 0; i < inst->phi_blocks.size(); ++i) {
+      if (inst->phi_blocks[i] == from) {
+        idx = static_cast<int>(i);
+        break;
+      }
+    }
+    POLY_CHECK_GE(idx, 0) << "phi missing incoming block";
+    phi_values.push_back({inst.get(), Eval(f, inst->operand(idx))});
+  }
+  for (const auto& [phi, value] : phi_values) {
+    f.values[static_cast<size_t>(phi->id)] = value;
+  }
+  f.prev_block = from;
+  f.block = target;
+  f.it = target->insts().begin();
+  // Skip the phi prefix (already materialized).
+  while (f.it != target->insts().end() && (*f.it)->op() == Op::kPhi) {
+    ++f.it;
+  }
+}
+
+bool Engine::DispatchPending(Thread& t) {
+  uint64_t pc = t.pending_pc;
+  if (pc == kThreadExitMagic || pc == kProgramExitMagic ||
+      pc == t.exit_magic) {
+    auto vr = [&](int reg) -> uint64_t {
+      if (vr_tls_) {
+        return t.tls[static_cast<size_t>(vr_slot_[reg])];
+      }
+      return shared_globals_[static_cast<size_t>(vr_slot_[reg])];
+    };
+    uint64_t rax = vr(static_cast<int>(x86::Reg::kRax));
+    if (pc == kProgramExitMagic) {
+      RequestExit(static_cast<int32_t>(rax));
+      t.finished = true;
+    } else {
+      t.finished = true;
+      t.retval = rax;
+    }
+    return true;
+  }
+  auto it = program_.functions_by_entry.find(pc);
+  if (it == program_.functions_by_entry.end()) {
+    miss_ = MissInfo{0, pc};
+    Fault(StrCat("control flow miss at dispatcher: ", HexString(pc)));
+    return false;
+  }
+  if (options_.record_callbacks) {
+    observed_callbacks_.insert(it->second->name());
+  }
+  PushFrame(t, it->second, /*dispatch_root=*/true);
+  t.clock += costs_.dispatch_entry;
+  return true;
+}
+
+bool Engine::Step(Thread& t) {
+  if (t.stack.empty()) {
+    return DispatchPending(t);
+  }
+  return StepInstruction(t);
+}
+
+bool Engine::StepInstruction(Thread& t) {
+  // Index, not reference: intrinsics (qsort callbacks) may push frames and
+  // reallocate the stack vector.
+  const size_t frame_index = t.stack.size() - 1;
+  Frame& f = t.stack.back();
+  POLY_CHECK(f.it != f.block->insts().end())
+      << "fell off block " << f.block->name();
+  const Instruction& inst = **f.it;
+  // Copy: `f` may dangle after a call pushes a frame (vector reallocation).
+  const std::set<const Instruction*>* fold = f.fold;
+  uint64_t cost = costs_.alu;
+  bool advance = true;
+
+  switch (inst.op()) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kSDiv:
+    case Op::kSRem:
+    case Op::kUDiv:
+    case Op::kURem:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kLShr:
+    case Op::kAShr: {
+      uint64_t a = Eval(f, inst.operand(0));
+      uint64_t b = Eval(f, inst.operand(1));
+      uint64_t r = 0;
+      switch (inst.op()) {
+        case Op::kAdd:
+          r = a + b;
+          break;
+        case Op::kSub:
+          r = a - b;
+          break;
+        case Op::kMul:
+          r = a * b;
+          cost += 2;
+          break;
+        case Op::kSDiv:
+        case Op::kSRem: {
+          if (b == 0) {
+            Fault("division by zero in lifted code");
+            return false;
+          }
+          int64_t sa = static_cast<int64_t>(a);
+          int64_t sb = static_cast<int64_t>(b);
+          if (sa == INT64_MIN && sb == -1) {
+            Fault("division overflow in lifted code");
+            return false;
+          }
+          r = static_cast<uint64_t>(inst.op() == Op::kSDiv ? sa / sb
+                                                           : sa % sb);
+          cost += 20;
+          break;
+        }
+        case Op::kUDiv:
+        case Op::kURem:
+          if (b == 0) {
+            Fault("division by zero in lifted code");
+            return false;
+          }
+          r = inst.op() == Op::kUDiv ? a / b : a % b;
+          cost += 20;
+          break;
+        case Op::kAnd:
+          r = a & b;
+          break;
+        case Op::kOr:
+          r = a | b;
+          break;
+        case Op::kXor:
+          r = a ^ b;
+          break;
+        case Op::kShl:
+          r = b >= 64 ? 0 : a << b;
+          break;
+        case Op::kLShr:
+          r = b >= 64 ? 0 : a >> b;
+          break;
+        case Op::kAShr:
+          r = static_cast<uint64_t>(
+              static_cast<int64_t>(a) >> (b >= 64 ? 63 : b));
+          break;
+        default:
+          POLY_UNREACHABLE("covered above");
+      }
+      f.values[static_cast<size_t>(inst.id)] = r;
+      break;
+    }
+
+    case Op::kICmp: {
+      uint64_t a = Eval(f, inst.operand(0));
+      uint64_t b = Eval(f, inst.operand(1));
+      f.values[static_cast<size_t>(inst.id)] = EvalPred(inst.pred, a, b);
+      break;
+    }
+
+    case Op::kSelect: {
+      uint64_t c = Eval(f, inst.operand(0));
+      f.values[static_cast<size_t>(inst.id)] =
+          c != 0 ? Eval(f, inst.operand(1)) : Eval(f, inst.operand(2));
+      break;
+    }
+
+    case Op::kSExt: {
+      uint64_t v = Eval(f, inst.operand(0));
+      int shift = 64 - inst.width;
+      f.values[static_cast<size_t>(inst.id)] = static_cast<uint64_t>(
+          (static_cast<int64_t>(v << shift)) >> shift);
+      break;
+    }
+
+    case Op::kLoad: {
+      uint64_t addr = Eval(f, inst.operand(0));
+      RecordAccess(&inst, t, addr);
+      f.values[static_cast<size_t>(inst.id)] = memory_.Read(addr, inst.size);
+      cost = costs_.mem_access;
+      break;
+    }
+    case Op::kStore: {
+      uint64_t addr = Eval(f, inst.operand(0));
+      RecordAccess(&inst, t, addr);
+      memory_.Write(addr, inst.size,
+                    MaskBytes(Eval(f, inst.operand(1)), inst.size));
+      cost = costs_.mem_access;
+      break;
+    }
+
+    case Op::kGlobalLoad:
+      f.values[static_cast<size_t>(inst.id)] = GlobalSlot(t, inst.global);
+      cost = costs_.global_access;
+      break;
+    case Op::kGlobalStore:
+      GlobalSlot(t, inst.global) = Eval(f, inst.operand(0));
+      cost = costs_.global_access;
+      break;
+
+    case Op::kBr: {
+      BasicBlock* target;
+      if (inst.num_operands() == 0) {
+        target = inst.targets[0];
+      } else {
+        target = Eval(f, inst.operand(0)) != 0 ? inst.targets[0]
+                                               : inst.targets[1];
+      }
+      EnterBlock(f, target);
+      advance = false;
+      cost = costs_.branch;
+      break;
+    }
+
+    case Op::kSwitch: {
+      uint64_t v = Eval(f, inst.operand(0));
+      BasicBlock* target = inst.targets[0];
+      for (size_t i = 0; i < inst.case_values.size(); ++i) {
+        if (static_cast<uint64_t>(inst.case_values[i]) == v) {
+          target = inst.targets[i + 1];
+          break;
+        }
+      }
+      EnterBlock(f, target);
+      advance = false;
+      // Dispatch cost grows with the target set (switch-on-PC, §3.2).
+      uint64_t n = inst.case_values.size();
+      cost = 2;
+      while (n > 1) {
+        n >>= 1;
+        ++cost;
+      }
+      break;
+    }
+
+    case Op::kRet: {
+      uint64_t value =
+          inst.num_operands() > 0 ? Eval(f, inst.operand(0)) : 0;
+      bool was_root = f.dispatch_root;
+      t.stack.pop_back();
+      cost = costs_.ret;
+      if (t.stack.empty() || was_root) {
+        t.pending_pc = value;
+        t.last_toplevel_pc = value;
+      } else {
+        Frame& caller = t.stack.back();
+        const Instruction& call_inst = **caller.it;
+        POLY_CHECK(call_inst.op() == Op::kCall);
+        if (call_inst.HasResult()) {
+          caller.values[static_cast<size_t>(call_inst.id)] = value;
+        }
+        ++caller.it;
+      }
+      advance = false;
+      break;
+    }
+
+    case Op::kUnreachable:
+      Fault(StrCat("unreachable executed in @", f.fn->name()));
+      return false;
+
+    case Op::kCall: {
+      if (inst.callee != nullptr) {
+        PushFrame(t, inst.callee, /*dispatch_root=*/false);
+        cost = costs_.call;
+        advance = false;  // the matching ret advances the caller
+        break;
+      }
+      if (!HandleIntrinsic(t, frame_index, inst)) {
+        return !faulted_ && miss_ == std::nullopt;
+      }
+      // HandleIntrinsic may request a retry (blocking external).
+      if (retry_pending_) {
+        retry_pending_ = false;
+        advance = false;
+      }
+      cost = 0;  // intrinsics charge their own cost
+      break;
+    }
+
+    case Op::kPhi:
+      // Materialized at block entry.
+      cost = costs_.phi;
+      break;
+
+    case Op::kFence:
+      cost = costs_.fence;
+      break;
+
+    case Op::kAtomicRmw: {
+      uint64_t addr = Eval(f, inst.operand(0));
+      uint64_t operand = Eval(f, inst.operand(1));
+      RecordAccess(&inst, t, addr);
+      uint64_t old = memory_.Read(addr, inst.size);
+      uint64_t r = old;
+      switch (inst.rmw_op) {
+        case RmwOp::kAdd:
+          r = old + operand;
+          break;
+        case RmwOp::kSub:
+          r = old - operand;
+          break;
+        case RmwOp::kAnd:
+          r = old & operand;
+          break;
+        case RmwOp::kOr:
+          r = old | operand;
+          break;
+        case RmwOp::kXor:
+          r = old ^ operand;
+          break;
+        case RmwOp::kXchg:
+          r = operand;
+          break;
+      }
+      memory_.Write(addr, inst.size, MaskBytes(r, inst.size));
+      f.values[static_cast<size_t>(inst.id)] = old;
+      cost = costs_.atomic;
+      break;
+    }
+
+    case Op::kCmpXchg: {
+      uint64_t addr = Eval(f, inst.operand(0));
+      uint64_t expected = MaskBytes(Eval(f, inst.operand(1)), inst.size);
+      uint64_t desired = Eval(f, inst.operand(2));
+      RecordAccess(&inst, t, addr);
+      uint64_t old = memory_.Read(addr, inst.size);
+      if (old == expected) {
+        memory_.Write(addr, inst.size, MaskBytes(desired, inst.size));
+      }
+      f.values[static_cast<size_t>(inst.id)] = old;
+      cost = costs_.atomic;
+      break;
+    }
+  }
+
+  // Address arithmetic feeding only memory operands is free: the native
+  // backend folds it into x86 addressing modes.
+  if (fold != nullptr && fold->count(&inst) != 0) {
+    cost = 0;
+  } else if (options_.cost_jitter) {
+    cost += rng_.Next() & 1;
+  }
+  t.clock += cost;
+  if (advance) {
+    ++t.stack[frame_index].it;
+  }
+  return true;
+}
+
+bool Engine::HandleIntrinsic(Thread& t, size_t frame_index,
+                             const Instruction& inst) {
+  const std::string& name = inst.intrinsic;
+  // Re-fetch the frame on every use: nested dispatch may reallocate.
+  auto frame = [&]() -> Frame& { return t.stack[frame_index]; };
+  auto set_result = [&](uint64_t v) {
+    if (inst.HasResult()) {
+      frame().values[static_cast<size_t>(inst.id)] = v;
+    }
+  };
+  Frame& f = frame();  // valid until a nested dispatch occurs
+
+  if (name == "ext_call") {
+    uint64_t slot = Eval(f, inst.operand(0));
+    if (slot >= program_.externals.size()) {
+      Fault(StrCat("ext_call to unmapped slot ", slot));
+      return false;
+    }
+    t.clock += costs_.ext_marshal;
+    vm::ExtResult result = library_->Call(program_.externals[slot], *this);
+    switch (result.status) {
+      case vm::ExtStatus::kDone:
+        set_result(0);
+        return true;
+      case vm::ExtStatus::kBlock:
+        retry_pending_ = true;
+        return true;
+      case vm::ExtStatus::kFault:
+        Fault(StrCat("external ", program_.externals[slot], ": ",
+                     result.fault_message));
+        return false;
+    }
+    return false;
+  }
+  if (name == "cfmiss") {
+    uint64_t target = Eval(f, inst.operand(0));
+    uint64_t transfer = Eval(f, inst.operand(1));
+    miss_ = MissInfo{transfer, target};
+    Fault(StrCat("control flow miss: ", HexString(transfer), " -> ",
+                 HexString(target)));
+    return false;
+  }
+  if (name == "trap") {
+    Fault(StrCat("lifted trap at ",
+                 HexString(Eval(f, inst.operand(0)))));
+    return false;
+  }
+  if (name == "parity") {
+    uint64_t v = Eval(f, inst.operand(0));
+    set_result((__builtin_popcountll(v & 0xff) % 2) == 0 ? 1 : 0);
+    t.clock += 1;
+    return true;
+  }
+  if (name == "pause") {
+    t.clock += 4;
+    set_result(0);
+    return true;
+  }
+  if (name == "helper_paddd" || name == "helper_psubd" ||
+      name == "helper_pmulld") {
+    uint64_t a = Eval(f, inst.operand(0));
+    uint64_t b = Eval(f, inst.operand(1));
+    char op = name == "helper_paddd" ? '+' : name == "helper_psubd" ? '-' : '*';
+    set_result(PackedLanes32(a, b, op));
+    t.clock += costs_.helper;
+    return true;
+  }
+  if (name == "simd_paddd" || name == "simd_psubd" || name == "simd_pmulld") {
+    // First-class SIMD translation (§5.3): lowers back to one packed
+    // instruction, so it costs like one.
+    uint64_t a = Eval(f, inst.operand(0));
+    uint64_t b = Eval(f, inst.operand(1));
+    char op = name == "simd_paddd" ? '+' : name == "simd_psubd" ? '-' : '*';
+    set_result(PackedLanes32(a, b, op));
+    t.clock += costs_.alu;
+    return true;
+  }
+  if (name == "helper_mulh") {
+    __int128 full = static_cast<__int128>(
+                        static_cast<int64_t>(Eval(f, inst.operand(0)))) *
+                    static_cast<__int128>(
+                        static_cast<int64_t>(Eval(f, inst.operand(1))));
+    set_result(static_cast<uint64_t>(full >> 64));
+    t.clock += costs_.helper;
+    return true;
+  }
+  if (name == "helper_sdiv128" || name == "helper_srem128") {
+    __int128 dividend =
+        (static_cast<__int128>(static_cast<int64_t>(Eval(f, inst.operand(0))))
+         << 64) |
+        static_cast<__int128>(Eval(f, inst.operand(1)));
+    int64_t divisor = static_cast<int64_t>(Eval(f, inst.operand(2)));
+    if (divisor == 0) {
+      Fault("division by zero in lifted code");
+      return false;
+    }
+    set_result(static_cast<uint64_t>(name == "helper_sdiv128"
+                                         ? dividend / divisor
+                                         : dividend % divisor));
+    t.clock += costs_.helper + 20;
+    return true;
+  }
+  if (name == "global_lock") {
+    if (global_lock_owner_ != -1 && global_lock_owner_ != t.id) {
+      retry_pending_ = true;
+      t.clock += 10;
+      return true;
+    }
+    global_lock_owner_ = t.id;
+    set_result(0);
+    t.clock += 8;
+    return true;
+  }
+  if (name == "global_unlock") {
+    global_lock_owner_ = -1;
+    set_result(0);
+    t.clock += 8;
+    return true;
+  }
+  Fault("unknown intrinsic: " + name);
+  return false;
+}
+
+ExecResult Engine::Run() {
+  POLY_CHECK(threads_.empty()) << "Run() may only be called once";
+  CreateThread(program_.entry, 0, 0, kProgramExitMagic);
+
+  while (!exited_ && !faulted_) {
+    Thread* best = nullptr;
+    for (auto& t : threads_) {
+      if (!t->finished && (best == nullptr || t->clock < best->clock)) {
+        best = t.get();
+      }
+    }
+    if (best == nullptr) {
+      break;
+    }
+    current_ = best->id;
+    if (!Step(*best)) {
+      break;
+    }
+    if (memory_.faulted()) {
+      Fault(StrCat("memory access violation at ",
+                   HexString(memory_.fault_address())));
+      break;
+    }
+    if (++steps_ > options_.max_steps) {
+      Fault("step limit exceeded in lifted code");
+      break;
+    }
+  }
+
+  ExecResult result;
+  result.ok = !faulted_;
+  result.exit_code = exit_code_;
+  result.fault_message = fault_message_;
+  result.miss = miss_;
+  result.steps = steps_;
+  result.output = output_;
+  result.accesses = accesses_;
+  result.observed_callbacks = observed_callbacks_;
+  for (const auto& t : threads_) {
+    result.wall_time = std::max(result.wall_time, t->clock);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// GuestContext
+// ---------------------------------------------------------------------------
+
+uint64_t Engine::GetArg(int index) {
+  static const x86::Reg kArgRegs[6] = {x86::Reg::kRdi, x86::Reg::kRsi,
+                                       x86::Reg::kRdx, x86::Reg::kRcx,
+                                       x86::Reg::kR8,  x86::Reg::kR9};
+  POLY_CHECK_LT(index, 6);
+  Thread& t = *threads_[static_cast<size_t>(current_)];
+  int slot = vr_slot_[static_cast<int>(kArgRegs[index])];
+  return vr_tls_ ? t.tls[static_cast<size_t>(slot)]
+                 : shared_globals_[static_cast<size_t>(slot)];
+}
+
+void Engine::SetResult(uint64_t value) {
+  Thread& t = *threads_[static_cast<size_t>(current_)];
+  int slot = vr_slot_[static_cast<int>(x86::Reg::kRax)];
+  (vr_tls_ ? t.tls[static_cast<size_t>(slot)]
+           : shared_globals_[static_cast<size_t>(slot)]) = value;
+}
+
+int Engine::SpawnThread(uint64_t entry, uint64_t arg0, uint64_t arg1) {
+  uint64_t parent_clock = threads_[static_cast<size_t>(current_)]->clock;
+  Thread& t = CreateThread(entry, arg0, arg1, kThreadExitMagic);
+  t.clock = parent_clock + 100;
+  return t.id;
+}
+
+bool Engine::ThreadFinished(int tid, uint64_t* retval) {
+  if (tid < 0 || static_cast<size_t>(tid) >= threads_.size()) {
+    return false;
+  }
+  Thread& t = *threads_[static_cast<size_t>(tid)];
+  if (!t.finished) {
+    return false;
+  }
+  if (retval != nullptr) {
+    *retval = t.retval;
+  }
+  Thread& cur = *threads_[static_cast<size_t>(current_)];
+  cur.clock = std::max(cur.clock, t.clock);
+  return true;
+}
+
+uint64_t Engine::CallGuest(uint64_t entry, std::span<const uint64_t> args) {
+  Thread& t = *threads_[static_cast<size_t>(current_)];
+  static const x86::Reg kArgRegs[6] = {x86::Reg::kRdi, x86::Reg::kRsi,
+                                       x86::Reg::kRdx, x86::Reg::kRcx,
+                                       x86::Reg::kR8,  x86::Reg::kR9};
+  POLY_CHECK_LE(args.size(), 6u);
+  auto vr = [&](int reg) -> uint64_t& {
+    int slot = vr_slot_[reg];
+    return vr_tls_ ? t.tls[static_cast<size_t>(slot)]
+                   : shared_globals_[static_cast<size_t>(slot)];
+  };
+  for (size_t i = 0; i < args.size(); ++i) {
+    vr(static_cast<int>(kArgRegs[i])) = args[i];
+  }
+  // Push the callback-return sentinel on the emulated stack.
+  uint64_t& sp = vr(static_cast<int>(x86::Reg::kRsp));
+  sp -= 8;
+  memory_.Write(sp, 8, kCallbackReturnMagic);
+
+  size_t base_depth = t.stack.size();
+  uint64_t pc = entry;
+  while (!faulted_ && !exited_) {
+    auto it = program_.functions_by_entry.find(pc);
+    if (it == program_.functions_by_entry.end()) {
+      miss_ = MissInfo{0, pc};
+      Fault(StrCat("control flow miss in callback: ", HexString(pc)));
+      break;
+    }
+    if (options_.record_callbacks) {
+      observed_callbacks_.insert(it->second->name());
+    }
+    PushFrame(t, it->second, /*dispatch_root=*/true);
+    t.clock += costs_.dispatch_entry;
+    // Run until this dispatch-root frame returns.
+    while (t.stack.size() > base_depth && !faulted_ && !exited_) {
+      if (!StepInstruction(t)) {
+        break;
+      }
+      if (++steps_ > options_.max_steps) {
+        Fault("step limit exceeded in callback");
+        break;
+      }
+    }
+    if (faulted_ || exited_) {
+      break;
+    }
+    pc = t.last_toplevel_pc;
+    if (pc == kCallbackReturnMagic) {
+      break;  // callback completed
+    }
+    // Tail transfer: re-dispatch.
+  }
+  return vr(static_cast<int>(x86::Reg::kRax));
+}
+
+void Engine::AddCost(uint64_t cycles) {
+  threads_[static_cast<size_t>(current_)]->clock += cycles;
+}
+
+uint64_t Engine::now() {
+  return threads_[static_cast<size_t>(current_)]->clock;
+}
+
+void Engine::RequestExit(int64_t code) {
+  exited_ = true;
+  exit_code_ = code;
+}
+
+}  // namespace polynima::exec

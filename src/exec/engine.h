@@ -1,0 +1,225 @@
+// Execution engine for lifted programs: the recompiled binary's runtime.
+//
+// Runs the lifted IR under the same deterministic min-clock scheduler as the
+// x86 VM, against the same external library and the same guest address space
+// (the original image stays mapped at its load address — paper §3.1 — so
+// jump tables and global data resolve). Each thread owns:
+//   - a slot array for thread_local IR globals (virtual CPU state),
+//   - an emulated stack carved from the guest stack region (vr_rsp points
+//     into it),
+//   - a native call stack of lifted-function frames.
+//
+// The dispatcher implements the trampoline/callback-wrapper mechanism
+// (§3.3.3): any guest PC that reaches the top level is mapped to its lifted
+// function; entering through the dispatcher charges the marshaling cost the
+// paper attributes to callback handling. Control-flow misses (the `cfmiss`
+// intrinsic) terminate the run and are reported for the additive-lifting
+// loop.
+//
+// Performance is measured in simulated cycles via IrCostModel; normalized
+// runtime = engine wall_time / VM wall_time for the same workload.
+#ifndef POLYNIMA_EXEC_ENGINE_H_
+#define POLYNIMA_EXEC_ENGINE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/binary/image.h"
+#include "src/ir/ir.h"
+#include "src/lift/lifter.h"
+#include "src/support/rng.h"
+#include "src/vm/external.h"
+#include "src/vm/guest_context.h"
+#include "src/vm/memory.h"
+
+namespace polynima::exec {
+
+struct ExecOptions {
+  uint64_t seed = 1;
+  bool cost_jitter = true;
+  uint64_t max_steps = 4'000'000'000ull;
+  // Record per-instruction memory access classification (stack-local vs
+  // shared) for the fence-optimization dynamic analysis (§3.4.2).
+  bool record_accesses = false;
+  // Record which lifted functions are entered from external code (thread
+  // entries, callbacks) for the callback-wrapper removal analysis (§3.3.3).
+  bool record_callbacks = false;
+};
+
+// Simulated-cycle costs for executing recompiled code.
+struct IrCostModel {
+  uint64_t alu = 1;
+  uint64_t global_access = 1;  // virtual-state (thread-local) slots
+  uint64_t mem_access = 2;     // guest memory
+  uint64_t fence = 3;
+  uint64_t atomic = 14;    // lock-prefixed RMW: bus lock + 2 accesses, as native
+  uint64_t branch = 1;
+  uint64_t call = 2;
+  uint64_t ret = 1;
+  uint64_t helper = 10;        // QEMU-style helper invocation overhead
+  uint64_t ext_marshal = 8;    // virtual-state <-> external-call marshal
+  uint64_t dispatch_entry = 150;  // callback-wrapper entry: full register
+                                  // marshal + emulated-stack argument copy
+  uint64_t phi = 0;
+};
+
+struct MissInfo {
+  uint64_t transfer_address = 0;  // 0 when the miss surfaced at the dispatcher
+  uint64_t target = 0;
+};
+
+struct AccessRecord {
+  bool stack_local = false;
+  bool shared = false;
+  // Distinct guest addresses observed at this site (bounded; overflow makes
+  // alias queries conservative).
+  std::set<uint64_t> addresses;
+  bool overflow = false;
+
+  bool MayAliasAddresses(const AccessRecord& other) const {
+    if (overflow || other.overflow) {
+      return true;
+    }
+    for (uint64_t a : addresses) {
+      if (other.addresses.count(a) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+struct ExecResult {
+  bool ok = false;
+  int64_t exit_code = 0;
+  std::string fault_message;
+  std::optional<MissInfo> miss;
+  uint64_t wall_time = 0;
+  uint64_t steps = 0;
+  std::string output;
+  std::map<const ir::Instruction*, AccessRecord> accesses;
+  std::set<std::string> observed_callbacks;
+};
+
+class Engine : public vm::GuestContext {
+ public:
+  Engine(const lift::LiftedProgram& program, const binary::Image& image,
+         vm::ExternalLibrary* library, ExecOptions options);
+
+  void SetInputs(std::vector<std::vector<uint8_t>> inputs) {
+    inputs_ = std::move(inputs);
+  }
+  void set_costs(const IrCostModel& costs) { costs_ = costs; }
+
+  ExecResult Run();
+
+  // --- GuestContext ---
+  uint64_t GetArg(int index) override;
+  void SetResult(uint64_t value) override;
+  vm::Memory& memory() override { return memory_; }
+  int SpawnThread(uint64_t entry, uint64_t arg0, uint64_t arg1) override;
+  bool ThreadFinished(int tid, uint64_t* retval) override;
+  int current_thread() override { return current_; }
+  uint64_t CallGuest(uint64_t entry, std::span<const uint64_t> args) override;
+  void AddCost(uint64_t cycles) override;
+  uint64_t now() override;
+  Rng& rng() override { return rng_; }
+  std::string& output() override { return output_; }
+  const std::vector<std::vector<uint8_t>>& inputs() override { return inputs_; }
+  void RequestExit(int64_t code) override;
+
+ private:
+  struct Frame {
+    ir::Function* fn = nullptr;
+    std::vector<uint64_t> values;
+    ir::BasicBlock* block = nullptr;
+    ir::BasicBlock::InstList::const_iterator it;
+    ir::BasicBlock* prev_block = nullptr;
+    // Frames pushed by the dispatcher/CallGuest do not propagate their
+    // return value into the frame below.
+    bool dispatch_root = false;
+    // Addressing-only instruction set of this frame's function.
+    const std::set<const ir::Instruction*>* fold = nullptr;
+  };
+
+  struct Thread {
+    int id = 0;
+    uint64_t clock = 0;
+    bool finished = false;
+    uint64_t retval = 0;
+    std::vector<Frame> stack;
+    // Valid when stack is empty: guest PC awaiting dispatch.
+    uint64_t pending_pc = 0;
+    uint64_t exit_magic = 0;
+    std::vector<uint64_t> tls;
+    uint64_t estack_low = 0, estack_high = 0;
+    // Return PC observed by the most recent top-level return.
+    uint64_t last_toplevel_pc = 0;
+  };
+
+  Thread& CreateThread(uint64_t entry_pc, uint64_t arg0, uint64_t arg1,
+                       uint64_t exit_magic);
+  bool Step(Thread& t);            // one scheduling step
+  bool StepInstruction(Thread& t); // execute one IR instruction
+  bool DispatchPending(Thread& t);
+  void PushFrame(Thread& t, ir::Function* fn, bool dispatch_root);
+
+  uint64_t Eval(const Frame& f, const ir::Value* v) const;
+  uint64_t& GlobalSlot(Thread& t, const ir::Global* g);
+  void EnterBlock(Frame& f, ir::BasicBlock* target);
+  bool HandleIntrinsic(Thread& t, size_t frame_index,
+                       const ir::Instruction& inst);
+
+  void Fault(std::string message);
+  void RecordAccess(const ir::Instruction* inst, Thread& t, uint64_t addr);
+
+  const lift::LiftedProgram& program_;
+  const binary::Image& image_;
+  vm::ExternalLibrary* library_;
+  ExecOptions options_;
+  IrCostModel costs_;
+  vm::Memory memory_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<Thread>> threads_;
+  int current_ = 0;
+
+  std::vector<uint64_t> shared_globals_;
+  // Cached slots for argument/result registers.
+  int vr_slot_[16] = {0};
+  bool vr_tls_ = true;
+
+  std::vector<std::vector<uint8_t>> inputs_;
+  std::string output_;
+
+  int global_lock_owner_ = -1;  // naive-atomics global spinlock
+  // Set by blocking intrinsics: the current instruction is retried on the
+  // thread's next turn instead of advancing.
+  bool retry_pending_ = false;
+  // Cached value-slot counts per function (Renumber is run once).
+  std::map<const ir::Function*, int> slot_counts_;
+  // Instructions whose results feed only memory-operand addresses: a native
+  // x86 backend folds base+index*scale+disp into the addressing mode, so
+  // they cost nothing (computed per function on first entry).
+  std::map<const ir::Function*, std::set<const ir::Instruction*>>
+      addressing_only_;
+  const std::set<const ir::Instruction*>* current_addressing_ = nullptr;
+  void ComputeAddressingOnly(const ir::Function* fn);
+
+  bool exited_ = false;
+  int64_t exit_code_ = 0;
+  bool faulted_ = false;
+  std::string fault_message_;
+  std::optional<MissInfo> miss_;
+  uint64_t steps_ = 0;
+
+  std::map<const ir::Instruction*, AccessRecord> accesses_;
+  std::set<std::string> observed_callbacks_;
+};
+
+}  // namespace polynima::exec
+
+#endif  // POLYNIMA_EXEC_ENGINE_H_

@@ -1,0 +1,94 @@
+// Implicit-synchronization (spinloop) detection — the §3.4 analysis.
+//
+// Pipeline:
+//  1. Build an analysis copy of the lifted program with every function
+//     inlined into its callers (dataflow across procedure calls) and the
+//     standard pipeline applied (registers as SSA values; loop indices
+//     become phis).
+//  2. Run it instrumented, recording for every memory-access site the
+//     observed locations and their classification (emulated-stack-local vs
+//     shared).
+//  3. Find natural loops; for each loop, run a backward instruction
+//     influence analysis over the operands of every loop-exit condition:
+//       - values from outside the loop are loop-constant,
+//       - loop-header phis fed from the back edge are loop-modified local
+//         values (unless an external dependency flows in),
+//       - loads from shared locations, atomics, and external calls are
+//         external dependencies,
+//       - loads from local locations chase the intra-loop stores to the
+//         same (dynamically observed) locations and classify the stored
+//         values.
+//     A loop is non-spinning iff some exit condition is influenced by a
+//     loop-modified local value and no exit-condition operand carries an
+//     external dependency.
+//  4. The program is free of implicit synchronization iff every loop is
+//     proven non-spinning; only then may the recompiler drop the inserted
+//     fences (RemoveFences) without risking IR-level reordering of a custom
+//     primitive.
+//
+// Unresolved loops (bodies never covered by the provided inputs) are
+// reported as potentially-spinning — the paper's conservative false-negative
+// path (§3.4.3).
+#ifndef POLYNIMA_FENCEOPT_SPINLOOP_H_
+#define POLYNIMA_FENCEOPT_SPINLOOP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/binary/image.h"
+#include "src/cfg/cfg.h"
+#include "src/exec/engine.h"
+#include "src/ir/ir.h"
+#include "src/support/status.h"
+
+namespace polynima::fenceopt {
+
+struct LoopVerdict {
+  std::string function;
+  std::string header_block;
+  uint64_t guest_address = 0;  // header's original address (0 if synthetic)
+  // True = potentially spinning (may implement implicit synchronization).
+  bool spinning = true;
+  // True when the loop body was never exercised by the inputs.
+  bool uncovered = false;
+  std::string reason;
+};
+
+struct SpinloopAnalysis {
+  std::vector<LoopVerdict> loops;
+
+  bool AnySpinning() const {
+    for (const LoopVerdict& v : loops) {
+      if (v.spinning) {
+        return true;
+      }
+    }
+    return false;
+  }
+  int SpinningCount() const {
+    int n = 0;
+    for (const LoopVerdict& v : loops) {
+      n += v.spinning ? 1 : 0;
+    }
+    return n;
+  }
+  // Fence removal is safe only when no loop is potentially spinning.
+  bool FenceRemovalSafe() const { return !AnySpinning(); }
+};
+
+// Runs the full §3.4 analysis: builds the inlined analysis module from
+// (image, graph), executes it instrumented over each input set, merges the
+// access records, and classifies every natural loop.
+Expected<SpinloopAnalysis> DetectImplicitSynchronization(
+    const binary::Image& image, const cfg::ControlFlowGraph& graph,
+    const std::vector<std::vector<std::vector<uint8_t>>>& input_sets);
+
+// Classification only (analysis module and access records supplied by the
+// caller; exposed for unit tests).
+SpinloopAnalysis AnalyzeLoops(
+    ir::Module& module,
+    const std::map<const ir::Instruction*, exec::AccessRecord>& accesses);
+
+}  // namespace polynima::fenceopt
+
+#endif  // POLYNIMA_FENCEOPT_SPINLOOP_H_

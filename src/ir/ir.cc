@@ -1,0 +1,290 @@
+#include "src/ir/ir.h"
+
+#include <algorithm>
+
+namespace polynima::ir {
+
+void Value::RemoveUser(Instruction* user) {
+  // One entry per (user, operand) pair; remove a single matching entry.
+  auto it = std::find(users_.begin(), users_.end(), user);
+  if (it != users_.end()) {
+    users_.erase(it);
+  }
+}
+
+void Value::ReplaceAllUsesWith(Value* replacement) {
+  POLY_CHECK(replacement != this);
+  // Copy: SetOperand mutates users_.
+  std::vector<Instruction*> users = users_;
+  for (Instruction* user : users) {
+    for (int i = 0; i < user->num_operands(); ++i) {
+      if (user->operand(i) == this) {
+        user->SetOperand(i, replacement);
+      }
+    }
+  }
+}
+
+Instruction::~Instruction() { DropOperands(); }
+
+void Instruction::SetOperand(int i, Value* v) {
+  Value* old = operands_[static_cast<size_t>(i)];
+  if (old != nullptr) {
+    old->RemoveUser(this);
+  }
+  operands_[static_cast<size_t>(i)] = v;
+  if (v != nullptr) {
+    v->AddUser(this);
+  }
+}
+
+void Instruction::AddOperand(Value* v) {
+  operands_.push_back(v);
+  if (v != nullptr) {
+    v->AddUser(this);
+  }
+}
+
+void Instruction::DropOperands() {
+  for (Value* v : operands_) {
+    if (v != nullptr) {
+      v->RemoveUser(this);
+    }
+  }
+  operands_.clear();
+}
+
+bool Instruction::HasResult() const {
+  switch (op_) {
+    case Op::kStore:
+    case Op::kGlobalStore:
+    case Op::kBr:
+    case Op::kSwitch:
+    case Op::kRet:
+    case Op::kUnreachable:
+    case Op::kFence:
+      return false;
+    case Op::kCall:
+      // Intrinsics and direct calls both produce a value unless the callee is
+      // a void function.
+      if (callee != nullptr) {
+        return callee->has_result();
+      }
+      return true;
+    default:
+      return true;
+  }
+}
+
+Instruction* BasicBlock::Append(std::unique_ptr<Instruction> inst) {
+  inst->set_parent(this);
+  insts_.push_back(std::move(inst));
+  return insts_.back().get();
+}
+
+Instruction* BasicBlock::InsertBefore(InstList::iterator pos,
+                                      std::unique_ptr<Instruction> inst) {
+  inst->set_parent(this);
+  return insts_.insert(pos, std::move(inst))->get();
+}
+
+BasicBlock::InstList::iterator BasicBlock::Erase(InstList::iterator pos) {
+  return insts_.erase(pos);
+}
+
+std::vector<BasicBlock*> BasicBlock::Successors() const {
+  Instruction* term = terminator();
+  if (term == nullptr) {
+    return {};
+  }
+  if (term->op() == Op::kBr || term->op() == Op::kSwitch) {
+    return term->targets;
+  }
+  return {};
+}
+
+Function::~Function() {
+  for (auto& block : blocks_) {
+    for (auto& inst : block->insts()) {
+      inst->DropOperands();
+    }
+  }
+}
+
+BasicBlock* Function::AddBlock(std::string block_name) {
+  blocks_.push_back(std::make_unique<BasicBlock>(std::move(block_name)));
+  blocks_.back()->set_function(this);
+  return blocks_.back().get();
+}
+
+void Function::RemoveBlock(BasicBlock* block) {
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (it->get() == block) {
+      // Drop instruction operands first so use lists stay consistent.
+      for (auto& inst : block->insts()) {
+        inst->DropOperands();
+      }
+      blocks_.erase(it);
+      return;
+    }
+  }
+  POLY_UNREACHABLE("block not in function");
+}
+
+int Function::Renumber() {
+  int next = 0;
+  for (auto& block : blocks_) {
+    for (auto& inst : block->insts()) {
+      inst->id = inst->HasResult() ? next++ : -1;
+    }
+  }
+  return next;
+}
+
+Function* Module::AddFunction(std::string name, int num_args,
+                              bool has_result) {
+  functions_.push_back(
+      std::make_unique<Function>(std::move(name), num_args, has_result));
+  return functions_.back().get();
+}
+
+Function* Module::GetFunction(const std::string& name) const {
+  for (const auto& f : functions_) {
+    if (f->name() == name) {
+      return f.get();
+    }
+  }
+  return nullptr;
+}
+
+void Module::RemoveFunction(Function* f) {
+  for (auto it = functions_.begin(); it != functions_.end(); ++it) {
+    if (it->get() == f) {
+      for (auto& block : (*it)->blocks()) {
+        for (auto& inst : block->insts()) {
+          inst->DropOperands();
+        }
+      }
+      functions_.erase(it);
+      return;
+    }
+  }
+  POLY_UNREACHABLE("function not in module");
+}
+
+Global* Module::AddGlobal(const std::string& name, bool is_thread_local,
+                          int64_t initial) {
+  POLY_CHECK(globals_by_name_.count(name) == 0) << "duplicate global " << name;
+  globals_.push_back(
+      std::make_unique<Global>(name, is_thread_local, initial, next_slot_++));
+  globals_by_name_[name] = globals_.back().get();
+  return globals_.back().get();
+}
+
+Global* Module::GetGlobal(const std::string& name) const {
+  auto it = globals_by_name_.find(name);
+  return it == globals_by_name_.end() ? nullptr : it->second;
+}
+
+Constant* Module::GetConstant(int64_t value) {
+  auto it = constants_.find(value);
+  if (it != constants_.end()) {
+    return it->second.get();
+  }
+  auto c = std::make_unique<Constant>(value);
+  Constant* ptr = c.get();
+  constants_.emplace(value, std::move(c));
+  return ptr;
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kAdd:
+      return "add";
+    case Op::kSub:
+      return "sub";
+    case Op::kMul:
+      return "mul";
+    case Op::kSDiv:
+      return "sdiv";
+    case Op::kSRem:
+      return "srem";
+    case Op::kUDiv:
+      return "udiv";
+    case Op::kURem:
+      return "urem";
+    case Op::kAnd:
+      return "and";
+    case Op::kOr:
+      return "or";
+    case Op::kXor:
+      return "xor";
+    case Op::kShl:
+      return "shl";
+    case Op::kLShr:
+      return "lshr";
+    case Op::kAShr:
+      return "ashr";
+    case Op::kICmp:
+      return "icmp";
+    case Op::kSelect:
+      return "select";
+    case Op::kSExt:
+      return "sext";
+    case Op::kLoad:
+      return "load";
+    case Op::kStore:
+      return "store";
+    case Op::kGlobalLoad:
+      return "gload";
+    case Op::kGlobalStore:
+      return "gstore";
+    case Op::kBr:
+      return "br";
+    case Op::kSwitch:
+      return "switch";
+    case Op::kRet:
+      return "ret";
+    case Op::kUnreachable:
+      return "unreachable";
+    case Op::kCall:
+      return "call";
+    case Op::kPhi:
+      return "phi";
+    case Op::kFence:
+      return "fence";
+    case Op::kAtomicRmw:
+      return "atomicrmw";
+    case Op::kCmpXchg:
+      return "cmpxchg";
+  }
+  return "?";
+}
+
+const char* PredName(Pred pred) {
+  switch (pred) {
+    case Pred::kEq:
+      return "eq";
+    case Pred::kNe:
+      return "ne";
+    case Pred::kSlt:
+      return "slt";
+    case Pred::kSle:
+      return "sle";
+    case Pred::kSgt:
+      return "sgt";
+    case Pred::kSge:
+      return "sge";
+    case Pred::kUlt:
+      return "ult";
+    case Pred::kUle:
+      return "ule";
+    case Pred::kUgt:
+      return "ugt";
+    case Pred::kUge:
+      return "uge";
+  }
+  return "?";
+}
+
+}  // namespace polynima::ir

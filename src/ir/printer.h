@@ -1,0 +1,16 @@
+// Textual IR dump (for tests, debugging and golden comparisons).
+#ifndef POLYNIMA_IR_PRINTER_H_
+#define POLYNIMA_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace polynima::ir {
+
+std::string Print(const Function& f);
+std::string Print(const Module& m);
+
+}  // namespace polynima::ir
+
+#endif  // POLYNIMA_IR_PRINTER_H_

@@ -1,0 +1,123 @@
+#include "src/ir/verifier.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/support/strings.h"
+
+namespace polynima::ir {
+
+Status Verify(const Function& f) {
+  auto fail = [&](const std::string& m) {
+    return Status::Internal(StrCat("verify @", f.name(), ": ", m));
+  };
+  if (f.blocks().empty()) {
+    return fail("no blocks");
+  }
+
+  std::set<const BasicBlock*> block_set;
+  for (const auto& b : f.blocks()) {
+    block_set.insert(b.get());
+  }
+
+  // Predecessor map for phi checking.
+  std::map<const BasicBlock*, std::set<const BasicBlock*>> preds;
+  for (const auto& b : f.blocks()) {
+    for (BasicBlock* succ : b->Successors()) {
+      if (block_set.count(succ) == 0) {
+        return fail(StrCat("block ", b->name(), " targets foreign block"));
+      }
+      preds[succ].insert(b.get());
+    }
+  }
+
+  std::set<const Value*> defined;
+  for (int i = 0; i < f.num_args(); ++i) {
+    defined.insert(const_cast<Function&>(f).arg(i));
+  }
+
+  for (const auto& b : f.blocks()) {
+    if (b->insts().empty()) {
+      return fail(StrCat("empty block ", b->name()));
+    }
+    bool seen_terminator = false;
+    bool in_phi_prefix = true;
+    for (const auto& inst : b->insts()) {
+      if (seen_terminator) {
+        return fail(StrCat("instruction after terminator in ", b->name()));
+      }
+      if (inst->op() == Op::kPhi) {
+        if (!in_phi_prefix) {
+          return fail(StrCat("phi not at head of ", b->name()));
+        }
+        if (inst->phi_blocks.size() !=
+            static_cast<size_t>(inst->num_operands())) {
+          return fail("phi incoming count mismatch");
+        }
+        const auto& expected = preds[b.get()];
+        if (inst->phi_blocks.size() != expected.size()) {
+          return fail(StrCat("phi in ", b->name(), " has ",
+                             inst->phi_blocks.size(), " incoming, block has ",
+                             expected.size(), " preds"));
+        }
+        for (BasicBlock* in : inst->phi_blocks) {
+          if (expected.count(in) == 0) {
+            return fail(StrCat("phi in ", b->name(),
+                               " has non-predecessor incoming ", in->name()));
+          }
+        }
+      } else {
+        in_phi_prefix = false;
+      }
+      if (inst->IsTerminator()) {
+        seen_terminator = true;
+      }
+      // Operand sanity: every operand must be a value-producing node and the
+      // use lists must contain this instruction.
+      for (int i = 0; i < inst->num_operands(); ++i) {
+        const Value* v = inst->operand(i);
+        if (v == nullptr) {
+          return fail("null operand");
+        }
+        if (v->is_inst() &&
+            !static_cast<const Instruction*>(v)->HasResult()) {
+          return fail("operand has no result");
+        }
+        const auto& users = v->users();
+        if (std::find(users.begin(), users.end(), inst.get()) ==
+            users.end()) {
+          return fail("use-list missing user");
+        }
+      }
+      if (inst->op() == Op::kBr) {
+        size_t want = inst->num_operands() == 0 ? 1 : 2;
+        if (inst->targets.size() != want) {
+          return fail("br target count mismatch");
+        }
+      }
+      if (inst->op() == Op::kSwitch &&
+          inst->targets.size() != inst->case_values.size() + 1) {
+        return fail("switch case/target mismatch");
+      }
+      if (inst->op() == Op::kRet) {
+        if (f.has_result() && inst->num_operands() != 1) {
+          return fail("ret without value in value-returning function");
+        }
+      }
+    }
+    if (!seen_terminator) {
+      return fail(StrCat("block ", b->name(), " lacks terminator"));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Verify(const Module& m) {
+  for (const auto& f : m.functions()) {
+    POLY_RETURN_IF_ERROR(Verify(*f));
+  }
+  return Status::Ok();
+}
+
+}  // namespace polynima::ir

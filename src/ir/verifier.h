@@ -1,0 +1,18 @@
+// Structural IR verifier: every block ends in exactly one terminator, phis
+// match predecessor sets, operands dominate uses (approximated), and use
+// lists are consistent. Run after lifting and after every optimization pass
+// in debug pipelines.
+#ifndef POLYNIMA_IR_VERIFIER_H_
+#define POLYNIMA_IR_VERIFIER_H_
+
+#include "src/ir/ir.h"
+#include "src/support/status.h"
+
+namespace polynima::ir {
+
+Status Verify(const Function& f);
+Status Verify(const Module& m);
+
+}  // namespace polynima::ir
+
+#endif  // POLYNIMA_IR_VERIFIER_H_

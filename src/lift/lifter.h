@@ -1,0 +1,90 @@
+// The Polynima lifter: translates recovered machine code to IR.
+//
+// Conventions (consumed by src/exec):
+//  - One IR function per recovered guest function, named fn_<hex>. Functions
+//    take no arguments and return the next guest PC after their `ret`
+//    ("return-PC convention"): direct calls compare the returned PC against
+//    the expected return address and bubble unexpected values up to the
+//    dispatcher, which re-dispatches or reports a control-flow miss.
+//  - Virtual CPU state lives in globals: vr_<reg> (16 GPRs), fl_<flag>
+//    (cf/pf/zf/sf/of), xmm<i>_lo / xmm<i>_hi. With
+//    LiftOptions::thread_local_state (the Polynima behaviour, §3.3.2) these
+//    are thread_local; without it they are shared — reproducing the
+//    documented McSema/Rev.Ng failure on multithreaded binaries.
+//  - vr_rsp points into a per-thread *emulated stack* allocated by the
+//    execution engine inside the guest stack region.
+//  - Indirect transfers become switches over known targets; the default arm
+//    calls the `cfmiss` intrinsic (additive lifting hook, §3.2).
+//  - External calls become `ext_call(slot)` intrinsics; the engine marshals
+//    virtual registers to/from the shared external library.
+//  - Fences: acquire after every non-stack-local guest load, release before
+//    every non-stack-local guest store (Lasagne's strategy, §3.3.4).
+//    Stack-locality = address derived from vr_rsp (or the frame pointer when
+//    the function establishes one with `mov rbp, rsp`).
+//
+// Engine intrinsics emitted: ext_call, cfmiss, trap, parity, pause,
+// helper_paddd, helper_psubd, helper_pmulld, helper_mulh, helper_sdiv128,
+// helper_srem128, global_lock, global_unlock.
+#ifndef POLYNIMA_LIFT_LIFTER_H_
+#define POLYNIMA_LIFT_LIFTER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/binary/image.h"
+#include "src/cfg/cfg.h"
+#include "src/ir/ir.h"
+#include "src/support/status.h"
+
+namespace polynima::lift {
+
+struct LiftOptions {
+  // Insert Lasagne-style acquire/release fences for guest memory accesses.
+  bool insert_fences = true;
+  // Elide fences for accesses derived from the emulated stack pointer.
+  bool elide_stack_local_fences = true;
+
+  enum class AtomicsMode {
+    kBuiltin,          // map to IR atomics (Listing 2 — Polynima)
+    kNaiveGlobalLock,  // decompose under one global spinlock (Listing 1)
+    kPlain,            // non-atomic load/op/store (documented baseline bug)
+  };
+  AtomicsMode atomics = AtomicsMode::kBuiltin;
+
+  // thread_local virtual state + per-thread emulated stacks (§3.3.2).
+  // Disabled models the single-global-array emulated stack of prior work.
+  bool thread_local_state = true;
+
+  // First-class SIMD translation (the paper's §5.3 future work): lift packed
+  // integer instructions to native SIMD IR intrinsics instead of
+  // QEMU-helper-style scalar emulation calls, recovering near-native packed
+  // throughput.
+  bool first_class_simd = false;
+
+  // Conservative callback handling (§3.3.3): every lifted function is a
+  // potential external entry point and must be preserved. When false, only
+  // `observed_callbacks` (from the dynamic callback analysis) and the image
+  // entry stay external; the rest become eligible for inlining.
+  bool mark_all_external = true;
+  std::set<std::string> observed_callbacks;
+};
+
+struct LiftedProgram {
+  std::unique_ptr<ir::Module> module;
+  // Trampoline table: guest entry address -> lifted function.
+  std::map<uint64_t, ir::Function*> functions_by_entry;
+  // Guest entry point of the program.
+  uint64_t entry = 0;
+  // External slot -> name (copied from the image).
+  std::vector<std::string> externals;
+};
+
+Expected<LiftedProgram> Lift(const binary::Image& image,
+                             const cfg::ControlFlowGraph& graph,
+                             const LiftOptions& options = {});
+
+}  // namespace polynima::lift
+
+#endif  // POLYNIMA_LIFT_LIFTER_H_

@@ -1,0 +1,230 @@
+// Function inlining for lifted code.
+//
+// Only functions that are NOT potential external entry points may be inlined
+// profitably — external entries must be preserved for the dispatcher
+// (§3.3.3), so with conservative callback handling (mark_all_external) this
+// pass inlines nothing; after the dynamic callback analysis shrinks the
+// external set, small hot callees fold into their callers, unlocking
+// register promotion and memory optimization across the call.
+#include <map>
+
+#include "src/ir/builder.h"
+#include "src/opt/passes.h"
+
+namespace polynima::opt {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Op;
+using ir::Value;
+
+namespace {
+
+int BlockCount(const Function& f) {
+  return static_cast<int>(f.blocks().size());
+}
+
+// Clones `callee` into `caller` at the call site `call` (which lives in
+// `block` at position `pos`). Returns true on success.
+bool InlineCallSite(Module& m, Function& caller, BasicBlock* block,
+                    BasicBlock::InstList::iterator pos, Function& callee) {
+  Instruction* call = pos->get();
+  if (std::next(pos) == block->insts().end()) {
+    return false;  // a call cannot be a terminator in well-formed lifted IR
+  }
+
+  // 1. Split: move everything after the call into a continuation block.
+  BasicBlock* cont = caller.AddBlock(block->name() + ".inl.cont");
+  auto after = std::next(pos);
+  while (after != block->insts().end()) {
+    std::unique_ptr<Instruction> inst = std::move(*after);
+    after = block->insts().erase(after);
+    inst->set_parent(cont);
+    cont->insts().push_back(std::move(inst));
+  }
+  // Phi incoming references in old successors must now name `cont`.
+  for (BasicBlock* succ : cont->Successors()) {
+    for (auto& inst : succ->insts()) {
+      if (inst->op() != Op::kPhi) {
+        break;
+      }
+      for (auto& from : inst->phi_blocks) {
+        if (from == block) {
+          from = cont;
+        }
+      }
+    }
+  }
+
+  // 2. Clone callee blocks.
+  std::map<const BasicBlock*, BasicBlock*> block_map;
+  std::map<const Value*, Value*> value_map;
+  for (const auto& cb : callee.blocks()) {
+    block_map[cb.get()] =
+        caller.AddBlock(callee.name() + "." + cb->name());
+  }
+  // Collect (return value, cloned ret block) pairs for the result phi.
+  std::vector<std::pair<Value*, BasicBlock*>> rets;
+
+  auto map_value = [&](Value* v) -> Value* {
+    auto it = value_map.find(v);
+    return it != value_map.end() ? it->second : v;
+  };
+
+  for (const auto& cb : callee.blocks()) {
+    BasicBlock* nb = block_map[cb.get()];
+    for (const auto& ci : cb->insts()) {
+      if (ci->op() == Op::kRet) {
+        Value* rv = ci->num_operands() > 0 ? map_value(ci->operand(0))
+                                           : nullptr;
+        auto br = std::make_unique<Instruction>(Op::kBr);
+        br->targets = {cont};
+        nb->Append(std::move(br));
+        rets.push_back({rv, nb});
+        continue;
+      }
+      auto clone = std::make_unique<Instruction>(ci->op());
+      clone->pred = ci->pred;
+      clone->width = ci->width;
+      clone->size = ci->size;
+      clone->global = ci->global;
+      clone->fence_order = ci->fence_order;
+      clone->rmw_op = ci->rmw_op;
+      clone->callee = ci->callee;
+      clone->intrinsic = ci->intrinsic;
+      clone->case_values = ci->case_values;
+      for (int i = 0; i < ci->num_operands(); ++i) {
+        clone->AddOperand(map_value(ci->operand(i)));
+      }
+      for (BasicBlock* target : ci->targets) {
+        clone->targets.push_back(block_map.at(target));
+      }
+      for (BasicBlock* from : ci->phi_blocks) {
+        clone->phi_blocks.push_back(block_map.at(from));
+      }
+      Instruction* cloned = nb->Append(std::move(clone));
+      value_map[ci.get()] = cloned;
+    }
+  }
+  // Second pass: phi operands may reference values defined later (loops);
+  // fix any operand that still points at a callee instruction.
+  for (const auto& cb : callee.blocks()) {
+    BasicBlock* nb = block_map[cb.get()];
+    for (auto& ni : nb->insts()) {
+      for (int i = 0; i < ni->num_operands(); ++i) {
+        auto it = value_map.find(ni->operand(i));
+        if (it != value_map.end() && ni->operand(i) != it->second) {
+          ni->SetOperand(i, it->second);
+        }
+      }
+    }
+  }
+  // Also fix the recorded return values (they may have been forward refs).
+  for (auto& [rv, rb] : rets) {
+    if (rv != nullptr) {
+      auto it = value_map.find(rv);
+      if (it != value_map.end()) {
+        rv = it->second;
+      }
+    }
+  }
+
+  // 3. Result phi in the continuation.
+  if (call->HasResult() && !call->users().empty()) {
+    if (rets.empty()) {
+      // The callee never returns (all paths trap/miss): the continuation is
+      // unreachable; any value satisfies the uses.
+      call->ReplaceAllUsesWith(m.GetConstant(0));
+    } else {
+      auto phi = std::make_unique<Instruction>(Op::kPhi);
+      Instruction* result_phi =
+          cont->InsertBefore(cont->insts().begin(), std::move(phi));
+      for (auto& [rv, rb] : rets) {
+        POLY_CHECK(rv != nullptr);
+        IRBuilder::AddIncoming(result_phi, rv, rb);
+      }
+      call->ReplaceAllUsesWith(result_phi);
+    }
+  }
+
+  // 4. Replace the call with a branch to the cloned entry.
+  BasicBlock* cloned_entry = block_map.at(callee.entry());
+  block->Erase(pos);
+  auto br = std::make_unique<Instruction>(Op::kBr);
+  br->targets = {cloned_entry};
+  block->Append(std::move(br));
+  return true;
+}
+
+}  // namespace
+
+int InlineFunctions(Module& m, int max_callee_blocks) {
+  int inlined = 0;
+  for (auto& fptr : m.functions()) {
+    Function& caller = *fptr;
+    int budget = 6;  // bound code growth per caller
+    bool progress = true;
+    while (progress && budget > 0) {
+      progress = false;
+      for (auto& block : caller.blocks()) {
+        for (auto it = block->insts().begin(); it != block->insts().end();
+             ++it) {
+          Instruction* inst = it->get();
+          if (inst->op() != Op::kCall || inst->callee == nullptr) {
+            continue;
+          }
+          Function* callee = inst->callee;
+          if (callee == &caller || callee->is_external_entry ||
+              BlockCount(*callee) > max_callee_blocks) {
+            continue;
+          }
+          // Recursive callees (even indirectly) are skipped: a callee that
+          // contains a direct call to itself.
+          bool self_recursive = false;
+          for (auto& cb : callee->blocks()) {
+            for (auto& ci : cb->insts()) {
+              if (ci->op() == Op::kCall && ci->callee == callee) {
+                self_recursive = true;
+              }
+            }
+          }
+          if (self_recursive) {
+            continue;
+          }
+          if (InlineCallSite(m, caller, block.get(), it, *callee)) {
+            ++inlined;
+            --budget;
+            progress = true;
+          }
+          break;  // iterators invalidated: rescan
+        }
+        if (progress) {
+          break;
+        }
+      }
+    }
+  }
+  return inlined;
+}
+
+int RemoveFences(Module& m) {
+  int removed = 0;
+  for (auto& f : m.functions()) {
+    for (auto& block : f->blocks()) {
+      for (auto it = block->insts().begin(); it != block->insts().end();) {
+        if ((*it)->op() == Op::kFence) {
+          it = block->Erase(it);
+          ++removed;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace polynima::opt

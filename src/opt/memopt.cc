@@ -1,0 +1,189 @@
+// Fence-aware redundant-load elimination and dead-store elimination over
+// guest memory, per basic block.
+//
+// Addresses are decomposed into (base SSA value, constant offset); two
+// accesses with the same base and disjoint byte ranges provably do not
+// alias, same base + same range must alias, and anything else may alias.
+//
+// Barrier rules (C++11 semantics — the crux of the fence optimization §3.4):
+//   - an acquire fence invalidates load availability (forwarding a later
+//     load from an earlier one would hoist it above the fence),
+//   - a release fence pins earlier stores (a pending dead-store candidate
+//     may be observed by another thread after the fence),
+//   - atomics and calls are full barriers.
+#include <map>
+
+#include "src/opt/passes.h"
+
+namespace polynima::opt {
+
+using ir::Constant;
+using ir::FenceOrder;
+using ir::Function;
+using ir::Instruction;
+using ir::Op;
+using ir::Value;
+
+namespace {
+
+struct AddrKey {
+  const Value* base = nullptr;
+  int64_t offset = 0;
+  int size = 0;
+
+  bool operator<(const AddrKey& o) const {
+    if (base != o.base) {
+      return base < o.base;
+    }
+    if (offset != o.offset) {
+      return offset < o.offset;
+    }
+    return size < o.size;
+  }
+  bool SameSlot(const AddrKey& o) const {
+    return base == o.base && offset == o.offset && size == o.size;
+  }
+  // Definitely-disjoint is only decidable for a common base.
+  bool DefinitelyDisjoint(const AddrKey& o) const {
+    if (base != o.base) {
+      return false;
+    }
+    return offset + size <= o.offset || o.offset + o.size <= offset;
+  }
+};
+
+AddrKey Decompose(Value* addr, int size) {
+  AddrKey key;
+  key.size = size;
+  const Value* v = addr;
+  int64_t offset = 0;
+  for (int depth = 0; depth < 8 && v->is_inst(); ++depth) {
+    const auto* inst = static_cast<const Instruction*>(v);
+    if (inst->op() == Op::kAdd && inst->operand(1)->is_const()) {
+      offset += static_cast<const Constant*>(inst->operand(1))->value();
+      v = inst->operand(0);
+      continue;
+    }
+    if (inst->op() == Op::kAdd && inst->operand(0)->is_const()) {
+      offset += static_cast<const Constant*>(inst->operand(0))->value();
+      v = inst->operand(1);
+      continue;
+    }
+    if (inst->op() == Op::kSub && inst->operand(1)->is_const()) {
+      offset -= static_cast<const Constant*>(inst->operand(1))->value();
+      v = inst->operand(0);
+      continue;
+    }
+    break;
+  }
+  key.base = v;
+  key.offset = offset;
+  return key;
+}
+
+}  // namespace
+
+bool MemOpt(Function& f) {
+  bool changed = false;
+  for (auto& block : f.blocks()) {
+    // Available memory values: key -> value currently stored/loaded.
+    std::map<AddrKey, Value*> avail;
+    // Pending dead-store candidates: key -> the store instruction.
+    std::map<AddrKey, Instruction*> pending_store;
+
+    auto kill_all = [&] {
+      avail.clear();
+      pending_store.clear();
+    };
+
+    for (auto it = block->insts().begin(); it != block->insts().end();) {
+      Instruction* inst = it->get();
+      switch (inst->op()) {
+        case Op::kLoad: {
+          AddrKey key = Decompose(inst->operand(0), inst->size);
+          auto hit = avail.find(key);
+          if (hit != avail.end()) {
+            inst->ReplaceAllUsesWith(hit->second);
+            it = block->Erase(it);
+            changed = true;
+            continue;
+          }
+          avail[key] = inst;
+          // A load that may alias a pending store observes it: the store is
+          // no longer dead.
+          for (auto ps = pending_store.begin(); ps != pending_store.end();) {
+            if (!key.DefinitelyDisjoint(ps->first) &&
+                !key.SameSlot(ps->first)) {
+              ps = pending_store.erase(ps);
+            } else if (key.SameSlot(ps->first)) {
+              ps = pending_store.erase(ps);
+            } else {
+              ++ps;
+            }
+          }
+          break;
+        }
+        case Op::kStore: {
+          AddrKey key = Decompose(inst->operand(0), inst->size);
+          // DSE: a previous store to the same slot with no intervening
+          // observer is dead.
+          auto ps = pending_store.find(key);
+          if (ps != pending_store.end()) {
+            Instruction* dead = ps->second;
+            for (auto del = block->insts().begin();
+                 del != block->insts().end(); ++del) {
+              if (del->get() == dead) {
+                block->Erase(del);
+                changed = true;
+                break;
+              }
+            }
+            pending_store.erase(ps);
+          }
+          // Invalidate may-aliasing availability; record forwarding value.
+          for (auto av = avail.begin(); av != avail.end();) {
+            if (av->first.SameSlot(key) ||
+                !av->first.DefinitelyDisjoint(key)) {
+              av = avail.erase(av);
+            } else {
+              ++av;
+            }
+          }
+          // May-aliasing pending stores are ordered before this one; they
+          // are still dead only if provably the same slot (handled above) —
+          // otherwise drop them as candidates.
+          for (auto p = pending_store.begin(); p != pending_store.end();) {
+            if (!p->first.DefinitelyDisjoint(key)) {
+              p = pending_store.erase(p);
+            } else {
+              ++p;
+            }
+          }
+          avail[key] = inst->operand(1);
+          pending_store[key] = inst;
+          break;
+        }
+        case Op::kFence:
+          if (inst->fence_order == FenceOrder::kAcquire) {
+            avail.clear();
+          } else if (inst->fence_order == FenceOrder::kRelease) {
+            pending_store.clear();
+          } else {
+            kill_all();
+          }
+          break;
+        case Op::kAtomicRmw:
+        case Op::kCmpXchg:
+        case Op::kCall:
+          kill_all();
+          break;
+        default:
+          break;
+      }
+      ++it;
+    }
+  }
+  return changed;
+}
+
+}  // namespace polynima::opt

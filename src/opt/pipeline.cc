@@ -1,0 +1,30 @@
+#include "src/opt/passes.h"
+
+#include "src/ir/verifier.h"
+
+namespace polynima::opt {
+
+Status RunPipeline(ir::Module& m, const PipelineOptions& options) {
+  if (options.inline_functions) {
+    InlineFunctions(m);
+  }
+  for (auto& f : m.functions()) {
+    SimplifyCfg(*f);
+    PromoteGlobals(*f);
+    for (int i = 0; i < options.iterations; ++i) {
+      bool changed = false;
+      changed |= LocalCse(*f);
+      changed |= InstCombine(*f, m);
+      changed |= MemOpt(*f);
+      changed |= DeadFlagElim(*f);
+      changed |= DeadCodeElim(*f);
+      changed |= SimplifyCfg(*f);
+      if (!changed) {
+        break;
+      }
+    }
+  }
+  return ir::Verify(m);
+}
+
+}  // namespace polynima::opt

@@ -1,0 +1,130 @@
+#include "src/recomp/recompiler.h"
+
+#include <chrono>
+#include <filesystem>
+
+#include "src/support/strings.h"
+#include "src/vm/external.h"
+
+namespace polynima::recomp {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+exec::ExecResult RecompiledBinary::Run(
+    const std::vector<std::vector<uint8_t>>& inputs,
+    exec::ExecOptions options) const {
+  vm::ExternalLibrary library;
+  exec::Engine engine(program, image, &library, options);
+  engine.SetInputs(inputs);
+  return engine.Run();
+}
+
+void Recompiler::PersistCfg(const cfg::ControlFlowGraph& graph) {
+  if (!options_.project_dir.has_value()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(*options_.project_dir, ec);
+  (void)graph.WriteTo(*options_.project_dir + "/cfg.json");
+}
+
+Expected<RecompiledBinary> Recompiler::Rebuild(
+    const cfg::ControlFlowGraph& graph) {
+  uint64_t t0 = NowNs();
+  POLY_ASSIGN_OR_RETURN(lift::LiftedProgram program,
+                        lift::Lift(image_, graph, options_.lift));
+  if (options_.remove_fences) {
+    opt::RemoveFences(*program.module);
+  }
+  uint64_t t1 = NowNs();
+  stats_.lift_ns += t1 - t0;
+  if (options_.optimize) {
+    POLY_RETURN_IF_ERROR(
+        opt::RunPipeline(*program.module, options_.pipeline));
+  }
+  stats_.opt_ns += NowNs() - t1;
+
+  RecompiledBinary out;
+  out.image = image_;
+  out.graph = graph;
+  out.program = std::move(program);
+  PersistCfg(graph);
+  return out;
+}
+
+Expected<RecompiledBinary> Recompiler::Recompile() {
+  uint64_t t0 = NowNs();
+  POLY_ASSIGN_OR_RETURN(cfg::ControlFlowGraph graph,
+                        cfg::RecoverStatic(image_, options_.recover));
+  stats_.disassemble_ns += NowNs() - t0;
+
+  if (options_.use_icft_tracer) {
+    trace::TraceResult traced =
+        trace::TraceAll(image_, options_.trace_input_sets);
+    stats_.trace_ns += traced.host_ns;
+    stats_.icft_count = traced.TotalTargets();
+    POLY_ASSIGN_OR_RETURN(
+        int added,
+        trace::AugmentCfg(image_, graph, traced, options_.recover));
+    (void)added;
+  }
+  return Rebuild(graph);
+}
+
+Expected<exec::ExecResult> Recompiler::RunAdditive(
+    RecompiledBinary& binary,
+    const std::vector<std::vector<uint8_t>>& inputs,
+    exec::ExecOptions exec_options) {
+  for (int round = 0; round <= options_.max_additive_rounds; ++round) {
+    exec::ExecResult result = binary.Run(inputs, exec_options);
+    if (result.ok || !result.miss.has_value()) {
+      return result;
+    }
+    // Control-flow miss: update the on-disk CFG with the discovered target
+    // and rerun the recompilation pipeline (§3.2 Additive).
+    ++stats_.additive_rounds;
+    const exec::MissInfo& miss = *result.miss;
+    cfg::ControlFlowGraph graph = binary.graph;
+    POLY_RETURN_IF_ERROR(cfg::IntegrateDiscoveredTarget(
+        image_, graph, miss.transfer_address, miss.target, options_.recover));
+    POLY_ASSIGN_OR_RETURN(binary, Rebuild(graph));
+  }
+  return Status::Aborted(
+      StrCat("additive lifting did not converge after ",
+             options_.max_additive_rounds, " rounds"));
+}
+
+Expected<RecompiledBinary> Recompiler::RecompileWithCallbackAnalysis(
+    const std::vector<std::vector<std::vector<uint8_t>>>& input_sets) {
+  POLY_ASSIGN_OR_RETURN(RecompiledBinary conservative, Recompile());
+  // Record external entries over all input sets (merged across runs).
+  std::set<std::string> observed;
+  for (const auto& inputs : input_sets) {
+    exec::ExecOptions exec_options;
+    exec_options.record_callbacks = true;
+    POLY_ASSIGN_OR_RETURN(exec::ExecResult result,
+                          RunAdditive(conservative, inputs, exec_options));
+    observed.insert(result.observed_callbacks.begin(),
+                    result.observed_callbacks.end());
+  }
+  // Re-lift with the observed set only; unobserved functions lose their
+  // wrappers and become inlinable.
+  RecompileOptions slim = options_;
+  options_.lift.mark_all_external = false;
+  options_.lift.observed_callbacks = observed;
+  options_.pipeline.inline_functions = true;
+  auto rebuilt = Rebuild(conservative.graph);
+  options_ = slim;  // restore
+  return rebuilt;
+}
+
+}  // namespace polynima::recomp

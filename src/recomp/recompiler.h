@@ -1,0 +1,104 @@
+// The Polynima recompiler driver: orchestrates disassembly, optional ICFT
+// tracing, lifting, optimization, and the additive-lifting loop (§3.2).
+//
+// The recompiled artifact keeps its CFG; when execution reports a
+// control-flow miss, RunAdditive integrates the newly discovered target into
+// the CFG (static recursive descent from the target), re-runs the
+// lift+optimize pipeline, and re-executes — the "recompilation loop". With a
+// project directory set, the CFG is persisted as JSON after every round (the
+// paper's on-disk representation).
+#ifndef POLYNIMA_RECOMP_RECOMPILER_H_
+#define POLYNIMA_RECOMP_RECOMPILER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/binary/image.h"
+#include "src/cfg/cfg.h"
+#include "src/exec/engine.h"
+#include "src/lift/lifter.h"
+#include "src/opt/passes.h"
+#include "src/support/status.h"
+#include "src/trace/icft_tracer.h"
+
+namespace polynima::recomp {
+
+struct RecompileOptions {
+  cfg::RecoverOptions recover;
+  lift::LiftOptions lift;
+  opt::PipelineOptions pipeline;
+  bool optimize = true;
+  // Run the ICFT tracer over these input sets before lifting (§3.2 Dynamic).
+  bool use_icft_tracer = false;
+  std::vector<std::vector<std::vector<uint8_t>>> trace_input_sets;
+  // Remove all fences before optimizing (only after the §3.4 analysis has
+  // proven the absence of implicit synchronization).
+  bool remove_fences = false;
+  int max_additive_rounds = 64;
+  // Directory for on-disk artifacts (cfg.json); optional.
+  std::optional<std::string> project_dir;
+};
+
+struct RecompileStats {
+  uint64_t disassemble_ns = 0;
+  uint64_t trace_ns = 0;
+  uint64_t lift_ns = 0;
+  uint64_t opt_ns = 0;
+  size_t icft_count = 0;       // traced indirect-transfer targets (Table 4)
+  int additive_rounds = 0;     // recompilation loops triggered (Figure 4)
+  uint64_t total_ns() const {
+    return disassemble_ns + trace_ns + lift_ns + opt_ns;
+  }
+};
+
+// The recompiled artifact: original image (stays mapped) + lifted program +
+// the CFG it was built from.
+struct RecompiledBinary {
+  binary::Image image;
+  cfg::ControlFlowGraph graph;
+  lift::LiftedProgram program;
+
+  // Executes the recompiled program.
+  exec::ExecResult Run(const std::vector<std::vector<uint8_t>>& inputs,
+                       exec::ExecOptions options = {}) const;
+};
+
+class Recompiler {
+ public:
+  Recompiler(binary::Image image, RecompileOptions options)
+      : image_(std::move(image)), options_(std::move(options)) {}
+
+  // One full pipeline pass: disassemble (+trace), lift, optimize.
+  Expected<RecompiledBinary> Recompile();
+
+  // Runs the recompiled binary; on a control-flow miss, integrates the
+  // discovered target and recompiles (additive lifting), until the run
+  // completes or the round limit is hit.
+  Expected<exec::ExecResult> RunAdditive(
+      RecompiledBinary& binary,
+      const std::vector<std::vector<uint8_t>>& inputs,
+      exec::ExecOptions exec_options = {});
+
+  // Dynamic callback analysis (§3.3.3): runs the recompiled binary over the
+  // input sets recording external entries, then produces a slimmed artifact
+  // with only observed callbacks marked external (enabling inlining).
+  Expected<RecompiledBinary> RecompileWithCallbackAnalysis(
+      const std::vector<std::vector<std::vector<uint8_t>>>& input_sets);
+
+  const RecompileStats& stats() const { return stats_; }
+  const binary::Image& image() const { return image_; }
+  RecompileOptions& options() { return options_; }
+
+ private:
+  Expected<RecompiledBinary> Rebuild(const cfg::ControlFlowGraph& graph);
+  void PersistCfg(const cfg::ControlFlowGraph& graph);
+
+  binary::Image image_;
+  RecompileOptions options_;
+  RecompileStats stats_;
+};
+
+}  // namespace polynima::recomp
+
+#endif  // POLYNIMA_RECOMP_RECOMPILER_H_

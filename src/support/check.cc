@@ -1,0 +1,13 @@
+#include "src/support/check.h"
+
+namespace polynima::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "[POLY_CHECK failed] %s:%d: %s %s\n", file, line, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace polynima::internal

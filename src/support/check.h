@@ -1,0 +1,56 @@
+// Invariant-checking macros. A failed check indicates a programming error in
+// this codebase (never a malformed user input) and aborts with a message.
+#ifndef POLYNIMA_SUPPORT_CHECK_H_
+#define POLYNIMA_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace polynima::internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Streams extra context onto a failing check, then aborts in the destructor.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckFailureStream() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace polynima::internal
+
+#define POLY_CHECK(cond)                                               \
+  if (cond) {                                                          \
+  } else /* NOLINT */                                                  \
+    ::polynima::internal::CheckFailureStream(__FILE__, __LINE__, #cond)
+
+#define POLY_CHECK_EQ(a, b) POLY_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define POLY_CHECK_NE(a, b) POLY_CHECK((a) != (b))
+#define POLY_CHECK_LT(a, b) POLY_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define POLY_CHECK_LE(a, b) POLY_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define POLY_CHECK_GT(a, b) POLY_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define POLY_CHECK_GE(a, b) POLY_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define POLY_UNREACHABLE(msg) \
+  ::polynima::internal::CheckFailed(__FILE__, __LINE__, "unreachable", (msg))
+
+#endif  // POLYNIMA_SUPPORT_CHECK_H_

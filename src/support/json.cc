@@ -1,0 +1,409 @@
+#include "src/support/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/check.h"
+
+namespace polynima::json {
+
+int64_t Value::as_int() const {
+  if (is_double()) {
+    return static_cast<int64_t>(std::get<double>(storage_));
+  }
+  return std::get<int64_t>(storage_);
+}
+
+double Value::as_double() const {
+  if (is_int()) {
+    return static_cast<double>(std::get<int64_t>(storage_));
+  }
+  return std::get<double>(storage_);
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (!is_object()) {
+    return nullptr;
+  }
+  const Object& obj = as_object();
+  auto it = obj.find(std::string(key));
+  if (it == obj.end()) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendIndent(std::string& out, int indent) {
+  out.push_back('\n');
+  out.append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string& out, bool pretty, int indent) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_int()) {
+    out += std::to_string(std::get<int64_t>(storage_));
+  } else if (is_double()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(storage_));
+    out += buf;
+  } else if (is_string()) {
+    AppendEscaped(out, as_string());
+  } else if (is_array()) {
+    const Array& arr = as_array();
+    out.push_back('[');
+    bool first = true;
+    for (const Value& v : arr) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      if (pretty) {
+        AppendIndent(out, indent + 1);
+      }
+      v.DumpTo(out, pretty, indent + 1);
+    }
+    if (pretty && !arr.empty()) {
+      AppendIndent(out, indent);
+    }
+    out.push_back(']');
+  } else {
+    const Object& obj = as_object();
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, v] : obj) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      if (pretty) {
+        AppendIndent(out, indent + 1);
+      }
+      AppendEscaped(out, key);
+      out.push_back(':');
+      if (pretty) {
+        out.push_back(' ');
+      }
+      v.DumpTo(out, pretty, indent + 1);
+    }
+    if (pretty && !obj.empty()) {
+      AppendIndent(out, indent);
+    }
+    out.push_back('}');
+  }
+}
+
+std::string Value::Dump(bool pretty) const {
+  std::string out;
+  DumpTo(out, pretty, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<Value> ParseDocument() {
+    POLY_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& message) {
+    return Status::InvalidArgument("json: " + message + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Expected<Value> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        POLY_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value(std::move(s));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Value(true);
+        }
+        return Error("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Value(false);
+        }
+        return Error("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Value(nullptr);
+        }
+        return Error("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Expected<Value> ParseObject() {
+    POLY_CHECK(Consume('{'));
+    Object obj;
+    SkipWhitespace();
+    if (Consume('}')) {
+      return Value(std::move(obj));
+    }
+    while (true) {
+      SkipWhitespace();
+      POLY_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      POLY_ASSIGN_OR_RETURN(Value v, ParseValue());
+      obj.emplace(std::move(key), std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return Value(std::move(obj));
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Expected<Value> ParseArray() {
+    POLY_CHECK(Consume('['));
+    Array arr;
+    SkipWhitespace();
+    if (Consume(']')) {
+      return Value(std::move(arr));
+    }
+    while (true) {
+      POLY_ASSIGN_OR_RETURN(Value v, ParseValue());
+      arr.push_back(std::move(v));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return Value(std::move(arr));
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Expected<std::string> ParseString() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Error("bad escape");
+        }
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Error("bad \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape");
+              }
+            }
+            // Only BMP codepoints below 0x80 are emitted by this project.
+            out.push_back(static_cast<char>(code & 0xff));
+            break;
+          }
+          default:
+            return Error("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Expected<Value> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        // '-'/'+' only valid after exponent markers, but we accept loosely and
+        // let strtod validate.
+        if (c == '.' || c == 'e' || c == 'E') {
+          is_double = true;
+        }
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (token.empty()) {
+      return Error("expected value");
+    }
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size() && errno == 0) {
+        return Value(static_cast<int64_t>(v));
+      }
+    }
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("bad number '" + token + "'");
+    }
+    return Value(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+Status WriteFile(const std::string& path, const Value& value) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  out << value.Dump(/*pretty=*/true) << "\n";
+  if (!out) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Expected<Value> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parse(ss.str());
+}
+
+}  // namespace polynima::json

@@ -1,0 +1,85 @@
+// Minimal JSON reader/writer used for Polynima's on-disk control-flow-graph
+// representation (the contract between the static disassembler, the ICFT
+// tracer, and the additive-lifting loop — see DESIGN.md §2).
+//
+// Supports the JSON subset the project emits: objects, arrays, strings,
+// 64-bit integers, doubles, booleans, and null. Numbers that fit in int64 are
+// kept exact so code addresses round-trip losslessly.
+#ifndef POLYNIMA_SUPPORT_JSON_H_
+#define POLYNIMA_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace polynima::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+// std::map keeps serialized output deterministic (sorted keys).
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : storage_(nullptr) {}
+  Value(std::nullptr_t) : storage_(nullptr) {}     // NOLINT(runtime/explicit)
+  Value(bool b) : storage_(b) {}                   // NOLINT(runtime/explicit)
+  Value(int64_t i) : storage_(i) {}                // NOLINT(runtime/explicit)
+  Value(int i) : storage_(int64_t{i}) {}           // NOLINT(runtime/explicit)
+  Value(uint64_t u)                                // NOLINT(runtime/explicit)
+      : storage_(static_cast<int64_t>(u)) {}
+  Value(double d) : storage_(d) {}                 // NOLINT(runtime/explicit)
+  Value(std::string s) : storage_(std::move(s)) {} // NOLINT(runtime/explicit)
+  Value(const char* s) : storage_(std::string(s)) {}  // NOLINT
+  Value(Array a) : storage_(std::move(a)) {}       // NOLINT(runtime/explicit)
+  Value(Object o) : storage_(std::move(o)) {}      // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(storage_); }
+  bool is_bool() const { return std::holds_alternative<bool>(storage_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(storage_); }
+  bool is_double() const { return std::holds_alternative<double>(storage_); }
+  bool is_string() const { return std::holds_alternative<std::string>(storage_); }
+  bool is_array() const { return std::holds_alternative<Array>(storage_); }
+  bool is_object() const { return std::holds_alternative<Object>(storage_); }
+
+  bool as_bool() const { return std::get<bool>(storage_); }
+  int64_t as_int() const;
+  uint64_t as_uint() const { return static_cast<uint64_t>(as_int()); }
+  double as_double() const;
+  const std::string& as_string() const { return std::get<std::string>(storage_); }
+  const Array& as_array() const { return std::get<Array>(storage_); }
+  Array& as_array() { return std::get<Array>(storage_); }
+  const Object& as_object() const { return std::get<Object>(storage_); }
+  Object& as_object() { return std::get<Object>(storage_); }
+
+  // Object member lookup; returns nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  // Serializes to compact JSON (`pretty=false`) or indented JSON.
+  std::string Dump(bool pretty = false) const;
+
+ private:
+  void DumpTo(std::string& out, bool pretty, int indent) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      storage_;
+};
+
+// Parses a complete JSON document. Trailing garbage is an error.
+Expected<Value> Parse(std::string_view text);
+
+// Convenience file I/O.
+Status WriteFile(const std::string& path, const Value& value);
+Expected<Value> ReadFile(const std::string& path);
+
+}  // namespace polynima::json
+
+#endif  // POLYNIMA_SUPPORT_JSON_H_

@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the project (thread-scheduler preemption
+// jitter, workload input generators, property-test case generation) goes
+// through SplitMix64 so that a (program, inputs, seed) triple is fully
+// reproducible — the property Polynima's multithreaded tests rely on.
+#ifndef POLYNIMA_SUPPORT_RNG_H_
+#define POLYNIMA_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace polynima {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double NextDouble() {  // in [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool() { return (Next() & 1) != 0; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace polynima
+
+#endif  // POLYNIMA_SUPPORT_RNG_H_

@@ -1,0 +1,139 @@
+// Lightweight error-handling vocabulary used across the Polynima codebase.
+//
+// The project is built without exceptions (per the OS-systems style this repo
+// follows); fallible interfaces return Status or Expected<T>. Programming
+// errors use the POLY_CHECK family from check.h instead.
+#ifndef POLYNIMA_SUPPORT_STATUS_H_
+#define POLYNIMA_SUPPORT_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace polynima {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kAborted,
+  kResourceExhausted,
+};
+
+// Returns a stable human-readable name ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success/error discriminant with a message. Cheap to copy in the success
+// case (no allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Holds either a T or an error Status. Accessing value() on an error aborts
+// (see check.h); call ok() first on genuinely fallible paths.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Expected(Status status)                            // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const T& value() const& { return std::get<T>(storage_); }
+  T& value() & { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(storage_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace polynima
+
+// Propagates an error Status from an Expected expression, binding the value
+// otherwise. Usage: POLY_ASSIGN_OR_RETURN(auto x, MakeX());
+#define POLY_ASSIGN_OR_RETURN(decl, expr)                   \
+  POLY_ASSIGN_OR_RETURN_IMPL_(                              \
+      POLY_STATUS_CONCAT_(expected_tmp_, __LINE__), decl, expr)
+
+#define POLY_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  decl = std::move(tmp).value()
+
+#define POLY_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::polynima::Status poly_st_ = (expr);   \
+    if (!poly_st_.ok()) {                   \
+      return poly_st_;                      \
+    }                                       \
+  } while (0)
+
+#define POLY_STATUS_CONCAT_INNER_(a, b) a##b
+#define POLY_STATUS_CONCAT_(a, b) POLY_STATUS_CONCAT_INNER_(a, b)
+
+#endif  // POLYNIMA_SUPPORT_STATUS_H_

@@ -1,0 +1,47 @@
+#include "src/support/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace polynima {
+
+std::string HexString(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::vector<std::string> Split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+}  // namespace polynima

@@ -1,0 +1,35 @@
+// Small string helpers shared across modules.
+#ifndef POLYNIMA_SUPPORT_STRINGS_H_
+#define POLYNIMA_SUPPORT_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace polynima {
+
+// Formats v as 0x-prefixed lowercase hex.
+std::string HexString(uint64_t v);
+
+// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream ss;
+  (ss << ... << args);
+  return ss.str();
+}
+
+}  // namespace polynima
+
+#endif  // POLYNIMA_SUPPORT_STRINGS_H_

@@ -1,0 +1,340 @@
+// polynima — the single command-line utility the paper describes (§4
+// "Environment and Software"): project management, disassembly, lifting and
+// (additive) recompilation of binaries.
+//
+//   polynima compile  <src.c> -o <img.plyb> [-O0|-O2]   build a test binary
+//   polynima disasm   <img.plyb>                        disassembly + CFG
+//   polynima recompile <img.plyb> -p <projectdir>
+//            [--trace <inputfile>...] [--remove-fences] [--no-optimize]
+//   polynima run      <img.plyb> -p <projectdir> [--input <file>]...
+//            [--original]                               additive execution
+//   polynima analyze  <img.plyb> [--input <file>]...    spinloop analysis
+//
+// A project directory persists the on-disk CFG (cfg.json) across runs, so
+// control-flow misses discovered on one execution benefit the next — the
+// on-device lifting workflow of §3.2.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/cc/compiler.h"
+#include "src/cfg/cfg.h"
+#include "src/fenceopt/spinloop.h"
+#include "src/recomp/recompiler.h"
+#include "src/support/strings.h"
+#include "src/vm/vm.h"
+#include "src/x86/decoder.h"
+#include "src/x86/printer.h"
+
+namespace polynima {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: polynima <compile|disasm|recompile|run|analyze> ...\n"
+               "see the header of src/tools/polynima_cli.cc\n");
+  return 2;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::string> inputs;       // --input files
+  std::vector<std::string> trace_files;  // --trace files
+  std::string output;
+  std::string project;
+  int opt_level = 2;
+  bool remove_fences = false;
+  bool optimize = true;
+  bool original = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args& args) {
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&](std::string& out) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      out = argv[++i];
+      return true;
+    };
+    if (a == "-o") {
+      if (!next(args.output)) return false;
+    } else if (a == "-p") {
+      if (!next(args.project)) return false;
+    } else if (a == "--input") {
+      std::string f;
+      if (!next(f)) return false;
+      args.inputs.push_back(f);
+    } else if (a == "--trace") {
+      std::string f;
+      if (!next(f)) return false;
+      args.trace_files.push_back(f);
+    } else if (a == "-O0") {
+      args.opt_level = 0;
+    } else if (a == "-O2" || a == "-O3") {
+      args.opt_level = 2;
+    } else if (a == "--remove-fences") {
+      args.remove_fences = true;
+    } else if (a == "--no-optimize") {
+      args.optimize = false;
+    } else if (a == "--original") {
+      args.original = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return false;
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<uint8_t>> LoadInputs(const Args& args) {
+  std::vector<std::vector<uint8_t>> inputs;
+  for (const std::string& f : args.inputs) {
+    inputs.push_back(ReadFileBytes(f));
+  }
+  return inputs;
+}
+
+int CmdCompile(const Args& args) {
+  if (args.positional.empty() || args.output.empty()) {
+    return Usage();
+  }
+  std::ifstream in(args.positional[0]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.positional[0].c_str());
+    return 1;
+  }
+  std::string source((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  cc::CompileOptions options;
+  options.name = std::filesystem::path(args.output).stem();
+  options.opt_level = args.opt_level;
+  auto image = cc::Compile(source, options);
+  if (!image.ok()) {
+    std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  Status st = image->WriteTo(args.output);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu code bytes, entry %s)\n", args.output.c_str(),
+              image->segments[0].bytes.size(),
+              HexString(image->entry_point).c_str());
+  return 0;
+}
+
+int CmdDisasm(const Args& args) {
+  if (args.positional.empty()) {
+    return Usage();
+  }
+  auto image = binary::Image::ReadFrom(args.positional[0]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  auto graph = cfg::RecoverStatic(*image);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& [entry, fn] : graph->functions) {
+    std::printf("\n%s:\n", fn.name.c_str());
+    for (uint64_t start : fn.block_starts) {
+      auto bit = graph->blocks.find(start);
+      if (bit == graph->blocks.end()) {
+        continue;
+      }
+      const cfg::BlockInfo& block = bit->second;
+      std::printf(".block_%s:  ; %s\n", HexString(start).c_str() + 2,
+                  cfg::TermKindName(block.term));
+      uint64_t addr = block.start;
+      while (addr < block.end) {
+        std::vector<uint8_t> bytes = image->ReadBytes(addr, 16);
+        auto inst = x86::Decode(bytes, addr);
+        if (!inst.ok()) {
+          std::printf("  %s: (bad)\n", HexString(addr).c_str());
+          break;
+        }
+        std::printf("  %s: %s\n", HexString(addr).c_str(),
+                    x86::FormatInst(*inst).c_str());
+        addr = inst->Next();
+      }
+      if (!block.indirect_targets.empty()) {
+        std::printf("  ; %zu known indirect targets\n",
+                    block.indirect_targets.size());
+      }
+    }
+  }
+  std::printf("\n%zu functions, %zu blocks, %zu indirect targets\n",
+              graph->functions.size(), graph->blocks.size(),
+              graph->TotalIndirectTargets());
+  return 0;
+}
+
+recomp::RecompileOptions MakeOptions(const Args& args) {
+  recomp::RecompileOptions options;
+  if (!args.project.empty()) {
+    options.project_dir = args.project;
+  }
+  options.remove_fences = args.remove_fences;
+  options.optimize = args.optimize;
+  if (!args.trace_files.empty()) {
+    options.use_icft_tracer = true;
+    for (const std::string& f : args.trace_files) {
+      options.trace_input_sets.push_back({ReadFileBytes(f)});
+    }
+  }
+  return options;
+}
+
+int CmdRecompile(const Args& args) {
+  if (args.positional.empty()) {
+    return Usage();
+  }
+  auto image = binary::Image::ReadFrom(args.positional[0]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  recomp::Recompiler recompiler(*image, MakeOptions(args));
+  auto binary = recompiler.Recompile();
+  if (!binary.ok()) {
+    std::fprintf(stderr, "%s\n", binary.status().ToString().c_str());
+    return 1;
+  }
+  const recomp::RecompileStats& stats = recompiler.stats();
+  std::printf("recompiled %s: %zu functions, %zu blocks\n",
+              args.positional[0].c_str(),
+              binary->program.functions_by_entry.size(),
+              binary->graph.blocks.size());
+  std::printf("  disassemble %.1f ms, trace %.1f ms (%zu ICFTs), "
+              "lift %.1f ms, optimize %.1f ms\n",
+              stats.disassemble_ns / 1e6, stats.trace_ns / 1e6,
+              stats.icft_count, stats.lift_ns / 1e6, stats.opt_ns / 1e6);
+  if (!args.project.empty()) {
+    std::printf("  project CFG: %s/cfg.json\n", args.project.c_str());
+  }
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  if (args.positional.empty()) {
+    return Usage();
+  }
+  auto image = binary::Image::ReadFrom(args.positional[0]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<uint8_t>> inputs = LoadInputs(args);
+  if (args.original) {
+    vm::ExternalLibrary library;
+    vm::Vm virtual_machine(*image, &library, {});
+    virtual_machine.SetInputs(inputs);
+    vm::RunResult r = virtual_machine.Run();
+    std::fputs(r.output.c_str(), stdout);
+    if (!r.ok) {
+      std::fprintf(stderr, "fault: %s\n", r.fault_message.c_str());
+      return 1;
+    }
+    return static_cast<int>(r.exit_code) & 0xff;
+  }
+  recomp::Recompiler recompiler(*image, MakeOptions(args));
+  auto binary = recompiler.Recompile();
+  if (!binary.ok()) {
+    std::fprintf(stderr, "%s\n", binary.status().ToString().c_str());
+    return 1;
+  }
+  auto result = recompiler.RunAdditive(*binary, inputs);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(result->output.c_str(), stdout);
+  if (recompiler.stats().additive_rounds > 0) {
+    std::fprintf(stderr, "[polynima] %d recompilation loop(s) this run\n",
+                 recompiler.stats().additive_rounds);
+  }
+  if (!result->ok) {
+    std::fprintf(stderr, "fault: %s\n", result->fault_message.c_str());
+    return 1;
+  }
+  return static_cast<int>(result->exit_code) & 0xff;
+}
+
+int CmdAnalyze(const Args& args) {
+  if (args.positional.empty()) {
+    return Usage();
+  }
+  auto image = binary::Image::ReadFrom(args.positional[0]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  auto graph = cfg::RecoverStatic(*image);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto analysis = fenceopt::DetectImplicitSynchronization(
+      *image, *graph, {LoadInputs(args)});
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& loop : analysis->loops) {
+    std::printf("%-10s loop %s/%s: %s\n",
+                loop.spinning ? "SPINNING" : "non-spin",
+                loop.function.c_str(), loop.header_block.c_str(),
+                loop.reason.c_str());
+  }
+  std::printf("fence removal: %s\n",
+              analysis->FenceRemovalSafe() ? "SAFE" : "withheld");
+  return analysis->FenceRemovalSafe() ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  Args args;
+  if (!ParseArgs(argc, argv, args)) {
+    return Usage();
+  }
+  std::string cmd = argv[1];
+  if (cmd == "compile") {
+    return CmdCompile(args);
+  }
+  if (cmd == "disasm") {
+    return CmdDisasm(args);
+  }
+  if (cmd == "recompile") {
+    return CmdRecompile(args);
+  }
+  if (cmd == "run") {
+    return CmdRun(args);
+  }
+  if (cmd == "analyze") {
+    return CmdAnalyze(args);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace polynima
+
+int main(int argc, char** argv) { return polynima::Main(argc, argv); }

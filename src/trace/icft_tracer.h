@@ -1,0 +1,59 @@
+// Indirect Control Flow Target (ICFT) tracer — the Intel-Pin-tool stand-in
+// (§3.2 "Dynamic").
+//
+// Runs the *original* binary in the VM with a lightweight per-transfer hook,
+// recording the concrete targets of indirect jumps and calls. Results from
+// multiple input sets are merged and used to augment the statically
+// recovered CFG before lifting, exactly as the paper's tracer augments the
+// radare2 JSON.
+#ifndef POLYNIMA_TRACE_ICFT_TRACER_H_
+#define POLYNIMA_TRACE_ICFT_TRACER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/binary/image.h"
+#include "src/cfg/cfg.h"
+#include "src/support/status.h"
+#include "src/vm/vm.h"
+
+namespace polynima::trace {
+
+struct TraceResult {
+  // transfer instruction address -> observed targets (code addresses only).
+  std::map<uint64_t, std::set<uint64_t>> indirect_targets;
+  // Total number of (transfer, target) pairs recorded.
+  size_t TotalTargets() const;
+  // Wall-clock host nanoseconds spent tracing (for the lift-time table).
+  uint64_t host_ns = 0;
+  // Guest run results (for sanity checking the inputs).
+  std::vector<vm::RunResult> runs;
+
+  void MergeFrom(const TraceResult& other);
+};
+
+// Traces one run of `image` under `inputs`.
+TraceResult TraceRun(const binary::Image& image,
+                     const std::vector<std::vector<uint8_t>>& inputs,
+                     vm::VmOptions options = {});
+
+// Traces every input set and merges the results.
+TraceResult TraceAll(
+    const binary::Image& image,
+    const std::vector<std::vector<std::vector<uint8_t>>>& input_sets,
+    vm::VmOptions options = {});
+
+// Merges traced targets into a CFG: indirect-jump targets join the owning
+// function (re-exploring from each), indirect-call targets become function
+// entries. `options` must match the options the CFG was recovered with.
+// Returns the number of newly added targets.
+Expected<int> AugmentCfg(const binary::Image& image,
+                         cfg::ControlFlowGraph& graph,
+                         const TraceResult& trace,
+                         const cfg::RecoverOptions& options = {});
+
+}  // namespace polynima::trace
+
+#endif  // POLYNIMA_TRACE_ICFT_TRACER_H_

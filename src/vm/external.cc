@@ -1,0 +1,496 @@
+#include "src/vm/external.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/binary/image.h"
+#include "src/support/check.h"
+#include "src/support/strings.h"
+
+namespace polynima::vm {
+
+const std::vector<std::string>& StandardExternalNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      // memory
+      "malloc", "free", "calloc", "realloc",
+      // string/memory ops
+      "memcpy", "memset", "memmove", "strlen", "strcmp", "strncmp", "strcpy",
+      "strchr",
+      // io
+      "print_str", "print_i64", "print_u64", "print_char", "input_len",
+      "input_read",
+      // misc
+      "exit", "abort", "clock_cycles", "usleep", "poly_srand", "poly_rand",
+      // pthreads
+      "pthread_create", "pthread_join", "pthread_mutex_init",
+      "pthread_mutex_lock", "pthread_mutex_trylock", "pthread_mutex_unlock",
+      "pthread_barrier_init", "pthread_barrier_wait",
+      // OpenMP runtime shim
+      "gomp_parallel",
+      // callback-taking libc
+      "qsort",
+      // file status shims used by the LightFTP scenario
+      "stat_path", "opendir_path",
+  };
+  return *names;
+}
+
+bool IsThreadSpawnExternal(const std::string& name) {
+  return name == "pthread_create" || name == "gomp_parallel";
+}
+
+int ThreadEntryArgIndex(const std::string& name) {
+  if (name == "pthread_create") {
+    return 2;
+  }
+  if (name == "gomp_parallel") {
+    return 0;
+  }
+  return -1;
+}
+
+bool IsCallbackExternal(const std::string& name) { return name == "qsort"; }
+
+ExternalLibrary::ExternalLibrary() : heap_next_(binary::kHeapBase) {
+  RegisterStandard();
+}
+
+void ExternalLibrary::Register(const std::string& name, ExtHandler handler) {
+  handlers_[name] = std::move(handler);
+}
+
+bool ExternalLibrary::Has(const std::string& name) const {
+  return handlers_.count(name) != 0;
+}
+
+ExtResult ExternalLibrary::Call(const std::string& name, GuestContext& ctx) {
+  auto it = handlers_.find(name);
+  if (it == handlers_.end()) {
+    return ExtResult::Fault("unresolved external: " + name);
+  }
+  return it->second(ctx);
+}
+
+uint64_t ExternalLibrary::AllocateGuest(GuestContext& ctx, uint64_t size) {
+  uint64_t aligned = (size + 15) & ~uint64_t{15};
+  if (aligned == 0) {
+    aligned = 16;
+  }
+  if (heap_next_ + aligned > binary::kHeapLimit) {
+    return 0;
+  }
+  uint64_t ptr = heap_next_;
+  heap_next_ += aligned;
+  alloc_sizes_[ptr] = size;
+  // Zero-fill (pages start zeroed, but a recycled implementation would not
+  // guarantee it; being explicit keeps both engines identical).
+  return ptr;
+}
+
+void ExternalLibrary::RegisterStandard() {
+  // ---- memory management ----
+  Register("malloc", [this](GuestContext& ctx) {
+    uint64_t size = ctx.GetArg(0);
+    ctx.SetResult(AllocateGuest(ctx, size));
+    ctx.AddCost(20);
+    return ExtResult::Done();
+  });
+  Register("free", [](GuestContext& ctx) {
+    // Bump allocator: free is a no-op (documented in DESIGN.md).
+    ctx.SetResult(0);
+    ctx.AddCost(5);
+    return ExtResult::Done();
+  });
+  Register("calloc", [this](GuestContext& ctx) {
+    uint64_t n = ctx.GetArg(0);
+    uint64_t size = ctx.GetArg(1);
+    uint64_t total = n * size;
+    uint64_t ptr = AllocateGuest(ctx, total);
+    if (ptr != 0) {
+      std::vector<uint8_t> zero(total, 0);
+      ctx.memory().WriteBytes(ptr, zero.data(), zero.size());
+    }
+    ctx.SetResult(ptr);
+    ctx.AddCost(20 + total / 8);
+    return ExtResult::Done();
+  });
+  Register("realloc", [this](GuestContext& ctx) {
+    uint64_t old_ptr = ctx.GetArg(0);
+    uint64_t new_size = ctx.GetArg(1);
+    uint64_t new_ptr = AllocateGuest(ctx, new_size);
+    if (old_ptr != 0 && new_ptr != 0) {
+      auto it = alloc_sizes_.find(old_ptr);
+      uint64_t old_size = it == alloc_sizes_.end() ? 0 : it->second;
+      uint64_t n = std::min(old_size, new_size);
+      std::vector<uint8_t> buf(n);
+      ctx.memory().ReadBytes(old_ptr, buf.data(), n);
+      ctx.memory().WriteBytes(new_ptr, buf.data(), n);
+      ctx.AddCost(n / 8);
+    }
+    ctx.SetResult(new_ptr);
+    ctx.AddCost(20);
+    return ExtResult::Done();
+  });
+
+  // ---- string / memory ops ----
+  Register("memcpy", [](GuestContext& ctx) {
+    uint64_t dst = ctx.GetArg(0), src = ctx.GetArg(1), n = ctx.GetArg(2);
+    std::vector<uint8_t> buf(n);
+    ctx.memory().ReadBytes(src, buf.data(), n);
+    ctx.memory().WriteBytes(dst, buf.data(), n);
+    ctx.SetResult(dst);
+    ctx.AddCost(4 + n / 8);
+    return ExtResult::Done();
+  });
+  Register("memmove", [](GuestContext& ctx) {
+    uint64_t dst = ctx.GetArg(0), src = ctx.GetArg(1), n = ctx.GetArg(2);
+    std::vector<uint8_t> buf(n);
+    ctx.memory().ReadBytes(src, buf.data(), n);
+    ctx.memory().WriteBytes(dst, buf.data(), n);
+    ctx.SetResult(dst);
+    ctx.AddCost(4 + n / 8);
+    return ExtResult::Done();
+  });
+  Register("memset", [](GuestContext& ctx) {
+    uint64_t dst = ctx.GetArg(0);
+    uint8_t value = static_cast<uint8_t>(ctx.GetArg(1));
+    uint64_t n = ctx.GetArg(2);
+    std::vector<uint8_t> buf(n, value);
+    ctx.memory().WriteBytes(dst, buf.data(), n);
+    ctx.SetResult(dst);
+    ctx.AddCost(4 + n / 8);
+    return ExtResult::Done();
+  });
+  Register("strlen", [](GuestContext& ctx) {
+    std::string s = ctx.memory().ReadCString(ctx.GetArg(0));
+    ctx.SetResult(s.size());
+    ctx.AddCost(4 + s.size() / 4);
+    return ExtResult::Done();
+  });
+  Register("strcmp", [](GuestContext& ctx) {
+    std::string a = ctx.memory().ReadCString(ctx.GetArg(0));
+    std::string b = ctx.memory().ReadCString(ctx.GetArg(1));
+    int cmp = a.compare(b);
+    ctx.SetResult(static_cast<uint64_t>(static_cast<int64_t>(cmp < 0 ? -1 : cmp > 0 ? 1 : 0)));
+    ctx.AddCost(4 + std::min(a.size(), b.size()) / 4);
+    return ExtResult::Done();
+  });
+  Register("strncmp", [](GuestContext& ctx) {
+    uint64_t n = ctx.GetArg(2);
+    std::string a = ctx.memory().ReadCString(ctx.GetArg(0)).substr(0, n);
+    std::string b = ctx.memory().ReadCString(ctx.GetArg(1)).substr(0, n);
+    int cmp = a.compare(b);
+    ctx.SetResult(static_cast<uint64_t>(static_cast<int64_t>(cmp < 0 ? -1 : cmp > 0 ? 1 : 0)));
+    ctx.AddCost(4 + n / 4);
+    return ExtResult::Done();
+  });
+  Register("strcpy", [](GuestContext& ctx) {
+    uint64_t dst = ctx.GetArg(0);
+    std::string s = ctx.memory().ReadCString(ctx.GetArg(1));
+    ctx.memory().WriteBytes(dst, s.c_str(), s.size() + 1);
+    ctx.SetResult(dst);
+    ctx.AddCost(4 + s.size() / 4);
+    return ExtResult::Done();
+  });
+  Register("strchr", [](GuestContext& ctx) {
+    uint64_t base = ctx.GetArg(0);
+    char needle = static_cast<char>(ctx.GetArg(1));
+    std::string s = ctx.memory().ReadCString(base);
+    size_t pos = s.find(needle);
+    ctx.SetResult(pos == std::string::npos ? 0 : base + pos);
+    ctx.AddCost(4 + s.size() / 4);
+    return ExtResult::Done();
+  });
+
+  // ---- io ----
+  Register("print_str", [](GuestContext& ctx) {
+    ctx.output() += ctx.memory().ReadCString(ctx.GetArg(0));
+    ctx.SetResult(0);
+    ctx.AddCost(30);
+    return ExtResult::Done();
+  });
+  Register("print_i64", [](GuestContext& ctx) {
+    ctx.output() += std::to_string(static_cast<int64_t>(ctx.GetArg(0)));
+    ctx.SetResult(0);
+    ctx.AddCost(30);
+    return ExtResult::Done();
+  });
+  Register("print_u64", [](GuestContext& ctx) {
+    ctx.output() += std::to_string(ctx.GetArg(0));
+    ctx.SetResult(0);
+    ctx.AddCost(30);
+    return ExtResult::Done();
+  });
+  Register("print_char", [](GuestContext& ctx) {
+    ctx.output().push_back(static_cast<char>(ctx.GetArg(0)));
+    ctx.SetResult(0);
+    ctx.AddCost(10);
+    return ExtResult::Done();
+  });
+  Register("input_len", [](GuestContext& ctx) {
+    uint64_t idx = ctx.GetArg(0);
+    const auto& inputs = ctx.inputs();
+    ctx.SetResult(idx < inputs.size() ? inputs[idx].size() : 0);
+    ctx.AddCost(10);
+    return ExtResult::Done();
+  });
+  Register("input_read", [](GuestContext& ctx) {
+    uint64_t idx = ctx.GetArg(0);
+    uint64_t off = ctx.GetArg(1);
+    uint64_t dst = ctx.GetArg(2);
+    uint64_t n = ctx.GetArg(3);
+    const auto& inputs = ctx.inputs();
+    if (idx >= inputs.size() || off >= inputs[idx].size()) {
+      ctx.SetResult(0);
+      return ExtResult::Done();
+    }
+    uint64_t count = std::min<uint64_t>(n, inputs[idx].size() - off);
+    ctx.memory().WriteBytes(dst, inputs[idx].data() + off, count);
+    ctx.SetResult(count);
+    ctx.AddCost(10 + count / 8);
+    return ExtResult::Done();
+  });
+
+  // ---- misc ----
+  Register("exit", [](GuestContext& ctx) {
+    ctx.RequestExit(static_cast<int64_t>(ctx.GetArg(0)));
+    return ExtResult::Done();
+  });
+  Register("abort", [](GuestContext& ctx) {
+    return ExtResult::Fault("guest called abort()");
+  });
+  Register("clock_cycles", [](GuestContext& ctx) {
+    ctx.SetResult(ctx.now());
+    ctx.AddCost(5);
+    return ExtResult::Done();
+  });
+  Register("usleep", [](GuestContext& ctx) {
+    ctx.AddCost(ctx.GetArg(0) * 100);
+    ctx.SetResult(0);
+    return ExtResult::Done();
+  });
+  Register("poly_srand", [this](GuestContext& ctx) {
+    rand_state_ = ctx.GetArg(0) * 2862933555777941757ull + 3037000493ull;
+    ctx.SetResult(0);
+    ctx.AddCost(5);
+    return ExtResult::Done();
+  });
+  Register("poly_rand", [this](GuestContext& ctx) {
+    rand_state_ = rand_state_ * 6364136223846793005ull + 1442695040888963407ull;
+    ctx.SetResult((rand_state_ >> 33) & 0x7fffffff);
+    ctx.AddCost(5);
+    return ExtResult::Done();
+  });
+
+  // ---- pthreads ----
+  Register("pthread_create", [](GuestContext& ctx) {
+    uint64_t tid_out = ctx.GetArg(0);
+    uint64_t entry = ctx.GetArg(2);
+    uint64_t arg = ctx.GetArg(3);
+    int tid = ctx.SpawnThread(entry, arg, 0);
+    ctx.memory().Write(tid_out, 8, static_cast<uint64_t>(tid));
+    ctx.SetResult(0);
+    ctx.AddCost(200);
+    return ExtResult::Done();
+  });
+  Register("pthread_join", [](GuestContext& ctx) {
+    int tid = static_cast<int>(ctx.GetArg(0));
+    uint64_t retval_out = ctx.GetArg(1);
+    uint64_t retval = 0;
+    if (!ctx.ThreadFinished(tid, &retval)) {
+      ctx.AddCost(20);
+      return ExtResult::Block();
+    }
+    if (retval_out != 0) {
+      ctx.memory().Write(retval_out, 8, retval);
+    }
+    ctx.SetResult(0);
+    ctx.AddCost(50);
+    return ExtResult::Done();
+  });
+  Register("pthread_mutex_init", [](GuestContext& ctx) {
+    ctx.memory().Write(ctx.GetArg(0), 8, 0);
+    ctx.SetResult(0);
+    ctx.AddCost(10);
+    return ExtResult::Done();
+  });
+  Register("pthread_mutex_lock", [](GuestContext& ctx) {
+    uint64_t m = ctx.GetArg(0);
+    if (ctx.memory().Read(m, 8) != 0) {
+      ctx.AddCost(20);
+      return ExtResult::Block();
+    }
+    ctx.memory().Write(m, 8, static_cast<uint64_t>(ctx.current_thread()) + 1);
+    ctx.SetResult(0);
+    ctx.AddCost(15);
+    return ExtResult::Done();
+  });
+  Register("pthread_mutex_trylock", [](GuestContext& ctx) {
+    uint64_t m = ctx.GetArg(0);
+    if (ctx.memory().Read(m, 8) != 0) {
+      ctx.SetResult(16);  // EBUSY
+    } else {
+      ctx.memory().Write(m, 8, static_cast<uint64_t>(ctx.current_thread()) + 1);
+      ctx.SetResult(0);
+    }
+    ctx.AddCost(15);
+    return ExtResult::Done();
+  });
+  Register("pthread_mutex_unlock", [](GuestContext& ctx) {
+    ctx.memory().Write(ctx.GetArg(0), 8, 0);
+    ctx.SetResult(0);
+    ctx.AddCost(15);
+    return ExtResult::Done();
+  });
+  Register("pthread_barrier_init", [this](GuestContext& ctx) {
+    uint64_t b = ctx.GetArg(0);
+    uint64_t count = ctx.GetArg(2);
+    ctx.memory().Write(b, 8, count);
+    barriers_.erase(b);
+    ctx.SetResult(0);
+    ctx.AddCost(10);
+    return ExtResult::Done();
+  });
+  Register("pthread_barrier_wait", [this](GuestContext& ctx) {
+    uint64_t b = ctx.GetArg(0);
+    uint64_t total = ctx.memory().Read(b, 8);
+    int tid = ctx.current_thread();
+    BarrierState& st = barriers_[b];
+    auto wait_key = std::make_pair(b, tid);
+    auto wit = barrier_waits_.find(wait_key);
+    if (wit == barrier_waits_.end()) {
+      // First arrival for this thread in this generation.
+      st.arrived.insert(tid);
+      if (st.arrived.size() >= total) {
+        // Last arrival releases everyone.
+        st.generation++;
+        st.arrived.clear();
+        ctx.SetResult(1);  // PTHREAD_BARRIER_SERIAL_THREAD
+        ctx.AddCost(30);
+        return ExtResult::Done();
+      }
+      barrier_waits_[wait_key] = st.generation;
+      ctx.AddCost(20);
+      return ExtResult::Block();
+    }
+    if (st.generation > wit->second) {
+      barrier_waits_.erase(wit);
+      ctx.SetResult(0);
+      ctx.AddCost(30);
+      return ExtResult::Done();
+    }
+    ctx.AddCost(20);
+    return ExtResult::Block();
+  });
+
+  // ---- OpenMP shim ----
+  // gomp_parallel(fn, data, num_threads): runs fn(data, i) on `num_threads`
+  // freshly spawned threads and returns when all complete. This mirrors how
+  // gcc lowers `#pragma omp parallel` to GOMP_parallel with an outlined
+  // function — each spawned thread enters the binary through an external
+  // entry point (the recompiler's callback-handling path).
+  Register("gomp_parallel", [this](GuestContext& ctx) {
+    int caller = ctx.current_thread();
+    auto it = gomp_children_.find(caller);
+    if (it == gomp_children_.end()) {
+      uint64_t fn = ctx.GetArg(0);
+      uint64_t data = ctx.GetArg(1);
+      uint64_t nthreads = ctx.GetArg(2);
+      std::vector<int> children;
+      for (uint64_t i = 0; i < nthreads; ++i) {
+        children.push_back(ctx.SpawnThread(fn, data, i));
+      }
+      gomp_children_[caller] = std::move(children);
+      ctx.AddCost(200 * nthreads);
+      return ExtResult::Block();
+    }
+    uint64_t retval = 0;
+    for (int child : it->second) {
+      if (!ctx.ThreadFinished(child, &retval)) {
+        ctx.AddCost(20);
+        return ExtResult::Block();
+      }
+    }
+    gomp_children_.erase(it);
+    ctx.SetResult(0);
+    ctx.AddCost(100);
+    return ExtResult::Done();
+  });
+
+  // ---- qsort (callback into guest code) ----
+  Register("qsort", [](GuestContext& ctx) {
+    uint64_t base = ctx.GetArg(0);
+    uint64_t n = ctx.GetArg(1);
+    uint64_t elem_size = ctx.GetArg(2);
+    uint64_t cmp = ctx.GetArg(3);
+    if (elem_size == 0 || n > (1u << 22)) {
+      return ExtResult::Fault("qsort: bad arguments");
+    }
+    // Read all elements, sort with the guest comparator, write back.
+    std::vector<std::vector<uint8_t>> elems(n, std::vector<uint8_t>(elem_size));
+    for (uint64_t i = 0; i < n; ++i) {
+      ctx.memory().ReadBytes(base + i * elem_size, elems[i].data(), elem_size);
+    }
+    // Scratch slots for comparator arguments (two elements at the end of the
+    // array region would alias; use a private scratch in the heap region is
+    // risky — compare in place using stable indices instead).
+    std::vector<uint32_t> order(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      order[i] = static_cast<uint32_t>(i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       uint64_t pa = base + a * elem_size;
+                       uint64_t pb = base + b * elem_size;
+                       uint64_t args[2] = {pa, pb};
+                       int64_t r = static_cast<int64_t>(
+                           ctx.CallGuest(cmp, std::span(args, 2)));
+                       return static_cast<int32_t>(r) < 0;
+                     });
+    for (uint64_t i = 0; i < n; ++i) {
+      ctx.memory().WriteBytes(base + i * elem_size, elems[order[i]].data(),
+                              elem_size);
+    }
+    ctx.SetResult(0);
+    ctx.AddCost(20 + n * 4);
+    return ExtResult::Done();
+  });
+
+  // ---- file-status shims (LightFTP scenario) ----
+  // stat_path(path) -> 0 if the "filesystem" (input stream 1, a NUL-separated
+  // list of valid paths) contains the path.
+  auto path_exists = [](GuestContext& ctx, const std::string& path) {
+    const auto& inputs = ctx.inputs();
+    if (inputs.size() < 2) {
+      return false;
+    }
+    std::string fs(inputs[1].begin(), inputs[1].end());
+    size_t start = 0;
+    while (start < fs.size()) {
+      size_t end = fs.find('\0', start);
+      if (end == std::string::npos) {
+        end = fs.size();
+      }
+      if (fs.substr(start, end - start) == path) {
+        return true;
+      }
+      start = end + 1;
+    }
+    return false;
+  };
+  Register("stat_path", [path_exists](GuestContext& ctx) {
+    std::string path = ctx.memory().ReadCString(ctx.GetArg(0));
+    ctx.SetResult(path_exists(ctx, path) ? 0 : static_cast<uint64_t>(-1));
+    ctx.AddCost(50);
+    return ExtResult::Done();
+  });
+  Register("opendir_path", [path_exists](GuestContext& ctx) {
+    std::string path = ctx.memory().ReadCString(ctx.GetArg(0));
+    ctx.SetResult(path_exists(ctx, path) ? 1 : 0);
+    ctx.AddCost(50);
+    return ExtResult::Done();
+  });
+}
+
+}  // namespace polynima::vm

@@ -1,0 +1,97 @@
+// External library: the "native shared libraries" the guest binary links
+// against (mini libc, pthreads, an OpenMP runtime shim, qsort).
+//
+// Externals live at fixed addresses (binary::kExternalBase + 16 * slot); a
+// guest `call` landing there is handled by the engine via this registry.
+// Handlers may return kBlock, in which case the engine re-issues the call the
+// next time the thread is scheduled — this is how mutex waits, joins and
+// barriers are modelled without host threads.
+#ifndef POLYNIMA_VM_EXTERNAL_H_
+#define POLYNIMA_VM_EXTERNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/vm/guest_context.h"
+
+namespace polynima::vm {
+
+enum class ExtStatus : uint8_t {
+  kDone,   // call completed; engine performs the return
+  kBlock,  // would block; engine retries later (handler must be re-entrant)
+  kFault,  // guest error (abort, bad argument)
+};
+
+struct ExtResult {
+  ExtStatus status = ExtStatus::kDone;
+  std::string fault_message;
+
+  static ExtResult Done() { return {}; }
+  static ExtResult Block() { return {ExtStatus::kBlock, {}}; }
+  static ExtResult Fault(std::string m) {
+    return {ExtStatus::kFault, std::move(m)};
+  }
+};
+
+using ExtHandler = std::function<ExtResult(GuestContext&)>;
+
+// The canonical external name list. Images record the subset they import in
+// slot order; the standard library registers handlers for all of these.
+const std::vector<std::string>& StandardExternalNames();
+
+// Set of external functions that spawn a new guest thread with a
+// caller-provided entry point (the paper requires their signatures to be
+// known to the recompiler, §3.1).
+bool IsThreadSpawnExternal(const std::string& name);
+// Argument index (0-based) of the code pointer for thread-spawning externals.
+int ThreadEntryArgIndex(const std::string& name);
+// Externals that invoke a guest callback synchronously (e.g. qsort).
+bool IsCallbackExternal(const std::string& name);
+
+// One instance per program run: owns mutable host-side state (heap bump
+// pointer, barrier arrival sets, rand state). Handlers are looked up by the
+// *image's* slot numbering via the name table the image carries.
+class ExternalLibrary {
+ public:
+  ExternalLibrary();
+
+  // Installs or replaces a handler (used by instrumentation runtimes, e.g.
+  // the CVE mitigation demo).
+  void Register(const std::string& name, ExtHandler handler);
+  bool Has(const std::string& name) const;
+
+  // Invokes external `name` for the current thread of `ctx`.
+  ExtResult Call(const std::string& name, GuestContext& ctx);
+
+ private:
+  void RegisterStandard();
+
+  std::unordered_map<std::string, ExtHandler> handlers_;
+
+  // --- host-side state ---
+  uint64_t heap_next_;
+  std::unordered_map<uint64_t, uint64_t> alloc_sizes_;
+  uint64_t rand_state_ = 0x853c49e6748fea9bull;
+  // barrier address -> {generation, arrived tids}
+  struct BarrierState {
+    uint64_t generation = 0;
+    std::set<int> arrived;
+  };
+  std::map<uint64_t, BarrierState> barriers_;
+  // (barrier address, tid) -> generation the thread arrived in
+  std::map<std::pair<uint64_t, int>, uint64_t> barrier_waits_;
+  // caller tid -> child tids for an in-flight gomp_parallel
+  std::map<int, std::vector<int>> gomp_children_;
+
+  uint64_t AllocateGuest(GuestContext& ctx, uint64_t size);
+};
+
+}  // namespace polynima::vm
+
+#endif  // POLYNIMA_VM_EXTERNAL_H_

@@ -1,0 +1,72 @@
+// Sparse paged guest memory with page-granular permissions.
+//
+// Accesses outside registered regions raise a sticky fault (checked by the
+// execution engines after each step) rather than aborting, so wild accesses
+// in guest programs surface as guest faults — the behaviour baseline
+// recompilers are expected to exhibit on mis-lifted binaries.
+#ifndef POLYNIMA_VM_MEMORY_H_
+#define POLYNIMA_VM_MEMORY_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace polynima::vm {
+
+class Memory {
+ public:
+  static constexpr uint64_t kPageSize = 4096;
+
+  // Marks [lo, hi) as accessible; pages are allocated lazily on first touch.
+  void AllowRegion(uint64_t lo, uint64_t hi, bool writable);
+  // Copies `bytes` to `addr`, allowing the covered region (used for image
+  // segments; `writable=false` makes .text immutable).
+  void MapSegment(uint64_t addr, const std::vector<uint8_t>& bytes,
+                  bool writable);
+
+  uint64_t Read(uint64_t addr, int size);
+  void Write(uint64_t addr, int size, uint64_t value);
+  void ReadBytes(uint64_t addr, void* dst, size_t n);
+  void WriteBytes(uint64_t addr, const void* src, size_t n);
+
+  // Reads a NUL-terminated guest string (bounded at 1 MiB).
+  std::string ReadCString(uint64_t addr);
+
+  bool faulted() const { return faulted_; }
+  uint64_t fault_address() const { return fault_address_; }
+  // Clears the sticky fault (used by engines that report and recover).
+  void ClearFault() { faulted_ = false; }
+
+ private:
+  struct Page {
+    std::array<uint8_t, kPageSize> data{};
+    bool writable = true;
+    bool allowed = false;
+  };
+
+  Page* PageFor(uint64_t addr, bool for_write);
+  void Fault(uint64_t addr) {
+    if (!faulted_) {
+      faulted_ = true;
+      fault_address_ = addr;
+    }
+  }
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+  // Allowed ranges, page-aligned: page -> writable.
+  struct Region {
+    uint64_t lo, hi;
+    bool writable;
+  };
+  std::vector<Region> regions_;
+  bool faulted_ = false;
+  uint64_t fault_address_ = 0;
+};
+
+}  // namespace polynima::vm
+
+#endif  // POLYNIMA_VM_MEMORY_H_

@@ -1,0 +1,450 @@
+// Real-world utility miniatures (§4.2), each preserving the construct
+// profile of its namesake: memcached (pthreads + compiler-builtin atomics),
+// mongoose (thread-per-batch request dispatch over a jump table), pigz
+// (pthread-parallel chunk compression at several levels), and LightFTP —
+// including the CVE-2023-24042 race: a session context shared across
+// handler threads whose FileName field is reused by the USER command with
+// no synchronization (§4.1).
+#include "src/workloads/workloads.h"
+
+#include "src/support/rng.h"
+
+namespace polynima::workloads {
+namespace {
+
+const char* kMemcached = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern int pthread_mutex_init(long* m, long attr);
+extern int pthread_mutex_lock(long* m);
+extern int pthread_mutex_unlock(long* m);
+extern long malloc(long n);
+extern void print_i64(long v);
+extern void poly_srand(long seed);
+extern long poly_rand();
+
+long nops = 2000;
+long nslots = 512;
+long* keys;
+long* vals;
+long shard_mutex[8];
+long* ops;        // encoded: key*4 + (is_set ? 1 : 0) + flags
+long get_hits = 0;
+long get_misses = 0;
+long value_sum = 0;
+long sets = 0;
+long nthreads = 4;
+
+// Slots are partitioned into 8 shard regions of 64 slots; probing wraps
+// within the shard so the shard mutex really covers its slots.
+long slot_of(long key) {
+  long shard = key & 7;
+  long within = (key * 2654435761) & 63;
+  return shard * 64 + within;
+}
+long probe_next(long s) {
+  long shard = s / 64;
+  return shard * 64 + ((s + 1) & 63);
+}
+
+long worker(long tid) {
+  long chunk = nops / nthreads;
+  long lo = tid * chunk;
+  long hi = tid == nthreads - 1 ? nops : lo + chunk;
+  for (long i = lo; i < hi; i++) {
+    long op = ops[i];
+    long key = op >> 2;
+    long shard = key & 7;
+    if (op & 1) {
+      // set
+      pthread_mutex_lock(&shard_mutex[shard]);
+      long s = slot_of(key);
+      long probe = 0;
+      while (keys[s] != 0 && keys[s] != key && probe < 64) {
+        s = probe_next(s);
+        probe += 1;
+      }
+      keys[s] = key;
+      vals[s] = key * 31 + 7;
+      pthread_mutex_unlock(&shard_mutex[shard]);
+      __atomic_fetch_add(&sets, 1);
+    } else {
+      // get
+      pthread_mutex_lock(&shard_mutex[shard]);
+      long s = slot_of(key);
+      long probe = 0;
+      long hit = 0;
+      while (keys[s] != 0 && probe < 64) {
+        if (keys[s] == key) { hit = 1; break; }
+        s = probe_next(s);
+        probe += 1;
+      }
+      long v = hit ? vals[s] : 0;
+      pthread_mutex_unlock(&shard_mutex[shard]);
+      if (hit) {
+        __atomic_fetch_add(&get_hits, 1);
+        __atomic_fetch_add(&value_sum, v);
+      } else {
+        __atomic_fetch_add(&get_misses, 1);
+      }
+    }
+  }
+  return 0;
+}
+
+int main() {
+  poly_srand(99);
+  keys = (long*)malloc(nslots * 8);
+  vals = (long*)malloc(nslots * 8);
+  ops = (long*)malloc(nops * 8);
+  for (int i = 0; i < 8; i++) pthread_mutex_init(&shard_mutex[i], 0);
+  // 10% sets, 90% gets (the memaslap default proportion), keys 1..255.
+  // Pre-populate the whole key space: sets then only overwrite values, so
+  // the observable results are independent of get/set interleaving.
+  for (long k = 1; k < 256; k++) {
+    long s = slot_of(k);
+    while (keys[s] != 0) s = probe_next(s);
+    keys[s] = k;
+    vals[s] = k * 31 + 7;
+  }
+  for (long i = 0; i < nops; i++) {
+    long key = 1 + poly_rand() % 255;
+    long is_set = (poly_rand() % 10) == 0;
+    ops[i] = key * 4 + is_set;
+  }
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  print_i64(sets);
+  print_i64(get_hits);
+  print_i64(get_misses);
+  print_i64(value_sum);
+  return 0;
+}
+)";
+
+const char* kMongoose = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+char* reqs;        // requests, one per byte pair: method, route
+long nreqs;
+long responses[4];
+long nthreads = 4;
+
+// Method dispatch: dense switch -> jump table in the O2 binary (the command
+// dispatch structure real servers have).
+long handle(long method, long route) {
+  switch (method) {
+    case 0: return 200 + route % 7;        // GET
+    case 1: return 201 + route % 5;        // POST
+    case 2: return 204;                    // HEAD
+    case 3: return 200 + route % 3;        // PUT
+    case 4: return 202;                    // DELETE
+    case 5: return 200;                    // OPTIONS
+    case 6: return 405 + route % 2;        // PATCH
+    default: return 400;
+  }
+}
+
+long worker(long tid) {
+  long chunk = nreqs / nthreads;
+  long lo = tid * chunk;
+  long hi = tid == nthreads - 1 ? nreqs : lo + chunk;
+  long acc = 0;
+  for (long i = lo; i < hi; i++) {
+    long method = reqs[i * 2] & 7;
+    long route = reqs[i * 2 + 1] & 127;
+    acc += handle(method, route) * (1 + route % 3);
+  }
+  responses[tid] = acc;
+  return 0;
+}
+
+int main() {
+  long bytes = input_len(0);
+  nreqs = bytes / 2;
+  reqs = (char*)malloc(bytes + 2);
+  input_read(0, 0, reqs, bytes);
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  long total = 0;
+  for (int i = 0; i < 4; i++) total += responses[i];
+  print_i64(nreqs);
+  print_i64(total);
+  return 0;
+}
+)";
+
+const char* kPigz = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+char* data;
+long nbytes;
+char* out;
+long out_len[4];
+long out_sum[4];
+long level;        // 1 = fast, 2 = default, 3 = slow (extra delta pass)
+long nthreads = 4;
+
+// Run-length encode [lo, hi) into dst; returns encoded length.
+long rle(char* src, long lo, long hi, char* dst) {
+  long w = 0;
+  long i = lo;
+  while (i < hi) {
+    char c = src[i];
+    long run = 1;
+    while (i + run < hi && src[i + run] == c && run < 255) run += 1;
+    dst[w] = (char)run;
+    dst[w + 1] = c;
+    w += 2;
+    i += run;
+  }
+  return w;
+}
+
+long worker(long tid) {
+  long chunk = nbytes / nthreads;
+  long lo = tid * chunk;
+  long hi = tid == nthreads - 1 ? nbytes : lo + chunk;
+  char* dst = out + tid * (nbytes + 16);
+  char* tmp = dst + (nbytes / 2) + 8;
+  // Level 3 ("slow"): delta-filter pass before RLE; level 2: one RLE pass;
+  // level 1 ("fast"): RLE on coarser runs (skip odd offsets).
+  long n;
+  if (level >= 3) {
+    char prev = 0;
+    for (long i = lo; i < hi; i++) {
+      char cur = data[i];
+      tmp[i - lo] = (char)(cur - prev);
+      prev = cur;
+    }
+    n = rle(tmp, 0, hi - lo, dst);
+  } else {
+    n = rle(data, lo, hi, dst);
+  }
+  long sum = 0;
+  for (long i = 0; i < n; i++) sum += dst[i] & 255;
+  out_len[tid] = n;
+  out_sum[tid] = sum;
+  return 0;
+}
+
+int main() {
+  nbytes = input_len(0);
+  level = 2;
+  if (input_len(1) > 0) {
+    char lv;
+    input_read(1, 0, &lv, 1);
+    level = lv - '0';
+  }
+  data = (char*)malloc(nbytes + 16);
+  input_read(0, 0, data, nbytes);
+  out = (char*)malloc((nbytes + 16) * 4 + 64);
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  long total = 0, checksum = 0;
+  for (int i = 0; i < 4; i++) { total += out_len[i]; checksum += out_sum[i]; }
+  print_i64(total);
+  print_i64(checksum);
+  return 0;
+}
+)";
+
+const char* kLightFtp = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_str(char* s);
+extern void print_i64(long v);
+extern long strcmp(char* a, char* b);
+extern long strcpy(char* d, char* s);
+extern long stat_path(char* path);
+extern long opendir_path(char* path);
+
+// Session context shared by every handler thread: the FileName field is
+// reused across commands with no synchronization (CVE-2023-24042).
+struct Context {
+  char FileName[64];
+  char UserName[64];
+};
+struct Context ctx;
+
+long data_connected = 0;   // "data socket" state
+long handler_tid = 0;
+long handler_active = 0;
+
+char cmdbuf[4096];
+long cmdlen;
+
+// LIST handler thread: blocks until the data socket connects, then opens
+// the directory named by the (shared, overwritable) context field.
+long list_thread(long unused) {
+  while (__atomic_load(&data_connected) == 0) { __pause(); }
+  if (opendir_path(ctx.FileName)) {
+    print_str("150 LIST ");
+    print_str(ctx.FileName);
+    print_str("\n");
+  } else {
+    print_str("550 LIST failed\n");
+  }
+  return 0;
+}
+
+long parse_line(long pos, char* verb, char* arg) {
+  long v = 0;
+  while (pos < cmdlen && cmdbuf[pos] != ' ' && cmdbuf[pos] != '\n') {
+    verb[v] = cmdbuf[pos];
+    v += 1;
+    pos += 1;
+  }
+  verb[v] = 0;
+  long a = 0;
+  if (pos < cmdlen && cmdbuf[pos] == ' ') {
+    pos += 1;
+    while (pos < cmdlen && cmdbuf[pos] != '\n') {
+      arg[a] = cmdbuf[pos];
+      a += 1;
+      pos += 1;
+    }
+  }
+  arg[a] = 0;
+  return pos + 1;
+}
+
+int main() {
+  cmdlen = input_len(0);
+  input_read(0, 0, cmdbuf, cmdlen);
+  long pos = 0;
+  char verb[64];
+  char arg[128];
+  while (pos < cmdlen) {
+    pos = parse_line(pos, verb, arg);
+    if (strcmp(verb, "USER") == 0) {
+      strcpy(ctx.UserName, arg);
+      // The vulnerable reuse: the user string is also written into the
+      // FileName field of the shared context, with no checks.
+      strcpy(ctx.FileName, arg);
+      print_str("331 user ok\n");
+    } else if (strcmp(verb, "LIST") == 0) {
+      if (stat_path(arg) == 0) {
+        strcpy(ctx.FileName, arg);
+        pthread_create(&handler_tid, 0, list_thread, 0);
+        handler_active = 1;
+        print_str("150 opening data connection\n");
+      } else {
+        print_str("550 no such directory\n");
+      }
+    } else if (strcmp(verb, "CONNECT") == 0) {
+      __atomic_store(&data_connected, 1);
+      if (handler_active) {
+        pthread_join(handler_tid, 0);
+        handler_active = 0;
+      }
+      __atomic_store(&data_connected, 0);
+      print_str("226 transfer complete\n");
+    } else if (strcmp(verb, "QUIT") == 0) {
+      print_str("221 bye\n");
+      break;
+    } else {
+      print_str("500 unknown command\n");
+    }
+  }
+  return 0;
+}
+)";
+
+std::vector<uint8_t> TextInput(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::vector<uint8_t> RandomReqs(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+std::vector<uint8_t> RunnyBytes(uint64_t seed, size_t n) {
+  // Compressible data: runs of repeated bytes.
+  Rng rng(seed);
+  std::vector<uint8_t> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    uint8_t value = static_cast<uint8_t>(rng.NextBelow(16));
+    size_t run = 1 + rng.NextBelow(12);
+    for (size_t i = 0; i < run && out.size() < n; ++i) {
+      out.push_back(value);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Workload>& Apps() {
+  static const std::vector<Workload>* workloads = [] {
+    auto* list = new std::vector<Workload>;
+
+    Workload memcached;
+    memcached.name = "memcached";
+    memcached.suite = "apps";
+    memcached.source = kMemcached;
+    memcached.make_inputs = [](int) {
+      return std::vector<std::vector<uint8_t>>{};
+    };
+    list->push_back(std::move(memcached));
+
+    Workload mongoose;
+    mongoose.name = "mongoose";
+    mongoose.suite = "apps";
+    mongoose.source = kMongoose;
+    mongoose.make_inputs = [](int scale) {
+      size_t n = scale <= 0 ? 2000 : scale == 1 ? 8000 : 32000;
+      return std::vector<std::vector<uint8_t>>{RandomReqs(7, n)};
+    };
+    list->push_back(std::move(mongoose));
+
+    Workload pigz;
+    pigz.name = "pigz";
+    pigz.suite = "apps";
+    pigz.source = kPigz;
+    pigz.make_inputs = [](int scale) {
+      size_t n = scale <= 0 ? 8000 : scale == 1 ? 32000 : 128000;
+      return std::vector<std::vector<uint8_t>>{RunnyBytes(13, n),
+                                               TextInput("2")};
+    };
+    list->push_back(std::move(pigz));
+
+    Workload lightftp;
+    lightftp.name = "lightftp";
+    lightftp.suite = "apps";
+    lightftp.source = kLightFtp;
+    lightftp.make_inputs = [](int) {
+      // Benign session: LIST pub, connect, quit. Input 1 = "filesystem".
+      return std::vector<std::vector<uint8_t>>{
+          TextInput("USER alice\nLIST pub\nCONNECT\nQUIT\n"),
+          TextInput(std::string("pub\0data\0/etc/passwd\0", 21))};
+    };
+    list->push_back(std::move(lightftp));
+    return list;
+  }();
+  return *workloads;
+}
+
+}  // namespace polynima::workloads

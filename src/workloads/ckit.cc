@@ -1,0 +1,302 @@
+// ConcurrencyKit-style spinlock implementations (Table 5 + §4.3
+// true-negatives). Each workload provides lock_acquire/lock_release built
+// from compiler builtins that lower to hardware atomic instructions, plus a
+// shared driver: a 4-thread validation phase incrementing an unprotected
+// counter under the lock, then a single-thread latency phase timing
+// lock/unlock pairs with clock_cycles().
+//
+// ck_hclh is a documented simplification: a CLH lock taken twice (cluster
+// hop + global hop), approximating the hierarchical queue's doubled
+// acquire cost.
+#include "src/workloads/workloads.h"
+
+namespace polynima::workloads {
+namespace {
+
+// Driver: with no input, run the 4-thread validation (deterministic output,
+// compared against the original binary); with any input, run the
+// single-thread latency test from the regression suite (cycles per
+// lock/unlock pair — engine-specific by design, Table 5).
+const char* kDriver = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern void print_i64(long v);
+extern long clock_cycles();
+extern long input_len(long idx);
+
+long counter = 0;
+long val_iters = 120;
+
+long worker(long tid) {
+  for (long i = 0; i < val_iters; i++) {
+    lock_acquire(tid);
+    counter += 1;   // plain RMW: only safe because the lock serializes
+    lock_release(tid);
+  }
+  return 0;
+}
+
+int main() {
+  lock_init();
+  if (input_len(0) > 0) {
+    // Latency mode.
+    long t0 = clock_cycles();
+    for (long i = 0; i < 200; i++) {
+      lock_acquire(0);
+      lock_release(0);
+    }
+    long dt = clock_cycles() - t0;
+    print_i64(dt / 200);
+    return 0;
+  }
+  // Validation mode.
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  print_i64(counter);
+  return 0;
+}
+)";
+
+const char* kCas = R"(
+long lock_word;
+void lock_init() { lock_word = 0; }
+void lock_acquire(long tid) {
+  while (__atomic_cas(&lock_word, 0, 1) != 0) { __pause(); }
+}
+void lock_release(long tid) { __atomic_store(&lock_word, 0); }
+)";
+
+const char* kFas = R"(
+long lock_word;
+void lock_init() { lock_word = 0; }
+void lock_acquire(long tid) {
+  while (__atomic_exchange(&lock_word, 1) != 0) { __pause(); }
+}
+void lock_release(long tid) { __atomic_store(&lock_word, 0); }
+)";
+
+const char* kDec = R"(
+long lock_word;
+void lock_init() { lock_word = 1; }
+void lock_acquire(long tid) {
+  while (1) {
+    if (__atomic_fetch_add(&lock_word, -1) == 1) return;
+    while (__atomic_load(&lock_word) != 1) { __pause(); }
+  }
+}
+void lock_release(long tid) { __atomic_store(&lock_word, 1); }
+)";
+
+const char* kSpinlockDefault = R"(
+long lock_word;
+void lock_init() { lock_word = 0; }
+void lock_acquire(long tid) {
+  while (1) {
+    if (__atomic_load(&lock_word) == 0) {
+      if (__atomic_cas(&lock_word, 0, 1) == 0) return;
+    }
+    __pause();
+  }
+}
+void lock_release(long tid) { __atomic_store(&lock_word, 0); }
+)";
+
+const char* kTicket = R"(
+long next_ticket;
+long now_serving;
+void lock_init() { next_ticket = 0; now_serving = 0; }
+void lock_acquire(long tid) {
+  long t = __atomic_fetch_add(&next_ticket, 1);
+  while (__atomic_load(&now_serving) != t) { __pause(); }
+}
+void lock_release(long tid) {
+  __atomic_store(&now_serving, __atomic_load(&now_serving) + 1);
+}
+)";
+
+const char* kTicketPb = R"(
+long next_ticket;
+long now_serving;
+void lock_init() { next_ticket = 0; now_serving = 0; }
+void lock_acquire(long tid) {
+  long t = __atomic_fetch_add(&next_ticket, 1);
+  while (1) {
+    long d = t - __atomic_load(&now_serving);
+    if (d == 0) return;
+    // Proportional backoff.
+    for (long k = 0; k < d * 4; k++) { __pause(); }
+  }
+}
+void lock_release(long tid) {
+  __atomic_store(&now_serving, __atomic_load(&now_serving) + 1);
+}
+)";
+
+const char* kLinux = R"(
+long lock_word;  // (next << 16) | owner
+void lock_init() { lock_word = 0; }
+void lock_acquire(long tid) {
+  long old = __atomic_fetch_add(&lock_word, 65536);
+  long ticket = (old >> 16) & 65535;
+  while ((__atomic_load(&lock_word) & 65535) != ticket) { __pause(); }
+}
+void lock_release(long tid) { __atomic_fetch_add(&lock_word, 1); }
+)";
+
+const char* kAnderson = R"(
+long slots[8];
+long next_slot;
+long owner_slot[8];
+void lock_init() {
+  for (int i = 0; i < 8; i++) slots[i] = 0;
+  slots[0] = 1;
+  next_slot = 0;
+}
+void lock_acquire(long tid) {
+  long my = __atomic_fetch_add(&next_slot, 1) & 7;
+  while (__atomic_load(&slots[my]) == 0) { __pause(); }
+  __atomic_store(&slots[my], 0);
+  owner_slot[tid] = my;
+}
+void lock_release(long tid) {
+  long my = owner_slot[tid];
+  __atomic_store(&slots[(my + 1) & 7], 1);
+}
+)";
+
+const char* kMcs = R"(
+struct mcs_node { long next; long locked; long pad[6]; };
+struct mcs_node nodes[8];
+long tail;
+void lock_init() { tail = 0; }
+void lock_acquire(long tid) {
+  struct mcs_node* me = &nodes[tid];
+  me->next = 0;
+  me->locked = 1;
+  long pred = __atomic_exchange(&tail, (long)me);
+  if (pred != 0) {
+    struct mcs_node* p = (struct mcs_node*)pred;
+    __atomic_store(&p->next, (long)me);
+    while (__atomic_load(&me->locked) != 0) { __pause(); }
+  }
+}
+void lock_release(long tid) {
+  struct mcs_node* me = &nodes[tid];
+  if (__atomic_load(&me->next) == 0) {
+    if (__atomic_cas(&tail, (long)me, 0) == (long)me) return;
+    while (__atomic_load(&me->next) == 0) { __pause(); }
+  }
+  struct mcs_node* succ = (struct mcs_node*)me->next;
+  __atomic_store(&succ->locked, 0);
+}
+)";
+
+// CLH needs to remember the node it locked; write it explicitly.
+const char* kClhFixed = R"(
+struct clh_node { long locked; long pad[7]; };
+struct clh_node pool[16];
+long my_node[8];
+long locked_node[8];
+long tail;
+void lock_init() {
+  pool[15].locked = 0;           // dummy: initially unlocked
+  tail = (long)&pool[15];
+  for (int i = 0; i < 8; i++) my_node[i] = (long)&pool[i];
+}
+void lock_acquire(long tid) {
+  struct clh_node* me = (struct clh_node*)my_node[tid];
+  me->locked = 1;
+  long pred = __atomic_exchange(&tail, (long)me);
+  struct clh_node* p = (struct clh_node*)pred;
+  while (__atomic_load(&p->locked) != 0) { __pause(); }
+  locked_node[tid] = (long)me;
+  my_node[tid] = pred;           // recycle predecessor's node
+}
+void lock_release(long tid) {
+  struct clh_node* mine = (struct clh_node*)locked_node[tid];
+  __atomic_store(&mine->locked, 0);
+}
+)";
+
+const char* kHclh = R"(
+// Simplified hierarchical CLH: a cluster-level CLH queue followed by a
+// global CLH queue (two enqueue hops per acquire).
+struct clh_node { long locked; long pad[7]; };
+struct clh_node cpool[16];
+struct clh_node gpool[16];
+long c_my[8];
+long c_locked[8];
+long g_my[8];
+long g_locked[8];
+long ctail[2];
+long gtail;
+void lock_init() {
+  cpool[14].locked = 0;
+  cpool[15].locked = 0;
+  ctail[0] = (long)&cpool[14];
+  ctail[1] = (long)&cpool[15];
+  gpool[15].locked = 0;
+  gtail = (long)&gpool[15];
+  for (int i = 0; i < 8; i++) {
+    c_my[i] = (long)&cpool[i];
+    g_my[i] = (long)&gpool[i];
+  }
+}
+void lock_acquire(long tid) {
+  long cluster = tid & 1;
+  struct clh_node* cme = (struct clh_node*)c_my[tid];
+  cme->locked = 1;
+  long cpred = __atomic_exchange(&ctail[cluster], (long)cme);
+  struct clh_node* cp = (struct clh_node*)cpred;
+  while (__atomic_load(&cp->locked) != 0) { __pause(); }
+  c_locked[tid] = (long)cme;
+  c_my[tid] = cpred;
+  struct clh_node* gme = (struct clh_node*)g_my[tid];
+  gme->locked = 1;
+  long gpred = __atomic_exchange(&gtail, (long)gme);
+  struct clh_node* gp = (struct clh_node*)gpred;
+  while (__atomic_load(&gp->locked) != 0) { __pause(); }
+  g_locked[tid] = (long)gme;
+  g_my[tid] = gpred;
+}
+void lock_release(long tid) {
+  struct clh_node* gmine = (struct clh_node*)g_locked[tid];
+  __atomic_store(&gmine->locked, 0);
+  struct clh_node* cmine = (struct clh_node*)c_locked[tid];
+  __atomic_store(&cmine->locked, 0);
+}
+)";
+
+}  // namespace
+
+const std::vector<Workload>& CkitSpinlocks() {
+  static const std::vector<Workload>* workloads = [] {
+    auto* list = new std::vector<Workload>;
+    auto no_input = [](int) { return std::vector<std::vector<uint8_t>>{}; };
+    auto add = [&](const char* name, const char* impl) {
+      Workload w;
+      w.name = name;
+      w.suite = "ckit";
+      w.source = std::string(impl) + kDriver;
+      w.make_inputs = no_input;
+      w.default_opt = 2;  // ConcurrencyKit builds at O2
+      list->push_back(std::move(w));
+    };
+    add("ck_anderson", kAnderson);
+    add("ck_cas", kCas);
+    add("ck_clh", kClhFixed);
+    add("ck_dec", kDec);
+    add("ck_fas", kFas);
+    add("ck_hclh", kHclh);
+    add("ck_mcs", kMcs);
+    add("ck_spinlock", kSpinlockDefault);
+    add("ck_ticket", kTicket);
+    add("ck_ticket_pb", kTicketPb);
+    add("linux_spinlock", kLinux);
+    return list;
+  }();
+  return *workloads;
+}
+
+}  // namespace polynima::workloads

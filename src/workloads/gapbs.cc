@@ -1,0 +1,523 @@
+// gapbs-style graph kernels (Table 3). Parallelism follows the OpenMP
+// lowering: every parallel region is an outlined function entered by freshly
+// spawned threads via gomp_parallel (the callback-heavy profile the paper
+// identifies as a slowdown source), and synchronization uses
+// std::atomic-style builtins (fetch_add / CAS) that compile to lock-prefixed
+// instructions.
+//
+// `NID` is substituted with `int` (the 32-bit column) or `long` (64-bit).
+#include "src/workloads/workloads.h"
+
+namespace polynima::workloads {
+namespace {
+
+// Shared preamble: uniform-random directed graph in CSR form (plus the
+// transpose for pull-style kernels), adjacency lists sorted ascending.
+const char* kGraphPreamble = R"(
+extern void gomp_parallel(long (*fn)(long, long), long data, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+extern void poly_srand(long seed);
+extern long poly_rand();
+
+long nnodes = 256;
+long nthreads = 4;
+long nedges;
+NID* row;     // CSR offsets (nnodes + 1)
+NID* col;     // CSR edges
+NID* trow;    // transpose offsets
+NID* tcol;    // transpose edges
+long* deg;
+
+long node_lo(long tid) { return tid * (nnodes / nthreads); }
+long node_hi(long tid) {
+  return tid == nthreads - 1 ? nnodes : (tid + 1) * (nnodes / nthreads);
+}
+
+void build_graph() {
+  poly_srand(12345);
+  deg = (long*)malloc((nnodes + 1) * 8);
+  row = (NID*)malloc((nnodes + 1) * sizeof(NID));
+  trow = (NID*)malloc((nnodes + 1) * sizeof(NID));
+  long* tdeg = (long*)malloc((nnodes + 1) * 8);
+  for (long u = 0; u < nnodes; u++) {
+    deg[u] = 4 + poly_rand() % 8;
+  }
+  nedges = 0;
+  for (long u = 0; u < nnodes; u++) {
+    row[u] = (NID)nedges;
+    nedges += deg[u];
+  }
+  row[nnodes] = (NID)nedges;
+  col = (NID*)malloc(nedges * sizeof(NID));
+  for (long u = 0; u < nnodes; u++) {
+    long base = row[u];
+    for (long k = 0; k < deg[u]; k++) {
+      col[base + k] = (NID)(poly_rand() % nnodes);
+    }
+    // Sort the adjacency list ascending (tc relies on it).
+    for (long i = 1; i < deg[u]; i++) {
+      NID v = col[base + i];
+      long j = i - 1;
+      while (j >= 0 && col[base + j] > v) {
+        col[base + j + 1] = col[base + j];
+        j = j - 1;
+      }
+      col[base + j + 1] = v;
+    }
+  }
+  // Transpose.
+  for (long u = 0; u <= nnodes; u++) tdeg[u] = 0;
+  for (long e = 0; e < nedges; e++) tdeg[col[e]] += 1;
+  long acc = 0;
+  for (long v = 0; v < nnodes; v++) {
+    trow[v] = (NID)acc;
+    acc += tdeg[v];
+  }
+  trow[nnodes] = (NID)acc;
+  tcol = (NID*)malloc(nedges * sizeof(NID));
+  long* cursor = (long*)malloc(nnodes * 8);
+  for (long v = 0; v < nnodes; v++) cursor[v] = trow[v];
+  for (long u = 0; u < nnodes; u++) {
+    for (long e = row[u]; e < row[u + 1]; e++) {
+      long v = col[e];
+      tcol[cursor[v]] = (NID)u;
+      cursor[v] += 1;
+    }
+  }
+}
+)";
+
+const char* kBfs = R"(
+long* depth;
+long cur_round;
+long changed;
+
+long bfs_step(long data, long tid) {
+  for (long u = node_lo(tid); u < node_hi(tid); u++) {
+    if (depth[u] != cur_round) continue;
+    for (long e = row[u]; e < row[u + 1]; e++) {
+      long v = col[e];
+      if (__atomic_cas(&depth[v], -1, cur_round + 1) == -1) {
+        __atomic_store(&changed, 1);
+      }
+    }
+  }
+  return 0;
+}
+
+int main() {
+  build_graph();
+  depth = (long*)malloc(nnodes * 8);
+  for (long i = 0; i < nnodes; i++) depth[i] = -1;
+  depth[0] = 0;
+  cur_round = 0;
+  changed = 1;
+  while (changed) {
+    changed = 0;
+    gomp_parallel(bfs_step, 0, nthreads);
+    cur_round += 1;
+  }
+  long reached = 0, sum = 0;
+  for (long i = 0; i < nnodes; i++) {
+    if (depth[i] >= 0) { reached += 1; sum += depth[i]; }
+  }
+  print_i64(reached);
+  print_i64(sum);
+  return 0;
+}
+)";
+
+const char* kPr = R"(
+long* rank;
+long* next;
+long scale = 1048576;
+
+long pr_zero(long data, long tid) {
+  for (long v = node_lo(tid); v < node_hi(tid); v++) next[v] = 0;
+  return 0;
+}
+long pr_push(long data, long tid) {
+  for (long u = node_lo(tid); u < node_hi(tid); u++) {
+    long d = row[u + 1] - row[u];
+    if (d == 0) continue;
+    long share = rank[u] / d;
+    for (long e = row[u]; e < row[u + 1]; e++) {
+      __atomic_fetch_add(&next[col[e]], share);
+    }
+  }
+  return 0;
+}
+long pr_apply(long data, long tid) {
+  long base = scale * 15 / 100 / nnodes;
+  for (long v = node_lo(tid); v < node_hi(tid); v++) {
+    rank[v] = base + next[v] * 85 / 100;
+  }
+  return 0;
+}
+
+int main() {
+  build_graph();
+  rank = (long*)malloc(nnodes * 8);
+  next = (long*)malloc(nnodes * 8);
+  for (long v = 0; v < nnodes; v++) rank[v] = scale / nnodes;
+  for (long it = 0; it < 10; it++) {
+    gomp_parallel(pr_zero, 0, nthreads);
+    gomp_parallel(pr_push, 0, nthreads);
+    gomp_parallel(pr_apply, 0, nthreads);
+  }
+  long total = 0, top = 0;
+  for (long v = 0; v < nnodes; v++) {
+    total += rank[v];
+    if (rank[v] > rank[top]) top = v;
+  }
+  print_i64(total);
+  print_i64(top);
+  return 0;
+}
+)";
+
+const char* kPrSpmv = R"(
+long* rank;
+long* next;
+long scale = 1048576;
+
+long spmv_pull(long data, long tid) {
+  long base = scale * 15 / 100 / nnodes;
+  for (long v = node_lo(tid); v < node_hi(tid); v++) {
+    long sum = 0;
+    for (long e = trow[v]; e < trow[v + 1]; e++) {
+      long u = tcol[e];
+      long d = row[u + 1] - row[u];
+      if (d > 0) sum += rank[u] / d;
+    }
+    next[v] = base + sum * 85 / 100;
+  }
+  return 0;
+}
+long spmv_swap(long data, long tid) {
+  for (long v = node_lo(tid); v < node_hi(tid); v++) rank[v] = next[v];
+  return 0;
+}
+
+int main() {
+  build_graph();
+  rank = (long*)malloc(nnodes * 8);
+  next = (long*)malloc(nnodes * 8);
+  for (long v = 0; v < nnodes; v++) rank[v] = scale / nnodes;
+  for (long it = 0; it < 10; it++) {
+    gomp_parallel(spmv_pull, 0, nthreads);
+    gomp_parallel(spmv_swap, 0, nthreads);
+  }
+  long total = 0, top = 0;
+  for (long v = 0; v < nnodes; v++) {
+    total += rank[v];
+    if (rank[v] > rank[top]) top = v;
+  }
+  print_i64(total);
+  print_i64(top);
+  return 0;
+}
+)";
+
+const char* kCc = R"(
+long* comp;
+long changed;
+
+long cc_step(long data, long tid) {
+  for (long u = node_lo(tid); u < node_hi(tid); u++) {
+    for (long e = row[u]; e < row[u + 1]; e++) {
+      long v = col[e];
+      long cv = __atomic_load(&comp[v]);
+      // Atomic min via CAS retry.
+      while (1) {
+        long cu = __atomic_load(&comp[u]);
+        if (cv >= cu) break;
+        if (__atomic_cas(&comp[u], cu, cv) == cu) {
+          __atomic_store(&changed, 1);
+          break;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+int main() {
+  build_graph();
+  comp = (long*)malloc(nnodes * 8);
+  for (long v = 0; v < nnodes; v++) comp[v] = v;
+  changed = 1;
+  long rounds = 0;
+  while (changed) {
+    changed = 0;
+    gomp_parallel(cc_step, 0, nthreads);
+    rounds += 1;
+  }
+  long ncomp = 0, checksum = 0;
+  for (long v = 0; v < nnodes; v++) {
+    if (comp[v] == v) ncomp += 1;
+    checksum += comp[v];
+  }
+  print_i64(ncomp);
+  print_i64(checksum);
+  return 0;
+}
+)";
+
+const char* kCcSv = R"(
+long* comp;
+long changed;
+
+// Atomic min via CAS retry; every update monotonically decreases a label,
+// so chaotic iteration converges to a unique fixpoint (deterministic output
+// under any thread interleaving).
+long label_min(long* cell, long value) {
+  while (1) {
+    long cur = __atomic_load(cell);
+    if (value >= cur) return 0;
+    if (__atomic_cas(cell, cur, value) == cur) return 1;
+  }
+}
+
+long sv_hook(long data, long tid) {
+  for (long u = node_lo(tid); u < node_hi(tid); u++) {
+    for (long e = row[u]; e < row[u + 1]; e++) {
+      long v = col[e];
+      long cu = __atomic_load(&comp[u]);
+      long cv = __atomic_load(&comp[v]);
+      if (label_min(&comp[v], cu)) __atomic_store(&changed, 1);
+      if (label_min(&comp[u], cv)) __atomic_store(&changed, 1);
+    }
+  }
+  return 0;
+}
+long sv_compress(long data, long tid) {
+  for (long v = node_lo(tid); v < node_hi(tid); v++) {
+    long root = __atomic_load(&comp[__atomic_load(&comp[v])]);
+    if (label_min(&comp[v], root)) __atomic_store(&changed, 1);
+  }
+  return 0;
+}
+
+int main() {
+  build_graph();
+  comp = (long*)malloc(nnodes * 8);
+  for (long v = 0; v < nnodes; v++) comp[v] = v;
+  changed = 1;
+  long rounds = 0;
+  while (changed) {
+    changed = 0;
+    gomp_parallel(sv_hook, 0, nthreads);
+    gomp_parallel(sv_compress, 0, nthreads);
+    rounds += 1;
+  }
+  long ncomp = 0, checksum = 0;
+  for (long v = 0; v < nnodes; v++) {
+    if (comp[v] == v) ncomp += 1;
+    checksum += comp[v] * 3;
+  }
+  print_i64(ncomp);
+  print_i64(checksum);
+  return 0;
+}
+)";
+
+const char* kSssp = R"(
+long* dist;
+long changed;
+
+long weight_of(long u, long v) { return 1 + (u * 7 + v * 13) % 15; }
+
+long relax(long data, long tid) {
+  for (long u = node_lo(tid); u < node_hi(tid); u++) {
+    long du = __atomic_load(&dist[u]);
+    if (du >= 999999999) continue;
+    for (long e = row[u]; e < row[u + 1]; e++) {
+      long v = col[e];
+      long nd = du + weight_of(u, v);
+      while (1) {
+        long dv = __atomic_load(&dist[v]);
+        if (nd >= dv) break;
+        if (__atomic_cas(&dist[v], dv, nd) == dv) {
+          __atomic_store(&changed, 1);
+          break;
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+int main() {
+  build_graph();
+  dist = (long*)malloc(nnodes * 8);
+  for (long v = 0; v < nnodes; v++) dist[v] = 999999999;
+  dist[0] = 0;
+  changed = 1;
+  long rounds = 0;
+  while (changed) {
+    changed = 0;
+    gomp_parallel(relax, 0, nthreads);
+    rounds += 1;
+  }
+  long reach = 0, sum = 0;
+  for (long v = 0; v < nnodes; v++) {
+    if (dist[v] < 999999999) { reach += 1; sum += dist[v]; }
+  }
+  print_i64(reach);
+  print_i64(sum);
+  return 0;
+}
+)";
+
+const char* kBc = R"(
+long* depth;
+long* sigma;
+long* delta;
+long cur_round;
+long changed;
+long scale = 4096;
+
+long bc_forward(long data, long tid) {
+  for (long u = node_lo(tid); u < node_hi(tid); u++) {
+    if (depth[u] != cur_round) continue;
+    for (long e = row[u]; e < row[u + 1]; e++) {
+      long v = col[e];
+      if (__atomic_cas(&depth[v], -1, cur_round + 1) == -1) {
+        __atomic_store(&changed, 1);
+      }
+      if (__atomic_load(&depth[v]) == cur_round + 1) {
+        __atomic_fetch_add(&sigma[v], sigma[u]);
+      }
+    }
+  }
+  return 0;
+}
+long bc_backward(long data, long tid) {
+  for (long u = node_lo(tid); u < node_hi(tid); u++) {
+    if (depth[u] != cur_round) continue;
+    for (long e = row[u]; e < row[u + 1]; e++) {
+      long v = col[e];
+      if (depth[v] == cur_round + 1 && sigma[v] > 0) {
+        long contrib = sigma[u] * (scale + delta[v]) / sigma[v];
+        __atomic_fetch_add(&delta[u], contrib);
+      }
+    }
+  }
+  return 0;
+}
+
+int main() {
+  build_graph();
+  depth = (long*)malloc(nnodes * 8);
+  sigma = (long*)malloc(nnodes * 8);
+  delta = (long*)malloc(nnodes * 8);
+  long total = 0;
+  for (long src = 0; src < 2; src++) {
+    for (long v = 0; v < nnodes; v++) {
+      depth[v] = -1; sigma[v] = 0; delta[v] = 0;
+    }
+    depth[src] = 0;
+    sigma[src] = 1;
+    cur_round = 0;
+    changed = 1;
+    while (changed) {
+      changed = 0;
+      gomp_parallel(bc_forward, 0, nthreads);
+      cur_round += 1;
+    }
+    long max_round = cur_round;
+    for (cur_round = max_round - 1; cur_round >= 0; cur_round--) {
+      gomp_parallel(bc_backward, 0, nthreads);
+    }
+    for (long v = 0; v < nnodes; v++) total += delta[v];
+  }
+  print_i64(total);
+  return 0;
+}
+)";
+
+const char* kTc = R"(
+long total;
+
+long tc_count(long data, long tid) {
+  long local = 0;
+  for (long u = node_lo(tid); u < node_hi(tid); u++) {
+    for (long e = row[u]; e < row[u + 1]; e++) {
+      long v = col[e];
+      if (v <= u) continue;
+      // Intersect adj(u) and adj(v), counting w > v (sorted lists).
+      long i = row[u];
+      long j = row[v];
+      while (i < row[u + 1] && j < row[v + 1]) {
+        long a = col[i];
+        long b = col[j];
+        if (a < b) { i += 1; }
+        else if (b < a) { j += 1; }
+        else {
+          if (a > v) local += 1;
+          i += 1;
+          j += 1;
+        }
+      }
+    }
+  }
+  __atomic_fetch_add(&total, local);
+  return 0;
+}
+
+int main() {
+  build_graph();
+  total = 0;
+  gomp_parallel(tc_count, 0, nthreads);
+  print_i64(total);
+  return 0;
+}
+)";
+
+std::string Substitute(const std::string& text, const std::string& nid) {
+  std::string out;
+  size_t pos = 0;
+  while (true) {
+    size_t hit = text.find("NID", pos);
+    if (hit == std::string::npos) {
+      out += text.substr(pos);
+      return out;
+    }
+    out += text.substr(pos, hit - pos);
+    out += nid;
+    pos = hit + 3;
+  }
+}
+
+std::vector<Workload> MakeSuite(bool wide) {
+  const std::string nid = wide ? "long" : "int";
+  auto no_input = [](int) { return std::vector<std::vector<uint8_t>>{}; };
+  auto make = [&](const char* name, const char* body) {
+    Workload w;
+    w.name = name;
+    w.suite = wide ? "gapbs64" : "gapbs32";
+    w.source = Substitute(std::string(kGraphPreamble) + body, nid);
+    w.make_inputs = no_input;
+    w.default_opt = 2;
+    return w;
+  };
+  return {
+      make("bc", kBc),         make("bfs", kBfs),     make("cc", kCc),
+      make("cc_sv", kCcSv),    make("pr", kPr),       make("pr_spmv", kPrSpmv),
+      make("sssp", kSssp),     make("tc", kTc),
+  };
+}
+
+}  // namespace
+
+const std::vector<Workload>& Gapbs(bool wide) {
+  static const std::vector<Workload>* wide_suite =
+      new std::vector<Workload>(MakeSuite(true));
+  static const std::vector<Workload>* narrow_suite =
+      new std::vector<Workload>(MakeSuite(false));
+  return wide ? *wide_suite : *narrow_suite;
+}
+
+}  // namespace polynima::workloads

@@ -1,0 +1,525 @@
+// Phoenix-style map-reduce workloads (Table 2). All synchronize exclusively
+// through external pthread primitives; loop shapes follow the originals.
+#include "src/workloads/workloads.h"
+
+#include "src/support/rng.h"
+
+namespace polynima::workloads {
+namespace {
+
+std::vector<uint8_t> RandomBytes(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+std::vector<uint8_t> RandomText(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz      ";
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(kAlpha[rng.NextBelow(32)]);
+  }
+  return out;
+}
+
+size_t ScaleBytes(int scale, size_t small, size_t medium, size_t large) {
+  return scale <= 0 ? small : scale == 1 ? medium : large;
+}
+
+const char* kHistogram = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern int pthread_mutex_init(long* m, long attr);
+extern int pthread_mutex_lock(long* m);
+extern int pthread_mutex_unlock(long* m);
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+long mutex;
+long hist[256];
+char* data;
+long nbytes;
+long nthreads = 4;
+
+long worker(long tid) {
+  long chunk = nbytes / nthreads;
+  long lo = tid * chunk;
+  long hi = tid == nthreads - 1 ? nbytes : lo + chunk;
+  long local[256];
+  for (int i = 0; i < 256; i++) local[i] = 0;
+  for (long i = lo; i < hi; i++) {
+    int b = data[i] & 255;
+    local[b] += 1;
+  }
+  pthread_mutex_lock(&mutex);
+  for (int i = 0; i < 256; i++) hist[i] += local[i];
+  pthread_mutex_unlock(&mutex);
+  return 0;
+}
+
+int main() {
+  pthread_mutex_init(&mutex, 0);
+  nbytes = input_len(0);
+  data = (char*)malloc(nbytes + 16);
+  input_read(0, 0, data, nbytes);
+  // Byte-order fixup for big-endian sources: never taken on x86 inputs
+  // (the uncovered-loop false negative of the paper, section 4.3).
+  if (nbytes > 100000000) {
+    for (long i = 0; i + 1 < nbytes; i += 2) {
+      char t = data[i];
+      data[i] = data[i + 1];
+      data[i + 1] = t;
+    }
+  }
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  long checksum = 0;
+  for (int i = 0; i < 256; i++) checksum += (long)i * hist[i];
+  print_i64(checksum);
+  return 0;
+}
+)";
+
+const char* kKmeans = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern long malloc(long n);
+extern void print_i64(long v);
+extern void poly_srand(long seed);
+extern long poly_rand();
+
+long npoints = 600;
+long nclusters = 8;
+long niters = 5;
+int* px;
+int* py;
+long cx[8];
+long cy[8];
+long sum_x[8];
+long sum_y[8];
+long count[8];
+long nthreads = 4;
+
+long assign_worker(long tid) {
+  long total = npoints;
+  long nc = nclusters;
+  long chunk = total / nthreads;
+  long lo = tid * chunk;
+  long hi = tid == nthreads - 1 ? total : lo + chunk;
+  for (long i = lo; i < hi; i++) {
+    long best = 0;
+    long best_d = 0x7fffffffffffffff;
+    for (long k = 0; k < nc; k++) {
+      long dx = px[i] - cx[k];
+      long dy = py[i] - cy[k];
+      long d = dx * dx + dy * dy;
+      if (d < best_d) { best_d = d; best = k; }
+    }
+    // Atomic accumulation (compiler builtin -> lock xadd): this is the
+    // construct that puts kmeans outside the Lasagne-like subset.
+    __atomic_fetch_add(&sum_x[best], (long)px[i]);
+    __atomic_fetch_add(&sum_y[best], (long)py[i]);
+    __atomic_fetch_add(&count[best], 1);
+  }
+  return 0;
+}
+
+int main() {
+  poly_srand(42);
+  long total = npoints;
+  long nc = nclusters;
+  long iters = niters;
+  px = (int*)malloc(total * 4);
+  py = (int*)malloc(total * 4);
+  for (long i = 0; i < total; i++) {
+    px[i] = (int)(poly_rand() % 1000);
+    py[i] = (int)(poly_rand() % 1000);
+  }
+  for (long k = 0; k < nc; k++) {
+    cx[k] = px[k * 31 % total];
+    cy[k] = py[k * 31 % total];
+  }
+  for (long it = 0; it < iters; it++) {
+    for (long k = 0; k < nc; k++) {
+      sum_x[k] = 0; sum_y[k] = 0; count[k] = 0;
+    }
+    long tids[4];
+    for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, assign_worker, i);
+    for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+    for (long k = 0; k < nc; k++) {
+      if (count[k] > 0) {
+        cx[k] = sum_x[k] / count[k];
+        cy[k] = sum_y[k] / count[k];
+      }
+    }
+  }
+  long checksum = 0;
+  for (long k = 0; k < nc; k++) {
+    checksum += cx[k] * 13 + cy[k] * 7 + count[k];
+  }
+  print_i64(checksum);
+  return 0;
+}
+)";
+
+const char* kLinearRegression = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+long n;
+int* xs;
+int* ys;
+long part_sx[4];
+long part_sy[4];
+long part_sxx[4];
+long part_sxy[4];
+long nthreads = 4;
+
+char* raw;
+long worker(long tid) {
+  long total = n;
+  long chunk = total / nthreads;
+  long lo = tid * chunk;
+  long cnt = tid == nthreads - 1 ? total - lo : chunk;
+  // Each worker parses its own chunk of the point file, then runs the
+  // packed-SIMD kernel (the paper's linear_regression is a packed sequence
+  // of SSE instructions over the mmapped input).
+  for (long i = lo; i < lo + cnt; i++) {
+    xs[i] = raw[i * 2] & 127;
+    ys[i] = (raw[i * 2 + 1] & 127) + 3 * xs[i];
+  }
+  long sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (long round = 0; round < 8; round++) {
+    sx += __vsum_i32(xs + lo, cnt);
+    sy += __vsum_i32(ys + lo, cnt);
+    sxx += __vdot_i32(xs + lo, xs + lo, cnt);
+    sxy += __vdot_i32(xs + lo, ys + lo, cnt);
+  }
+  part_sx[tid] = sx / 8;
+  part_sy[tid] = sy / 8;
+  part_sxx[tid] = sxx / 8;
+  part_sxy[tid] = sxy / 8;
+  return 0;
+}
+
+int main() {
+  long bytes = input_len(0);
+  raw = (char*)malloc(bytes + 16);
+  input_read(0, 0, raw, bytes);
+  n = bytes / 2;
+  long total = n;
+  xs = (int*)malloc(total * 4);
+  ys = (int*)malloc(total * 4);
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  long sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (int i = 0; i < 4; i++) {
+    sx += part_sx[i]; sy += part_sy[i];
+    sxx += part_sxx[i]; sxy += part_sxy[i];
+  }
+  // Fixed-point slope/intercept (scaled by 1000).
+  long denom = total * sxx - sx * sx;
+  long slope1000 = denom == 0 ? 0 : (total * sxy - sx * sy) * 1000 / denom;
+  long icept1000 = (sy * 1000 - slope1000 * sx) / total;
+  print_i64(slope1000);
+  print_i64(icept1000);
+  return 0;
+}
+)";
+
+const char* kMatrixMultiply = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern long malloc(long n);
+extern void print_i64(long v);
+extern void poly_srand(long seed);
+extern long poly_rand();
+
+long dim = 40;
+int* a;
+int* bt;   // b transposed
+int* c;
+long nthreads = 4;
+
+long worker(long tid) {
+  long d = dim;
+  long chunk = d / nthreads;
+  long lo = tid * chunk;
+  long hi = tid == nthreads - 1 ? d : lo + chunk;
+  // Naive scalar inner product (the original Phoenix kernel is not
+  // profitably vectorizable due to its access pattern).
+  for (long i = lo; i < hi; i++) {
+    for (long j = 0; j < d; j++) {
+      long acc = 0;
+      for (long k = 0; k < d; k++) {
+        acc += (long)a[i * d + k] * bt[j * d + k];
+      }
+      c[i * d + j] = (int)acc;
+    }
+  }
+  return 0;
+}
+
+int main() {
+  poly_srand(3);
+  long d = dim;
+  long cells = d * d;
+  a = (int*)malloc(cells * 4);
+  bt = (int*)malloc(cells * 4);
+  c = (int*)malloc(cells * 4);
+  for (long i = 0; i < cells; i++) {
+    a[i] = (int)(poly_rand() % 10);
+    bt[i] = (int)(poly_rand() % 10);
+  }
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  long checksum = 0;
+  for (long i = 0; i < cells; i++) checksum += c[i] * (i % 17);
+  print_i64(checksum);
+  return 0;
+}
+)";
+
+const char* kPca = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern long malloc(long n);
+extern void print_i64(long v);
+extern void poly_srand(long seed);
+extern long poly_rand();
+extern void qsort(long* base, long n, long size, int (*cmp)(long*, long*));
+
+long rows = 96;
+long cols = 12;
+int* data;
+long mean[12];
+long cov_diag[12];
+long next_row = 0;
+
+int cmp_long(long* a, long* b) {
+  if (*a < *b) return -1;
+  if (*a > *b) return 1;
+  return 0;
+}
+
+long mean_worker(long tid) {
+  long nc = cols;
+  long nr = rows;
+  long chunk = nc / 4;
+  long lo = tid * chunk;
+  long hi = tid == 3 ? nc : lo + chunk;
+  for (long j = lo; j < hi; j++) {
+    long s = 0;
+    for (long i = 0; i < nr; i++) s += data[i * nc + j];
+    mean[j] = s / nr;
+  }
+  return 0;
+}
+
+long cov_worker(long unused) {
+  // Dynamic work queue: the exit condition depends on an atomic counter
+  // over shared memory — synchronized in reality, but the analysis cannot
+  // prove it without happens-before reasoning: the paper's pca false
+  // negative (section 4.3).
+  while (1) {
+    long j = __atomic_fetch_add(&next_row, 1);
+    if (j >= cols) break;
+    long nc = cols;
+    long nr = rows;
+    long s = 0;
+    for (long i = 0; i < nr; i++) {
+      long d = data[i * nc + j] - mean[j];
+      s += d * d;
+    }
+    cov_diag[j] = s / nr;
+  }
+  return 0;
+}
+
+int main() {
+  poly_srand(11);
+  long cells = rows * cols;
+  long nc = cols;
+  data = (int*)malloc(cells * 4);
+  for (long i = 0; i < cells; i++) data[i] = (int)(poly_rand() % 200);
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, mean_worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, cov_worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  // Rank the variances (qsort: callback into guest code from libc).
+  qsort(cov_diag, nc, 8, cmp_long);
+  long checksum = 0;
+  for (long j = 0; j < nc; j++) checksum += cov_diag[j] * (j + 1);
+  print_i64(checksum);
+  return 0;
+}
+)";
+
+const char* kStringMatch = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+char* text;
+long nbytes;
+long found[4];
+long nthreads = 4;
+char key0[6] = "which";
+char key1[5] = "that";
+char key2[5] = "with";
+char key3[5] = "from";
+
+long match_at(char* key, long klen, long pos) {
+  for (long k = 0; k < klen; k++) {
+    if (text[pos + k] != key[k]) return 0;
+  }
+  return 1;
+}
+
+long worker(long tid) {
+  long chunk = nbytes / nthreads;
+  long lo = tid * chunk;
+  long hi = tid == nthreads - 1 ? nbytes : lo + chunk;
+  long local = 0;
+  for (long i = lo; i + 5 < hi; i++) {
+    local += match_at(key0, 5, i);
+    local += match_at(key1, 4, i);
+    local += match_at(key2, 4, i);
+    local += match_at(key3, 4, i);
+  }
+  found[tid] = local;
+  return 0;
+}
+
+int main() {
+  nbytes = input_len(0);
+  text = (char*)malloc(nbytes + 16);
+  input_read(0, 0, text, nbytes);
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  long total = 0;
+  for (int i = 0; i < 4; i++) total += found[i];
+  print_i64(total);
+  return 0;
+}
+)";
+
+const char* kWordCount = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern int pthread_mutex_init(long* m, long attr);
+extern int pthread_mutex_lock(long* m);
+extern int pthread_mutex_unlock(long* m);
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+long mutex;
+char* text;
+long nbytes;
+long buckets[128];
+long nthreads = 4;
+
+long worker(long tid) {
+  long chunk = nbytes / nthreads;
+  long lo = tid * chunk;
+  long hi = tid == nthreads - 1 ? nbytes : lo + chunk;
+  long local[128];
+  for (int i = 0; i < 128; i++) local[i] = 0;
+  long h = 0;
+  long in_word = 0;
+  for (long i = lo; i < hi; i++) {
+    char c = text[i];
+    if (c != ' ' && c != '\n') {
+      h = (h * 31 + c) & 127;
+      in_word = 1;
+    } else {
+      if (in_word) local[h] += 1;
+      h = 0;
+      in_word = 0;
+    }
+  }
+  if (in_word) local[h] += 1;
+  pthread_mutex_lock(&mutex);
+  for (int i = 0; i < 128; i++) buckets[i] += local[i];
+  pthread_mutex_unlock(&mutex);
+  return 0;
+}
+
+int main() {
+  pthread_mutex_init(&mutex, 0);
+  nbytes = input_len(0);
+  text = (char*)malloc(nbytes + 16);
+  input_read(0, 0, text, nbytes);
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  // Top bucket by simple scan (the reduce step).
+  long best = 0;
+  long total = 0;
+  for (int i = 0; i < 128; i++) {
+    total += buckets[i];
+    if (buckets[i] > buckets[best]) best = i;
+  }
+  print_i64(total);
+  print_i64(best);
+  return 0;
+}
+)";
+
+}  // namespace
+
+const std::vector<Workload>& Phoenix() {
+  static const std::vector<Workload>* workloads = [] {
+    auto* list = new std::vector<Workload>;
+    auto bytes_input = [](uint64_t seed, size_t s, size_t m, size_t l) {
+      return [=](int scale) {
+        return std::vector<std::vector<uint8_t>>{
+            RandomBytes(seed, ScaleBytes(scale, s, m, l))};
+      };
+    };
+    auto text_input = [](uint64_t seed, size_t s, size_t m, size_t l) {
+      return [=](int scale) {
+        return std::vector<std::vector<uint8_t>>{
+            RandomText(seed, ScaleBytes(scale, s, m, l))};
+      };
+    };
+    auto no_input = [](int) { return std::vector<std::vector<uint8_t>>{}; };
+
+    list->push_back({"histogram", "phoenix", kHistogram,
+                     bytes_input(101, 6000, 24000, 96000), 2});
+    list->push_back({"kmeans", "phoenix", kKmeans, no_input, 2});
+    list->push_back({"linear_regression", "phoenix", kLinearRegression,
+                     bytes_input(505, 8000, 32000, 128000), 2});
+    list->push_back(
+        {"matrix_multiply", "phoenix", kMatrixMultiply, no_input, 2});
+    list->push_back({"pca", "phoenix", kPca, no_input, 2});
+    list->push_back({"string_match", "phoenix", kStringMatch,
+                     text_input(202, 6000, 24000, 96000), 2});
+    list->push_back({"word_count", "phoenix", kWordCount,
+                     text_input(303, 6000, 24000, 96000), 2});
+    return list;
+  }();
+  return *workloads;
+}
+
+}  // namespace polynima::workloads

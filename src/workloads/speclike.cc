@@ -1,0 +1,700 @@
+// SPECint-2006-profile programs for the lift-time comparison (Table 4) and
+// the additive-vs-incremental experiment (Figure 4). Each program's
+// indirect-control-flow profile matches its namesake: mcf_like and
+// libquantum_like have no indirect transfers at all (an entirely static
+// approach is complete for them); gcc_like and gobmk_like dispatch through
+// function-pointer tables and dense switches (ICFT-heavy).
+#include "src/workloads/workloads.h"
+
+#include "src/support/rng.h"
+#include "src/support/strings.h"
+
+namespace polynima::workloads {
+namespace {
+
+std::vector<uint8_t> RandomBytes(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+// bzip2-like: RLE + move-to-front + order-0 frequency coding, mode switch
+// dispatched through a jump table.
+const char* kBzip2 = R"(
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+char* data;
+long n;
+char mtf_table[256];
+long freq[256];
+
+long rle_pass(char* src, long len, char* dst) {
+  long w = 0;
+  long i = 0;
+  while (i < len) {
+    char c = src[i];
+    long run = 1;
+    while (i + run < len && src[i + run] == c && run < 251) run += 1;
+    if (run >= 4) {
+      dst[w] = c; dst[w+1] = c; dst[w+2] = c; dst[w+3] = c;
+      dst[w+4] = (char)(run - 4);
+      w += 5;
+    } else {
+      for (long k = 0; k < run; k++) dst[w + k] = c;
+      w += run;
+    }
+    i += run;
+  }
+  return w;
+}
+
+long mtf_pass(char* src, long len, char* dst) {
+  for (int i = 0; i < 256; i++) mtf_table[i] = (char)i;
+  for (long i = 0; i < len; i++) {
+    char c = src[i];
+    int j = 0;
+    while ((mtf_table[j] & 255) != (c & 255)) j += 1;
+    dst[i] = (char)j;
+    while (j > 0) {
+      mtf_table[j] = mtf_table[j - 1];
+      j -= 1;
+    }
+    mtf_table[0] = c;
+  }
+  return len;
+}
+
+long entropy_bits(char* src, long len) {
+  for (int i = 0; i < 256; i++) freq[i] = 0;
+  for (long i = 0; i < len; i++) freq[src[i] & 255] += 1;
+  long bits = 0;
+  for (int i = 0; i < 256; i++) {
+    long f = freq[i];
+    long cost = 9;
+    if (f > len / 4) cost = 2;
+    else if (f > len / 16) cost = 4;
+    else if (f > len / 64) cost = 6;
+    else if (f > len / 256) cost = 8;
+    bits += f * cost;
+  }
+  return bits;
+}
+
+long apply_stage(long stage, char* src, long len, char* dst) {
+  switch (stage) {
+    case 0: return rle_pass(src, len, dst);
+    case 1: return mtf_pass(src, len, dst);
+    case 2: return rle_pass(src, len, dst);
+    case 3: return mtf_pass(src, len, dst);
+    case 4: {
+      for (long i = 0; i < len; i++) dst[i] = src[i];
+      return len;
+    }
+    default: return len;
+  }
+}
+
+int main() {
+  n = input_len(0);
+  data = (char*)malloc(n + 16);
+  input_read(0, 0, data, n);
+  char* a = (char*)malloc(n * 2 + 64);
+  char* b = (char*)malloc(n * 2 + 64);
+  char* cur = data;
+  long len = n;
+  for (long stage = 0; stage < 4; stage++) {
+    char* dst = (stage & 1) ? b : a;
+    len = apply_stage(stage, cur, len, dst);
+    cur = dst;
+  }
+  print_i64(len);
+  print_i64(entropy_bits(cur, len) / 8);
+  return 0;
+}
+)";
+
+// gcc-like: expression "compiler": tokenizer + recursive-descent evaluation
+// with operator handlers dispatched through a function-pointer table and a
+// dense token switch (ICFT-heavy).
+const char* kGcc = R"(
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+char* src;
+long n;
+long pos;
+
+long op_add(long a, long b) { return a + b; }
+long op_sub(long a, long b) { return a - b; }
+long op_mul(long a, long b) { return a * b; }
+long op_and(long a, long b) { return a & b; }
+long op_or(long a, long b) { return a | b; }
+long op_xor(long a, long b) { return a ^ b; }
+long op_shl(long a, long b) { return a << (b & 15); }
+long op_min(long a, long b) { return a < b ? a : b; }
+
+long (*optable[8])(long, long);
+
+long classify(long c) {
+  switch (c & 15) {
+    case 0: return 0;
+    case 1: return 1;
+    case 2: return 2;
+    case 3: return 3;
+    case 4: return 4;
+    case 5: return 5;
+    case 6: return 6;
+    case 7: return 7;
+    case 8: return 0;
+    case 9: return 2;
+    case 10: return 4;
+    case 11: return 6;
+    default: return 1;
+  }
+}
+
+long eval_expr(long depth);
+
+long eval_atom(long depth) {
+  long c = src[pos % n] & 255;
+  pos += 1;
+  if (depth < 6 && (c & 3) == 0) {
+    return eval_expr(depth + 1);
+  }
+  return c;
+}
+
+long eval_expr(long depth) {
+  long acc = eval_atom(depth);
+  long terms = 1 + (src[pos % n] & 3);
+  pos += 1;
+  for (long t = 0; t < terms; t++) {
+    long opc = classify(src[pos % n]);
+    pos += 1;
+    long rhs = eval_atom(depth);
+    acc = optable[opc](acc, rhs);   // indirect call through the op table
+  }
+  return acc;
+}
+
+int main() {
+  optable[0] = op_add; optable[1] = op_sub; optable[2] = op_mul;
+  optable[3] = op_and; optable[4] = op_or;  optable[5] = op_xor;
+  optable[6] = op_shl; optable[7] = op_min;
+  n = input_len(0);
+  src = (char*)malloc(n + 16);
+  input_read(0, 0, src, n);
+  long checksum = 0;
+  pos = 0;
+  long exprs = n / 8;
+  for (long i = 0; i < exprs; i++) {
+    checksum += eval_expr(0) & 0xffff;
+  }
+  print_i64(checksum);
+  return 0;
+}
+)";
+
+// mcf-like: min-cost-flow-flavoured relaxation over a synthetic arc network.
+// No indirect transfers at all.
+const char* kMcf = R"(
+extern void print_i64(long v);
+extern void poly_srand(long seed);
+extern long poly_rand();
+extern long malloc(long n);
+
+long nnodes = 400;
+long narcs;
+long* tail_n;
+long* head_n;
+long* cost;
+long* potential;
+
+int main() {
+  poly_srand(5);
+  narcs = nnodes * 6;
+  tail_n = (long*)malloc(narcs * 8);
+  head_n = (long*)malloc(narcs * 8);
+  cost = (long*)malloc(narcs * 8);
+  potential = (long*)malloc(nnodes * 8);
+  for (long a = 0; a < narcs; a++) {
+    tail_n[a] = poly_rand() % nnodes;
+    head_n[a] = poly_rand() % nnodes;
+    cost[a] = 1 + poly_rand() % 100;
+  }
+  for (long v = 0; v < nnodes; v++) potential[v] = 1000000;
+  potential[0] = 0;
+  long changed = 1;
+  long rounds = 0;
+  while (changed) {
+    changed = 0;
+    for (long a = 0; a < narcs; a++) {
+      long u = tail_n[a];
+      long v = head_n[a];
+      long c = potential[u] + cost[a];
+      if (c < potential[v]) {
+        potential[v] = c;
+        changed = 1;
+      }
+    }
+    rounds += 1;
+  }
+  long sum = 0;
+  for (long v = 0; v < nnodes; v++) sum += potential[v];
+  print_i64(sum);
+  print_i64(rounds);
+  return 0;
+}
+)";
+
+// gobmk-like: game playouts with per-phase move generators dispatched
+// through a function-pointer table (very ICFT-heavy, like gobmk's pattern
+// matchers).
+const char* kGobmk = R"(
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+long board[81];
+char* moves;
+long nmoves;
+
+long gen_corner(long s) { return (s * 7 + 3) % 81; }
+long gen_edge(long s) { return (s * 11 + 9) % 81; }
+long gen_center(long s) { return (s * 13 + 40) % 81; }
+long gen_attack(long s) { return (s * 17 + 1) % 81; }
+long gen_defend(long s) { return (s * 19 + 5) % 81; }
+long gen_eye(long s) { return (s * 23 + 60) % 81; }
+long gen_capture(long s) { return (s * 29 + 2) % 81; }
+long gen_pass(long s) { return s % 81; }
+
+long (*generators[8])(long);
+
+long play_game(long seed) {
+  for (int i = 0; i < 81; i++) board[i] = 0;
+  long score = 0;
+  long s = seed;
+  for (long turn = 0; turn < 60; turn++) {
+    long phase = (s >> 3) & 7;
+    long key = (s >> 13) & 0x7fffffff;    // non-negative generator input
+    long mv = generators[phase](key);     // indirect call
+    s = s * 6364136223846793005 + 1442695040888963407;
+    long color = 1 + (turn & 1);
+    if (board[mv] == 0) {
+      board[mv] = color;
+      score += color == 1 ? 1 : -1;
+    }
+  }
+  return score;
+}
+
+int main() {
+  generators[0] = gen_corner; generators[1] = gen_edge;
+  generators[2] = gen_center; generators[3] = gen_attack;
+  generators[4] = gen_defend; generators[5] = gen_eye;
+  generators[6] = gen_capture; generators[7] = gen_pass;
+  nmoves = input_len(0);
+  moves = (char*)malloc(nmoves + 16);
+  input_read(0, 0, moves, nmoves);
+  long total = 0;
+  for (long g = 0; g < nmoves / 4; g++) {
+    total += play_game(moves[g * 4] * 131 + g);
+  }
+  print_i64(total);
+  return 0;
+}
+)";
+
+// hmmer-like: integer Viterbi-style dynamic programming over a profile.
+const char* kHmmer = R"(
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+long states = 32;
+long* match;
+long* insert;
+char* seq;
+long n;
+
+long score_char(long kind, long c) {
+  switch (kind) {
+    case 0: return (c & 7) - 3;
+    case 1: return (c & 15) - 7;
+    case 2: return (c % 5) - 2;
+    case 3: return (c % 9) - 4;
+    default: return 0;
+  }
+}
+
+int main() {
+  n = input_len(0);
+  seq = (char*)malloc(n + 16);
+  input_read(0, 0, seq, n);
+  match = (long*)malloc((states + 1) * 8);
+  insert = (long*)malloc((states + 1) * 8);
+  for (long s = 0; s <= states; s++) { match[s] = -1000000; insert[s] = -1000000; }
+  match[0] = 0;
+  long best = -1000000;
+  for (long i = 0; i < n; i++) {
+    long c = seq[i] & 255;
+    for (long s = states; s >= 1; s--) {
+      long em = score_char(s & 3, c);
+      long from_match = match[s - 1] + em;
+      long from_insert = insert[s - 1] + em - 2;
+      long m = from_match > from_insert ? from_match : from_insert;
+      if (m < -1000000) m = -1000000;
+      match[s] = m;
+      long ins = match[s] - 3 > insert[s] - 1 ? match[s] - 3 : insert[s] - 1;
+      insert[s] = ins;
+      if (match[s] > best) best = match[s];
+    }
+    match[0] = 0;
+  }
+  print_i64(best);
+  return 0;
+}
+)";
+
+// sjeng-like: fixed-depth alpha-beta over a synthetic game tree with a dense
+// piece-type switch.
+const char* kSjeng = R"(
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+char* tape;
+long n;
+long cursor;
+
+long piece_value(long piece) {
+  switch (piece & 7) {
+    case 0: return 100;
+    case 1: return 320;
+    case 2: return 330;
+    case 3: return 500;
+    case 4: return 900;
+    case 5: return 20000;
+    case 6: return 50;
+    default: return 0;
+  }
+}
+
+long eval_leaf() {
+  long c = tape[cursor % n] & 255;
+  cursor += 1;
+  return piece_value(c) - piece_value(c >> 3) + (c & 31);
+}
+
+long search(long depth, long alpha, long beta, long maximizing) {
+  if (depth == 0) return eval_leaf();
+  long branches = 2 + (tape[cursor % n] & 1);
+  cursor += 1;
+  if (maximizing) {
+    long best = -1000000;
+    for (long b = 0; b < branches; b++) {
+      long v = search(depth - 1, alpha, beta, 0);
+      if (v > best) best = v;
+      if (best > alpha) alpha = best;
+      if (beta <= alpha) break;
+    }
+    return best;
+  }
+  long best = 1000000;
+  for (long b = 0; b < branches; b++) {
+    long v = search(depth - 1, alpha, beta, 1);
+    if (v < best) best = v;
+    if (best < beta) beta = best;
+    if (beta <= alpha) break;
+  }
+  return best;
+}
+
+int main() {
+  n = input_len(0);
+  tape = (char*)malloc(n + 16);
+  input_read(0, 0, tape, n);
+  cursor = 0;
+  long total = 0;
+  for (long game = 0; game < 24; game++) {
+    total += search(8, -1000000, 1000000, 1);
+  }
+  print_i64(total);
+  return 0;
+}
+)";
+
+// libquantum-like: quantum register simulation over bit vectors — straight
+// loops, zero indirect transfers.
+const char* kLibquantum = R"(
+extern void print_i64(long v);
+extern long malloc(long n);
+extern void poly_srand(long seed);
+extern long poly_rand();
+
+long nstates = 2048;
+long* amp;
+
+void gate_not(long bit) {
+  long mask = 1 << bit;
+  for (long s = 0; s < nstates; s++) {
+    long t = s ^ mask;
+    if (t > s) {
+      long tmp = amp[s];
+      amp[s] = amp[t];
+      amp[t] = tmp;
+    }
+  }
+}
+
+void gate_cnot(long control, long target) {
+  long cm = 1 << control;
+  long tm = 1 << target;
+  for (long s = 0; s < nstates; s++) {
+    if ((s & cm) != 0) {
+      long t = s ^ tm;
+      if (t > s) {
+        long tmp = amp[s];
+        amp[s] = amp[t];
+        amp[t] = tmp;
+      }
+    }
+  }
+}
+
+void gate_phase(long bit, long k) {
+  long mask = 1 << bit;
+  for (long s = 0; s < nstates; s++) {
+    if ((s & mask) != 0) {
+      amp[s] = amp[s] * k % 1000003;
+    }
+  }
+}
+
+int main() {
+  poly_srand(31);
+  amp = (long*)malloc(nstates * 8);
+  for (long s = 0; s < nstates; s++) amp[s] = 1 + s % 97;
+  for (long round = 0; round < 40; round++) {
+    long b1 = poly_rand() % 11;
+    long b2 = poly_rand() % 11;
+    gate_not(b1);
+    if (b1 != b2) gate_cnot(b1, b2);
+    gate_phase(b2, 3 + (round % 5));
+  }
+  long checksum = 0;
+  for (long s = 0; s < nstates; s++) checksum = (checksum + amp[s]) % 1000000007;
+  print_i64(checksum);
+  return 0;
+}
+)";
+
+// h264ref-like: block transforms with a prediction-mode function table.
+const char* kH264 = R"(
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+char* frame;
+long n;
+long blk[16];
+
+long pred_dc(long base) { return (frame[base % n] & 255); }
+long pred_h(long base) { return (frame[(base + 1) % n] & 255) / 2; }
+long pred_v(long base) { return (frame[(base + 16) % n] & 255) / 2; }
+long pred_plane(long base) {
+  return ((frame[base % n] & 255) + (frame[(base + 17) % n] & 255)) / 2;
+}
+
+long (*predictors[4])(long);
+
+long transform_block(long base, long mode) {
+  long p = predictors[mode](base);         // indirect call
+  for (long i = 0; i < 16; i++) {
+    blk[i] = (frame[(base + i) % n] & 255) - p;
+  }
+  // 4x4 integer butterfly (rows then columns).
+  for (long r = 0; r < 4; r++) {
+    long a = blk[r*4+0] + blk[r*4+3];
+    long b = blk[r*4+1] + blk[r*4+2];
+    long c = blk[r*4+1] - blk[r*4+2];
+    long d = blk[r*4+0] - blk[r*4+3];
+    blk[r*4+0] = a + b;
+    blk[r*4+1] = c + d * 2;
+    blk[r*4+2] = a - b;
+    blk[r*4+3] = d - c * 2;
+  }
+  long sum = 0;
+  for (long i = 0; i < 16; i++) sum += blk[i] < 0 ? -blk[i] : blk[i];
+  return sum;
+}
+
+int main() {
+  predictors[0] = pred_dc;
+  predictors[1] = pred_h;
+  predictors[2] = pred_v;
+  predictors[3] = pred_plane;
+  n = input_len(0);
+  frame = (char*)malloc(n + 32);
+  input_read(0, 0, frame, n);
+  long cost = 0;
+  for (long mb = 0; mb < n / 16; mb++) {
+    long best = 1 << 30;
+    for (long mode = 0; mode < 4; mode++) {
+      long c = transform_block(mb * 16, mode);
+      if (c < best) best = c;
+    }
+    cost += best;
+  }
+  print_i64(cost);
+  return 0;
+}
+)";
+
+// astar-like: bucket-queue grid pathfinding; a single two-entry heuristic
+// table supplies the two ICFTs of the real binary.
+const char* kAstar = R"(
+extern void print_i64(long v);
+extern long malloc(long n);
+extern void poly_srand(long seed);
+extern long poly_rand();
+
+long dim = 64;
+long* grid;
+long* dist;
+long* bucket;     // bucket queue: dist -> singly linked list heads
+long* next_node;
+long maxd = 4096;
+
+long h_manhattan(long node) {
+  long x = node % dim;
+  long y = node / dim;
+  return (dim - 1 - x) + (dim - 1 - y);
+}
+long h_zero(long node) { return 0; }
+
+long (*heuristics[2])(long);
+
+int main() {
+  heuristics[0] = h_manhattan;
+  heuristics[1] = h_zero;
+  poly_srand(17);
+  long cells = dim * dim;
+  grid = (long*)malloc(cells * 8);
+  dist = (long*)malloc(cells * 8);
+  bucket = (long*)malloc(maxd * 8);
+  next_node = (long*)malloc(cells * 8);
+  for (long i = 0; i < cells; i++) {
+    grid[i] = 1 + poly_rand() % 9;
+    dist[i] = 1 << 30;
+    next_node[i] = -1;
+  }
+  for (long d = 0; d < maxd; d++) bucket[d] = -1;
+  long hsel = 0;
+  long total = 0;
+  for (long query = 0; query < 2; query++) {
+    for (long i = 0; i < cells; i++) { dist[i] = 1 << 30; next_node[i] = -1; }
+    for (long d = 0; d < maxd; d++) bucket[d] = -1;
+    dist[0] = 0;
+    long key0 = heuristics[hsel](0);   // indirect call (one per query)
+    bucket[key0] = 0;
+    for (long d = 0; d < maxd; d++) {
+      long node = bucket[d];
+      while (node >= 0) {
+        long nx = next_node[node];
+        long base = dist[node];
+        long x = node % dim;
+        long y = node / dim;
+        long dirs[4];
+        dirs[0] = x + 1 < dim ? node + 1 : -1;
+        dirs[1] = x > 0 ? node - 1 : -1;
+        dirs[2] = y + 1 < dim ? node + dim : -1;
+        dirs[3] = y > 0 ? node - dim : -1;
+        for (long k = 0; k < 4; k++) {
+          long nb = dirs[k];
+          if (nb < 0) continue;
+          long nd = base + grid[nb];
+          if (nd < dist[nb]) {
+            dist[nb] = nd;
+            if (nd < maxd) {
+              next_node[nb] = bucket[nd];
+              bucket[nd] = nb;
+            }
+          }
+        }
+        node = nx;
+      }
+      bucket[d] = -1;
+    }
+    total += dist[cells - 1];
+    hsel = 1 - hsel;
+  }
+  print_i64(total);
+  return 0;
+}
+)";
+
+size_t RefScale(int scale, size_t small, size_t medium, size_t large) {
+  return scale <= 0 ? small : scale == 1 ? medium : large;
+}
+
+}  // namespace
+
+const std::vector<Workload>& SpecLike() {
+  static const std::vector<Workload>* workloads = [] {
+    auto* list = new std::vector<Workload>;
+    auto no_input = [](int) { return std::vector<std::vector<uint8_t>>{}; };
+    auto bytes_input = [](uint64_t seed, size_t s, size_t m, size_t l) {
+      return [=](int scale) {
+        return std::vector<std::vector<uint8_t>>{
+            RandomBytes(seed, RefScale(scale, s, m, l))};
+      };
+    };
+    auto add = [&](const char* name, const char* source, auto inputs) {
+      Workload w;
+      w.name = name;
+      w.suite = "speclike";
+      w.source = source;
+      w.make_inputs = inputs;
+      w.default_opt = 2;
+      list->push_back(std::move(w));
+    };
+    add("bzip2_like", kBzip2, bytes_input(401, 2000, 8000, 24000));
+    add("gcc_like", kGcc, bytes_input(403, 2000, 8000, 24000));
+    add("mcf_like", kMcf, no_input);
+    add("gobmk_like", kGobmk, bytes_input(445, 1200, 4800, 16000));
+    add("hmmer_like", kHmmer, bytes_input(456, 2000, 8000, 24000));
+    add("sjeng_like", kSjeng, bytes_input(458, 1600, 6400, 20000));
+    add("libquantum_like", kLibquantum, no_input);
+    add("h264_like", kH264, bytes_input(464, 1600, 6400, 20000));
+    add("astar_like", kAstar, no_input);
+    return list;
+  }();
+  return *workloads;
+}
+
+const Workload* FindWorkload(const std::string& name) {
+  for (const auto* suite :
+       {&Phoenix(), &Gapbs(true), &CkitSpinlocks(), &Apps(), &SpecLike()}) {
+    for (const Workload& w : *suite) {
+      if (w.name == name) {
+        return &w;
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace polynima::workloads

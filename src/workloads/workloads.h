@@ -1,0 +1,54 @@
+// Workload registry: mcc sources + input generators for every benchmark the
+// evaluation uses (Table 1-5, Figure 4). Each workload mirrors the construct
+// profile of its real-world counterpart — which synchronization primitives
+// it uses, whether it has jump tables, callbacks, SIMD kernels, atomics —
+// because those constructs are what drive each table's results.
+//
+// Suites:
+//  - phoenix: map-reduce style pthread programs (Table 2). All
+//    synchronization comes from external pthread primitives; kmeans uses
+//    atomic accumulation (lock xadd) and pca uses qsort, the two constructs
+//    outside the Lasagne-like subset (5/7 in Table 1). pca also contains an
+//    atomic work-queue loop (the §4.3 false-negative) and histogram an
+//    input-gated byte-swap loop (the §4.3 uncovered loop).
+//  - gapbs: OpenMP-style graph kernels (Table 3) — gomp_parallel thread
+//    entries per iteration plus std::atomic-style CAS/fetch-add.
+//    Parameterized on the node-id width (the 32-bit/64-bit columns).
+//  - ckit: ConcurrencyKit-style spinlock implementations (Table 5 +
+//    spinloop true-negatives). Validation and latency drivers built in.
+//  - apps: memcached/mongoose/pigz/LightFTP miniatures (§4.2 + §4.1 CVE).
+//  - speclike: SPECint-2006-profile programs for the lift-time comparison
+//    (Table 4) with matching indirect-control-flow profiles (mcf/libquantum
+//    have none; gobmk/gcc-like are indirect-heavy).
+#ifndef POLYNIMA_WORKLOADS_WORKLOADS_H_
+#define POLYNIMA_WORKLOADS_WORKLOADS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace polynima::workloads {
+
+struct Workload {
+  std::string name;
+  std::string suite;
+  std::string source;
+  // Inputs at a given scale (0 = small, 1 = medium, 2 = large).
+  std::function<std::vector<std::vector<uint8_t>>(int scale)> make_inputs;
+  // Optimization level the suite is normally built at (O3 in the paper -> 2).
+  int default_opt = 2;
+};
+
+const std::vector<Workload>& Phoenix();
+// `wide` selects 64-bit node ids (the paper's 64-bit column).
+const std::vector<Workload>& Gapbs(bool wide);
+const std::vector<Workload>& CkitSpinlocks();
+const std::vector<Workload>& Apps();
+const std::vector<Workload>& SpecLike();
+
+// Finds a workload by name across all suites (gapbs resolved as wide).
+const Workload* FindWorkload(const std::string& name);
+
+}  // namespace polynima::workloads
+
+#endif  // POLYNIMA_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,198 @@
+#include "src/x86/assembler.h"
+
+#include "src/support/check.h"
+#include "src/x86/encoder.h"
+
+namespace polynima::x86 {
+
+Inst I0(Mnemonic m, int size) {
+  Inst inst;
+  inst.mnemonic = m;
+  inst.size = static_cast<uint8_t>(size);
+  return inst;
+}
+
+Inst I1(Mnemonic m, int size, Operand op0) {
+  Inst inst = I0(m, size);
+  inst.ops[0] = op0;
+  inst.num_ops = 1;
+  return inst;
+}
+
+Inst I2(Mnemonic m, int size, Operand op0, Operand op1) {
+  Inst inst = I0(m, size);
+  inst.ops[0] = op0;
+  inst.ops[1] = op1;
+  inst.num_ops = 2;
+  return inst;
+}
+
+Inst I3(Mnemonic m, int size, Operand op0, Operand op1, Operand op2) {
+  Inst inst = I0(m, size);
+  inst.ops[0] = op0;
+  inst.ops[1] = op1;
+  inst.ops[2] = op2;
+  inst.num_ops = 3;
+  return inst;
+}
+
+Label Assembler::NewLabel() {
+  Label l;
+  l.id = static_cast<uint32_t>(label_offsets_.size());
+  label_offsets_.push_back(-1);
+  return l;
+}
+
+void Assembler::Bind(Label label) {
+  POLY_CHECK(label.valid());
+  POLY_CHECK_LT(label.id, label_offsets_.size());
+  POLY_CHECK_EQ(label_offsets_[label.id], -1) << "label bound twice";
+  label_offsets_[label.id] = static_cast<int64_t>(bytes_.size());
+}
+
+bool Assembler::IsBound(Label label) const {
+  POLY_CHECK(label.valid());
+  return label_offsets_[label.id] >= 0;
+}
+
+uint64_t Assembler::AddressOf(Label label) const {
+  POLY_CHECK(IsBound(label));
+  return base_ + static_cast<uint64_t>(label_offsets_[label.id]);
+}
+
+void Assembler::Emit(const Inst& inst) {
+  Status st = Encode(inst, bytes_);
+  POLY_CHECK(st.ok()) << st.ToString();
+}
+
+void Assembler::Jmp(Label target) {
+  Inst inst = I1(Mnemonic::kJmp, 4, Operand::I(0));
+  size_t start = bytes_.size();
+  Emit(inst);
+  int field = PatchableFieldOffset(inst);
+  POLY_CHECK_GE(field, 0);
+  fixups_.push_back({start + static_cast<size_t>(field), target.id,
+                     FixupKind::kRel32});
+}
+
+void Assembler::Jcc(Cond cond, Label target) {
+  Inst inst = I1(Mnemonic::kJcc, 4, Operand::I(0));
+  inst.cond = cond;
+  size_t start = bytes_.size();
+  Emit(inst);
+  int field = PatchableFieldOffset(inst);
+  POLY_CHECK_GE(field, 0);
+  fixups_.push_back({start + static_cast<size_t>(field), target.id,
+                     FixupKind::kRel32});
+}
+
+void Assembler::Call(Label target) {
+  Inst inst = I1(Mnemonic::kCall, 4, Operand::I(0));
+  size_t start = bytes_.size();
+  Emit(inst);
+  int field = PatchableFieldOffset(inst);
+  POLY_CHECK_GE(field, 0);
+  fixups_.push_back({start + static_cast<size_t>(field), target.id,
+                     FixupKind::kRel32});
+}
+
+void Assembler::JmpAbs(uint64_t target) {
+  Inst inst = I1(Mnemonic::kJmp, 4, Operand::I(0));
+  size_t start = bytes_.size();
+  Emit(inst);
+  size_t end = bytes_.size();
+  int64_t rel = static_cast<int64_t>(target) -
+                static_cast<int64_t>(base_ + end);
+  POLY_CHECK(rel >= INT32_MIN && rel <= INT32_MAX);
+  Patch32(start + static_cast<size_t>(PatchableFieldOffset(inst)),
+          static_cast<uint32_t>(rel));
+}
+
+void Assembler::CallAbs(uint64_t target) {
+  Inst inst = I1(Mnemonic::kCall, 4, Operand::I(0));
+  size_t start = bytes_.size();
+  Emit(inst);
+  size_t end = bytes_.size();
+  int64_t rel = static_cast<int64_t>(target) -
+                static_cast<int64_t>(base_ + end);
+  POLY_CHECK(rel >= INT32_MIN && rel <= INT32_MAX);
+  Patch32(start + static_cast<size_t>(PatchableFieldOffset(inst)),
+          static_cast<uint32_t>(rel));
+}
+
+void Assembler::MovLabelAddress(Reg dst, Label label) {
+  // Force the movabs form with an out-of-int32-range placeholder, then patch.
+  Inst inst = I2(Mnemonic::kMov, 8, Operand::R(dst),
+                 Operand::I(static_cast<int64_t>(0x7fffffffffffffffll)));
+  size_t start = bytes_.size();
+  Emit(inst);
+  int field = PatchableFieldOffset(inst);
+  POLY_CHECK_GE(field, 0);
+  fixups_.push_back({start + static_cast<size_t>(field), label.id,
+                     FixupKind::kAbs64});
+}
+
+void Assembler::Align(int alignment, uint8_t fill) {
+  while ((base_ + bytes_.size()) % static_cast<uint64_t>(alignment) != 0) {
+    bytes_.push_back(fill);
+  }
+}
+
+void Assembler::Db(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + n);
+}
+
+void Assembler::Dq(uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void Assembler::Dq(Label label) {
+  fixups_.push_back({bytes_.size(), label.id, FixupKind::kAbs64});
+  Dq(uint64_t{0});
+}
+
+void Assembler::Dstr(const std::string& s) {
+  Db(s.data(), s.size());
+  bytes_.push_back(0);
+}
+
+void Assembler::Patch32(size_t offset, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_[offset + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+void Assembler::Patch64(size_t offset, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_[offset + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+std::vector<uint8_t> Assembler::Finalize() {
+  POLY_CHECK(!finalized_);
+  finalized_ = true;
+  for (const Fixup& f : fixups_) {
+    POLY_CHECK_LT(f.label, label_offsets_.size());
+    int64_t target_off = label_offsets_[f.label];
+    POLY_CHECK_GE(target_off, 0) << "unbound label " << f.label;
+    uint64_t target = base_ + static_cast<uint64_t>(target_off);
+    if (f.kind == FixupKind::kRel32) {
+      // rel32 is relative to the end of the 4-byte field (== end of the
+      // instruction for every patchable encoding we emit).
+      int64_t rel = static_cast<int64_t>(target) -
+                    static_cast<int64_t>(base_ + f.offset + 4);
+      POLY_CHECK(rel >= INT32_MIN && rel <= INT32_MAX);
+      Patch32(f.offset, static_cast<uint32_t>(rel));
+    } else {
+      Patch64(f.offset, target);
+    }
+  }
+  return std::move(bytes_);
+}
+
+}  // namespace polynima::x86

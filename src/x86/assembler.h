@@ -1,0 +1,100 @@
+// Programmatic assembler: builds a code region at a fixed base address with
+// label fixups. Used by the mini-C compiler backend, by hand-written test
+// programs, and by the workload generators.
+//
+// The assembler deliberately supports interleaving data directives (jump
+// tables, string literals) with code — data-in-code is one of the disassembly
+// hazards binary recompilation has to survive.
+#ifndef POLYNIMA_X86_ASSEMBLER_H_
+#define POLYNIMA_X86_ASSEMBLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/x86/inst.h"
+
+namespace polynima::x86 {
+
+struct Label {
+  uint32_t id = UINT32_MAX;
+  bool valid() const { return id != UINT32_MAX; }
+};
+
+// Convenience constructors for Inst.
+Inst I0(Mnemonic m, int size = 4);
+Inst I1(Mnemonic m, int size, Operand op0);
+Inst I2(Mnemonic m, int size, Operand op0, Operand op1);
+Inst I3(Mnemonic m, int size, Operand op0, Operand op1, Operand op2);
+
+class Assembler {
+ public:
+  explicit Assembler(uint64_t base_address) : base_(base_address) {}
+
+  uint64_t base() const { return base_; }
+  // Address the next emitted byte will have.
+  uint64_t CurrentAddress() const { return base_ + bytes_.size(); }
+
+  Label NewLabel();
+  // Binds `label` to the current address. A label may be bound exactly once.
+  void Bind(Label label);
+  bool IsBound(Label label) const;
+  // Address of a bound label (valid once bound; all labels must be bound by
+  // Finalize()).
+  uint64_t AddressOf(Label label) const;
+
+  // --- instruction emission ---
+
+  // Encodes `inst` immediately; aborts on encoding failure (the instruction
+  // mix is under this project's control, so a failure is a programming bug).
+  void Emit(const Inst& inst);
+
+  // Direct transfers to labels (rel32 fixed up at Finalize).
+  void Jmp(Label target);
+  void Jcc(Cond cond, Label target);
+  void Call(Label target);
+  // Direct transfers to known absolute addresses (e.g. external functions or
+  // other functions in the same image).
+  void JmpAbs(uint64_t target);
+  void CallAbs(uint64_t target);
+
+  // movabs r64, <address-of-label>; used to materialize code/data pointers
+  // (function pointers passed to callbacks, jump-table bases).
+  void MovLabelAddress(Reg dst, Label label);
+
+  // --- data directives ---
+
+  void Align(int alignment, uint8_t fill = 0x90);
+  void Db(const void* data, size_t n);
+  void Db(uint8_t byte) { Db(&byte, 1); }
+  void Dq(uint64_t value);
+  // 8-byte absolute address of a label (jump-table entry).
+  void Dq(Label label);
+  void Dstr(const std::string& s);  // bytes plus NUL terminator
+
+  // Resolves all fixups and returns the finished bytes. All referenced labels
+  // must be bound. The assembler must not be used afterwards.
+  std::vector<uint8_t> Finalize();
+
+ private:
+  enum class FixupKind : uint8_t { kRel32, kAbs64 };
+  struct Fixup {
+    size_t offset;  // into bytes_
+    uint32_t label;
+    FixupKind kind;
+  };
+
+  void Patch32(size_t offset, uint32_t value);
+  void Patch64(size_t offset, uint64_t value);
+
+  uint64_t base_;
+  std::vector<uint8_t> bytes_;
+  std::vector<int64_t> label_offsets_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+  bool finalized_ = false;
+};
+
+}  // namespace polynima::x86
+
+#endif  // POLYNIMA_X86_ASSEMBLER_H_

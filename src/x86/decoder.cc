@@ -1,0 +1,858 @@
+#include "src/x86/decoder.h"
+
+#include "src/support/check.h"
+#include "src/support/strings.h"
+
+namespace polynima::x86 {
+namespace {
+
+class Cursor {
+ public:
+  Cursor(std::span<const uint8_t> bytes, uint64_t address)
+      : bytes_(bytes), address_(address) {}
+
+  Expected<uint8_t> U8() {
+    if (pos_ >= bytes_.size()) {
+      return Truncated();
+    }
+    return bytes_[pos_++];
+  }
+
+  Expected<int8_t> S8() {
+    POLY_ASSIGN_OR_RETURN(uint8_t b, U8());
+    return static_cast<int8_t>(b);
+  }
+
+  Expected<int32_t> S32() {
+    if (pos_ + 4 > bytes_.size()) {
+      return Truncated();
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return static_cast<int32_t>(v);
+  }
+
+  Expected<int64_t> S64() {
+    if (pos_ + 8 > bytes_.size()) {
+      return Truncated();
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return static_cast<int64_t>(v);
+  }
+
+  size_t pos() const { return pos_; }
+  uint64_t address() const { return address_; }
+
+  Status Truncated() const {
+    return Status::OutOfRange(StrCat("truncated instruction at ",
+                                     HexString(address_)));
+  }
+  Status Bad(const char* why) const {
+    return Status::InvalidArgument(StrCat("bad encoding at ",
+                                          HexString(address_), ": ", why));
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  uint64_t address_;
+  size_t pos_ = 0;
+};
+
+struct Prefixes {
+  bool lock = false;
+  bool p66 = false;
+  bool pf3 = false;
+  bool pf2 = false;
+  bool has_rex = false;
+  bool w = false, r = false, x = false, b = false;
+};
+
+// Decodes a ModRM byte plus any SIB/displacement. `reg_out` receives the
+// REX.R-extended reg field; `rm_out` receives the r/m operand. When
+// `rm_is_xmm` the register-direct form yields an XMM operand.
+Status DecodeModRM(Cursor& cur, const Prefixes& pfx, bool rm_is_xmm,
+                   uint8_t& reg_out, Operand& rm_out) {
+  auto modrm_or = cur.U8();
+  if (!modrm_or.ok()) {
+    return modrm_or.status();
+  }
+  uint8_t modrm = *modrm_or;
+  uint8_t mod = modrm >> 6;
+  uint8_t reg = (modrm >> 3) & 7;
+  uint8_t rm = modrm & 7;
+  reg_out = reg | (pfx.r ? 8 : 0);
+
+  if (mod == 3) {
+    uint8_t code = rm | (pfx.b ? 8 : 0);
+    if (rm_is_xmm) {
+      rm_out = Operand::X(code);
+    } else {
+      rm_out = Operand::R(static_cast<Reg>(code));
+    }
+    return Status::Ok();
+  }
+
+  MemRef mem;
+  if (rm == 4) {
+    auto sib_or = cur.U8();
+    if (!sib_or.ok()) {
+      return sib_or.status();
+    }
+    uint8_t sib = *sib_or;
+    uint8_t scale_log2 = sib >> 6;
+    uint8_t index = ((sib >> 3) & 7) | (pfx.x ? 8 : 0);
+    uint8_t base = (sib & 7) | (pfx.b ? 8 : 0);
+    mem.scale = static_cast<uint8_t>(1u << scale_log2);
+    if (index != 4) {  // index field 4 without REX.X means "no index"
+      mem.index = static_cast<Reg>(index);
+    }
+    if ((sib & 7) == 5 && mod == 0) {
+      mem.base = Reg::kNone;  // disp32-only (absolute) or index+disp32
+      auto d = cur.S32();
+      if (!d.ok()) {
+        return d.status();
+      }
+      mem.disp = *d;
+      rm_out = Operand::M(mem);
+      return Status::Ok();
+    }
+    mem.base = static_cast<Reg>(base);
+  } else if (mod == 0 && rm == 5) {
+    mem.rip_relative = true;
+    auto d = cur.S32();
+    if (!d.ok()) {
+      return d.status();
+    }
+    mem.disp = *d;
+    rm_out = Operand::M(mem);
+    return Status::Ok();
+  } else {
+    mem.base = static_cast<Reg>(rm | (pfx.b ? 8 : 0));
+  }
+
+  if (mod == 1) {
+    auto d = cur.S8();
+    if (!d.ok()) {
+      return d.status();
+    }
+    mem.disp = *d;
+  } else if (mod == 2) {
+    auto d = cur.S32();
+    if (!d.ok()) {
+      return d.status();
+    }
+    mem.disp = *d;
+  }
+  rm_out = Operand::M(mem);
+  return Status::Ok();
+}
+
+// Validates the 8-bit-register quirk: without a REX prefix, register codes
+// 4-7 select ah/ch/dh/bh, which this subset does not support.
+Status CheckByteReg(Cursor& cur, const Prefixes& pfx, const Operand& op) {
+  if (op.is_reg() && !pfx.has_rex) {
+    uint8_t code = static_cast<uint8_t>(op.reg);
+    if (code >= 4 && code <= 7) {
+      return cur.Bad("legacy high-byte register");
+    }
+  }
+  return Status::Ok();
+}
+
+struct AluEntry {
+  Mnemonic m;
+};
+
+bool AluFromBase(uint8_t base, Mnemonic& m) {
+  switch (base) {
+    case 0x00:
+      m = Mnemonic::kAdd;
+      return true;
+    case 0x08:
+      m = Mnemonic::kOr;
+      return true;
+    case 0x20:
+      m = Mnemonic::kAnd;
+      return true;
+    case 0x28:
+      m = Mnemonic::kSub;
+      return true;
+    case 0x30:
+      m = Mnemonic::kXor;
+      return true;
+    case 0x38:
+      m = Mnemonic::kCmp;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool AluFromExt(uint8_t ext, Mnemonic& m) {
+  switch (ext) {
+    case 0:
+      m = Mnemonic::kAdd;
+      return true;
+    case 1:
+      m = Mnemonic::kOr;
+      return true;
+    case 4:
+      m = Mnemonic::kAnd;
+      return true;
+    case 5:
+      m = Mnemonic::kSub;
+      return true;
+    case 6:
+      m = Mnemonic::kXor;
+      return true;
+    case 7:
+      m = Mnemonic::kCmp;
+      return true;
+    default:
+      return false;
+  }
+}
+
+Expected<Inst> DecodeTwoByte(Cursor& cur, const Prefixes& pfx, Inst inst);
+Expected<Inst> DecodeThreeByte38(Cursor& cur, const Prefixes& pfx, Inst inst);
+
+Expected<Inst> DecodeImpl(Cursor& cur) {
+  Prefixes pfx;
+  uint8_t opcode = 0;
+  // Prefix scan: legacy prefixes in any order, then an optional REX, then
+  // the opcode. A REX not immediately before the opcode is ignored by
+  // hardware; we reject such encodings as outside the subset.
+  while (true) {
+    POLY_ASSIGN_OR_RETURN(uint8_t b, cur.U8());
+    if (b == 0xF0) {
+      pfx.lock = true;
+    } else if (b == 0x66) {
+      pfx.p66 = true;
+    } else if (b == 0xF3) {
+      pfx.pf3 = true;
+    } else if (b == 0xF2) {
+      pfx.pf2 = true;
+    } else if ((b & 0xF0) == 0x40) {
+      pfx.has_rex = true;
+      pfx.w = (b & 8) != 0;
+      pfx.r = (b & 4) != 0;
+      pfx.x = (b & 2) != 0;
+      pfx.b = (b & 1) != 0;
+      POLY_ASSIGN_OR_RETURN(opcode, cur.U8());
+      break;
+    } else {
+      opcode = b;
+      break;
+    }
+  }
+
+  Inst inst;
+  inst.lock = pfx.lock;
+  const int wsize = pfx.w ? 8 : 4;  // operand size for integer w-forms
+  if (pfx.p66 && opcode != 0x0F) {
+    return cur.Bad("16-bit operand size not supported");
+  }
+
+  if (opcode == 0x0F) {
+    return DecodeTwoByte(cur, pfx, inst);
+  }
+
+  // ALU block 0x00-0x3F.
+  if (opcode < 0x40) {
+    uint8_t base = opcode & 0x38;
+    uint8_t form = opcode & 0x07;
+    Mnemonic m;
+    if (AluFromBase(base, m) && form < 4) {
+      inst.mnemonic = m;
+      inst.size = (form == 0 || form == 2) ? 1 : static_cast<uint8_t>(wsize);
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      Operand rop = Operand::R(static_cast<Reg>(reg));
+      if (form == 0 || form == 1) {  // rm, r
+        inst.ops[0] = rm;
+        inst.ops[1] = rop;
+      } else {  // r, rm
+        inst.ops[0] = rop;
+        inst.ops[1] = rm;
+      }
+      inst.num_ops = 2;
+      if (inst.size == 1) {
+        POLY_RETURN_IF_ERROR(CheckByteReg(cur, pfx, inst.ops[0]));
+        POLY_RETURN_IF_ERROR(CheckByteReg(cur, pfx, inst.ops[1]));
+      }
+      return inst;
+    }
+    return cur.Bad("unsupported opcode");
+  }
+
+  switch (opcode) {
+    case 0x0F:
+      return DecodeTwoByte(cur, pfx, inst);
+
+    case 0x50: case 0x51: case 0x52: case 0x53:
+    case 0x54: case 0x55: case 0x56: case 0x57:
+      inst.mnemonic = Mnemonic::kPush;
+      inst.size = 8;
+      inst.ops[0] =
+          Operand::R(static_cast<Reg>((opcode - 0x50) | (pfx.b ? 8 : 0)));
+      inst.num_ops = 1;
+      return inst;
+
+    case 0x58: case 0x59: case 0x5A: case 0x5B:
+    case 0x5C: case 0x5D: case 0x5E: case 0x5F:
+      inst.mnemonic = Mnemonic::kPop;
+      inst.size = 8;
+      inst.ops[0] =
+          Operand::R(static_cast<Reg>((opcode - 0x58) | (pfx.b ? 8 : 0)));
+      inst.num_ops = 1;
+      return inst;
+
+    case 0x63: {  // movsxd r64, r/m32
+      inst.mnemonic = Mnemonic::kMovsx;
+      inst.size = 8;
+      inst.src_size = 4;
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      inst.ops[0] = Operand::R(static_cast<Reg>(reg));
+      inst.ops[1] = rm;
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0x68: {
+      inst.mnemonic = Mnemonic::kPush;
+      inst.size = 8;
+      POLY_ASSIGN_OR_RETURN(int32_t imm, cur.S32());
+      inst.ops[0] = Operand::I(imm);
+      inst.num_ops = 1;
+      return inst;
+    }
+
+    case 0x69:
+    case 0x6B: {
+      inst.mnemonic = Mnemonic::kImul;
+      inst.size = static_cast<uint8_t>(wsize);
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      inst.ops[0] = Operand::R(static_cast<Reg>(reg));
+      inst.ops[1] = rm;
+      if (opcode == 0x6B) {
+        POLY_ASSIGN_OR_RETURN(int8_t imm, cur.S8());
+        inst.ops[2] = Operand::I(imm);
+      } else {
+        POLY_ASSIGN_OR_RETURN(int32_t imm, cur.S32());
+        inst.ops[2] = Operand::I(imm);
+      }
+      inst.num_ops = 3;
+      return inst;
+    }
+
+    case 0x70: case 0x71: case 0x72: case 0x73:
+    case 0x74: case 0x75: case 0x76: case 0x77:
+    case 0x78: case 0x79: case 0x7A: case 0x7B:
+    case 0x7C: case 0x7D: case 0x7E: case 0x7F: {
+      inst.mnemonic = Mnemonic::kJcc;
+      inst.cond = static_cast<Cond>(opcode - 0x70);
+      POLY_ASSIGN_OR_RETURN(int8_t rel, cur.S8());
+      inst.ops[0] = Operand::I(rel);
+      inst.num_ops = 1;
+      return inst;
+    }
+
+    case 0x80:
+    case 0x81:
+    case 0x83: {
+      uint8_t ext;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, ext, rm));
+      Mnemonic m;
+      if (!AluFromExt(ext & 7, m)) {
+        return cur.Bad("unsupported ALU extension");
+      }
+      inst.mnemonic = m;
+      inst.size = opcode == 0x80 ? 1 : static_cast<uint8_t>(wsize);
+      inst.ops[0] = rm;
+      if (opcode == 0x81) {
+        POLY_ASSIGN_OR_RETURN(int32_t imm, cur.S32());
+        inst.ops[1] = Operand::I(imm);
+      } else {
+        POLY_ASSIGN_OR_RETURN(int8_t imm, cur.S8());
+        inst.ops[1] = Operand::I(imm);
+      }
+      inst.num_ops = 2;
+      if (inst.size == 1) {
+        POLY_RETURN_IF_ERROR(CheckByteReg(cur, pfx, inst.ops[0]));
+      }
+      return inst;
+    }
+
+    case 0x84:
+    case 0x85: {
+      inst.mnemonic = Mnemonic::kTest;
+      inst.size = opcode == 0x84 ? 1 : static_cast<uint8_t>(wsize);
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      inst.ops[0] = rm;
+      inst.ops[1] = Operand::R(static_cast<Reg>(reg));
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0x86:
+    case 0x87: {
+      inst.mnemonic = Mnemonic::kXchg;
+      inst.size = opcode == 0x86 ? 1 : static_cast<uint8_t>(wsize);
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      inst.ops[0] = rm;
+      inst.ops[1] = Operand::R(static_cast<Reg>(reg));
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0x88:
+    case 0x89:
+    case 0x8A:
+    case 0x8B: {
+      inst.mnemonic = Mnemonic::kMov;
+      bool byte_form = opcode == 0x88 || opcode == 0x8A;
+      inst.size = byte_form ? 1 : static_cast<uint8_t>(wsize);
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      Operand rop = Operand::R(static_cast<Reg>(reg));
+      if (opcode == 0x88 || opcode == 0x89) {
+        inst.ops[0] = rm;
+        inst.ops[1] = rop;
+      } else {
+        inst.ops[0] = rop;
+        inst.ops[1] = rm;
+      }
+      inst.num_ops = 2;
+      if (inst.size == 1) {
+        POLY_RETURN_IF_ERROR(CheckByteReg(cur, pfx, inst.ops[0]));
+        POLY_RETURN_IF_ERROR(CheckByteReg(cur, pfx, inst.ops[1]));
+      }
+      return inst;
+    }
+
+    case 0x8D: {
+      inst.mnemonic = Mnemonic::kLea;
+      inst.size = static_cast<uint8_t>(wsize);
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      if (!rm.is_mem()) {
+        return cur.Bad("lea needs memory operand");
+      }
+      inst.ops[0] = Operand::R(static_cast<Reg>(reg));
+      inst.ops[1] = rm;
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0x90:
+      inst.mnemonic = pfx.pf3 ? Mnemonic::kPause : Mnemonic::kNop;
+      return inst;
+
+    case 0x99:
+      inst.mnemonic = Mnemonic::kCqo;
+      inst.size = static_cast<uint8_t>(wsize);
+      return inst;
+
+    case 0xB8: case 0xB9: case 0xBA: case 0xBB:
+    case 0xBC: case 0xBD: case 0xBE: case 0xBF: {
+      inst.mnemonic = Mnemonic::kMov;
+      Reg r = static_cast<Reg>((opcode - 0xB8) | (pfx.b ? 8 : 0));
+      inst.ops[0] = Operand::R(r);
+      if (pfx.w) {
+        inst.size = 8;
+        POLY_ASSIGN_OR_RETURN(int64_t imm, cur.S64());
+        inst.ops[1] = Operand::I(imm);
+      } else {
+        inst.size = 4;
+        POLY_ASSIGN_OR_RETURN(int32_t imm, cur.S32());
+        inst.ops[1] = Operand::I(static_cast<int64_t>(static_cast<uint32_t>(imm)));
+      }
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0xC0:
+    case 0xC1:
+    case 0xD2:
+    case 0xD3: {
+      uint8_t ext;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, ext, rm));
+      switch (ext & 7) {
+        case 4:
+          inst.mnemonic = Mnemonic::kShl;
+          break;
+        case 5:
+          inst.mnemonic = Mnemonic::kShr;
+          break;
+        case 7:
+          inst.mnemonic = Mnemonic::kSar;
+          break;
+        default:
+          return cur.Bad("unsupported shift extension");
+      }
+      inst.size = (opcode == 0xC0 || opcode == 0xD2)
+                      ? 1
+                      : static_cast<uint8_t>(wsize);
+      inst.ops[0] = rm;
+      if (opcode == 0xC0 || opcode == 0xC1) {
+        POLY_ASSIGN_OR_RETURN(int8_t imm, cur.S8());
+        inst.ops[1] = Operand::I(imm & 0x3f);
+      } else {
+        inst.ops[1] = Operand::R(Reg::kRcx);
+      }
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0xC3:
+      inst.mnemonic = Mnemonic::kRet;
+      return inst;
+
+    case 0xC6:
+    case 0xC7: {
+      uint8_t ext;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, ext, rm));
+      if ((ext & 7) != 0) {
+        return cur.Bad("unsupported C6/C7 extension");
+      }
+      inst.mnemonic = Mnemonic::kMov;
+      inst.size = opcode == 0xC6 ? 1 : static_cast<uint8_t>(wsize);
+      inst.ops[0] = rm;
+      if (opcode == 0xC6) {
+        POLY_ASSIGN_OR_RETURN(int8_t imm, cur.S8());
+        inst.ops[1] = Operand::I(imm);
+      } else {
+        POLY_ASSIGN_OR_RETURN(int32_t imm, cur.S32());
+        inst.ops[1] = Operand::I(imm);
+      }
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0xCC:
+      inst.mnemonic = Mnemonic::kInt3;
+      return inst;
+
+    case 0xE8:
+    case 0xE9: {
+      inst.mnemonic = opcode == 0xE8 ? Mnemonic::kCall : Mnemonic::kJmp;
+      POLY_ASSIGN_OR_RETURN(int32_t rel, cur.S32());
+      inst.ops[0] = Operand::I(rel);
+      inst.num_ops = 1;
+      return inst;
+    }
+
+    case 0xEB: {
+      inst.mnemonic = Mnemonic::kJmp;
+      POLY_ASSIGN_OR_RETURN(int8_t rel, cur.S8());
+      inst.ops[0] = Operand::I(rel);
+      inst.num_ops = 1;
+      return inst;
+    }
+
+    case 0xF6:
+    case 0xF7: {
+      uint8_t ext;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, ext, rm));
+      inst.size = opcode == 0xF6 ? 1 : static_cast<uint8_t>(wsize);
+      inst.ops[0] = rm;
+      switch (ext & 7) {
+        case 0:
+          inst.mnemonic = Mnemonic::kTest;
+          if (opcode == 0xF6) {
+            POLY_ASSIGN_OR_RETURN(int8_t imm, cur.S8());
+            inst.ops[1] = Operand::I(imm);
+          } else {
+            POLY_ASSIGN_OR_RETURN(int32_t imm, cur.S32());
+            inst.ops[1] = Operand::I(imm);
+          }
+          inst.num_ops = 2;
+          return inst;
+        case 2:
+          inst.mnemonic = Mnemonic::kNot;
+          inst.num_ops = 1;
+          return inst;
+        case 3:
+          inst.mnemonic = Mnemonic::kNeg;
+          inst.num_ops = 1;
+          return inst;
+        case 7:
+          inst.mnemonic = Mnemonic::kIdiv;
+          inst.num_ops = 1;
+          return inst;
+        default:
+          return cur.Bad("unsupported F6/F7 extension");
+      }
+    }
+
+    case 0xFE:
+    case 0xFF: {
+      uint8_t ext;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, ext, rm));
+      inst.ops[0] = rm;
+      inst.num_ops = 1;
+      if (opcode == 0xFE) {
+        inst.size = 1;
+        if ((ext & 7) == 0) {
+          inst.mnemonic = Mnemonic::kInc;
+        } else if ((ext & 7) == 1) {
+          inst.mnemonic = Mnemonic::kDec;
+        } else {
+          return cur.Bad("unsupported FE extension");
+        }
+        return inst;
+      }
+      switch (ext & 7) {
+        case 0:
+          inst.mnemonic = Mnemonic::kInc;
+          inst.size = static_cast<uint8_t>(wsize);
+          return inst;
+        case 1:
+          inst.mnemonic = Mnemonic::kDec;
+          inst.size = static_cast<uint8_t>(wsize);
+          return inst;
+        case 2:
+          inst.mnemonic = Mnemonic::kCall;
+          inst.size = 8;
+          return inst;
+        case 4:
+          inst.mnemonic = Mnemonic::kJmp;
+          inst.size = 8;
+          return inst;
+        default:
+          return cur.Bad("unsupported FF extension");
+      }
+    }
+
+    default:
+      return cur.Bad("unsupported opcode");
+  }
+}
+
+Expected<Inst> DecodeTwoByte(Cursor& cur, const Prefixes& pfx, Inst inst) {
+  POLY_ASSIGN_OR_RETURN(uint8_t opcode, cur.U8());
+  const int wsize = pfx.w ? 8 : 4;
+
+  // cmovcc
+  if (opcode >= 0x40 && opcode <= 0x4F) {
+    inst.mnemonic = Mnemonic::kCmovcc;
+    inst.cond = static_cast<Cond>(opcode - 0x40);
+    inst.size = static_cast<uint8_t>(wsize);
+    uint8_t reg;
+    Operand rm;
+    POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+    inst.ops[0] = Operand::R(static_cast<Reg>(reg));
+    inst.ops[1] = rm;
+    inst.num_ops = 2;
+    return inst;
+  }
+  // jcc rel32
+  if (opcode >= 0x80 && opcode <= 0x8F) {
+    inst.mnemonic = Mnemonic::kJcc;
+    inst.cond = static_cast<Cond>(opcode - 0x80);
+    POLY_ASSIGN_OR_RETURN(int32_t rel, cur.S32());
+    inst.ops[0] = Operand::I(rel);
+    inst.num_ops = 1;
+    return inst;
+  }
+  // setcc
+  if (opcode >= 0x90 && opcode <= 0x9F) {
+    inst.mnemonic = Mnemonic::kSetcc;
+    inst.cond = static_cast<Cond>(opcode - 0x90);
+    inst.size = 1;
+    uint8_t reg;
+    Operand rm;
+    POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+    inst.ops[0] = rm;
+    inst.num_ops = 1;
+    POLY_RETURN_IF_ERROR(CheckByteReg(cur, pfx, inst.ops[0]));
+    return inst;
+  }
+
+  switch (opcode) {
+    case 0x0B:
+      inst.mnemonic = Mnemonic::kUd2;
+      return inst;
+
+    case 0x38:
+      return DecodeThreeByte38(cur, pfx, inst);
+
+    case 0x6E:
+    case 0x7E: {  // movd/movq
+      if (!pfx.p66) {
+        return cur.Bad("movd needs 66 prefix");
+      }
+      inst.mnemonic = Mnemonic::kMovd;
+      inst.size = pfx.w ? 8 : 4;
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      if (opcode == 0x6E) {
+        inst.ops[0] = Operand::X(reg);
+        inst.ops[1] = rm;
+      } else {
+        inst.ops[0] = rm;
+        inst.ops[1] = Operand::X(reg);
+      }
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0x6F:
+    case 0x7F: {  // movdqu
+      if (!pfx.pf3) {
+        return cur.Bad("movdqu needs F3 prefix");
+      }
+      inst.mnemonic = Mnemonic::kMovdqu;
+      inst.size = 16;
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, true, reg, rm));
+      if (opcode == 0x6F) {
+        inst.ops[0] = Operand::X(reg);
+        inst.ops[1] = rm;
+      } else {
+        inst.ops[0] = rm;
+        inst.ops[1] = Operand::X(reg);
+      }
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0xAF: {
+      inst.mnemonic = Mnemonic::kImul;
+      inst.size = static_cast<uint8_t>(wsize);
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      inst.ops[0] = Operand::R(static_cast<Reg>(reg));
+      inst.ops[1] = rm;
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0xB0:
+    case 0xB1: {
+      inst.mnemonic = Mnemonic::kCmpxchg;
+      inst.size = opcode == 0xB0 ? 1 : static_cast<uint8_t>(wsize);
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      inst.ops[0] = rm;
+      inst.ops[1] = Operand::R(static_cast<Reg>(reg));
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0xB6:
+    case 0xB7:
+    case 0xBE:
+    case 0xBF: {
+      inst.mnemonic =
+          (opcode == 0xB6 || opcode == 0xB7) ? Mnemonic::kMovzx : Mnemonic::kMovsx;
+      inst.size = static_cast<uint8_t>(wsize);
+      inst.src_size = (opcode == 0xB6 || opcode == 0xBE) ? 1 : 2;
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      inst.ops[0] = Operand::R(static_cast<Reg>(reg));
+      inst.ops[1] = rm;
+      inst.num_ops = 2;
+      if (inst.src_size == 1) {
+        POLY_RETURN_IF_ERROR(CheckByteReg(cur, pfx, rm));
+      }
+      return inst;
+    }
+
+    case 0xC0:
+    case 0xC1: {
+      inst.mnemonic = Mnemonic::kXadd;
+      inst.size = opcode == 0xC0 ? 1 : static_cast<uint8_t>(wsize);
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, false, reg, rm));
+      inst.ops[0] = rm;
+      inst.ops[1] = Operand::R(static_cast<Reg>(reg));
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    case 0xD4:
+    case 0xEF:
+    case 0xFA:
+    case 0xFE: {
+      if (!pfx.p66) {
+        return cur.Bad("packed op needs 66 prefix");
+      }
+      inst.mnemonic = opcode == 0xD4   ? Mnemonic::kPaddq
+                      : opcode == 0xEF ? Mnemonic::kPxor
+                      : opcode == 0xFA ? Mnemonic::kPsubd
+                                       : Mnemonic::kPaddd;
+      inst.size = 16;
+      uint8_t reg;
+      Operand rm;
+      POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, true, reg, rm));
+      inst.ops[0] = Operand::X(reg);
+      inst.ops[1] = rm;
+      inst.num_ops = 2;
+      return inst;
+    }
+
+    default:
+      return cur.Bad("unsupported 0F opcode");
+  }
+}
+
+Expected<Inst> DecodeThreeByte38(Cursor& cur, const Prefixes& pfx, Inst inst) {
+  POLY_ASSIGN_OR_RETURN(uint8_t opcode, cur.U8());
+  if (opcode == 0x40) {
+    if (!pfx.p66) {
+      return cur.Bad("pmulld needs 66 prefix");
+    }
+    inst.mnemonic = Mnemonic::kPmulld;
+    inst.size = 16;
+    uint8_t reg;
+    Operand rm;
+    POLY_RETURN_IF_ERROR(DecodeModRM(cur, pfx, true, reg, rm));
+    inst.ops[0] = Operand::X(reg);
+    inst.ops[1] = rm;
+    inst.num_ops = 2;
+    return inst;
+  }
+  return cur.Bad("unsupported 0F 38 opcode");
+}
+
+}  // namespace
+
+Expected<Inst> Decode(std::span<const uint8_t> bytes, uint64_t address) {
+  Cursor cur(bytes, address);
+  POLY_ASSIGN_OR_RETURN(Inst inst, DecodeImpl(cur));
+  inst.address = address;
+  inst.length = static_cast<uint8_t>(cur.pos());
+  return inst;
+}
+
+}  // namespace polynima::x86

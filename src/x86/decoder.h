@@ -1,0 +1,24 @@
+// Machine-code decoder for the Polynima x86-64 subset.
+#ifndef POLYNIMA_X86_DECODER_H_
+#define POLYNIMA_X86_DECODER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/support/status.h"
+#include "src/x86/inst.h"
+
+namespace polynima::x86 {
+
+// Decodes one instruction from the start of `bytes`, reporting `address` as
+// its location (used to resolve rel8/rel32 targets). On success the returned
+// Inst has `length` set to the number of bytes consumed.
+//
+// Fails with InvalidArgument for byte sequences outside the supported subset
+// (the static disassembler treats this as "not code") and OutOfRange when the
+// buffer ends mid-instruction.
+Expected<Inst> Decode(std::span<const uint8_t> bytes, uint64_t address);
+
+}  // namespace polynima::x86
+
+#endif  // POLYNIMA_X86_DECODER_H_

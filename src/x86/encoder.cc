@@ -1,0 +1,632 @@
+#include "src/x86/encoder.h"
+
+#include <limits>
+
+#include "src/support/check.h"
+#include "src/support/strings.h"
+
+namespace polynima::x86 {
+namespace {
+
+constexpr uint8_t kPrefixLock = 0xF0;
+constexpr uint8_t kPrefix66 = 0x66;
+constexpr uint8_t kPrefixF3 = 0xF3;
+
+bool FitsInt8(int64_t v) {
+  return v >= std::numeric_limits<int8_t>::min() &&
+         v <= std::numeric_limits<int8_t>::max();
+}
+bool FitsInt32(int64_t v) {
+  return v >= std::numeric_limits<int32_t>::min() &&
+         v <= std::numeric_limits<int32_t>::max();
+}
+
+// Incremental encoding builder for one instruction.
+class Builder {
+ public:
+  explicit Builder(std::vector<uint8_t>& out) : out_(out) {}
+
+  void Byte(uint8_t b) { out_.push_back(b); }
+  void I8(int64_t v) { Byte(static_cast<uint8_t>(v)); }
+  void I32(int64_t v) {
+    uint32_t u = static_cast<uint32_t>(v);
+    for (int i = 0; i < 4; ++i) {
+      Byte(static_cast<uint8_t>(u >> (8 * i)));
+    }
+  }
+  void I64(int64_t v) {
+    uint64_t u = static_cast<uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      Byte(static_cast<uint8_t>(u >> (8 * i)));
+    }
+  }
+
+  // Emits [REX] opcode ModRM (+SIB +disp) for a reg-field + r/m-operand form.
+  // `reg_field` is the 4-bit register number (or opcode extension /n) that
+  // goes in ModRM.reg; `rm` is the register/memory operand in ModRM.rm.
+  // `opsize` drives REX.W (8) and the 8-bit-register REX quirk (1).
+  void EmitRexOpModRM(int opsize, std::initializer_list<uint8_t> opcode,
+                      uint8_t reg_field, const Operand& rm,
+                      bool reg_is_gpr = true) {
+    uint8_t rex = 0;
+    if (opsize == 8) {
+      rex |= 0x48;  // REX.W
+    }
+    if (reg_field >= 8) {
+      rex |= 0x44;  // REX.R
+    }
+    if (rm.is_reg() || rm.is_xmm()) {
+      uint8_t rm_code = rm.is_reg() ? static_cast<uint8_t>(rm.reg) : rm.xmm;
+      if (rm_code >= 8) {
+        rex |= 0x41;  // REX.B
+      }
+      // spl/bpl/sil/dil require a REX prefix (even an empty one).
+      if (opsize == 1 && ((rm.is_reg() && rm_code >= 4 && rm_code <= 7) ||
+                          (reg_is_gpr && reg_field >= 4 && reg_field <= 7))) {
+        rex |= 0x40;
+      }
+      EmitRexAndOpcode(rex, opcode);
+      Byte(ModRM(3, reg_field & 7, rm_code & 7));
+      return;
+    }
+    POLY_CHECK(rm.is_mem());
+    const MemRef& m = rm.mem;
+    if (m.index != Reg::kNone && RegNeedsRexBit(m.index)) {
+      rex |= 0x42;  // REX.X
+    }
+    if (m.base != Reg::kNone && RegNeedsRexBit(m.base)) {
+      rex |= 0x41;  // REX.B
+    }
+    if (opsize == 1 && reg_is_gpr && reg_field >= 4 && reg_field <= 7) {
+      rex |= 0x40;
+    }
+    EmitRexAndOpcode(rex, opcode);
+    EmitMem(reg_field & 7, m);
+  }
+
+  // Emits [REX] opcode for opcode+rd register forms (push/pop/movabs).
+  void EmitRexOpPlusReg(bool rex_w, uint8_t opcode_base, Reg r) {
+    uint8_t rex = 0;
+    if (rex_w) {
+      rex |= 0x48;
+    }
+    if (RegNeedsRexBit(r)) {
+      rex |= 0x41;
+    }
+    if (rex != 0) {
+      Byte(rex);
+    }
+    Byte(opcode_base + RegCode(r));
+  }
+
+ private:
+  static uint8_t ModRM(uint8_t mod, uint8_t reg, uint8_t rm) {
+    return static_cast<uint8_t>((mod << 6) | (reg << 3) | rm);
+  }
+  static uint8_t Sib(uint8_t scale_log2, uint8_t index, uint8_t base) {
+    return static_cast<uint8_t>((scale_log2 << 6) | (index << 3) | base);
+  }
+
+  void EmitRexAndOpcode(uint8_t rex, std::initializer_list<uint8_t> opcode) {
+    if (rex != 0) {
+      Byte(rex);
+    }
+    for (uint8_t b : opcode) {
+      Byte(b);
+    }
+  }
+
+  void EmitMem(uint8_t reg_field, const MemRef& m) {
+    if (m.rip_relative) {
+      Byte(ModRM(0, reg_field, 5));
+      I32(m.disp);
+      return;
+    }
+    if (m.IsAbsolute()) {
+      // mod=00, rm=100 (SIB), base=101+mod00 => disp32 only, index=100 => none.
+      Byte(ModRM(0, reg_field, 4));
+      Byte(Sib(0, 4, 5));
+      I32(m.disp);
+      return;
+    }
+    uint8_t scale_log2 = 0;
+    switch (m.scale) {
+      case 1:
+        scale_log2 = 0;
+        break;
+      case 2:
+        scale_log2 = 1;
+        break;
+      case 4:
+        scale_log2 = 2;
+        break;
+      case 8:
+        scale_log2 = 3;
+        break;
+      default:
+        POLY_UNREACHABLE("bad scale");
+    }
+    if (m.base == Reg::kNone) {
+      // Index without base: SIB with base=101, mod=00, disp32.
+      POLY_CHECK(m.index != Reg::kNone);
+      POLY_CHECK(m.index != Reg::kRsp) << "rsp cannot be an index";
+      Byte(ModRM(0, reg_field, 4));
+      Byte(Sib(scale_log2, RegCode(m.index), 5));
+      I32(m.disp);
+      return;
+    }
+    uint8_t base_code = RegCode(m.base);
+    bool need_sib = m.index != Reg::kNone || base_code == 4;
+    // [rbp]/[r13] with mod=00 means rip/disp32, so force disp8=0.
+    uint8_t mod;
+    if (m.disp == 0 && base_code != 5) {
+      mod = 0;
+    } else if (FitsInt8(m.disp)) {
+      mod = 1;
+    } else {
+      mod = 2;
+    }
+    if (need_sib) {
+      Byte(ModRM(mod, reg_field, 4));
+      uint8_t index_code = m.index == Reg::kNone ? 4 : RegCode(m.index);
+      POLY_CHECK(!(m.index == Reg::kRsp)) << "rsp cannot be an index";
+      Byte(Sib(scale_log2, index_code, base_code));
+    } else {
+      Byte(ModRM(mod, reg_field, base_code));
+    }
+    if (mod == 1) {
+      I8(m.disp);
+    } else if (mod == 2) {
+      I32(m.disp);
+    }
+  }
+
+  std::vector<uint8_t>& out_;
+};
+
+Status Unsupported(const Inst& inst, const char* why) {
+  return Status::InvalidArgument(StrCat("encode ", MnemonicName(inst.mnemonic),
+                                        ": ", why));
+}
+
+struct AluInfo {
+  uint8_t base;      // opcode base for rm,r form (8-bit)
+  uint8_t ext;       // /n extension for the imm form
+};
+
+bool AluOpcode(Mnemonic m, AluInfo& info) {
+  switch (m) {
+    case Mnemonic::kAdd:
+      info = {0x00, 0};
+      return true;
+    case Mnemonic::kOr:
+      info = {0x08, 1};
+      return true;
+    case Mnemonic::kAnd:
+      info = {0x20, 4};
+      return true;
+    case Mnemonic::kSub:
+      info = {0x28, 5};
+      return true;
+    case Mnemonic::kXor:
+      info = {0x30, 6};
+      return true;
+    case Mnemonic::kCmp:
+      info = {0x38, 7};
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status Encode(const Inst& inst, std::vector<uint8_t>& out) {
+  Builder b(out);
+  const Operand& op0 = inst.ops[0];
+  const Operand& op1 = inst.ops[1];
+  int size = inst.size;
+
+  if (inst.lock) {
+    b.Byte(kPrefixLock);
+  }
+
+  // Integer ALU family.
+  AluInfo alu;
+  if (AluOpcode(inst.mnemonic, alu)) {
+    if (inst.num_ops != 2) {
+      return Unsupported(inst, "needs 2 operands");
+    }
+    if (op1.is_reg() && (op0.is_reg() || op0.is_mem())) {
+      uint8_t opc = alu.base + (size == 1 ? 0 : 1);
+      b.EmitRexOpModRM(size, {opc}, static_cast<uint8_t>(op1.reg), op0);
+      return Status::Ok();
+    }
+    if (op0.is_reg() && op1.is_mem()) {
+      uint8_t opc = alu.base + (size == 1 ? 2 : 3);
+      b.EmitRexOpModRM(size, {opc}, static_cast<uint8_t>(op0.reg), op1);
+      return Status::Ok();
+    }
+    if (op1.is_imm() && (op0.is_reg() || op0.is_mem())) {
+      if (size == 1) {
+        b.EmitRexOpModRM(size, {0x80}, alu.ext, op0, /*reg_is_gpr=*/false);
+        b.I8(op1.imm);
+      } else if (FitsInt8(op1.imm)) {
+        b.EmitRexOpModRM(size, {0x83}, alu.ext, op0, /*reg_is_gpr=*/false);
+        b.I8(op1.imm);
+      } else if (FitsInt32(op1.imm)) {
+        b.EmitRexOpModRM(size, {0x81}, alu.ext, op0, /*reg_is_gpr=*/false);
+        b.I32(op1.imm);
+      } else {
+        return Unsupported(inst, "immediate too wide");
+      }
+      return Status::Ok();
+    }
+    return Unsupported(inst, "bad operand combination");
+  }
+
+  switch (inst.mnemonic) {
+    case Mnemonic::kMov: {
+      if (op1.is_reg() && (op0.is_reg() || op0.is_mem())) {
+        b.EmitRexOpModRM(size, {static_cast<uint8_t>(size == 1 ? 0x88 : 0x89)},
+                         static_cast<uint8_t>(op1.reg), op0);
+        return Status::Ok();
+      }
+      if (op0.is_reg() && op1.is_mem()) {
+        b.EmitRexOpModRM(size, {static_cast<uint8_t>(size == 1 ? 0x8A : 0x8B)},
+                         static_cast<uint8_t>(op0.reg), op1);
+        return Status::Ok();
+      }
+      if (op1.is_imm()) {
+        if (op0.is_reg() && size == 8 && !FitsInt32(op1.imm)) {
+          // movabs r64, imm64
+          b.EmitRexOpPlusReg(/*rex_w=*/true, 0xB8, op0.reg);
+          b.I64(op1.imm);
+          return Status::Ok();
+        }
+        if (op0.is_reg() || op0.is_mem()) {
+          if (size == 1) {
+            b.EmitRexOpModRM(size, {0xC6}, 0, op0, /*reg_is_gpr=*/false);
+            b.I8(op1.imm);
+          } else {
+            if (!FitsInt32(op1.imm)) {
+              return Unsupported(inst, "mov imm32 out of range");
+            }
+            b.EmitRexOpModRM(size, {0xC7}, 0, op0, /*reg_is_gpr=*/false);
+            b.I32(op1.imm);
+          }
+          return Status::Ok();
+        }
+      }
+      return Unsupported(inst, "bad operand combination");
+    }
+
+    case Mnemonic::kMovzx:
+    case Mnemonic::kMovsx: {
+      if (!op0.is_reg() || !(op1.is_reg() || op1.is_mem())) {
+        return Unsupported(inst, "bad operand combination");
+      }
+      bool sx = inst.mnemonic == Mnemonic::kMovsx;
+      if (inst.src_size == 1) {
+        b.EmitRexOpModRM(size, {0x0F, static_cast<uint8_t>(sx ? 0xBE : 0xB6)},
+                         static_cast<uint8_t>(op0.reg), op1);
+      } else if (inst.src_size == 2) {
+        b.EmitRexOpModRM(size, {0x0F, static_cast<uint8_t>(sx ? 0xBF : 0xB7)},
+                         static_cast<uint8_t>(op0.reg), op1);
+      } else if (inst.src_size == 4 && sx) {
+        // movsxd r64, r/m32
+        b.EmitRexOpModRM(8, {0x63}, static_cast<uint8_t>(op0.reg), op1);
+      } else {
+        return Unsupported(inst, "bad src size");
+      }
+      return Status::Ok();
+    }
+
+    case Mnemonic::kLea: {
+      if (!op0.is_reg() || !op1.is_mem()) {
+        return Unsupported(inst, "lea needs reg, mem");
+      }
+      b.EmitRexOpModRM(size, {0x8D}, static_cast<uint8_t>(op0.reg), op1);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kTest: {
+      if (op1.is_reg() && (op0.is_reg() || op0.is_mem())) {
+        b.EmitRexOpModRM(size, {static_cast<uint8_t>(size == 1 ? 0x84 : 0x85)},
+                         static_cast<uint8_t>(op1.reg), op0);
+        return Status::Ok();
+      }
+      if (op1.is_imm() && (op0.is_reg() || op0.is_mem())) {
+        b.EmitRexOpModRM(size,
+                         {static_cast<uint8_t>(size == 1 ? 0xF6 : 0xF7)}, 0,
+                         op0, /*reg_is_gpr=*/false);
+        if (size == 1) {
+          b.I8(op1.imm);
+        } else {
+          b.I32(op1.imm);
+        }
+        return Status::Ok();
+      }
+      return Unsupported(inst, "bad operand combination");
+    }
+
+    case Mnemonic::kInc:
+    case Mnemonic::kDec: {
+      uint8_t ext = inst.mnemonic == Mnemonic::kInc ? 0 : 1;
+      b.EmitRexOpModRM(size, {static_cast<uint8_t>(size == 1 ? 0xFE : 0xFF)},
+                       ext, op0, /*reg_is_gpr=*/false);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kNeg:
+    case Mnemonic::kNot: {
+      uint8_t ext = inst.mnemonic == Mnemonic::kNeg ? 3 : 2;
+      b.EmitRexOpModRM(size, {static_cast<uint8_t>(size == 1 ? 0xF6 : 0xF7)},
+                       ext, op0, /*reg_is_gpr=*/false);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kImul: {
+      if (inst.num_ops == 2 && op0.is_reg()) {
+        b.EmitRexOpModRM(size, {0x0F, 0xAF}, static_cast<uint8_t>(op0.reg),
+                         op1);
+        return Status::Ok();
+      }
+      if (inst.num_ops == 3 && op0.is_reg() && inst.ops[2].is_imm()) {
+        int64_t imm = inst.ops[2].imm;
+        if (FitsInt8(imm)) {
+          b.EmitRexOpModRM(size, {0x6B}, static_cast<uint8_t>(op0.reg), op1);
+          b.I8(imm);
+        } else if (FitsInt32(imm)) {
+          b.EmitRexOpModRM(size, {0x69}, static_cast<uint8_t>(op0.reg), op1);
+          b.I32(imm);
+        } else {
+          return Unsupported(inst, "imul imm too wide");
+        }
+        return Status::Ok();
+      }
+      return Unsupported(inst, "bad operand combination");
+    }
+
+    case Mnemonic::kIdiv: {
+      b.EmitRexOpModRM(size, {0xF7}, 7, op0, /*reg_is_gpr=*/false);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kCqo: {
+      if (size == 8) {
+        b.Byte(0x48);
+      }
+      b.Byte(0x99);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kShl:
+    case Mnemonic::kShr:
+    case Mnemonic::kSar: {
+      uint8_t ext = inst.mnemonic == Mnemonic::kShl   ? 4
+                    : inst.mnemonic == Mnemonic::kShr ? 5
+                                                      : 7;
+      if (op1.is_imm()) {
+        b.EmitRexOpModRM(size, {static_cast<uint8_t>(size == 1 ? 0xC0 : 0xC1)},
+                         ext, op0, /*reg_is_gpr=*/false);
+        b.I8(op1.imm);
+        return Status::Ok();
+      }
+      if (op1.is_reg() && op1.reg == Reg::kRcx) {
+        b.EmitRexOpModRM(size, {static_cast<uint8_t>(size == 1 ? 0xD2 : 0xD3)},
+                         ext, op0, /*reg_is_gpr=*/false);
+        return Status::Ok();
+      }
+      return Unsupported(inst, "shift count must be imm8 or cl");
+    }
+
+    case Mnemonic::kPush: {
+      if (op0.is_reg()) {
+        b.EmitRexOpPlusReg(/*rex_w=*/false, 0x50, op0.reg);
+        return Status::Ok();
+      }
+      if (op0.is_imm()) {
+        if (!FitsInt32(op0.imm)) {
+          return Unsupported(inst, "push imm out of range");
+        }
+        b.Byte(0x68);
+        b.I32(op0.imm);
+        return Status::Ok();
+      }
+      return Unsupported(inst, "bad operand");
+    }
+
+    case Mnemonic::kPop: {
+      if (op0.is_reg()) {
+        b.EmitRexOpPlusReg(/*rex_w=*/false, 0x58, op0.reg);
+        return Status::Ok();
+      }
+      return Unsupported(inst, "bad operand");
+    }
+
+    case Mnemonic::kXchg: {
+      if (op1.is_reg() && (op0.is_reg() || op0.is_mem())) {
+        b.EmitRexOpModRM(size, {static_cast<uint8_t>(size == 1 ? 0x86 : 0x87)},
+                         static_cast<uint8_t>(op1.reg), op0);
+        return Status::Ok();
+      }
+      return Unsupported(inst, "bad operand combination");
+    }
+
+    case Mnemonic::kXadd: {
+      if (op1.is_reg() && (op0.is_reg() || op0.is_mem())) {
+        b.EmitRexOpModRM(size,
+                         {0x0F, static_cast<uint8_t>(size == 1 ? 0xC0 : 0xC1)},
+                         static_cast<uint8_t>(op1.reg), op0);
+        return Status::Ok();
+      }
+      return Unsupported(inst, "bad operand combination");
+    }
+
+    case Mnemonic::kCmpxchg: {
+      if (op1.is_reg() && (op0.is_reg() || op0.is_mem())) {
+        b.EmitRexOpModRM(size,
+                         {0x0F, static_cast<uint8_t>(size == 1 ? 0xB0 : 0xB1)},
+                         static_cast<uint8_t>(op1.reg), op0);
+        return Status::Ok();
+      }
+      return Unsupported(inst, "bad operand combination");
+    }
+
+    case Mnemonic::kJmp: {
+      if (op0.is_imm()) {
+        b.Byte(0xE9);
+        b.I32(op0.imm);
+        return Status::Ok();
+      }
+      b.EmitRexOpModRM(4, {0xFF}, 4, op0, /*reg_is_gpr=*/false);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kJcc: {
+      if (!op0.is_imm() || inst.cond == Cond::kNone) {
+        return Unsupported(inst, "jcc needs cond + rel target");
+      }
+      b.Byte(0x0F);
+      b.Byte(0x80 + static_cast<uint8_t>(inst.cond));
+      b.I32(op0.imm);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kCall: {
+      if (op0.is_imm()) {
+        b.Byte(0xE8);
+        b.I32(op0.imm);
+        return Status::Ok();
+      }
+      b.EmitRexOpModRM(4, {0xFF}, 2, op0, /*reg_is_gpr=*/false);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kRet:
+      b.Byte(0xC3);
+      return Status::Ok();
+
+    case Mnemonic::kSetcc: {
+      if (inst.cond == Cond::kNone) {
+        return Unsupported(inst, "setcc needs cond");
+      }
+      b.EmitRexOpModRM(1, {0x0F, static_cast<uint8_t>(0x90 + static_cast<uint8_t>(inst.cond))},
+                       0, op0, /*reg_is_gpr=*/false);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kCmovcc: {
+      if (!op0.is_reg() || inst.cond == Cond::kNone) {
+        return Unsupported(inst, "cmov needs reg dst + cond");
+      }
+      b.EmitRexOpModRM(size,
+                       {0x0F, static_cast<uint8_t>(0x40 + static_cast<uint8_t>(inst.cond))},
+                       static_cast<uint8_t>(op0.reg), op1);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kNop:
+      b.Byte(0x90);
+      return Status::Ok();
+    case Mnemonic::kUd2:
+      b.Byte(0x0F);
+      b.Byte(0x0B);
+      return Status::Ok();
+    case Mnemonic::kPause:
+      b.Byte(kPrefixF3);
+      b.Byte(0x90);
+      return Status::Ok();
+    case Mnemonic::kInt3:
+      b.Byte(0xCC);
+      return Status::Ok();
+
+    case Mnemonic::kMovd: {
+      // movd/movq xmm, r/m  (66 [REX.W] 0F 6E /r)
+      // movd/movq r/m, xmm  (66 [REX.W] 0F 7E /r)
+      b.Byte(kPrefix66);
+      if (op0.is_xmm()) {
+        b.EmitRexOpModRM(size == 8 ? 8 : 4, {0x0F, 0x6E}, op0.xmm, op1,
+                         /*reg_is_gpr=*/false);
+      } else if (op1.is_xmm()) {
+        b.EmitRexOpModRM(size == 8 ? 8 : 4, {0x0F, 0x7E}, op1.xmm, op0,
+                         /*reg_is_gpr=*/false);
+      } else {
+        return Unsupported(inst, "movd needs an xmm operand");
+      }
+      return Status::Ok();
+    }
+
+    case Mnemonic::kMovdqu: {
+      b.Byte(kPrefixF3);
+      if (op0.is_xmm()) {
+        b.EmitRexOpModRM(4, {0x0F, 0x6F}, op0.xmm, op1, /*reg_is_gpr=*/false);
+      } else if (op1.is_xmm()) {
+        b.EmitRexOpModRM(4, {0x0F, 0x7F}, op1.xmm, op0, /*reg_is_gpr=*/false);
+      } else {
+        return Unsupported(inst, "movdqu needs an xmm operand");
+      }
+      return Status::Ok();
+    }
+
+    case Mnemonic::kPaddd:
+    case Mnemonic::kPsubd:
+    case Mnemonic::kPxor:
+    case Mnemonic::kPaddq: {
+      uint8_t opc = inst.mnemonic == Mnemonic::kPaddd   ? 0xFE
+                    : inst.mnemonic == Mnemonic::kPsubd ? 0xFA
+                    : inst.mnemonic == Mnemonic::kPxor  ? 0xEF
+                                                        : 0xD4;
+      if (!op0.is_xmm()) {
+        return Unsupported(inst, "needs xmm dst");
+      }
+      b.Byte(kPrefix66);
+      b.EmitRexOpModRM(4, {0x0F, opc}, op0.xmm, op1, /*reg_is_gpr=*/false);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kPmulld: {
+      if (!op0.is_xmm()) {
+        return Unsupported(inst, "needs xmm dst");
+      }
+      b.Byte(kPrefix66);
+      b.EmitRexOpModRM(4, {0x0F, 0x38, 0x40}, op0.xmm, op1,
+                       /*reg_is_gpr=*/false);
+      return Status::Ok();
+    }
+
+    case Mnemonic::kInvalid:
+    default:
+      // The plain-ALU family is handled before this switch.
+      return Unsupported(inst, "invalid mnemonic");
+  }
+}
+
+int PatchableFieldOffset(const Inst& inst) {
+  std::vector<uint8_t> bytes;
+  if (!Encode(inst, bytes).ok()) {
+    return -1;
+  }
+  switch (inst.mnemonic) {
+    case Mnemonic::kJmp:
+    case Mnemonic::kCall:
+      if (inst.ops[0].is_imm()) {
+        return static_cast<int>(bytes.size()) - 4;
+      }
+      return -1;
+    case Mnemonic::kJcc:
+      return static_cast<int>(bytes.size()) - 4;
+    case Mnemonic::kMov:
+      // movabs r64, imm64
+      if (inst.ops[0].is_reg() && inst.ops[1].is_imm() && inst.size == 8 &&
+          (inst.ops[1].imm > INT32_MAX || inst.ops[1].imm < INT32_MIN)) {
+        return static_cast<int>(bytes.size()) - 8;
+      }
+      return -1;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace polynima::x86

@@ -1,0 +1,30 @@
+// Machine-code encoder for the Polynima x86-64 subset.
+//
+// Produces genuine x86-64 byte encodings (LOCK/66/F3 prefixes, REX, ModRM,
+// SIB, disp8/disp32, imm8/imm32/imm64). The decoder in decoder.h is the exact
+// inverse for every encoding this file emits; round-tripping is covered by
+// property tests.
+#ifndef POLYNIMA_X86_ENCODER_H_
+#define POLYNIMA_X86_ENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/status.h"
+#include "src/x86/inst.h"
+
+namespace polynima::x86 {
+
+// Appends the encoding of `inst` to `out`. `inst.address`/`inst.length` are
+// ignored. Fails with InvalidArgument on unsupported operand combinations.
+Status Encode(const Inst& inst, std::vector<uint8_t>& out);
+
+// Offset (from the start of the encoding) of the rel32 displacement field for
+// a direct jmp/jcc/call, or of the imm64 field for a `mov r64, imm64`.
+// Used by the assembler to patch fixups. Returns -1 if the instruction has no
+// such field.
+int PatchableFieldOffset(const Inst& inst);
+
+}  // namespace polynima::x86
+
+#endif  // POLYNIMA_X86_ENCODER_H_

@@ -1,0 +1,192 @@
+#include "src/x86/inst.h"
+
+#include "src/support/check.h"
+
+namespace polynima::x86 {
+
+std::string RegName(Reg r, int size_bytes) {
+  static const char* const k64[] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                    "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                    "r12", "r13", "r14", "r15"};
+  static const char* const k32[] = {"eax",  "ecx",  "edx",  "ebx", "esp",
+                                    "ebp",  "esi",  "edi",  "r8d", "r9d",
+                                    "r10d", "r11d", "r12d", "r13d", "r14d",
+                                    "r15d"};
+  static const char* const k16[] = {"ax",   "cx",   "dx",   "bx",  "sp",
+                                    "bp",   "si",   "di",   "r8w", "r9w",
+                                    "r10w", "r11w", "r12w", "r13w", "r14w",
+                                    "r15w"};
+  static const char* const k8[] = {"al",   "cl",   "dl",   "bl",  "spl",
+                                   "bpl",  "sil",  "dil",  "r8b", "r9b",
+                                   "r10b", "r11b", "r12b", "r13b", "r14b",
+                                   "r15b"};
+  if (r == Reg::kNone) {
+    return "none";
+  }
+  int idx = static_cast<int>(r);
+  POLY_CHECK_LT(idx, kNumGprs);
+  switch (size_bytes) {
+    case 8:
+      return k64[idx];
+    case 4:
+      return k32[idx];
+    case 2:
+      return k16[idx];
+    case 1:
+      return k8[idx];
+    default:
+      POLY_UNREACHABLE("bad register size");
+  }
+}
+
+const char* FlagName(Flag f) {
+  switch (f) {
+    case Flag::kCarry:
+      return "cf";
+    case Flag::kParity:
+      return "pf";
+    case Flag::kZero:
+      return "zf";
+    case Flag::kSign:
+      return "sf";
+    case Flag::kOverflow:
+      return "of";
+  }
+  return "?";
+}
+
+const char* MnemonicName(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kInvalid:
+      return "(invalid)";
+    case Mnemonic::kMov:
+      return "mov";
+    case Mnemonic::kMovzx:
+      return "movzx";
+    case Mnemonic::kMovsx:
+      return "movsx";
+    case Mnemonic::kLea:
+      return "lea";
+    case Mnemonic::kAdd:
+      return "add";
+    case Mnemonic::kSub:
+      return "sub";
+    case Mnemonic::kAnd:
+      return "and";
+    case Mnemonic::kOr:
+      return "or";
+    case Mnemonic::kXor:
+      return "xor";
+    case Mnemonic::kCmp:
+      return "cmp";
+    case Mnemonic::kTest:
+      return "test";
+    case Mnemonic::kInc:
+      return "inc";
+    case Mnemonic::kDec:
+      return "dec";
+    case Mnemonic::kNeg:
+      return "neg";
+    case Mnemonic::kNot:
+      return "not";
+    case Mnemonic::kImul:
+      return "imul";
+    case Mnemonic::kIdiv:
+      return "idiv";
+    case Mnemonic::kCqo:
+      return "cqo";
+    case Mnemonic::kShl:
+      return "shl";
+    case Mnemonic::kShr:
+      return "shr";
+    case Mnemonic::kSar:
+      return "sar";
+    case Mnemonic::kPush:
+      return "push";
+    case Mnemonic::kPop:
+      return "pop";
+    case Mnemonic::kXchg:
+      return "xchg";
+    case Mnemonic::kXadd:
+      return "xadd";
+    case Mnemonic::kCmpxchg:
+      return "cmpxchg";
+    case Mnemonic::kJmp:
+      return "jmp";
+    case Mnemonic::kJcc:
+      return "j";
+    case Mnemonic::kCall:
+      return "call";
+    case Mnemonic::kRet:
+      return "ret";
+    case Mnemonic::kSetcc:
+      return "set";
+    case Mnemonic::kCmovcc:
+      return "cmov";
+    case Mnemonic::kNop:
+      return "nop";
+    case Mnemonic::kUd2:
+      return "ud2";
+    case Mnemonic::kPause:
+      return "pause";
+    case Mnemonic::kInt3:
+      return "int3";
+    case Mnemonic::kMovd:
+      return "movd";
+    case Mnemonic::kMovdqu:
+      return "movdqu";
+    case Mnemonic::kPaddd:
+      return "paddd";
+    case Mnemonic::kPsubd:
+      return "psubd";
+    case Mnemonic::kPmulld:
+      return "pmulld";
+    case Mnemonic::kPxor:
+      return "pxor";
+    case Mnemonic::kPaddq:
+      return "paddq";
+  }
+  return "?";
+}
+
+const char* CondName(Cond c) {
+  switch (c) {
+    case Cond::kO:
+      return "o";
+    case Cond::kNo:
+      return "no";
+    case Cond::kB:
+      return "b";
+    case Cond::kAe:
+      return "ae";
+    case Cond::kE:
+      return "e";
+    case Cond::kNe:
+      return "ne";
+    case Cond::kBe:
+      return "be";
+    case Cond::kA:
+      return "a";
+    case Cond::kS:
+      return "s";
+    case Cond::kNs:
+      return "ns";
+    case Cond::kP:
+      return "p";
+    case Cond::kNp:
+      return "np";
+    case Cond::kL:
+      return "l";
+    case Cond::kGe:
+      return "ge";
+    case Cond::kLe:
+      return "le";
+    case Cond::kG:
+      return "g";
+    case Cond::kNone:
+      return "";
+  }
+  return "?";
+}
+
+}  // namespace polynima::x86

@@ -1,0 +1,212 @@
+// Decoded-instruction model for the Polynima x86-64 subset.
+//
+// The subset covers the integer, control-flow, atomic (lock-prefixed) and a
+// small packed-SIMD slice of x86-64 — enough to express every construct the
+// paper's evaluation depends on: variable-length encodings, indirect jumps
+// and calls, jump tables, hardware atomics (lock add/xadd/cmpxchg/xchg) and
+// SSE-style packed integer arithmetic. See src/x86/encoder.cc for the exact
+// encodings implemented.
+#ifndef POLYNIMA_X86_INST_H_
+#define POLYNIMA_X86_INST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/x86/registers.h"
+
+namespace polynima::x86 {
+
+enum class Mnemonic : uint8_t {
+  kInvalid = 0,
+  // Data movement.
+  kMov,
+  kMovzx,
+  kMovsx,
+  kLea,
+  // Integer ALU.
+  kAdd,
+  kSub,
+  kAnd,
+  kOr,
+  kXor,
+  kCmp,
+  kTest,
+  kInc,
+  kDec,
+  kNeg,
+  kNot,
+  kImul,
+  kIdiv,
+  kCqo,
+  kShl,
+  kShr,
+  kSar,
+  // Stack.
+  kPush,
+  kPop,
+  // Atomics / interlocked.
+  kXchg,
+  kXadd,
+  kCmpxchg,
+  // Control flow.
+  kJmp,
+  kJcc,
+  kCall,
+  kRet,
+  kSetcc,
+  kCmovcc,
+  // Misc.
+  kNop,
+  kUd2,
+  kPause,
+  kInt3,
+  // Packed SIMD (XMM).
+  kMovd,    // movd/movq xmm<->r (size selects 4 or 8 bytes)
+  kMovdqu,  // movdqu xmm<->m128
+  kPaddd,
+  kPsubd,
+  kPmulld,
+  kPxor,
+  kPaddq,
+};
+
+const char* MnemonicName(Mnemonic m);
+
+// Condition codes in hardware `tttn` encoding order.
+enum class Cond : uint8_t {
+  kO = 0,
+  kNo = 1,
+  kB = 2,
+  kAe = 3,
+  kE = 4,
+  kNe = 5,
+  kBe = 6,
+  kA = 7,
+  kS = 8,
+  kNs = 9,
+  kP = 10,
+  kNp = 11,
+  kL = 12,
+  kGe = 13,
+  kLe = 14,
+  kG = 15,
+  kNone = 255,
+};
+
+const char* CondName(Cond c);
+
+// Memory reference: [base + index*scale + disp], or [rip + disp], or
+// absolute [disp32] when base and index are both kNone.
+struct MemRef {
+  Reg base = Reg::kNone;
+  Reg index = Reg::kNone;
+  uint8_t scale = 1;  // 1, 2, 4 or 8
+  int32_t disp = 0;
+  bool rip_relative = false;
+
+  bool IsAbsolute() const {
+    return !rip_relative && base == Reg::kNone && index == Reg::kNone;
+  }
+  friend bool operator==(const MemRef&, const MemRef&) = default;
+};
+
+struct Operand {
+  enum class Kind : uint8_t { kNone, kReg, kXmm, kMem, kImm };
+
+  Kind kind = Kind::kNone;
+  Reg reg = Reg::kNone;  // kReg
+  uint8_t xmm = 0;       // kXmm
+  MemRef mem;            // kMem
+  int64_t imm = 0;       // kImm
+
+  static Operand R(Reg r) {
+    Operand o;
+    o.kind = Kind::kReg;
+    o.reg = r;
+    return o;
+  }
+  static Operand X(uint8_t x) {
+    Operand o;
+    o.kind = Kind::kXmm;
+    o.xmm = x;
+    return o;
+  }
+  static Operand M(MemRef m) {
+    Operand o;
+    o.kind = Kind::kMem;
+    o.mem = m;
+    return o;
+  }
+  static Operand I(int64_t v) {
+    Operand o;
+    o.kind = Kind::kImm;
+    o.imm = v;
+    return o;
+  }
+
+  bool is_reg() const { return kind == Kind::kReg; }
+  bool is_xmm() const { return kind == Kind::kXmm; }
+  bool is_mem() const { return kind == Kind::kMem; }
+  bool is_imm() const { return kind == Kind::kImm; }
+  bool is_none() const { return kind == Kind::kNone; }
+};
+
+// One decoded instruction. `address` and `length` are filled by the decoder;
+// the encoder ignores them.
+struct Inst {
+  uint64_t address = 0;
+  uint8_t length = 0;
+
+  Mnemonic mnemonic = Mnemonic::kInvalid;
+  Cond cond = Cond::kNone;  // kJcc / kSetcc / kCmovcc
+  // Main operand size in bytes (1, 2, 4, 8; 16 for m128 SIMD moves).
+  uint8_t size = 4;
+  // Source size for kMovzx / kMovsx (1, 2 or 4).
+  uint8_t src_size = 0;
+  bool lock = false;
+
+  Operand ops[3];
+  uint8_t num_ops = 0;
+
+  // --- classification helpers used by control-flow recovery ---
+
+  bool IsBranch() const {
+    return mnemonic == Mnemonic::kJmp || mnemonic == Mnemonic::kJcc;
+  }
+  bool IsCall() const { return mnemonic == Mnemonic::kCall; }
+  bool IsRet() const { return mnemonic == Mnemonic::kRet; }
+  // True for jmp/call whose target is encoded in the instruction (rel32/rel8).
+  bool IsDirectTransfer() const {
+    return (IsBranch() || IsCall()) && num_ops == 1 && ops[0].is_imm();
+  }
+  bool IsIndirectTransfer() const {
+    return (IsBranch() || IsCall()) && num_ops == 1 && !ops[0].is_imm();
+  }
+  // True if this instruction ends a basic block.
+  bool IsTerminator() const {
+    return IsBranch() || IsRet() || mnemonic == Mnemonic::kUd2 ||
+           mnemonic == Mnemonic::kInt3;
+  }
+  // For direct jmp/jcc/call: absolute target address.
+  uint64_t DirectTarget() const {
+    return address + length + static_cast<uint64_t>(ops[0].imm);
+  }
+  // Fall-through address (next instruction).
+  uint64_t Next() const { return address + length; }
+
+  bool IsAtomic() const {
+    return lock || mnemonic == Mnemonic::kXchg;  // xchg r/m,r locks implicitly
+  }
+  bool HasMemOperand() const {
+    for (int i = 0; i < num_ops; ++i) {
+      if (ops[i].is_mem()) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace polynima::x86
+
+#endif  // POLYNIMA_X86_INST_H_

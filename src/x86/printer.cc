@@ -1,0 +1,110 @@
+#include "src/x86/printer.h"
+
+#include "src/support/strings.h"
+
+namespace polynima::x86 {
+namespace {
+
+const char* SizeKeyword(int size_bytes) {
+  switch (size_bytes) {
+    case 1:
+      return "byte ptr ";
+    case 2:
+      return "word ptr ";
+    case 4:
+      return "dword ptr ";
+    case 8:
+      return "qword ptr ";
+    case 16:
+      return "xmmword ptr ";
+    default:
+      return "";
+  }
+}
+
+std::string FormatMem(const MemRef& m, int size_bytes) {
+  std::string out = SizeKeyword(size_bytes);
+  out += "[";
+  bool need_plus = false;
+  if (m.rip_relative) {
+    out += "rip";
+    need_plus = true;
+  }
+  if (m.base != Reg::kNone) {
+    out += RegName(m.base, 8);
+    need_plus = true;
+  }
+  if (m.index != Reg::kNone) {
+    if (need_plus) {
+      out += "+";
+    }
+    out += RegName(m.index, 8);
+    if (m.scale != 1) {
+      out += StrCat("*", static_cast<int>(m.scale));
+    }
+    need_plus = true;
+  }
+  if (m.disp != 0 || !need_plus) {
+    if (need_plus && m.disp >= 0) {
+      out += "+";
+    }
+    if (m.disp < 0) {
+      out += StrCat("-", HexString(static_cast<uint64_t>(-static_cast<int64_t>(m.disp))));
+    } else {
+      out += HexString(static_cast<uint64_t>(m.disp));
+    }
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string FormatOperand(const Operand& op, int size_bytes) {
+  switch (op.kind) {
+    case Operand::Kind::kNone:
+      return "";
+    case Operand::Kind::kReg:
+      return RegName(op.reg, size_bytes == 16 ? 8 : size_bytes);
+    case Operand::Kind::kXmm:
+      return StrCat("xmm", static_cast<int>(op.xmm));
+    case Operand::Kind::kMem:
+      return FormatMem(op.mem, size_bytes);
+    case Operand::Kind::kImm:
+      if (op.imm < 0) {
+        return StrCat("-", HexString(static_cast<uint64_t>(-op.imm)));
+      }
+      return HexString(static_cast<uint64_t>(op.imm));
+  }
+  return "?";
+}
+
+std::string FormatInst(const Inst& inst) {
+  std::string out;
+  if (inst.lock) {
+    out += "lock ";
+  }
+  out += MnemonicName(inst.mnemonic);
+  if (inst.cond != Cond::kNone) {
+    out += CondName(inst.cond);
+  }
+  // Direct control transfers print their resolved absolute target.
+  if (inst.IsDirectTransfer()) {
+    out += StrCat(" ", HexString(inst.DirectTarget()));
+    return out;
+  }
+  for (int i = 0; i < inst.num_ops; ++i) {
+    out += i == 0 ? " " : ", ";
+    int opsize = inst.size;
+    // movzx/movsx source operand uses the source width.
+    if (i == 1 && inst.src_size != 0 &&
+        (inst.mnemonic == Mnemonic::kMovzx || inst.mnemonic == Mnemonic::kMovsx)) {
+      opsize = inst.src_size;
+    }
+    // movd register side uses the scalar width; xmm side prints as xmmN.
+    out += FormatOperand(inst.ops[i], opsize);
+  }
+  return out;
+}
+
+}  // namespace polynima::x86

@@ -1,0 +1,20 @@
+// Intel-syntax text formatting of decoded instructions (for diagnostics,
+// disassembly listings and tests).
+#ifndef POLYNIMA_X86_PRINTER_H_
+#define POLYNIMA_X86_PRINTER_H_
+
+#include <string>
+
+#include "src/x86/inst.h"
+
+namespace polynima::x86 {
+
+// Formats one operand, e.g. "rax", "dword ptr [rbx+rcx*4+0x10]", "0x2a".
+std::string FormatOperand(const Operand& op, int size_bytes);
+
+// Formats a full instruction, e.g. "lock add qword ptr [rdi], rax".
+std::string FormatInst(const Inst& inst);
+
+}  // namespace polynima::x86
+
+#endif  // POLYNIMA_X86_PRINTER_H_

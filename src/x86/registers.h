@@ -1,0 +1,57 @@
+// x86-64 register model for the Polynima ISA subset.
+#ifndef POLYNIMA_X86_REGISTERS_H_
+#define POLYNIMA_X86_REGISTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace polynima::x86 {
+
+// General-purpose registers in hardware encoding order (the low 3 bits are
+// the ModRM field value; bit 3 is the REX extension bit).
+enum class Reg : uint8_t {
+  kRax = 0,
+  kRcx = 1,
+  kRdx = 2,
+  kRbx = 3,
+  kRsp = 4,
+  kRbp = 5,
+  kRsi = 6,
+  kRdi = 7,
+  kR8 = 8,
+  kR9 = 9,
+  kR10 = 10,
+  kR11 = 11,
+  kR12 = 12,
+  kR13 = 13,
+  kR14 = 14,
+  kR15 = 15,
+  kNone = 255,
+};
+
+inline constexpr int kNumGprs = 16;
+inline constexpr int kNumXmms = 16;
+
+inline uint8_t RegCode(Reg r) { return static_cast<uint8_t>(r) & 0x7; }
+inline bool RegNeedsRexBit(Reg r) { return static_cast<uint8_t>(r) >= 8; }
+
+// Name of register `r` when used with the given operand size in bytes
+// (8 -> "rax", 4 -> "eax", 2 -> "ax", 1 -> "al").
+std::string RegName(Reg r, int size_bytes);
+
+// Arithmetic status flags modelled by the subset (AF is not modelled; no
+// supported instruction inspects it).
+enum class Flag : uint8_t {
+  kCarry = 0,
+  kParity = 1,
+  kZero = 2,
+  kSign = 3,
+  kOverflow = 4,
+};
+inline constexpr int kNumFlags = 5;
+
+const char* FlagName(Flag f);
+
+}  // namespace polynima::x86
+
+#endif  // POLYNIMA_X86_REGISTERS_H_

@@ -1,0 +1,188 @@
+// Tests that each baseline recompiler fails (and succeeds) through its
+// documented mechanism — the substance behind Table 1's ✗ cells.
+#include <gtest/gtest.h>
+
+#include "src/baselines/baselines.h"
+#include "src/cc/compiler.h"
+#include "src/workloads/workloads.h"
+
+namespace polynima::baselines {
+namespace {
+
+binary::Image CompileSource(const std::string& source, int opt = 2) {
+  cc::CompileOptions options;
+  options.name = "baseline_test";
+  options.opt_level = opt;
+  auto image = cc::Compile(source, options);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  return std::move(*image);
+}
+
+const char* kSingleThreaded = R"(
+  extern void print_i64(long v);
+  int main() {
+    long acc = 0;
+    for (long i = 0; i < 200; i++) acc += i * i;
+    print_i64(acc);
+    return 0;
+  })";
+
+const char* kMultiThreaded = R"(
+  extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+  extern int pthread_join(long tid, long* ret);
+  extern void print_i64(long v);
+  long total = 0;
+  long worker(long n) {
+    long acc = 0;
+    for (long i = 0; i < n; i++) acc += i;
+    __atomic_fetch_add(&total, acc);
+    return 0;
+  }
+  int main() {
+    long tids[4];
+    for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, 100);
+    for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+    print_i64(total);
+    return 0;
+  })";
+
+TEST(Baselines, AllSupportSingleThreadedCode) {
+  binary::Image image = CompileSource(kSingleThreaded);
+  for (Kind kind : {Kind::kMcSemaLike, Kind::kRevNgLike, Kind::kBinRecLike,
+                    Kind::kLasagneLike}) {
+    Verdict v = Evaluate(kind, image, {{}});
+    EXPECT_TRUE(v.supported) << KindName(kind) << ": " << v.reason;
+  }
+}
+
+TEST(Baselines, SharedEmulatedStateBreaksMultithreadedCode) {
+  binary::Image image = CompileSource(kMultiThreaded);
+  // McSema-, Rev.Ng- and BinRec-like all share one virtual state / emulated
+  // stack across threads (§2.2.1, §2.2.3): recompiled multithreaded code
+  // faults or corrupts.
+  for (Kind kind :
+       {Kind::kMcSemaLike, Kind::kRevNgLike, Kind::kBinRecLike}) {
+    Verdict v = Evaluate(kind, image, {{}});
+    EXPECT_FALSE(v.supported) << KindName(kind);
+  }
+}
+
+TEST(Baselines, LasagneRejectsOpenMp) {
+  binary::Image image = CompileSource(R"(
+    extern void gomp_parallel(long (*fn)(long, long), long data, long n);
+    extern void print_i64(long v);
+    long sum[4];
+    long body(long data, long tid) { sum[tid] = tid * 2; return 0; }
+    int main() {
+      gomp_parallel(body, 0, 4);
+      print_i64(sum[0] + sum[1] + sum[2] + sum[3]);
+      return 0;
+    })");
+  Attempt attempt = TryRecompile(Kind::kLasagneLike, image);
+  EXPECT_FALSE(attempt.lifted);
+  EXPECT_NE(attempt.reject_reason.find("OpenMP"), std::string::npos)
+      << attempt.reject_reason;
+}
+
+TEST(Baselines, LasagneRejectsAtomicInstructions) {
+  binary::Image image = CompileSource(R"(
+    long c = 0;
+    int main() {
+      long old = __atomic_cas(&c, 0, 5);
+      return (int)(c + old);
+    })");
+  Attempt attempt = TryRecompile(Kind::kLasagneLike, image);
+  EXPECT_FALSE(attempt.lifted);
+  EXPECT_NE(attempt.reject_reason.find("atomic"), std::string::npos)
+      << attempt.reject_reason;
+}
+
+TEST(Baselines, LasagneRejectsQsortCallback) {
+  binary::Image image = CompileSource(R"(
+    extern void qsort(long* base, long n, long size, int (*c)(long*, long*));
+    long v[3] = {3, 1, 2};
+    int cmp(long* a, long* b) { return (int)(*a - *b); }
+    int main() { qsort(v, 3, 8, cmp); return (int)v[0]; })");
+  Attempt attempt = TryRecompile(Kind::kLasagneLike, image);
+  EXPECT_FALSE(attempt.lifted);
+}
+
+TEST(Baselines, LasagneSupportsPthreadOnlyPrograms) {
+  // The Phoenix-style subset Lasagne supports: pthread sync, no atomics,
+  // no OpenMP, no unknown-prototype externals.
+  binary::Image image = CompileSource(R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    extern int pthread_mutex_init(long* m, long attr);
+    extern int pthread_mutex_lock(long* m);
+    extern int pthread_mutex_unlock(long* m);
+    extern void print_i64(long v);
+    long mutex;
+    long total = 0;
+    long worker(long n) {
+      long acc = 0;
+      for (long i = 0; i < n; i++) acc += i;
+      pthread_mutex_lock(&mutex);
+      total += acc;
+      pthread_mutex_unlock(&mutex);
+      return 0;
+    }
+    int main() {
+      pthread_mutex_init(&mutex, 0);
+      long tids[2];
+      for (int i = 0; i < 2; i++) pthread_create(&tids[i], 0, worker, 50);
+      for (int i = 0; i < 2; i++) pthread_join(tids[i], 0);
+      print_i64(total);
+      return 0;
+    })");
+  Verdict v = Evaluate(Kind::kLasagneLike, image, {{}});
+  EXPECT_TRUE(v.supported) << v.reason;
+}
+
+TEST(Baselines, BinRecEmulationTraceIsMuchSlowerThanNative) {
+  const workloads::Workload* w = workloads::FindWorkload("mcf_like");
+  ASSERT_NE(w, nullptr);
+  cc::CompileOptions options;
+  options.opt_level = 2;
+  options.name = "mcf_like";
+  auto image = cc::Compile(w->source, options);
+  ASSERT_TRUE(image.ok());
+
+  // Native trace (Polynima's ICFT tracer).
+  trace::TraceResult native = trace::TraceRun(*image, {});
+  // Emulation trace (BinRec-like).
+  trace::TraceResult emulated = EmulationTrace(*image, {});
+  ASSERT_TRUE(native.runs[0].ok);
+  ASSERT_TRUE(emulated.runs[0].ok);
+  // Both observe the same targets (none: mcf has no indirect transfers)...
+  EXPECT_EQ(native.TotalTargets(), 0u);
+  EXPECT_EQ(emulated.TotalTargets(), 0u);
+  // ...but emulation costs at least an order of magnitude more host time.
+  EXPECT_GT(emulated.host_ns, native.host_ns * 10)
+      << "native " << native.host_ns << "ns vs emulated "
+      << emulated.host_ns << "ns";
+}
+
+TEST(Baselines, McSemaPlainAtomicsLoseUpdates) {
+  // The experimental atomics recompilation: lock-prefixed RMW lowered to
+  // plain load/op/store. Under enough interleavings the counter drifts.
+  binary::Image image = CompileSource(R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    long counter = 0;
+    long worker(long n) {
+      for (long i = 0; i < n; i++) __atomic_fetch_add(&counter, 1);
+      return 0;
+    }
+    int main() {
+      long tids[4];
+      for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, 400);
+      for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+      return (int)(counter == 1600);
+    })");
+  Verdict v = Evaluate(Kind::kMcSemaLike, image, {{}});
+  EXPECT_FALSE(v.supported) << v.reason;
+}
+
+}  // namespace
+}  // namespace polynima::baselines

@@ -1,0 +1,496 @@
+// End-to-end tests for mcc: compile at O0 and O2, execute in the VM, compare
+// results. O0/O2 agreement is itself a property under test.
+#include <gtest/gtest.h>
+
+#include "src/cc/compiler.h"
+#include "src/vm/vm.h"
+
+namespace polynima::cc {
+namespace {
+
+vm::RunResult CompileAndRun(const std::string& source, int opt_level,
+                            vm::VmOptions vm_options = {},
+                            std::vector<std::vector<uint8_t>> inputs = {}) {
+  CompileOptions options;
+  options.name = "test";
+  options.opt_level = opt_level;
+  auto image = Compile(source, options);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  if (!image.ok()) {
+    return {};
+  }
+  vm::ExternalLibrary library;
+  vm::Vm virtual_machine(*image, &library, vm_options);
+  virtual_machine.SetInputs(std::move(inputs));
+  return virtual_machine.Run();
+}
+
+class OptLevels : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(O0O2, OptLevels, ::testing::Values(0, 2));
+
+TEST_P(OptLevels, ArithmeticPrecedence) {
+  vm::RunResult r = CompileAndRun(R"(
+    int main() {
+      int a = 2 + 3 * 4;          // 14
+      int b = (2 + 3) * 4;        // 20
+      int c = 100 / 7;            // 14
+      int d = 100 % 7;            // 2
+      int e = -100 / 7;           // -14
+      int f = 1 << 10;            // 1024
+      int g = -64 >> 3;           // -8 (arithmetic)
+      int h = (5 & 3) | (8 ^ 12); // 1 | 4 = 5
+      return a + b + c + d + e + f + g + h;  // 14+20+14+2-14+1024-8+5
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 1057);
+}
+
+TEST_P(OptLevels, LongIntMixing) {
+  vm::RunResult r = CompileAndRun(R"(
+    int main() {
+      long big = 1;
+      big = big << 40;            // 2^40
+      int small = -7;
+      long mixed = big + small;   // sign extension of int
+      long div = mixed / 1000000000;
+      return (int)div;            // 1099 (2^40 ~ 1.0995e12)
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 1099);
+}
+
+TEST_P(OptLevels, CharSignedness) {
+  vm::RunResult r = CompileAndRun(R"(
+    int main() {
+      char c = 200;       // wraps to -56
+      int widened = c;
+      char d = 'A';
+      return widened + d; // -56 + 65 = 9
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 9);
+}
+
+TEST_P(OptLevels, ControlFlow) {
+  vm::RunResult r = CompileAndRun(R"(
+    int main() {
+      int total = 0;
+      for (int i = 0; i < 20; i++) {
+        if (i % 3 == 0) continue;
+        if (i == 15) break;
+        total += i;
+      }
+      int j = 0;
+      while (j < 5) { total += 100; j++; }
+      do { total += 1000; } while (0);
+      return total;   // i==15 hits the %3 continue first, so no break:
+                      // sum(1..19) - multiples of 3 = 127, + 500 + 1000
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 127 + 500 + 1000);
+}
+
+TEST_P(OptLevels, LogicalShortCircuit) {
+  vm::RunResult r = CompileAndRun(R"(
+    int g = 0;
+    int bump() { g = g + 1; return 1; }
+    int main() {
+      int a = (0 && bump());  // bump not called
+      int b = (1 || bump());  // bump not called
+      int c = (1 && bump());  // called once
+      int d = (0 || bump());  // called once
+      return g * 100 + a + b * 10 + c * 2 + d * 3;  // 200 + 0 + 10 + 2 + 3
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 215);
+}
+
+TEST_P(OptLevels, Ternary) {
+  vm::RunResult r = CompileAndRun(R"(
+    int max(int a, int b) { return a > b ? a : b; }
+    int main() { return max(3, 9) * max(-5, -2); }  // 9 * -2
+    )",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, -18);
+}
+
+TEST_P(OptLevels, RecursionFibonacci) {
+  vm::RunResult r = CompileAndRun(R"(
+    int fib(int n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(15); })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 610);
+}
+
+TEST_P(OptLevels, PointersAndArrays) {
+  vm::RunResult r = CompileAndRun(R"(
+    int data[8];
+    int main() {
+      for (int i = 0; i < 8; i++) data[i] = i * i;
+      int* p = data;
+      p += 3;
+      int a = *p;         // 9
+      int b = p[2];       // 25
+      int* q = &data[7];
+      long span = q - p;  // 4
+      int local[4];
+      local[0] = 11; local[1] = 22; local[2] = 33; local[3] = 44;
+      int c = local[2];
+      return a + b + (int)span + c;  // 9+25+4+33
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 71);
+}
+
+TEST_P(OptLevels, Structs) {
+  vm::RunResult r = CompileAndRun(R"(
+    struct Point { int x; int y; };
+    struct Rect { struct Point lo; struct Point hi; long tag; };
+    long area(struct Rect* r) {
+      return (long)(r->hi.x - r->lo.x) * (r->hi.y - r->lo.y);
+    }
+    int main() {
+      struct Rect rect;
+      rect.lo.x = 2; rect.lo.y = 3;
+      rect.hi.x = 12; rect.hi.y = 13;
+      rect.tag = 7;
+      struct Rect* pr = &rect;
+      return (int)(area(pr) + pr->tag + sizeof(struct Rect));  // 100+7+24
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 131);
+}
+
+TEST_P(OptLevels, GlobalInitializers) {
+  vm::RunResult r = CompileAndRun(R"(
+    int table[5] = {10, 20, 30, 40, 50};
+    long big = 123456789012345;
+    char msg[8] = "hey";
+    char* greeting = "hello";
+    extern long strlen(char* s);
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 5; i++) sum += table[i];
+      return sum + (int)(big % 1000) + msg[1] + (int)strlen(greeting);
+      // 150 + 345 + 'e'(101) + 5
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 150 + 345 + 101 + 5);
+}
+
+TEST_P(OptLevels, SwitchDenseAndSparse) {
+  const char* source = R"(
+    int classify_dense(int v) {
+      switch (v) {
+        case 0: return 10;
+        case 1: return 11;
+        case 2: return 12;
+        case 3: return 13;
+        case 4: return 14;
+        case 5: return 15;
+        default: return -1;
+      }
+    }
+    int classify_sparse(int v) {
+      switch (v) {
+        case 10: return 1;
+        case 1000: return 2;
+        case 100000: return 3;
+        default: return 0;
+      }
+    }
+    int main() {
+      int total = 0;
+      for (int i = -1; i <= 6; i++) total += classify_dense(i);
+      total += classify_sparse(10) + classify_sparse(1000)
+             + classify_sparse(100000) + classify_sparse(7);
+      return total;  // (-1 + 10+11+12+13+14+15 + -1) + (1+2+3+0)
+    })";
+  vm::RunResult r = CompileAndRun(source, GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 73 + 6);
+}
+
+TEST_P(OptLevels, FunctionPointers) {
+  vm::RunResult r = CompileAndRun(R"(
+    int add(int a, int b) { return a + b; }
+    int mul(int a, int b) { return a * b; }
+    int apply(int (*fn)(int, int), int a, int b) { return fn(a, b); }
+    int main() {
+      int (*op)(int, int) = add;
+      int x = apply(op, 3, 4);     // 7
+      op = mul;
+      int y = apply(op, 3, 4);     // 12
+      return x * 100 + y;
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 712);
+}
+
+TEST_P(OptLevels, QsortCallback) {
+  vm::RunResult r = CompileAndRun(R"(
+    extern void qsort(long* base, long n, long size, int (*cmp)(long*, long*));
+    long values[6] = {42, -7, 100, 3, -50, 8};
+    int cmp_long(long* a, long* b) {
+      if (*a < *b) return -1;
+      if (*a > *b) return 1;
+      return 0;
+    }
+    int main() {
+      qsort(values, 6, 8, cmp_long);
+      return (int)(values[0] + values[5] * 2);  // -50 + 200
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 150);
+}
+
+TEST_P(OptLevels, PrintOutput) {
+  vm::RunResult r = CompileAndRun(R"(
+    extern void print_str(char* s);
+    extern void print_i64(long v);
+    extern void print_char(long c);
+    int main() {
+      print_str("sum=");
+      print_i64(7 * 6);
+      print_char('\n');
+      return 0;
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.output, "sum=42\n");
+}
+
+TEST_P(OptLevels, IncDecSemantics) {
+  vm::RunResult r = CompileAndRun(R"(
+    int main() {
+      int i = 5;
+      int a = i++;   // a=5 i=6
+      int b = ++i;   // b=7 i=7
+      int c = i--;   // c=7 i=6
+      int d = --i;   // d=5 i=5
+      int arr[3];
+      arr[0] = 1; arr[1] = 2; arr[2] = 3;
+      int* p = arr;
+      int e = *p++;  // e=1, p->arr[1]
+      int f = *p;    // 2
+      return a*10000 + b*1000 + c*100 + d*10 + e + f;  // 5 7 7 5 3
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 57753);
+}
+
+TEST_P(OptLevels, CompoundAssignments) {
+  vm::RunResult r = CompileAndRun(R"(
+    long g = 100;
+    int main() {
+      g += 10; g -= 5; g *= 3; g /= 2; g %= 100;  // 57
+      int x = 3;
+      x <<= 4;  // 48
+      x >>= 2;  // 12
+      x |= 1;   // 13
+      x &= 14;  // 12
+      x ^= 5;   // 9
+      long arr[2];
+      arr[0] = 10;
+      arr[arr[0] / 10 - 1] += 90;  // arr[0] = 100
+      return (int)(g + x + arr[0]);  // 57 + 9 + 100
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 166);
+}
+
+TEST_P(OptLevels, AtomicBuiltins) {
+  vm::RunResult r = CompileAndRun(R"(
+    long counter = 10;
+    int main() {
+      long old = __atomic_fetch_add(&counter, 5);     // old=10, counter=15
+      long witness = __atomic_cas(&counter, 15, 99);  // witness=15, counter=99
+      long fail = __atomic_cas(&counter, 15, 123);    // fail=99, unchanged
+      long swapped = __atomic_exchange(&counter, 7);  // swapped=99, counter=7
+      __atomic_store(&counter, __atomic_load(&counter) + 1);  // 8
+      return (int)(old + witness + fail + swapped + counter);
+      // 10 + 15 + 99 + 99 + 8
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 231);
+}
+
+TEST_P(OptLevels, ThreadsWithSpinlockInC) {
+  vm::VmOptions opts;
+  opts.precise_races = true;
+  opts.seed = 3;
+  vm::RunResult r = CompileAndRun(R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    long lock = 0;
+    long counter = 0;
+    long worker(long iters) {
+      for (long i = 0; i < iters; i++) {
+        while (__atomic_cas(&lock, 0, 1) != 0) { __pause(); }
+        counter += 1;             // plain RMW protected by the spinlock
+        __atomic_store(&lock, 0);
+      }
+      return 0;
+    }
+    int main() {
+      long tids[4];
+      for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, 150);
+      for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+      return (int)counter;
+    })",
+                                  GetParam(), opts);
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 600);
+}
+
+TEST_P(OptLevels, PthreadMutexAndBarrier) {
+  vm::RunResult r = CompileAndRun(R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    extern int pthread_mutex_init(long* m, long attr);
+    extern int pthread_mutex_lock(long* m);
+    extern int pthread_mutex_unlock(long* m);
+    extern int pthread_barrier_init(long* b, long attr, long count);
+    extern int pthread_barrier_wait(long* b);
+    long mutex;
+    long barrier[2];
+    long phase1 = 0;
+    long phase2 = 0;
+    long worker(long arg) {
+      pthread_mutex_lock(&mutex);
+      phase1 += 1;
+      pthread_mutex_unlock(&mutex);
+      pthread_barrier_wait(barrier);
+      // After the barrier every thread must observe all phase1 increments.
+      pthread_mutex_lock(&mutex);
+      phase2 += phase1;
+      pthread_mutex_unlock(&mutex);
+      return 0;
+    }
+    int main() {
+      pthread_mutex_init(&mutex, 0);
+      pthread_barrier_init(barrier, 0, 4);
+      long tids[4];
+      for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+      for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+      return (int)(phase1 * 100 + phase2);  // 400 + 16
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 416);
+}
+
+TEST_P(OptLevels, VectorBuiltins) {
+  vm::RunResult r = CompileAndRun(R"(
+    int a[11];
+    int b[11];
+    int c[11];
+    int main() {
+      for (int i = 0; i < 11; i++) { a[i] = i + 1; b[i] = 2; }
+      int dot = __vdot_i32(a, b, 11);   // 2 * 66 = 132
+      int sum = __vsum_i32(a, 11);      // 66
+      __vadd_i32(c, a, b, 11);
+      __vmul_i32(c, c, b, 11);          // (a[i]+2)*2
+      int last = c[10];                  // 26
+      return dot + sum + last;
+    })",
+                                  GetParam());
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  EXPECT_EQ(r.exit_code, 132 + 66 + 26);
+}
+
+TEST(CcCompiler, O2EmitsSimdForVectorBuiltins) {
+  CompileOptions options;
+  options.opt_level = 2;
+  auto image = Compile(R"(
+    int a[64]; int b[64];
+    int main() { return __vdot_i32(a, b, 64); })",
+                       options);
+  ASSERT_TRUE(image.ok());
+  // The O2 binary must contain the pmulld encoding (66 0f 38 40).
+  const auto& text = image->segments[0].bytes;
+  bool found = false;
+  for (size_t i = 0; i + 3 < text.size(); ++i) {
+    if (text[i] == 0x66 && text[i + 1] == 0x0F && text[i + 2] == 0x38 &&
+        text[i + 3] == 0x40) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CcCompiler, O0AndO2AgreeOnPseudoRandomProgram) {
+  // A program mixing many features; O0 and O2 must agree exactly.
+  const char* source = R"(
+    extern void print_i64(long v);
+    int grid[16];
+    long mix(long x) { return (x * 2654435761) % 1000003; }
+    int main() {
+      long h = 7;
+      for (int i = 0; i < 16; i++) {
+        grid[i] = (int)mix(i * 31 + 7);
+        h = (h * 31 + grid[i]) % 1000000007;
+      }
+      int best = -1;
+      for (int i = 0; i < 16; i++) {
+        if (grid[i] > best) best = grid[i];
+      }
+      print_i64(h % 100000);
+      print_i64(best % 1000);
+      return 0;
+    })";
+  vm::RunResult r0 = CompileAndRun(source, 0);
+  vm::RunResult r2 = CompileAndRun(source, 2);
+  ASSERT_TRUE(r0.ok) << r0.fault_message;
+  ASSERT_TRUE(r2.ok) << r2.fault_message;
+  EXPECT_EQ(r0.output, r2.output);
+  EXPECT_EQ(r0.exit_code, r2.exit_code);
+}
+
+TEST(CcCompiler, O2IsFasterOnComputeLoop) {
+  const char* source = R"(
+    int work(int n) {
+      int acc = 0;
+      for (int i = 0; i < n; i++) {
+        acc += i * 3 + (i % 5);
+      }
+      return acc;
+    }
+    int main() { return work(5000) & 0xff; })";
+  vm::RunResult r0 = CompileAndRun(source, 0);
+  vm::RunResult r2 = CompileAndRun(source, 2);
+  ASSERT_TRUE(r0.ok);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_EQ(r0.exit_code, r2.exit_code);
+  // O2 should be meaningfully faster (register promotion, fewer reloads).
+  EXPECT_LT(r2.wall_time * 10, r0.wall_time * 9);
+}
+
+TEST(CcCompiler, ErrorsAreReported) {
+  CompileOptions options;
+  EXPECT_FALSE(Compile("int main() { return undefined_var; }", options).ok());
+  EXPECT_FALSE(Compile("int main() { return 1 +; }", options).ok());
+  EXPECT_FALSE(Compile("int f() { return 0; }", options).ok());  // no main
+}
+
+}  // namespace
+}  // namespace polynima::cc

@@ -1,0 +1,303 @@
+// Tests for the implicit-synchronization (spinloop) detection and the fence
+// removal it gates (§3.4): spinlocks are detected, pthread-only programs are
+// proven free of implicit synchronization, uncovered loops stay conservative,
+// and removing fences after a positive verdict preserves behaviour while
+// improving performance.
+#include <gtest/gtest.h>
+
+#include "src/cc/compiler.h"
+#include "src/cfg/cfg.h"
+#include "src/fenceopt/spinloop.h"
+#include "src/recomp/recompiler.h"
+#include "src/vm/vm.h"
+
+namespace polynima::fenceopt {
+namespace {
+
+Expected<binary::Image> CompileSource(const std::string& source,
+                                      int opt_level) {
+  cc::CompileOptions options;
+  options.name = "fenceopt_test";
+  options.opt_level = opt_level;
+  return cc::Compile(source, options);
+}
+
+Expected<SpinloopAnalysis> Analyze(
+    const std::string& source, int opt_level,
+    std::vector<std::vector<std::vector<uint8_t>>> input_sets = {{}}) {
+  POLY_ASSIGN_OR_RETURN(binary::Image image, CompileSource(source, opt_level));
+  POLY_ASSIGN_OR_RETURN(cfg::ControlFlowGraph graph,
+                        cfg::RecoverStatic(image));
+  return DetectImplicitSynchronization(image, graph, input_sets);
+}
+
+class OptLevels : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(O0O2, OptLevels, ::testing::Values(0, 2));
+
+TEST_P(OptLevels, CasSpinlockIsDetectedAsSpinning) {
+  // ConcurrencyKit-style: CAS spinloop on a shared lock word.
+  auto analysis = Analyze(R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    long lock = 0;
+    long shared = 0;
+    long worker(long n) {
+      for (long i = 0; i < n; i++) {
+        while (__atomic_cas(&lock, 0, 1) != 0) { __pause(); }
+        shared += 1;
+        __atomic_store(&lock, 0);
+      }
+      return 0;
+    }
+    int main() {
+      long tids[2];
+      for (int i = 0; i < 2; i++) pthread_create(&tids[i], 0, worker, 20);
+      for (int i = 0; i < 2; i++) pthread_join(tids[i], 0);
+      return (int)shared;
+    })",
+                          GetParam());
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_TRUE(analysis->AnySpinning());
+  EXPECT_FALSE(analysis->FenceRemovalSafe());
+}
+
+TEST_P(OptLevels, LoadSpinOnSharedFlagIsDetected) {
+  // Paper Figure 1 / Listing 3(a): spin on a plain load of a shared flag.
+  auto analysis = Analyze(R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    long flag = 0;
+    long data = 0;
+    long waiter(long unused) {
+      while (__atomic_load(&flag) == 0) { __pause(); }
+      return data;
+    }
+    int main() {
+      long tid;
+      pthread_create(&tid, 0, waiter, 0);
+      data = 42;
+      __atomic_store(&flag, 1);
+      long ret = 0;
+      pthread_join(tid, &ret);
+      return (int)ret;
+    })",
+                          GetParam());
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_TRUE(analysis->AnySpinning());
+}
+
+TEST_P(OptLevels, PthreadOnlyProgramIsNonSpinning) {
+  // Phoenix-style: all synchronization via external pthread primitives;
+  // every loop is index-driven.
+  auto analysis = Analyze(R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    extern int pthread_mutex_init(long* m, long attr);
+    extern int pthread_mutex_lock(long* m);
+    extern int pthread_mutex_unlock(long* m);
+    extern void print_i64(long v);
+    long mutex;
+    long hist[16];
+    long data[256];
+    long worker(long chunk) {
+      long lo = chunk * 64;
+      long local[16];
+      for (int i = 0; i < 16; i++) local[i] = 0;
+      for (long i = lo; i < lo + 64; i++) {
+        local[data[i] & 15] += 1;
+      }
+      pthread_mutex_lock(&mutex);
+      for (int i = 0; i < 16; i++) hist[i] += local[i];
+      pthread_mutex_unlock(&mutex);
+      return 0;
+    }
+    int main() {
+      pthread_mutex_init(&mutex, 0);
+      for (long i = 0; i < 256; i++) data[i] = i * 7;
+      long tids[4];
+      for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+      for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+      long total = 0;
+      for (int i = 0; i < 16; i++) total += hist[i];
+      print_i64(total);
+      return 0;
+    })",
+                          GetParam());
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  for (const LoopVerdict& v : analysis->loops) {
+    EXPECT_FALSE(v.spinning) << v.function << "/" << v.header_block << ": "
+                             << v.reason;
+  }
+  EXPECT_TRUE(analysis->FenceRemovalSafe());
+}
+
+TEST(FenceOpt, MemoryBackedLoopCounterIsNonSpinning) {
+  // Listing 3(d): unoptimized code keeps the loop counter in a stack slot;
+  // the exit condition is driven by loads/stores of a local location.
+  auto analysis = Analyze(R"(
+    extern void print_i64(long v);
+    int main() {
+      long sum = 0;
+      for (long i = 0; i < 50; i++) {
+        sum += i;
+      }
+      print_i64(sum);
+      return 0;
+    })",
+                          /*opt_level=*/0);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  ASSERT_FALSE(analysis->loops.empty());
+  for (const LoopVerdict& v : analysis->loops) {
+    EXPECT_FALSE(v.spinning) << v.reason;
+  }
+}
+
+TEST(FenceOpt, ConstantStoreSpinIsDetected) {
+  // Listing 3(c): the only store to the controlling location writes a
+  // constant, so nothing local can ever change the exit condition.
+  auto analysis = Analyze(R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    long box = 0;
+    long waiter(long unused) {
+      long seen = 0;
+      while (seen == 0) {
+        seen = __atomic_load(&box);
+      }
+      return seen;
+    }
+    int main() {
+      long tid;
+      pthread_create(&tid, 0, waiter, 0);
+      __atomic_store(&box, 7);
+      long ret = 0;
+      pthread_join(tid, &ret);
+      return (int)ret;
+    })",
+                          0);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_TRUE(analysis->AnySpinning());
+}
+
+TEST(FenceOpt, UncoveredLoopStaysConservative) {
+  // The byte-swap branch never executes with the provided inputs (the
+  // histogram false-negative case, §4.3): its loop must be reported as
+  // uncovered and potentially spinning.
+  auto analysis = Analyze(R"(
+    extern long input_len(long idx);
+    long buf[8];
+    int main() {
+      long acc = 0;
+      if (input_len(0) > 1000) {
+        // Never covered: swap loop over buf.
+        for (int i = 0; i < 8; i++) {
+          long v = buf[i];
+          buf[i] = ((v & 0xff) << 8) | ((v >> 8) & 0xff);
+          acc += buf[i];
+        }
+      }
+      for (int i = 0; i < 8; i++) acc += i;
+      return (int)acc;
+    })",
+                          0, {{}});
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  bool found_uncovered_spinning = false;
+  bool found_covered_non_spinning = false;
+  for (const LoopVerdict& v : analysis->loops) {
+    if (v.uncovered && v.spinning) {
+      found_uncovered_spinning = true;
+    }
+    if (!v.uncovered && !v.spinning) {
+      found_covered_non_spinning = true;
+    }
+  }
+  EXPECT_TRUE(found_uncovered_spinning);
+  EXPECT_TRUE(found_covered_non_spinning);
+  EXPECT_FALSE(analysis->FenceRemovalSafe());
+}
+
+TEST(FenceOpt, FenceRemovalAfterPositiveVerdictPreservesBehaviour) {
+  const char* source = R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    extern int pthread_mutex_init(long* m, long attr);
+    extern int pthread_mutex_lock(long* m);
+    extern int pthread_mutex_unlock(long* m);
+    extern void print_i64(long v);
+    long mutex;
+    long buckets[8];
+    long src[128];
+    long worker(long chunk) {
+      long local = 0;
+      for (long i = chunk * 32; i < chunk * 32 + 32; i++) local += src[i];
+      pthread_mutex_lock(&mutex);
+      buckets[chunk & 7] += local;
+      pthread_mutex_unlock(&mutex);
+      return 0;
+    }
+    int main() {
+      pthread_mutex_init(&mutex, 0);
+      for (long i = 0; i < 128; i++) src[i] = i * 3;
+      long tids[4];
+      for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+      for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+      long total = 0;
+      for (int i = 0; i < 8; i++) total += buckets[i];
+      print_i64(total);
+      return 0;
+    })";
+  auto image = CompileSource(source, 0);
+  ASSERT_TRUE(image.ok());
+  auto graph = cfg::RecoverStatic(*image);
+  ASSERT_TRUE(graph.ok());
+  auto analysis = DetectImplicitSynchronization(*image, *graph, {{}});
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  ASSERT_TRUE(analysis->FenceRemovalSafe());
+
+  // Recompile twice: with fences and with fences removed.
+  recomp::RecompileOptions keep;
+  recomp::RecompileOptions drop;
+  drop.remove_fences = true;
+  recomp::Recompiler with_fences(*image, keep);
+  recomp::Recompiler without_fences(*image, drop);
+  auto fenced = with_fences.Recompile();
+  auto unfenced = without_fences.Recompile();
+  ASSERT_TRUE(fenced.ok());
+  ASSERT_TRUE(unfenced.ok());
+  exec::ExecResult a = fenced->Run({});
+  exec::ExecResult b = unfenced->Run({});
+  ASSERT_TRUE(a.ok) << a.fault_message;
+  ASSERT_TRUE(b.ok) << b.fault_message;
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_LT(b.wall_time, a.wall_time);  // the FO speedup
+}
+
+TEST(FenceOpt, VerdictsAreStableAcrossSeeds) {
+  const char* source = R"(
+    long lock = 0;
+    long shared = 0;
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    long worker(long n) {
+      for (long i = 0; i < n; i++) {
+        while (__atomic_cas(&lock, 0, 1) != 0) { }
+        shared += 1;
+        __atomic_store(&lock, 0);
+      }
+      return 0;
+    }
+    int main() {
+      long tids[2];
+      for (int i = 0; i < 2; i++) pthread_create(&tids[i], 0, worker, 10);
+      for (int i = 0; i < 2; i++) pthread_join(tids[i], 0);
+      return (int)shared;
+    })";
+  for (int trial = 0; trial < 3; ++trial) {
+    auto analysis = Analyze(source, 2);
+    ASSERT_TRUE(analysis.ok());
+    EXPECT_TRUE(analysis->AnySpinning());
+  }
+}
+
+}  // namespace
+}  // namespace polynima::fenceopt

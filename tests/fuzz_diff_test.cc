@@ -1,0 +1,213 @@
+// Differential fuzzing across the whole stack: randomly generated mcc
+// programs (bounded loops, guarded division, masked indices — no undefined
+// behaviour) must produce identical output in four configurations:
+// O0-original, O2-original, O0-recompiled, O2-recompiled. Any divergence is
+// a bug in the compiler, the VM, the recovery, the lifter, the optimizer or
+// the execution engine.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/cc/compiler.h"
+#include "src/recomp/recompiler.h"
+#include "src/support/rng.h"
+#include "src/vm/vm.h"
+
+namespace polynima {
+namespace {
+
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    std::ostringstream out;
+    out << "extern void print_i64(long v);\n";
+    out << "long g0 = " << rng_.NextInRange(-50, 50) << ";\n";
+    out << "long g1 = " << rng_.NextInRange(-50, 50) << ";\n";
+    out << "long g2 = " << rng_.NextInRange(1, 99) << ";\n";
+    out << "long arr[8] = {1, 2, 3, 4, 5, 6, 7, 8};\n";
+    // Two helper functions callable from main (and each other, forward).
+    out << "long helper_b(long a, long b);\n";
+    out << GenFunction("helper_a", /*can_call=*/true);
+    out << GenFunction("helper_b", /*can_call=*/false);
+    out << GenMain();
+    return out.str();
+  }
+
+ private:
+  std::string Var() {
+    static const char* kVars[] = {"g0", "g1", "g2", "l0", "l1", "a", "b",
+                                  "w0", "w1"};
+    return kVars[rng_.NextBelow(in_main_ ? 7 : 9)];
+  }
+
+  std::string Expr(int depth) {
+    if (depth <= 0 || rng_.NextBelow(3) == 0) {
+      switch (rng_.NextBelow(3)) {
+        case 0:
+          return std::to_string(rng_.NextInRange(-100, 100));
+        case 1:
+          return Var();
+        default:
+          return "arr[(" + Expr(0) + ") & 7]";
+      }
+    }
+    switch (rng_.NextBelow(10)) {
+      case 0:
+        return "(-(" + Expr(depth - 1) + "))";
+      case 1:
+        return "(~(" + Expr(depth - 1) + "))";
+      case 2:
+        return "((" + Expr(depth - 1) + ") / ((" + Expr(depth - 1) +
+               ") | 1))";
+      case 3:
+        return "((" + Expr(depth - 1) + ") % ((" + Expr(depth - 1) +
+               ") | 1))";
+      case 4:
+        return "((" + Expr(depth - 1) + ") << ((" + Expr(depth - 1) +
+               ") & 7))";
+      case 5:
+        return "((" + Expr(depth - 1) + ") >> ((" + Expr(depth - 1) +
+               ") & 7))";
+      case 6:
+        return "((" + Expr(depth - 1) + ") < (" + Expr(depth - 1) +
+               ") ? (" + Expr(depth - 1) + ") : (" + Expr(depth - 1) + "))";
+      default: {
+        static const char* kOps[] = {"+", "-", "*", "&", "|", "^"};
+        return "((" + Expr(depth - 1) + ") " + kOps[rng_.NextBelow(6)] +
+               " (" + Expr(depth - 1) + "))";
+      }
+    }
+  }
+
+  std::string Stmt(int depth, bool can_call) {
+    switch (rng_.NextBelow(6)) {
+      case 0:
+        return Var() + " = " + Expr(2) + ";\n";
+      case 1:
+        return "arr[(" + Expr(1) + ") & 7] = " + Expr(2) + ";\n";
+      case 2: {
+        static const char* kCompound[] = {"+=", "-=", "^=", "|="};
+        return Var() + " " + kCompound[rng_.NextBelow(4)] + " " + Expr(2) +
+               ";\n";
+      }
+      case 3:
+        if (depth > 0) {
+          std::string body = Stmt(depth - 1, can_call);
+          std::string other = Stmt(depth - 1, can_call);
+          return "if ((" + Expr(2) + ") > (" + Expr(1) + ")) {\n" + body +
+                 "} else {\n" + other + "}\n";
+        }
+        return Var() + " = " + Expr(1) + ";\n";
+      case 4:
+        if (depth > 0) {
+          std::string idx = "i" + std::to_string(loop_counter_++);
+          return "for (long " + idx + " = 0; " + idx + " < " +
+                 std::to_string(rng_.NextInRange(1, 12)) + "; " + idx +
+                 "++) {\n" + Stmt(depth - 1, can_call) + Var() + " += " +
+                 idx + ";\n}\n";
+        }
+        return Var() + " ^= " + Expr(1) + ";\n";
+      default:
+        if (can_call && rng_.NextBool()) {
+          return Var() + " = helper_b(" + Expr(1) + ", " + Expr(1) + ");\n";
+        }
+        return Var() + " = " + Expr(2) + ";\n";
+    }
+  }
+
+  std::string GenFunction(const std::string& name, bool can_call) {
+    std::ostringstream out;
+    out << "long " << name << "(long a, long b) {\n";
+    // Mixed widths: int locals force 32-bit operations and sign-extending
+    // conversions through every layer (mcc, VM, lifter, optimizer, engine).
+    out << "long l0 = a + 1;\nlong l1 = b - 1;\n";
+    out << "int w0 = (int)(a * 3);\nint w1 = (int)(b - 7);\n";
+    for (int i = 0; i < 4; ++i) {
+      out << Stmt(2, can_call);
+    }
+    out << "w0 = w0 + (int)l0;\nw1 = w1 ^ (int)l1;\n";
+    out << "return l0 ^ l1 ^ a ^ b ^ w0 ^ w1;\n}\n";
+    return out.str();
+  }
+
+  std::string GenMain() {
+    in_main_ = true;
+    std::ostringstream out;
+    out << "int main() {\nlong l0 = 3;\nlong l1 = 5;\nlong a = 7;\nlong b = "
+           "9;\n";
+    for (int i = 0; i < 6; ++i) {
+      out << Stmt(2, true);
+    }
+    out << "l0 += helper_a(g0, g1) + helper_b(g1, g2);\n";
+    out << "long checksum = l0 * 31 + l1 * 17 + g0 * 7 + g1 * 3 + g2 + a + "
+           "b;\n";
+    out << "for (int k = 0; k < 8; k++) checksum = checksum * 13 + arr[k];\n";
+    out << "print_i64(checksum);\nreturn 0;\n}\n";
+    return out.str();
+  }
+
+  Rng rng_;
+  int loop_counter_ = 0;
+  bool in_main_ = false;
+};
+
+std::string RunConfig(const std::string& source, int opt, bool recompiled,
+                      std::string* error) {
+  cc::CompileOptions options;
+  options.name = "fuzz";
+  options.opt_level = opt;
+  auto image = cc::Compile(source, options);
+  if (!image.ok()) {
+    *error = image.status().ToString();
+    return "";
+  }
+  if (!recompiled) {
+    vm::ExternalLibrary library;
+    vm::Vm virtual_machine(*image, &library, {});
+    vm::RunResult r = virtual_machine.Run();
+    if (!r.ok) {
+      *error = "vm: " + r.fault_message;
+      return "";
+    }
+    return r.output;
+  }
+  recomp::Recompiler recompiler(*image, {});
+  auto binary = recompiler.Recompile();
+  if (!binary.ok()) {
+    *error = binary.status().ToString();
+    return "";
+  }
+  auto result = recompiler.RunAdditive(*binary, {});
+  if (!result.ok() || !result->ok) {
+    *error = "engine: " + (result.ok() ? result->fault_message
+                                       : result.status().ToString());
+    return "";
+  }
+  return result->output;
+}
+
+class FuzzDiff : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzDiff, FourWayEquivalence) {
+  ProgramGenerator generator(GetParam());
+  std::string source = generator.Generate();
+  std::string error;
+  std::string reference = RunConfig(source, 0, false, &error);
+  ASSERT_FALSE(reference.empty()) << error << "\nsource:\n" << source;
+  for (auto [opt, recompiled] :
+       {std::pair{2, false}, {0, true}, {2, true}}) {
+    std::string got = RunConfig(source, opt, recompiled, &error);
+    EXPECT_EQ(got, reference)
+        << "config O" << opt << (recompiled ? " recompiled" : " original")
+        << " diverged (" << error << ")\nsource:\n"
+        << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDiff,
+                         ::testing::Range<uint64_t>(1, 65));
+
+}  // namespace
+}  // namespace polynima

@@ -1,0 +1,83 @@
+// Tests for guest memory: permissions, lazy pages, cross-page accesses,
+// sticky faults, and C-string reads.
+#include <gtest/gtest.h>
+
+#include "src/vm/memory.h"
+
+namespace polynima::vm {
+namespace {
+
+TEST(Memory, ReadWriteWithinRegion) {
+  Memory mem;
+  mem.AllowRegion(0x1000, 0x3000, /*writable=*/true);
+  mem.Write(0x1000, 8, 0x1122334455667788ull);
+  EXPECT_EQ(mem.Read(0x1000, 8), 0x1122334455667788ull);
+  EXPECT_EQ(mem.Read(0x1000, 4), 0x55667788u);
+  EXPECT_EQ(mem.Read(0x1004, 4), 0x11223344u);
+  EXPECT_EQ(mem.Read(0x1007, 1), 0x11u);
+  EXPECT_FALSE(mem.faulted());
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory mem;
+  mem.AllowRegion(0x1000, 0x3000, true);
+  uint64_t addr = 0x2000 - 4;  // straddles the page boundary
+  mem.Write(addr, 8, 0xdeadbeefcafebabeull);
+  EXPECT_EQ(mem.Read(addr, 8), 0xdeadbeefcafebabeull);
+  EXPECT_FALSE(mem.faulted());
+}
+
+TEST(Memory, OutOfRegionAccessFaults) {
+  Memory mem;
+  mem.AllowRegion(0x1000, 0x2000, true);
+  EXPECT_EQ(mem.Read(0x5000, 8), 0u);
+  EXPECT_TRUE(mem.faulted());
+  EXPECT_EQ(mem.fault_address(), 0x5000u);
+  // Sticky: the first fault address is preserved.
+  mem.Write(0x6000, 4, 1);
+  EXPECT_EQ(mem.fault_address(), 0x5000u);
+  mem.ClearFault();
+  EXPECT_FALSE(mem.faulted());
+}
+
+TEST(Memory, ReadOnlySegmentsRejectWrites) {
+  Memory mem;
+  std::vector<uint8_t> code = {0x90, 0xc3};
+  mem.MapSegment(0x400000, code, /*writable=*/false);
+  EXPECT_EQ(mem.Read(0x400000, 1), 0x90u);
+  EXPECT_FALSE(mem.faulted());
+  mem.Write(0x400000, 1, 0xcc);
+  EXPECT_TRUE(mem.faulted());
+}
+
+TEST(Memory, BulkReadWrite) {
+  Memory mem;
+  mem.AllowRegion(0x1000, 0x10000, true);
+  std::vector<uint8_t> data(5000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  mem.WriteBytes(0x1800, data.data(), data.size());
+  std::vector<uint8_t> back(data.size());
+  mem.ReadBytes(0x1800, back.data(), back.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST(Memory, ReadCString) {
+  Memory mem;
+  mem.AllowRegion(0x1000, 0x2000, true);
+  const char* s = "hello";
+  mem.WriteBytes(0x1100, s, 6);
+  EXPECT_EQ(mem.ReadCString(0x1100), "hello");
+  EXPECT_EQ(mem.ReadCString(0x1105), "");
+}
+
+TEST(Memory, LazyPagesAreZeroed) {
+  Memory mem;
+  mem.AllowRegion(0x1000, 0x2000, true);
+  EXPECT_EQ(mem.Read(0x1ff8, 8), 0u);
+  EXPECT_FALSE(mem.faulted());
+}
+
+}  // namespace
+}  // namespace polynima::vm

@@ -1,0 +1,142 @@
+// Tests for the support layer: JSON reader/writer, strings, Status/Expected,
+// and deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "src/support/json.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+#include "src/support/strings.h"
+
+namespace polynima {
+namespace {
+
+TEST(Json, RoundTripsObjects) {
+  json::Object obj;
+  obj["name"] = json::Value("polynima");
+  obj["count"] = json::Value(int64_t{42});
+  obj["big"] = json::Value(uint64_t{0x400000});
+  obj["flag"] = json::Value(true);
+  obj["nothing"] = json::Value(nullptr);
+  json::Array arr;
+  arr.push_back(json::Value(1));
+  arr.push_back(json::Value("two"));
+  obj["list"] = json::Value(std::move(arr));
+  json::Value v(std::move(obj));
+
+  for (bool pretty : {false, true}) {
+    auto back = json::Parse(v.Dump(pretty));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->Find("name")->as_string(), "polynima");
+    EXPECT_EQ(back->Find("count")->as_int(), 42);
+    EXPECT_EQ(back->Find("big")->as_uint(), 0x400000u);
+    EXPECT_TRUE(back->Find("flag")->as_bool());
+    EXPECT_TRUE(back->Find("nothing")->is_null());
+    EXPECT_EQ(back->Find("list")->as_array().size(), 2u);
+    EXPECT_EQ(back->Find("missing"), nullptr);
+  }
+}
+
+TEST(Json, PreservesLargeIntegersExactly) {
+  // Code addresses must survive exactly (no double rounding).
+  int64_t addr = 0x7ffffffffffffll;
+  json::Value v(addr);
+  auto back = json::Parse(v.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->is_int());
+  EXPECT_EQ(back->as_int(), addr);
+}
+
+TEST(Json, EscapesStrings) {
+  json::Value v(std::string("a\"b\\c\nd\te"));
+  auto back = json::Parse(v.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("[1,]2").ok());
+  EXPECT_FALSE(json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(json::Parse("tru").ok());
+  EXPECT_FALSE(json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(json::Parse("{} trailing").ok());
+  EXPECT_FALSE(json::Parse("").ok());
+}
+
+TEST(Json, ParsesNegativeAndDoubleNumbers) {
+  auto v = json::Parse("[-42, 3.5, 1e3]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_array()[0].as_int(), -42);
+  EXPECT_DOUBLE_EQ(v->as_array()[1].as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(v->as_array()[2].as_double(), 1000.0);
+}
+
+TEST(Status, CodesAndMessages) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::NotFound("thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "not_found: thing");
+}
+
+Expected<int> ParsePositive(int v) {
+  if (v < 0) {
+    return Status::InvalidArgument("negative");
+  }
+  return v * 2;
+}
+
+Expected<int> Chain(int v) {
+  POLY_ASSIGN_OR_RETURN(int doubled, ParsePositive(v));
+  return doubled + 1;
+}
+
+TEST(Expected, PropagatesThroughMacro) {
+  auto good = Chain(10);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 21);
+  auto bad = Chain(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Strings, Helpers) {
+  EXPECT_EQ(HexString(0x400123), "0x400123");
+  EXPECT_EQ(Split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(Split("a,b,,c", ',')[2], "");
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_TRUE(StartsWith("fl_cf", "fl_"));
+  EXPECT_FALSE(StartsWith("fl", "fl_"));
+  EXPECT_TRUE(EndsWith("cfg.json", ".json"));
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+}
+
+TEST(Rng, DeterministicAndWellDistributed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(8);
+  int buckets[8] = {0};
+  for (int i = 0; i < 8000; ++i) {
+    buckets[c.NextBelow(8)]++;
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_GT(buckets[i], 700);
+    EXPECT_LT(buckets[i], 1300);
+  }
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = c.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = c.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace polynima

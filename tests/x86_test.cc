@@ -1,0 +1,444 @@
+// Tests for the x86 subset encoder/decoder/assembler.
+//
+// Golden encodings are checked against the Intel SDM byte sequences; the
+// property suite round-trips randomized instructions through encode+decode.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/x86/assembler.h"
+#include "src/x86/decoder.h"
+#include "src/x86/encoder.h"
+#include "src/x86/printer.h"
+
+namespace polynima::x86 {
+namespace {
+
+std::vector<uint8_t> MustEncode(const Inst& inst) {
+  std::vector<uint8_t> out;
+  Status st = Encode(inst, out);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+Inst MustDecode(const std::vector<uint8_t>& bytes, uint64_t address = 0x1000) {
+  auto inst = Decode(bytes, address);
+  EXPECT_TRUE(inst.ok()) << inst.status().ToString();
+  return inst.ok() ? *inst : Inst{};
+}
+
+TEST(Encoder, GoldenBytes) {
+  struct Case {
+    Inst inst;
+    std::vector<uint8_t> want;
+  };
+  MemRef rbp_m8;
+  rbp_m8.base = Reg::kRbp;
+  rbp_m8.disp = -8;
+  MemRef rdi0;
+  rdi0.base = Reg::kRdi;
+  MemRef rsi0;
+  rsi0.base = Reg::kRsi;
+  MemRef sib;
+  sib.base = Reg::kRbx;
+  sib.index = Reg::kRcx;
+  sib.scale = 4;
+  sib.disp = 0x10;
+  MemRef rcx0;
+  rcx0.base = Reg::kRcx;
+
+  Inst lock_add = I2(Mnemonic::kAdd, 4, Operand::M(rdi0), Operand::R(Reg::kRax));
+  lock_add.lock = true;
+  Inst lock_cmpxchg =
+      I2(Mnemonic::kCmpxchg, 4, Operand::M(rsi0), Operand::R(Reg::kRcx));
+  lock_cmpxchg.lock = true;
+
+  const Case cases[] = {
+      {I2(Mnemonic::kMov, 8, Operand::R(Reg::kRax), Operand::R(Reg::kRbx)),
+       {0x48, 0x89, 0xD8}},
+      {I2(Mnemonic::kAdd, 4, Operand::R(Reg::kRax), Operand::I(1)),
+       {0x83, 0xC0, 0x01}},
+      {I1(Mnemonic::kPush, 8, Operand::R(Reg::kRbp)), {0x55}},
+      {I1(Mnemonic::kPop, 8, Operand::R(Reg::kRbp)), {0x5D}},
+      {I2(Mnemonic::kMov, 8, Operand::R(Reg::kRbp), Operand::R(Reg::kRsp)),
+       {0x48, 0x89, 0xE5}},
+      {I0(Mnemonic::kRet), {0xC3}},
+      {lock_add, {0xF0, 0x01, 0x07}},
+      {lock_cmpxchg, {0xF0, 0x0F, 0xB1, 0x0E}},
+      {I1(Mnemonic::kJmp, 4, Operand::I(0x10)), {0xE9, 0x10, 0, 0, 0}},
+      {I2(Mnemonic::kMov, 8, Operand::R(Reg::kRax), Operand::M(rbp_m8)),
+       {0x48, 0x8B, 0x45, 0xF8}},
+      {[&] {
+         Inst i = I2(Mnemonic::kMovzx, 4, Operand::R(Reg::kRax),
+                     Operand::M(rcx0));
+         i.src_size = 1;
+         return i;
+       }(),
+       {0x0F, 0xB6, 0x01}},
+      {I2(Mnemonic::kLea, 8, Operand::R(Reg::kRax), Operand::M(sib)),
+       {0x48, 0x8D, 0x44, 0x8B, 0x10}},
+      {I2(Mnemonic::kPaddd, 16, Operand::X(1), Operand::X(2)),
+       {0x66, 0x0F, 0xFE, 0xCA}},
+      {I0(Mnemonic::kPause), {0xF3, 0x90}},
+      {I0(Mnemonic::kUd2), {0x0F, 0x0B}},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(MustEncode(c.inst), c.want) << FormatInst(c.inst);
+  }
+}
+
+TEST(Decoder, DirectTransferTargets) {
+  // jmp rel32 = +0x10 at address 0x1000, length 5 -> target 0x1015.
+  Inst jmp = MustDecode({0xE9, 0x10, 0, 0, 0});
+  EXPECT_TRUE(jmp.IsDirectTransfer());
+  EXPECT_EQ(jmp.DirectTarget(), 0x1015u);
+
+  // jcc rel8: 74 FE = je -2 -> self-loop at 0x1000.
+  Inst jcc = MustDecode({0x74, 0xFE});
+  EXPECT_EQ(jcc.mnemonic, Mnemonic::kJcc);
+  EXPECT_EQ(jcc.cond, Cond::kE);
+  EXPECT_EQ(jcc.DirectTarget(), 0x1000u);
+
+  // call rel32.
+  Inst call = MustDecode({0xE8, 0x00, 0x01, 0, 0});
+  EXPECT_TRUE(call.IsCall());
+  EXPECT_EQ(call.DirectTarget(), 0x1105u);
+}
+
+TEST(Decoder, IndirectTransfers) {
+  // jmp rax: FF E0
+  Inst jmp = MustDecode({0xFF, 0xE0});
+  EXPECT_TRUE(jmp.IsIndirectTransfer());
+  EXPECT_TRUE(jmp.ops[0].is_reg());
+
+  // call qword ptr [rax+rbx*8]: FF 14 D8
+  Inst call = MustDecode({0xFF, 0x14, 0xD8});
+  EXPECT_TRUE(call.IsIndirectTransfer());
+  EXPECT_TRUE(call.ops[0].is_mem());
+  EXPECT_EQ(call.ops[0].mem.base, Reg::kRax);
+  EXPECT_EQ(call.ops[0].mem.index, Reg::kRbx);
+  EXPECT_EQ(call.ops[0].mem.scale, 8);
+}
+
+TEST(Decoder, RejectsUnsupportedOpcodes) {
+  EXPECT_FALSE(Decode({{0x06}}, 0).ok());        // push es (invalid in 64-bit)
+  EXPECT_FALSE(Decode({{0xD8, 0xC0}}, 0).ok());  // x87
+}
+
+TEST(Decoder, TruncatedInput) {
+  auto r = Decode({{0x48, 0x8B}}, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Decoder, MovAbs) {
+  Inst inst = MustDecode(
+      {0x48, 0xB8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11});
+  EXPECT_EQ(inst.mnemonic, Mnemonic::kMov);
+  EXPECT_EQ(inst.size, 8);
+  EXPECT_EQ(inst.ops[1].imm, 0x1122334455667788ll);
+}
+
+TEST(Decoder, RipRelative) {
+  // mov rax, [rip+0x100] : 48 8B 05 00 01 00 00
+  Inst inst = MustDecode({0x48, 0x8B, 0x05, 0x00, 0x01, 0x00, 0x00});
+  EXPECT_TRUE(inst.ops[1].is_mem());
+  EXPECT_TRUE(inst.ops[1].mem.rip_relative);
+  EXPECT_EQ(inst.ops[1].mem.disp, 0x100);
+}
+
+TEST(Decoder, AbsoluteAddressing) {
+  // mov eax, [0x601000]: 8B 04 25 00 10 60 00
+  Inst inst = MustDecode({0x8B, 0x04, 0x25, 0x00, 0x10, 0x60, 0x00});
+  EXPECT_TRUE(inst.ops[1].is_mem());
+  EXPECT_TRUE(inst.ops[1].mem.IsAbsolute());
+  EXPECT_EQ(inst.ops[1].mem.disp, 0x601000);
+}
+
+bool SameOperand(const Operand& a, const Operand& b) {
+  if (a.kind != b.kind) {
+    return false;
+  }
+  switch (a.kind) {
+    case Operand::Kind::kNone:
+      return true;
+    case Operand::Kind::kReg:
+      return a.reg == b.reg;
+    case Operand::Kind::kXmm:
+      return a.xmm == b.xmm;
+    case Operand::Kind::kMem:
+      return a.mem == b.mem;
+    case Operand::Kind::kImm:
+      return a.imm == b.imm;
+  }
+  return false;
+}
+
+// Mnemonics whose `size` field is not canonically round-trippable (push/pop
+// and indirect jmp/call always operate on 64 bits regardless of encoding).
+bool SizeExempt(Mnemonic m) {
+  return m == Mnemonic::kPush || m == Mnemonic::kPop || m == Mnemonic::kJmp ||
+         m == Mnemonic::kCall;
+}
+
+void ExpectRoundTrip(const Inst& inst) {
+  std::vector<uint8_t> bytes;
+  Status st = Encode(inst, bytes);
+  ASSERT_TRUE(st.ok()) << st.ToString() << " for " << FormatInst(inst);
+  auto decoded_or = Decode(bytes, 0x400000);
+  ASSERT_TRUE(decoded_or.ok())
+      << decoded_or.status().ToString() << " for " << FormatInst(inst);
+  const Inst& d = *decoded_or;
+  EXPECT_EQ(d.length, bytes.size());
+  EXPECT_EQ(d.mnemonic, inst.mnemonic) << FormatInst(inst) << " vs " << FormatInst(d);
+  EXPECT_EQ(d.cond, inst.cond);
+  EXPECT_EQ(d.lock, inst.lock);
+  if (!SizeExempt(inst.mnemonic)) {
+    EXPECT_EQ(d.size, inst.size) << FormatInst(inst);
+  }
+  EXPECT_EQ(d.num_ops, inst.num_ops) << FormatInst(inst);
+  for (int i = 0; i < inst.num_ops; ++i) {
+    EXPECT_TRUE(SameOperand(d.ops[i], inst.ops[i]))
+        << FormatInst(inst) << " operand " << i << " decoded as "
+        << FormatInst(d);
+  }
+}
+
+Reg RandomReg(Rng& rng) { return static_cast<Reg>(rng.NextBelow(16)); }
+
+MemRef RandomMem(Rng& rng) {
+  MemRef m;
+  switch (rng.NextBelow(5)) {
+    case 0:  // base only
+      m.base = RandomReg(rng);
+      break;
+    case 1:  // base + disp
+      m.base = RandomReg(rng);
+      m.disp = static_cast<int32_t>(rng.NextInRange(-4096, 4096));
+      break;
+    case 2: {  // base + index*scale + disp
+      m.base = RandomReg(rng);
+      do {
+        m.index = RandomReg(rng);
+      } while (m.index == Reg::kRsp);
+      m.scale = static_cast<uint8_t>(1u << rng.NextBelow(4));
+      m.disp = static_cast<int32_t>(rng.NextInRange(-200000, 200000));
+      break;
+    }
+    case 3:  // absolute
+      m.disp = static_cast<int32_t>(rng.NextInRange(0x1000, 0x7fffffff));
+      break;
+    case 4:  // rip-relative
+      m.rip_relative = true;
+      m.disp = static_cast<int32_t>(rng.NextInRange(-100000, 100000));
+      break;
+  }
+  return m;
+}
+
+class RoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripTest, RandomizedAluAndMov) {
+  Rng rng(GetParam());
+  const Mnemonic kAlu[] = {Mnemonic::kAdd, Mnemonic::kSub, Mnemonic::kAnd,
+                           Mnemonic::kOr,  Mnemonic::kXor, Mnemonic::kCmp,
+                           Mnemonic::kMov, Mnemonic::kTest};
+  for (int iter = 0; iter < 200; ++iter) {
+    Mnemonic m = kAlu[rng.NextBelow(std::size(kAlu))];
+    int size = rng.NextBool() ? 8 : (rng.NextBool() ? 4 : 1);
+    Inst inst;
+    switch (rng.NextBelow(4)) {
+      case 0:  // rm(reg), r
+        inst = I2(m, size, Operand::R(RandomReg(rng)),
+                  Operand::R(RandomReg(rng)));
+        break;
+      case 1:  // mem, r
+        inst = I2(m, size, Operand::M(RandomMem(rng)),
+                  Operand::R(RandomReg(rng)));
+        break;
+      case 2:  // r, mem  (test has no r,mem form)
+        if (m == Mnemonic::kTest) {
+          continue;
+        }
+        inst = I2(m, size, Operand::R(RandomReg(rng)),
+                  Operand::M(RandomMem(rng)));
+        break;
+      case 3: {  // rm, imm
+        int64_t imm = size == 1 ? rng.NextInRange(-128, 127)
+                                : rng.NextInRange(-2000000000, 2000000000);
+        inst = I2(m, size, Operand::R(RandomReg(rng)), Operand::I(imm));
+        break;
+      }
+    }
+    // lock only on memory-destination RMW forms.
+    if (inst.ops[0].is_mem() && !inst.ops[1].is_mem() &&
+        (m == Mnemonic::kAdd || m == Mnemonic::kSub || m == Mnemonic::kAnd ||
+         m == Mnemonic::kOr || m == Mnemonic::kXor) &&
+        rng.NextBool()) {
+      inst.lock = true;
+    }
+    ExpectRoundTrip(inst);
+  }
+}
+
+TEST_P(RoundTripTest, RandomizedMisc) {
+  Rng rng(GetParam() * 7 + 1);
+  for (int iter = 0; iter < 200; ++iter) {
+    int size = rng.NextBool() ? 8 : 4;
+    switch (rng.NextBelow(10)) {
+      case 0:
+        ExpectRoundTrip(I1(Mnemonic::kInc, size, Operand::M(RandomMem(rng))));
+        break;
+      case 1:
+        ExpectRoundTrip(I1(Mnemonic::kNeg, size, Operand::R(RandomReg(rng))));
+        break;
+      case 2:
+        ExpectRoundTrip(I2(Mnemonic::kImul, size, Operand::R(RandomReg(rng)),
+                           Operand::M(RandomMem(rng))));
+        break;
+      case 3:
+        ExpectRoundTrip(I3(Mnemonic::kImul, size, Operand::R(RandomReg(rng)),
+                           Operand::R(RandomReg(rng)),
+                           Operand::I(rng.NextInRange(-1000000, 1000000))));
+        break;
+      case 4:
+        ExpectRoundTrip(I2(Mnemonic::kShl, size, Operand::R(RandomReg(rng)),
+                           Operand::I(static_cast<int64_t>(rng.NextBelow(63)))));
+        break;
+      case 5: {
+        Inst inst = I2(Mnemonic::kXadd, size, Operand::M(RandomMem(rng)),
+                       Operand::R(RandomReg(rng)));
+        inst.lock = true;
+        ExpectRoundTrip(inst);
+        break;
+      }
+      case 6: {
+        Inst inst = I2(Mnemonic::kCmpxchg, size, Operand::M(RandomMem(rng)),
+                       Operand::R(RandomReg(rng)));
+        inst.lock = true;
+        ExpectRoundTrip(inst);
+        break;
+      }
+      case 7: {
+        Inst inst = I2(Mnemonic::kCmovcc, size, Operand::R(RandomReg(rng)),
+                       Operand::R(RandomReg(rng)));
+        inst.cond = static_cast<Cond>(rng.NextBelow(16));
+        ExpectRoundTrip(inst);
+        break;
+      }
+      case 8: {
+        Inst inst = I1(Mnemonic::kSetcc, 1, Operand::R(RandomReg(rng)));
+        inst.cond = static_cast<Cond>(rng.NextBelow(16));
+        ExpectRoundTrip(inst);
+        break;
+      }
+      case 9: {
+        Inst inst = I2(rng.NextBool() ? Mnemonic::kMovzx : Mnemonic::kMovsx,
+                       size, Operand::R(RandomReg(rng)),
+                       Operand::M(RandomMem(rng)));
+        inst.src_size = rng.NextBool() ? 1 : 2;
+        ExpectRoundTrip(inst);
+        break;
+      }
+    }
+  }
+}
+
+TEST_P(RoundTripTest, RandomizedSimd) {
+  Rng rng(GetParam() * 13 + 5);
+  const Mnemonic kPacked[] = {Mnemonic::kPaddd, Mnemonic::kPsubd,
+                              Mnemonic::kPmulld, Mnemonic::kPxor,
+                              Mnemonic::kPaddq};
+  for (int iter = 0; iter < 100; ++iter) {
+    uint8_t x0 = static_cast<uint8_t>(rng.NextBelow(16));
+    uint8_t x1 = static_cast<uint8_t>(rng.NextBelow(16));
+    switch (rng.NextBelow(4)) {
+      case 0:
+        ExpectRoundTrip(I2(kPacked[rng.NextBelow(std::size(kPacked))], 16,
+                           Operand::X(x0), Operand::X(x1)));
+        break;
+      case 1:
+        ExpectRoundTrip(I2(Mnemonic::kMovdqu, 16, Operand::X(x0),
+                           Operand::M(RandomMem(rng))));
+        break;
+      case 2:
+        ExpectRoundTrip(I2(Mnemonic::kMovdqu, 16, Operand::M(RandomMem(rng)),
+                           Operand::X(x0)));
+        break;
+      case 3:
+        ExpectRoundTrip(I2(Mnemonic::kMovd, rng.NextBool() ? 8 : 4,
+                           Operand::X(x0), Operand::R(RandomReg(rng))));
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 42, 1337, 99999));
+
+TEST(Assembler, LabelsAndFixups) {
+  Assembler as(0x400000);
+  Label target = as.NewLabel();
+  Label table = as.NewLabel();
+
+  as.Emit(I2(Mnemonic::kMov, 4, Operand::R(Reg::kRax), Operand::I(0)));
+  as.Jmp(target);                     // forward reference
+  as.Emit(I0(Mnemonic::kUd2));        // skipped
+  as.Bind(target);
+  as.Emit(I0(Mnemonic::kRet));
+  as.Align(8);
+  as.Bind(table);
+  as.Dq(target);                      // jump-table style absolute entry
+
+  uint64_t target_addr = 0;
+  std::vector<uint8_t> bytes = as.Finalize();
+
+  // Decode linearly and follow the jump.
+  auto mov = Decode(bytes, 0x400000);
+  ASSERT_TRUE(mov.ok());
+  auto jmp = Decode(std::span(bytes).subspan(mov->length),
+                    0x400000 + mov->length);
+  ASSERT_TRUE(jmp.ok());
+  EXPECT_TRUE(jmp->IsDirectTransfer());
+  target_addr = jmp->DirectTarget();
+  // Target must be the ret, just past ud2 (2 bytes).
+  auto ret = Decode(std::span(bytes).subspan(target_addr - 0x400000),
+                    target_addr);
+  ASSERT_TRUE(ret.ok());
+  EXPECT_EQ(ret->mnemonic, Mnemonic::kRet);
+
+  // The table entry holds the absolute address of the ret.
+  size_t table_off = bytes.size() - 8;
+  uint64_t entry = 0;
+  for (int i = 7; i >= 0; --i) {
+    entry = (entry << 8) | bytes[table_off + static_cast<size_t>(i)];
+  }
+  EXPECT_EQ(entry, target_addr);
+}
+
+TEST(Assembler, CallAbsEncodesCorrectRelative) {
+  Assembler as(0x400000);
+  as.CallAbs(0x500000);
+  std::vector<uint8_t> bytes = as.Finalize();
+  auto call = Decode(bytes, 0x400000);
+  ASSERT_TRUE(call.ok());
+  EXPECT_EQ(call->DirectTarget(), 0x500000u);
+}
+
+TEST(Printer, Formatting) {
+  MemRef m;
+  m.base = Reg::kRbx;
+  m.index = Reg::kRcx;
+  m.scale = 4;
+  m.disp = 0x10;
+  Inst inst = I2(Mnemonic::kMov, 8, Operand::R(Reg::kRax), Operand::M(m));
+  EXPECT_EQ(FormatInst(inst), "mov rax, qword ptr [rbx+rcx*4+0x10]");
+
+  Inst lock_add = I2(Mnemonic::kAdd, 4, Operand::M(m), Operand::R(Reg::kRdx));
+  lock_add.lock = true;
+  EXPECT_EQ(FormatInst(lock_add), "lock add dword ptr [rbx+rcx*4+0x10], edx");
+}
+
+}  // namespace
+}  // namespace polynima::x86
