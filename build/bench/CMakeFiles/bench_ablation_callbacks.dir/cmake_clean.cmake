@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_callbacks.dir/bench_ablation_callbacks.cc.o"
+  "CMakeFiles/bench_ablation_callbacks.dir/bench_ablation_callbacks.cc.o.d"
+  "bench_ablation_callbacks"
+  "bench_ablation_callbacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_callbacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_additive.dir/bench_fig4_additive.cc.o"
+  "CMakeFiles/bench_fig4_additive.dir/bench_fig4_additive.cc.o.d"
+  "bench_fig4_additive"
+  "bench_fig4_additive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_additive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

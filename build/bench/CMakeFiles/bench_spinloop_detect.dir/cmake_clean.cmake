@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spinloop_detect.dir/bench_spinloop_detect.cc.o"
+  "CMakeFiles/bench_spinloop_detect.dir/bench_spinloop_detect.cc.o.d"
+  "bench_spinloop_detect"
+  "bench_spinloop_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spinloop_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_compat.dir/bench_table1_compat.cc.o"
+  "CMakeFiles/bench_table1_compat.dir/bench_table1_compat.cc.o.d"
+  "bench_table1_compat"
+  "bench_table1_compat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

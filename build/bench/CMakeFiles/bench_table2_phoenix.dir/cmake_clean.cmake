@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_phoenix.dir/bench_table2_phoenix.cc.o"
+  "CMakeFiles/bench_table2_phoenix.dir/bench_table2_phoenix.cc.o.d"
+  "bench_table2_phoenix"
+  "bench_table2_phoenix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_phoenix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_gapbs.dir/bench_table3_gapbs.cc.o"
+  "CMakeFiles/bench_table3_gapbs.dir/bench_table3_gapbs.cc.o.d"
+  "bench_table3_gapbs"
+  "bench_table3_gapbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_gapbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_lifttime.dir/bench_table4_lifttime.cc.o"
+  "CMakeFiles/bench_table4_lifttime.dir/bench_table4_lifttime.cc.o.d"
+  "bench_table4_lifttime"
+  "bench_table4_lifttime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_lifttime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

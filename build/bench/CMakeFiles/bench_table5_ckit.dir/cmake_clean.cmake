@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_ckit.dir/bench_table5_ckit.cc.o"
+  "CMakeFiles/bench_table5_ckit.dir/bench_table5_ckit.cc.o.d"
+  "bench_table5_ckit"
+  "bench_table5_ckit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_ckit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libpoly_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/additive_lifting.dir/additive_lifting.cpp.o"
+  "CMakeFiles/additive_lifting.dir/additive_lifting.cpp.o.d"
+  "additive_lifting"
+  "additive_lifting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/additive_lifting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightftp_cve.dir/lightftp_cve.cpp.o"
+  "CMakeFiles/lightftp_cve.dir/lightftp_cve.cpp.o.d"
+  "lightftp_cve"
+  "lightftp_cve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightftp_cve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_release_optimizer.dir/post_release_optimizer.cpp.o"
+  "CMakeFiles/post_release_optimizer.dir/post_release_optimizer.cpp.o.d"
+  "post_release_optimizer"
+  "post_release_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_release_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("x86")
+subdirs("binary")
+subdirs("vm")
+subdirs("cc")
+subdirs("ir")
+subdirs("cfg")
+subdirs("lift")
+subdirs("exec")
+subdirs("opt")
+subdirs("trace")
+subdirs("recomp")
+subdirs("fenceopt")
+subdirs("baselines")
+subdirs("workloads")
+subdirs("tools")

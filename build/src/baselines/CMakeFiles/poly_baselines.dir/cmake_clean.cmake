@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_baselines.dir/baselines.cc.o"
+  "CMakeFiles/poly_baselines.dir/baselines.cc.o.d"
+  "libpoly_baselines.a"
+  "libpoly_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

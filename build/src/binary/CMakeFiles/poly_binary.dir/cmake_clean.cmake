@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_binary.dir/builder.cc.o"
+  "CMakeFiles/poly_binary.dir/builder.cc.o.d"
+  "CMakeFiles/poly_binary.dir/image.cc.o"
+  "CMakeFiles/poly_binary.dir/image.cc.o.d"
+  "libpoly_binary.a"
+  "libpoly_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

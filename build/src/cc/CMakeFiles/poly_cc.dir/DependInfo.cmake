@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/compiler.cc" "src/cc/CMakeFiles/poly_cc.dir/compiler.cc.o" "gcc" "src/cc/CMakeFiles/poly_cc.dir/compiler.cc.o.d"
+  "/root/repo/src/cc/lexer.cc" "src/cc/CMakeFiles/poly_cc.dir/lexer.cc.o" "gcc" "src/cc/CMakeFiles/poly_cc.dir/lexer.cc.o.d"
+  "/root/repo/src/cc/parser.cc" "src/cc/CMakeFiles/poly_cc.dir/parser.cc.o" "gcc" "src/cc/CMakeFiles/poly_cc.dir/parser.cc.o.d"
+  "/root/repo/src/cc/types.cc" "src/cc/CMakeFiles/poly_cc.dir/types.cc.o" "gcc" "src/cc/CMakeFiles/poly_cc.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/poly_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/poly_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/poly_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/poly_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_cc.dir/compiler.cc.o"
+  "CMakeFiles/poly_cc.dir/compiler.cc.o.d"
+  "CMakeFiles/poly_cc.dir/lexer.cc.o"
+  "CMakeFiles/poly_cc.dir/lexer.cc.o.d"
+  "CMakeFiles/poly_cc.dir/parser.cc.o"
+  "CMakeFiles/poly_cc.dir/parser.cc.o.d"
+  "CMakeFiles/poly_cc.dir/types.cc.o"
+  "CMakeFiles/poly_cc.dir/types.cc.o.d"
+  "libpoly_cc.a"
+  "libpoly_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

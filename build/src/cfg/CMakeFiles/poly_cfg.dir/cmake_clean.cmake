@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_cfg.dir/cfg.cc.o"
+  "CMakeFiles/poly_cfg.dir/cfg.cc.o.d"
+  "libpoly_cfg.a"
+  "libpoly_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

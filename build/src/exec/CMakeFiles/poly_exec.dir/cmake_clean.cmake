@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_exec.dir/engine.cc.o"
+  "CMakeFiles/poly_exec.dir/engine.cc.o.d"
+  "libpoly_exec.a"
+  "libpoly_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

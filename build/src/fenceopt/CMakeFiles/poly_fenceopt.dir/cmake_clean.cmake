@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_fenceopt.dir/spinloop.cc.o"
+  "CMakeFiles/poly_fenceopt.dir/spinloop.cc.o.d"
+  "libpoly_fenceopt.a"
+  "libpoly_fenceopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_fenceopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

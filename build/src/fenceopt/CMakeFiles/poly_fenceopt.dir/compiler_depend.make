@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for poly_fenceopt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_ir.dir/ir.cc.o"
+  "CMakeFiles/poly_ir.dir/ir.cc.o.d"
+  "CMakeFiles/poly_ir.dir/printer.cc.o"
+  "CMakeFiles/poly_ir.dir/printer.cc.o.d"
+  "CMakeFiles/poly_ir.dir/verifier.cc.o"
+  "CMakeFiles/poly_ir.dir/verifier.cc.o.d"
+  "libpoly_ir.a"
+  "libpoly_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

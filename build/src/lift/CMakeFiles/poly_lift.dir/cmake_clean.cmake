@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_lift.dir/lifter.cc.o"
+  "CMakeFiles/poly_lift.dir/lifter.cc.o.d"
+  "libpoly_lift.a"
+  "libpoly_lift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_lift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

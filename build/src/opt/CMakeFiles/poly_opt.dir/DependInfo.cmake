@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cfg_utils.cc" "src/opt/CMakeFiles/poly_opt.dir/cfg_utils.cc.o" "gcc" "src/opt/CMakeFiles/poly_opt.dir/cfg_utils.cc.o.d"
+  "/root/repo/src/opt/cse.cc" "src/opt/CMakeFiles/poly_opt.dir/cse.cc.o" "gcc" "src/opt/CMakeFiles/poly_opt.dir/cse.cc.o.d"
+  "/root/repo/src/opt/dce.cc" "src/opt/CMakeFiles/poly_opt.dir/dce.cc.o" "gcc" "src/opt/CMakeFiles/poly_opt.dir/dce.cc.o.d"
+  "/root/repo/src/opt/flag_elim.cc" "src/opt/CMakeFiles/poly_opt.dir/flag_elim.cc.o" "gcc" "src/opt/CMakeFiles/poly_opt.dir/flag_elim.cc.o.d"
+  "/root/repo/src/opt/inline.cc" "src/opt/CMakeFiles/poly_opt.dir/inline.cc.o" "gcc" "src/opt/CMakeFiles/poly_opt.dir/inline.cc.o.d"
+  "/root/repo/src/opt/instcombine.cc" "src/opt/CMakeFiles/poly_opt.dir/instcombine.cc.o" "gcc" "src/opt/CMakeFiles/poly_opt.dir/instcombine.cc.o.d"
+  "/root/repo/src/opt/memopt.cc" "src/opt/CMakeFiles/poly_opt.dir/memopt.cc.o" "gcc" "src/opt/CMakeFiles/poly_opt.dir/memopt.cc.o.d"
+  "/root/repo/src/opt/pipeline.cc" "src/opt/CMakeFiles/poly_opt.dir/pipeline.cc.o" "gcc" "src/opt/CMakeFiles/poly_opt.dir/pipeline.cc.o.d"
+  "/root/repo/src/opt/reg_promote.cc" "src/opt/CMakeFiles/poly_opt.dir/reg_promote.cc.o" "gcc" "src/opt/CMakeFiles/poly_opt.dir/reg_promote.cc.o.d"
+  "/root/repo/src/opt/simplify_cfg.cc" "src/opt/CMakeFiles/poly_opt.dir/simplify_cfg.cc.o" "gcc" "src/opt/CMakeFiles/poly_opt.dir/simplify_cfg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/poly_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/poly_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

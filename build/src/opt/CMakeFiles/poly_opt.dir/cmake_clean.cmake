@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_opt.dir/cfg_utils.cc.o"
+  "CMakeFiles/poly_opt.dir/cfg_utils.cc.o.d"
+  "CMakeFiles/poly_opt.dir/cse.cc.o"
+  "CMakeFiles/poly_opt.dir/cse.cc.o.d"
+  "CMakeFiles/poly_opt.dir/dce.cc.o"
+  "CMakeFiles/poly_opt.dir/dce.cc.o.d"
+  "CMakeFiles/poly_opt.dir/flag_elim.cc.o"
+  "CMakeFiles/poly_opt.dir/flag_elim.cc.o.d"
+  "CMakeFiles/poly_opt.dir/inline.cc.o"
+  "CMakeFiles/poly_opt.dir/inline.cc.o.d"
+  "CMakeFiles/poly_opt.dir/instcombine.cc.o"
+  "CMakeFiles/poly_opt.dir/instcombine.cc.o.d"
+  "CMakeFiles/poly_opt.dir/memopt.cc.o"
+  "CMakeFiles/poly_opt.dir/memopt.cc.o.d"
+  "CMakeFiles/poly_opt.dir/pipeline.cc.o"
+  "CMakeFiles/poly_opt.dir/pipeline.cc.o.d"
+  "CMakeFiles/poly_opt.dir/reg_promote.cc.o"
+  "CMakeFiles/poly_opt.dir/reg_promote.cc.o.d"
+  "CMakeFiles/poly_opt.dir/simplify_cfg.cc.o"
+  "CMakeFiles/poly_opt.dir/simplify_cfg.cc.o.d"
+  "libpoly_opt.a"
+  "libpoly_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_recomp.dir/recompiler.cc.o"
+  "CMakeFiles/poly_recomp.dir/recompiler.cc.o.d"
+  "libpoly_recomp.a"
+  "libpoly_recomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_recomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpoly_recomp.a"
+)

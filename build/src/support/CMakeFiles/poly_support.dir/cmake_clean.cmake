@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_support.dir/check.cc.o"
+  "CMakeFiles/poly_support.dir/check.cc.o.d"
+  "CMakeFiles/poly_support.dir/json.cc.o"
+  "CMakeFiles/poly_support.dir/json.cc.o.d"
+  "CMakeFiles/poly_support.dir/status.cc.o"
+  "CMakeFiles/poly_support.dir/status.cc.o.d"
+  "CMakeFiles/poly_support.dir/strings.cc.o"
+  "CMakeFiles/poly_support.dir/strings.cc.o.d"
+  "libpoly_support.a"
+  "libpoly_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

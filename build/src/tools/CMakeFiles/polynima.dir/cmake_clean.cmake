@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polynima.dir/polynima_cli.cc.o"
+  "CMakeFiles/polynima.dir/polynima_cli.cc.o.d"
+  "polynima"
+  "polynima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polynima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_trace.dir/icft_tracer.cc.o"
+  "CMakeFiles/poly_trace.dir/icft_tracer.cc.o.d"
+  "libpoly_trace.a"
+  "libpoly_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_vm.dir/external.cc.o"
+  "CMakeFiles/poly_vm.dir/external.cc.o.d"
+  "CMakeFiles/poly_vm.dir/memory.cc.o"
+  "CMakeFiles/poly_vm.dir/memory.cc.o.d"
+  "CMakeFiles/poly_vm.dir/vm.cc.o"
+  "CMakeFiles/poly_vm.dir/vm.cc.o.d"
+  "libpoly_vm.a"
+  "libpoly_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/apps.cc" "src/workloads/CMakeFiles/poly_workloads.dir/apps.cc.o" "gcc" "src/workloads/CMakeFiles/poly_workloads.dir/apps.cc.o.d"
+  "/root/repo/src/workloads/ckit.cc" "src/workloads/CMakeFiles/poly_workloads.dir/ckit.cc.o" "gcc" "src/workloads/CMakeFiles/poly_workloads.dir/ckit.cc.o.d"
+  "/root/repo/src/workloads/gapbs.cc" "src/workloads/CMakeFiles/poly_workloads.dir/gapbs.cc.o" "gcc" "src/workloads/CMakeFiles/poly_workloads.dir/gapbs.cc.o.d"
+  "/root/repo/src/workloads/phoenix.cc" "src/workloads/CMakeFiles/poly_workloads.dir/phoenix.cc.o" "gcc" "src/workloads/CMakeFiles/poly_workloads.dir/phoenix.cc.o.d"
+  "/root/repo/src/workloads/speclike.cc" "src/workloads/CMakeFiles/poly_workloads.dir/speclike.cc.o" "gcc" "src/workloads/CMakeFiles/poly_workloads.dir/speclike.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/poly_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

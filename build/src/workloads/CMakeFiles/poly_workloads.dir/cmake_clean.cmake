@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_workloads.dir/apps.cc.o"
+  "CMakeFiles/poly_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/poly_workloads.dir/ckit.cc.o"
+  "CMakeFiles/poly_workloads.dir/ckit.cc.o.d"
+  "CMakeFiles/poly_workloads.dir/gapbs.cc.o"
+  "CMakeFiles/poly_workloads.dir/gapbs.cc.o.d"
+  "CMakeFiles/poly_workloads.dir/phoenix.cc.o"
+  "CMakeFiles/poly_workloads.dir/phoenix.cc.o.d"
+  "CMakeFiles/poly_workloads.dir/speclike.cc.o"
+  "CMakeFiles/poly_workloads.dir/speclike.cc.o.d"
+  "libpoly_workloads.a"
+  "libpoly_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/assembler.cc" "src/x86/CMakeFiles/poly_x86.dir/assembler.cc.o" "gcc" "src/x86/CMakeFiles/poly_x86.dir/assembler.cc.o.d"
+  "/root/repo/src/x86/decoder.cc" "src/x86/CMakeFiles/poly_x86.dir/decoder.cc.o" "gcc" "src/x86/CMakeFiles/poly_x86.dir/decoder.cc.o.d"
+  "/root/repo/src/x86/encoder.cc" "src/x86/CMakeFiles/poly_x86.dir/encoder.cc.o" "gcc" "src/x86/CMakeFiles/poly_x86.dir/encoder.cc.o.d"
+  "/root/repo/src/x86/inst.cc" "src/x86/CMakeFiles/poly_x86.dir/inst.cc.o" "gcc" "src/x86/CMakeFiles/poly_x86.dir/inst.cc.o.d"
+  "/root/repo/src/x86/printer.cc" "src/x86/CMakeFiles/poly_x86.dir/printer.cc.o" "gcc" "src/x86/CMakeFiles/poly_x86.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/poly_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_x86.dir/assembler.cc.o"
+  "CMakeFiles/poly_x86.dir/assembler.cc.o.d"
+  "CMakeFiles/poly_x86.dir/decoder.cc.o"
+  "CMakeFiles/poly_x86.dir/decoder.cc.o.d"
+  "CMakeFiles/poly_x86.dir/encoder.cc.o"
+  "CMakeFiles/poly_x86.dir/encoder.cc.o.d"
+  "CMakeFiles/poly_x86.dir/inst.cc.o"
+  "CMakeFiles/poly_x86.dir/inst.cc.o.d"
+  "CMakeFiles/poly_x86.dir/printer.cc.o"
+  "CMakeFiles/poly_x86.dir/printer.cc.o.d"
+  "libpoly_x86.a"
+  "libpoly_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fenceopt_test.dir/fenceopt_test.cc.o"
+  "CMakeFiles/fenceopt_test.dir/fenceopt_test.cc.o.d"
+  "fenceopt_test"
+  "fenceopt_test.pdb"
+  "fenceopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fenceopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_diff_test.cc" "tests/CMakeFiles/fuzz_diff_test.dir/fuzz_diff_test.cc.o" "gcc" "tests/CMakeFiles/fuzz_diff_test.dir/fuzz_diff_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/recomp/CMakeFiles/poly_recomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/poly_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/poly_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/poly_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/poly_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/lift/CMakeFiles/poly_lift.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/poly_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/poly_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/poly_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/binary/CMakeFiles/poly_binary.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/poly_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/poly_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

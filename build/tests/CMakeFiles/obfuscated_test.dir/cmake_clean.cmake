@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obfuscated_test.dir/obfuscated_test.cc.o"
+  "CMakeFiles/obfuscated_test.dir/obfuscated_test.cc.o.d"
+  "obfuscated_test"
+  "obfuscated_test.pdb"
+  "obfuscated_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obfuscated_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recomp_test.dir/recomp_test.cc.o"
+  "CMakeFiles/recomp_test.dir/recomp_test.cc.o.d"
+  "recomp_test"
+  "recomp_test.pdb"
+  "recomp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recomp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Obfuscated.OverlappingInstructionsRecompileViaAdditiveLifting]=]  /root/repo/build/tests/obfuscated_test [==[--gtest_filter=Obfuscated.OverlappingInstructionsRecompileViaAdditiveLifting]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Obfuscated.OverlappingInstructionsRecompileViaAdditiveLifting]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  obfuscated_test_TESTS Obfuscated.OverlappingInstructionsRecompileViaAdditiveLifting)
