@@ -5,6 +5,8 @@
 // (static only).
 #include "bench/bench_util.h"
 
+#include <thread>
+
 #include "src/baselines/baselines.h"
 
 namespace polynima::bench {
@@ -88,6 +90,36 @@ int Run() {
   std::printf(
       "\nbinrec/polynima ratio: measured %.0fx, paper %.0fx\n",
       Geomean(gb) / Geomean(gp), 137074.0 / 445.0);
+
+  // Jobs sweep: lift+optimize wall time for the whole SPEC-like suite at
+  // 1/2/4/8 worker threads. The phases parallelize per function; cpu/wall
+  // shows the effective parallelism actually achieved on this host.
+  std::printf("\nlift+optimize jobs sweep (%u hardware threads)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-8s %-14s %-14s %-10s %s\n", "jobs", "lift+opt(ms)",
+              "cpu(ms)", "speedup", "cpu/wall");
+  double base_ms = 0;
+  for (int jobs : {1, 2, 4, 8}) {
+    uint64_t wall_ns = 0;
+    uint64_t cpu_ns = 0;
+    for (const workloads::Workload& w : workloads::SpecLike()) {
+      binary::Image image = CompileWorkload(w, 2);
+      recomp::RecompileOptions options;
+      options.jobs = jobs;
+      recomp::Recompiler recompiler(image, options);
+      auto binary = recompiler.Recompile();
+      POLY_CHECK(binary.ok()) << binary.status().ToString();
+      wall_ns += recompiler.stats().lift_ns + recompiler.stats().opt_ns;
+      cpu_ns += recompiler.stats().lift_cpu_ns + recompiler.stats().opt_cpu_ns;
+    }
+    double wall_ms = static_cast<double>(wall_ns) / 1e6;
+    double cpu_ms = static_cast<double>(cpu_ns) / 1e6;
+    if (jobs == 1) {
+      base_ms = wall_ms;
+    }
+    std::printf("%-8d %-14.1f %-14.1f %-10.2f %.2f\n", jobs, wall_ms, cpu_ms,
+                base_ms / wall_ms, cpu_ms / wall_ms);
+  }
   return 0;
 }
 

@@ -1,0 +1,100 @@
+#include "src/ir/clone.h"
+
+#include <map>
+
+#include "src/support/check.h"
+
+namespace polynima::ir {
+
+void CloneFunctionBody(
+    const Function& src, Function* dst, Module& dst_module,
+    const std::function<Function*(const Function*)>& resolve_callee) {
+  POLY_CHECK(dst->blocks().empty()) << "clone target @" << dst->name()
+                                    << " already has a body";
+
+  std::map<const BasicBlock*, BasicBlock*> block_map;
+  std::map<const Value*, Value*> value_map;
+  for (const auto& sb : src.blocks()) {
+    BasicBlock* nb = dst->AddBlock(sb->name());
+    nb->guest_address = sb->guest_address;
+    block_map[sb.get()] = nb;
+  }
+  for (int i = 0; i < src.num_args(); ++i) {
+    POLY_CHECK(i < dst->num_args());
+    value_map[const_cast<Function&>(src).arg(i)] = dst->arg(i);
+  }
+
+  auto map_value = [&](Value* v) -> Value* {
+    auto it = value_map.find(v);
+    if (it != value_map.end()) {
+      return it->second;
+    }
+    switch (v->kind()) {
+      case Value::Kind::kConstant:
+        return dst_module.GetConstant(static_cast<Constant*>(v)->value());
+      case Value::Kind::kGlobal: {
+        const Global* g = static_cast<Global*>(v);
+        Global* ng = dst_module.GetGlobal(g->name());
+        if (ng == nullptr) {
+          ng = dst_module.AddGlobal(g->name(), g->is_thread_local(),
+                                    g->initial());
+        }
+        return ng;
+      }
+      case Value::Kind::kFunction: {
+        Function* nf = resolve_callee(static_cast<Function*>(v));
+        POLY_CHECK(nf != nullptr);
+        return nf;
+      }
+      default:
+        // A function-local value defined later (phi forward reference);
+        // patched by the second pass below.
+        return v;
+    }
+  };
+
+  for (const auto& sb : src.blocks()) {
+    BasicBlock* nb = block_map[sb.get()];
+    for (const auto& si : sb->insts()) {
+      auto clone = std::make_unique<Instruction>(si->op());
+      clone->pred = si->pred;
+      clone->width = si->width;
+      clone->size = si->size;
+      if (si->global != nullptr) {
+        clone->global = static_cast<Global*>(map_value(si->global));
+      }
+      clone->fence_order = si->fence_order;
+      clone->rmw_op = si->rmw_op;
+      if (si->callee != nullptr) {
+        clone->callee = static_cast<Function*>(map_value(si->callee));
+      }
+      clone->intrinsic = si->intrinsic;
+      clone->case_values = si->case_values;
+      for (int i = 0; i < si->num_operands(); ++i) {
+        clone->AddOperand(map_value(si->operand(i)));
+      }
+      for (BasicBlock* target : si->targets) {
+        clone->targets.push_back(block_map.at(target));
+      }
+      for (BasicBlock* from : si->phi_blocks) {
+        clone->phi_blocks.push_back(block_map.at(from));
+      }
+      value_map[si.get()] = nb->Append(std::move(clone));
+    }
+  }
+  // Second pass: phi operands may reference instructions defined later
+  // (loop back-edges); rewrite any operand still pointing into `src`.
+  for (const auto& sb : src.blocks()) {
+    BasicBlock* nb = block_map[sb.get()];
+    for (auto& ni : nb->insts()) {
+      for (int i = 0; i < ni->num_operands(); ++i) {
+        auto it = value_map.find(ni->operand(i));
+        if (it != value_map.end() && ni->operand(i) != it->second) {
+          ni->SetOperand(i, it->second);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace polynima::ir

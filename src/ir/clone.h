@@ -1,0 +1,29 @@
+// Cross-module function cloning.
+//
+// The additive-lifting cache (src/recomp) keeps the lifted+optimized IR of
+// every function from the previous recompilation round; on the next round,
+// functions whose CFG is unchanged are copied into the fresh module instead
+// of being re-lifted and re-optimized. The copy preserves block order,
+// instruction order and all per-instruction state, so printing the clone
+// yields byte-identical output to printing the source.
+#ifndef POLYNIMA_IR_CLONE_H_
+#define POLYNIMA_IR_CLONE_H_
+
+#include <functional>
+
+#include "src/ir/ir.h"
+
+namespace polynima::ir {
+
+// Deep-copies `src`'s body into `dst`, which must be a declaration (no
+// blocks) living in `dst_module`. Globals are resolved by name in
+// `dst_module` (created with matching properties if absent), constants by
+// value, and direct callees through `resolve_callee`, which maps a function
+// referenced by `src` to its counterpart in `dst_module`.
+void CloneFunctionBody(
+    const Function& src, Function* dst, Module& dst_module,
+    const std::function<Function*(const Function*)>& resolve_callee);
+
+}  // namespace polynima::ir
+
+#endif  // POLYNIMA_IR_CLONE_H_

@@ -5,6 +5,9 @@
 namespace polynima::ir {
 
 void Value::RemoveUser(Instruction* user) {
+  if (!tracks_users()) {
+    return;
+  }
   // One entry per (user, operand) pair; remove a single matching entry.
   auto it = std::find(users_.begin(), users_.end(), user);
   if (it != users_.end()) {
@@ -14,6 +17,7 @@ void Value::RemoveUser(Instruction* user) {
 
 void Value::ReplaceAllUsesWith(Value* replacement) {
   POLY_CHECK(replacement != this);
+  POLY_CHECK(tracks_users()) << "RAUW on a value without a use list";
   // Copy: SetOperand mutates users_.
   std::vector<Instruction*> users = users_;
   for (Instruction* user : users) {
@@ -187,6 +191,7 @@ Global* Module::GetGlobal(const std::string& name) const {
 }
 
 Constant* Module::GetConstant(int64_t value) {
+  std::lock_guard<std::mutex> lock(constants_mu_);
   auto it = constants_.find(value);
   if (it != constants_.end()) {
     return it->second.get();

@@ -20,6 +20,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,10 +57,25 @@ class Value {
   bool is_inst() const { return kind_ == Kind::kInstruction; }
   bool is_const() const { return kind_ == Kind::kConstant; }
 
+  // Use lists are maintained only for function-local values (instructions
+  // and arguments). Constants, globals and functions are shared by every
+  // function in the module: tracking their users would make unrelated
+  // functions contend on (and race over) one vector during parallel lifting
+  // and optimization, and nothing consumes those lists — the passes and the
+  // execution engine only ever walk the users of instruction results.
+  bool tracks_users() const {
+    return kind_ == Kind::kInstruction || kind_ == Kind::kArgument;
+  }
+
   const std::vector<Instruction*>& users() const { return users_; }
-  void AddUser(Instruction* user) { users_.push_back(user); }
+  void AddUser(Instruction* user) {
+    if (tracks_users()) {
+      users_.push_back(user);
+    }
+  }
   void RemoveUser(Instruction* user);
-  // Rewrites every use of this value to `replacement`.
+  // Rewrites every use of this value to `replacement`. Only valid on values
+  // that track users.
   void ReplaceAllUsesWith(Value* replacement);
 
  private:
@@ -323,12 +339,15 @@ class Module {
   }
   int num_global_slots() const { return next_slot_; }
 
+  // Thread-safe: the constant pool is the only module state shared by
+  // concurrent per-function lift/optimize workers.
   Constant* GetConstant(int64_t value);
 
  private:
   std::vector<std::unique_ptr<Function>> functions_;
   std::vector<std::unique_ptr<Global>> globals_;
   std::map<std::string, Global*> globals_by_name_;
+  std::mutex constants_mu_;
   std::map<int64_t, std::unique_ptr<Constant>> constants_;
   int next_slot_ = 0;
 };

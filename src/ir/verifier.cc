@@ -84,10 +84,14 @@ Status Verify(const Function& f) {
             !static_cast<const Instruction*>(v)->HasResult()) {
           return fail("operand has no result");
         }
-        const auto& users = v->users();
-        if (std::find(users.begin(), users.end(), inst.get()) ==
-            users.end()) {
-          return fail("use-list missing user");
+        // Shared values (constants, globals, functions) do not track users;
+        // only function-local values carry use lists to check.
+        if (v->tracks_users()) {
+          const auto& users = v->users();
+          if (std::find(users.begin(), users.end(), inst.get()) ==
+              users.end()) {
+            return fail("use-list missing user");
+          }
         }
       }
       if (inst->op() == Op::kBr) {

@@ -1,9 +1,11 @@
 #include "src/lift/lifter.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "src/ir/builder.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 #include "src/x86/decoder.h"
 #include "src/x86/printer.h"
 
@@ -34,66 +36,50 @@ namespace {
 
 enum FlagIndex { kCf = 0, kPf = 1, kZf = 2, kSf = 3, kOf = 4 };
 
-class Lifter {
- public:
-  Lifter(const Image& image, const ControlFlowGraph& graph,
-         const LiftOptions& options)
-      : image_(image),
-        graph_(graph),
-        options_(options),
-        module_(std::make_unique<ir::Module>()),
-        b_(module_.get()) {}
+// Module-level state built serially before function bodies are lifted.
+// During the parallel body phase this is read-only, with one exception: the
+// module's constant pool, which synchronizes internally.
+struct SharedState {
+  const Image& image;
+  const ControlFlowGraph& graph;
+  const LiftOptions& options;
+  ir::Module* module;
 
-  Expected<LiftedProgram> Run() {
-    CreateGlobals();
-    // Phase 1: declare all functions so calls resolve.
-    for (const auto& [entry, fn_info] : graph_.functions) {
-      Function* f = module_->AddFunction(fn_info.name, 0, /*has_result=*/true);
-      f->guest_entry = entry;
-      functions_by_entry_[entry] = f;
-    }
-    // Phase 2: lift bodies.
-    for (const auto& [entry, fn_info] : graph_.functions) {
-      POLY_RETURN_IF_ERROR(LiftFunction(fn_info));
-    }
-    // Phase 3: external-entry marking (§3.3.3).
-    for (const auto& [entry, f] : functions_by_entry_) {
-      if (options_.mark_all_external) {
-        f->is_external_entry = true;
-      } else {
-        f->is_external_entry =
-            entry == image_.entry_point ||
-            options_.observed_callbacks.count(f->name()) != 0;
-      }
-    }
+  Global* vr[x86::kNumGprs];
+  Global* fl[x86::kNumFlags];
+  Global* xmm_lo[x86::kNumXmms];
+  Global* xmm_hi[x86::kNumXmms];
 
-    LiftedProgram program;
-    program.module = std::move(module_);
-    program.functions_by_entry = functions_by_entry_;
-    program.entry = image_.entry_point;
-    program.externals = image_.externals;
-    return program;
+  std::map<uint64_t, Function*> functions_by_entry;
+};
+
+void CreateGlobals(SharedState& s) {
+  bool tls = s.options.thread_local_state;
+  for (int i = 0; i < x86::kNumGprs; ++i) {
+    s.vr[i] = s.module->AddGlobal(
+        "vr_" + x86::RegName(static_cast<Reg>(i), 8), tls);
   }
+  static const char* const kFlagNames[] = {"cf", "pf", "zf", "sf", "of"};
+  for (int i = 0; i < x86::kNumFlags; ++i) {
+    s.fl[i] = s.module->AddGlobal(StrCat("fl_", kFlagNames[i]), tls);
+  }
+  for (int i = 0; i < x86::kNumXmms; ++i) {
+    s.xmm_lo[i] = s.module->AddGlobal(StrCat("xmm", i, "_lo"), tls);
+    s.xmm_hi[i] = s.module->AddGlobal(StrCat("xmm", i, "_hi"), tls);
+  }
+}
+
+// Lifts one guest function's body. One instance per function; instances run
+// concurrently on the thread pool, so everything mutable is per-function
+// (synthetic-block counters included — block names must not depend on which
+// functions were lifted before this one, or on worker scheduling).
+class FunctionLifter {
+ public:
+  explicit FunctionLifter(SharedState& s) : s_(s), b_(s.module) {}
+
+  Status Lift(const FunctionInfo& fn_info) { return LiftFunction(fn_info); }
 
  private:
-  // ---- module-level state ----
-
-  void CreateGlobals() {
-    bool tls = options_.thread_local_state;
-    for (int i = 0; i < x86::kNumGprs; ++i) {
-      vr_[i] = module_->AddGlobal(
-          "vr_" + x86::RegName(static_cast<Reg>(i), 8), tls);
-    }
-    static const char* const kFlagNames[] = {"cf", "pf", "zf", "sf", "of"};
-    for (int i = 0; i < x86::kNumFlags; ++i) {
-      fl_[i] = module_->AddGlobal(StrCat("fl_", kFlagNames[i]), tls);
-    }
-    for (int i = 0; i < x86::kNumXmms; ++i) {
-      xmm_lo_[i] = module_->AddGlobal(StrCat("xmm", i, "_lo"), tls);
-      xmm_hi_[i] = module_->AddGlobal(StrCat("xmm", i, "_hi"), tls);
-    }
-  }
-
   // ---- small value helpers ----
 
   Value* C(int64_t v) { return b_.Const(v); }
@@ -106,11 +92,11 @@ class Lifter {
   }
 
   Value* ReadReg(Reg r, int size) {
-    return Mask(b_.GLoad(vr_[static_cast<int>(r)]), size);
+    return Mask(b_.GLoad(s_.vr[static_cast<int>(r)]), size);
   }
 
   void WriteReg(Reg r, int size, Value* v) {
-    Global* g = vr_[static_cast<int>(r)];
+    Global* g = s_.vr[static_cast<int>(r)];
     switch (size) {
       case 8:
         b_.GStore(g, v);
@@ -135,10 +121,10 @@ class Lifter {
     }
     Value* addr = C(mem.disp);
     if (mem.base != Reg::kNone) {
-      addr = b_.Add(addr, b_.GLoad(vr_[static_cast<int>(mem.base)]));
+      addr = b_.Add(addr, b_.GLoad(s_.vr[static_cast<int>(mem.base)]));
     }
     if (mem.index != Reg::kNone) {
-      Value* idx = b_.GLoad(vr_[static_cast<int>(mem.index)]);
+      Value* idx = b_.GLoad(s_.vr[static_cast<int>(mem.index)]);
       if (mem.scale != 1) {
         int shift = mem.scale == 2 ? 1 : mem.scale == 4 ? 2 : 3;
         idx = b_.Shl(idx, C(shift));
@@ -243,16 +229,16 @@ class Lifter {
 
   Value* LoadMem(Value* addr, int size, bool stack_local) {
     Value* v = b_.Load(size, addr);
-    if (options_.insert_fences &&
-        !(stack_local && options_.elide_stack_local_fences)) {
+    if (s_.options.insert_fences &&
+        !(stack_local && s_.options.elide_stack_local_fences)) {
       b_.Fence(FenceOrder::kAcquire);
     }
     return v;
   }
 
   void StoreMem(Value* addr, int size, Value* v, bool stack_local) {
-    if (options_.insert_fences &&
-        !(stack_local && options_.elide_stack_local_fences)) {
+    if (s_.options.insert_fences &&
+        !(stack_local && s_.options.elide_stack_local_fences)) {
       b_.Fence(FenceOrder::kRelease);
     }
     b_.Store(size, addr, Mask(v, size));
@@ -288,8 +274,8 @@ class Lifter {
     return b_.And(b_.LShr(v, C(size * 8 - 1)), C(1));
   }
 
-  void SetFlag(FlagIndex f, Value* v) { b_.GStore(fl_[f], v); }
-  Value* GetFlag(FlagIndex f) { return b_.GLoad(fl_[f]); }
+  void SetFlag(FlagIndex f, Value* v) { b_.GStore(s_.fl[f], v); }
+  Value* GetFlag(FlagIndex f) { return b_.GLoad(s_.fl[f]); }
 
   void SetZSP(Value* res_masked, int size) {
     SetFlag(kZf, b_.ICmp(Pred::kEq, res_masked, C(0)));
@@ -367,7 +353,7 @@ class Lifter {
   // ---- function lifting ----
 
   Status LiftFunction(const FunctionInfo& fn_info) {
-    cur_fn_ = functions_by_entry_[fn_info.entry];
+    cur_fn_ = s_.functions_by_entry.at(fn_info.entry);
     blocks_.clear();
 
     // Detect a frame pointer: `mov rbp, rsp` within the first few
@@ -391,9 +377,9 @@ class Lifter {
     }
 
     for (uint64_t start : starts) {
-      auto it = graph_.blocks.find(start);
+      auto it = s_.graph.blocks.find(start);
       b_.SetInsertBlock(blocks_[start]);
-      if (it == graph_.blocks.end()) {
+      if (it == s_.graph.blocks.end()) {
         // Unknown block (CFG hole): runtime miss.
         EmitCfMiss(C(static_cast<int64_t>(start)), start);
         continue;
@@ -406,7 +392,7 @@ class Lifter {
   bool DetectFramePointer(uint64_t entry) {
     uint64_t addr = entry;
     for (int i = 0; i < 8; ++i) {
-      std::vector<uint8_t> bytes = image_.ReadBytes(addr, 16);
+      std::vector<uint8_t> bytes = s_.image.ReadBytes(addr, 16);
       auto inst = x86::Decode(bytes, addr);
       if (!inst.ok()) {
         return false;
@@ -444,7 +430,7 @@ class Lifter {
     const Inst* term_inst = nullptr;
     x86::Inst term_storage;
     while (addr < binfo.end) {
-      std::vector<uint8_t> bytes = image_.ReadBytes(addr, 16);
+      std::vector<uint8_t> bytes = s_.image.ReadBytes(addr, 16);
       auto inst_or = x86::Decode(bytes, addr);
       if (!inst_or.ok()) {
         b_.CallIntrinsic("trap", {C(static_cast<int64_t>(addr))});
@@ -486,9 +472,9 @@ class Lifter {
   // call to lifted function `callee` returning to `fallthrough`.
   void EmitGuestCall(Function* callee, uint64_t fallthrough) {
     // push return address onto the emulated stack
-    Value* sp = b_.GLoad(vr_[static_cast<int>(Reg::kRsp)]);
+    Value* sp = b_.GLoad(s_.vr[static_cast<int>(Reg::kRsp)]);
     Value* new_sp = b_.Sub(sp, C(8));
-    b_.GStore(vr_[static_cast<int>(Reg::kRsp)], new_sp);
+    b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], new_sp);
     b_.Store(8, new_sp, C(static_cast<int64_t>(fallthrough)));
 
     Value* next = b_.Call(callee, {});
@@ -552,8 +538,8 @@ class Lifter {
       }
 
       case TermKind::kCall: {
-        auto it = functions_by_entry_.find(binfo.direct_target);
-        if (it == functions_by_entry_.end()) {
+        auto it = s_.functions_by_entry.find(binfo.direct_target);
+        if (it == s_.functions_by_entry.end()) {
           EmitCfMiss(C(static_cast<int64_t>(binfo.direct_target)),
                      binfo.term_address);
           return;
@@ -574,9 +560,9 @@ class Lifter {
         Value* target = ReadOperand(*term, 0, 8);
         // Push the return address (the hardware pushes after computing the
         // target operand).
-        Value* sp = b_.GLoad(vr_[static_cast<int>(Reg::kRsp)]);
+        Value* sp = b_.GLoad(s_.vr[static_cast<int>(Reg::kRsp)]);
         Value* new_sp = b_.Sub(sp, C(8));
-        b_.GStore(vr_[static_cast<int>(Reg::kRsp)], new_sp);
+        b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], new_sp);
         b_.Store(8, new_sp, C(static_cast<int64_t>(binfo.fallthrough)));
 
         BasicBlock* miss_block =
@@ -584,8 +570,8 @@ class Lifter {
         Instruction* sw = b_.Switch(target, miss_block);
         BasicBlock* switch_block = b_.block();
         for (uint64_t t : binfo.indirect_targets) {
-          auto fit = functions_by_entry_.find(t);
-          if (fit == functions_by_entry_.end()) {
+          auto fit = s_.functions_by_entry.find(t);
+          if (fit == s_.functions_by_entry.end()) {
             continue;
           }
           BasicBlock* case_block = cur_fn_->AddBlock(
@@ -640,9 +626,9 @@ class Lifter {
       }
 
       case TermKind::kRet: {
-        Value* sp = b_.GLoad(vr_[static_cast<int>(Reg::kRsp)]);
+        Value* sp = b_.GLoad(s_.vr[static_cast<int>(Reg::kRsp)]);
         Value* ra = b_.Load(8, sp);
-        b_.GStore(vr_[static_cast<int>(Reg::kRsp)], b_.Add(sp, C(8)));
+        b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], b_.Add(sp, C(8)));
         b_.Ret(ra);
         return;
       }
@@ -865,23 +851,23 @@ class Lifter {
 
       case Mnemonic::kPush: {
         Value* v = ReadOperand(inst, 0, 8);
-        Value* sp = b_.GLoad(vr_[static_cast<int>(Reg::kRsp)]);
+        Value* sp = b_.GLoad(s_.vr[static_cast<int>(Reg::kRsp)]);
         Value* new_sp = b_.Sub(sp, C(8));
-        b_.GStore(vr_[static_cast<int>(Reg::kRsp)], new_sp);
+        b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], new_sp);
         // Emulated-stack traffic: stack-local by construction.
-        if (options_.insert_fences && !options_.elide_stack_local_fences) {
+        if (s_.options.insert_fences && !s_.options.elide_stack_local_fences) {
           b_.Fence(FenceOrder::kRelease);
         }
         b_.Store(8, new_sp, v);
         return Status::Ok();
       }
       case Mnemonic::kPop: {
-        Value* sp = b_.GLoad(vr_[static_cast<int>(Reg::kRsp)]);
+        Value* sp = b_.GLoad(s_.vr[static_cast<int>(Reg::kRsp)]);
         Value* v = b_.Load(8, sp);
-        if (options_.insert_fences && !options_.elide_stack_local_fences) {
+        if (s_.options.insert_fences && !s_.options.elide_stack_local_fences) {
           b_.Fence(FenceOrder::kAcquire);
         }
-        b_.GStore(vr_[static_cast<int>(Reg::kRsp)], b_.Add(sp, C(8)));
+        b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], b_.Add(sp, C(8)));
         WriteOperand(inst, 0, 8, v);
         return Status::Ok();
       }
@@ -920,10 +906,10 @@ class Lifter {
       case Mnemonic::kMovd: {
         if (inst.ops[0].is_xmm()) {
           Value* v = ReadOperand(inst, 1, size);
-          b_.GStore(xmm_lo_[inst.ops[0].xmm], Mask(v, size));
-          b_.GStore(xmm_hi_[inst.ops[0].xmm], C(0));
+          b_.GStore(s_.xmm_lo[inst.ops[0].xmm], Mask(v, size));
+          b_.GStore(s_.xmm_hi[inst.ops[0].xmm], C(0));
         } else {
-          Value* v = b_.GLoad(xmm_lo_[inst.ops[1].xmm]);
+          Value* v = b_.GLoad(s_.xmm_lo[inst.ops[1].xmm]);
           WriteOperand(inst, 0, size, Mask(v, size));
         }
         return Status::Ok();
@@ -934,15 +920,15 @@ class Lifter {
           const MemRef& mem = inst.ops[1].mem;
           Value* addr = EffAddr(mem, inst);
           bool sl = IsStackLocal(mem);
-          b_.GStore(xmm_lo_[inst.ops[0].xmm], LoadMem(addr, 8, sl));
-          b_.GStore(xmm_hi_[inst.ops[0].xmm],
+          b_.GStore(s_.xmm_lo[inst.ops[0].xmm], LoadMem(addr, 8, sl));
+          b_.GStore(s_.xmm_hi[inst.ops[0].xmm],
                     LoadMem(b_.Add(addr, C(8)), 8, sl));
         } else {
           const MemRef& mem = inst.ops[0].mem;
           Value* addr = EffAddr(mem, inst);
           bool sl = IsStackLocal(mem);
-          StoreMem(addr, 8, b_.GLoad(xmm_lo_[inst.ops[1].xmm]), sl);
-          StoreMem(b_.Add(addr, C(8)), 8, b_.GLoad(xmm_hi_[inst.ops[1].xmm]),
+          StoreMem(addr, 8, b_.GLoad(s_.xmm_lo[inst.ops[1].xmm]), sl);
+          StoreMem(b_.Add(addr, C(8)), 8, b_.GLoad(s_.xmm_hi[inst.ops[1].xmm]),
                    sl);
         }
         return Status::Ok();
@@ -956,8 +942,8 @@ class Lifter {
         Value* src_lo;
         Value* src_hi;
         if (inst.ops[1].is_xmm()) {
-          src_lo = b_.GLoad(xmm_lo_[inst.ops[1].xmm]);
-          src_hi = b_.GLoad(xmm_hi_[inst.ops[1].xmm]);
+          src_lo = b_.GLoad(s_.xmm_lo[inst.ops[1].xmm]);
+          src_hi = b_.GLoad(s_.xmm_hi[inst.ops[1].xmm]);
         } else {
           const MemRef& mem = inst.ops[1].mem;
           Value* addr = EffAddr(mem, inst);
@@ -965,8 +951,8 @@ class Lifter {
           src_lo = LoadMem(addr, 8, sl);
           src_hi = LoadMem(b_.Add(addr, C(8)), 8, sl);
         }
-        Global* dlo = xmm_lo_[inst.ops[0].xmm];
-        Global* dhi = xmm_hi_[inst.ops[0].xmm];
+        Global* dlo = s_.xmm_lo[inst.ops[0].xmm];
+        Global* dhi = s_.xmm_hi[inst.ops[0].xmm];
         Value* a_lo = b_.GLoad(dlo);
         Value* a_hi = b_.GLoad(dhi);
         switch (inst.mnemonic) {
@@ -986,7 +972,7 @@ class Lifter {
                                : inst.mnemonic == Mnemonic::kPsubd ? "psubd"
                                                                    : "pmulld";
             std::string name =
-                (options_.first_class_simd ? "simd_" : "helper_") +
+                (s_.options.first_class_simd ? "simd_" : "helper_") +
                 std::string(base);
             b_.GStore(dlo, b_.CallIntrinsic(name, {a_lo, src_lo}));
             b_.GStore(dhi, b_.CallIntrinsic(name, {a_hi, src_hi}));
@@ -1042,12 +1028,12 @@ class Lifter {
         POLY_UNREACHABLE("bad locked rmw");
     }
 
-    if (options_.atomics == LiftOptions::AtomicsMode::kBuiltin) {
+    if (s_.options.atomics == LiftOptions::AtomicsMode::kBuiltin) {
       Value* old = b_.AtomicRmw(op, size, addr, operand);
       SetRmwFlags(inst.mnemonic, old, operand, size);
       return Status::Ok();
     }
-    if (options_.atomics == LiftOptions::AtomicsMode::kNaiveGlobalLock) {
+    if (s_.options.atomics == LiftOptions::AtomicsMode::kNaiveGlobalLock) {
       b_.CallIntrinsic("global_lock", {});
       Value* old = b_.Load(size, addr);
       Value* res = ApplyRmw(inst.mnemonic, old, operand, size);
@@ -1113,13 +1099,13 @@ class Lifter {
     const int size = inst.size;
     Value* addr = EffAddr(inst.ops[0].mem, inst);
     Value* v = ReadOperand(inst, 1, size);
-    if (options_.atomics == LiftOptions::AtomicsMode::kPlain) {
+    if (s_.options.atomics == LiftOptions::AtomicsMode::kPlain) {
       Value* old = b_.Load(size, addr);
       b_.Store(size, addr, v);
       WriteOperand(inst, 1, size, old);
       return Status::Ok();
     }
-    if (options_.atomics == LiftOptions::AtomicsMode::kNaiveGlobalLock) {
+    if (s_.options.atomics == LiftOptions::AtomicsMode::kNaiveGlobalLock) {
       b_.CallIntrinsic("global_lock", {});
       Value* old = b_.Load(size, addr);
       b_.Store(size, addr, v);
@@ -1136,10 +1122,10 @@ class Lifter {
     const int size = inst.size;
     Value* operand = ReadOperand(inst, 1, size);
     if (inst.ops[0].is_mem() &&
-        options_.atomics != LiftOptions::AtomicsMode::kPlain) {
+        s_.options.atomics != LiftOptions::AtomicsMode::kPlain) {
       Value* addr = EffAddr(inst.ops[0].mem, inst);
       Value* old;
-      if (options_.atomics == LiftOptions::AtomicsMode::kNaiveGlobalLock) {
+      if (s_.options.atomics == LiftOptions::AtomicsMode::kNaiveGlobalLock) {
         b_.CallIntrinsic("global_lock", {});
         old = b_.Load(size, addr);
         b_.Store(size, addr, Mask(b_.Add(old, operand), size));
@@ -1168,7 +1154,7 @@ class Lifter {
     Value* desired = ReadOperand(inst, 1, size);
 
     if (inst.ops[0].is_mem() &&
-        options_.atomics == LiftOptions::AtomicsMode::kBuiltin) {
+        s_.options.atomics == LiftOptions::AtomicsMode::kBuiltin) {
       Value* addr = EffAddr(inst.ops[0].mem, inst);
       Value* witnessed = b_.CmpXchg(size, addr, acc, desired);
       Value* equal = b_.ICmp(Pred::kEq, witnessed, acc);
@@ -1179,7 +1165,7 @@ class Lifter {
     }
 
     bool use_lock = inst.ops[0].is_mem() &&
-                    options_.atomics == LiftOptions::AtomicsMode::kNaiveGlobalLock;
+                    s_.options.atomics == LiftOptions::AtomicsMode::kNaiveGlobalLock;
     if (use_lock) {
       b_.CallIntrinsic("global_lock", {});
     }
@@ -1194,18 +1180,9 @@ class Lifter {
     return Status::Ok();
   }
 
-  const Image& image_;
-  const ControlFlowGraph& graph_;
-  const LiftOptions& options_;
-  std::unique_ptr<ir::Module> module_;
+  SharedState& s_;
   IRBuilder b_;
 
-  Global* vr_[x86::kNumGprs];
-  Global* fl_[x86::kNumFlags];
-  Global* xmm_lo_[x86::kNumXmms];
-  Global* xmm_hi_[x86::kNumXmms];
-
-  std::map<uint64_t, Function*> functions_by_entry_;
   Function* cur_fn_ = nullptr;
   std::map<uint64_t, BasicBlock*> blocks_;
   bool rbp_is_frame_ = false;
@@ -1218,7 +1195,50 @@ class Lifter {
 
 Expected<LiftedProgram> Lift(const Image& image, const ControlFlowGraph& graph,
                              const LiftOptions& options) {
-  return Lifter(image, graph, options).Run();
+  auto module = std::make_shared<ir::Module>();
+  SharedState s{image, graph, options, module.get()};
+  CreateGlobals(s);
+  // Declare every function up front (serially, in entry order) so calls
+  // resolve and so declaration order — which fixes printed output — never
+  // depends on scheduling.
+  for (const auto& [entry, fn_info] : graph.functions) {
+    Function* f = s.module->AddFunction(fn_info.name, 0, /*has_result=*/true);
+    f->guest_entry = entry;
+    s.functions_by_entry[entry] = f;
+  }
+
+  // Lift bodies concurrently, one function per work item. Functions whose
+  // bodies the caller will supply (additive cache hits) stay declarations.
+  std::vector<const FunctionInfo*> work;
+  work.reserve(graph.functions.size());
+  for (const auto& [entry, fn_info] : graph.functions) {
+    if (options.skip_bodies != nullptr && options.skip_bodies->count(entry)) {
+      continue;
+    }
+    work.push_back(&fn_info);
+  }
+  ThreadPool pool(options.jobs);
+  POLY_RETURN_IF_ERROR(pool.ParallelFor(work.size(), [&](size_t i) {
+    FunctionLifter lifter(s);
+    return lifter.Lift(*work[i]);
+  }));
+
+  // External-entry marking (§3.3.3).
+  for (const auto& [entry, f] : s.functions_by_entry) {
+    if (options.mark_all_external) {
+      f->is_external_entry = true;
+    } else {
+      f->is_external_entry = entry == image.entry_point ||
+                             options.observed_callbacks.count(f->name()) != 0;
+    }
+  }
+
+  LiftedProgram program;
+  program.module = std::move(module);
+  program.functions_by_entry = std::move(s.functions_by_entry);
+  program.entry = image.entry_point;
+  program.externals = image.externals;
+  return program;
 }
 
 }  // namespace polynima::lift

@@ -69,10 +69,23 @@ struct LiftOptions {
   // entry stay external; the rest become eligible for inlining.
   bool mark_all_external = true;
   std::set<std::string> observed_callbacks;
+
+  // Worker threads for the per-function lift phase (0 = one per hardware
+  // thread). Function bodies are lifted concurrently; the emitted module is
+  // byte-identical for every value because each function's IR depends only
+  // on its own CFG, never on worker scheduling.
+  int jobs = 1;
+
+  // Function entries that are declared but whose bodies the caller provides
+  // after Lift returns (the additive-lifting cache clones previously lifted
+  // IR into them). Must outlive the Lift call.
+  const std::set<uint64_t>* skip_bodies = nullptr;
 };
 
 struct LiftedProgram {
-  std::unique_ptr<ir::Module> module;
+  // Shared so the additive-lifting cache (src/recomp) can keep functions from
+  // a superseded round alive until nothing references them.
+  std::shared_ptr<ir::Module> module;
   // Trampoline table: guest entry address -> lifted function.
   std::map<uint64_t, ir::Function*> functions_by_entry;
   // Guest entry point of the program.

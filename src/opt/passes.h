@@ -60,11 +60,29 @@ int RemoveFences(ir::Module& m);
 struct PipelineOptions {
   bool inline_functions = false;  // only valid after callback analysis
   int iterations = 3;
+  // Worker threads for the per-function pass loop (0 = one per hardware
+  // thread). Module-level passes (inlining, verification) stay serial.
+  int jobs = 1;
 };
 
-// Standard pipeline: SimplifyCfg, (inline), PromoteGlobals, then iterated
-// InstCombine/MemOpt/DeadFlagElim/DCE. Verifies the module afterwards.
+// Runs the per-function pass loop (SimplifyCfg, PromoteGlobals, then
+// iterated LocalCse/InstCombine/MemOpt/DeadFlagElim/DCE/SimplifyCfg) on one
+// function. Touches no module state other than the constant pool, which is
+// internally synchronized — safe to run concurrently for distinct functions.
+void OptimizeFunction(ir::Function& f, ir::Module& m,
+                      const PipelineOptions& options);
+
+// Standard pipeline: (inline), then OptimizeFunction on every function in
+// declaration order across options.jobs workers. Verifies the module
+// afterwards.
 Status RunPipeline(ir::Module& m, const PipelineOptions& options = {});
+
+// Like RunPipeline but only optimizes `functions` (used by the additive
+// cache to skip functions whose optimized IR was cloned from the previous
+// round). Inlining, if enabled, still runs over the whole module first.
+Status RunPipelineOnFunctions(ir::Module& m,
+                              const std::vector<ir::Function*>& functions,
+                              const PipelineOptions& options = {});
 
 }  // namespace polynima::opt
 

@@ -1,30 +1,53 @@
 #include "src/opt/passes.h"
 
+#include <vector>
+
 #include "src/ir/verifier.h"
+#include "src/support/thread_pool.h"
 
 namespace polynima::opt {
 
-Status RunPipeline(ir::Module& m, const PipelineOptions& options) {
+void OptimizeFunction(ir::Function& f, ir::Module& m,
+                      const PipelineOptions& options) {
+  SimplifyCfg(f);
+  PromoteGlobals(f);
+  for (int i = 0; i < options.iterations; ++i) {
+    bool changed = false;
+    changed |= LocalCse(f);
+    changed |= InstCombine(f, m);
+    changed |= MemOpt(f);
+    changed |= DeadFlagElim(f);
+    changed |= DeadCodeElim(f);
+    changed |= SimplifyCfg(f);
+    if (!changed) {
+      break;
+    }
+  }
+}
+
+Status RunPipelineOnFunctions(ir::Module& m,
+                              const std::vector<ir::Function*>& functions,
+                              const PipelineOptions& options) {
+  // Inlining mutates caller/callee pairs and must see the whole module; it
+  // is a serial barrier before the per-function phase.
   if (options.inline_functions) {
     InlineFunctions(m);
   }
-  for (auto& f : m.functions()) {
-    SimplifyCfg(*f);
-    PromoteGlobals(*f);
-    for (int i = 0; i < options.iterations; ++i) {
-      bool changed = false;
-      changed |= LocalCse(*f);
-      changed |= InstCombine(*f, m);
-      changed |= MemOpt(*f);
-      changed |= DeadFlagElim(*f);
-      changed |= DeadCodeElim(*f);
-      changed |= SimplifyCfg(*f);
-      if (!changed) {
-        break;
-      }
-    }
-  }
+  ThreadPool pool(options.jobs);
+  POLY_RETURN_IF_ERROR(pool.ParallelFor(functions.size(), [&](size_t i) {
+    OptimizeFunction(*functions[i], m, options);
+    return Status::Ok();
+  }));
   return ir::Verify(m);
+}
+
+Status RunPipeline(ir::Module& m, const PipelineOptions& options) {
+  std::vector<ir::Function*> fns;
+  fns.reserve(m.functions().size());
+  for (auto& f : m.functions()) {
+    fns.push_back(f.get());
+  }
+  return RunPipelineOnFunctions(m, fns, options);
 }
 
 }  // namespace polynima::opt

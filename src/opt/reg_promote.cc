@@ -31,6 +31,15 @@ using ir::Value;
 
 namespace {
 
+// Globals ordered by allocation slot, not pointer: the flush loop both emits
+// gstores and triggers phi/load creation in this order, so it must not
+// depend on heap layout (which varies run-to-run and under concurrency).
+struct GlobalSlotOrder {
+  bool operator()(const Global* a, const Global* b) const {
+    return a->slot() < b->slot();
+  }
+};
+
 class Promoter {
  public:
   explicit Promoter(Function& f) : f_(f), preds_(Predecessors(f)) {}
@@ -259,7 +268,7 @@ class Promoter {
   std::map<BasicBlock*, EndState> end_state_;
   std::map<BasicBlock*, std::vector<std::pair<Global*, Instruction*>>>
       incomplete_;
-  std::set<Global*> flush_set_;
+  std::set<Global*, GlobalSlotOrder> flush_set_;
   std::set<BasicBlock*> sealed_;
   std::set<BasicBlock*> filled_;
   bool changed_ = false;

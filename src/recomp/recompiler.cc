@@ -1,8 +1,11 @@
 #include "src/recomp/recompiler.h"
 
 #include <chrono>
+#include <ctime>
 #include <filesystem>
+#include <set>
 
+#include "src/ir/clone.h"
 #include "src/support/strings.h"
 #include "src/vm/external.h"
 
@@ -15,6 +18,85 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+// Process-wide CPU time: sums across all threads, so (cpu delta) /
+// (wall delta) over a parallel phase approximates its effective parallelism.
+uint64_t CpuNowNs() {
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) {
+    return 0;
+  }
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// FNV-1a over the 8 bytes of `v`.
+void HashMix(uint64_t& h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+}
+
+// Everything outside the CFG that changes what a function lifts/optimizes
+// to. `jobs` is deliberately absent: parallelism must not affect output.
+uint64_t OptionsFingerprint(const RecompileOptions& options) {
+  uint64_t h = 14695981039346656037ull;
+  const lift::LiftOptions& lo = options.lift;
+  HashMix(h, lo.insert_fences);
+  HashMix(h, lo.elide_stack_local_fences);
+  HashMix(h, static_cast<uint64_t>(lo.atomics));
+  HashMix(h, lo.thread_local_state);
+  HashMix(h, lo.first_class_simd);
+  HashMix(h, lo.mark_all_external);
+  for (const std::string& name : lo.observed_callbacks) {
+    for (char c : name) {
+      HashMix(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    }
+    HashMix(h, 0x1dull);
+  }
+  HashMix(h, static_cast<uint64_t>(options.pipeline.iterations));
+  HashMix(h, options.pipeline.inline_functions);
+  HashMix(h, options.optimize);
+  HashMix(h, options.remove_fences);
+  return h;
+}
+
+// Hash of everything a single function's lifted+optimized IR depends on:
+// its blocks (instruction byte ranges are immutable image content, so
+// [start,end) identifies them), each block's terminator shape, and — the
+// cross-function part — whether every direct/indirect control-flow target
+// resolves to a known function, which decides guest-call vs. cfmiss
+// lowering. A new function discovered at a previously-unknown target
+// therefore changes the hash of exactly its callers.
+uint64_t HashFunctionCfg(const cfg::ControlFlowGraph& graph,
+                         const cfg::FunctionInfo& fn_info,
+                         uint64_t options_fingerprint) {
+  uint64_t h = options_fingerprint;
+  HashMix(h, fn_info.entry);
+  for (uint64_t start : fn_info.block_starts) {
+    HashMix(h, start);
+    auto it = graph.blocks.find(start);
+    if (it == graph.blocks.end()) {
+      continue;
+    }
+    const cfg::BlockInfo& b = it->second;
+    HashMix(h, b.start);
+    HashMix(h, b.end);
+    HashMix(h, static_cast<uint64_t>(b.term));
+    HashMix(h, b.term_address);
+    HashMix(h, b.direct_target);
+    HashMix(h, graph.functions.count(b.direct_target));
+    HashMix(h, b.fallthrough);
+    HashMix(h, b.external_slot);
+    for (uint64_t target : b.indirect_targets) {
+      HashMix(h, target);
+      HashMix(h, graph.functions.count(target));
+    }
+    HashMix(h, 0x9e3779b97f4a7c15ull);  // block separator
+  }
+  return h;
 }
 
 }  // namespace
@@ -39,19 +121,96 @@ void Recompiler::PersistCfg(const cfg::ControlFlowGraph& graph) {
 
 Expected<RecompiledBinary> Recompiler::Rebuild(
     const cfg::ControlFlowGraph& graph) {
+  // The cache stores post-pipeline IR, so it is only valid when the
+  // pipeline runs and contains no cross-function pass.
+  const bool use_cache = options_.incremental && options_.optimize &&
+                         !options_.pipeline.inline_functions;
+
+  std::set<uint64_t> reuse;                 // entries cloned from the cache
+  std::map<uint64_t, uint64_t> fn_keys;     // entry -> this round's hash
+  if (use_cache) {
+    uint64_t fingerprint = OptionsFingerprint(options_);
+    for (const auto& [entry, fn_info] : graph.functions) {
+      uint64_t key = HashFunctionCfg(graph, fn_info, fingerprint);
+      fn_keys[entry] = key;
+      auto it = cache_.find(entry);
+      if (it != cache_.end() && it->second.key == key) {
+        reuse.insert(entry);
+      }
+    }
+  } else {
+    cache_.clear();
+  }
+
   uint64_t t0 = NowNs();
+  uint64_t c0 = CpuNowNs();
+  lift::LiftOptions lift_options = options_.lift;
+  lift_options.jobs = options_.jobs;
+  lift_options.skip_bodies = reuse.empty() ? nullptr : &reuse;
   POLY_ASSIGN_OR_RETURN(lift::LiftedProgram program,
-                        lift::Lift(image_, graph, options_.lift));
+                        lift::Lift(image_, graph, lift_options));
   if (options_.remove_fences) {
     opt::RemoveFences(*program.module);
   }
+
+  // Splice cached bodies into the skipped declarations. Clones reproduce the
+  // source byte-for-byte under the printer, so a cache hit cannot perturb
+  // output. Callees are resolved by guest entry into the fresh module.
+  for (uint64_t entry : reuse) {
+    const CacheEntry& cached = cache_.at(entry);
+    ir::CloneFunctionBody(
+        *cached.fn, program.functions_by_entry.at(entry), *program.module,
+        [&](const ir::Function* callee) -> ir::Function* {
+          auto it = program.functions_by_entry.find(callee->guest_entry);
+          return it == program.functions_by_entry.end() ? nullptr
+                                                        : it->second;
+        });
+  }
+
+  size_t lifted = graph.functions.size() - reuse.size();
+  stats_.cache_hits += reuse.size();
+  stats_.cache_misses += lifted;
+  stats_.relifted_per_round.push_back(lifted);
+
   uint64_t t1 = NowNs();
+  uint64_t c1 = CpuNowNs();
   stats_.lift_ns += t1 - t0;
+  stats_.lift_cpu_ns += c1 - c0;
+
   if (options_.optimize) {
-    POLY_RETURN_IF_ERROR(
-        opt::RunPipeline(*program.module, options_.pipeline));
+    if (use_cache) {
+      // Only newly lifted functions need the pipeline; cached clones were
+      // optimized in the round that produced them.
+      std::vector<ir::Function*> fresh;
+      fresh.reserve(lifted);
+      for (const auto& [entry, fn] : program.functions_by_entry) {
+        if (reuse.count(entry) == 0) {
+          fresh.push_back(fn);
+        }
+      }
+      opt::PipelineOptions pipeline_options = options_.pipeline;
+      pipeline_options.jobs = options_.jobs;
+      POLY_RETURN_IF_ERROR(opt::RunPipelineOnFunctions(
+          *program.module, fresh, pipeline_options));
+    } else {
+      opt::PipelineOptions pipeline_options = options_.pipeline;
+      pipeline_options.jobs = options_.jobs;
+      POLY_RETURN_IF_ERROR(
+          opt::RunPipeline(*program.module, pipeline_options));
+    }
   }
   stats_.opt_ns += NowNs() - t1;
+  stats_.opt_cpu_ns += CpuNowNs() - c1;
+
+  if (use_cache) {
+    // Re-key the whole cache onto this round's module so superseded modules
+    // are released as soon as no RecompiledBinary references them.
+    std::map<uint64_t, CacheEntry> next;
+    for (const auto& [entry, fn] : program.functions_by_entry) {
+      next[entry] = CacheEntry{fn_keys.at(entry), fn, program.module};
+    }
+    cache_ = std::move(next);
+  }
 
   RecompiledBinary out;
   out.image = image_;
@@ -90,7 +249,10 @@ Expected<exec::ExecResult> Recompiler::RunAdditive(
       return result;
     }
     // Control-flow miss: update the on-disk CFG with the discovered target
-    // and rerun the recompilation pipeline (§3.2 Additive).
+    // and rerun the recompilation pipeline (§3.2 Additive). With
+    // options_.incremental, Rebuild re-lifts only the functions whose CFG
+    // hash changed — typically the miss site's function plus the newly
+    // discovered one.
     ++stats_.additive_rounds;
     const exec::MissInfo& miss = *result.miss;
     cfg::ControlFlowGraph graph = binary.graph;
@@ -117,7 +279,8 @@ Expected<RecompiledBinary> Recompiler::RecompileWithCallbackAnalysis(
                     result.observed_callbacks.end());
   }
   // Re-lift with the observed set only; unobserved functions lose their
-  // wrappers and become inlinable.
+  // wrappers and become eligible for inlining. Inlining is cross-function,
+  // so this Rebuild bypasses (and drops) the additive cache.
   RecompileOptions slim = options_;
   options_.lift.mark_all_external = false;
   options_.lift.observed_callbacks = observed;

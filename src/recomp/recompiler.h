@@ -10,6 +10,8 @@
 #ifndef POLYNIMA_RECOMP_RECOMPILER_H_
 #define POLYNIMA_RECOMP_RECOMPILER_H_
 
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,15 +40,33 @@ struct RecompileOptions {
   int max_additive_rounds = 64;
   // Directory for on-disk artifacts (cfg.json); optional.
   std::optional<std::string> project_dir;
+  // Worker threads for the lift and per-function optimization phases
+  // (0 = one per hardware thread). Fanned out into lift.jobs/pipeline.jobs
+  // by the driver; the printed IR is byte-identical for every value.
+  int jobs = 1;
+  // Across additive rounds, reuse the lifted+optimized IR of functions whose
+  // CFG (including cross-function target resolution) is unchanged, re-lifting
+  // only affected functions. Automatically disabled when inlining is enabled
+  // (inlining is cross-function) or when optimization is off.
+  bool incremental = true;
 };
 
 struct RecompileStats {
+  // Wall-clock time per phase.
   uint64_t disassemble_ns = 0;
   uint64_t trace_ns = 0;
   uint64_t lift_ns = 0;
   uint64_t opt_ns = 0;
+  // Process CPU time per parallel phase (sums all worker threads, so
+  // cpu/wall approximates effective parallelism).
+  uint64_t lift_cpu_ns = 0;
+  uint64_t opt_cpu_ns = 0;
   size_t icft_count = 0;       // traced indirect-transfer targets (Table 4)
   int additive_rounds = 0;     // recompilation loops triggered (Figure 4)
+  // Additive-cache effectiveness.
+  size_t cache_hits = 0;    // function bodies cloned from the previous round
+  size_t cache_misses = 0;  // function bodies lifted (first build included)
+  std::vector<size_t> relifted_per_round;  // bodies lifted, one entry/rebuild
   uint64_t total_ns() const {
     return disassemble_ns + trace_ns + lift_ns + opt_ns;
   }
@@ -91,12 +111,23 @@ class Recompiler {
   RecompileOptions& options() { return options_; }
 
  private:
+  // One cached function from the previous recompilation round. `holder`
+  // keeps the module that owns `fn` alive after the round's RecompiledBinary
+  // is superseded; after every Rebuild the cache re-points at the new module
+  // so earlier modules can be freed.
+  struct CacheEntry {
+    uint64_t key = 0;  // CFG + options hash; mismatch forces a re-lift
+    ir::Function* fn = nullptr;
+    std::shared_ptr<ir::Module> holder;
+  };
+
   Expected<RecompiledBinary> Rebuild(const cfg::ControlFlowGraph& graph);
   void PersistCfg(const cfg::ControlFlowGraph& graph);
 
   binary::Image image_;
   RecompileOptions options_;
   RecompileStats stats_;
+  std::map<uint64_t, CacheEntry> cache_;  // guest entry -> cached function
 };
 
 }  // namespace polynima::recomp

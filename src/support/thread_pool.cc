@@ -1,0 +1,116 @@
+#include "src/support/thread_pool.h"
+
+#include <algorithm>
+
+namespace polynima {
+
+int ThreadPool::ResolveJobs(int jobs) {
+  if (jobs > 0) {
+    return jobs;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int jobs) : jobs_(ResolveJobs(jobs)) {
+  workers_.reserve(static_cast<size_t>(jobs_ - 1));
+  for (int i = 0; i < jobs_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Drain() {
+  for (size_t i = next_.fetch_add(1); i < n_; i = next_.fetch_add(1)) {
+    try {
+      Status st = (*fn_)(i);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        errors_.emplace_back(i, std::move(st));
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      exceptions_.emplace_back(i, std::current_exception());
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+    }
+    Drain();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& fn) {
+  if (n == 0) {
+    return Status::Ok();
+  }
+  if (workers_.empty() || n == 1) {
+    // Serial fast path: in order, stop at the first error (same observable
+    // result as the parallel path, which reports the lowest failing index).
+    for (size_t i = 0; i < n; ++i) {
+      POLY_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::Ok();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    n_ = n;
+    next_.store(0);
+    errors_.clear();
+    exceptions_.clear();
+    active_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  Drain();  // the calling thread is the jobs_-th worker
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+
+  if (!exceptions_.empty()) {
+    auto first = std::min_element(
+        exceptions_.begin(), exceptions_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+  if (!errors_.empty()) {
+    auto first = std::min_element(
+        errors_.begin(), errors_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    return first->second;
+  }
+  return Status::Ok();
+}
+
+}  // namespace polynima

@@ -6,14 +6,19 @@
 //   polynima disasm   <img.plyb>                        disassembly + CFG
 //   polynima recompile <img.plyb> -p <projectdir>
 //            [--trace <inputfile>...] [--remove-fences] [--no-optimize]
+//            [--jobs N]
 //   polynima run      <img.plyb> -p <projectdir> [--input <file>]...
-//            [--original]                               additive execution
+//            [--original] [--jobs N]                    additive execution
 //   polynima analyze  <img.plyb> [--input <file>]...    spinloop analysis
+//
+// --jobs N runs the lift and per-function optimization phases on N worker
+// threads (default: one per hardware thread; output is identical for any N).
 //
 // A project directory persists the on-disk CFG (cfg.json) across runs, so
 // control-flow misses discovered on one execution benefit the next — the
 // on-device lifting workflow of §3.2.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +30,7 @@
 #include "src/fenceopt/spinloop.h"
 #include "src/recomp/recompiler.h"
 #include "src/support/strings.h"
+#include "src/support/thread_pool.h"
 #include "src/vm/vm.h"
 #include "src/x86/decoder.h"
 #include "src/x86/printer.h"
@@ -52,6 +58,7 @@ struct Args {
   std::string output;
   std::string project;
   int opt_level = 2;
+  int jobs = 0;  // 0 = one per hardware thread
   bool remove_fences = false;
   bool optimize = true;
   bool original = false;
@@ -83,6 +90,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.opt_level = 0;
     } else if (a == "-O2" || a == "-O3") {
       args.opt_level = 2;
+    } else if (a == "--jobs") {
+      std::string v;
+      if (!next(v)) return false;
+      args.jobs = std::atoi(v.c_str());
     } else if (a == "--remove-fences") {
       args.remove_fences = true;
     } else if (a == "--no-optimize") {
@@ -192,6 +203,7 @@ recomp::RecompileOptions MakeOptions(const Args& args) {
   }
   options.remove_fences = args.remove_fences;
   options.optimize = args.optimize;
+  options.jobs = args.jobs;
   if (!args.trace_files.empty()) {
     options.use_icft_tracer = true;
     for (const std::string& f : args.trace_files) {
@@ -225,6 +237,11 @@ int CmdRecompile(const Args& args) {
               "lift %.1f ms, optimize %.1f ms\n",
               stats.disassemble_ns / 1e6, stats.trace_ns / 1e6,
               stats.icft_count, stats.lift_ns / 1e6, stats.opt_ns / 1e6);
+  std::printf("  jobs %d: lift cpu %.1f ms, optimize cpu %.1f ms\n",
+              ThreadPool::ResolveJobs(args.jobs),
+              stats.lift_cpu_ns / 1e6, stats.opt_cpu_ns / 1e6);
+  std::printf("  additive cache: %zu hits, %zu misses\n", stats.cache_hits,
+              stats.cache_misses);
   if (!args.project.empty()) {
     std::printf("  project CFG: %s/cfg.json\n", args.project.c_str());
   }
@@ -266,8 +283,12 @@ int CmdRun(const Args& args) {
   }
   std::fputs(result->output.c_str(), stdout);
   if (recompiler.stats().additive_rounds > 0) {
-    std::fprintf(stderr, "[polynima] %d recompilation loop(s) this run\n",
-                 recompiler.stats().additive_rounds);
+    std::fprintf(stderr,
+                 "[polynima] %d recompilation loop(s) this run "
+                 "(%zu bodies re-lifted, %zu reused from cache)\n",
+                 recompiler.stats().additive_rounds,
+                 recompiler.stats().cache_misses,
+                 recompiler.stats().cache_hits);
   }
   if (!result->ok) {
     std::fprintf(stderr, "fault: %s\n", result->fault_message.c_str());

@@ -154,7 +154,7 @@ class ProgramGenerator {
 };
 
 std::string RunConfig(const std::string& source, int opt, bool recompiled,
-                      std::string* error) {
+                      std::string* error, int jobs = 1) {
   cc::CompileOptions options;
   options.name = "fuzz";
   options.opt_level = opt;
@@ -173,7 +173,9 @@ std::string RunConfig(const std::string& source, int opt, bool recompiled,
     }
     return r.output;
   }
-  recomp::Recompiler recompiler(*image, {});
+  recomp::RecompileOptions recompile_options;
+  recompile_options.jobs = jobs;
+  recomp::Recompiler recompiler(*image, recompile_options);
   auto binary = recompiler.Recompile();
   if (!binary.ok()) {
     *error = binary.status().ToString();
@@ -196,12 +198,16 @@ TEST_P(FuzzDiff, FourWayEquivalence) {
   std::string error;
   std::string reference = RunConfig(source, 0, false, &error);
   ASSERT_FALSE(reference.empty()) << error << "\nsource:\n" << source;
+  // The recompiled configs run with a seed-derived worker count so the fuzz
+  // corpus also exercises the parallel lift+optimize pipeline.
+  Rng jobs_rng(GetParam() * 0x9e3779b97f4a7c15ull + 1);
   for (auto [opt, recompiled] :
        {std::pair{2, false}, {0, true}, {2, true}}) {
-    std::string got = RunConfig(source, opt, recompiled, &error);
+    int jobs = recompiled ? 1 + static_cast<int>(jobs_rng.NextBelow(4)) : 1;
+    std::string got = RunConfig(source, opt, recompiled, &error, jobs);
     EXPECT_EQ(got, reference)
         << "config O" << opt << (recompiled ? " recompiled" : " original")
-        << " diverged (" << error << ")\nsource:\n"
+        << " jobs=" << jobs << " diverged (" << error << ")\nsource:\n"
         << source;
   }
 }

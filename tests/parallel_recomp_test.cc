@@ -1,0 +1,403 @@
+// Tests for the parallel lift+optimize pipeline and the incremental
+// additive-lifting cache:
+//  - the thread pool's contract (every index runs, serial-equivalent error
+//    reporting, exception propagation);
+//  - determinism: printed IR and execution results are byte-identical for
+//    any --jobs value;
+//  - incrementality: an additive round re-lifts only the functions whose
+//    CFG changed, and the incremental result is identical to a full rebuild.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/cc/compiler.h"
+#include "src/ir/printer.h"
+#include "src/recomp/recompiler.h"
+#include "src/support/thread_pool.h"
+#include "src/vm/vm.h"
+
+namespace polynima::recomp {
+namespace {
+
+using binary::Image;
+
+// ---- thread pool contract ----
+
+TEST(ThreadPool, RunsEveryIndexOnce) {
+  for (int jobs : {1, 2, 8}) {
+    ThreadPool pool(jobs);
+    std::vector<std::atomic<int>> hits(100);
+    Status st = pool.ParallelFor(hits.size(), [&](size_t i) {
+      hits[i].fetch_add(1);
+      return Status::Ok();
+    });
+    EXPECT_TRUE(st.ok());
+    for (const auto& h : hits) {
+      EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsOk) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(pool.ParallelFor(0, [](size_t) {
+                    return Status::Internal("never called");
+                  }).ok());
+}
+
+TEST(ThreadPool, ReportsLowestIndexError) {
+  // Whatever order workers claim indices, the reported failure must be the
+  // one a serial loop would have hit first.
+  for (int jobs : {1, 2, 8}) {
+    ThreadPool pool(jobs);
+    Status st = pool.ParallelFor(64, [&](size_t i) {
+      if (i == 7 || i == 40) {
+        return Status::Internal("fail at " + std::to_string(i));
+      }
+      return Status::Ok();
+    });
+    ASSERT_FALSE(st.ok()) << "jobs=" << jobs;
+    EXPECT_EQ(st.message(), "fail at 7") << "jobs=" << jobs;
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  for (int jobs : {1, 4}) {
+    ThreadPool pool(jobs);
+    EXPECT_THROW(
+        (void)pool.ParallelFor(16,
+                               [&](size_t i) -> Status {
+                                 if (i == 3) {
+                                   throw std::runtime_error("boom");
+                                 }
+                                 return Status::Ok();
+                               }),
+        std::runtime_error)
+        << "jobs=" << jobs;
+    // The pool must stay usable after an exception.
+    EXPECT_TRUE(
+        pool.ParallelFor(8, [](size_t) { return Status::Ok(); }).ok());
+  }
+}
+
+// ---- test programs ----
+
+// Several interdependent functions with loops, calls and memory traffic, so
+// the per-function work items have uneven cost and any scheduling leak into
+// the emitted IR would show up as a diff.
+const char* kMultiFunction = R"(
+extern void print_i64(long v);
+
+long grid[64];
+
+long mix(long a, long b) { return (a * 31 + b) & 0xffff; }
+
+long fill(long seed) {
+  long acc = seed;
+  for (long i = 0; i < 64; i++) {
+    acc = mix(acc, i);
+    grid[i] = acc;
+  }
+  return acc;
+}
+
+long sum_grid() {
+  long s = 0;
+  for (long i = 0; i < 64; i++) s += grid[i];
+  return s & 0xffffff;
+}
+
+long collatz_len(long n) {
+  long len = 0;
+  while (n != 1 && len < 200) {
+    if (n & 1) n = 3 * n + 1;
+    else n = n / 2;
+    len += 1;
+  }
+  return len;
+}
+
+long gcd(long a, long b) {
+  while (b != 0) {
+    long t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+long poly_eval(long x) { return ((x * x) & 1023) * x + 7 * x + 3; }
+
+int main() {
+  long acc = fill(5);
+  acc = mix(acc, sum_grid());
+  acc += collatz_len(27);
+  acc += gcd(1071, 462);
+  acc += poly_eval(acc & 31);
+  print_i64(acc);
+  return (int)(acc & 63);
+}
+)";
+
+// A staged-dispatch program in the shape of the Figure-4 workload: stage
+// selection goes through a function-pointer table, so with the
+// address-constant heuristic off every newly exercised stage is a
+// control-flow miss. The direct helpers pad the function count so the
+// re-lift set of one additive round (the dispatching caller + the new
+// stage) stays well under 20% of the program.
+const char* kStagedDispatch = R"(
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+char* data;
+long n;
+
+long stage_rle(long base, long len) {
+  long w = 0;
+  long i = 0;
+  while (i < len) {
+    char c = data[base + i];
+    long run = 1;
+    while (i + run < len && data[base + i + run] == c && run < 200) run += 1;
+    w += 2;
+    i += run;
+  }
+  return w;
+}
+long stage_delta(long base, long len) {
+  long acc = 0;
+  char prev = 0;
+  for (long i = 0; i < len; i++) {
+    acc += (data[base + i] - prev) & 255;
+    prev = data[base + i];
+  }
+  return acc & 0xffff;
+}
+long stage_sum(long base, long len) {
+  long acc = 0;
+  for (long i = 0; i < len; i++) acc += data[base + i] & 255;
+  return acc & 0xffff;
+}
+long stage_xor(long base, long len) {
+  long acc = 0;
+  for (long i = 0; i < len; i++) acc = (acc * 3) ^ (data[base + i] & 255);
+  return acc & 0xffff;
+}
+long stage_minmax(long base, long len) {
+  long mn = 255, mx = 0;
+  for (long i = 0; i < len; i++) {
+    long v = data[base + i] & 255;
+    if (v < mn) mn = v;
+    if (v > mx) mx = v;
+  }
+  return mx * 256 + mn;
+}
+
+long (*stages[5])(long, long);
+
+long helper_a(long v) { return (v * 17 + 3) & 0xffff; }
+long helper_b(long v) { return (v ^ (v >> 3)) & 0xffff; }
+long helper_c(long v) { return (v + (v << 2)) & 0xffff; }
+long helper_d(long v) { return (v * v + 1) & 0xffff; }
+long helper_e(long v) { return (v | (v >> 1)) & 0xffff; }
+long helper_f(long v) { return (v - (v >> 2)) & 0xffff; }
+
+int main() {
+  stages[0] = stage_rle;
+  stages[1] = stage_delta;
+  stages[2] = stage_sum;
+  stages[3] = stage_xor;
+  stages[4] = stage_minmax;
+  n = input_len(0);
+  data = (char*)malloc(n + 16);
+  input_read(0, 0, data, n);
+  long checksum = 0;
+  long blocks = n / 64;
+  for (long b = 0; b < blocks; b++) {
+    long mode = data[b * 64] & 7;
+    if (mode > 4) mode = 0;
+    checksum += stages[mode](b * 64, 64);
+  }
+  checksum = helper_a(checksum);
+  checksum = helper_b(checksum);
+  checksum = helper_c(checksum);
+  checksum = helper_d(checksum);
+  checksum = helper_e(checksum);
+  checksum = helper_f(checksum);
+  print_i64(checksum);
+  return 0;
+}
+)";
+
+Expected<Image> CompileSource(const char* source) {
+  cc::CompileOptions options;
+  options.name = "parallel_recomp_test";
+  options.opt_level = 2;
+  return cc::Compile(source, options);
+}
+
+vm::RunResult RunOriginal(const Image& image,
+                          std::vector<std::vector<uint8_t>> inputs = {}) {
+  vm::ExternalLibrary library;
+  vm::Vm virtual_machine(image, &library, {});
+  virtual_machine.SetInputs(std::move(inputs));
+  return virtual_machine.Run();
+}
+
+// Input of `size` bytes whose mode bytes exercise stages 0..max_stage.
+std::vector<uint8_t> MakeStagedInput(size_t size, int max_stage) {
+  std::vector<uint8_t> out(size);
+  for (size_t i = 0; i < size; ++i) {
+    out[i] = static_cast<uint8_t>((i * 7 + 13) & 63);
+  }
+  for (size_t b = 0; b * 64 < size; ++b) {
+    out[b * 64] = static_cast<uint8_t>(b % (max_stage + 1));
+  }
+  return out;
+}
+
+// ---- determinism across jobs ----
+
+TEST(ParallelRecomp, IrByteIdenticalAcrossJobs) {
+  auto image = CompileSource(kMultiFunction);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  std::string reference_ir;
+  std::string reference_output;
+  int64_t reference_exit = 0;
+  for (int jobs : {1, 2, 8}) {
+    RecompileOptions options;
+    options.jobs = jobs;
+    Recompiler recompiler(*image, options);
+    auto binary = recompiler.Recompile();
+    ASSERT_TRUE(binary.ok()) << binary.status().ToString();
+    std::string ir = ir::Print(*binary->program.module);
+    exec::ExecResult result = binary->Run({});
+    ASSERT_TRUE(result.ok) << result.fault_message;
+    if (jobs == 1) {
+      reference_ir = ir;
+      reference_output = result.output;
+      reference_exit = result.exit_code;
+      EXPECT_FALSE(reference_ir.empty());
+    } else {
+      EXPECT_EQ(ir, reference_ir) << "printed IR diverged at jobs=" << jobs;
+      EXPECT_EQ(result.output, reference_output) << "jobs=" << jobs;
+      EXPECT_EQ(result.exit_code, reference_exit) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelRecomp, AdditiveIrByteIdenticalAcrossJobs) {
+  auto image = CompileSource(kStagedDispatch);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  std::vector<std::vector<uint8_t>> inputs = {MakeStagedInput(2048, 4)};
+
+  std::string reference_ir;
+  std::string reference_output;
+  for (int jobs : {1, 2, 8}) {
+    RecompileOptions options;
+    options.recover.address_constant_heuristic = false;
+    options.jobs = jobs;
+    Recompiler recompiler(*image, options);
+    auto binary = recompiler.Recompile();
+    ASSERT_TRUE(binary.ok()) << binary.status().ToString();
+    auto result = recompiler.RunAdditive(*binary, inputs);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->ok) << result->fault_message;
+    EXPECT_GE(recompiler.stats().additive_rounds, 1);
+    std::string ir = ir::Print(*binary->program.module);
+    if (jobs == 1) {
+      reference_ir = ir;
+      reference_output = result->output;
+    } else {
+      EXPECT_EQ(ir, reference_ir) << "additive IR diverged at jobs=" << jobs;
+      EXPECT_EQ(result->output, reference_output) << "jobs=" << jobs;
+    }
+  }
+}
+
+// ---- additive incrementality ----
+
+TEST(ParallelRecomp, AdditiveRoundsRelliftOnlyAffectedFunctions) {
+  auto image = CompileSource(kStagedDispatch);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  std::vector<std::vector<uint8_t>> inputs = {MakeStagedInput(2048, 4)};
+  vm::RunResult original = RunOriginal(*image, inputs);
+  ASSERT_TRUE(original.ok) << original.fault_message;
+
+  RecompileOptions options;
+  options.recover.address_constant_heuristic = false;
+  options.jobs = 2;
+  Recompiler recompiler(*image, options);
+  auto binary = recompiler.Recompile();
+  ASSERT_TRUE(binary.ok()) << binary.status().ToString();
+
+  // The first build lifts everything: all misses, no hits.
+  size_t initial_functions = binary->program.functions_by_entry.size();
+  EXPECT_EQ(recompiler.stats().cache_misses, initial_functions);
+  EXPECT_EQ(recompiler.stats().cache_hits, 0u);
+  ASSERT_EQ(recompiler.stats().relifted_per_round.size(), 1u);
+
+  auto result = recompiler.RunAdditive(*binary, inputs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->ok) << result->fault_message;
+  EXPECT_EQ(result->output, original.output);
+
+  const RecompileStats& stats = recompiler.stats();
+  ASSERT_GE(stats.additive_rounds, 3);  // stages 2..4 discovered at runtime
+  ASSERT_EQ(stats.relifted_per_round.size(),
+            1 + static_cast<size_t>(stats.additive_rounds));
+  EXPECT_GT(stats.cache_hits, 0u);
+
+  // Every additive round must re-lift a strict subset — specifically the
+  // dispatching caller plus the newly discovered stage, which is under 20%
+  // of this program's functions (the Figure-4 acceptance bar).
+  size_t total_functions = binary->program.functions_by_entry.size();
+  ASSERT_GE(total_functions, 11u);
+  for (size_t round = 1; round < stats.relifted_per_round.size(); ++round) {
+    size_t relifted = stats.relifted_per_round[round];
+    EXPECT_GE(relifted, 1u) << "round " << round;
+    EXPECT_LT(relifted * 5, total_functions)
+        << "round " << round << " re-lifted " << relifted << " of "
+        << total_functions << " functions (>= 20%)";
+  }
+}
+
+TEST(ParallelRecomp, IncrementalMatchesFullRebuild) {
+  auto image = CompileSource(kStagedDispatch);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  std::vector<std::vector<uint8_t>> inputs = {MakeStagedInput(2048, 4)};
+
+  std::string ir[2];
+  std::string output[2];
+  for (int incremental = 0; incremental < 2; ++incremental) {
+    RecompileOptions options;
+    options.recover.address_constant_heuristic = false;
+    options.jobs = 2;
+    options.incremental = incremental != 0;
+    Recompiler recompiler(*image, options);
+    auto binary = recompiler.Recompile();
+    ASSERT_TRUE(binary.ok()) << binary.status().ToString();
+    auto result = recompiler.RunAdditive(*binary, inputs);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->ok) << result->fault_message;
+    if (incremental) {
+      EXPECT_GT(recompiler.stats().cache_hits, 0u);
+    } else {
+      EXPECT_EQ(recompiler.stats().cache_hits, 0u);
+    }
+    ir[incremental] = ir::Print(*binary->program.module);
+    output[incremental] = result->output;
+  }
+  EXPECT_EQ(ir[0], ir[1])
+      << "incremental rebuild produced different IR than a full rebuild";
+  EXPECT_EQ(output[0], output[1]);
+}
+
+}  // namespace
+}  // namespace polynima::recomp
