@@ -1,0 +1,82 @@
+#include "src/check/differential.h"
+
+#include "src/exec/engine.h"
+#include "src/support/strings.h"
+#include "src/vm/external.h"
+
+namespace polynima::check {
+
+namespace {
+
+struct Observation {
+  bool ok = false;
+  int64_t exit_code = 0;
+  std::string fault_message;
+  std::string output;
+
+  bool operator==(const Observation& other) const {
+    return ok == other.ok && exit_code == other.exit_code &&
+           output == other.output;
+  }
+};
+
+Observation RunOnce(const lift::LiftedProgram& program,
+                    const binary::Image& image,
+                    const std::vector<std::vector<uint8_t>>& inputs,
+                    uint64_t seed, uint64_t skew, uint64_t max_steps) {
+  vm::ExternalLibrary library;
+  exec::ExecOptions options;
+  options.seed = seed;
+  options.schedule_skew = skew;
+  options.max_steps = max_steps;
+  exec::Engine engine(program, image, &library, options);
+  engine.SetInputs(inputs);
+  exec::ExecResult r = engine.Run();
+  return {r.ok, r.exit_code, r.fault_message, r.output};
+}
+
+}  // namespace
+
+Expected<DifferentialResult> RunScheduleDifferential(
+    const lift::LiftedProgram& reference, const lift::LiftedProgram& optimized,
+    const binary::Image& image,
+    const std::vector<std::vector<std::vector<uint8_t>>>& input_sets,
+    const DifferentialOptions& options) {
+  if (options.schedules <= 0) {
+    return Status::InvalidArgument("differential: schedules must be >= 1");
+  }
+  DifferentialResult result;
+  std::vector<std::vector<std::vector<uint8_t>>> sets = input_sets;
+  if (sets.empty()) {
+    sets.push_back({});
+  }
+  for (size_t set_index = 0; set_index < sets.size(); ++set_index) {
+    for (int s = 0; s < options.schedules; ++s) {
+      uint64_t seed = options.base_seed + static_cast<uint64_t>(s) * 0x9e3779b9ull;
+      // Schedule 0 is the engine's deterministic min-clock order; later
+      // schedules open the perturbation window.
+      uint64_t skew = s == 0 ? 0 : options.schedule_skew;
+      Observation ref = RunOnce(reference, image, sets[set_index], seed, skew,
+                                options.max_steps);
+      Observation opt = RunOnce(optimized, image, sets[set_index], seed, skew,
+                                options.max_steps);
+      ++result.runs;
+      if (!(ref == opt)) {
+        ++result.divergences;
+        result.reports.push_back(StrCat(
+            "input set ", set_index, ", schedule ", s, " (seed ", seed,
+            ", skew ", skew, "): reference {ok=", ref.ok ? 1 : 0,
+            " exit=", ref.exit_code, " out=\"", ref.output,
+            "\"} vs optimized {ok=", opt.ok ? 1 : 0, " exit=", opt.exit_code,
+            " out=\"", opt.output, "\"}",
+            !ref.ok || !opt.ok
+                ? StrCat("; faults: ref=\"", ref.fault_message, "\" opt=\"",
+                         opt.fault_message, "\"")
+                : ""));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace polynima::check

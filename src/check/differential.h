@@ -1,0 +1,51 @@
+// Schedule-perturbing differential runner: the dynamic half of the TSO
+// check. Executes the fully-fenced reference module and the optimized module
+// over the same inputs under a family of perturbed thread schedules
+// (ExecOptions::schedule_skew widens the engine's min-clock scheduler into
+// a seeded random pick among near-minimal threads) and diffs the observable
+// results (exit status, exit code, program output). Fence elision is
+// behaviour-preserving only if no schedule can tell the two modules apart;
+// a divergence is a concrete witness of an unsound elision.
+#ifndef POLYNIMA_CHECK_DIFFERENTIAL_H_
+#define POLYNIMA_CHECK_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/binary/image.h"
+#include "src/lift/lifter.h"
+#include "src/support/status.h"
+
+namespace polynima::check {
+
+struct DifferentialOptions {
+  // Number of perturbed schedules per input set (seed varies per schedule).
+  int schedules = 4;
+  uint64_t base_seed = 1;
+  // Scheduler perturbation window in simulated cycles (0 = the engine's
+  // deterministic min-clock order; larger values admit more interleavings).
+  uint64_t schedule_skew = 16;
+  uint64_t max_steps = 4'000'000'000ull;
+};
+
+struct DifferentialResult {
+  int runs = 0;         // schedule x input-set pairs executed on BOTH sides
+  int divergences = 0;
+  std::vector<std::string> reports;  // one human-readable line per divergence
+
+  bool ok() const { return divergences == 0; }
+};
+
+// Runs `reference` (fully fenced) and `optimized` (elided/removed fences)
+// side by side. Both must be lifted from the same image. Input sets follow
+// the fenceopt convention: each element is one run's input files.
+Expected<DifferentialResult> RunScheduleDifferential(
+    const lift::LiftedProgram& reference, const lift::LiftedProgram& optimized,
+    const binary::Image& image,
+    const std::vector<std::vector<std::vector<uint8_t>>>& input_sets,
+    const DifferentialOptions& options = {});
+
+}  // namespace polynima::check
+
+#endif  // POLYNIMA_CHECK_DIFFERENTIAL_H_

@@ -1,0 +1,85 @@
+// Static TSO-soundness checker for recompiled IR.
+//
+// Obligation model (x86-TSO -> C++11 mapping, paper §3.3.4): the lifter
+// pins guest memory order by emitting an acquire fence AFTER every guest
+// load and a release fence BEFORE every guest store; atomics (kAtomicRmw /
+// kCmpXchg) are seq_cst and order themselves. TSO permits only the
+// store->later-load reordering, so the residual obligations are:
+//
+//   load  L : an acquire barrier must appear between L and the NEXT guest
+//             access on EVERY forward path (a path ending at ret /
+//             unreachable discharges trivially);
+//   store S : a release barrier must appear between the PREVIOUS guest
+//             access and S on EVERY backward path (reaching function entry
+//             discharges: the call that got us here is itself a barrier).
+//
+// Barriers = fences of the right order (or seq_cst), atomics, and calls
+// (this repo's optimizer never reorders memory across calls, and callees
+// re-establish their own ordering).
+//
+// An access may instead carry an elision witness (ir::FenceWitness) claiming
+// it is thread-private. The checker does not TRUST the witness: it
+// re-derives the claim from the IR — the address must be computed from the
+// emulated stack pointer (vr_rsp, or vr_rbp in functions the lifter marked
+// frame_pointer) through address arithmetic / phis / selects / spill
+// reloads. A witnessed access whose address cannot be re-derived as
+// stack-local is reported as a forged witness. Verified stack-local accesses
+// are invisible to other accesses' path scans (thread-private traffic
+// cannot violate TSO).
+//
+// Whole-module fence removal (RemoveFences after a spin-free verdict) is
+// accepted only under a sealed ElisionCert bound to the image being checked.
+#ifndef POLYNIMA_CHECK_TSO_H_
+#define POLYNIMA_CHECK_TSO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/witness.h"
+#include "src/ir/ir.h"
+#include "src/support/status.h"
+
+namespace polynima::check {
+
+struct TsoCheckOptions {
+  // Accept module-wide fence elision when this cert seals and binds.
+  const ElisionCert* cert = nullptr;
+  // Expected BinaryKey of the image the module was lifted from (0 = don't
+  // verify the binding; tests that build IR by hand use 0).
+  uint64_t binary_key = 0;
+};
+
+struct TsoViolation {
+  std::string function;
+  std::string block;       // block holding the unsatisfied access
+  uint64_t guest_address = 0;  // block's guest address (0 if synthetic)
+  std::string kind;        // "load-acquire" | "store-release" |
+                           // "forged-witness" | "bad-cert"
+  std::string message;     // path-specific diagnostic
+};
+
+struct TsoCheckReport {
+  size_t accesses_checked = 0;    // guest loads/stores examined
+  size_t fenced_accesses = 0;     // discharged by a barrier on every path
+  size_t witnesses_consumed = 0;  // stack-local witnesses that re-verified
+  size_t cert_covered = 0;        // discharged by the module-wide cert
+  std::vector<TsoViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+// Checks every function in the module. Never mutates the IR.
+TsoCheckReport CheckModule(const ir::Module& m,
+                           const TsoCheckOptions& options = {});
+
+// Convenience wrapper: Ok() iff the report is clean, otherwise an Internal
+// status carrying the first violation's diagnostic.
+Status CheckModuleStatus(const ir::Module& m,
+                         const TsoCheckOptions& options = {});
+
+}  // namespace polynima::check
+
+#endif  // POLYNIMA_CHECK_TSO_H_

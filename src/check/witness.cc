@@ -1,0 +1,47 @@
+#include "src/check/witness.h"
+
+#include "src/binary/image.h"
+
+namespace polynima::check {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void HashBytes(uint64_t& h, const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ p[i]) * kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t& h, uint64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+}  // namespace
+
+uint64_t ElisionCert::ComputeChecksum() const {
+  uint64_t h = kFnvOffset;
+  HashU64(h, binary_key);
+  HashU64(h, static_cast<uint64_t>(loops_analyzed));
+  HashU64(h, static_cast<uint64_t>(spinning_loops));
+  HashU64(h, static_cast<uint64_t>(uncovered_loops));
+  for (const std::string& s : loop_summaries) {
+    HashU64(h, s.size());
+    HashBytes(h, s.data(), s.size());
+  }
+  return h;
+}
+
+uint64_t BinaryKey(const binary::Image& image) {
+  uint64_t h = kFnvOffset;
+  HashU64(h, image.entry_point);
+  for (const binary::Segment& seg : image.segments) {
+    HashU64(h, seg.address);
+    HashU64(h, seg.bytes.size());
+    HashBytes(h, seg.bytes.data(), seg.bytes.size());
+  }
+  return h;
+}
+
+}  // namespace polynima::check

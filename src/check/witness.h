@@ -1,0 +1,50 @@
+// Elision witnesses: machine-checkable justifications for removed fences.
+//
+// Two witness granularities exist (ISSUE: every elided fence must carry a
+// reason the checker can re-verify):
+//   - per-access: ir::Instruction::fence_witness, stamped by the lifter's
+//     stack-local escape analysis (src/lift) — re-derived structurally by
+//     the TSO checker (src/check/tso.h);
+//   - whole-module: the ElisionCert below, minted from fenceopt's spinloop
+//     analysis, justifying RemoveFences over the entire program.
+#ifndef POLYNIMA_CHECK_WITNESS_H_
+#define POLYNIMA_CHECK_WITNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polynima::binary {
+class Image;
+}
+
+namespace polynima::check {
+
+// Module-wide certificate justifying full fence removal (paper §3.4): the
+// spinloop detector proved every natural loop in the program non-spinning,
+// so no thread busy-waits on a shared location and dropping the inserted
+// TSO fences cannot starve a custom synchronization primitive. The cert is
+// sealed with a checksum over its own fields and bound to the binary it was
+// derived from; the TSO checker refuses a cert that fails either test, so a
+// hand-forged or stale certificate cannot silence the checker.
+struct ElisionCert {
+  uint64_t binary_key = 0;   // BinaryKey() of the image that was analyzed
+  int loops_analyzed = 0;
+  int spinning_loops = 0;    // must be 0: a spinning loop forbids removal
+  int uncovered_loops = 0;   // informational (uncovered => spinning already)
+  // One line per analyzed loop: "function/header@addr: reason".
+  std::vector<std::string> loop_summaries;
+  uint64_t checksum = 0;     // seal over every field above
+
+  uint64_t ComputeChecksum() const;
+  void Seal() { checksum = ComputeChecksum(); }
+  bool Sealed() const { return checksum == ComputeChecksum(); }
+};
+
+// Stable fingerprint of an image (entry point + segment bytes): binds a
+// certificate to the exact binary it was derived from.
+uint64_t BinaryKey(const binary::Image& image);
+
+}  // namespace polynima::check
+
+#endif  // POLYNIMA_CHECK_WITNESS_H_

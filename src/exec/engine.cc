@@ -749,6 +749,19 @@ ExecResult Engine::Run() {
     if (best == nullptr) {
       break;
     }
+    if (options_.schedule_skew > 0) {
+      // Differential-check perturbation: pick among all runnable threads
+      // within the skew window of the minimum clock (seeded, reproducible).
+      std::vector<Thread*> near;
+      for (auto& t : threads_) {
+        if (!t->finished && t->clock <= best->clock + options_.schedule_skew) {
+          near.push_back(t.get());
+        }
+      }
+      if (near.size() > 1) {
+        best = near[rng_.NextBelow(near.size())];
+      }
+    }
     current_ = best->id;
     if (!Step(*best)) {
       break;

@@ -41,6 +41,12 @@ struct ExecOptions {
   uint64_t seed = 1;
   bool cost_jitter = true;
   uint64_t max_steps = 4'000'000'000ull;
+  // Scheduler perturbation window (simulated cycles) for the TSO
+  // differential check: 0 keeps the deterministic min-clock order; a
+  // positive value makes the scheduler pick (seeded-)randomly among all
+  // runnable threads within `schedule_skew` cycles of the minimum clock,
+  // admitting alternative interleavings while staying reproducible.
+  uint64_t schedule_skew = 0;
   // Record per-instruction memory access classification (stack-local vs
   // shared) for the fence-optimization dynamic analysis (§3.4.2).
   bool record_accesses = false;

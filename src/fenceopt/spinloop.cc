@@ -404,4 +404,22 @@ Expected<SpinloopAnalysis> DetectImplicitSynchronization(
   return AnalyzeLoops(*program.module, merged);
 }
 
+check::ElisionCert MakeElisionCert(const SpinloopAnalysis& analysis,
+                                   const binary::Image& image) {
+  check::ElisionCert cert;
+  cert.binary_key = check::BinaryKey(image);
+  cert.loops_analyzed = static_cast<int>(analysis.loops.size());
+  cert.spinning_loops = analysis.SpinningCount();
+  for (const LoopVerdict& v : analysis.loops) {
+    cert.uncovered_loops += v.uncovered ? 1 : 0;
+    cert.loop_summaries.push_back(
+        StrCat(v.function, "/", v.header_block, "@",
+               HexString(v.guest_address), ": ",
+               v.spinning ? "spinning" : "non-spinning",
+               v.uncovered ? " (uncovered)" : "", " — ", v.reason));
+  }
+  cert.Seal();
+  return cert;
+}
+
 }  // namespace polynima::fenceopt

@@ -37,6 +37,7 @@
 
 #include "src/binary/image.h"
 #include "src/cfg/cfg.h"
+#include "src/check/witness.h"
 #include "src/exec/engine.h"
 #include "src/ir/ir.h"
 #include "src/support/status.h"
@@ -88,6 +89,15 @@ Expected<SpinloopAnalysis> DetectImplicitSynchronization(
 SpinloopAnalysis AnalyzeLoops(
     ir::Module& module,
     const std::map<const ir::Instruction*, exec::AccessRecord>& accesses);
+
+// Mints the machine-checkable elision certificate the TSO checker
+// (src/check) demands before accepting whole-module fence removal: one
+// summary line per analyzed loop, the spinning count, and a seal binding
+// the cert to `image`. The cert is minted even for unsafe analyses (with a
+// nonzero spinning count) so callers can log it — the checker will refuse
+// it.
+check::ElisionCert MakeElisionCert(const SpinloopAnalysis& analysis,
+                                   const binary::Image& image);
 
 }  // namespace polynima::fenceopt
 

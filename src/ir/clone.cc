@@ -11,6 +11,9 @@ void CloneFunctionBody(
     const std::function<Function*(const Function*)>& resolve_callee) {
   POLY_CHECK(dst->blocks().empty()) << "clone target @" << dst->name()
                                     << " already has a body";
+  // Cached bodies skip lifting, so lifter-derived function facts must travel
+  // with the body (the TSO checker trusts frame_pointer for witness roots).
+  dst->frame_pointer = src.frame_pointer;
 
   std::map<const BasicBlock*, BasicBlock*> block_map;
   std::map<const Value*, Value*> value_map;
@@ -65,6 +68,7 @@ void CloneFunctionBody(
       }
       clone->fence_order = si->fence_order;
       clone->rmw_op = si->rmw_op;
+      clone->fence_witness = si->fence_witness;
       if (si->callee != nullptr) {
         clone->callee = static_cast<Function*>(map_value(si->callee));
       }

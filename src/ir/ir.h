@@ -190,6 +190,15 @@ enum class FenceOrder : uint8_t { kAcquire, kRelease, kSeqCst };
 
 enum class RmwOp : uint8_t { kAdd, kSub, kAnd, kOr, kXor, kXchg };
 
+// Machine-checkable justification for a memory access lifted WITHOUT its
+// x86-TSO ordering fence (§3.3.4). The TSO checker (src/check) re-derives
+// each claim; an access whose witness fails re-verification is a soundness
+// violation, not a warning.
+enum class FenceWitness : uint8_t {
+  kNone,        // no elision claimed: the access needs a fence on every path
+  kStackLocal,  // lifter's escape analysis proved the address is thread-stack
+};
+
 const char* OpName(Op op);
 const char* PredName(Pred pred);
 
@@ -228,6 +237,8 @@ class Instruction : public Value {
   std::vector<BasicBlock*> targets;  // kBr/kSwitch successors
   std::vector<int64_t> case_values;  // kSwitch (parallel to targets[1..])
   std::vector<BasicBlock*> phi_blocks;  // kPhi incoming blocks
+  // kLoad/kStore: why the lifter elided this access's TSO fence.
+  FenceWitness fence_witness = FenceWitness::kNone;
 
   // Printing / interpretation id (assigned by Function::Renumber).
   int id = -1;
@@ -313,6 +324,9 @@ class Function : public Value {
   // Marked external: may be entered from outside (callback / thread entry);
   // such functions must be preserved and are not inlined away (§3.3.3).
   bool is_external_entry = false;
+  // The lifter detected an rbp-based frame: rbp holds a stack address for
+  // the whole body, so the TSO checker may treat vr_rbp as a stack root.
+  bool frame_pointer = false;
 
  private:
   std::string name_;
@@ -323,6 +337,12 @@ class Function : public Value {
 
 class Module {
  public:
+  Module() = default;
+  // ~Function drops instruction operands, which unregisters uses on the
+  // shared constants and globals; members destruct in reverse declaration
+  // order, so destroy the functions explicitly while the pools are alive.
+  ~Module() { functions_.clear(); }
+
   Function* AddFunction(std::string name, int num_args, bool has_result);
   Function* GetFunction(const std::string& name) const;
   const std::vector<std::unique_ptr<Function>>& functions() const {

@@ -82,6 +82,9 @@ void PrintInst(std::string& out, const Instruction& inst) {
                     inst.targets[i + 1]->name(), "]");
     }
   }
+  if (inst.fence_witness == FenceWitness::kStackLocal) {
+    out += " !stack";
+  }
   out += "\n";
 }
 

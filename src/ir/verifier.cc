@@ -3,10 +3,149 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "src/support/strings.h"
 
 namespace polynima::ir {
+
+namespace {
+
+// Expected operand count for fixed-arity ops; -1 for ops whose arity depends
+// on other fields (br, ret, call, phi) and is checked separately.
+int FixedOperandCount(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kSDiv:
+    case Op::kSRem:
+    case Op::kUDiv:
+    case Op::kURem:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kLShr:
+    case Op::kAShr:
+    case Op::kICmp:
+    case Op::kStore:      // addr, value
+    case Op::kAtomicRmw:  // addr, operand
+      return 2;
+    case Op::kSelect:   // cond, a, b
+    case Op::kCmpXchg:  // addr, expected, desired
+      return 3;
+    case Op::kSExt:
+    case Op::kLoad:         // addr
+    case Op::kGlobalStore:  // value
+    case Op::kSwitch:       // selector
+      return 1;
+    case Op::kGlobalLoad:
+    case Op::kFence:
+    case Op::kUnreachable:
+      return 0;
+    case Op::kBr:
+    case Op::kRet:
+    case Op::kCall:
+    case Op::kPhi:
+      return -1;
+  }
+  return -1;
+}
+
+// Dominator tree over the blocks reachable from entry (Cooper-Harvey-Kennedy
+// iterative scheme, same shape as fenceopt's loop analysis). Unreachable
+// blocks get no idom and are exempt from dominance queries: passes may leave
+// dead blocks behind and DCE cleans them up later.
+class Dominance {
+ public:
+  explicit Dominance(const Function& f) {
+    // Reverse post-order via iterative DFS.
+    std::set<const BasicBlock*> visited;
+    std::vector<std::pair<const BasicBlock*, size_t>> stack;
+    const BasicBlock* entry = f.entry();
+    stack.push_back({entry, 0});
+    visited.insert(entry);
+    std::vector<const BasicBlock*> post;
+    while (!stack.empty()) {
+      auto& [b, i] = stack.back();
+      std::vector<BasicBlock*> succs = b->Successors();
+      if (i < succs.size()) {
+        const BasicBlock* s = succs[i++];
+        if (visited.insert(s).second) {
+          stack.push_back({s, 0});
+        }
+      } else {
+        post.push_back(b);
+        stack.pop_back();
+      }
+    }
+    rpo_.assign(post.rbegin(), post.rend());
+    for (size_t i = 0; i < rpo_.size(); ++i) {
+      rpo_index_[rpo_[i]] = i;
+    }
+    std::map<const BasicBlock*, std::vector<const BasicBlock*>> preds;
+    for (const BasicBlock* b : rpo_) {
+      for (BasicBlock* s : b->Successors()) {
+        preds[s].push_back(b);
+      }
+    }
+    idom_[entry] = entry;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 1; i < rpo_.size(); ++i) {
+        const BasicBlock* b = rpo_[i];
+        const BasicBlock* new_idom = nullptr;
+        for (const BasicBlock* p : preds[b]) {
+          if (idom_.count(p) == 0) {
+            continue;  // predecessor not yet processed
+          }
+          new_idom = new_idom == nullptr ? p : Intersect(p, new_idom);
+        }
+        if (new_idom != nullptr && idom_[b] != new_idom) {
+          idom_[b] = new_idom;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  bool Reachable(const BasicBlock* b) const { return rpo_index_.count(b) != 0; }
+
+  // True when `a` dominates `b`. Both must be reachable.
+  bool Dominates(const BasicBlock* a, const BasicBlock* b) const {
+    while (true) {
+      if (b == a) {
+        return true;
+      }
+      const BasicBlock* up = idom_.at(b);
+      if (up == b) {
+        return false;  // reached entry without meeting `a`
+      }
+      b = up;
+    }
+  }
+
+ private:
+  const BasicBlock* Intersect(const BasicBlock* a, const BasicBlock* b) const {
+    while (a != b) {
+      while (rpo_index_.at(a) > rpo_index_.at(b)) {
+        a = idom_.at(a);
+      }
+      while (rpo_index_.at(b) > rpo_index_.at(a)) {
+        b = idom_.at(b);
+      }
+    }
+    return a;
+  }
+
+  std::vector<const BasicBlock*> rpo_;
+  std::map<const BasicBlock*, size_t> rpo_index_;
+  std::map<const BasicBlock*, const BasicBlock*> idom_;
+};
+
+}  // namespace
 
 Status Verify(const Function& f) {
   auto fail = [&](const std::string& m) {
@@ -21,7 +160,7 @@ Status Verify(const Function& f) {
     block_set.insert(b.get());
   }
 
-  // Predecessor map for phi checking.
+  // Predecessor map for phi checking (one entry per predecessor block).
   std::map<const BasicBlock*, std::set<const BasicBlock*>> preds;
   for (const auto& b : f.blocks()) {
     for (BasicBlock* succ : b->Successors()) {
@@ -32,10 +171,57 @@ Status Verify(const Function& f) {
     }
   }
 
+  // Every value-producing instruction in this function, plus its arguments:
+  // the only values an operand may legally name (besides shared constants,
+  // globals and callees).
   std::set<const Value*> defined;
   for (int i = 0; i < f.num_args(); ++i) {
     defined.insert(const_cast<Function&>(f).arg(i));
   }
+  // Position of each instruction within its block, for same-block ordering.
+  std::map<const Instruction*, int> position;
+  for (const auto& b : f.blocks()) {
+    int index = 0;
+    for (const auto& inst : b->insts()) {
+      position[inst.get()] = index++;
+      if (inst->HasResult()) {
+        defined.insert(inst.get());
+      }
+    }
+  }
+
+  Dominance dom(f);
+
+  // Def-before-use: the definition must dominate the use. Phi operands are
+  // validated against their incoming edge (the def must be live at the end
+  // of the incoming block), not the phi's own position. Unreachable blocks
+  // are exempt: passes may orphan blocks that DCE later removes.
+  auto check_use = [&](const Instruction* user, const Value* v,
+                       const BasicBlock* use_block,
+                       const char* what) -> Status {
+    if (!v->is_inst()) {
+      return Status::Ok();
+    }
+    const auto* def = static_cast<const Instruction*>(v);
+    const BasicBlock* def_block = def->parent();
+    if (!dom.Reachable(use_block) || !dom.Reachable(def_block)) {
+      return Status::Ok();
+    }
+    if (def_block == use_block) {
+      if (user != nullptr && position[def] >= position[user]) {
+        return fail(StrCat("use before def in ", use_block->name(), ": %",
+                           def->id, " used at position ", position[user],
+                           " but defined at position ", position[def]));
+      }
+      return Status::Ok();
+    }
+    if (!dom.Dominates(def_block, use_block)) {
+      return fail(StrCat(what, " in ", use_block->name(),
+                         " not dominated by its definition in ",
+                         def_block->name()));
+    }
+    return Status::Ok();
+  };
 
   for (const auto& b : f.blocks()) {
     if (b->insts().empty()) {
@@ -55,17 +241,30 @@ Status Verify(const Function& f) {
             static_cast<size_t>(inst->num_operands())) {
           return fail("phi incoming count mismatch");
         }
+        // Exact multiset equality with the predecessor set: every
+        // predecessor exactly once, nothing else. A size comparison alone
+        // would accept a phi listing one predecessor twice while omitting
+        // another.
         const auto& expected = preds[b.get()];
-        if (inst->phi_blocks.size() != expected.size()) {
-          return fail(StrCat("phi in ", b->name(), " has ",
-                             inst->phi_blocks.size(), " incoming, block has ",
-                             expected.size(), " preds"));
+        std::vector<BasicBlock*> incoming = inst->phi_blocks;
+        std::sort(incoming.begin(), incoming.end());
+        for (size_t i = 0; i + 1 < incoming.size(); ++i) {
+          if (incoming[i] == incoming[i + 1]) {
+            return fail(StrCat("phi in ", b->name(),
+                               " lists predecessor ", incoming[i]->name(),
+                               " twice"));
+          }
         }
-        for (BasicBlock* in : inst->phi_blocks) {
+        for (BasicBlock* in : incoming) {
           if (expected.count(in) == 0) {
             return fail(StrCat("phi in ", b->name(),
                                " has non-predecessor incoming ", in->name()));
           }
+        }
+        if (incoming.size() != expected.size()) {
+          return fail(StrCat("phi in ", b->name(), " has ", incoming.size(),
+                             " incoming, block has ", expected.size(),
+                             " preds"));
         }
       } else {
         in_phi_prefix = false;
@@ -73,8 +272,9 @@ Status Verify(const Function& f) {
       if (inst->IsTerminator()) {
         seen_terminator = true;
       }
-      // Operand sanity: every operand must be a value-producing node and the
-      // use lists must contain this instruction.
+      // Operand sanity: every operand must be a value-producing node defined
+      // in this function (for instruction operands) and the use lists must
+      // contain this instruction.
       for (int i = 0; i < inst->num_operands(); ++i) {
         const Value* v = inst->operand(i);
         if (v == nullptr) {
@@ -83,6 +283,11 @@ Status Verify(const Function& f) {
         if (v->is_inst() &&
             !static_cast<const Instruction*>(v)->HasResult()) {
           return fail("operand has no result");
+        }
+        if ((v->is_inst() || v->kind() == Value::Kind::kArgument) &&
+            defined.count(v) == 0) {
+          return fail(StrCat("operand of ", OpName(inst->op()), " in ",
+                             b->name(), " is not defined in this function"));
         }
         // Shared values (constants, globals, functions) do not track users;
         // only function-local values carry use lists to check.
@@ -93,10 +298,27 @@ Status Verify(const Function& f) {
             return fail("use-list missing user");
           }
         }
+        if (inst->op() == Op::kPhi) {
+          const BasicBlock* incoming =
+              inst->phi_blocks[static_cast<size_t>(i)];
+          POLY_RETURN_IF_ERROR(
+              check_use(nullptr, v, incoming, "phi incoming value"));
+        } else {
+          POLY_RETURN_IF_ERROR(check_use(inst.get(), v, b.get(), "operand"));
+        }
+      }
+      int want = FixedOperandCount(inst->op());
+      if (want >= 0 && inst->num_operands() != want) {
+        return fail(StrCat(OpName(inst->op()), " in ", b->name(), " has ",
+                           inst->num_operands(), " operands, expected ",
+                           want));
       }
       if (inst->op() == Op::kBr) {
-        size_t want = inst->num_operands() == 0 ? 1 : 2;
-        if (inst->targets.size() != want) {
+        size_t want_targets = inst->num_operands() == 0 ? 1 : 2;
+        if (inst->num_operands() > 1) {
+          return fail("br with more than one operand");
+        }
+        if (inst->targets.size() != want_targets) {
           return fail("br target count mismatch");
         }
       }
@@ -104,9 +326,18 @@ Status Verify(const Function& f) {
           inst->targets.size() != inst->case_values.size() + 1) {
         return fail("switch case/target mismatch");
       }
+      if (inst->op() == Op::kCall && inst->callee != nullptr &&
+          inst->num_operands() != inst->callee->num_args()) {
+        return fail(StrCat("call to @", inst->callee->name(), " passes ",
+                           inst->num_operands(), " args, callee takes ",
+                           inst->callee->num_args()));
+      }
       if (inst->op() == Op::kRet) {
         if (f.has_result() && inst->num_operands() != 1) {
           return fail("ret without value in value-returning function");
+        }
+        if (!f.has_result() && inst->num_operands() != 0) {
+          return fail("ret with value in void function");
         }
       }
     }

@@ -228,12 +228,16 @@ class FunctionLifter {
   }
 
   Value* LoadMem(Value* addr, int size, bool stack_local) {
-    Value* v = b_.Load(size, addr);
+    ir::Instruction* load = b_.Load(size, addr);
     if (s_.options.insert_fences &&
         !(stack_local && s_.options.elide_stack_local_fences)) {
       b_.Fence(FenceOrder::kAcquire);
+    } else if (s_.options.insert_fences && stack_local) {
+      // Record WHY the acquire fence was elided so the TSO checker can
+      // re-derive the claim from the IR alone.
+      load->fence_witness = ir::FenceWitness::kStackLocal;
     }
-    return v;
+    return load;
   }
 
   void StoreMem(Value* addr, int size, Value* v, bool stack_local) {
@@ -241,7 +245,11 @@ class FunctionLifter {
         !(stack_local && s_.options.elide_stack_local_fences)) {
       b_.Fence(FenceOrder::kRelease);
     }
-    b_.Store(size, addr, Mask(v, size));
+    ir::Instruction* store = b_.Store(size, addr, Mask(v, size));
+    if (s_.options.insert_fences && stack_local &&
+        s_.options.elide_stack_local_fences) {
+      store->fence_witness = ir::FenceWitness::kStackLocal;
+    }
   }
 
   Value* ReadOperand(const Inst& inst, int idx, int size) {
@@ -359,6 +367,7 @@ class FunctionLifter {
     // Detect a frame pointer: `mov rbp, rsp` within the first few
     // instructions of the entry block, before any other rbp write.
     rbp_is_frame_ = DetectFramePointer(fn_info.entry);
+    cur_fn_->frame_pointer = rbp_is_frame_;
 
     // Create IR blocks (entry first).
     std::vector<uint64_t> starts(fn_info.block_starts.begin(),
@@ -475,7 +484,10 @@ class FunctionLifter {
     Value* sp = b_.GLoad(s_.vr[static_cast<int>(Reg::kRsp)]);
     Value* new_sp = b_.Sub(sp, C(8));
     b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], new_sp);
-    b_.Store(8, new_sp, C(static_cast<int64_t>(fallthrough)));
+    // Return-address slot: emulated-stack traffic, thread-private, never
+    // fenced — witnessed so the TSO checker can re-verify the claim.
+    b_.Store(8, new_sp, C(static_cast<int64_t>(fallthrough)))->fence_witness =
+        ir::FenceWitness::kStackLocal;
 
     Value* next = b_.Call(callee, {});
     Value* ok = b_.ICmp(Pred::kEq, next, C(static_cast<int64_t>(fallthrough)));
@@ -563,7 +575,8 @@ class FunctionLifter {
         Value* sp = b_.GLoad(s_.vr[static_cast<int>(Reg::kRsp)]);
         Value* new_sp = b_.Sub(sp, C(8));
         b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], new_sp);
-        b_.Store(8, new_sp, C(static_cast<int64_t>(binfo.fallthrough)));
+        b_.Store(8, new_sp, C(static_cast<int64_t>(binfo.fallthrough)))
+            ->fence_witness = ir::FenceWitness::kStackLocal;
 
         BasicBlock* miss_block =
             cur_fn_->AddBlock(StrCat("miss_", bubble_counter_++));
@@ -627,7 +640,8 @@ class FunctionLifter {
 
       case TermKind::kRet: {
         Value* sp = b_.GLoad(s_.vr[static_cast<int>(Reg::kRsp)]);
-        Value* ra = b_.Load(8, sp);
+        ir::Instruction* ra = b_.Load(8, sp);
+        ra->fence_witness = ir::FenceWitness::kStackLocal;
         b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], b_.Add(sp, C(8)));
         b_.Ret(ra);
         return;
@@ -858,14 +872,20 @@ class FunctionLifter {
         if (s_.options.insert_fences && !s_.options.elide_stack_local_fences) {
           b_.Fence(FenceOrder::kRelease);
         }
-        b_.Store(8, new_sp, v);
+        ir::Instruction* push_store = b_.Store(8, new_sp, v);
+        if (s_.options.insert_fences && s_.options.elide_stack_local_fences) {
+          push_store->fence_witness = ir::FenceWitness::kStackLocal;
+        }
         return Status::Ok();
       }
       case Mnemonic::kPop: {
         Value* sp = b_.GLoad(s_.vr[static_cast<int>(Reg::kRsp)]);
-        Value* v = b_.Load(8, sp);
+        ir::Instruction* pop_load = b_.Load(8, sp);
+        Value* v = pop_load;
         if (s_.options.insert_fences && !s_.options.elide_stack_local_fences) {
           b_.Fence(FenceOrder::kAcquire);
+        } else if (s_.options.insert_fences) {
+          pop_load->fence_witness = ir::FenceWitness::kStackLocal;
         }
         b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], b_.Add(sp, C(8)));
         WriteOperand(inst, 0, 8, v);

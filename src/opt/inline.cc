@@ -93,6 +93,7 @@ bool InlineCallSite(Module& m, Function& caller, BasicBlock* block,
       clone->global = ci->global;
       clone->fence_order = ci->fence_order;
       clone->rmw_op = ci->rmw_op;
+      clone->fence_witness = ci->fence_witness;
       clone->callee = ci->callee;
       clone->intrinsic = ci->intrinsic;
       clone->case_values = ci->case_values;

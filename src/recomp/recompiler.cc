@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <set>
 
+#include "src/check/tso.h"
+#include "src/fenceopt/spinloop.h"
 #include "src/ir/clone.h"
 #include "src/support/strings.h"
 #include "src/vm/external.h"
@@ -60,6 +62,8 @@ uint64_t OptionsFingerprint(const RecompileOptions& options) {
   HashMix(h, options.pipeline.inline_functions);
   HashMix(h, options.optimize);
   HashMix(h, options.remove_fences);
+  // check_tso is deliberately absent: the checker observes the IR, it never
+  // changes what a function lifts/optimizes to.
   return h;
 }
 
@@ -212,6 +216,36 @@ Expected<RecompiledBinary> Recompiler::Rebuild(
     cache_ = std::move(next);
   }
 
+  // Static TSO-soundness check (src/check): every guest access must carry a
+  // fence/atomic on all paths or a re-verifiable elision witness. Runs after
+  // the pipeline so it judges the IR that will actually execute. Only the
+  // builtin-atomics lowering is checkable (the naive-lock and plain modes
+  // are documented as unordered translations).
+  if (options_.check_tso && options_.lift.insert_fences &&
+      options_.lift.atomics == lift::LiftOptions::AtomicsMode::kBuiltin) {
+    check::TsoCheckOptions check_options;
+    check_options.binary_key = check::BinaryKey(image_);
+    if (options_.remove_fences) {
+      if (!options_.elision_cert.has_value()) {
+        return Status::FailedPrecondition(
+            "check-tso: remove_fences without an elision certificate — run "
+            "the spinloop analysis first (Recompile mints one automatically)");
+      }
+      check_options.cert = &*options_.elision_cert;
+    }
+    check::TsoCheckReport report =
+        check::CheckModule(*program.module, check_options);
+    stats_.tso_accesses_checked += report.accesses_checked;
+    stats_.tso_witnesses_consumed += report.witnesses_consumed;
+    stats_.tso_violations += report.violations.size();
+    if (!report.ok()) {
+      return Status::Internal(
+          StrCat("TSO soundness check failed (", report.violations.size(),
+                 " violation", report.violations.size() == 1 ? "" : "s",
+                 "): ", report.violations.front().message));
+    }
+  }
+
   RecompiledBinary out;
   out.image = image_;
   out.graph = graph;
@@ -235,6 +269,24 @@ Expected<RecompiledBinary> Recompiler::Recompile() {
         int added,
         trace::AugmentCfg(image_, graph, traced, options_.recover));
     (void)added;
+  }
+
+  // Fence removal under the TSO checker requires a certificate; mint one
+  // from the spinloop analysis when the caller did not supply it. A program
+  // with a potentially-spinning loop refuses removal outright — silently
+  // recompiling without the optimization would misreport what was checked.
+  if (options_.check_tso && options_.remove_fences &&
+      !options_.elision_cert.has_value()) {
+    POLY_ASSIGN_OR_RETURN(fenceopt::SpinloopAnalysis analysis,
+                          fenceopt::DetectImplicitSynchronization(
+                              image_, graph, options_.trace_input_sets));
+    if (!analysis.FenceRemovalSafe()) {
+      return Status::FailedPrecondition(StrCat(
+          "check-tso: fence removal is not justified — spinloop analysis "
+          "found ",
+          analysis.SpinningCount(), " potentially-spinning loop(s)"));
+    }
+    options_.elision_cert = fenceopt::MakeElisionCert(analysis, image_);
   }
   return Rebuild(graph);
 }
@@ -288,6 +340,28 @@ Expected<RecompiledBinary> Recompiler::RecompileWithCallbackAnalysis(
   auto rebuilt = Rebuild(conservative.graph);
   options_ = slim;  // restore
   return rebuilt;
+}
+
+Expected<check::DifferentialResult> Recompiler::RunTsoDifferential(
+    const RecompiledBinary& binary,
+    const std::vector<std::vector<std::vector<uint8_t>>>& input_sets,
+    const check::DifferentialOptions& options) {
+  // Build the fully-fenced reference from the same CFG: no stack-local
+  // elision, no fence removal. The additive cache is keyed on these options,
+  // so stash it away rather than letting the reference build repopulate it.
+  RecompileOptions saved_options = options_;
+  std::map<uint64_t, CacheEntry> saved_cache = std::move(cache_);
+  cache_.clear();
+  options_.lift.elide_stack_local_fences = false;
+  options_.remove_fences = false;
+  options_.elision_cert.reset();
+  options_.check_tso = false;  // the reference is fenced by construction
+  auto reference = Rebuild(binary.graph);
+  options_ = std::move(saved_options);
+  cache_ = std::move(saved_cache);
+  POLY_RETURN_IF_ERROR(reference.status());
+  return check::RunScheduleDifferential(reference->program, binary.program,
+                                        image_, input_sets, options);
 }
 
 }  // namespace polynima::recomp

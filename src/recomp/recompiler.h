@@ -18,6 +18,8 @@
 
 #include "src/binary/image.h"
 #include "src/cfg/cfg.h"
+#include "src/check/differential.h"
+#include "src/check/witness.h"
 #include "src/exec/engine.h"
 #include "src/lift/lifter.h"
 #include "src/opt/passes.h"
@@ -49,6 +51,15 @@ struct RecompileOptions {
   // only affected functions. Automatically disabled when inlining is enabled
   // (inlining is cross-function) or when optimization is off.
   bool incremental = true;
+  // Run the static TSO-soundness checker (src/check) over the IR after every
+  // rebuild: each guest access must be covered by a fence/atomic on every
+  // path or carry a re-verifiable elision witness. With remove_fences set, a
+  // sealed ElisionCert is required (minted automatically from the spinloop
+  // analysis when absent); a failed check aborts the recompilation.
+  bool check_tso = false;
+  // Certificate justifying whole-module fence removal. Populated by
+  // Recompile() when check_tso && remove_fences and none was supplied.
+  std::optional<check::ElisionCert> elision_cert;
 };
 
 struct RecompileStats {
@@ -67,6 +78,10 @@ struct RecompileStats {
   size_t cache_hits = 0;    // function bodies cloned from the previous round
   size_t cache_misses = 0;  // function bodies lifted (first build included)
   std::vector<size_t> relifted_per_round;  // bodies lifted, one entry/rebuild
+  // TSO checker counters (accumulated over every rebuild when check_tso).
+  size_t tso_accesses_checked = 0;
+  size_t tso_witnesses_consumed = 0;
+  size_t tso_violations = 0;
   uint64_t total_ns() const {
     return disassemble_ns + trace_ns + lift_ns + opt_ns;
   }
@@ -105,6 +120,15 @@ class Recompiler {
   // with only observed callbacks marked external (enabling inlining).
   Expected<RecompiledBinary> RecompileWithCallbackAnalysis(
       const std::vector<std::vector<std::vector<uint8_t>>>& input_sets);
+
+  // Dynamic half of the TSO check: rebuilds a fully-fenced reference module
+  // from `binary`'s CFG and runs it against the optimized module under
+  // perturbed schedules (check::RunScheduleDifferential), diffing observable
+  // results.
+  Expected<check::DifferentialResult> RunTsoDifferential(
+      const RecompiledBinary& binary,
+      const std::vector<std::vector<std::vector<uint8_t>>>& input_sets,
+      const check::DifferentialOptions& options = {});
 
   const RecompileStats& stats() const { return stats_; }
   const binary::Image& image() const { return image_; }

@@ -6,13 +6,27 @@
 //   polynima disasm   <img.plyb>                        disassembly + CFG
 //   polynima recompile <img.plyb> -p <projectdir>
 //            [--trace <inputfile>...] [--remove-fences] [--no-optimize]
-//            [--jobs N]
+//            [--jobs N] [--check-tso]
 //   polynima run      <img.plyb> -p <projectdir> [--input <file>]...
-//            [--original] [--jobs N]                    additive execution
+//            [--original] [--jobs N] [--check-tso]      additive execution
 //   polynima analyze  <img.plyb> [--input <file>]...    spinloop analysis
+//   polynima check    <img.plyb> [--input <file>]... [--schedules N]
+//            [--jobs N]                                 full TSO soundness
 //
 // --jobs N runs the lift and per-function optimization phases on N worker
 // threads (default: one per hardware thread; output is identical for any N).
+//
+// --check-tso runs the static TSO-soundness checker (src/check) after every
+// (re)compilation: each guest memory access must be covered by a
+// fence/atomic on every path or carry a machine-checkable elision witness.
+// With --remove-fences it additionally demands a sealed spinloop
+// certificate, which `recompile`/`run` mint automatically (and refuse when
+// the analysis finds a potentially-spinning loop).
+//
+// `check` is the full soundness workflow: static check of the fenced build,
+// spinloop analysis + certificate, static check of the fence-removed build,
+// then the schedule-perturbing differential run (fenced vs optimized under
+// --schedules N perturbed thread interleavings).
 //
 // A project directory persists the on-disk CFG (cfg.json) across runs, so
 // control-flow misses discovered on one execution benefit the next — the
@@ -39,9 +53,10 @@ namespace polynima {
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: polynima <compile|disasm|recompile|run|analyze> ...\n"
-               "see the header of src/tools/polynima_cli.cc\n");
+  std::fprintf(
+      stderr,
+      "usage: polynima <compile|disasm|recompile|run|analyze|check> ...\n"
+      "see the header of src/tools/polynima_cli.cc\n");
   return 2;
 }
 
@@ -59,9 +74,11 @@ struct Args {
   std::string project;
   int opt_level = 2;
   int jobs = 0;  // 0 = one per hardware thread
+  int schedules = 4;
   bool remove_fences = false;
   bool optimize = true;
   bool original = false;
+  bool check_tso = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -96,6 +113,12 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.jobs = std::atoi(v.c_str());
     } else if (a == "--remove-fences") {
       args.remove_fences = true;
+    } else if (a == "--check-tso") {
+      args.check_tso = true;
+    } else if (a == "--schedules") {
+      std::string v;
+      if (!next(v)) return false;
+      args.schedules = std::atoi(v.c_str());
     } else if (a == "--no-optimize") {
       args.optimize = false;
     } else if (a == "--original") {
@@ -204,6 +227,7 @@ recomp::RecompileOptions MakeOptions(const Args& args) {
   options.remove_fences = args.remove_fences;
   options.optimize = args.optimize;
   options.jobs = args.jobs;
+  options.check_tso = args.check_tso;
   if (!args.trace_files.empty()) {
     options.use_icft_tracer = true;
     for (const std::string& f : args.trace_files) {
@@ -242,6 +266,11 @@ int CmdRecompile(const Args& args) {
               stats.lift_cpu_ns / 1e6, stats.opt_cpu_ns / 1e6);
   std::printf("  additive cache: %zu hits, %zu misses\n", stats.cache_hits,
               stats.cache_misses);
+  if (args.check_tso) {
+    std::printf("  tso check: %zu accesses, %zu witnesses, %zu violations\n",
+                stats.tso_accesses_checked, stats.tso_witnesses_consumed,
+                stats.tso_violations);
+  }
   if (!args.project.empty()) {
     std::printf("  project CFG: %s/cfg.json\n", args.project.c_str());
   }
@@ -328,6 +357,115 @@ int CmdAnalyze(const Args& args) {
   return analysis->FenceRemovalSafe() ? 0 : 1;
 }
 
+// Full TSO-soundness workflow over one binary: static check fenced, spinloop
+// analysis + certificate, static check fence-removed, schedule-perturbing
+// differential run.
+int CmdCheck(const Args& args) {
+  if (args.positional.empty()) {
+    return Usage();
+  }
+  auto image = binary::Image::ReadFrom(args.positional[0]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<uint8_t>> inputs = LoadInputs(args);
+
+  // 1. Fenced build, statically checked after every (re)compilation round.
+  recomp::RecompileOptions fenced_options;
+  fenced_options.check_tso = true;
+  fenced_options.jobs = args.jobs;
+  recomp::Recompiler fenced(*image, fenced_options);
+  auto fenced_binary = fenced.Recompile();
+  if (!fenced_binary.ok()) {
+    std::fprintf(stderr, "FAIL (fenced build): %s\n",
+                 fenced_binary.status().ToString().c_str());
+    return 1;
+  }
+  auto fenced_run = fenced.RunAdditive(*fenced_binary, inputs);
+  if (!fenced_run.ok() || !fenced_run->ok) {
+    std::fprintf(stderr, "FAIL (fenced run): %s\n",
+                 fenced_run.ok() ? fenced_run->fault_message.c_str()
+                                 : fenced_run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fenced build: %zu accesses checked, %zu witnesses verified, "
+              "0 violations\n",
+              fenced.stats().tso_accesses_checked,
+              fenced.stats().tso_witnesses_consumed);
+
+  // 2. Spinloop analysis on the converged CFG; mint the elision cert.
+  auto analysis = fenceopt::DetectImplicitSynchronization(
+      *image, fenced_binary->graph, {inputs});
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "FAIL (spinloop analysis): %s\n",
+                 analysis.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& loop : analysis->loops) {
+    std::printf("%-10s loop %s/%s: %s\n",
+                loop.spinning ? "SPINNING" : "non-spin",
+                loop.function.c_str(), loop.header_block.c_str(),
+                loop.reason.c_str());
+  }
+  if (!analysis->FenceRemovalSafe()) {
+    std::printf("fence removal withheld (%d potentially-spinning loop(s)); "
+                "fenced build is TSO-sound — PASS\n",
+                analysis->SpinningCount());
+    return 0;
+  }
+  check::ElisionCert cert = fenceopt::MakeElisionCert(*analysis, *image);
+  std::printf("elision certificate: %d loops, 0 spinning, checksum %s\n",
+              cert.loops_analyzed, HexString(cert.checksum).c_str());
+
+  // 3. Fence-removed build under the certificate, statically checked.
+  recomp::RecompileOptions opt_options;
+  opt_options.check_tso = true;
+  opt_options.remove_fences = true;
+  opt_options.elision_cert = cert;
+  opt_options.jobs = args.jobs;
+  recomp::Recompiler optimized(*image, opt_options);
+  auto opt_binary = optimized.Recompile();
+  if (!opt_binary.ok()) {
+    std::fprintf(stderr, "FAIL (fence-removed build): %s\n",
+                 opt_binary.status().ToString().c_str());
+    return 1;
+  }
+  auto opt_run = optimized.RunAdditive(*opt_binary, inputs);
+  if (!opt_run.ok() || !opt_run->ok) {
+    std::fprintf(stderr, "FAIL (fence-removed run): %s\n",
+                 opt_run.ok() ? opt_run->fault_message.c_str()
+                              : opt_run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fence-removed build: %zu accesses checked, "
+              "certificate accepted, 0 violations\n",
+              optimized.stats().tso_accesses_checked);
+
+  // 4. Schedule-perturbing differential: fenced reference vs optimized.
+  check::DifferentialOptions diff_options;
+  diff_options.schedules = args.schedules;
+  auto diff = optimized.RunTsoDifferential(*opt_binary, {inputs},
+                                           diff_options);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "FAIL (differential): %s\n",
+                 diff.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("differential: %d runs, %d divergences\n", diff->runs,
+              diff->divergences);
+  for (const std::string& report : diff->reports) {
+    std::fprintf(stderr, "  divergence: %s\n", report.c_str());
+  }
+  if (!diff->ok()) {
+    std::fprintf(stderr, "FAIL: optimized module diverges from the fenced "
+                         "reference\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -351,6 +489,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "analyze") {
     return CmdAnalyze(args);
+  }
+  if (cmd == "check") {
+    return CmdCheck(args);
   }
   return Usage();
 }

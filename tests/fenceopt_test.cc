@@ -7,6 +7,7 @@
 
 #include "src/cc/compiler.h"
 #include "src/cfg/cfg.h"
+#include "src/check/tso.h"
 #include "src/fenceopt/spinloop.h"
 #include "src/recomp/recompiler.h"
 #include "src/vm/vm.h"
@@ -297,6 +298,126 @@ TEST(FenceOpt, VerdictsAreStableAcrossSeeds) {
     ASSERT_TRUE(analysis.ok());
     EXPECT_TRUE(analysis->AnySpinning());
   }
+}
+
+TEST(FenceOptCert, SpinFreeVerdictMintsCheckerAcceptedCert) {
+  // The cert minted from a spin-free analysis must seal, bind to the image,
+  // and satisfy the TSO checker over the fence-removed module — the full
+  // justification chain for whole-module elision.
+  const char* source = R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    extern void print_i64(long v);
+    long acc[2];
+    long worker(long n) {
+      for (long i = 0; i < n; i++) acc[n & 1] += i;
+      return 0;
+    }
+    int main() {
+      long tids[2];
+      for (int i = 0; i < 2; i++) pthread_create(&tids[i], 0, worker, 10);
+      for (int i = 0; i < 2; i++) pthread_join(tids[i], 0);
+      print_i64(acc[0] + acc[1]);
+      return 0;
+    })";
+  auto image = CompileSource(source, 0);
+  ASSERT_TRUE(image.ok());
+  auto graph = cfg::RecoverStatic(*image);
+  ASSERT_TRUE(graph.ok());
+  auto analysis = DetectImplicitSynchronization(*image, *graph, {{}});
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  ASSERT_TRUE(analysis->FenceRemovalSafe());
+
+  check::ElisionCert cert = MakeElisionCert(*analysis, *image);
+  EXPECT_TRUE(cert.Sealed());
+  EXPECT_EQ(cert.spinning_loops, 0);
+  EXPECT_EQ(cert.binary_key, check::BinaryKey(*image));
+  EXPECT_EQ(static_cast<size_t>(cert.loops_analyzed),
+            cert.loop_summaries.size());
+
+  recomp::RecompileOptions options;
+  options.remove_fences = true;
+  options.check_tso = true;
+  options.elision_cert = cert;
+  recomp::Recompiler recompiler(*image, options);
+  auto binary = recompiler.Recompile();
+  ASSERT_TRUE(binary.ok()) << binary.status().ToString();
+  auto result = recompiler.RunAdditive(*binary, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ok) << result->fault_message;
+  EXPECT_EQ(recompiler.stats().tso_violations, 0u);
+
+  check::TsoCheckOptions check_options;
+  check_options.cert = &cert;
+  check_options.binary_key = check::BinaryKey(*image);
+  check::TsoCheckReport report =
+      check::CheckModule(*binary->program.module, check_options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.cert_covered, 0u);
+}
+
+TEST(FenceOptCert, HandBrokenCertIsRejectedByRecompiler) {
+  const char* source = R"(
+    extern void print_i64(long v);
+    long g = 5;
+    int main() {
+      long t = g;
+      for (long i = 0; i < 6; i++) t += i;
+      print_i64(t);
+      return 0;
+    })";
+  auto image = CompileSource(source, 0);
+  ASSERT_TRUE(image.ok());
+  auto graph = cfg::RecoverStatic(*image);
+  ASSERT_TRUE(graph.ok());
+  auto analysis = DetectImplicitSynchronization(*image, *graph, {{}});
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_TRUE(analysis->FenceRemovalSafe());
+  check::ElisionCert cert = MakeElisionCert(*analysis, *image);
+  cert.spinning_loops = 0;
+  cert.loops_analyzed += 1;  // tamper without resealing
+  ASSERT_FALSE(cert.Sealed());
+
+  recomp::RecompileOptions options;
+  options.remove_fences = true;
+  options.check_tso = true;
+  options.elision_cert = cert;
+  recomp::Recompiler recompiler(*image, options);
+  auto binary = recompiler.Recompile();
+  ASSERT_FALSE(binary.ok()) << "recompiler accepted a tampered cert";
+  EXPECT_NE(binary.status().ToString().find("checksum"), std::string::npos)
+      << binary.status().ToString();
+}
+
+TEST(FenceOptCert, SpinningProgramRefusesCheckedFenceRemoval) {
+  // With --check-tso the recompiler auto-mints the cert from the spinloop
+  // analysis; a spinning verdict must abort fence removal outright.
+  const char* source = R"(
+    extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+    extern int pthread_join(long tid, long* ret);
+    long flag = 0;
+    long waiter(long unused) {
+      while (__atomic_load(&flag) == 0) { __pause(); }
+      return 0;
+    }
+    int main() {
+      long tid;
+      pthread_create(&tid, 0, waiter, 0);
+      __atomic_store(&flag, 1);
+      pthread_join(tid, 0);
+      return 0;
+    })";
+  auto image = CompileSource(source, 0);
+  ASSERT_TRUE(image.ok());
+  recomp::RecompileOptions options;
+  options.remove_fences = true;
+  options.check_tso = true;
+  recomp::Recompiler recompiler(*image, options);
+  auto binary = recompiler.Recompile();
+  ASSERT_FALSE(binary.ok()) << "fence removal on a spinning program";
+  EXPECT_NE(binary.status().ToString().find("not justified"),
+            std::string::npos)
+      << binary.status().ToString();
 }
 
 }  // namespace

@@ -175,6 +175,9 @@ std::string RunConfig(const std::string& source, int opt, bool recompiled,
   }
   recomp::RecompileOptions recompile_options;
   recompile_options.jobs = jobs;
+  // Every fuzz program also passes through the static TSO-soundness checker
+  // (a violation aborts the recompile and shows up as a config divergence).
+  recompile_options.check_tso = true;
   recomp::Recompiler recompiler(*image, recompile_options);
   auto binary = recompiler.Recompile();
   if (!binary.ok()) {
