@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Full local CI: configure, build and test the `default` preset, then the
+# schedule-exploration suite (`sched` test preset, same build tree), then the
+# `asan-ubsan` preset. Stops at the first red step.
+#
+# Usage: scripts/ci.sh [-j N]
+#   -j N   parallelism for builds and ctest (default: nproc)
+#
+# POLYNIMA_SEED is forwarded to the test processes, so
+#   POLYNIMA_SEED=7 scripts/ci.sh
+# sweeps the randomized suites over a different seed region.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+step() {
+  echo
+  echo "=== $* ==="
+}
+
+step "configure+build: default"
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+
+step "ctest: default"
+ctest --preset default -j "$jobs"
+
+step "ctest: sched (schedule-exploration suite)"
+ctest --preset sched -j "$jobs"
+
+step "configure+build: asan-ubsan"
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$jobs"
+
+step "ctest: asan-ubsan"
+ctest --preset asan-ubsan -j "$jobs"
+
+echo
+echo "CI green."

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Aggregate line coverage from raw gcov when gcovr/lcov are unavailable.
+
+Walks a --coverage build tree for .gcda note/data pairs, asks gcov for
+JSON intermediate output (gcc >= 9), and merges the per-translation-unit
+line records into one per-source-file table: a line is instrumented if
+any TU instruments it, and covered if any TU executed it. Prints a
+per-top-level-directory summary plus the total for files under src/.
+
+Usage: coverage_summary.py --build <build-dir> [--root <source-root>]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def gcov_json(gcda, gcov="gcov"):
+    """Run gcov in JSON/stdout mode on one .gcda; yield its file records."""
+    result = subprocess.run(
+        [gcov, "--json-format", "--stdout", gcda],
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        print(f"warning: gcov failed on {gcda}: {result.stderr.strip()}",
+              file=sys.stderr)
+        return
+    # --stdout emits one JSON document per input file.
+    for line in result.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError as err:
+            print(f"warning: bad gcov JSON from {gcda}: {err}",
+                  file=sys.stderr)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build", required=True, help="coverage build dir")
+    parser.add_argument("--root", default=None,
+                        help="source root (default: parent of --build)")
+    parser.add_argument("--gcov", default="gcov")
+    args = parser.parse_args()
+
+    build = os.path.abspath(args.build)
+    root = os.path.abspath(args.root or os.path.dirname(build))
+    src = os.path.join(root, "src") + os.sep
+
+    gcdas = []
+    for dirpath, _dirnames, filenames in os.walk(build):
+        gcdas.extend(os.path.join(dirpath, f) for f in filenames
+                     if f.endswith(".gcda"))
+    if not gcdas:
+        print(f"no .gcda files under {build}; build with the `coverage` "
+              "preset and run ctest there first", file=sys.stderr)
+        return 1
+
+    # file -> line -> max execution count across translation units.
+    lines = defaultdict(dict)
+    for gcda in gcdas:
+        for doc in gcov_json(gcda, args.gcov):
+            for record in doc.get("files", []):
+                path = os.path.abspath(
+                    os.path.join(doc.get("current_working_directory", build),
+                                 record["file"]))
+                if not path.startswith(src):
+                    continue
+                table = lines[os.path.relpath(path, root)]
+                for entry in record["lines"]:
+                    number = entry["line_number"]
+                    table[number] = max(table.get(number, 0), entry["count"])
+
+    per_dir = defaultdict(lambda: [0, 0])  # dir -> [covered, instrumented]
+    for path, table in lines.items():
+        top = os.sep.join(path.split(os.sep)[:2])  # e.g. src/sched
+        per_dir[top][0] += sum(1 for count in table.values() if count > 0)
+        per_dir[top][1] += len(table)
+
+    print(f"{'directory':<18} {'covered':>8} {'lines':>8} {'%':>7}")
+    total_covered = total_lines = 0
+    for top in sorted(per_dir):
+        covered, instrumented = per_dir[top]
+        total_covered += covered
+        total_lines += instrumented
+        print(f"{top:<18} {covered:>8} {instrumented:>8} "
+              f"{100.0 * covered / instrumented:>6.1f}%")
+    print("-" * 44)
+    print(f"{'total (src/)':<18} {total_covered:>8} {total_lines:>8} "
+          f"{100.0 * total_covered / total_lines:>6.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

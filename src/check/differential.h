@@ -1,11 +1,19 @@
 // Schedule-perturbing differential runner: the dynamic half of the TSO
 // check. Executes the fully-fenced reference module and the optimized module
-// over the same inputs under a family of perturbed thread schedules
-// (ExecOptions::schedule_skew widens the engine's min-clock scheduler into
-// a seeded random pick among near-minimal threads) and diffs the observable
-// results (exit status, exit code, program output). Fence elision is
-// behaviour-preserving only if no schedule can tell the two modules apart;
-// a divergence is a concrete witness of an unsound elision.
+// over the same inputs under a family of thread schedules and diffs the
+// observable results (exit status, exit code, program output). Fence elision
+// is behaviour-preserving only if no schedule can tell the two modules
+// apart; a divergence is a concrete witness of an unsound elision.
+//
+// By default the schedules come from the controlled scheduler (src/sched):
+// schedule 0 is the deterministic all-default order and later schedules are
+// seeded PCT searches, each recorded so every divergence report carries a
+// shrunk `polysched/v1` repro string that replays bit-identically. The
+// comparison is between the *sets* of outcomes each side can exhibit (in
+// both directions), so benign races that merely reorder legal outcomes
+// across the two builds do not raise false alarms. Setting
+// `use_controlled = false` falls back to the legacy ExecOptions::
+// schedule_skew perturbation with pairwise same-seed comparison.
 #ifndef POLYNIMA_CHECK_DIFFERENTIAL_H_
 #define POLYNIMA_CHECK_DIFFERENTIAL_H_
 
@@ -23,8 +31,17 @@ struct DifferentialOptions {
   // Number of perturbed schedules per input set (seed varies per schedule).
   int schedules = 4;
   uint64_t base_seed = 1;
-  // Scheduler perturbation window in simulated cycles (0 = the engine's
-  // deterministic min-clock order; larger values admit more interleavings).
+  // Deterministic controlled scheduling (PCT + record/replay/shrink). When
+  // false, uses the legacy min-clock skew perturbation below.
+  bool use_controlled = true;
+  // PCT shape for the controlled schedules (see sched::PctOptions).
+  // pct_length caps the change-point range; the actual range is calibrated
+  // to the consultation count of each side's default-schedule run.
+  int pct_depth = 3;
+  uint64_t pct_length = 4096;
+  // Legacy only: scheduler perturbation window in simulated cycles (0 = the
+  // engine's deterministic min-clock order; larger values admit more
+  // interleavings).
   uint64_t schedule_skew = 16;
   uint64_t max_steps = 4'000'000'000ull;
 };

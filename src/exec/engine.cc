@@ -143,6 +143,9 @@ Engine::Thread& Engine::CreateThread(uint64_t entry_pc, uint64_t arg0,
   thread->pending_pc = entry_pc;
   thread->exit_magic = exit_magic;
   threads_.push_back(std::move(thread));
+  if (options_.scheduler != nullptr) {
+    options_.scheduler->OnSpawn(threads_.back()->id);
+  }
   return *threads_.back();
 }
 
@@ -536,6 +539,7 @@ bool Engine::StepInstruction(Thread& t) {
       // HandleIntrinsic may request a retry (blocking external).
       if (retry_pending_) {
         retry_pending_ = false;
+        last_step_retried_ = true;
         advance = false;
       }
       cost = 0;  // intrinsics charge their own cost
@@ -735,10 +739,7 @@ bool Engine::HandleIntrinsic(Thread& t, size_t frame_index,
   return false;
 }
 
-ExecResult Engine::Run() {
-  POLY_CHECK(threads_.empty()) << "Run() may only be called once";
-  CreateThread(program_.entry, 0, 0, kProgramExitMagic);
-
+void Engine::RunMinClockLoop() {
   while (!exited_ && !faulted_) {
     Thread* best = nullptr;
     for (auto& t : threads_) {
@@ -776,6 +777,207 @@ ExecResult Engine::Run() {
       break;
     }
   }
+}
+
+Engine::NextOp Engine::ClassifyNextOp(const Thread& t) const {
+  NextOp op;
+  if (t.stack.empty()) {
+    // Dispatcher boundary: thread entry, exit (join-state change), or a
+    // top-level tail transfer.
+    op.visible = true;
+    op.mutates = true;
+    op.kind = sched::PointKind::kDispatch;
+    return op;
+  }
+  const Frame& f = t.stack.back();
+  const Instruction& inst = **f.it;
+  switch (inst.op()) {
+    case Op::kLoad:
+    case Op::kStore: {
+      // Operands of the next instruction are already materialized, so the
+      // address can be evaluated without side effects.
+      uint64_t addr = Eval(f, inst.operand(0));
+      if (addr >= t.estack_low && addr < t.estack_high) {
+        return op;  // emulated-stack access: thread-private
+      }
+      op.visible = true;
+      op.mutates = inst.op() == Op::kStore;
+      op.kind = inst.op() == Op::kStore ? sched::PointKind::kStore
+                                        : sched::PointKind::kLoad;
+      return op;
+    }
+    case Op::kAtomicRmw:
+    case Op::kCmpXchg:
+      op.visible = true;
+      op.mutates = true;
+      op.kind = sched::PointKind::kAtomic;
+      return op;
+    case Op::kFence:
+      op.visible = true;
+      op.kind = sched::PointKind::kFence;
+      return op;
+    case Op::kGlobalLoad:
+    case Op::kGlobalStore:
+      if (inst.global->is_thread_local()) {
+        return op;  // virtual CPU state: thread-private
+      }
+      op.visible = true;
+      op.mutates = inst.op() == Op::kGlobalStore;
+      op.kind = inst.op() == Op::kGlobalStore ? sched::PointKind::kStore
+                                              : sched::PointKind::kLoad;
+      return op;
+    case Op::kCall:
+      if (inst.callee != nullptr) {
+        return op;  // lifted-to-lifted call: no external visibility
+      }
+      if (inst.intrinsic == "ext_call" || inst.intrinsic == "global_lock" ||
+          inst.intrinsic == "global_unlock") {
+        op.visible = true;
+        op.mutates = true;  // may touch memory, locks or thread state
+        op.kind = sched::PointKind::kExternal;
+        return op;
+      }
+      if (inst.intrinsic == "pause") {
+        // Spin-wait hint: a preemption point that also tells the strategy
+        // to deprioritize the spinner.
+        op.visible = true;
+        op.yield_hint = true;
+        op.kind = sched::PointKind::kExternal;
+        return op;
+      }
+      return op;
+    default:
+      return op;
+  }
+}
+
+void Engine::RunControlledLoop() {
+  // A thread that spends this many consecutive visible steps without a
+  // state-changing operation is treated as spinning and reported to the
+  // strategy via OnYield (PCT demotes it, avoiding guest-spinloop livelock).
+  constexpr int kSpinYieldStreak = 64;
+  sched::Scheduler& scheduler = *options_.scheduler;
+  uint64_t decision_index = 0;
+  int last = 0;
+  while (!exited_ && !faulted_) {
+    std::vector<int> runnable, unfinished;
+    for (auto& t : threads_) {
+      if (t->finished) {
+        continue;
+      }
+      unfinished.push_back(t->id);
+      if (!t->blocked) {
+        runnable.push_back(t->id);
+      }
+    }
+    if (unfinished.empty()) {
+      break;
+    }
+    if (runnable.empty()) {
+      // Every live thread is blocked: either a guest deadlock (the step
+      // limit will surface it) or an external whose wake condition our
+      // conservative tracking missed. Let all of them retry.
+      for (auto& t : threads_) {
+        t->blocked = false;
+      }
+      runnable = unfinished;
+    }
+
+    int pick;
+    bool last_runnable = std::find(runnable.begin(), runnable.end(), last) !=
+                         runnable.end();
+    if (last_runnable &&
+        !ClassifyNextOp(*threads_[static_cast<size_t>(last)]).visible) {
+      // Thread-private operation: the current thread keeps running without
+      // a decision point (other threads cannot observe the difference).
+      pick = last;
+    } else if (runnable.size() == 1) {
+      pick = runnable.front();
+    } else {
+      sched::PointKind kind =
+          last_runnable
+              ? ClassifyNextOp(*threads_[static_cast<size_t>(last)]).kind
+              : sched::PointKind::kDispatch;
+      pick = scheduler.Pick({decision_index++, last, kind}, runnable);
+      POLY_CHECK(std::find(runnable.begin(), runnable.end(), pick) !=
+                 runnable.end())
+          << "scheduler picked non-runnable thread " << pick;
+    }
+
+    Thread& t = *threads_[static_cast<size_t>(pick)];
+    NextOp next = ClassifyNextOp(t);
+    current_ = pick;
+    last_step_retried_ = false;
+    if (!Step(t)) {
+      break;
+    }
+    last = pick;
+    if (memory_.faulted()) {
+      Fault(StrCat("memory access violation at ",
+                   HexString(memory_.fault_address())));
+      break;
+    }
+    if (++steps_ > options_.max_steps) {
+      Fault("step limit exceeded in lifted code");
+      break;
+    }
+    if (last_step_retried_) {
+      // Blocking retry: park the thread until global state changes.
+      t.blocked = true;
+      t.spin_streak = 0;
+      continue;
+    }
+    if (!next.visible) {
+      continue;
+    }
+    if (next.mutates) {
+      t.spin_streak = 0;
+      for (auto& other : threads_) {
+        other->blocked = false;
+      }
+    } else if (next.yield_hint || ++t.spin_streak >= kSpinYieldStreak) {
+      t.spin_streak = 0;
+      scheduler.OnYield(t.id);
+    }
+  }
+}
+
+uint64_t Engine::StateDigest() {
+  uint64_t h = memory_.Digest();
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (i * 8)) & 0xff)) * 1099511628211ull;
+    }
+  };
+  for (uint64_t v : shared_globals_) {
+    mix(v);
+  }
+  for (const auto& t : threads_) {
+    mix(static_cast<uint64_t>(t->finished));
+    mix(t->retval);
+    for (uint64_t v : t->tls) {
+      mix(v);
+    }
+  }
+  for (char c : output_) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ull;
+  }
+  mix(static_cast<uint64_t>(exit_code_));
+  mix(static_cast<uint64_t>(faulted_));
+  return h;
+}
+
+ExecResult Engine::Run() {
+  POLY_CHECK(threads_.empty()) << "Run() may only be called once";
+  POLY_CHECK(options_.scheduler == nullptr || options_.schedule_skew == 0)
+      << "controlled scheduling and schedule_skew are mutually exclusive";
+  CreateThread(program_.entry, 0, 0, kProgramExitMagic);
+
+  if (options_.scheduler != nullptr) {
+    RunControlledLoop();
+  } else {
+    RunMinClockLoop();
+  }
 
   ExecResult result;
   result.ok = !faulted_;
@@ -788,6 +990,9 @@ ExecResult Engine::Run() {
   result.observed_callbacks = observed_callbacks_;
   for (const auto& t : threads_) {
     result.wall_time = std::max(result.wall_time, t->clock);
+  }
+  if (options_.scheduler != nullptr || options_.record_state_digest) {
+    result.state_digest = StateDigest();
   }
   return result;
 }

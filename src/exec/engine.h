@@ -30,6 +30,7 @@
 #include "src/binary/image.h"
 #include "src/ir/ir.h"
 #include "src/lift/lifter.h"
+#include "src/sched/scheduler.h"
 #include "src/support/rng.h"
 #include "src/vm/external.h"
 #include "src/vm/guest_context.h"
@@ -47,6 +48,16 @@ struct ExecOptions {
   // runnable threads within `schedule_skew` cycles of the minimum clock,
   // admitting alternative interleavings while staying reproducible.
   uint64_t schedule_skew = 0;
+  // Controlled scheduling (src/sched): when set, the min-clock scheduler is
+  // replaced by an explicit decision loop — the current thread runs through
+  // thread-private operations, and every guest-visible preemption point
+  // (shared load/store, atomic, fence, external call, dispatcher boundary)
+  // consults the Scheduler. Runs become a pure function of (seed, decision
+  // log), which is what record/replay, PCT search and schedule shrinking
+  // build on. Mutually exclusive with schedule_skew. Not owned.
+  sched::Scheduler* scheduler = nullptr;
+  // Compute ExecResult::state_digest (implied by `scheduler`).
+  bool record_state_digest = false;
   // Record per-instruction memory access classification (stack-local vs
   // shared) for the fence-optimization dynamic analysis (§3.4.2).
   bool record_accesses = false;
@@ -105,6 +116,11 @@ struct ExecResult {
   std::optional<MissInfo> miss;
   uint64_t wall_time = 0;
   uint64_t steps = 0;
+  // FNV digest of the final guest state (memory pages, shared globals,
+  // per-thread TLS and return values, output, exit code); only computed
+  // under ExecOptions::record_state_digest or a controlled scheduler.
+  // Comparable between runs of the same binary only.
+  uint64_t state_digest = 0;
   std::string output;
   std::map<const ir::Instruction*, AccessRecord> accesses;
   std::set<std::string> observed_callbacks;
@@ -164,6 +180,12 @@ class Engine : public vm::GuestContext {
     uint64_t estack_low = 0, estack_high = 0;
     // Return PC observed by the most recent top-level return.
     uint64_t last_toplevel_pc = 0;
+    // Controlled scheduling only: the thread's last step was a blocking
+    // retry (kBlock external, busy global lock); it leaves the candidate
+    // set until some thread performs a state-changing visible operation.
+    bool blocked = false;
+    // Consecutive non-mutating visible steps (spinloop detector).
+    int spin_streak = 0;
   };
 
   Thread& CreateThread(uint64_t entry_pc, uint64_t arg0, uint64_t arg1,
@@ -172,6 +194,18 @@ class Engine : public vm::GuestContext {
   bool StepInstruction(Thread& t); // execute one IR instruction
   bool DispatchPending(Thread& t);
   void PushFrame(Thread& t, ir::Function* fn, bool dispatch_root);
+
+  // Classification of a thread's next step for the controlled scheduler.
+  struct NextOp {
+    bool visible = false;     // preemption point: consult the scheduler
+    bool mutates = false;     // state-changing: wakes blocked threads
+    bool yield_hint = false;  // pause intrinsic: deprioritize immediately
+    sched::PointKind kind = sched::PointKind::kDispatch;
+  };
+  NextOp ClassifyNextOp(const Thread& t) const;
+  void RunMinClockLoop();
+  void RunControlledLoop();
+  uint64_t StateDigest();
 
   uint64_t Eval(const Frame& f, const ir::Value* v) const;
   uint64_t& GlobalSlot(Thread& t, const ir::Global* g);
@@ -205,6 +239,9 @@ class Engine : public vm::GuestContext {
   // Set by blocking intrinsics: the current instruction is retried on the
   // thread's next turn instead of advancing.
   bool retry_pending_ = false;
+  // Sticky per-step echo of retry_pending_ for the controlled loop (which
+  // runs after StepInstruction has already consumed the flag).
+  bool last_step_retried_ = false;
   // Cached value-slot counts per function (Renumber is run once).
   std::map<const ir::Function*, int> slot_counts_;
   // Instructions whose results feed only memory-operand addresses: a native

@@ -124,8 +124,12 @@ BasicBlock* Function::AddBlock(std::string block_name) {
 void Function::RemoveBlock(BasicBlock* block) {
   for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
     if (it->get() == block) {
-      // Drop instruction operands first so use lists stay consistent.
+      // Other dying blocks (an unreachable cycle being removed one block at
+      // a time) may still hold operand pointers to this block's results;
+      // null those uses out before the storage goes away, then drop this
+      // block's own operand uses so use lists stay consistent.
       for (auto& inst : block->insts()) {
+        inst->ReplaceAllUsesWith(nullptr);
         inst->DropOperands();
       }
       blocks_.erase(it);

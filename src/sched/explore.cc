@@ -1,0 +1,216 @@
+#include "src/sched/explore.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/support/strings.h"
+
+namespace polynima::sched {
+
+std::string Outcome::Key() const {
+  // Observable state only: the digest is layout-sensitive and must not feed
+  // cross-binary comparisons.
+  std::string key = ok ? StrCat("exit=", exit_code) : "fault";
+  if (!fault_message.empty()) {
+    key += StrCat(" msg=", fault_message);
+  }
+  if (!output.empty()) {
+    key += StrCat(" out=", output);
+  }
+  return key;
+}
+
+namespace {
+
+void RecordOutcome(OutcomeSet& set, const Outcome& outcome,
+                   const Schedule& witness) {
+  std::string key = outcome.Key();
+  if (set.outcomes.emplace(key, outcome).second) {
+    set.witnesses.emplace(std::move(key), witness);
+  }
+}
+
+void RunPct(const RunFn& run, uint64_t engine_seed,
+            const ExploreOptions& options, OutcomeSet& set) {
+  Rng seeds(options.seed ^ 0x9c7eull);
+  // Run 0 is the all-default schedule; its consultation count calibrates the
+  // PCT change-point range (options.pct.expected_length is only a cap) so
+  // priority inversions land inside short runs instead of far past the end.
+  PctOptions pct = options.pct;
+  for (int i = 0; i < options.budget; ++i) {
+    PctScheduler strategy(seeds.Next(), pct);
+    RecordingScheduler recorder(i == 0 ? nullptr : &strategy, engine_seed);
+    Outcome outcome = run(&recorder);
+    ++set.runs;
+    RecordOutcome(set, outcome, recorder.schedule());
+    if (i == 0) {
+      pct.expected_length = std::min(
+          options.pct.expected_length,
+          std::max<uint64_t>(2, recorder.points_seen()));
+    }
+  }
+}
+
+void RunDfs(const RunFn& run, uint64_t engine_seed,
+            const ExploreOptions& options, OutcomeSet& set) {
+  struct WorkItem {
+    std::vector<Decision> prefix;
+    int preemptions = 0;
+  };
+  // Breadth-first so the shortest counterexamples surface before the run cap
+  // truncates the frontier.
+  std::deque<WorkItem> worklist;
+  worklist.push_back({});
+  int runs = 0;
+  while (!worklist.empty() && runs < options.dfs_max_runs) {
+    WorkItem item = std::move(worklist.front());
+    worklist.pop_front();
+    DfsScheduler dfs(item.prefix);
+    Outcome outcome = run(&dfs);
+    ++runs;
+    ++set.runs;
+    RecordOutcome(set, outcome, Schedule{engine_seed, item.prefix});
+    for (const DfsScheduler::Branch& branch : dfs.branches()) {
+      int preemptions = item.preemptions + (branch.preemption ? 1 : 0);
+      if (preemptions > options.dfs_preemption_bound) {
+        continue;
+      }
+      WorkItem next;
+      next.prefix = item.prefix;
+      next.prefix.push_back(branch.decision);
+      next.preemptions = preemptions;
+      worklist.push_back(std::move(next));
+    }
+  }
+}
+
+}  // namespace
+
+OutcomeSet EnumerateOutcomes(const RunFn& run, uint64_t engine_seed,
+                             const ExploreOptions& options) {
+  OutcomeSet set;
+  if (options.strategy != ExploreOptions::Strategy::kDfs) {
+    RunPct(run, engine_seed, options, set);
+  }
+  if (options.strategy != ExploreOptions::Strategy::kPct) {
+    RunDfs(run, engine_seed, options, set);
+  }
+  return set;
+}
+
+Schedule Shrink(const Schedule& schedule,
+                const std::function<bool(const Schedule&)>& still_fails) {
+  if (still_fails(Schedule{schedule.seed, {}})) {
+    return Schedule{schedule.seed, {}};
+  }
+  std::vector<Decision> current = schedule.decisions;
+  size_t granularity = 2;
+  while (current.size() >= 2) {
+    size_t chunk = (current.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (size_t start = 0; start < current.size(); start += chunk) {
+      // Try the complement of [start, start+chunk).
+      Schedule candidate{schedule.seed, {}};
+      candidate.decisions.reserve(current.size());
+      for (size_t i = 0; i < current.size(); ++i) {
+        if (i < start || i >= start + chunk) {
+          candidate.decisions.push_back(current[i]);
+        }
+      }
+      if (still_fails(candidate)) {
+        current = std::move(candidate.decisions);
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= current.size()) {
+        break;  // 1-minimal: no single decision can be removed
+      }
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  return Schedule{schedule.seed, std::move(current)};
+}
+
+DiffReport DiffExplore(const RunFn& reference, const RunFn& optimized,
+                       uint64_t engine_seed, const ExploreOptions& options) {
+  DiffReport report;
+  OutcomeSet ref = EnumerateOutcomes(reference, engine_seed, options);
+  OutcomeSet opt = EnumerateOutcomes(optimized, engine_seed, options);
+  report.runs_reference = ref.runs;
+  report.runs_optimized = opt.runs;
+
+  // Optimized-only outcomes (new behavior) are the classic miscompilation
+  // signal; reference-only outcomes (lost behavior) are what RLE/DSE after
+  // an unsound fence removal produce. Check both directions.
+  const OutcomeSet* side = nullptr;
+  for (const auto& [key, outcome] : opt.outcomes) {
+    if (ref.outcomes.count(key) == 0) {
+      report.diverged = true;
+      report.divergence_key = key;
+      report.missing_in_optimized = false;
+      report.witness_outcome = outcome;
+      side = &opt;
+      break;
+    }
+  }
+  if (!report.diverged) {
+    for (const auto& [key, outcome] : ref.outcomes) {
+      if (opt.outcomes.count(key) == 0) {
+        report.diverged = true;
+        report.divergence_key = key;
+        report.missing_in_optimized = true;
+        report.witness_outcome = outcome;
+        side = &ref;
+        break;
+      }
+    }
+  }
+  if (!report.diverged) {
+    report.message = StrCat("no divergence: ", ref.outcomes.size(),
+                            " outcome(s) identical across ", ref.runs, "+",
+                            opt.runs, " runs");
+    return report;
+  }
+
+  const RunFn& exhibiting =
+      report.missing_in_optimized ? reference : optimized;
+  report.original_witness = side->witnesses.at(report.divergence_key);
+  auto outcome_key = [&](const Schedule& s) {
+    ReplayScheduler replay(s);
+    return exhibiting(&replay).Key();
+  };
+  report.witness =
+      Shrink(report.original_witness, [&](const Schedule& s) {
+        return outcome_key(s) == report.divergence_key;
+      });
+
+  // Replay-determinism check: the shrunk witness must reproduce the outcome
+  // with a bit-identical final state, twice.
+  ReplayScheduler replay_a(report.witness);
+  Outcome a = exhibiting(&replay_a);
+  ReplayScheduler replay_b(report.witness);
+  Outcome b = exhibiting(&replay_b);
+  report.replay_deterministic = a.Key() == report.divergence_key &&
+                                b.Key() == report.divergence_key &&
+                                a.state_digest == b.state_digest;
+  report.witness_outcome = a;
+
+  report.message = StrCat(
+      report.missing_in_optimized
+          ? "optimized build LOST outcome "
+          : "optimized build introduced NEW outcome ",
+      "[", report.divergence_key, "] (reference ", ref.outcomes.size(),
+      " outcomes / ", ref.runs, " runs, optimized ", opt.outcomes.size(),
+      " outcomes / ", opt.runs, " runs)\n  repro (",
+      report.missing_in_optimized ? "reference" : "optimized",
+      " side): ", report.witness.Serialize(), "\n  shrunk ",
+      report.original_witness.decisions.size(), " -> ",
+      report.witness.decisions.size(), " decision(s), replay ",
+      report.replay_deterministic ? "deterministic" : "UNSTABLE");
+  return report;
+}
+
+}  // namespace polynima::sched

@@ -1,0 +1,106 @@
+// Schedule-space exploration and counterexample shrinking.
+//
+// Exploration is expressed against an abstract RunFn so the driver works for
+// any deterministic executor (the exec engine today, the x86 VM tomorrow):
+// given a Scheduler, a RunFn performs one complete run and reports the
+// observable Outcome. Two strategies enumerate distinct outcomes:
+//   - PCT sampling: `budget` runs under seeded PctSchedulers, each recorded
+//     so any outcome has a replayable witness Schedule.
+//   - Bounded-preemption DFS: breadth-first over sparse decision prefixes,
+//     extending a prefix with every runnable alternative observed at
+//     post-prefix points while the preemptive-deviation count stays within
+//     the bound. Exhaustive for small programs; capped by `dfs_max_runs`.
+//
+// DiffExplore runs both a reference and an optimized executor over the same
+// schedule space and compares the *sets* of observable outcomes in both
+// directions: an optimized-only outcome is a new behavior (classic
+// miscompilation), and a reference-only outcome is a lost behavior — the
+// signature of an over-eager fence removal enabling RLE/DSE that pins a
+// value another thread was allowed to change. Either direction yields a
+// witness Schedule, which is shrunk by delta-debugging (ddmin over the
+// sparse decision list) before being reported as a repro string.
+#ifndef POLYNIMA_SCHED_EXPLORE_H_
+#define POLYNIMA_SCHED_EXPLORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/sched/schedule.h"
+#include "src/sched/scheduler.h"
+
+namespace polynima::sched {
+
+// Observable result of one controlled run. `state_digest` hashes the final
+// guest memory and per-thread state; it is comparable only between runs of
+// the same binary (code layout feeds the hash), so Key() excludes it and
+// cross-binary comparisons use Key() while replay-determinism checks use
+// the digest.
+struct Outcome {
+  bool ok = false;
+  int64_t exit_code = 0;
+  std::string output;
+  std::string fault_message;
+  uint64_t state_digest = 0;
+
+  std::string Key() const;
+};
+
+using RunFn = std::function<Outcome(Scheduler* scheduler)>;
+
+struct ExploreOptions {
+  uint64_t seed = 1;
+  enum class Strategy { kPct, kDfs, kBoth } strategy = Strategy::kBoth;
+  // PCT: number of sampled schedules and the scheduler's shape.
+  int budget = 128;
+  PctOptions pct;
+  // DFS: maximum preemptive deviations per prefix and total run cap.
+  int dfs_preemption_bound = 2;
+  int dfs_max_runs = 256;
+};
+
+struct OutcomeSet {
+  // Outcome key -> first outcome observed with that key.
+  std::map<std::string, Outcome> outcomes;
+  // Outcome key -> schedule that produced it (replayable witness).
+  std::map<std::string, Schedule> witnesses;
+  int runs = 0;
+};
+
+// Enumerates distinct outcomes of `run` under the configured strategies.
+// `engine_seed` is stamped into witness schedules (it must be the seed the
+// RunFn builds its executor with).
+OutcomeSet EnumerateOutcomes(const RunFn& run, uint64_t engine_seed,
+                             const ExploreOptions& options);
+
+// ddmin over the sparse decision list: returns the smallest sub-schedule
+// (same seed) for which `still_fails` holds. `still_fails(schedule)` must be
+// deterministic; the input schedule is assumed failing.
+Schedule Shrink(const Schedule& schedule,
+                const std::function<bool(const Schedule&)>& still_fails);
+
+struct DiffReport {
+  bool diverged = false;
+  // Outcome key present on exactly one side.
+  std::string divergence_key;
+  // True when the reference exhibits the outcome and the optimized build
+  // cannot (lost behavior); false for an optimized-only outcome.
+  bool missing_in_optimized = false;
+  Outcome witness_outcome;
+  Schedule witness;           // shrunk
+  Schedule original_witness;  // as recorded
+  // Replaying `witness` twice on the exhibiting side produced identical
+  // state digests (the replay-determinism acceptance check).
+  bool replay_deterministic = false;
+  int runs_reference = 0;
+  int runs_optimized = 0;
+  std::string message;  // human-readable summary
+};
+
+DiffReport DiffExplore(const RunFn& reference, const RunFn& optimized,
+                       uint64_t engine_seed, const ExploreOptions& options);
+
+}  // namespace polynima::sched
+
+#endif  // POLYNIMA_SCHED_EXPLORE_H_

@@ -1,0 +1,142 @@
+#include "src/sched/schedule.h"
+
+#include <charconv>
+
+#include "src/support/strings.h"
+
+namespace polynima::sched {
+
+namespace {
+
+constexpr std::string_view kScheduleTag = "polysched/v1";
+constexpr std::string_view kCorpusTag = "polysched-corpus/v1";
+
+Expected<uint64_t> ParseU64(std::string_view text) {
+  uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument(StrCat("bad number: '", text, "'"));
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string Schedule::Serialize() const {
+  std::string out = StrCat(kScheduleTag, " seed=", seed, " d=");
+  if (decisions.empty()) {
+    out += "-";
+    return out;
+  }
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += StrCat(decisions[i].index, ":", decisions[i].thread);
+  }
+  return out;
+}
+
+Expected<Schedule> Schedule::Parse(std::string_view text) {
+  text = StripWhitespace(text);
+  if (!StartsWith(text, kScheduleTag)) {
+    return Status::InvalidArgument(
+        StrCat("schedule must start with '", kScheduleTag, "'"));
+  }
+  Schedule schedule;
+  bool saw_seed = false, saw_decisions = false;
+  for (const std::string& field :
+       Split(text.substr(kScheduleTag.size()), ' ')) {
+    std::string_view f = StripWhitespace(field);
+    if (f.empty()) {
+      continue;
+    }
+    if (StartsWith(f, "seed=")) {
+      POLY_ASSIGN_OR_RETURN(schedule.seed, ParseU64(f.substr(5)));
+      saw_seed = true;
+    } else if (StartsWith(f, "d=")) {
+      saw_decisions = true;
+      std::string_view body = f.substr(2);
+      if (body == "-") {
+        continue;
+      }
+      for (const std::string& pair : Split(body, ',')) {
+        std::vector<std::string> parts = Split(pair, ':');
+        if (parts.size() != 2) {
+          return Status::InvalidArgument(
+              StrCat("bad decision '", pair, "' (want index:thread)"));
+        }
+        Decision d;
+        POLY_ASSIGN_OR_RETURN(d.index, ParseU64(parts[0]));
+        POLY_ASSIGN_OR_RETURN(uint64_t tid, ParseU64(parts[1]));
+        d.thread = static_cast<int>(tid);
+        if (!schedule.decisions.empty() &&
+            schedule.decisions.back().index >= d.index) {
+          return Status::InvalidArgument(
+              "decision indices must be strictly increasing");
+        }
+        schedule.decisions.push_back(d);
+      }
+    } else {
+      return Status::InvalidArgument(StrCat("unknown field '", f, "'"));
+    }
+  }
+  if (!saw_seed || !saw_decisions) {
+    return Status::InvalidArgument("schedule needs both seed= and d= fields");
+  }
+  return schedule;
+}
+
+std::string CorpusEntry::Serialize() const {
+  return StrCat(kCorpusTag, "\n", "program: ", program, "\n",
+                "variant: ", variant, "\n", "expect: ", expect, "\n",
+                "schedule: ", schedule.Serialize(), "\n");
+}
+
+Expected<CorpusEntry> CorpusEntry::Parse(std::string_view text) {
+  CorpusEntry entry;
+  bool saw_tag = false, saw_schedule = false;
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (!saw_tag) {
+      if (line != kCorpusTag) {
+        return Status::InvalidArgument(
+            StrCat("corpus entry must start with '", kCorpusTag, "'"));
+      }
+      saw_tag = true;
+      continue;
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument(StrCat("bad corpus line '", line, "'"));
+    }
+    std::string_view key = StripWhitespace(line.substr(0, colon));
+    std::string_view value = StripWhitespace(line.substr(colon + 1));
+    if (key == "program") {
+      entry.program = std::string(value);
+    } else if (key == "variant") {
+      entry.variant = std::string(value);
+    } else if (key == "expect") {
+      entry.expect = std::string(value);
+    } else if (key == "schedule") {
+      POLY_ASSIGN_OR_RETURN(entry.schedule, Schedule::Parse(value));
+      saw_schedule = true;
+    } else {
+      return Status::InvalidArgument(StrCat("unknown corpus key '", key, "'"));
+    }
+  }
+  if (!saw_tag) {
+    return Status::InvalidArgument("empty corpus entry");
+  }
+  if (entry.program.empty() || entry.variant.empty() || !saw_schedule) {
+    return Status::InvalidArgument(
+        "corpus entry needs program, variant and schedule");
+  }
+  return entry;
+}
+
+}  // namespace polynima::sched

@@ -1,0 +1,71 @@
+// Serializable thread schedules for the deterministic execution engine.
+//
+// The controlled scheduler (scheduler.h) consults a Scheduler at every
+// guest-visible preemption point; the engine is otherwise deterministic, so a
+// run is fully described by (engine seed, decision log). The log is sparse:
+// it stores only the picks that differ from the deterministic default
+// (keep the current thread if runnable, else lowest thread id), so a fully
+// default run serializes to an empty log and a shrunk counterexample stays
+// human-readable. A Schedule round-trips through a one-line repro string
+// (`polysched/v1 seed=.. d=..`) printed whenever exploration finds a failing
+// interleaving, and through the `tests/schedules/*.sched` regression corpus.
+#ifndef POLYNIMA_SCHED_SCHEDULE_H_
+#define POLYNIMA_SCHED_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace polynima::sched {
+
+// One non-default pick: at decision point `index` run thread `thread`.
+struct Decision {
+  uint64_t index = 0;
+  int thread = 0;
+
+  bool operator==(const Decision& other) const {
+    return index == other.index && thread == other.thread;
+  }
+};
+
+struct Schedule {
+  // Engine seed the schedule was recorded under (cost jitter and external
+  // library randomness consume it; replay must reuse it bit-identically).
+  uint64_t seed = 1;
+  // Sparse non-default picks, strictly increasing by index.
+  std::vector<Decision> decisions;
+
+  bool operator==(const Schedule& other) const {
+    return seed == other.seed && decisions == other.decisions;
+  }
+
+  // One-line repro string: `polysched/v1 seed=<n> d=<idx>:<tid>,...` with
+  // `d=-` for an empty (all-default) log.
+  std::string Serialize() const;
+  static Expected<Schedule> Parse(std::string_view text);
+};
+
+// A corpus entry (tests/schedules/*.sched): a schedule pinned to a named
+// guest program/variant with the outcome it must reproduce.
+//
+//   # comment
+//   polysched-corpus/v1
+//   program: <corpus program name>
+//   variant: fenced | nofence
+//   expect: <outcome key, e.g. "exit=11">
+//   schedule: polysched/v1 seed=7 d=4:1,9:0
+struct CorpusEntry {
+  std::string program;
+  std::string variant;
+  std::string expect;
+  Schedule schedule;
+
+  std::string Serialize() const;
+  static Expected<CorpusEntry> Parse(std::string_view text);
+};
+
+}  // namespace polynima::sched
+
+#endif  // POLYNIMA_SCHED_SCHEDULE_H_

@@ -1,0 +1,165 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace polynima::sched {
+
+int DefaultPick(int current, const std::vector<int>& candidates) {
+  POLY_CHECK(!candidates.empty());
+  if (std::find(candidates.begin(), candidates.end(), current) !=
+      candidates.end()) {
+    return current;
+  }
+  return candidates.front();
+}
+
+// --- RecordingScheduler ---
+
+RecordingScheduler::RecordingScheduler(Scheduler* inner, uint64_t seed)
+    : inner_(inner) {
+  schedule_.seed = seed;
+}
+
+int RecordingScheduler::Pick(const SchedPoint& point,
+                             const std::vector<int>& candidates) {
+  ++points_seen_;
+  int def = DefaultPick(point.current, candidates);
+  int pick = inner_ != nullptr ? inner_->Pick(point, candidates) : def;
+  if (pick != def) {
+    schedule_.decisions.push_back({point.index, pick});
+  }
+  return pick;
+}
+
+void RecordingScheduler::OnSpawn(int tid) {
+  if (inner_ != nullptr) {
+    inner_->OnSpawn(tid);
+  }
+}
+
+void RecordingScheduler::OnYield(int tid) {
+  if (inner_ != nullptr) {
+    inner_->OnYield(tid);
+  }
+}
+
+// --- ReplayScheduler ---
+
+ReplayScheduler::ReplayScheduler(Schedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+int ReplayScheduler::Pick(const SchedPoint& point,
+                          const std::vector<int>& candidates) {
+  while (pos_ < schedule_.decisions.size() &&
+         schedule_.decisions[pos_].index < point.index) {
+    // The engine never consulted at this index (e.g. a shrunk schedule made
+    // an intermediate point disappear); the decision is moot.
+    ++skipped_;
+    ++pos_;
+  }
+  if (pos_ < schedule_.decisions.size() &&
+      schedule_.decisions[pos_].index == point.index) {
+    int wanted = schedule_.decisions[pos_].thread;
+    ++pos_;
+    if (std::find(candidates.begin(), candidates.end(), wanted) !=
+        candidates.end()) {
+      return wanted;
+    }
+    ++skipped_;
+  }
+  return DefaultPick(point.current, candidates);
+}
+
+// --- PctScheduler ---
+
+PctScheduler::PctScheduler(uint64_t seed, PctOptions options)
+    : rng_(seed), options_(options) {
+  for (int i = 0; i + 1 < options_.depth; ++i) {
+    change_points_.push_back(rng_.NextBelow(
+        options_.expected_length == 0 ? 1 : options_.expected_length));
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+}
+
+void PctScheduler::OnSpawn(int tid) {
+  // Initial priorities live strictly above the demotion band.
+  priority_[tid] = (uint64_t{1} << 32) + (rng_.Next() >> 1);
+}
+
+void PctScheduler::OnYield(int tid) { Demote(tid); }
+
+void PctScheduler::Demote(int tid) {
+  POLY_CHECK_GT(demote_next_, 0u);
+  priority_[tid] = demote_next_--;
+}
+
+int PctScheduler::Pick(const SchedPoint& point,
+                       const std::vector<int>& candidates) {
+  auto prio = [&](int tid) {
+    auto it = priority_.find(tid);
+    if (it == priority_.end()) {
+      OnSpawn(tid);
+      it = priority_.find(tid);
+    }
+    return it->second;
+  };
+  auto winner = [&]() {
+    int best = candidates.front();
+    for (int c : candidates) {
+      if (prio(c) > prio(best)) {
+        best = c;
+      }
+    }
+    return best;
+  };
+  int pick = winner();
+  if (std::binary_search(change_points_.begin(), change_points_.end(),
+                         point.index)) {
+    // Change point: the thread that would run falls below everything else.
+    Demote(pick);
+    pick = winner();
+  }
+  return pick;
+}
+
+// --- DfsScheduler ---
+
+DfsScheduler::DfsScheduler(std::vector<Decision> prefix, int max_branch_points)
+    : prefix_(std::move(prefix)), branch_points_left_(max_branch_points) {
+  frontier_index_ = prefix_.empty() ? 0 : prefix_.back().index + 1;
+}
+
+int DfsScheduler::Pick(const SchedPoint& point,
+                       const std::vector<int>& candidates) {
+  int def = DefaultPick(point.current, candidates);
+  if (pos_ < prefix_.size() && prefix_[pos_].index == point.index) {
+    int wanted = prefix_[pos_].thread;
+    ++pos_;
+    if (std::find(candidates.begin(), candidates.end(), wanted) !=
+        candidates.end()) {
+      return wanted;
+    }
+    return def;  // prefix came from a real run; this is defensive only
+  }
+  if (point.index >= frontier_index_ && branch_points_left_ > 0 &&
+      candidates.size() > 1) {
+    bool current_runnable =
+        std::find(candidates.begin(), candidates.end(), point.current) !=
+        candidates.end();
+    for (int c : candidates) {
+      if (c == def) {
+        continue;
+      }
+      branches_.push_back({{point.index, c}, current_runnable});
+    }
+    if (point.index != last_branch_index_) {
+      last_branch_index_ = point.index;
+      --branch_points_left_;
+    }
+  }
+  return def;
+}
+
+}  // namespace polynima::sched

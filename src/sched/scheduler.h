@@ -1,0 +1,174 @@
+// Controlled thread scheduling: every guest-visible preemption point in the
+// execution engine (shared load/store, atomic, fence, external call,
+// dispatcher boundary) becomes an explicit decision delegated to a Scheduler.
+//
+// The contract with the engine:
+//   - The engine runs the current thread through invisible (thread-private)
+//     operations without consulting the scheduler; consultations happen only
+//     when the next operation is guest-visible and more than one thread is
+//     runnable, or the current thread cannot continue.
+//   - `point.index` is a dense per-run ordinal of consultations; given the
+//     same seed and the same picks, the engine reproduces the same sequence
+//     of (index, candidates) points bit-identically — which is what makes
+//     the sparse Schedule log a complete replay artifact.
+//   - `candidates` is sorted by thread id and non-empty; the pick must be
+//     one of them.
+//   - OnSpawn fires when a thread is created; OnYield fires when the engine
+//     detects the current thread spinning without global progress (pause
+//     intrinsic, busy lock retry, or a long streak of non-mutating visible
+//     ops) — strategy schedulers should deprioritize the yielding thread or
+//     livelock on guest spinloops.
+#ifndef POLYNIMA_SCHED_SCHEDULER_H_
+#define POLYNIMA_SCHED_SCHEDULER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/sched/schedule.h"
+#include "src/support/rng.h"
+
+namespace polynima::sched {
+
+// Why the engine is consulting the scheduler (diagnostics only; replay does
+// not depend on it).
+enum class PointKind : uint8_t {
+  kDispatch,   // thread at a dispatcher boundary (entry/exit/callback)
+  kLoad,       // shared guest load
+  kStore,      // shared guest store
+  kAtomic,     // atomic RMW / cmpxchg
+  kFence,      // fence
+  kExternal,   // external call / global lock intrinsics
+};
+
+struct SchedPoint {
+  uint64_t index = 0;  // dense consultation ordinal within the run
+  int current = 0;     // thread that ran the previous step
+  PointKind kind = PointKind::kDispatch;
+};
+
+// Deterministic baseline pick: keep the previously running thread when it is
+// still a candidate, otherwise the lowest thread id. Recording stores only
+// deviations from this; replay re-applies it at every unrecorded point.
+int DefaultPick(int current, const std::vector<int>& candidates);
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual int Pick(const SchedPoint& point,
+                   const std::vector<int>& candidates) = 0;
+  virtual void OnSpawn(int tid) {}
+  virtual void OnYield(int tid) {}
+};
+
+// Delegates to an inner strategy and records every non-default pick,
+// producing a Schedule that replays the run bit-identically.
+class RecordingScheduler : public Scheduler {
+ public:
+  // `seed` is the engine seed to stamp into the recorded schedule. `inner`
+  // may be null, in which case every pick is the default (and the recorded
+  // log stays empty).
+  RecordingScheduler(Scheduler* inner, uint64_t seed);
+
+  int Pick(const SchedPoint& point, const std::vector<int>& candidates) override;
+  void OnSpawn(int tid) override;
+  void OnYield(int tid) override;
+
+  const Schedule& schedule() const { return schedule_; }
+
+  // Total consultations observed — the run's length in decision points.
+  // Drivers feed it back as PctOptions::expected_length so change points
+  // land inside the run instead of far past its end.
+  uint64_t points_seen() const { return points_seen_; }
+
+ private:
+  Scheduler* inner_;
+  Schedule schedule_;
+  uint64_t points_seen_ = 0;
+};
+
+// Replays a recorded Schedule: at a point whose index carries a decision for
+// a still-runnable thread, takes it; everywhere else takes the default. A
+// decision whose thread is not runnable is skipped (counted, not fatal), so
+// shrunk sub-schedules remain executable.
+class ReplayScheduler : public Scheduler {
+ public:
+  explicit ReplayScheduler(Schedule schedule);
+
+  int Pick(const SchedPoint& point, const std::vector<int>& candidates) override;
+
+  // Decisions whose thread was not runnable at their point (0 when replaying
+  // an unmodified recording).
+  int skipped_decisions() const { return skipped_; }
+
+ private:
+  Schedule schedule_;
+  size_t pos_ = 0;
+  int skipped_ = 0;
+};
+
+// Probabilistic concurrency testing (Burckhardt et al.): every thread gets a
+// random priority on spawn; the highest-priority candidate always runs; at
+// `depth - 1` random change points the running thread is demoted below every
+// other priority ever assigned. Yielding threads are demoted the same way,
+// which steers the search away from guest spinloops.
+struct PctOptions {
+  int depth = 3;               // number of priority bands (d in the paper)
+  uint64_t expected_length = 4096;  // change points are sampled in [0, this)
+};
+
+class PctScheduler : public Scheduler {
+ public:
+  PctScheduler(uint64_t seed, PctOptions options);
+
+  int Pick(const SchedPoint& point, const std::vector<int>& candidates) override;
+  void OnSpawn(int tid) override;
+  void OnYield(int tid) override;
+
+ private:
+  void Demote(int tid);
+
+  Rng rng_;
+  PctOptions options_;
+  std::vector<uint64_t> change_points_;  // sorted, depth-1 entries
+  std::map<int, uint64_t> priority_;
+  // Demotions take decreasing values below every initial priority (initial
+  // priorities are forced above 2^32).
+  uint64_t demote_next_ = (uint64_t{1} << 32) - 1;
+};
+
+// Depth-first exploration support: follows a forced prefix of decisions and
+// default picks afterwards, while recording which alternative picks were
+// runnable at each post-prefix point. The explore driver extends prefixes
+// with those branches, bounding the number of preemptive deviations.
+class DfsScheduler : public Scheduler {
+ public:
+  struct Branch {
+    Decision decision;
+    // True when the deviation preempts a still-runnable current thread (the
+    // quantity the preemption bound counts); false when the current thread
+    // was blocked/finished anyway and the pick is a free choice.
+    bool preemption = false;
+  };
+
+  // Records alternatives at no more than `max_branch_points` post-prefix
+  // points to keep the frontier bounded.
+  explicit DfsScheduler(std::vector<Decision> prefix,
+                        int max_branch_points = 64);
+
+  int Pick(const SchedPoint& point, const std::vector<int>& candidates) override;
+
+  const std::vector<Branch>& branches() const { return branches_; }
+
+ private:
+  std::vector<Decision> prefix_;
+  size_t pos_ = 0;
+  uint64_t frontier_index_ = 0;  // branches recorded strictly after this
+  int branch_points_left_;
+  uint64_t last_branch_index_ = ~uint64_t{0};
+  std::vector<Branch> branches_;
+};
+
+}  // namespace polynima::sched
+
+#endif  // POLYNIMA_SCHED_SCHEDULER_H_

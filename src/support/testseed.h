@@ -1,0 +1,29 @@
+// Reproducible seeding for randomized tests and fuzz drivers.
+//
+// Policy: no test seeds from wall-clock time. Randomized tests call
+// TestSeed(fallback) — the fixed fallback keeps CI deterministic, and
+// setting POLYNIMA_SEED (directly or via a ctest ENVIRONMENT property)
+// reruns the same binary over a different part of the input space. Tests
+// must print the seed in their failure output so any red run is
+// reproducible with `POLYNIMA_SEED=<n> ctest -R <test>`.
+#ifndef POLYNIMA_SUPPORT_TESTSEED_H_
+#define POLYNIMA_SUPPORT_TESTSEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace polynima {
+
+inline uint64_t TestSeed(uint64_t fallback = 1) {
+  const char* env = std::getenv("POLYNIMA_SEED");
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  uint64_t value = std::strtoull(env, &end, 0);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+}  // namespace polynima
+
+#endif  // POLYNIMA_SUPPORT_TESTSEED_H_

@@ -12,6 +12,21 @@
 //   polynima analyze  <img.plyb> [--input <file>]...    spinloop analysis
 //   polynima check    <img.plyb> [--input <file>]... [--schedules N]
 //            [--jobs N]                                 full TSO soundness
+//   polynima explore  <img.plyb> [--input <file>]... [--remove-fences]
+//            [--budget N] [--depth N] [--strategy pct|dfs|both] [--seed N]
+//            [--dfs-bound N] [--replay <sched|file>] [--save-sched <file>]
+//            deterministic schedule exploration (src/sched): diff the
+//            outcome sets of the fenced reference and the optimized build,
+//            shrink any divergence to a minimal schedule, print the repro
+//
+// `explore` builds a fully-fenced reference and an optimized build
+// (--remove-fences deletes every fence — the fault-injection mode used to
+// validate the harness), then explores thread schedules with seeded PCT and
+// bounded-preemption DFS under the controlled scheduler. A divergence in
+// either direction (new or lost outcome) exits 1 and prints a
+// `polysched/v1` repro string that replays bit-identically; --replay runs
+// one such schedule (inline or from a .sched corpus file) instead of
+// exploring.
 //
 // --jobs N runs the lift and per-function optimization phases on N worker
 // threads (default: one per hardware thread; output is identical for any N).
@@ -41,8 +56,12 @@
 
 #include "src/cc/compiler.h"
 #include "src/cfg/cfg.h"
+#include "src/exec/engine.h"
 #include "src/fenceopt/spinloop.h"
 #include "src/recomp/recompiler.h"
+#include "src/sched/explore.h"
+#include "src/sched/schedule.h"
+#include "src/sched/scheduler.h"
 #include "src/support/strings.h"
 #include "src/support/thread_pool.h"
 #include "src/vm/vm.h"
@@ -55,7 +74,8 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: polynima <compile|disasm|recompile|run|analyze|check> ...\n"
+      "usage: polynima <compile|disasm|recompile|run|analyze|check|explore>"
+      " ...\n"
       "see the header of src/tools/polynima_cli.cc\n");
   return 2;
 }
@@ -79,6 +99,14 @@ struct Args {
   bool optimize = true;
   bool original = false;
   bool check_tso = false;
+  // explore
+  int budget = 128;
+  int depth = 3;
+  int dfs_bound = 2;
+  uint64_t seed = 1;
+  std::string strategy = "both";
+  std::string replay;      // inline repro string or .sched file path
+  std::string save_sched;  // write the shrunk witness here
 };
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -121,6 +149,28 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.schedules = std::atoi(v.c_str());
     } else if (a == "--no-optimize") {
       args.optimize = false;
+    } else if (a == "--budget") {
+      std::string v;
+      if (!next(v)) return false;
+      args.budget = std::atoi(v.c_str());
+    } else if (a == "--depth") {
+      std::string v;
+      if (!next(v)) return false;
+      args.depth = std::atoi(v.c_str());
+    } else if (a == "--dfs-bound") {
+      std::string v;
+      if (!next(v)) return false;
+      args.dfs_bound = std::atoi(v.c_str());
+    } else if (a == "--seed") {
+      std::string v;
+      if (!next(v)) return false;
+      args.seed = static_cast<uint64_t>(std::strtoull(v.c_str(), nullptr, 0));
+    } else if (a == "--strategy") {
+      if (!next(args.strategy)) return false;
+    } else if (a == "--replay") {
+      if (!next(args.replay)) return false;
+    } else if (a == "--save-sched") {
+      if (!next(args.save_sched)) return false;
     } else if (a == "--original") {
       args.original = true;
     } else if (!a.empty() && a[0] == '-') {
@@ -466,6 +516,157 @@ int CmdCheck(const Args& args) {
   return 0;
 }
 
+// Deterministic schedule exploration: fenced reference vs optimized build,
+// outcome-set diff in both directions, shrinking, replayable repro strings.
+int CmdExplore(const Args& args) {
+  if (args.positional.empty()) {
+    return Usage();
+  }
+  auto image = binary::Image::ReadFrom(args.positional[0]);
+  if (!image.ok()) {
+    std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<std::vector<uint8_t>> inputs = LoadInputs(args);
+
+  // Reference: fully fenced, stack-local elision off — the gold behavior.
+  recomp::RecompileOptions ref_options;
+  ref_options.lift.elide_stack_local_fences = false;
+  ref_options.jobs = args.jobs;
+  recomp::Recompiler ref_recompiler(*image, ref_options);
+  auto reference = ref_recompiler.Recompile();
+  if (!reference.ok()) {
+    std::fprintf(stderr, "FAIL (reference build): %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+  // Converge the CFG under the default schedule so controlled runs do not
+  // trip over control-flow misses mid-exploration.
+  auto ref_warm = ref_recompiler.RunAdditive(*reference, inputs);
+  if (!ref_warm.ok()) {
+    std::fprintf(stderr, "FAIL (reference run): %s\n",
+                 ref_warm.status().ToString().c_str());
+    return 1;
+  }
+
+  // Optimized side: the build under test. --remove-fences deletes every
+  // fence with no certificate — the fault-injection mode the harness's own
+  // acceptance test uses.
+  recomp::RecompileOptions opt_options;
+  opt_options.remove_fences = args.remove_fences;
+  opt_options.optimize = args.optimize;
+  opt_options.jobs = args.jobs;
+  recomp::Recompiler opt_recompiler(*image, opt_options);
+  auto optimized = opt_recompiler.Recompile();
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "FAIL (optimized build): %s\n",
+                 optimized.status().ToString().c_str());
+    return 1;
+  }
+  auto opt_warm = opt_recompiler.RunAdditive(*optimized, inputs);
+  if (!opt_warm.ok()) {
+    std::fprintf(stderr, "FAIL (optimized run): %s\n",
+                 opt_warm.status().ToString().c_str());
+    return 1;
+  }
+
+  auto make_run = [&](const lift::LiftedProgram* program) {
+    return [&, program](sched::Scheduler* scheduler) {
+      vm::ExternalLibrary library;
+      exec::ExecOptions exec_options;
+      exec_options.seed = args.seed;
+      exec_options.scheduler = scheduler;
+      exec::Engine engine(*program, *image, &library, exec_options);
+      engine.SetInputs(inputs);
+      exec::ExecResult r = engine.Run();
+      sched::Outcome outcome;
+      outcome.ok = r.ok;
+      outcome.exit_code = r.exit_code;
+      outcome.output = r.output;
+      outcome.fault_message = r.fault_message;
+      outcome.state_digest = r.state_digest;
+      return outcome;
+    };
+  };
+  sched::RunFn run_reference = make_run(&reference->program);
+  sched::RunFn run_optimized = make_run(&optimized->program);
+
+  if (!args.replay.empty()) {
+    // Replay mode: run one schedule on both sides and report the outcomes.
+    std::string text = args.replay;
+    if (std::filesystem::exists(args.replay)) {
+      std::ifstream in(args.replay);
+      text.assign((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+    }
+    sched::Schedule schedule;
+    auto parsed = sched::Schedule::Parse(text);
+    if (!parsed.ok()) {
+      auto corpus = sched::CorpusEntry::Parse(text);
+      if (!corpus.ok()) {
+        std::fprintf(stderr, "cannot parse schedule: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      schedule = corpus->schedule;
+    } else {
+      schedule = *parsed;
+    }
+    for (bool on_reference : {true, false}) {
+      sched::ReplayScheduler replay(schedule);
+      sched::Outcome outcome =
+          (on_reference ? run_reference : run_optimized)(&replay);
+      std::printf("%s: [%s] digest=%s%s\n",
+                  on_reference ? "reference" : "optimized",
+                  outcome.Key().c_str(),
+                  HexString(outcome.state_digest).c_str(),
+                  replay.skipped_decisions() > 0 ? " (decisions skipped)" : "");
+    }
+    return 0;
+  }
+
+  sched::ExploreOptions explore_options;
+  explore_options.seed = args.seed;
+  explore_options.budget = args.budget;
+  explore_options.pct.depth = args.depth;
+  explore_options.dfs_preemption_bound = args.dfs_bound;
+  if (args.strategy == "pct") {
+    explore_options.strategy = sched::ExploreOptions::Strategy::kPct;
+  } else if (args.strategy == "dfs") {
+    explore_options.strategy = sched::ExploreOptions::Strategy::kDfs;
+  } else if (args.strategy == "both") {
+    explore_options.strategy = sched::ExploreOptions::Strategy::kBoth;
+  } else {
+    std::fprintf(stderr, "unknown --strategy %s\n", args.strategy.c_str());
+    return Usage();
+  }
+
+  sched::DiffReport report = sched::DiffExplore(run_reference, run_optimized,
+                                               args.seed, explore_options);
+  std::printf("%s\n", report.message.c_str());
+  if (!report.diverged) {
+    std::printf("PASS\n");
+    return 0;
+  }
+  if (!args.save_sched.empty()) {
+    sched::CorpusEntry entry;
+    entry.program = args.positional[0];
+    // The side the schedule must be replayed on to exhibit `expect`.
+    entry.variant = report.missing_in_optimized
+                        ? "fenced"
+                        : (args.remove_fences ? "nofence" : "optimized");
+    entry.expect = report.divergence_key;
+    entry.schedule = report.witness;
+    std::ofstream out(args.save_sched);
+    out << "# saved by `polynima explore`; replay with --replay\n"
+        << entry.Serialize();
+    std::printf("witness schedule written to %s\n", args.save_sched.c_str());
+  }
+  std::fprintf(stderr, "FAIL: optimized build diverges from the fenced "
+                       "reference under the explored schedules\n");
+  return 1;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -492,6 +693,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "check") {
     return CmdCheck(args);
+  }
+  if (cmd == "explore") {
+    return CmdExplore(args);
   }
   return Usage();
 }

@@ -1,5 +1,7 @@
 #include "src/vm/memory.h"
 
+#include <algorithm>
+
 #include "src/support/check.h"
 
 namespace polynima::vm {
@@ -124,6 +126,29 @@ void Memory::WriteBytes(uint64_t addr, const void* src, size_t n) {
     addr += chunk;
     n -= chunk;
   }
+}
+
+uint64_t Memory::Digest() const {
+  std::vector<uint64_t> addrs;
+  addrs.reserve(pages_.size());
+  for (const auto& [addr, page] : pages_) {
+    addrs.push_back(addr);
+  }
+  std::sort(addrs.begin(), addrs.end());
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (i * 8)) & 0xff)) * 1099511628211ull;
+    }
+  };
+  for (uint64_t addr : addrs) {
+    const Page& page = *pages_.at(addr);
+    mix(addr);
+    for (uint8_t byte : page.data) {
+      h = (h ^ byte) * 1099511628211ull;
+    }
+  }
+  return h;
 }
 
 std::string Memory::ReadCString(uint64_t addr) {

@@ -41,6 +41,12 @@ class Memory {
   // Clears the sticky fault (used by engines that report and recover).
   void ClearFault() { faulted_ = false; }
 
+  // FNV-1a over every materialized page (visited in address order, so the
+  // result is independent of hash-map iteration order). Two runs that end in
+  // the same memory state digest equal — the schedule-replay determinism
+  // check hinges on this.
+  uint64_t Digest() const;
+
  private:
   struct Page {
     std::array<uint8_t, kPageSize> data{};

@@ -45,9 +45,12 @@ class Builder {
   // `reg_field` is the 4-bit register number (or opcode extension /n) that
   // goes in ModRM.reg; `rm` is the register/memory operand in ModRM.rm.
   // `opsize` drives REX.W (8) and the 8-bit-register REX quirk (1).
+  // `byte_rm` marks forms whose rm operand is byte-sized even though the
+  // operation size is wider (movzx/movsx r32/64, r/m8), which need the same
+  // quirk REX for spl/bpl/sil/dil.
   void EmitRexOpModRM(int opsize, std::initializer_list<uint8_t> opcode,
                       uint8_t reg_field, const Operand& rm,
-                      bool reg_is_gpr = true) {
+                      bool reg_is_gpr = true, bool byte_rm = false) {
     uint8_t rex = 0;
     if (opsize == 8) {
       rex |= 0x48;  // REX.W
@@ -61,8 +64,9 @@ class Builder {
         rex |= 0x41;  // REX.B
       }
       // spl/bpl/sil/dil require a REX prefix (even an empty one).
-      if (opsize == 1 && ((rm.is_reg() && rm_code >= 4 && rm_code <= 7) ||
-                          (reg_is_gpr && reg_field >= 4 && reg_field <= 7))) {
+      if (((opsize == 1 || byte_rm) && rm.is_reg() && rm_code >= 4 &&
+           rm_code <= 7) ||
+          (opsize == 1 && reg_is_gpr && reg_field >= 4 && reg_field <= 7)) {
         rex |= 0x40;
       }
       EmitRexAndOpcode(rex, opcode);
@@ -309,7 +313,8 @@ Status Encode(const Inst& inst, std::vector<uint8_t>& out) {
       bool sx = inst.mnemonic == Mnemonic::kMovsx;
       if (inst.src_size == 1) {
         b.EmitRexOpModRM(size, {0x0F, static_cast<uint8_t>(sx ? 0xBE : 0xB6)},
-                         static_cast<uint8_t>(op0.reg), op1);
+                         static_cast<uint8_t>(op0.reg), op1,
+                         /*reg_is_gpr=*/true, /*byte_rm=*/true);
       } else if (inst.src_size == 2) {
         b.EmitRexOpModRM(size, {0x0F, static_cast<uint8_t>(sx ? 0xBF : 0xB7)},
                          static_cast<uint8_t>(op0.reg), op1);

@@ -11,6 +11,7 @@
 #include "src/cc/compiler.h"
 #include "src/recomp/recompiler.h"
 #include "src/support/rng.h"
+#include "src/support/testseed.h"
 #include "src/vm/vm.h"
 
 namespace polynima {
@@ -196,14 +197,19 @@ std::string RunConfig(const std::string& source, int opt, bool recompiled,
 class FuzzDiff : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzDiff, FourWayEquivalence) {
-  ProgramGenerator generator(GetParam());
+  // POLYNIMA_SEED shifts the whole corpus to a different region of the
+  // program space; the effective seed is traced so failures reproduce.
+  const uint64_t seed = GetParam() + TestSeed(0);
+  SCOPED_TRACE("effective seed " + std::to_string(seed) +
+               " (POLYNIMA_SEED=" + std::to_string(TestSeed(0)) + ")");
+  ProgramGenerator generator(seed);
   std::string source = generator.Generate();
   std::string error;
   std::string reference = RunConfig(source, 0, false, &error);
   ASSERT_FALSE(reference.empty()) << error << "\nsource:\n" << source;
   // The recompiled configs run with a seed-derived worker count so the fuzz
   // corpus also exercises the parallel lift+optimize pipeline.
-  Rng jobs_rng(GetParam() * 0x9e3779b97f4a7c15ull + 1);
+  Rng jobs_rng(seed * 0x9e3779b97f4a7c15ull + 1);
   for (auto [opt, recompiled] :
        {std::pair{2, false}, {0, true}, {2, true}}) {
     int jobs = recompiled ? 1 + static_cast<int>(jobs_rng.NextBelow(4)) : 1;

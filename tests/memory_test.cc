@@ -79,5 +79,129 @@ TEST(Memory, LazyPagesAreZeroed) {
   EXPECT_FALSE(mem.faulted());
 }
 
+TEST(Memory, UnalignedAccessesEverySizeAndOffset) {
+  Memory mem;
+  mem.AllowRegion(0x1000, 0x3000, true);
+  for (int size : {1, 2, 4, 8}) {
+    for (uint64_t offset = 0; offset < 8; ++offset) {
+      // Every byte offset within an 8-byte slot, including the odd ones.
+      uint64_t addr = 0x1100 + static_cast<uint64_t>(size) * 0x40 + offset;
+      uint64_t value = 0x0123456789abcdefull >> (8 * (8 - size));
+      mem.Write(addr, size, value);
+      EXPECT_EQ(mem.Read(addr, size), value)
+          << "size " << size << " offset " << offset;
+    }
+  }
+  EXPECT_FALSE(mem.faulted());
+}
+
+TEST(Memory, PageStraddleEveryMisalignment) {
+  Memory mem;
+  mem.AllowRegion(0x1000, 0x3000, true);
+  // An 8-byte access at each address crossing the 0x2000 page boundary.
+  for (uint64_t back = 1; back < 8; ++back) {
+    uint64_t addr = 0x2000 - back;
+    uint64_t value = 0xf0e1d2c3b4a59687ull + back;
+    mem.Write(addr, 8, value);
+    EXPECT_EQ(mem.Read(addr, 8), value) << "straddle -" << back;
+    // The bytes really landed on both sides of the boundary.
+    EXPECT_EQ(mem.Read(0x2000 - back, 1), value & 0xff);
+    EXPECT_EQ(mem.Read(0x2007 - back, 1), (value >> 56) & 0xff);
+  }
+  EXPECT_FALSE(mem.faulted());
+}
+
+TEST(Memory, StraddleIntoForbiddenFaultsAtExactByte) {
+  Memory mem;
+  mem.AllowRegion(0x1000, 0x2000, true);
+  // Load starting in-bounds and running 4 bytes past the region: the fault
+  // address must be the first inaccessible byte, not the access base.
+  EXPECT_EQ(mem.Read(0x1ffc, 8) & 0xffffffffu, 0u);
+  EXPECT_TRUE(mem.faulted());
+  EXPECT_EQ(mem.fault_address(), 0x2000u);
+  mem.ClearFault();
+
+  // Same for a straddling store: the in-bounds prefix is written, the first
+  // out-of-bounds byte is the diagnostic.
+  mem.Write(0x1ffe, 4, 0xaabbccdd);
+  EXPECT_TRUE(mem.faulted());
+  EXPECT_EQ(mem.fault_address(), 0x2000u);
+  mem.ClearFault();
+  EXPECT_EQ(mem.Read(0x1ffe, 2), 0xccddu);
+  EXPECT_FALSE(mem.faulted());
+}
+
+TEST(Memory, RmwAtSegmentBoundary) {
+  // The read+write halves of an atomic RMW at the very last naturally
+  // aligned slot of a segment must both stay in bounds.
+  Memory mem;
+  std::vector<uint8_t> segment(Memory::kPageSize, 0);
+  mem.MapSegment(0x8000, segment, /*writable=*/true);
+  uint64_t last = 0x8000 + Memory::kPageSize - 8;
+  mem.Write(last, 8, 41);
+  uint64_t old = mem.Read(last, 8);
+  mem.Write(last, 8, old + 1);
+  EXPECT_EQ(mem.Read(last, 8), 42u);
+  EXPECT_FALSE(mem.faulted());
+
+  // One slot further the load half already faults, with the exact address.
+  (void)mem.Read(last + 8, 8);
+  EXPECT_TRUE(mem.faulted());
+  EXPECT_EQ(mem.fault_address(), 0x8000 + Memory::kPageSize);
+  mem.ClearFault();
+
+  // A straddling RMW whose store half crosses into a read-only segment:
+  // the load succeeds (both pages readable), the store faults on the first
+  // read-only byte and the read-only page is unchanged.
+  std::vector<uint8_t> ro(Memory::kPageSize, 0x5a);
+  mem.MapSegment(0x8000 + Memory::kPageSize, ro, /*writable=*/false);
+  uint64_t straddle = 0x8000 + Memory::kPageSize - 4;
+  (void)mem.Read(straddle, 8);
+  EXPECT_FALSE(mem.faulted());
+  mem.Write(straddle, 8, 0);
+  EXPECT_TRUE(mem.faulted());
+  EXPECT_EQ(mem.fault_address(), 0x8000 + Memory::kPageSize);
+  mem.ClearFault();
+  EXPECT_EQ(mem.Read(0x8000 + Memory::kPageSize, 1), 0x5au);
+}
+
+TEST(Memory, BulkAccessOutOfBoundsDiagnostics) {
+  Memory mem;
+  mem.AllowRegion(0x1000, 0x2000, true);
+  std::vector<uint8_t> buf(64, 0xab);
+  // WriteBytes that runs off the end: faults at the first forbidden page.
+  mem.WriteBytes(0x1fe0, buf.data(), buf.size());
+  EXPECT_TRUE(mem.faulted());
+  EXPECT_EQ(mem.fault_address(), 0x2000u);
+  mem.ClearFault();
+  // The in-bounds prefix was committed before the fault.
+  EXPECT_EQ(mem.Read(0x1fe0, 1), 0xabu);
+
+  // ReadBytes across the boundary zero-fills and reports the same address.
+  std::vector<uint8_t> out(64, 0xff);
+  mem.ReadBytes(0x1fe0, out.data(), out.size());
+  EXPECT_TRUE(mem.faulted());
+  EXPECT_EQ(mem.fault_address(), 0x2000u);
+}
+
+TEST(Memory, DigestReflectsContentNotTouchOrder) {
+  auto build = [](bool reverse, uint8_t payload) {
+    Memory mem;
+    mem.AllowRegion(0x1000, 0x4000, true);
+    if (reverse) {
+      mem.Write(0x3000, 1, payload);
+      mem.Write(0x1000, 1, 7);
+    } else {
+      mem.Write(0x1000, 1, 7);
+      mem.Write(0x3000, 1, payload);
+    }
+    return mem.Digest();
+  };
+  // Same final contents, different page-creation order: equal digests.
+  EXPECT_EQ(build(false, 9), build(true, 9));
+  // A single differing byte changes the digest.
+  EXPECT_NE(build(false, 9), build(false, 10));
+}
+
 }  // namespace
 }  // namespace polynima::vm

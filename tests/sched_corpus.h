@@ -1,0 +1,123 @@
+// Shared corpus of guest programs for schedule-exploration tests and the
+// tests/schedules/*.sched regression corpus.
+//
+// Each program has a racy shared access pattern whose observable outcome set
+// shrinks when fences are removed before the fence-aware IR passes run:
+//   - rle_flag: two same-address shared loads in one expression. The fenced
+//     build keeps both loads (the acquire fence between them pins the second
+//     one), so a racing store can land in between (exit 1); the fence-
+//     stripped build lets redundant-load elimination forward the first load,
+//     making that interleaving unobservable.
+//   - dse_flag: two consecutive stores to the same shared location. The
+//     fenced build's release fences keep both stores visible to a racing
+//     reader (seen==1 is reachable); without fences dead-store elimination
+//     deletes the first store.
+// Programs are compiled at -O0 so the guest C compiler does not itself CSE
+// the racy accesses — the divergence under test is the IR pipeline's.
+#ifndef POLYNIMA_TESTS_SCHED_CORPUS_H_
+#define POLYNIMA_TESTS_SCHED_CORPUS_H_
+
+#include <string>
+
+#include "src/cc/compiler.h"
+#include "src/recomp/recompiler.h"
+#include "src/sched/explore.h"
+#include "src/sched/scheduler.h"
+#include "src/support/check.h"
+
+namespace polynima::schedtest {
+
+inline const char* CorpusSource(const std::string& name) {
+  if (name == "rle_flag") {
+    return R"(
+      extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+      extern int pthread_join(long tid, long* ret);
+      long flag = 0;
+      long writer(long arg) {
+        flag = 1;
+        return 0;
+      }
+      int main() {
+        long tid;
+        pthread_create(&tid, 0, writer, 0);
+        long r = flag * 10 + flag;
+        pthread_join(tid, 0);
+        return (int)r;
+      })";
+  }
+  if (name == "dse_flag") {
+    return R"(
+      extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+      extern int pthread_join(long tid, long* ret);
+      long flag = 0;
+      long reader(long arg) {
+        return flag;
+      }
+      int main() {
+        long tid;
+        long seen = 0;
+        pthread_create(&tid, 0, reader, 0);
+        flag = 1;
+        flag = 2;
+        pthread_join(tid, &seen);
+        return (int)(seen * 10 + flag);
+      })";
+  }
+  POLY_CHECK(false) << "unknown corpus program " << name;
+  return nullptr;
+}
+
+// Builds one side of a corpus program. `variant` is "fenced" (fully fenced
+// reference, stack-local elision off — mirrors `polynima explore`'s
+// reference build) or "nofence" (every fence deleted before optimization —
+// the fault-injection mutant).
+inline recomp::RecompiledBinary BuildCorpus(const std::string& name,
+                                            const std::string& variant) {
+  cc::CompileOptions cc_options;
+  cc_options.name = name;
+  cc_options.opt_level = 0;
+  auto image = cc::Compile(CorpusSource(name), cc_options);
+  POLY_CHECK(image.ok()) << image.status().ToString();
+
+  recomp::RecompileOptions options;
+  if (variant == "fenced") {
+    options.lift.elide_stack_local_fences = false;
+  } else {
+    POLY_CHECK(variant == "nofence") << "unknown variant " << variant;
+    options.remove_fences = true;
+  }
+  recomp::Recompiler recompiler(*image, options);
+  auto binary = recompiler.Recompile();
+  POLY_CHECK(binary.ok()) << binary.status().ToString();
+  // Converge the CFG under the default schedule so controlled runs never
+  // trip over control-flow misses mid-exploration.
+  auto warm = recompiler.RunAdditive(*binary, {});
+  POLY_CHECK(warm.ok()) << warm.status().ToString();
+  return std::move(*binary);
+}
+
+inline sched::Outcome RunCorpus(const recomp::RecompiledBinary& binary,
+                                sched::Scheduler* scheduler, uint64_t seed) {
+  exec::ExecOptions options;
+  options.seed = seed;
+  options.scheduler = scheduler;
+  exec::ExecResult r = binary.Run({}, options);
+  sched::Outcome outcome;
+  outcome.ok = r.ok;
+  outcome.exit_code = r.exit_code;
+  outcome.output = r.output;
+  outcome.fault_message = r.fault_message;
+  outcome.state_digest = r.state_digest;
+  return outcome;
+}
+
+inline sched::RunFn MakeRunFn(const recomp::RecompiledBinary& binary,
+                              uint64_t seed) {
+  return [&binary, seed](sched::Scheduler* scheduler) {
+    return RunCorpus(binary, scheduler, seed);
+  };
+}
+
+}  // namespace polynima::schedtest
+
+#endif  // POLYNIMA_TESTS_SCHED_CORPUS_H_

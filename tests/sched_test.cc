@@ -1,0 +1,319 @@
+// Unit tests for the schedule-exploration library: Schedule/CorpusEntry
+// serialization, the scheduler zoo (default/recording/replay/PCT/DFS), ddmin
+// shrinking, and outcome enumeration over a synthetic deterministic RunFn
+// (no execution engine involved — engine integration lives in
+// sched_replay_test.cc).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sched/explore.h"
+#include "src/sched/schedule.h"
+#include "src/sched/scheduler.h"
+#include "src/support/testseed.h"
+
+namespace polynima::sched {
+namespace {
+
+TEST(ScheduleTest, SerializeParseRoundTrip) {
+  Schedule schedule;
+  schedule.seed = 42;
+  schedule.decisions = {{3, 1}, {9, 0}, {17, 2}};
+  std::string text = schedule.Serialize();
+  auto parsed = Schedule::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, schedule);
+}
+
+TEST(ScheduleTest, EmptyScheduleRoundTrip) {
+  Schedule schedule;
+  schedule.seed = 7;
+  std::string text = schedule.Serialize();
+  EXPECT_NE(text.find("d=-"), std::string::npos) << text;
+  auto parsed = Schedule::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, schedule);
+}
+
+TEST(ScheduleTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(Schedule::Parse("").ok());
+  EXPECT_FALSE(Schedule::Parse("polysched/v2 seed=1 d=-").ok());
+  EXPECT_FALSE(Schedule::Parse("polysched/v1 seed=x d=-").ok());
+  EXPECT_FALSE(Schedule::Parse("polysched/v1 seed=1 d=3:1,3:0").ok())
+      << "decision indices must be strictly increasing";
+  EXPECT_FALSE(Schedule::Parse("polysched/v1 seed=1 d=9:1,3:0").ok());
+}
+
+TEST(ScheduleTest, CorpusEntryRoundTripWithComments) {
+  CorpusEntry entry;
+  entry.program = "rle_flag";
+  entry.variant = "fenced";
+  entry.expect = "exit=1";
+  entry.schedule.seed = 1;
+  entry.schedule.decisions = {{1, 1}};
+  std::string text = "# failing interleaving, keep me\n" + entry.Serialize();
+  auto parsed = CorpusEntry::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->program, entry.program);
+  EXPECT_EQ(parsed->variant, entry.variant);
+  EXPECT_EQ(parsed->expect, entry.expect);
+  EXPECT_EQ(parsed->schedule, entry.schedule);
+}
+
+TEST(SchedulerTest, DefaultPickKeepsCurrentElseLowest) {
+  EXPECT_EQ(DefaultPick(1, {0, 1, 2}), 1);
+  EXPECT_EQ(DefaultPick(3, {0, 2}), 0);
+  EXPECT_EQ(DefaultPick(0, {2}), 2);
+}
+
+TEST(SchedulerTest, RecordingIsSparse) {
+  // A null inner strategy makes every pick the default: nothing recorded.
+  RecordingScheduler recorder(nullptr, 5);
+  EXPECT_EQ(recorder.Pick({0, 0, PointKind::kLoad}, {0, 1}), 0);
+  EXPECT_EQ(recorder.Pick({1, 0, PointKind::kStore}, {0, 1}), 0);
+  EXPECT_TRUE(recorder.schedule().decisions.empty());
+  EXPECT_EQ(recorder.schedule().seed, 5u);
+}
+
+TEST(SchedulerTest, RecordingCapturesDeviations) {
+  // Inner strategy that always prefers the highest candidate id.
+  class Highest : public Scheduler {
+   public:
+    int Pick(const SchedPoint&, const std::vector<int>& c) override {
+      return c.back();
+    }
+  } highest;
+  RecordingScheduler recorder(&highest, 1);
+  EXPECT_EQ(recorder.Pick({0, 0, PointKind::kLoad}, {0, 1}), 1);    // deviates
+  EXPECT_EQ(recorder.Pick({1, 1, PointKind::kLoad}, {0, 1}), 1);    // default
+  EXPECT_EQ(recorder.Pick({2, 1, PointKind::kStore}, {1, 2}), 2);   // deviates
+  ASSERT_EQ(recorder.schedule().decisions.size(), 2u);
+  EXPECT_EQ(recorder.schedule().decisions[0], (Decision{0, 1}));
+  EXPECT_EQ(recorder.schedule().decisions[1], (Decision{2, 2}));
+}
+
+TEST(SchedulerTest, ReplayAppliesAndSkips) {
+  Schedule schedule;
+  schedule.decisions = {{1, 1}, {3, 2}, {5, 1}};
+  ReplayScheduler replay(schedule);
+  EXPECT_EQ(replay.Pick({0, 0, PointKind::kLoad}, {0, 1}), 0);  // default
+  EXPECT_EQ(replay.Pick({1, 0, PointKind::kLoad}, {0, 1}), 1);  // recorded
+  // Index 3's thread 2 is not runnable here: skipped, default applies.
+  EXPECT_EQ(replay.Pick({3, 1, PointKind::kStore}, {0, 1}), 1);
+  // Index 4 never consulted in the recording run; index 5 still applies.
+  EXPECT_EQ(replay.Pick({5, 1, PointKind::kAtomic}, {0, 1}), 1);
+  EXPECT_EQ(replay.skipped_decisions(), 1);
+}
+
+TEST(SchedulerTest, ReplaySkipsStaleIndices) {
+  Schedule schedule;
+  schedule.decisions = {{2, 1}};
+  ReplayScheduler replay(schedule);
+  // The run jumped straight past index 2 (shrinking changed the point
+  // sequence): the stale decision is dropped, not misapplied.
+  EXPECT_EQ(replay.Pick({4, 0, PointKind::kLoad}, {0, 1}), 0);
+  EXPECT_EQ(replay.skipped_decisions(), 1);
+}
+
+TEST(SchedulerTest, PctSameSeedSamePicks) {
+  uint64_t seed = TestSeed(1234);
+  SCOPED_TRACE("POLYNIMA_SEED=" + std::to_string(seed));
+  PctOptions options;
+  options.expected_length = 64;
+  std::vector<int> picks_a;
+  std::vector<int> picks_b;
+  for (std::vector<int>* out : {&picks_a, &picks_b}) {
+    PctScheduler pct(seed, options);
+    pct.OnSpawn(0);
+    pct.OnSpawn(1);
+    pct.OnSpawn(2);
+    int current = 0;
+    for (uint64_t i = 0; i < 64; ++i) {
+      int pick = pct.Pick({i, current, PointKind::kLoad}, {0, 1, 2});
+      out->push_back(pick);
+      current = pick;
+    }
+  }
+  EXPECT_EQ(picks_a, picks_b);
+}
+
+TEST(SchedulerTest, PctYieldDemotesSpinner) {
+  uint64_t seed = TestSeed(99);
+  SCOPED_TRACE("POLYNIMA_SEED=" + std::to_string(seed));
+  PctOptions options;
+  options.depth = 1;  // no change points: priorities fully decide
+  PctScheduler pct(seed, options);
+  pct.OnSpawn(0);
+  pct.OnSpawn(1);
+  int winner = pct.Pick({0, 0, PointKind::kLoad}, {0, 1});
+  pct.OnYield(winner);
+  EXPECT_EQ(pct.Pick({1, winner, PointKind::kLoad}, {0, 1}), 1 - winner);
+}
+
+TEST(SchedulerTest, DfsRecordsPostPrefixBranches) {
+  DfsScheduler dfs({{0, 1}});
+  // Prefix decision at index 0 is honored.
+  EXPECT_EQ(dfs.Pick({0, 0, PointKind::kLoad}, {0, 1}), 1);
+  EXPECT_TRUE(dfs.branches().empty());
+  // Post-prefix: defaults, and the runnable alternative becomes a branch.
+  EXPECT_EQ(dfs.Pick({1, 1, PointKind::kStore}, {0, 1}), 1);
+  ASSERT_EQ(dfs.branches().size(), 1u);
+  EXPECT_EQ(dfs.branches()[0].decision, (Decision{1, 0}));
+  EXPECT_TRUE(dfs.branches()[0].preemption);
+  // Current thread finished: the deviation is a free choice, not a preemption.
+  EXPECT_EQ(dfs.Pick({2, 1, PointKind::kDispatch}, {0, 2}), 0);
+  ASSERT_EQ(dfs.branches().size(), 2u);
+  EXPECT_EQ(dfs.branches()[1].decision, (Decision{2, 2}));
+  EXPECT_FALSE(dfs.branches()[1].preemption);
+}
+
+TEST(ShrinkTest, DdminFindsSingleCulprit) {
+  Schedule schedule;
+  schedule.seed = 3;
+  for (uint64_t i = 0; i < 12; ++i) {
+    schedule.decisions.push_back({i * 2, static_cast<int>(i % 3)});
+  }
+  const Decision culprit{10, 2};
+  int calls = 0;
+  Schedule shrunk = Shrink(schedule, [&](const Schedule& candidate) {
+    ++calls;
+    for (const Decision& d : candidate.decisions) {
+      if (d == culprit) {
+        return true;
+      }
+    }
+    return false;
+  });
+  ASSERT_EQ(shrunk.decisions.size(), 1u);
+  EXPECT_EQ(shrunk.decisions[0], culprit);
+  EXPECT_EQ(shrunk.seed, schedule.seed);
+  EXPECT_GT(calls, 0);
+}
+
+TEST(ShrinkTest, EmptySubsetWins) {
+  Schedule schedule;
+  schedule.decisions = {{1, 1}, {2, 0}};
+  Schedule shrunk = Shrink(schedule, [](const Schedule&) { return true; });
+  EXPECT_TRUE(shrunk.decisions.empty());
+}
+
+TEST(ShrinkTest, PairOfCulpritsSurvives) {
+  Schedule schedule;
+  for (uint64_t i = 0; i < 8; ++i) {
+    schedule.decisions.push_back({i, 1});
+  }
+  // Fails only when decisions at indices 2 AND 6 are both present.
+  Schedule shrunk = Shrink(schedule, [](const Schedule& candidate) {
+    bool a = false;
+    bool b = false;
+    for (const Decision& d : candidate.decisions) {
+      a |= d.index == 2;
+      b |= d.index == 6;
+    }
+    return a && b;
+  });
+  ASSERT_EQ(shrunk.decisions.size(), 2u);
+  EXPECT_EQ(shrunk.decisions[0].index, 2u);
+  EXPECT_EQ(shrunk.decisions[1].index, 6u);
+}
+
+// Deterministic toy executor: `points` consultation points, two always-
+// runnable threads; the outcome output is the pick sequence. Exercises the
+// explore driver end-to-end without the execution engine.
+RunFn ToyRun(int points) {
+  return [points](Scheduler* scheduler) {
+    int current = 0;
+    std::string trace;
+    for (int i = 0; i < points; ++i) {
+      SchedPoint point;
+      point.index = static_cast<uint64_t>(i);
+      point.current = current;
+      point.kind = PointKind::kLoad;
+      int pick = scheduler->Pick(point, {0, 1});
+      trace.push_back(static_cast<char>('0' + pick));
+      current = pick;
+    }
+    Outcome outcome;
+    outcome.ok = true;
+    outcome.output = trace;
+    outcome.state_digest = std::hash<std::string>{}(trace);
+    return outcome;
+  };
+}
+
+TEST(ExploreTest, DfsEnumeratesInterleavings) {
+  ExploreOptions options;
+  options.strategy = ExploreOptions::Strategy::kDfs;
+  options.dfs_preemption_bound = 3;
+  OutcomeSet set = EnumerateOutcomes(ToyRun(3), /*engine_seed=*/1, options);
+  // 3 binary decision points with bound >= 3 preemptions: all 8 traces.
+  EXPECT_EQ(set.outcomes.size(), 8u);
+  // Every witness replays to the outcome it claims.
+  for (const auto& [key, schedule] : set.witnesses) {
+    ReplayScheduler replay(schedule);
+    EXPECT_EQ(ToyRun(3)(&replay).Key(), key) << schedule.Serialize();
+  }
+}
+
+TEST(ExploreTest, PctFindsMultipleOutcomesDeterministically) {
+  uint64_t seed = TestSeed(2024);
+  SCOPED_TRACE("POLYNIMA_SEED=" + std::to_string(seed));
+  ExploreOptions options;
+  options.seed = seed;
+  options.strategy = ExploreOptions::Strategy::kPct;
+  options.budget = 32;
+  options.pct.expected_length = 8;
+  OutcomeSet a = EnumerateOutcomes(ToyRun(4), 1, options);
+  OutcomeSet b = EnumerateOutcomes(ToyRun(4), 1, options);
+  EXPECT_GT(a.outcomes.size(), 1u);
+  EXPECT_EQ(a.runs, 32);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (const auto& [key, outcome] : a.outcomes) {
+    EXPECT_EQ(b.outcomes.count(key), 1u) << key;
+  }
+}
+
+TEST(ExploreTest, DiffExploreReportsLostOutcome) {
+  // "Optimized" toy pins the second pick to repeat the first (the shape of a
+  // forwarded load): traces like 01x become impossible, so the reference-only
+  // outcomes must be reported as lost, with a replayable shrunk witness.
+  RunFn reference = ToyRun(3);
+  RunFn optimized = [](Scheduler* scheduler) {
+    int current = 0;
+    std::string trace;
+    for (int i = 0; i < 3; ++i) {
+      SchedPoint point;
+      point.index = static_cast<uint64_t>(i);
+      point.current = current;
+      int pick = i == 1 ? trace.back() - '0'
+                        : scheduler->Pick(point, {0, 1});
+      trace.push_back(static_cast<char>('0' + pick));
+      current = pick;
+    }
+    Outcome outcome;
+    outcome.ok = true;
+    outcome.output = trace;
+    outcome.state_digest = std::hash<std::string>{}(trace);
+    return outcome;
+  };
+  ExploreOptions options;
+  options.strategy = ExploreOptions::Strategy::kDfs;
+  options.dfs_preemption_bound = 3;
+  DiffReport report = DiffExplore(reference, optimized, 1, options);
+  ASSERT_TRUE(report.diverged);
+  EXPECT_TRUE(report.missing_in_optimized);
+  EXPECT_TRUE(report.replay_deterministic);
+  // The witness replays on the reference side to the diverging outcome.
+  ReplayScheduler replay(report.witness);
+  EXPECT_EQ(reference(&replay).Key(), report.divergence_key);
+  EXPECT_LE(report.witness.decisions.size(),
+            report.original_witness.decisions.size());
+  EXPECT_NE(report.message.find("polysched/v1"), std::string::npos)
+      << report.message;
+}
+
+}  // namespace
+}  // namespace polynima::sched

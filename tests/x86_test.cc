@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/support/rng.h"
+#include "src/support/testseed.h"
 #include "src/x86/assembler.h"
 #include "src/x86/decoder.h"
 #include "src/x86/encoder.h"
@@ -237,10 +238,19 @@ MemRef RandomMem(Rng& rng) {
   return m;
 }
 
-class RoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+// POLYNIMA_SEED shifts every parameterized seed; the effective value is
+// traced so a red run reproduces without the env var.
+class RoundTripTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  uint64_t Seed() const { return GetParam() + TestSeed(0); }
+};
+
+#define POLY_TRACE_SEED() \
+  SCOPED_TRACE("effective seed " + std::to_string(Seed()))
 
 TEST_P(RoundTripTest, RandomizedAluAndMov) {
-  Rng rng(GetParam());
+  POLY_TRACE_SEED();
+  Rng rng(Seed());
   const Mnemonic kAlu[] = {Mnemonic::kAdd, Mnemonic::kSub, Mnemonic::kAnd,
                            Mnemonic::kOr,  Mnemonic::kXor, Mnemonic::kCmp,
                            Mnemonic::kMov, Mnemonic::kTest};
@@ -283,7 +293,8 @@ TEST_P(RoundTripTest, RandomizedAluAndMov) {
 }
 
 TEST_P(RoundTripTest, RandomizedMisc) {
-  Rng rng(GetParam() * 7 + 1);
+  POLY_TRACE_SEED();
+  Rng rng(Seed() * 7 + 1);
   for (int iter = 0; iter < 200; ++iter) {
     int size = rng.NextBool() ? 8 : 4;
     switch (rng.NextBelow(10)) {
@@ -346,7 +357,8 @@ TEST_P(RoundTripTest, RandomizedMisc) {
 }
 
 TEST_P(RoundTripTest, RandomizedSimd) {
-  Rng rng(GetParam() * 13 + 5);
+  POLY_TRACE_SEED();
+  Rng rng(Seed() * 13 + 5);
   const Mnemonic kPacked[] = {Mnemonic::kPaddd, Mnemonic::kPsubd,
                               Mnemonic::kPmulld, Mnemonic::kPxor,
                               Mnemonic::kPaddq};
