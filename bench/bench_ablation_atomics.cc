@@ -88,6 +88,7 @@ int Run() {
   std::printf(
       "Ablation: hardware-atomic translation (Listing 1 naive global lock\n"
       "vs Listing 2 IR builtins). Normalized runtime; lower is better.\n\n");
+  BenchReport report("ablation_atomics");
   std::printf("%-22s %-12s %-12s\n", "workload", "builtin", "naive-lock");
   double d_builtin =
       Measure(kDisjoint, lift::LiftOptions::AtomicsMode::kBuiltin);
@@ -104,6 +105,15 @@ int Run() {
       "\nThe naive strategy's penalty on disjoint counters (%.2fx vs %.2fx)\n"
       "is the false contention the paper's optimized translation removes.\n",
       d_naive, d_builtin);
+  report.Sample("normalized_runtime", d_builtin,
+                {{"workload", "disjoint-counters"}, {"mode", "builtin"}});
+  report.Sample("normalized_runtime", d_naive,
+                {{"workload", "disjoint-counters"}, {"mode", "naive-lock"}});
+  report.Sample("normalized_runtime", s_builtin,
+                {{"workload", "shared-counter"}, {"mode", "builtin"}});
+  report.Sample("normalized_runtime", s_naive,
+                {{"workload", "shared-counter"}, {"mode", "naive-lock"}});
+  report.Write();
   POLY_CHECK(d_naive > d_builtin);
   return 0;
 }

@@ -32,6 +32,7 @@ int Run() {
   std::printf("%-12s %-12s %-12s %-12s %-12s %s\n", "workload", "ext-before",
               "ext-after", "ir-before", "ir-after", "speedup");
 
+  BenchReport report("ablation_callbacks");
   // OpenMP-style gapbs kernels are the callback-heavy case the paper calls
   // out (19 callbacks on average); pr uses 3 parallel regions per iteration.
   for (const char* name : {"pr", "bfs"}) {
@@ -65,7 +66,22 @@ int Run() {
                 TotalInsts(*slim->program.module),
                 static_cast<double>(base.wall_time) /
                     static_cast<double>(fast.wall_time));
+    report.Sample("external_entries", CountExternal(conservative->program),
+                  {{"benchmark", name}, {"analysis", "conservative"}});
+    report.Sample("external_entries", CountExternal(slim->program),
+                  {{"benchmark", name}, {"analysis", "callback"}});
+    report.Sample("ir_instructions",
+                  static_cast<double>(TotalInsts(*conservative->program.module)),
+                  {{"benchmark", name}, {"analysis", "conservative"}});
+    report.Sample("ir_instructions",
+                  static_cast<double>(TotalInsts(*slim->program.module)),
+                  {{"benchmark", name}, {"analysis", "callback"}});
+    report.Sample("speedup",
+                  static_cast<double>(base.wall_time) /
+                      static_cast<double>(fast.wall_time),
+                  {{"benchmark", name}});
   }
+  report.Write();
   return 0;
 }
 

@@ -13,6 +13,8 @@ int Run() {
       "the original exactly; normalized runtime per configuration.\n\n");
   std::printf("%-26s %-12s %s\n", "configuration", "normalized", "ops parity");
 
+  BenchReport report("apps");
+  report.Config("suite", "real_world_utilities");
   for (const workloads::Workload& w : workloads::Apps()) {
     std::vector<std::vector<std::vector<uint8_t>>> configurations;
     std::vector<std::string> labels;
@@ -43,6 +45,8 @@ int Run() {
       std::printf("%-26s %-12s %s\n", labels[i].c_str(),
                   Cell(Normalized(rec.result, original)).c_str(),
                   "exact (outputs identical)");
+      report.Sample("normalized_runtime", Normalized(rec.result, original),
+                    {{"workload", w.name}, {"configuration", labels[i]}});
     }
   }
   std::printf(
@@ -50,6 +54,7 @@ int Run() {
       "(pigz), 2.02s vs 2.03s response (mongoose), 2.4%%/9%% up/down deltas\n"
       "(LightFTP); here outputs are bit-identical and the runtime overhead\n"
       "is the column above.\n");
+  report.Write();
   return 0;
 }
 

@@ -5,6 +5,7 @@
 // the guest-level experiment results.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/cc/compiler.h"
 #include "src/cfg/cfg.h"
 #include "src/exec/engine.h"
@@ -127,7 +128,46 @@ void BM_EngineExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineExecution);
 
+// Adapter feeding every google-benchmark run into the shared BENCH_*.json
+// writer while keeping the stock console table. Aggregate rows (mean/stddev
+// from --benchmark_repetitions) are skipped — the summary block already
+// derives its own statistics from the iteration runs.
+class JsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonReporter(bench::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      bench::BenchReport::Labels labels = {{"benchmark", run.benchmark_name()}};
+      report_->Sample("cpu_time_ns", run.GetAdjustedCPUTime(), labels);
+      report_->Sample("real_time_ns", run.GetAdjustedRealTime(), labels);
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        report_->Sample("items_per_second", items->second.value, labels);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace polynima
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  polynima::bench::BenchReport report("micro_pipeline");
+  polynima::JsonReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.Write();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -52,6 +52,8 @@ int Run() {
   std::printf("Deterministic schedule exploration (polynima explore)\n\n");
   std::printf("%-10s %-9s %-6s %-10s %-9s %-11s %s\n", "program", "strategy",
               "runs", "outcomes", "sched/s", "first-bug", "witness");
+  BenchReport report("sched_explore");
+  report.Config("budget", 256);
 
   for (const char* name : {"rle_flag", "dse_flag"}) {
     recomp::RecompiledBinary fenced = schedtest::BuildCorpus(name, "fenced");
@@ -64,27 +66,36 @@ int Run() {
       std::printf("%-10s %-9s %-6d %-10zu %-9.0f %-11s %s\n", name, label,
                   row.runs, row.outcomes,
                   row.ms > 0 ? row.runs / (row.ms / 1e3) : 0.0, "-", "-");
+      BenchReport::Labels labels = {{"program", name}, {"strategy", label}};
+      report.Sample("schedules_per_sec",
+                    row.ms > 0 ? row.runs / (row.ms / 1e3) : 0.0, labels);
+      report.Sample("distinct_outcomes", static_cast<double>(row.outcomes),
+                    labels);
     }
 
     // Time-to-first-bug: full differential against the fence-deletion
     // mutant, including outcome-set diff, shrink and replay verification.
     uint64_t t0 = NowNs();
     sched::ExploreOptions options;
-    sched::DiffReport report = sched::DiffExplore(
+    sched::DiffReport diff = sched::DiffExplore(
         schedtest::MakeRunFn(fenced, 1), schedtest::MakeRunFn(nofence, 1),
         /*engine_seed=*/1, options);
     double ms = static_cast<double>(NowNs() - t0) / 1e6;
-    POLY_CHECK(report.diverged) << name << ": mutant not flagged";
-    POLY_CHECK(report.replay_deterministic) << name;
+    POLY_CHECK(diff.diverged) << name << ": mutant not flagged";
+    POLY_CHECK(diff.replay_deterministic) << name;
     std::printf("%-10s %-9s %-6d %-10s %-9s %-11s %s\n", name, "diff",
-                report.runs_reference + report.runs_optimized,
-                ("[" + report.divergence_key + "]").c_str(), "-",
-                (Cell(ms) + " ms").c_str(),
-                report.witness.Serialize().c_str());
+                diff.runs_reference + diff.runs_optimized,
+                ("[" + diff.divergence_key + "]").c_str(), "-",
+                (Cell(ms) + " ms").c_str(), diff.witness.Serialize().c_str());
+    report.Sample("first_bug_ms", ms, {{"program", name}});
+    report.Sample("diff_runs",
+                  static_cast<double>(diff.runs_reference + diff.runs_optimized),
+                  {{"program", name}});
   }
   std::printf(
       "\nfirst-bug includes exploring both sides, the outcome-set diff,\n"
       "ddmin shrinking and the double-replay determinism check.\n");
+  report.Write();
   return 0;
 }
 

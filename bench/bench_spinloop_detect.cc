@@ -27,6 +27,7 @@ int Run() {
   std::printf("%-18s %-7s %-10s %-10s %s\n", "benchmark", "loops",
               "spinning", "uncovered", "fence-removal");
 
+  BenchReport report("spinloop_detect");
   int false_positives = 0;  // spinlock suite proven "non-spinning" (unsound)
   int true_negatives = 0;   // spinlock binaries correctly flagged
   int phoenix_clean = 0;
@@ -46,6 +47,12 @@ int Run() {
     phoenix_clean += a.FenceRemovalSafe() ? 1 : 0;
     std::printf("%-18s %-7zu %-10d %-10d %s\n", w.name.c_str(),
                 a.loops.size(), a.SpinningCount(), uncovered, verdict);
+    BenchReport::Labels labels = {{"benchmark", w.name}, {"suite", "phoenix"}};
+    report.Sample("loops", static_cast<double>(a.loops.size()), labels);
+    report.Sample("spinning", a.SpinningCount(), labels);
+    report.Sample("uncovered", uncovered, labels);
+    report.Sample("fence_removal_safe", a.FenceRemovalSafe() ? 1.0 : 0.0,
+                  labels);
   }
 
   std::printf("\n");
@@ -61,6 +68,8 @@ int Run() {
                 a.loops.size(), a.SpinningCount(), "-",
                 detected ? "spinlock detected (fences kept)"
                          : "MISSED SPINLOCK (false positive!)");
+    report.Sample("spinlock_detected", detected ? 1.0 : 0.0,
+                  {{"benchmark", w.name}, {"suite", "ckit"}});
   }
 
   std::printf(
@@ -68,6 +77,8 @@ int Run() {
       "and the manually-cleared histogram); ckit spinlocks detected %d/11,\n"
       "false positives %d (paper: 0)\n",
       phoenix_clean, true_negatives, false_positives);
+  report.Sample("false_positives", false_positives);
+  report.Write();
   POLY_CHECK(false_positives == 0) << "unsound fence removal";
   return 0;
 }

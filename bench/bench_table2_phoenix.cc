@@ -34,6 +34,8 @@ int Run() {
   std::printf("%-18s %-14s %-16s %-14s %-16s %s\n", "benchmark", "O0",
               "O0 FO", "O3", "O3 FO", "FO-verdict");
 
+  BenchReport report("table2_phoenix");
+  report.Config("suite", "phoenix");
   std::vector<double> g_o0, g_o0fo, g_o3, g_o3fo;
   for (const workloads::Workload& w : workloads::Phoenix()) {
     const PaperRow* paper = nullptr;
@@ -65,7 +67,12 @@ int Run() {
       for (bool fo : {false, true}) {
         RecompiledRun rec =
             RunRecompiled(image, inputs, fo, &original.output);
-        cells[idx++] = Normalized(rec.result, original);
+        cells[idx] = Normalized(rec.result, original);
+        report.Sample("normalized_runtime", cells[idx],
+                      {{"benchmark", w.name},
+                       {"opt", opt == 0 ? "O0" : "O3"},
+                       {"fence_opt", fo ? "yes" : "no"}});
+        ++idx;
       }
     }
     g_o0.push_back(cells[0]);
@@ -81,6 +88,13 @@ int Run() {
               "geomean", Cell(Geomean(g_o0)).c_str(),
               Cell(Geomean(g_o0fo)).c_str(), Cell(Geomean(g_o3)).c_str(),
               Cell(Geomean(g_o3fo)).c_str());
+  report.Sample("geomean", Geomean(g_o0), {{"opt", "O0"}, {"fence_opt", "no"}});
+  report.Sample("geomean", Geomean(g_o0fo),
+                {{"opt", "O0"}, {"fence_opt", "yes"}});
+  report.Sample("geomean", Geomean(g_o3), {{"opt", "O3"}, {"fence_opt", "no"}});
+  report.Sample("geomean", Geomean(g_o3fo),
+                {{"opt", "O3"}, {"fence_opt", "yes"}});
+  report.Write();
   return 0;
 }
 

@@ -22,6 +22,8 @@ int Run() {
   std::printf("%-10s %-14s %-16s %-14s %s\n", "benchmark", "32 O0", "32 O3",
               "64 O0", "64 O3");
 
+  BenchReport report("table3_gapbs");
+  report.Config("suite", "gapbs");
   std::vector<double> g[4];
   for (size_t row = 0; row < workloads::Gapbs(true).size(); ++row) {
     const workloads::Workload& narrow = workloads::Gapbs(false)[row];
@@ -44,6 +46,10 @@ int Run() {
             RunRecompiled(image, inputs, false, &original.output);
         cells[idx] = Normalized(rec.result, original);
         g[idx].push_back(cells[idx]);
+        report.Sample("normalized_runtime", cells[idx],
+                      {{"benchmark", narrow.name},
+                       {"node_id_bits", w == &narrow ? "32" : "64"},
+                       {"opt", opt == 0 ? "O0" : "O3"}});
         ++idx;
       }
     }
@@ -56,6 +62,13 @@ int Run() {
               "geomean", Cell(Geomean(g[0])).c_str(),
               Cell(Geomean(g[1])).c_str(), Cell(Geomean(g[2])).c_str(),
               Cell(Geomean(g[3])).c_str());
+  const char* kColumns[4][2] = {
+      {"32", "O0"}, {"32", "O3"}, {"64", "O0"}, {"64", "O3"}};
+  for (int i = 0; i < 4; ++i) {
+    report.Sample("geomean", Geomean(g[i]),
+                  {{"node_id_bits", kColumns[i][0]}, {"opt", kColumns[i][1]}});
+  }
+  report.Write();
   return 0;
 }
 

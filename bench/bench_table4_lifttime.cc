@@ -36,6 +36,8 @@ int Run() {
   std::printf("%-16s %-16s %-16s %-16s %s\n", "benchmark", "polynima(ms)",
               "binrec(ms)", "mcsema(ms)", "icfts");
 
+  BenchReport report("table4_lifttime");
+  report.Config("suite", "spec_like");
   std::vector<double> gp, gb, gm;
   for (const workloads::Workload& w : workloads::SpecLike()) {
     const PaperRow* paper = nullptr;
@@ -80,6 +82,14 @@ int Run() {
     gp.push_back(poly_ms);
     gb.push_back(binrec_ms);
     gm.push_back(mcsema_ms);
+    report.Sample("lift_ms", poly_ms,
+                  {{"benchmark", w.name}, {"tool", "polynima"}});
+    report.Sample("lift_ms", binrec_ms,
+                  {{"benchmark", w.name}, {"tool", "binrec_like"}});
+    report.Sample("lift_ms", mcsema_ms,
+                  {{"benchmark", w.name}, {"tool", "mcsema_like"}});
+    report.Sample("icfts", static_cast<double>(icfts),
+                  {{"benchmark", w.name}});
     std::printf("%-16s %-7.1f [%ld]    %-8.1f [%ld]   %-7.1f [%ld]    %zu [%ld]\n",
                 w.name.c_str(), poly_ms, paper->poly_s, binrec_ms,
                 paper->binrec_s, mcsema_ms, paper->mcsema_s, icfts,
@@ -90,6 +100,9 @@ int Run() {
   std::printf(
       "\nbinrec/polynima ratio: measured %.0fx, paper %.0fx\n",
       Geomean(gb) / Geomean(gp), 137074.0 / 445.0);
+  report.Sample("lift_ms_geomean", Geomean(gp), {{"tool", "polynima"}});
+  report.Sample("lift_ms_geomean", Geomean(gb), {{"tool", "binrec_like"}});
+  report.Sample("lift_ms_geomean", Geomean(gm), {{"tool", "mcsema_like"}});
 
   // Jobs sweep: lift+optimize wall time for the whole SPEC-like suite at
   // 1/2/4/8 worker threads. The phases parallelize per function; cpu/wall
@@ -119,7 +132,12 @@ int Run() {
     }
     std::printf("%-8d %-14.1f %-14.1f %-10.2f %.2f\n", jobs, wall_ms, cpu_ms,
                 base_ms / wall_ms, cpu_ms / wall_ms);
+    std::string jobs_label = std::to_string(jobs);
+    report.Sample("liftopt_wall_ms", wall_ms, {{"jobs", jobs_label}});
+    report.Sample("liftopt_cpu_ms", cpu_ms, {{"jobs", jobs_label}});
+    report.Sample("liftopt_speedup", base_ms / wall_ms, {{"jobs", jobs_label}});
   }
+  report.Write();
   return 0;
 }
 

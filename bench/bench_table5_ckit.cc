@@ -27,6 +27,8 @@ int Run() {
       "columns: measured [paper]\n\n");
   std::printf("%-16s %-14s %s\n", "spinlock", "native", "recovered");
 
+  BenchReport report("table5_ckit");
+  report.Config("suite", "ckit_spinlocks");
   const std::vector<std::vector<uint8_t>> latency_inputs = {{'1'}};
   for (const workloads::Workload& w : workloads::CkitSpinlocks()) {
     const PaperRow* paper = nullptr;
@@ -53,7 +55,14 @@ int Run() {
                 paper->native,
                 static_cast<long long>(ParseLatency(recovered.result.output)),
                 paper->recovered);
+    report.Sample("latency_cycles",
+                  static_cast<double>(ParseLatency(native.output)),
+                  {{"spinlock", w.name}, {"build", "native"}});
+    report.Sample("latency_cycles",
+                  static_cast<double>(ParseLatency(recovered.result.output)),
+                  {{"spinlock", w.name}, {"build", "recovered"}});
   }
+  report.Write();
   return 0;
 }
 

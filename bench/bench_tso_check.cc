@@ -26,6 +26,9 @@ int Run() {
               "accesses", "fenced", "witnessed", "violations", "check-ms",
               "Macc/s");
 
+  BenchReport bench_report("tso_check");
+  bench_report.Config("suite", "phoenix");
+  bench_report.Config("reps", 3);
   size_t total_accesses = 0;
   size_t total_violations = 0;
   uint64_t total_ns = 0;
@@ -62,11 +65,19 @@ int Run() {
                 w.name.c_str(), report.accesses_checked,
                 report.fenced_accesses, report.witnesses_consumed,
                 report.violations.size(), ms, macc_s);
+    BenchReport::Labels labels = {{"benchmark", w.name}};
+    bench_report.Sample("accesses_checked",
+                        static_cast<double>(report.accesses_checked), labels);
+    bench_report.Sample("check_ms", ms, labels);
+    bench_report.Sample("macc_per_sec", macc_s, labels);
+    bench_report.Sample("violations",
+                        static_cast<double>(report.violations.size()), labels);
   }
 
   std::printf("\nsummary: %zu accesses checked in %.2f ms, %zu violations\n",
               total_accesses, static_cast<double>(total_ns) / 1e6,
               total_violations);
+  bench_report.Write();
   POLY_CHECK(total_violations == 0)
       << "fenced recompiled modules must be TSO-sound";
   return 0;

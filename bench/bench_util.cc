@@ -1,6 +1,75 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
+#include <cstdlib>
+
 namespace polynima::bench {
+namespace {
+
+// Nearest-rank percentile over a sorted copy; q in [0,1].
+double Percentile(std::vector<double> values, double q) {
+  POLY_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+}  // namespace
+
+void BenchReport::Config(const std::string& key, json::Value value) {
+  config_[key] = std::move(value);
+}
+
+void BenchReport::Sample(const std::string& metric, double value,
+                         Labels labels) {
+  samples_.push_back({metric, value, std::move(labels)});
+}
+
+json::Value BenchReport::ToJson() const {
+  json::Object doc;
+  doc["schema"] = "polynima-bench/v1";
+  doc["name"] = name_;
+  doc["config"] = config_;
+
+  json::Array samples;
+  std::map<std::string, std::vector<double>> by_metric;
+  for (const Entry& e : samples_) {
+    json::Object s;
+    s["metric"] = e.metric;
+    s["value"] = e.value;
+    json::Object labels;
+    for (const auto& [k, v] : e.labels) {
+      labels[k] = v;
+    }
+    s["labels"] = std::move(labels);
+    samples.push_back(std::move(s));
+    by_metric[e.metric].push_back(e.value);
+  }
+  doc["samples"] = std::move(samples);
+
+  json::Object summary;
+  for (const auto& [metric, values] : by_metric) {
+    json::Object stats;
+    stats["n"] = static_cast<int64_t>(values.size());
+    stats["median"] = Percentile(values, 0.5);
+    stats["p90"] = Percentile(values, 0.9);
+    stats["min"] = *std::min_element(values.begin(), values.end());
+    stats["max"] = *std::max_element(values.begin(), values.end());
+    summary[metric] = std::move(stats);
+  }
+  doc["summary"] = std::move(summary);
+  return doc;
+}
+
+void BenchReport::Write() const {
+  std::string path = "BENCH_" + name_ + ".json";
+  if (const char* dir = std::getenv("POLYNIMA_BENCH_DIR")) {
+    path = std::string(dir) + "/" + path;
+  }
+  Status status = json::WriteFile(path, ToJson());
+  POLY_CHECK(status.ok()) << path << ": " << status.ToString();
+  std::printf("\n[bench report: %s]\n", path.c_str());
+}
 
 binary::Image CompileWorkload(const workloads::Workload& w, int opt_level) {
   cc::CompileOptions options;

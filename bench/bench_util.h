@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/binary/image.h"
@@ -15,10 +16,47 @@
 #include "src/exec/engine.h"
 #include "src/recomp/recompiler.h"
 #include "src/support/check.h"
+#include "src/support/json.h"
 #include "src/vm/vm.h"
 #include "src/workloads/workloads.h"
 
 namespace polynima::bench {
+
+// Machine-readable twin of a harness's stdout table. Each measured cell is
+// recorded as a sample (metric name + value + free-form labels); Write()
+// serializes everything to BENCH_<name>.json ("polynima-bench/v1") next to
+// the binary — or under $POLYNIMA_BENCH_DIR when set — including a per-metric
+// {n, median, p90, min, max} summary so CI can diff runs without parsing the
+// human tables.
+class BenchReport {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  // Harness-wide configuration (suite name, thread counts, budgets, ...).
+  void Config(const std::string& key, json::Value value);
+
+  // One measured value. Labels identify the cell (benchmark, opt level, ...).
+  void Sample(const std::string& metric, double value, Labels labels = {});
+
+  json::Value ToJson() const;
+
+  // Writes BENCH_<name>.json; aborts on I/O failure (benches are CI jobs —
+  // a silently missing report would read as "no regression").
+  void Write() const;
+
+ private:
+  struct Entry {
+    std::string metric;
+    double value;
+    Labels labels;
+  };
+
+  std::string name_;
+  json::Object config_;
+  std::vector<Entry> samples_;
+};
 
 // Compiles a workload at the given optimization level; aborts on error
 // (workloads are covered by tests).

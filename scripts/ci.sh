@@ -36,6 +36,41 @@ ctest --preset default -j "$jobs"
 step "ctest: sched (schedule-exploration suite)"
 ctest --preset sched -j "$jobs"
 
+step "ctest: obs (observability suite)"
+ctest --preset obs -j "$jobs"
+
+step "obs: traced+metered recompile, schema-validated"
+# A real CLI run with every sink attached, then the structural validator over
+# each artifact — CI fails on malformed OR empty observability output.
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+cat > "$obsdir/counter.c" <<'EOF'
+extern void print_i64(long v);
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+long counter = 0;
+long worker(long arg) {
+  for (int i = 0; i < 1000; i++) __atomic_fetch_add(&counter, 1, 5);
+  return 0;
+}
+int main() {
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  print_i64(counter);
+  return 0;
+}
+EOF
+polynima=build/src/tools/polynima
+"$polynima" compile "$obsdir/counter.c" -o "$obsdir/counter.plyb" -O0
+"$polynima" recompile "$obsdir/counter.plyb" -p "$obsdir/proj" --check-tso \
+  --trace-out "$obsdir/trace.json" --metrics-out "$obsdir/metrics.json" \
+  --report-out "$obsdir/run.json"
+"$polynima" run "$obsdir/counter.plyb" -p "$obsdir/proj" \
+  --profile "$obsdir/profile.json"
+"$polynima" report --validate "$obsdir/trace.json" "$obsdir/metrics.json" \
+  "$obsdir/run.json" "$obsdir/profile.json"
+
 step "configure+build: asan-ubsan"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"

@@ -448,6 +448,7 @@ void CheckFunction(const Function& f, bool cert_ok, TsoCheckReport* report) {
         if (!settled) {
           // Fell through the block end: consult the successors.
           for (ir::BasicBlock* s : b->Successors()) {
+            ++report->path_scans;
             if (!paths.ForwardOk(s)) {
               discharged = false;
               path = StrCat(b->name(), " -> ", paths.ForwardPath(s, &offender));
@@ -494,6 +495,9 @@ void CheckFunction(const Function& f, bool cert_ok, TsoCheckReport* report) {
               bool is_pred = false;
               for (ir::BasicBlock* s : pb->Successors()) {
                 is_pred = is_pred || s == b.get();
+              }
+              if (is_pred) {
+                ++report->path_scans;
               }
               if (is_pred && !paths.BackwardOk(pb.get())) {
                 discharged = false;
@@ -551,6 +555,7 @@ std::string TsoCheckReport::Summary() const {
 
 TsoCheckReport CheckModule(const ir::Module& m,
                            const TsoCheckOptions& options) {
+  obs::Span span(options.obs.trace, "check", "tso-check");
   TsoCheckReport report;
   bool cert_ok = false;
   if (options.cert != nullptr) {
@@ -581,6 +586,18 @@ TsoCheckReport CheckModule(const ir::Module& m,
     }
     CheckFunction(*f, cert_ok, &report);
   }
+  if (options.obs.metrics != nullptr) {
+    const obs::Session& obs = options.obs;
+    obs.Add(obs::Counter::kCheckAccessesChecked, report.accesses_checked);
+    obs.Add(obs::Counter::kCheckObligationsDischarged,
+            report.fenced_accesses + report.witnesses_consumed +
+                report.cert_covered);
+    obs.Add(obs::Counter::kCheckPathsExplored, report.path_scans);
+    obs.Add(obs::Counter::kCheckWitnessesVerified, report.witnesses_consumed);
+    obs.Add(obs::Counter::kCheckViolations, report.violations.size());
+  }
+  span.Arg("accesses", static_cast<int64_t>(report.accesses_checked));
+  span.Arg("violations", static_cast<int64_t>(report.violations.size()));
   return report;
 }
 

@@ -39,6 +39,7 @@
 
 #include "src/check/witness.h"
 #include "src/ir/ir.h"
+#include "src/obs/report.h"
 #include "src/support/status.h"
 
 namespace polynima::check {
@@ -49,6 +50,9 @@ struct TsoCheckOptions {
   // Expected BinaryKey of the image the module was lifted from (0 = don't
   // verify the binding; tests that build IR by hand use 0).
   uint64_t binary_key = 0;
+  // Observability sinks (all nullable; see src/obs): one "check"-category
+  // span per CheckModule call and the check.* counters.
+  obs::Session obs;
 };
 
 struct TsoViolation {
@@ -65,6 +69,7 @@ struct TsoCheckReport {
   size_t fenced_accesses = 0;     // discharged by a barrier on every path
   size_t witnesses_consumed = 0;  // stack-local witnesses that re-verified
   size_t cert_covered = 0;        // discharged by the module-wide cert
+  size_t path_scans = 0;          // cross-block path scans performed
   std::vector<TsoViolation> violations;
 
   bool ok() const { return violations.empty(); }

@@ -153,6 +153,7 @@ void Engine::Fault(std::string message) {
   if (!faulted_) {
     faulted_ = true;
     fault_message_ = std::move(message);
+    options_.obs.Add(obs::Counter::kExecFaults);
   }
 }
 
@@ -171,6 +172,16 @@ void Engine::RecordAccess(const Instruction* inst, Thread& t, uint64_t addr) {
   } else {
     rec.overflow = true;
   }
+}
+
+uint32_t Engine::ProfileSite(const Frame& f, const BasicBlock* block) {
+  auto it = profile_sites_.find(block);
+  if (it == profile_sites_.end()) {
+    uint32_t site = options_.obs.profile->RegisterSite(
+        f.fn->name(), block->name(), block->guest_address);
+    it = profile_sites_.emplace(block, site).first;
+  }
+  return it->second;
 }
 
 uint64_t Engine::Eval(const Frame& f, const Value* v) const {
@@ -251,6 +262,10 @@ void Engine::PushFrame(Thread& t, Function* fn, bool dispatch_root) {
   frame.it = frame.block->insts().begin();
   frame.dispatch_root = dispatch_root;
   frame.fold = &addressing_only_[fn];
+  if (options_.obs.profile != nullptr) {
+    frame.profile_site = ProfileSite(frame, frame.block);
+    options_.obs.profile->AddEntry(frame.profile_site);
+  }
   t.stack.push_back(std::move(frame));
 }
 
@@ -281,6 +296,10 @@ void Engine::EnterBlock(Frame& f, BasicBlock* target) {
   // Skip the phi prefix (already materialized).
   while (f.it != target->insts().end() && (*f.it)->op() == Op::kPhi) {
     ++f.it;
+  }
+  if (options_.obs.profile != nullptr) {
+    f.profile_site = ProfileSite(f, target);
+    options_.obs.profile->AddEntry(f.profile_site);
   }
 }
 
@@ -315,6 +334,7 @@ bool Engine::DispatchPending(Thread& t) {
   }
   PushFrame(t, it->second, /*dispatch_root=*/true);
   t.clock += costs_.dispatch_entry;
+  options_.obs.Add(obs::Counter::kExecDispatches);
   return true;
 }
 
@@ -333,6 +353,9 @@ bool Engine::StepInstruction(Thread& t) {
   POLY_CHECK(f.it != f.block->insts().end())
       << "fell off block " << f.block->name();
   const Instruction& inst = **f.it;
+  if (options_.obs.profile != nullptr) {
+    options_.obs.profile->AddInstrs(f.profile_site, 1);
+  }
   // Copy: `f` may dangle after a call pushes a frame (vector reallocation).
   const std::set<const Instruction*>* fold = f.fold;
   uint64_t cost = costs_.alu;
@@ -552,6 +575,10 @@ bool Engine::StepInstruction(Thread& t) {
       break;
 
     case Op::kFence:
+      if (options_.obs.profile != nullptr) {
+        options_.obs.profile->AddFence(f.profile_site);
+      }
+      options_.obs.Add(obs::Counter::kExecFences);
       cost = costs_.fence;
       break;
 
@@ -583,6 +610,10 @@ bool Engine::StepInstruction(Thread& t) {
       }
       memory_.Write(addr, inst.size, MaskBytes(r, inst.size));
       f.values[static_cast<size_t>(inst.id)] = old;
+      if (options_.obs.profile != nullptr) {
+        options_.obs.profile->AddAtomic(f.profile_site);
+      }
+      options_.obs.Add(obs::Counter::kExecAtomics);
       cost = costs_.atomic;
       break;
     }
@@ -597,6 +628,10 @@ bool Engine::StepInstruction(Thread& t) {
         memory_.Write(addr, inst.size, MaskBytes(desired, inst.size));
       }
       f.values[static_cast<size_t>(inst.id)] = old;
+      if (options_.obs.profile != nullptr) {
+        options_.obs.profile->AddAtomic(f.profile_site);
+      }
+      options_.obs.Add(obs::Counter::kExecAtomics);
       cost = costs_.atomic;
       break;
     }
@@ -635,6 +670,7 @@ bool Engine::HandleIntrinsic(Thread& t, size_t frame_index,
       return false;
     }
     t.clock += costs_.ext_marshal;
+    options_.obs.Add(obs::Counter::kExecExtCalls);
     vm::ExtResult result = library_->Call(program_.externals[slot], *this);
     switch (result.status) {
       case vm::ExtStatus::kDone:
@@ -973,11 +1009,15 @@ ExecResult Engine::Run() {
       << "controlled scheduling and schedule_skew are mutually exclusive";
   CreateThread(program_.entry, 0, 0, kProgramExitMagic);
 
+  obs::Span span(options_.obs.trace, "exec", "run");
   if (options_.scheduler != nullptr) {
     RunControlledLoop();
   } else {
     RunMinClockLoop();
   }
+  options_.obs.Add(obs::Counter::kExecGuestInstrs, steps_);
+  span.Arg("steps", static_cast<int64_t>(steps_));
+  span.End();
 
   ExecResult result;
   result.ok = !faulted_;

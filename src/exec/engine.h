@@ -30,6 +30,7 @@
 #include "src/binary/image.h"
 #include "src/ir/ir.h"
 #include "src/lift/lifter.h"
+#include "src/obs/report.h"
 #include "src/sched/scheduler.h"
 #include "src/support/rng.h"
 #include "src/vm/external.h"
@@ -64,6 +65,12 @@ struct ExecOptions {
   // Record which lifted functions are entered from external code (thread
   // entries, callbacks) for the callback-wrapper removal analysis (§3.3.3).
   bool record_callbacks = false;
+  // Observability sinks (all nullable; see src/obs). With `obs.profile` set,
+  // every basic-block entry and every fence/atomic site is attributed to a
+  // per-block profile site (the `polynima report` hot-block and
+  // fence-density tables); the exec.* counters summarize the run. The hot
+  // path stays a null check + array increment.
+  obs::Session obs;
 };
 
 // Simulated-cycle costs for executing recompiled code.
@@ -165,6 +172,9 @@ class Engine : public vm::GuestContext {
     bool dispatch_root = false;
     // Addressing-only instruction set of this frame's function.
     const std::set<const ir::Instruction*>* fold = nullptr;
+    // Guest-profile site of the current block (valid only while profiling;
+    // cached so the per-instruction hook is an array increment).
+    uint32_t profile_site = 0;
   };
 
   struct Thread {
@@ -215,6 +225,7 @@ class Engine : public vm::GuestContext {
 
   void Fault(std::string message);
   void RecordAccess(const ir::Instruction* inst, Thread& t, uint64_t addr);
+  uint32_t ProfileSite(const Frame& f, const ir::BasicBlock* block);
 
   const lift::LiftedProgram& program_;
   const binary::Image& image_;
@@ -261,6 +272,9 @@ class Engine : public vm::GuestContext {
 
   std::map<const ir::Instruction*, AccessRecord> accesses_;
   std::set<std::string> observed_callbacks_;
+
+  // Lazily registered guest-profile sites (profiling runs only).
+  std::map<const ir::BasicBlock*, uint32_t> profile_sites_;
 };
 
 }  // namespace polynima::exec

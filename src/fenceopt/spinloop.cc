@@ -361,7 +361,9 @@ SpinloopAnalysis AnalyzeLoops(
 
 Expected<SpinloopAnalysis> DetectImplicitSynchronization(
     const binary::Image& image, const cfg::ControlFlowGraph& graph,
-    const std::vector<std::vector<std::vector<uint8_t>>>& input_sets) {
+    const std::vector<std::vector<std::vector<uint8_t>>>& input_sets,
+    const obs::Session& obs) {
+  obs::Span span(obs.trace, "fenceopt", "spinloop-analysis");
   // 1. Analysis module: inline everything, promote registers to SSA.
   lift::LiftOptions lift_options;
   lift_options.mark_all_external = false;  // analysis copy: inline freely
@@ -401,7 +403,14 @@ Expected<SpinloopAnalysis> DetectImplicitSynchronization(
   }
 
   // 3. Classify.
-  return AnalyzeLoops(*program.module, merged);
+  SpinloopAnalysis analysis = AnalyzeLoops(*program.module, merged);
+  if (obs.metrics != nullptr) {
+    obs.Add(obs::Counter::kFenceoptLoopsAnalyzed, analysis.loops.size());
+    obs.Add(obs::Counter::kFenceoptLoopsSpinning,
+            static_cast<uint64_t>(analysis.SpinningCount()));
+  }
+  span.Arg("loops", static_cast<int64_t>(analysis.loops.size()));
+  return analysis;
 }
 
 check::ElisionCert MakeElisionCert(const SpinloopAnalysis& analysis,

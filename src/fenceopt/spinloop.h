@@ -40,6 +40,7 @@
 #include "src/check/witness.h"
 #include "src/exec/engine.h"
 #include "src/ir/ir.h"
+#include "src/obs/report.h"
 #include "src/support/status.h"
 
 namespace polynima::fenceopt {
@@ -79,10 +80,13 @@ struct SpinloopAnalysis {
 
 // Runs the full §3.4 analysis: builds the inlined analysis module from
 // (image, graph), executes it instrumented over each input set, merges the
-// access records, and classifies every natural loop.
+// access records, and classifies every natural loop. With observability
+// sinks attached (`obs`, all nullable), emits one "fenceopt"-category span
+// and the fenceopt.loops_* counters.
 Expected<SpinloopAnalysis> DetectImplicitSynchronization(
     const binary::Image& image, const cfg::ControlFlowGraph& graph,
-    const std::vector<std::vector<std::vector<uint8_t>>>& input_sets);
+    const std::vector<std::vector<std::vector<uint8_t>>>& input_sets,
+    const obs::Session& obs = {});
 
 // Classification only (analysis module and access records supplied by the
 // caller; exposed for unit tests).

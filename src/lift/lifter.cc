@@ -1,6 +1,7 @@
 #include "src/lift/lifter.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "src/ir/builder.h"
@@ -35,6 +36,13 @@ using x86::Reg;
 namespace {
 
 enum FlagIndex { kCf = 0, kPf = 1, kZf = 2, kSf = 3, kOf = 4 };
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Module-level state built serially before function bodies are lifted.
 // During the parallel body phase this is read-only, with one exception: the
@@ -77,7 +85,17 @@ class FunctionLifter {
  public:
   explicit FunctionLifter(SharedState& s) : s_(s), b_(s.module) {}
 
-  Status Lift(const FunctionInfo& fn_info) { return LiftFunction(fn_info); }
+  Status Lift(const FunctionInfo& fn_info) {
+    Status st = LiftFunction(fn_info);
+    if (st.ok() && s_.options.obs.metrics != nullptr) {
+      const obs::Session& obs = s_.options.obs;
+      obs.Add(obs::Counter::kFenceoptFencesInserted, fences_considered_);
+      obs.Add(obs::Counter::kFenceoptFencesElided, fences_elided_);
+      obs.Add(obs::Counter::kFenceoptFencesRetained, fences_retained_);
+      obs.Add(obs::Counter::kFenceoptWitnessStack, fences_elided_);
+    }
+    return st;
+  }
 
  private:
   // ---- small value helpers ----
@@ -227,15 +245,29 @@ class FunctionLifter {
     }
   }
 
+  // Fence-decision accounting (fenceopt.* metrics): every candidate site is
+  // decided exactly one way, so considered == elided + retained by
+  // construction. All elisions today carry a stack-local witness.
+  void CountFenceRetained() {
+    ++fences_considered_;
+    ++fences_retained_;
+  }
+  void CountFenceElided() {
+    ++fences_considered_;
+    ++fences_elided_;
+  }
+
   Value* LoadMem(Value* addr, int size, bool stack_local) {
     ir::Instruction* load = b_.Load(size, addr);
     if (s_.options.insert_fences &&
         !(stack_local && s_.options.elide_stack_local_fences)) {
       b_.Fence(FenceOrder::kAcquire);
+      CountFenceRetained();
     } else if (s_.options.insert_fences && stack_local) {
       // Record WHY the acquire fence was elided so the TSO checker can
       // re-derive the claim from the IR alone.
       load->fence_witness = ir::FenceWitness::kStackLocal;
+      CountFenceElided();
     }
     return load;
   }
@@ -244,11 +276,13 @@ class FunctionLifter {
     if (s_.options.insert_fences &&
         !(stack_local && s_.options.elide_stack_local_fences)) {
       b_.Fence(FenceOrder::kRelease);
+      CountFenceRetained();
     }
     ir::Instruction* store = b_.Store(size, addr, Mask(v, size));
     if (s_.options.insert_fences && stack_local &&
         s_.options.elide_stack_local_fences) {
       store->fence_witness = ir::FenceWitness::kStackLocal;
+      CountFenceElided();
     }
   }
 
@@ -488,6 +522,9 @@ class FunctionLifter {
     // fenced — witnessed so the TSO checker can re-verify the claim.
     b_.Store(8, new_sp, C(static_cast<int64_t>(fallthrough)))->fence_witness =
         ir::FenceWitness::kStackLocal;
+    if (s_.options.insert_fences) {
+      CountFenceElided();
+    }
 
     Value* next = b_.Call(callee, {});
     Value* ok = b_.ICmp(Pred::kEq, next, C(static_cast<int64_t>(fallthrough)));
@@ -577,6 +614,9 @@ class FunctionLifter {
         b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], new_sp);
         b_.Store(8, new_sp, C(static_cast<int64_t>(binfo.fallthrough)))
             ->fence_witness = ir::FenceWitness::kStackLocal;
+        if (s_.options.insert_fences) {
+          CountFenceElided();
+        }
 
         BasicBlock* miss_block =
             cur_fn_->AddBlock(StrCat("miss_", bubble_counter_++));
@@ -642,6 +682,9 @@ class FunctionLifter {
         Value* sp = b_.GLoad(s_.vr[static_cast<int>(Reg::kRsp)]);
         ir::Instruction* ra = b_.Load(8, sp);
         ra->fence_witness = ir::FenceWitness::kStackLocal;
+        if (s_.options.insert_fences) {
+          CountFenceElided();
+        }
         b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], b_.Add(sp, C(8)));
         b_.Ret(ra);
         return;
@@ -871,10 +914,12 @@ class FunctionLifter {
         // Emulated-stack traffic: stack-local by construction.
         if (s_.options.insert_fences && !s_.options.elide_stack_local_fences) {
           b_.Fence(FenceOrder::kRelease);
+          CountFenceRetained();
         }
         ir::Instruction* push_store = b_.Store(8, new_sp, v);
         if (s_.options.insert_fences && s_.options.elide_stack_local_fences) {
           push_store->fence_witness = ir::FenceWitness::kStackLocal;
+          CountFenceElided();
         }
         return Status::Ok();
       }
@@ -884,8 +929,10 @@ class FunctionLifter {
         Value* v = pop_load;
         if (s_.options.insert_fences && !s_.options.elide_stack_local_fences) {
           b_.Fence(FenceOrder::kAcquire);
+          CountFenceRetained();
         } else if (s_.options.insert_fences) {
           pop_load->fence_witness = ir::FenceWitness::kStackLocal;
+          CountFenceElided();
         }
         b_.GStore(s_.vr[static_cast<int>(Reg::kRsp)], b_.Add(sp, C(8)));
         WriteOperand(inst, 0, 8, v);
@@ -1209,6 +1256,11 @@ class FunctionLifter {
   int bubble_counter_ = 0;
   std::set<Reg> stack_regs_;
   std::vector<bool> push_taint_;
+  // Fence-decision counts for this function, flushed to obs after the body
+  // is lifted (see Lift()).
+  uint64_t fences_considered_ = 0;
+  uint64_t fences_elided_ = 0;
+  uint64_t fences_retained_ = 0;
 };
 
 }  // namespace
@@ -1238,9 +1290,32 @@ Expected<LiftedProgram> Lift(const Image& image, const ControlFlowGraph& graph,
     work.push_back(&fn_info);
   }
   ThreadPool pool(options.jobs);
+  const obs::Session& obs = options.obs;
   POLY_RETURN_IF_ERROR(pool.ParallelFor(work.size(), [&](size_t i) {
+    const FunctionInfo& fn_info = *work[i];
+    obs::Span span(obs.trace, "lift", fn_info.name);
+    uint64_t t0 = obs.metrics != nullptr ? NowNs() : 0;
     FunctionLifter lifter(s);
-    return lifter.Lift(*work[i]);
+    Status st = lifter.Lift(fn_info);
+    if (st.ok() && obs.metrics != nullptr) {
+      obs.Observe(obs::Histogram::kLiftFunctionNs, NowNs() - t0);
+      obs.Add(obs::Counter::kLiftFunctionsLifted);
+      uint64_t bytes = 0;
+      for (uint64_t start : fn_info.block_starts) {
+        auto it = graph.blocks.find(start);
+        if (it != graph.blocks.end()) {
+          bytes += it->second.end - it->second.start;
+        }
+      }
+      obs.Add(obs::Counter::kLiftBytesDecoded, bytes);
+      uint64_t instrs = 0;
+      for (const auto& bb : s.functions_by_entry.at(fn_info.entry)->blocks()) {
+        instrs += bb->insts().size();
+      }
+      obs.Add(obs::Counter::kLiftIrInstrs, instrs);
+      span.Arg("ir_instrs", static_cast<int64_t>(instrs));
+    }
+    return st;
   }));
 
   // External-entry marking (§3.3.3).

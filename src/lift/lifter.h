@@ -36,6 +36,7 @@
 #include "src/binary/image.h"
 #include "src/cfg/cfg.h"
 #include "src/ir/ir.h"
+#include "src/obs/report.h"
 #include "src/support/status.h"
 
 namespace polynima::lift {
@@ -80,6 +81,12 @@ struct LiftOptions {
   // after Lift returns (the additive-lifting cache clones previously lifted
   // IR into them). Must outlive the Lift call.
   const std::set<uint64_t>* skip_bodies = nullptr;
+
+  // Observability sinks (all nullable; see src/obs). With a trace sink, each
+  // lifted function body becomes one "lift"-category span on its worker's
+  // lane; with metrics, the lifter reports the lift.* counters and every
+  // fence insert/elide decision under fenceopt.*.
+  obs::Session obs;
 };
 
 struct LiftedProgram {

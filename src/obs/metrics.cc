@@ -1,0 +1,207 @@
+#include "src/obs/metrics.h"
+
+#include "src/support/check.h"
+
+namespace polynima::obs {
+
+namespace {
+
+// Indexed by Counter. The "<subsystem>.<metric>" names are the stable wire
+// format: the report schema, the CI validator and EXPERIMENTS.md baselines
+// all key on them.
+const char* const kCounterNames[] = {
+    "lift.functions_lifted",
+    "lift.functions_cached",
+    "lift.bytes_decoded",
+    "lift.ir_instrs",
+    "fenceopt.fences_inserted",
+    "fenceopt.fences_elided",
+    "fenceopt.fences_retained",
+    "fenceopt.witness_stack",
+    "fenceopt.loops_analyzed",
+    "fenceopt.loops_spinning",
+    "check.accesses_checked",
+    "check.obligations_discharged",
+    "check.paths_explored",
+    "check.witnesses_verified",
+    "check.violations",
+    "opt.functions_optimized",
+    "opt.pass_iterations",
+    "sched.schedules_run",
+    "sched.decisions",
+    "sched.preemptions",
+    "sched.change_points",
+    "exec.guest_instrs",
+    "exec.atomics",
+    "exec.fences",
+    "exec.ext_calls",
+    "exec.dispatches",
+    "exec.faults",
+    "vm.instrs",
+    "vm.atomics",
+    "vm.faults",
+};
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
+                  static_cast<size_t>(Counter::kNumCounters),
+              "kCounterNames out of sync with the Counter enum");
+
+const char* const kHistogramNames[] = {
+    "lift.function_ns",
+    "opt.function_ns",
+};
+static_assert(sizeof(kHistogramNames) / sizeof(kHistogramNames[0]) ==
+                  static_cast<size_t>(Histogram::kNumHistograms),
+              "kHistogramNames out of sync with the Histogram enum");
+
+int BucketOf(uint64_t value) {
+  int b = 0;
+  while (value > 1 && b < 63) {
+    value >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+std::atomic<uint64_t> g_next_registry_id{1};
+
+}  // namespace
+
+const char* CounterName(Counter c) {
+  POLY_CHECK_LT(static_cast<int>(c), static_cast<int>(Counter::kNumCounters));
+  return kCounterNames[static_cast<int>(c)];
+}
+
+const char* HistogramName(Histogram h) {
+  POLY_CHECK_LT(static_cast<int>(h),
+                static_cast<int>(Histogram::kNumHistograms));
+  return kHistogramNames[static_cast<int>(h)];
+}
+
+MetricsRegistry::Shard::Shard() {
+  for (auto& c : counters) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  for (auto& h : hists) {
+    for (auto& b : h.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
+  // One cached (registry id -> shard) pair per thread: re-resolved when the
+  // thread first touches a different registry. Registry ids are process-
+  // unique, so a stale cache entry can never alias a new registry.
+  struct Cache {
+    uint64_t registry_id = 0;
+    Shard* shard = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.registry_id != id_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::make_unique<Shard>());
+    cache.registry_id = id_;
+    cache.shard = shards_.back().get();
+  }
+  return cache.shard;
+}
+
+void MetricsRegistry::Add(Counter c, uint64_t n) {
+  LocalShard()->counters[static_cast<int>(c)].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Observe(Histogram h, uint64_t value) {
+  Shard::Hist& hist = LocalShard()->hists[static_cast<int>(h)];
+  hist.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  hist.count.fetch_add(1, std::memory_order_relaxed);
+  hist.sum.fetch_add(value, std::memory_order_relaxed);
+  // Per-shard min/max are single-writer; a plain CAS-free update suffices.
+  if (value < hist.min.load(std::memory_order_relaxed)) {
+    hist.min.store(value, std::memory_order_relaxed);
+  }
+  if (value > hist.max.load(std::memory_order_relaxed)) {
+    hist.max.store(value, std::memory_order_relaxed);
+  }
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, int64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+uint64_t MetricsRegistry::CounterValue(Counter c) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->counters[static_cast<int>(c)].load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+json::Value MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json::Object counters;
+  for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i) {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[i].load(std::memory_order_relaxed);
+    }
+    counters[kCounterNames[i]] = total;
+  }
+  json::Object gauges;
+  for (const auto& [name, value] : gauges_) {
+    gauges[name] = value;
+  }
+  json::Object histograms;
+  for (int i = 0; i < static_cast<int>(Histogram::kNumHistograms); ++i) {
+    uint64_t count = 0, sum = 0, min = ~0ull, max = 0;
+    uint64_t buckets[kHistogramBuckets] = {0};
+    for (const auto& shard : shards_) {
+      const Shard::Hist& h = shard->hists[i];
+      count += h.count.load(std::memory_order_relaxed);
+      sum += h.sum.load(std::memory_order_relaxed);
+      min = std::min(min, h.min.load(std::memory_order_relaxed));
+      max = std::max(max, h.max.load(std::memory_order_relaxed));
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    if (count == 0) {
+      continue;  // empty histograms are omitted, unlike counters
+    }
+    json::Object hist;
+    hist["count"] = count;
+    hist["sum"] = sum;
+    hist["min"] = min;
+    hist["max"] = max;
+    int top = kHistogramBuckets;
+    while (top > 1 && buckets[top - 1] == 0) {
+      --top;
+    }
+    json::Array bucket_array;
+    for (int b = 0; b < top; ++b) {
+      bucket_array.push_back(buckets[b]);
+    }
+    hist["buckets"] = std::move(bucket_array);
+    histograms[kHistogramNames[i]] = std::move(hist);
+  }
+  json::Object doc;
+  doc["schema"] = "polynima-metrics/v1";
+  doc["counters"] = std::move(counters);
+  doc["gauges"] = std::move(gauges);
+  doc["histograms"] = std::move(histograms);
+  return doc;
+}
+
+Status MetricsRegistry::WriteTo(const std::string& path) const {
+  return json::WriteFile(path, ToJson());
+}
+
+}  // namespace polynima::obs

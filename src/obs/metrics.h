@@ -1,0 +1,134 @@
+// Metrics registry (the second pillar of src/obs, DESIGN.md §4d).
+//
+// A small FIXED taxonomy of counters and histograms — one enum entry per
+// metric, named "<subsystem>.<metric>" — plus free-form gauges for run
+// configuration (jobs, seeds). The taxonomy is deliberately closed: a new
+// metric is a code change, so dashboards and the report schema never chase
+// dynamically invented names.
+//
+// Hot-path contract: Add()/Observe() touch only a per-thread shard (relaxed
+// atomics, no locks), so concurrent lift/optimize workers never contend;
+// shards are merged at scrape time (ToJson / CounterValue). Every call is a
+// no-op branch when made through a null registry pointer — see the
+// obs::Session helpers in report.h.
+#ifndef POLYNIMA_OBS_METRICS_H_
+#define POLYNIMA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/support/json.h"
+
+namespace polynima::obs {
+
+// Counter taxonomy. Keep in sync with kCounterNames in metrics.cc.
+enum class Counter : int {
+  // lift: the per-function lift phase.
+  kLiftFunctionsLifted = 0,  // bodies lifted this run (cache misses included)
+  kLiftFunctionsCached,      // bodies cloned from the additive cache
+  kLiftBytesDecoded,         // guest code bytes decoded into IR
+  kLiftIrInstrs,             // IR instructions emitted by the lifter
+  // fenceopt: fence insertion/elision decisions and the spinloop analysis.
+  // Invariant: fences_inserted == fences_elided + fences_retained (every
+  // candidate site is decided exactly one way).
+  kFenceoptFencesInserted,   // candidate fence sites considered by the lifter
+  kFenceoptFencesElided,     // elided with a witness (stack-local)
+  kFenceoptFencesRetained,   // actually emitted into the IR
+  kFenceoptWitnessStack,     // witnesses of kind stack-local (all today)
+  kFenceoptLoopsAnalyzed,    // natural loops classified by the §3.4 analysis
+  kFenceoptLoopsSpinning,    // loops reported potentially-spinning
+  // check: the static TSO-soundness checker.
+  kCheckAccessesChecked,         // guest loads/stores examined
+  kCheckObligationsDischarged,   // discharged by barrier, witness, or cert
+  kCheckPathsExplored,           // block-level path scans performed
+  kCheckWitnessesVerified,       // stack-local witnesses that re-derived
+  kCheckViolations,              // unsatisfied obligations reported
+  // opt: the per-function pass pipeline.
+  kOptFunctionsOptimized,
+  kOptPassIterations,        // pass-loop iterations actually run
+  // sched: controlled schedule exploration.
+  kSchedSchedulesRun,        // complete controlled runs performed
+  kSchedDecisions,           // scheduler consultations across those runs
+  kSchedPreemptions,         // decisions that switched away from a runnable
+                             // current thread
+  kSchedChangePoints,        // PCT priority change points placed
+  // exec: the recompiled binary's runtime (exec::Engine).
+  kExecGuestInstrs,          // IR instructions executed
+  kExecAtomics,              // atomic RMW / cmpxchg operations executed
+  kExecFences,               // fence instructions executed
+  kExecExtCalls,             // external library calls
+  kExecDispatches,           // dispatcher entries (callback-wrapper cost)
+  kExecFaults,               // runtime faults (cfmiss included)
+  // vm: the original binary's interpreter (vm::Vm).
+  kVmInstrs,
+  kVmAtomics,                // lock-prefixed instructions executed
+  kVmFaults,
+  kNumCounters,
+};
+
+// Histogram taxonomy (power-of-two bucketed). Keep in sync with
+// kHistogramNames in metrics.cc.
+enum class Histogram : int {
+  kLiftFunctionNs = 0,  // wall time to lift one function body
+  kOptFunctionNs,       // wall time to optimize one function
+  kNumHistograms,
+};
+
+const char* CounterName(Counter c);
+const char* HistogramName(Histogram h);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Lock-free after a thread's first call (which registers its shard).
+  void Add(Counter c, uint64_t n = 1);
+  void Observe(Histogram h, uint64_t value);
+
+  // Gauges are set rarely (run configuration); a mutex is fine.
+  void SetGauge(const std::string& name, int64_t value);
+
+  // Merged value across all shards (linearizes against concurrent Add only
+  // per-counter; scrape after parallel phases join for exact totals).
+  uint64_t CounterValue(Counter c) const;
+
+  // {"schema": "polynima-metrics/v1", "counters": {...}, "gauges": {...},
+  //  "histograms": {name: {count, min, max, sum, buckets: [...]}}}.
+  // Zero-valued counters are included so consumers see the full taxonomy.
+  json::Value ToJson() const;
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  static constexpr int kHistogramBuckets = 64;  // bucket i: [2^i, 2^(i+1))
+
+  struct Shard {
+    std::atomic<uint64_t> counters[static_cast<int>(Counter::kNumCounters)];
+    struct Hist {
+      std::atomic<uint64_t> buckets[kHistogramBuckets];
+      std::atomic<uint64_t> count{0};
+      std::atomic<uint64_t> sum{0};
+      std::atomic<uint64_t> min{~0ull};
+      std::atomic<uint64_t> max{0};
+    } hists[static_cast<int>(Histogram::kNumHistograms)];
+    Shard();
+  };
+
+  Shard* LocalShard();
+
+  const uint64_t id_;  // process-unique, validates thread-local shard caches
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, int64_t> gauges_;
+};
+
+}  // namespace polynima::obs
+
+#endif  // POLYNIMA_OBS_METRICS_H_

@@ -1,0 +1,64 @@
+#include "src/obs/profile.h"
+
+#include <algorithm>
+
+namespace polynima::obs {
+
+uint32_t GuestProfile::RegisterSite(std::string function, std::string block,
+                                    uint64_t guest_address) {
+  Site site;
+  site.function = std::move(function);
+  site.block = std::move(block);
+  site.guest_address = guest_address;
+  sites_.push_back(std::move(site));
+  return static_cast<uint32_t>(sites_.size() - 1);
+}
+
+json::Value GuestProfile::ToJson() const {
+  std::vector<const Site*> sorted;
+  sorted.reserve(sites_.size());
+  uint64_t total_entries = 0, total_fences = 0, total_atomics = 0,
+           total_instrs = 0;
+  for (const Site& s : sites_) {
+    sorted.push_back(&s);
+    total_entries += s.entries;
+    total_fences += s.fences;
+    total_atomics += s.atomics;
+    total_instrs += s.instrs;
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Site* a, const Site* b) {
+                     return a->entries > b->entries;
+                   });
+
+  json::Array site_array;
+  site_array.reserve(sorted.size());
+  for (const Site* s : sorted) {
+    json::Object o;
+    o["function"] = s->function;
+    o["block"] = s->block;
+    o["guest_address"] = s->guest_address;
+    o["entries"] = s->entries;
+    o["fences"] = s->fences;
+    o["atomics"] = s->atomics;
+    o["instrs"] = s->instrs;
+    site_array.push_back(std::move(o));
+  }
+  json::Object totals;
+  totals["sites"] = static_cast<uint64_t>(sites_.size());
+  totals["entries"] = total_entries;
+  totals["fences"] = total_fences;
+  totals["atomics"] = total_atomics;
+  totals["instrs"] = total_instrs;
+  json::Object doc;
+  doc["schema"] = "polynima-profile/v1";
+  doc["totals"] = std::move(totals);
+  doc["sites"] = std::move(site_array);
+  return doc;
+}
+
+Status GuestProfile::WriteTo(const std::string& path) const {
+  return json::WriteFile(path, ToJson());
+}
+
+}  // namespace polynima::obs

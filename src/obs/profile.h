@@ -1,0 +1,62 @@
+// Guest-execution profiling (the third pillar of src/obs, DESIGN.md §4d).
+//
+// Opt-in, per-site execution counts for the recompiled binary: the exec
+// engine registers each site it runs (a lifted basic block) once, then
+// bumps plain counters by dense index on every entry — the hot path is one
+// null-check branch plus an array increment. Per-site fence and atomic
+// execution counts ride on the same sites, yielding the fence-density view
+// (`polynima report`): which blocks execute the most fences per entry — the
+// natural seed for profile-guided fence placement.
+//
+// GuestProfile is intentionally ignorant of the IR: sites are registered
+// with plain strings/addresses, so src/obs stays a leaf library under
+// src/support.
+//
+// Not thread-safe: the exec engine's interpreter loop is single-threaded
+// (guest threads are simulated), which is exactly the producer this is for.
+#ifndef POLYNIMA_OBS_PROFILE_H_
+#define POLYNIMA_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+
+namespace polynima::obs {
+
+class GuestProfile {
+ public:
+  struct Site {
+    std::string function;
+    std::string block;
+    uint64_t guest_address = 0;  // block's original address (0 if synthetic)
+    uint64_t entries = 0;        // times execution entered the block
+    uint64_t fences = 0;         // fence instructions executed in the block
+    uint64_t atomics = 0;        // atomic RMW / cmpxchg executed in the block
+    uint64_t instrs = 0;         // IR instructions executed in the block
+  };
+
+  // Registers a site and returns its dense index.
+  uint32_t RegisterSite(std::string function, std::string block,
+                        uint64_t guest_address);
+
+  void AddEntry(uint32_t site) { ++sites_[site].entries; }
+  void AddFence(uint32_t site) { ++sites_[site].fences; }
+  void AddAtomic(uint32_t site) { ++sites_[site].atomics; }
+  void AddInstrs(uint32_t site, uint64_t n) { sites_[site].instrs += n; }
+
+  const std::vector<Site>& sites() const { return sites_; }
+
+  // {"schema": "polynima-profile/v1", "totals": {...}, "sites": [...]}
+  // with sites sorted hottest-first (by entries).
+  json::Value ToJson() const;
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<Site> sites_;
+};
+
+}  // namespace polynima::obs
+
+#endif  // POLYNIMA_OBS_PROFILE_H_

@@ -1,0 +1,541 @@
+#include "src/obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "src/support/strings.h"
+
+namespace polynima::obs {
+
+namespace {
+
+constexpr char kReportSchema[] = "polynima-report/v1";
+constexpr char kMetricsSchema[] = "polynima-metrics/v1";
+constexpr char kProfileSchema[] = "polynima-profile/v1";
+
+// Summarizes a trace document: span count and per-category span counts.
+json::Value SummarizeTrace(const json::Value& trace_doc) {
+  std::map<std::string, int64_t> by_category;
+  int64_t spans = 0;
+  if (const json::Value* events = trace_doc.Find("traceEvents")) {
+    if (events->is_array()) {
+      for (const json::Value& e : events->as_array()) {
+        const json::Value* ph = e.Find("ph");
+        if (ph == nullptr || !ph->is_string() || ph->as_string() != "X") {
+          continue;
+        }
+        ++spans;
+        const json::Value* cat = e.Find("cat");
+        if (cat != nullptr && cat->is_string()) {
+          ++by_category[cat->as_string()];
+        }
+      }
+    }
+  }
+  json::Object categories;
+  for (const auto& [name, count] : by_category) {
+    categories[name] = count;
+  }
+  json::Object summary;
+  summary["spans"] = spans;
+  summary["categories"] = std::move(categories);
+  return summary;
+}
+
+json::Value SummarizeProfile(const GuestProfile& profile) {
+  json::Value doc = profile.ToJson();
+  json::Object summary;
+  if (const json::Value* totals = doc.Find("totals")) {
+    summary["totals"] = *totals;
+  }
+  if (const json::Value* sites = doc.Find("sites")) {
+    if (sites->is_array() && !sites->as_array().empty()) {
+      summary["hottest"] = sites->as_array().front();  // sorted hot-first
+    }
+  }
+  return summary;
+}
+
+Status Malformed(const char* kind, const std::string& what) {
+  return Status::InvalidArgument(StrCat(kind, ": ", what));
+}
+
+const json::Value* RequireMember(const json::Value& doc, const char* key) {
+  return doc.Find(key);
+}
+
+bool IsNumber(const json::Value& v) { return v.is_int() || v.is_double(); }
+
+std::string FormatCount(uint64_t n) {
+  // Groups digits for readability: 1234567 -> "1,234,567".
+  std::string raw = std::to_string(n);
+  std::string out;
+  int lead = static_cast<int>(raw.size()) % 3;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && static_cast<int>(i) % 3 == lead % 3) {
+      out.push_back(',');
+    }
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+void AppendRule(std::string& out, size_t width) {
+  out.append(width, '-');
+  out.push_back('\n');
+}
+
+}  // namespace
+
+json::Value BuildRunReport(const RunInfo& info, const Session& session) {
+  json::Object doc;
+  doc["schema"] = kReportSchema;
+  doc["tool"] = "polynima";
+  doc["command"] = info.command;
+  doc["input"] = info.input;
+  doc["ok"] = info.ok;
+
+  json::Array artifacts;
+  for (const auto& [kind, path] : info.artifacts) {
+    json::Object a;
+    a["kind"] = kind;
+    a["path"] = path;
+    artifacts.push_back(std::move(a));
+  }
+  doc["artifacts"] = std::move(artifacts);
+
+  doc["metrics"] = session.metrics != nullptr ? session.metrics->ToJson()
+                                              : json::Value(nullptr);
+  doc["trace_summary"] = session.trace != nullptr
+                             ? SummarizeTrace(session.trace->ToJson())
+                             : json::Value(nullptr);
+  doc["profile_summary"] = session.profile != nullptr
+                               ? SummarizeProfile(*session.profile)
+                               : json::Value(nullptr);
+  return doc;
+}
+
+Status ValidateTraceJson(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return Malformed("trace", "document is not an object");
+  }
+  const json::Value* events = RequireMember(doc, "traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Malformed("trace", "missing traceEvents array");
+  }
+  int spans = 0;
+  for (const json::Value& e : events->as_array()) {
+    if (!e.is_object()) {
+      return Malformed("trace", "traceEvents element is not an object");
+    }
+    const json::Value* ph = e.Find("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      return Malformed("trace", "event without ph");
+    }
+    if (ph->as_string() != "X") {
+      continue;  // metadata etc.
+    }
+    ++spans;
+    for (const char* key : {"name", "cat"}) {
+      const json::Value* v = e.Find(key);
+      if (v == nullptr || !v->is_string()) {
+        return Malformed("trace", StrCat("span without string ", key));
+      }
+    }
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      const json::Value* v = e.Find(key);
+      if (v == nullptr || !IsNumber(*v)) {
+        return Malformed("trace", StrCat("span without numeric ", key));
+      }
+    }
+  }
+  if (spans == 0) {
+    return Malformed("trace", "no complete (ph=X) span events");
+  }
+  return Status::Ok();
+}
+
+Status ValidateMetricsJson(const json::Value& doc) {
+  const json::Value* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kMetricsSchema) {
+    return Malformed("metrics", StrCat("schema is not ", kMetricsSchema));
+  }
+  const json::Value* counters = doc.Find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    return Malformed("metrics", "missing counters object");
+  }
+  // The full fixed taxonomy must be present with integer values.
+  for (int i = 0; i < static_cast<int>(Counter::kNumCounters); ++i) {
+    const char* name = CounterName(static_cast<Counter>(i));
+    const json::Value* v = counters->Find(name);
+    if (v == nullptr || !v->is_int()) {
+      return Malformed("metrics", StrCat("missing counter ", name));
+    }
+  }
+  for (const char* key : {"gauges", "histograms"}) {
+    const json::Value* v = doc.Find(key);
+    if (v == nullptr || !v->is_object()) {
+      return Malformed("metrics", StrCat("missing ", key, " object"));
+    }
+  }
+  for (const auto& [name, hist] : doc.Find("histograms")->as_object()) {
+    for (const char* key : {"count", "sum", "min", "max"}) {
+      const json::Value* v = hist.Find(key);
+      if (v == nullptr || !v->is_int()) {
+        return Malformed("metrics",
+                         StrCat("histogram ", name, " missing ", key));
+      }
+    }
+    const json::Value* buckets = hist.Find("buckets");
+    if (buckets == nullptr || !buckets->is_array()) {
+      return Malformed("metrics", StrCat("histogram ", name, " missing buckets"));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateProfileJson(const json::Value& doc) {
+  const json::Value* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kProfileSchema) {
+    return Malformed("profile", StrCat("schema is not ", kProfileSchema));
+  }
+  const json::Value* totals = doc.Find("totals");
+  if (totals == nullptr || !totals->is_object()) {
+    return Malformed("profile", "missing totals object");
+  }
+  for (const char* key : {"sites", "entries", "fences", "atomics", "instrs"}) {
+    const json::Value* v = totals->Find(key);
+    if (v == nullptr || !v->is_int()) {
+      return Malformed("profile", StrCat("totals missing ", key));
+    }
+  }
+  const json::Value* sites = doc.Find("sites");
+  if (sites == nullptr || !sites->is_array()) {
+    return Malformed("profile", "missing sites array");
+  }
+  uint64_t prev_entries = ~0ull;
+  for (const json::Value& site : sites->as_array()) {
+    const json::Value* function = site.Find("function");
+    if (function == nullptr || !function->is_string()) {
+      return Malformed("profile", "site without function name");
+    }
+    for (const char* key :
+         {"guest_address", "entries", "fences", "atomics", "instrs"}) {
+      const json::Value* v = site.Find(key);
+      if (v == nullptr || !v->is_int()) {
+        return Malformed("profile", StrCat("site missing ", key));
+      }
+    }
+    uint64_t entries = site.Find("entries")->as_uint();
+    if (entries > prev_entries) {
+      return Malformed("profile", "sites not sorted hottest-first");
+    }
+    prev_entries = entries;
+  }
+  return Status::Ok();
+}
+
+Status ValidateReportJson(const json::Value& doc) {
+  const json::Value* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kReportSchema) {
+    return Malformed("report", StrCat("schema is not ", kReportSchema));
+  }
+  const json::Value* command = doc.Find("command");
+  if (command == nullptr || !command->is_string()) {
+    return Malformed("report", "missing command");
+  }
+  const json::Value* ok = doc.Find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return Malformed("report", "missing ok flag");
+  }
+  const json::Value* artifacts = doc.Find("artifacts");
+  if (artifacts == nullptr || !artifacts->is_array()) {
+    return Malformed("report", "missing artifacts array");
+  }
+  for (const json::Value& a : artifacts->as_array()) {
+    for (const char* key : {"kind", "path"}) {
+      const json::Value* v = a.Find(key);
+      if (v == nullptr || !v->is_string()) {
+        return Malformed("report", StrCat("artifact missing ", key));
+      }
+    }
+  }
+  const json::Value* metrics = doc.Find("metrics");
+  if (metrics == nullptr) {
+    return Malformed("report", "missing metrics member");
+  }
+  if (!metrics->is_null()) {
+    POLY_RETURN_IF_ERROR(ValidateMetricsJson(*metrics));
+  }
+  return Status::Ok();
+}
+
+Expected<std::string> ValidateObsJson(const json::Value& doc) {
+  if (doc.Find("traceEvents") != nullptr) {
+    POLY_RETURN_IF_ERROR(ValidateTraceJson(doc));
+    return std::string("trace");
+  }
+  const json::Value* schema = doc.Find("schema");
+  if (schema != nullptr && schema->is_string()) {
+    const std::string& s = schema->as_string();
+    if (s == kMetricsSchema) {
+      POLY_RETURN_IF_ERROR(ValidateMetricsJson(doc));
+      return std::string("metrics");
+    }
+    if (s == kProfileSchema) {
+      POLY_RETURN_IF_ERROR(ValidateProfileJson(doc));
+      return std::string("profile");
+    }
+    if (s == kReportSchema) {
+      POLY_RETURN_IF_ERROR(ValidateReportJson(doc));
+      return std::string("report");
+    }
+  }
+  return Status::InvalidArgument(
+      "not a polynima observability document (no traceEvents and no known "
+      "schema tag)");
+}
+
+std::string RenderMetrics(const json::Value& metrics_doc) {
+  std::string out;
+  out += "counters (non-zero)\n";
+  AppendRule(out, 46);
+  const json::Value* counters = metrics_doc.Find("counters");
+  bool any = false;
+  if (counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->as_object()) {
+      if (!value.is_int() || value.as_int() == 0) {
+        continue;
+      }
+      any = true;
+      char line[96];
+      std::snprintf(line, sizeof(line), "  %-32s %12s\n", name.c_str(),
+                    FormatCount(value.as_uint()).c_str());
+      out += line;
+    }
+  }
+  if (!any) {
+    out += "  (all zero)\n";
+  }
+  const json::Value* gauges = metrics_doc.Find("gauges");
+  if (gauges != nullptr && gauges->is_object() &&
+      !gauges->as_object().empty()) {
+    out += "gauges\n";
+    AppendRule(out, 46);
+    for (const auto& [name, value] : gauges->as_object()) {
+      char line[96];
+      std::snprintf(line, sizeof(line), "  %-32s %12lld\n", name.c_str(),
+                    static_cast<long long>(value.is_int() ? value.as_int() : 0));
+      out += line;
+    }
+  }
+  const json::Value* hists = metrics_doc.Find("histograms");
+  if (hists != nullptr && hists->is_object() && !hists->as_object().empty()) {
+    out += "histograms\n";
+    AppendRule(out, 46);
+    for (const auto& [name, hist] : hists->as_object()) {
+      const json::Value* count = hist.Find("count");
+      const json::Value* sum = hist.Find("sum");
+      const json::Value* min = hist.Find("min");
+      const json::Value* max = hist.Find("max");
+      uint64_t c = count != nullptr && count->is_int() ? count->as_uint() : 0;
+      uint64_t s = sum != nullptr && sum->is_int() ? sum->as_uint() : 0;
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-24s n=%llu mean=%llu min=%llu max=%llu\n",
+                    name.c_str(), static_cast<unsigned long long>(c),
+                    static_cast<unsigned long long>(c != 0 ? s / c : 0),
+                    static_cast<unsigned long long>(
+                        min != nullptr && min->is_int() ? min->as_uint() : 0),
+                    static_cast<unsigned long long>(
+                        max != nullptr && max->is_int() ? max->as_uint() : 0));
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string RenderProfile(const json::Value& profile_doc, int top_n) {
+  std::string out;
+  const json::Value* totals = profile_doc.Find("totals");
+  if (totals != nullptr && totals->is_object()) {
+    auto get = [&](const char* key) -> uint64_t {
+      const json::Value* v = totals->Find(key);
+      return v != nullptr && v->is_int() ? v->as_uint() : 0;
+    };
+    out += StrCat("guest profile: ", get("sites"), " sites, ",
+                  FormatCount(get("entries")), " block entries, ",
+                  FormatCount(get("instrs")), " instrs, ",
+                  FormatCount(get("fences")), " fences, ",
+                  FormatCount(get("atomics")), " atomics\n");
+  }
+  const json::Value* sites = profile_doc.Find("sites");
+  if (sites == nullptr || !sites->is_array() || sites->as_array().empty()) {
+    out += "  (no sites recorded)\n";
+    return out;
+  }
+  out += StrCat("top ", top_n, " hot blocks\n");
+  AppendRule(out, 72);
+  out += "  entries      instrs  block\n";
+  int shown = 0;
+  for (const json::Value& site : sites->as_array()) {
+    if (shown++ >= top_n) {
+      break;
+    }
+    auto get = [&](const char* key) -> uint64_t {
+      const json::Value* v = site.Find(key);
+      return v != nullptr && v->is_int() ? v->as_uint() : 0;
+    };
+    auto name = [&](const char* key) -> std::string {
+      const json::Value* v = site.Find(key);
+      return v != nullptr && v->is_string() ? v->as_string() : std::string();
+    };
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %9s %11s  %s:%s @%#llx\n",
+                  FormatCount(get("entries")).c_str(),
+                  FormatCount(get("instrs")).c_str(), name("function").c_str(),
+                  name("block").c_str(),
+                  static_cast<unsigned long long>(get("guest_address")));
+    out += line;
+  }
+  // Fence density: fence executions per block entry, highest first, for
+  // sites that executed fences at all.
+  struct Dense {
+    double density;
+    uint64_t fences;
+    uint64_t entries;
+    std::string where;
+  };
+  std::vector<Dense> dense;
+  for (const json::Value& site : sites->as_array()) {
+    const json::Value* fences = site.Find("fences");
+    const json::Value* entries = site.Find("entries");
+    if (fences == nullptr || entries == nullptr || !fences->is_int() ||
+        !entries->is_int() || fences->as_uint() == 0) {
+      continue;
+    }
+    uint64_t e = entries->as_uint();
+    const json::Value* fn = site.Find("function");
+    const json::Value* blk = site.Find("block");
+    dense.push_back(
+        {e != 0 ? static_cast<double>(fences->as_uint()) / e : 0.0,
+         fences->as_uint(), e,
+         StrCat(fn != nullptr && fn->is_string() ? fn->as_string() : "", ":",
+                blk != nullptr && blk->is_string() ? blk->as_string() : "")});
+  }
+  std::stable_sort(dense.begin(), dense.end(),
+                   [](const Dense& a, const Dense& b) {
+                     return a.fences > b.fences;
+                   });
+  if (!dense.empty()) {
+    out += "fence density (fences executed per block entry)\n";
+    AppendRule(out, 72);
+    out += "   fences     entries  per-entry  block\n";
+    int rows = 0;
+    for (const Dense& d : dense) {
+      if (rows++ >= top_n) {
+        break;
+      }
+      char line[256];
+      std::snprintf(line, sizeof(line), "  %8s %11s  %9.2f  %s\n",
+                    FormatCount(d.fences).c_str(),
+                    FormatCount(d.entries).c_str(), d.density,
+                    d.where.c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string RenderTraceSummary(const json::Value& trace_doc) {
+  json::Value summary = SummarizeTrace(trace_doc);
+  std::string out;
+  const json::Value* spans = summary.Find("spans");
+  out += StrCat("trace: ",
+                spans != nullptr && spans->is_int() ? spans->as_int() : 0,
+                " spans\n");
+  const json::Value* categories = summary.Find("categories");
+  if (categories != nullptr && categories->is_object()) {
+    for (const auto& [name, count] : categories->as_object()) {
+      char line[96];
+      std::snprintf(line, sizeof(line), "  %-16s %8lld\n", name.c_str(),
+                    static_cast<long long>(count.is_int() ? count.as_int()
+                                                          : 0));
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string RenderReport(const json::Value& report_doc, int top_n) {
+  std::string out;
+  auto str = [&](const char* key) -> std::string {
+    const json::Value* v = report_doc.Find(key);
+    return v != nullptr && v->is_string() ? v->as_string() : std::string();
+  };
+  const json::Value* ok = report_doc.Find("ok");
+  out += StrCat("polynima run report: command=", str("command"),
+                " input=", str("input"), " ok=",
+                ok != nullptr && ok->is_bool() && ok->as_bool() ? "true"
+                                                                : "false",
+                "\n");
+  const json::Value* artifacts = report_doc.Find("artifacts");
+  if (artifacts != nullptr && artifacts->is_array() &&
+      !artifacts->as_array().empty()) {
+    out += "artifacts\n";
+    for (const json::Value& a : artifacts->as_array()) {
+      const json::Value* kind = a.Find("kind");
+      const json::Value* path = a.Find("path");
+      out += StrCat(
+          "  ", kind != nullptr && kind->is_string() ? kind->as_string() : "",
+          ": ", path != nullptr && path->is_string() ? path->as_string() : "",
+          "\n");
+    }
+  }
+  const json::Value* trace_summary = report_doc.Find("trace_summary");
+  if (trace_summary != nullptr && trace_summary->is_object()) {
+    // Re-render from the summary shape (same keys SummarizeTrace emits).
+    const json::Value* spans = trace_summary->Find("spans");
+    out += StrCat("trace: ",
+                  spans != nullptr && spans->is_int() ? spans->as_int() : 0,
+                  " spans\n");
+    const json::Value* categories = trace_summary->Find("categories");
+    if (categories != nullptr && categories->is_object()) {
+      for (const auto& [name, count] : categories->as_object()) {
+        char line[96];
+        std::snprintf(line, sizeof(line), "  %-16s %8lld\n", name.c_str(),
+                      static_cast<long long>(count.is_int() ? count.as_int()
+                                                            : 0));
+        out += line;
+      }
+    }
+  }
+  const json::Value* metrics = report_doc.Find("metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    out += RenderMetrics(*metrics);
+  }
+  const json::Value* profile_summary = report_doc.Find("profile_summary");
+  if (profile_summary != nullptr && profile_summary->is_object()) {
+    const json::Value* totals = profile_summary->Find("totals");
+    if (totals != nullptr && totals->is_object()) {
+      json::Object wrapper;
+      wrapper["schema"] = kProfileSchema;
+      wrapper["totals"] = *totals;
+      json::Array sites;
+      if (const json::Value* hottest = profile_summary->Find("hottest")) {
+        if (hottest->is_object()) {
+          sites.push_back(*hottest);
+        }
+      }
+      wrapper["sites"] = std::move(sites);
+      out += RenderProfile(wrapper, top_n);
+    }
+  }
+  return out;
+}
+
+}  // namespace polynima::obs

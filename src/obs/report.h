@@ -1,0 +1,98 @@
+// Session plumbing, run reports, validators, and text renderers for the
+// observability layer (DESIGN.md §4d).
+//
+// obs::Session is the single handle every pipeline stage receives: three
+// optional sinks (trace, metrics, guest profile), all nullable. The helpers
+// here make the disabled path a branch on a null pointer, so stages can
+// instrument unconditionally.
+//
+// Everything the layer emits exits through four machine-readable documents:
+//   polynima-trace     Chrome trace_event JSON        (TraceSink::ToJson)
+//   polynima-metrics/v1  merged counter/gauge/histogram dump
+//   polynima-profile/v1  per-block guest execution profile
+//   polynima-report/v1   one RunReport tying a run's artifacts together
+// ValidateX() functions check structural well-formedness (used by
+// `polynima report --validate`, the obs tests, and scripts/ci.sh);
+// RenderX() functions produce the human tables `polynima report` prints.
+#ifndef POLYNIMA_OBS_REPORT_H_
+#define POLYNIMA_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/profile.h"
+#include "src/obs/trace.h"
+#include "src/support/json.h"
+#include "src/support/status.h"
+
+namespace polynima::obs {
+
+// Borrowed, nullable sinks; a default-constructed Session disables all three
+// pillars. Copy freely — it is three pointers.
+struct Session {
+  TraceSink* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  GuestProfile* profile = nullptr;
+
+  bool enabled() const {
+    return trace != nullptr || metrics != nullptr || profile != nullptr;
+  }
+
+  // Null-tolerant metric helpers so call sites stay one-liners.
+  void Add(Counter c, uint64_t n = 1) const {
+    if (metrics != nullptr) {
+      metrics->Add(c, n);
+    }
+  }
+  void Observe(Histogram h, uint64_t value) const {
+    if (metrics != nullptr) {
+      metrics->Observe(h, value);
+    }
+  }
+  void SetGauge(const std::string& name, int64_t value) const {
+    if (metrics != nullptr) {
+      metrics->SetGauge(name, value);
+    }
+  }
+};
+
+// Inputs for BuildRunReport beyond what the Session itself holds.
+struct RunInfo {
+  std::string command;  // CLI subcommand, e.g. "recompile"
+  std::string input;    // primary input artifact (binary / CFG path)
+  bool ok = true;       // whether the run succeeded
+  // (kind, path) of every sidecar file the run wrote, e.g.
+  // ("trace", "t.json"), ("metrics", "m.json"), ("output", "out.cfg.json").
+  std::vector<std::pair<std::string, std::string>> artifacts;
+};
+
+// Builds the polynima-report/v1 document: run info, artifact paths, the full
+// merged metrics dump (inline), a trace summary (event/category counts), and
+// a profile summary (totals + hottest site) when those sinks are present.
+json::Value BuildRunReport(const RunInfo& info, const Session& session);
+
+// Structural validators. Each returns OK iff the document has the required
+// shape AND is non-trivial (a trace must contain at least one span; metrics
+// must carry the full counter taxonomy). Used to fail CI on malformed or
+// empty observability output.
+Status ValidateTraceJson(const json::Value& doc);
+Status ValidateMetricsJson(const json::Value& doc);
+Status ValidateProfileJson(const json::Value& doc);
+Status ValidateReportJson(const json::Value& doc);
+
+// Sniffs which of the four document kinds `doc` is and validates it.
+// Returns the kind ("trace", "metrics", "profile", "report") on success.
+Expected<std::string> ValidateObsJson(const json::Value& doc);
+
+// Human-readable renderers for `polynima report`.
+std::string RenderMetrics(const json::Value& metrics_doc);
+std::string RenderProfile(const json::Value& profile_doc, int top_n);
+std::string RenderTraceSummary(const json::Value& trace_doc);
+std::string RenderReport(const json::Value& report_doc, int top_n);
+
+}  // namespace polynima::obs
+
+#endif  // POLYNIMA_OBS_REPORT_H_

@@ -1,0 +1,113 @@
+// Structured span tracing (the first pillar of src/obs, DESIGN.md §4d).
+//
+// A TraceSink collects timestamped, thread-attributed span events and writes
+// them as Chrome `trace_event` JSON — loadable in about:tracing / Perfetto —
+// so one `--trace-out=pipeline.json` run visually exposes the recompile
+// pipeline: per-worker-thread lanes for the lift/optimize jobs, cache-hit
+// skips (absent spans), and the critical path.
+//
+// Span is the RAII instrumentation primitive: construction records the start
+// timestamp, destruction emits one complete ("ph":"X") event. Every API is a
+// no-op when the sink pointer is null, so the disabled cost at an
+// instrumentation point is one branch on a null pointer — the overhead
+// contract the recompile hot paths rely on.
+//
+// Thread lanes: each OS thread gets a stable small integer lane id (assigned
+// process-wide on first use); the sink emits `thread_name` metadata records
+// so the viewer labels lanes "main" / "worker-N".
+#ifndef POLYNIMA_OBS_TRACE_H_
+#define POLYNIMA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/support/status.h"
+
+namespace polynima::obs {
+
+// Stable per-OS-thread lane id: 0 for the first thread that asks (the main
+// thread in practice), then 1, 2, ... in first-use order.
+int CurrentThreadLane();
+
+struct TraceEvent {
+  std::string name;
+  const char* category = "";  // must point at a string literal
+  uint64_t start_ns = 0;      // relative to the sink's epoch
+  uint64_t duration_ns = 0;
+  int lane = 0;
+  // Optional per-span arguments, rendered under "args" in the viewer.
+  std::vector<std::pair<std::string, int64_t>> args;
+};
+
+class TraceSink {
+ public:
+  TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Nanoseconds since the sink was created (steady clock).
+  uint64_t NowNs() const;
+
+  void Record(TraceEvent event);
+
+  size_t event_count() const;
+
+  // `{"traceEvents": [...], "displayTimeUnit": "ms"}` with thread_name
+  // metadata records for every lane that appears. Timestamps are emitted in
+  // microseconds (Chrome's unit) with nanosecond precision kept as decimals.
+  json::Value ToJson() const;
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  uint64_t epoch_ns_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII span: records [construction, destruction) as one complete event on
+// the current thread's lane. All methods tolerate a null sink.
+class Span {
+ public:
+  // `category` must be a string literal (kept by pointer).
+  Span(TraceSink* sink, const char* category, std::string name)
+      : sink_(sink) {
+    if (sink_ != nullptr) {
+      event_.name = std::move(name);
+      event_.category = category;
+      event_.start_ns = sink_->NowNs();
+    }
+  }
+  ~Span() { End(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attaches a counter argument shown in the viewer's span details.
+  void Arg(const char* key, int64_t value) {
+    if (sink_ != nullptr) {
+      event_.args.emplace_back(key, value);
+    }
+  }
+
+  // Ends the span early (idempotent; the destructor becomes a no-op).
+  void End() {
+    if (sink_ == nullptr) {
+      return;
+    }
+    event_.duration_ns = sink_->NowNs() - event_.start_ns;
+    event_.lane = CurrentThreadLane();
+    sink_->Record(std::move(event_));
+    sink_ = nullptr;
+  }
+
+ private:
+  TraceSink* sink_;
+  TraceEvent event_;
+};
+
+}  // namespace polynima::obs
+
+#endif  // POLYNIMA_OBS_TRACE_H_

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/ir/ir.h"
+#include "src/obs/report.h"
 #include "src/support/status.h"
 
 namespace polynima::opt {
@@ -63,6 +64,10 @@ struct PipelineOptions {
   // Worker threads for the per-function pass loop (0 = one per hardware
   // thread). Module-level passes (inlining, verification) stay serial.
   int jobs = 1;
+  // Observability sinks (all nullable; see src/obs): "opt"-category spans
+  // per function on the worker lanes, a "verify" span for the module check,
+  // and the opt.* counters/histograms.
+  obs::Session obs;
 };
 
 // Runs the per-function pass loop (SimplifyCfg, PromoteGlobals, then

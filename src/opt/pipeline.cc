@@ -1,5 +1,6 @@
 #include "src/opt/passes.h"
 
+#include <chrono>
 #include <vector>
 
 #include "src/ir/verifier.h"
@@ -7,11 +8,24 @@
 
 namespace polynima::opt {
 
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 void OptimizeFunction(ir::Function& f, ir::Module& m,
                       const PipelineOptions& options) {
   SimplifyCfg(f);
   PromoteGlobals(f);
+  int iterations_run = 0;
   for (int i = 0; i < options.iterations; ++i) {
+    ++iterations_run;
     bool changed = false;
     changed |= LocalCse(f);
     changed |= InstCombine(f, m);
@@ -22,6 +36,11 @@ void OptimizeFunction(ir::Function& f, ir::Module& m,
     if (!changed) {
       break;
     }
+  }
+  if (options.obs.metrics != nullptr) {
+    options.obs.Add(obs::Counter::kOptFunctionsOptimized);
+    options.obs.Add(obs::Counter::kOptPassIterations,
+                    static_cast<uint64_t>(iterations_run));
   }
 }
 
@@ -34,10 +53,17 @@ Status RunPipelineOnFunctions(ir::Module& m,
     InlineFunctions(m);
   }
   ThreadPool pool(options.jobs);
+  const obs::Session& obs = options.obs;
   POLY_RETURN_IF_ERROR(pool.ParallelFor(functions.size(), [&](size_t i) {
+    obs::Span span(obs.trace, "opt", functions[i]->name());
+    uint64_t t0 = obs.metrics != nullptr ? NowNs() : 0;
     OptimizeFunction(*functions[i], m, options);
+    if (obs.metrics != nullptr) {
+      obs.Observe(obs::Histogram::kOptFunctionNs, NowNs() - t0);
+    }
     return Status::Ok();
   }));
+  obs::Span verify_span(obs.trace, "verify", "ir-verify");
   return ir::Verify(m);
 }
 

@@ -125,6 +125,7 @@ void Recompiler::PersistCfg(const cfg::ControlFlowGraph& graph) {
 
 Expected<RecompiledBinary> Recompiler::Rebuild(
     const cfg::ControlFlowGraph& graph) {
+  obs::Span rebuild_span(options_.obs.trace, "recomp", "rebuild");
   // The cache stores post-pipeline IR, so it is only valid when the
   // pipeline runs and contains no cross-function pass.
   const bool use_cache = options_.incremental && options_.optimize &&
@@ -150,7 +151,9 @@ Expected<RecompiledBinary> Recompiler::Rebuild(
   uint64_t c0 = CpuNowNs();
   lift::LiftOptions lift_options = options_.lift;
   lift_options.jobs = options_.jobs;
+  lift_options.obs = options_.obs;
   lift_options.skip_bodies = reuse.empty() ? nullptr : &reuse;
+  options_.obs.Add(obs::Counter::kLiftFunctionsCached, reuse.size());
   POLY_ASSIGN_OR_RETURN(lift::LiftedProgram program,
                         lift::Lift(image_, graph, lift_options));
   if (options_.remove_fences) {
@@ -194,11 +197,13 @@ Expected<RecompiledBinary> Recompiler::Rebuild(
       }
       opt::PipelineOptions pipeline_options = options_.pipeline;
       pipeline_options.jobs = options_.jobs;
+      pipeline_options.obs = options_.obs;
       POLY_RETURN_IF_ERROR(opt::RunPipelineOnFunctions(
           *program.module, fresh, pipeline_options));
     } else {
       opt::PipelineOptions pipeline_options = options_.pipeline;
       pipeline_options.jobs = options_.jobs;
+      pipeline_options.obs = options_.obs;
       POLY_RETURN_IF_ERROR(
           opt::RunPipeline(*program.module, pipeline_options));
     }
@@ -225,6 +230,7 @@ Expected<RecompiledBinary> Recompiler::Rebuild(
       options_.lift.atomics == lift::LiftOptions::AtomicsMode::kBuiltin) {
     check::TsoCheckOptions check_options;
     check_options.binary_key = check::BinaryKey(image_);
+    check_options.obs = options_.obs;
     if (options_.remove_fences) {
       if (!options_.elision_cert.has_value()) {
         return Status::FailedPrecondition(
@@ -246,21 +252,29 @@ Expected<RecompiledBinary> Recompiler::Rebuild(
     }
   }
 
+  obs::Span emit_span(options_.obs.trace, "emit", "assemble-artifact");
   RecompiledBinary out;
   out.image = image_;
   out.graph = graph;
   out.program = std::move(program);
   PersistCfg(graph);
+  emit_span.Arg("functions",
+                static_cast<int64_t>(out.program.functions_by_entry.size()));
   return out;
 }
 
 Expected<RecompiledBinary> Recompiler::Recompile() {
   uint64_t t0 = NowNs();
+  obs::Span cfg_span(options_.obs.trace, "cfg", "recover-static");
   POLY_ASSIGN_OR_RETURN(cfg::ControlFlowGraph graph,
                         cfg::RecoverStatic(image_, options_.recover));
+  cfg_span.Arg("functions", static_cast<int64_t>(graph.functions.size()));
+  cfg_span.Arg("blocks", static_cast<int64_t>(graph.blocks.size()));
+  cfg_span.End();
   stats_.disassemble_ns += NowNs() - t0;
 
   if (options_.use_icft_tracer) {
+    obs::Span trace_span(options_.obs.trace, "trace", "icft-trace");
     trace::TraceResult traced =
         trace::TraceAll(image_, options_.trace_input_sets);
     stats_.trace_ns += traced.host_ns;
@@ -268,7 +282,8 @@ Expected<RecompiledBinary> Recompiler::Recompile() {
     POLY_ASSIGN_OR_RETURN(
         int added,
         trace::AugmentCfg(image_, graph, traced, options_.recover));
-    (void)added;
+    trace_span.Arg("targets", static_cast<int64_t>(traced.TotalTargets()));
+    trace_span.Arg("added", added);
   }
 
   // Fence removal under the TSO checker requires a certificate; mint one
@@ -279,7 +294,8 @@ Expected<RecompiledBinary> Recompiler::Recompile() {
       !options_.elision_cert.has_value()) {
     POLY_ASSIGN_OR_RETURN(fenceopt::SpinloopAnalysis analysis,
                           fenceopt::DetectImplicitSynchronization(
-                              image_, graph, options_.trace_input_sets));
+                              image_, graph, options_.trace_input_sets,
+                              options_.obs));
     if (!analysis.FenceRemovalSafe()) {
       return Status::FailedPrecondition(StrCat(
           "check-tso: fence removal is not justified — spinloop analysis "

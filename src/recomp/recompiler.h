@@ -22,6 +22,7 @@
 #include "src/check/witness.h"
 #include "src/exec/engine.h"
 #include "src/lift/lifter.h"
+#include "src/obs/report.h"
 #include "src/opt/passes.h"
 #include "src/support/status.h"
 #include "src/trace/icft_tracer.h"
@@ -60,6 +61,13 @@ struct RecompileOptions {
   // Certificate justifying whole-module fence removal. Populated by
   // Recompile() when check_tso && remove_fences and none was supplied.
   std::optional<check::ElisionCert> elision_cert;
+  // Observability sinks (all nullable; see src/obs). The driver fans the
+  // session out to every phase: "cfg"/"trace"/"recomp"/"emit" spans here,
+  // per-function "lift"/"opt" spans on worker lanes, "check"/"fenceopt"
+  // spans in the soundness machinery, and the corresponding counters.
+  // Deliberately absent from the additive-cache fingerprint — observability
+  // must never change what a function lifts/optimizes to.
+  obs::Session obs;
 };
 
 struct RecompileStats {

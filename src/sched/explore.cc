@@ -43,6 +43,16 @@ void RunPct(const RunFn& run, uint64_t engine_seed,
     Outcome outcome = run(&recorder);
     ++set.runs;
     RecordOutcome(set, outcome, recorder.schedule());
+    if (options.obs.metrics != nullptr) {
+      options.obs.Add(obs::Counter::kSchedSchedulesRun);
+      options.obs.Add(obs::Counter::kSchedDecisions, recorder.points_seen());
+      options.obs.Add(obs::Counter::kSchedPreemptions,
+                      recorder.preemptions());
+      if (i != 0 && pct.depth > 1) {
+        options.obs.Add(obs::Counter::kSchedChangePoints,
+                        static_cast<uint64_t>(pct.depth - 1));
+      }
+    }
     if (i == 0) {
       pct.expected_length = std::min(
           options.pct.expected_length,
@@ -66,10 +76,19 @@ void RunDfs(const RunFn& run, uint64_t engine_seed,
     WorkItem item = std::move(worklist.front());
     worklist.pop_front();
     DfsScheduler dfs(item.prefix);
-    Outcome outcome = run(&dfs);
+    // The recorder wrapper is observability-only here: it delegates every
+    // pick to the DFS scheduler and counts consultations/preemptions.
+    RecordingScheduler recorder(&dfs, engine_seed);
+    Outcome outcome = run(&recorder);
     ++runs;
     ++set.runs;
     RecordOutcome(set, outcome, Schedule{engine_seed, item.prefix});
+    if (options.obs.metrics != nullptr) {
+      options.obs.Add(obs::Counter::kSchedSchedulesRun);
+      options.obs.Add(obs::Counter::kSchedDecisions, recorder.points_seen());
+      options.obs.Add(obs::Counter::kSchedPreemptions,
+                      recorder.preemptions());
+    }
     for (const DfsScheduler::Branch& branch : dfs.branches()) {
       int preemptions = item.preemptions + (branch.preemption ? 1 : 0);
       if (preemptions > options.dfs_preemption_bound) {
@@ -88,6 +107,7 @@ void RunDfs(const RunFn& run, uint64_t engine_seed,
 
 OutcomeSet EnumerateOutcomes(const RunFn& run, uint64_t engine_seed,
                              const ExploreOptions& options) {
+  obs::Span span(options.obs.trace, "sched", "enumerate-outcomes");
   OutcomeSet set;
   if (options.strategy != ExploreOptions::Strategy::kDfs) {
     RunPct(run, engine_seed, options, set);
@@ -95,6 +115,8 @@ OutcomeSet EnumerateOutcomes(const RunFn& run, uint64_t engine_seed,
   if (options.strategy != ExploreOptions::Strategy::kPct) {
     RunDfs(run, engine_seed, options, set);
   }
+  span.Arg("runs", set.runs);
+  span.Arg("outcomes", static_cast<int64_t>(set.outcomes.size()));
   return set;
 }
 

@@ -27,6 +27,7 @@
 #include <map>
 #include <string>
 
+#include "src/obs/report.h"
 #include "src/sched/schedule.h"
 #include "src/sched/scheduler.h"
 
@@ -58,6 +59,10 @@ struct ExploreOptions {
   // DFS: maximum preemptive deviations per prefix and total run cap.
   int dfs_preemption_bound = 2;
   int dfs_max_runs = 256;
+  // Observability sinks (all nullable; see src/obs): one "sched"-category
+  // span per enumeration and the sched.* counters (runs, consultations,
+  // preemptions, PCT change points).
+  obs::Session obs;
 };
 
 struct OutcomeSet {

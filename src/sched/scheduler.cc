@@ -30,6 +30,11 @@ int RecordingScheduler::Pick(const SchedPoint& point,
   if (pick != def) {
     schedule_.decisions.push_back({point.index, pick});
   }
+  if (pick != point.current &&
+      std::find(candidates.begin(), candidates.end(), point.current) !=
+          candidates.end()) {
+    ++preemptions_;
+  }
   return pick;
 }
 

@@ -81,10 +81,15 @@ class RecordingScheduler : public Scheduler {
   // land inside the run instead of far past its end.
   uint64_t points_seen() const { return points_seen_; }
 
+  // Picks that switched away from a still-runnable current thread (the
+  // sched.preemptions metric).
+  uint64_t preemptions() const { return preemptions_; }
+
  private:
   Scheduler* inner_;
   Schedule schedule_;
   uint64_t points_seen_ = 0;
+  uint64_t preemptions_ = 0;
 };
 
 // Replays a recorded Schedule: at a point whose index carries a decision for

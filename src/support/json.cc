@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -38,34 +39,103 @@ const Value* Value::Find(std::string_view key) const {
 
 namespace {
 
+// Length of the valid UTF-8 sequence starting at s[i], or 0 when the bytes
+// there are not well-formed UTF-8 (bad lead byte, truncated/invalid
+// continuation bytes, overlong encoding, surrogate, or > U+10FFFF).
+size_t Utf8SequenceLength(const std::string& s, size_t i) {
+  unsigned char lead = static_cast<unsigned char>(s[i]);
+  size_t len;
+  uint32_t code;
+  if (lead < 0x80) {
+    return 1;
+  } else if ((lead & 0xe0) == 0xc0) {
+    len = 2;
+    code = lead & 0x1f;
+  } else if ((lead & 0xf0) == 0xe0) {
+    len = 3;
+    code = lead & 0x0f;
+  } else if ((lead & 0xf8) == 0xf0) {
+    len = 4;
+    code = lead & 0x07;
+  } else {
+    return 0;
+  }
+  if (i + len > s.size()) {
+    return 0;
+  }
+  for (size_t k = 1; k < len; ++k) {
+    unsigned char cont = static_cast<unsigned char>(s[i + k]);
+    if ((cont & 0xc0) != 0x80) {
+      return 0;
+    }
+    code = (code << 6) | (cont & 0x3f);
+  }
+  static const uint32_t kMinForLength[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (code < kMinForLength[len] || code > 0x10ffff ||
+      (code >= 0xd800 && code <= 0xdfff)) {
+    return 0;  // overlong, out of range, or surrogate
+  }
+  return len;
+}
+
+// Escapes control characters, quotes and backslashes; bytes that are not
+// part of a well-formed UTF-8 sequence are written as \u00XX so the output
+// is always valid JSON (and the parser's byte-oriented \u decoding restores
+// them exactly — see the header contract).
 void AppendEscaped(std::string& out, const std::string& s) {
   out.push_back('"');
-  for (char c : s) {
+  for (size_t i = 0; i < s.size();) {
+    char c = s[i];
     switch (c) {
       case '"':
         out += "\\\"";
-        break;
+        ++i;
+        continue;
       case '\\':
         out += "\\\\";
-        break;
+        ++i;
+        continue;
       case '\n':
         out += "\\n";
-        break;
+        ++i;
+        continue;
       case '\t':
         out += "\\t";
-        break;
+        ++i;
+        continue;
       case '\r':
         out += "\\r";
-        break;
+        ++i;
+        continue;
+      case '\b':
+        out += "\\b";
+        ++i;
+        continue;
+      case '\f':
+        out += "\\f";
+        ++i;
+        continue;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+        break;
     }
+    unsigned char byte = static_cast<unsigned char>(c);
+    if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      out += buf;
+      ++i;
+      continue;
+    }
+    size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+      out += buf;
+      ++i;
+      continue;
+    }
+    out.append(s, i, len);
+    i += len;
   }
   out.push_back('"');
 }
@@ -85,9 +155,21 @@ void Value::DumpTo(std::string& out, bool pretty, int indent) const {
   } else if (is_int()) {
     out += std::to_string(std::get<int64_t>(storage_));
   } else if (is_double()) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(storage_));
-    out += buf;
+    double d = std::get<double>(storage_);
+    if (!std::isfinite(d)) {
+      // JSON has no Infinity/NaN literals; null is the conventional stand-in.
+      out += "null";
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      // Keep doubles typed as doubles across a round trip: "%.17g" prints
+      // integral values without a decimal point, which would re-parse as
+      // int64.
+      if (std::string_view(buf).find_first_of(".eE") == std::string_view::npos) {
+        std::strcat(buf, ".0");
+      }
+      out += buf;
+    }
   } else if (is_string()) {
     AppendEscaped(out, as_string());
   } else if (is_array()) {
@@ -319,8 +401,23 @@ class Parser {
                 return Error("bad \\u escape");
               }
             }
-            // Only BMP codepoints below 0x80 are emitted by this project.
-            out.push_back(static_cast<char>(code & 0xff));
+            if (code < 0x100) {
+              // Byte-oriented: the writer escapes raw (non-UTF-8) bytes as
+              // \u00XX, so codes below 0x100 decode back to a single byte.
+              out.push_back(static_cast<char>(code));
+            } else if (code >= 0xd800 && code <= 0xdfff) {
+              // Surrogate halves never appear standalone; this parser does
+              // not combine pairs (the writer never emits them).
+              return Error("unsupported surrogate \\u escape");
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              // UTF-8 encode (\u escapes cover the BMP only, so <= 3 bytes).
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
             break;
           }
           default:
@@ -335,7 +432,13 @@ class Parser {
 
   Expected<Value> ParseNumber() {
     size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+    // JSON allows a leading '-' but not '+'. The scan loop below accepts
+    // '+' anywhere (for exponents), so the sign must be rejected up front —
+    // strtoll/strtod would happily parse "+5".
+    if (pos_ < text_.size() && text_[pos_] == '+') {
+      return Error("leading '+' is not valid JSON");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '-') {
       ++pos_;
     }
     bool is_double = false;

@@ -4,7 +4,16 @@
 //
 // Supports the JSON subset the project emits: objects, arrays, strings,
 // 64-bit integers, doubles, booleans, and null. Numbers that fit in int64 are
-// kept exact so code addresses round-trip losslessly.
+// kept exact so code addresses round-trip losslessly; finite doubles always
+// serialize with a decimal point or exponent so they re-parse as doubles
+// (non-finite doubles serialize as null — JSON has no Infinity/NaN).
+//
+// Strings are byte strings. The writer passes well-formed UTF-8 through,
+// escapes control characters, and writes any byte that is not part of a
+// valid UTF-8 sequence as \u00XX, so Dump() output is always valid JSON.
+// Symmetrically, the parser decodes \u escapes below 0x100 to a single raw
+// byte and higher BMP codepoints to UTF-8, making serialize -> parse exact
+// for arbitrary byte content.
 #ifndef POLYNIMA_SUPPORT_JSON_H_
 #define POLYNIMA_SUPPORT_JSON_H_
 

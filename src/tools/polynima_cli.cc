@@ -18,6 +18,25 @@
 //            deterministic schedule exploration (src/sched): diff the
 //            outcome sets of the fenced reference and the optimized build,
 //            shrink any divergence to a minimal schedule, print the repro
+//   polynima report   <obs.json>... [--top N] [--validate]
+//            render any observability artifact (trace / metrics / profile /
+//            run report) as human tables; --validate only checks structure
+//            and exits non-zero on a malformed or empty document
+//
+// Observability (src/obs) — every subcommand that builds or runs a binary
+// accepts:
+//   --trace-out <f>    Chrome trace_event JSON of the pipeline/run spans
+//                      (load in Perfetto / about:tracing)
+//   --metrics-out <f>  merged counter/gauge/histogram dump
+//                      (polynima-metrics/v1)
+//   --profile <f>      per-basic-block guest execution profile from the
+//                      exec engine (polynima-profile/v1): entry counts and
+//                      per-site fence/atomic frequencies
+//   --report-out <f>   one polynima-report/v1 document tying the run and
+//                      its artifacts together (implies a metrics registry)
+// Flags may be spelled --flag value or --flag=value. All sinks are off by
+// default; the disabled cost at every instrumentation point is one branch
+// on a null pointer.
 //
 // `explore` builds a fully-fenced reference and an optimized build
 // (--remove-fences deletes every fence — the fault-injection mode used to
@@ -51,6 +70,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +78,7 @@
 #include "src/cfg/cfg.h"
 #include "src/exec/engine.h"
 #include "src/fenceopt/spinloop.h"
+#include "src/obs/report.h"
 #include "src/recomp/recompiler.h"
 #include "src/sched/explore.h"
 #include "src/sched/schedule.h"
@@ -74,8 +95,8 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: polynima <compile|disasm|recompile|run|analyze|check|explore>"
-      " ...\n"
+      "usage: polynima "
+      "<compile|disasm|recompile|run|analyze|check|explore|report> ...\n"
       "see the header of src/tools/polynima_cli.cc\n");
   return 2;
 }
@@ -107,12 +128,34 @@ struct Args {
   std::string strategy = "both";
   std::string replay;      // inline repro string or .sched file path
   std::string save_sched;  // write the shrunk witness here
+  // observability
+  std::string trace_out;    // Chrome trace_event JSON
+  std::string metrics_out;  // polynima-metrics/v1
+  std::string profile_out;  // polynima-profile/v1 (--profile)
+  std::string report_out;   // polynima-report/v1
+  int top = 10;             // report: rows per table
+  bool validate = false;    // report: structural validation only
 };
 
 bool ParseArgs(int argc, char** argv, Args& args) {
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
+    // --flag=value is equivalent to --flag value.
+    std::string inline_value;
+    bool has_inline = false;
+    if (a.size() > 2 && a[0] == '-' && a[1] == '-') {
+      size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next = [&](std::string& out) {
+      if (has_inline) {
+        out = inline_value;
+        return true;
+      }
       if (i + 1 >= argc) {
         return false;
       }
@@ -173,6 +216,20 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (!next(args.save_sched)) return false;
     } else if (a == "--original") {
       args.original = true;
+    } else if (a == "--trace-out") {
+      if (!next(args.trace_out)) return false;
+    } else if (a == "--metrics-out") {
+      if (!next(args.metrics_out)) return false;
+    } else if (a == "--profile") {
+      if (!next(args.profile_out)) return false;
+    } else if (a == "--report-out") {
+      if (!next(args.report_out)) return false;
+    } else if (a == "--top") {
+      std::string v;
+      if (!next(v)) return false;
+      args.top = std::atoi(v.c_str());
+    } else if (a == "--validate") {
+      args.validate = true;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return false;
@@ -190,6 +247,70 @@ std::vector<std::vector<uint8_t>> LoadInputs(const Args& args) {
   }
   return inputs;
 }
+
+// CLI-owned observability sinks, one per requested output file, plus the
+// Session handed down to the pipeline. Finish() writes every artifact (and
+// the run report) once, after the command body.
+struct ObsSinks {
+  std::optional<obs::TraceSink> trace;
+  std::optional<obs::MetricsRegistry> metrics;
+  std::optional<obs::GuestProfile> profile;
+  obs::Session session;
+
+  explicit ObsSinks(const Args& args) {
+    if (!args.trace_out.empty()) {
+      session.trace = &trace.emplace();
+    }
+    // --report-out inlines the merged metrics dump, so it implies a
+    // registry even without --metrics-out.
+    if (!args.metrics_out.empty() || !args.report_out.empty()) {
+      session.metrics = &metrics.emplace();
+    }
+    if (!args.profile_out.empty()) {
+      session.profile = &profile.emplace();
+    }
+  }
+
+  // Writes the requested artifacts; returns `exit_code`, or 1 if a write
+  // failed. `run_ok` is stamped into the report, so a failing run still
+  // produces its observability output.
+  int Finish(const Args& args, const char* command, bool run_ok,
+             int exit_code) {
+    auto write = [&](const Status& st, const char* kind,
+                     const std::string& path) {
+      if (!st.ok()) {
+        std::fprintf(stderr, "obs: %s\n", st.ToString().c_str());
+        exit_code = 1;
+        return;
+      }
+      info.artifacts.emplace_back(kind, path);
+    };
+    info.command = command;
+    info.input = args.positional.empty() ? "" : args.positional[0];
+    info.ok = run_ok;
+    if (trace.has_value()) {
+      write(trace->WriteTo(args.trace_out), "trace", args.trace_out);
+    }
+    if (metrics.has_value() && !args.metrics_out.empty()) {
+      write(metrics->WriteTo(args.metrics_out), "metrics", args.metrics_out);
+    }
+    if (profile.has_value()) {
+      write(profile->WriteTo(args.profile_out), "profile", args.profile_out);
+    }
+    if (!args.report_out.empty()) {
+      Status st = json::WriteFile(args.report_out,
+                                  obs::BuildRunReport(info, session));
+      if (!st.ok()) {
+        std::fprintf(stderr, "obs: %s\n", st.ToString().c_str());
+        exit_code = 1;
+      }
+    }
+    return exit_code;
+  }
+
+ private:
+  obs::RunInfo info;
+};
 
 int CmdCompile(const Args& args) {
   if (args.positional.empty() || args.output.empty()) {
@@ -269,7 +390,8 @@ int CmdDisasm(const Args& args) {
   return 0;
 }
 
-recomp::RecompileOptions MakeOptions(const Args& args) {
+recomp::RecompileOptions MakeOptions(const Args& args,
+                                     const obs::Session& session = {}) {
   recomp::RecompileOptions options;
   if (!args.project.empty()) {
     options.project_dir = args.project;
@@ -278,6 +400,7 @@ recomp::RecompileOptions MakeOptions(const Args& args) {
   options.optimize = args.optimize;
   options.jobs = args.jobs;
   options.check_tso = args.check_tso;
+  options.obs = session;
   if (!args.trace_files.empty()) {
     options.use_icft_tracer = true;
     for (const std::string& f : args.trace_files) {
@@ -296,11 +419,12 @@ int CmdRecompile(const Args& args) {
     std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
     return 1;
   }
-  recomp::Recompiler recompiler(*image, MakeOptions(args));
+  ObsSinks sinks(args);
+  recomp::Recompiler recompiler(*image, MakeOptions(args, sinks.session));
   auto binary = recompiler.Recompile();
   if (!binary.ok()) {
     std::fprintf(stderr, "%s\n", binary.status().ToString().c_str());
-    return 1;
+    return sinks.Finish(args, "recompile", /*run_ok=*/false, 1);
   }
   const recomp::RecompileStats& stats = recompiler.stats();
   std::printf("recompiled %s: %zu functions, %zu blocks\n",
@@ -324,7 +448,7 @@ int CmdRecompile(const Args& args) {
   if (!args.project.empty()) {
     std::printf("  project CFG: %s/cfg.json\n", args.project.c_str());
   }
-  return 0;
+  return sinks.Finish(args, "recompile", /*run_ok=*/true, 0);
 }
 
 int CmdRun(const Args& args) {
@@ -337,28 +461,34 @@ int CmdRun(const Args& args) {
     return 1;
   }
   std::vector<std::vector<uint8_t>> inputs = LoadInputs(args);
+  ObsSinks sinks(args);
   if (args.original) {
     vm::ExternalLibrary library;
-    vm::Vm virtual_machine(*image, &library, {});
+    vm::VmOptions vm_options;
+    vm_options.obs = sinks.session;
+    vm::Vm virtual_machine(*image, &library, vm_options);
     virtual_machine.SetInputs(inputs);
     vm::RunResult r = virtual_machine.Run();
     std::fputs(r.output.c_str(), stdout);
     if (!r.ok) {
       std::fprintf(stderr, "fault: %s\n", r.fault_message.c_str());
-      return 1;
+      return sinks.Finish(args, "run", /*run_ok=*/false, 1);
     }
-    return static_cast<int>(r.exit_code) & 0xff;
+    return sinks.Finish(args, "run", /*run_ok=*/true,
+                        static_cast<int>(r.exit_code) & 0xff);
   }
-  recomp::Recompiler recompiler(*image, MakeOptions(args));
+  recomp::Recompiler recompiler(*image, MakeOptions(args, sinks.session));
   auto binary = recompiler.Recompile();
   if (!binary.ok()) {
     std::fprintf(stderr, "%s\n", binary.status().ToString().c_str());
-    return 1;
+    return sinks.Finish(args, "run", /*run_ok=*/false, 1);
   }
-  auto result = recompiler.RunAdditive(*binary, inputs);
+  exec::ExecOptions exec_options;
+  exec_options.obs = sinks.session;
+  auto result = recompiler.RunAdditive(*binary, inputs, exec_options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
+    return sinks.Finish(args, "run", /*run_ok=*/false, 1);
   }
   std::fputs(result->output.c_str(), stdout);
   if (recompiler.stats().additive_rounds > 0) {
@@ -371,9 +501,10 @@ int CmdRun(const Args& args) {
   }
   if (!result->ok) {
     std::fprintf(stderr, "fault: %s\n", result->fault_message.c_str());
-    return 1;
+    return sinks.Finish(args, "run", /*run_ok=*/false, 1);
   }
-  return static_cast<int>(result->exit_code) & 0xff;
+  return sinks.Finish(args, "run", /*run_ok=*/true,
+                      static_cast<int>(result->exit_code) & 0xff);
 }
 
 int CmdAnalyze(const Args& args) {
@@ -385,16 +516,17 @@ int CmdAnalyze(const Args& args) {
     std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
     return 1;
   }
+  ObsSinks sinks(args);
   auto graph = cfg::RecoverStatic(*image);
   if (!graph.ok()) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
   }
   auto analysis = fenceopt::DetectImplicitSynchronization(
-      *image, *graph, {LoadInputs(args)});
+      *image, *graph, {LoadInputs(args)}, sinks.session);
   if (!analysis.ok()) {
     std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
-    return 1;
+    return sinks.Finish(args, "analyze", /*run_ok=*/false, 1);
   }
   for (const auto& loop : analysis->loops) {
     std::printf("%-10s loop %s/%s: %s\n",
@@ -404,16 +536,14 @@ int CmdAnalyze(const Args& args) {
   }
   std::printf("fence removal: %s\n",
               analysis->FenceRemovalSafe() ? "SAFE" : "withheld");
-  return analysis->FenceRemovalSafe() ? 0 : 1;
+  return sinks.Finish(args, "analyze", /*run_ok=*/true,
+                      analysis->FenceRemovalSafe() ? 0 : 1);
 }
 
 // Full TSO-soundness workflow over one binary: static check fenced, spinloop
 // analysis + certificate, static check fence-removed, schedule-perturbing
 // differential run.
-int CmdCheck(const Args& args) {
-  if (args.positional.empty()) {
-    return Usage();
-  }
+int CmdCheckImpl(const Args& args, const obs::Session& session) {
   auto image = binary::Image::ReadFrom(args.positional[0]);
   if (!image.ok()) {
     std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
@@ -425,6 +555,7 @@ int CmdCheck(const Args& args) {
   recomp::RecompileOptions fenced_options;
   fenced_options.check_tso = true;
   fenced_options.jobs = args.jobs;
+  fenced_options.obs = session;
   recomp::Recompiler fenced(*image, fenced_options);
   auto fenced_binary = fenced.Recompile();
   if (!fenced_binary.ok()) {
@@ -446,7 +577,7 @@ int CmdCheck(const Args& args) {
 
   // 2. Spinloop analysis on the converged CFG; mint the elision cert.
   auto analysis = fenceopt::DetectImplicitSynchronization(
-      *image, fenced_binary->graph, {inputs});
+      *image, fenced_binary->graph, {inputs}, session);
   if (!analysis.ok()) {
     std::fprintf(stderr, "FAIL (spinloop analysis): %s\n",
                  analysis.status().ToString().c_str());
@@ -474,6 +605,7 @@ int CmdCheck(const Args& args) {
   opt_options.remove_fences = true;
   opt_options.elision_cert = cert;
   opt_options.jobs = args.jobs;
+  opt_options.obs = session;
   recomp::Recompiler optimized(*image, opt_options);
   auto opt_binary = optimized.Recompile();
   if (!opt_binary.ok()) {
@@ -516,12 +648,18 @@ int CmdCheck(const Args& args) {
   return 0;
 }
 
-// Deterministic schedule exploration: fenced reference vs optimized build,
-// outcome-set diff in both directions, shrinking, replayable repro strings.
-int CmdExplore(const Args& args) {
+int CmdCheck(const Args& args) {
   if (args.positional.empty()) {
     return Usage();
   }
+  ObsSinks sinks(args);
+  int rc = CmdCheckImpl(args, sinks.session);
+  return sinks.Finish(args, "check", rc == 0, rc);
+}
+
+// Deterministic schedule exploration: fenced reference vs optimized build,
+// outcome-set diff in both directions, shrinking, replayable repro strings.
+int CmdExploreImpl(const Args& args, const obs::Session& session) {
   auto image = binary::Image::ReadFrom(args.positional[0]);
   if (!image.ok()) {
     std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
@@ -533,6 +671,7 @@ int CmdExplore(const Args& args) {
   recomp::RecompileOptions ref_options;
   ref_options.lift.elide_stack_local_fences = false;
   ref_options.jobs = args.jobs;
+  ref_options.obs = session;
   recomp::Recompiler ref_recompiler(*image, ref_options);
   auto reference = ref_recompiler.Recompile();
   if (!reference.ok()) {
@@ -556,6 +695,7 @@ int CmdExplore(const Args& args) {
   opt_options.remove_fences = args.remove_fences;
   opt_options.optimize = args.optimize;
   opt_options.jobs = args.jobs;
+  opt_options.obs = session;
   recomp::Recompiler opt_recompiler(*image, opt_options);
   auto optimized = opt_recompiler.Recompile();
   if (!optimized.ok()) {
@@ -576,6 +716,7 @@ int CmdExplore(const Args& args) {
       exec::ExecOptions exec_options;
       exec_options.seed = args.seed;
       exec_options.scheduler = scheduler;
+      exec_options.obs = session;
       exec::Engine engine(*program, *image, &library, exec_options);
       engine.SetInputs(inputs);
       exec::ExecResult r = engine.Run();
@@ -630,6 +771,7 @@ int CmdExplore(const Args& args) {
   explore_options.budget = args.budget;
   explore_options.pct.depth = args.depth;
   explore_options.dfs_preemption_bound = args.dfs_bound;
+  explore_options.obs = session;
   if (args.strategy == "pct") {
     explore_options.strategy = sched::ExploreOptions::Strategy::kPct;
   } else if (args.strategy == "dfs") {
@@ -667,6 +809,57 @@ int CmdExplore(const Args& args) {
   return 1;
 }
 
+int CmdExplore(const Args& args) {
+  if (args.positional.empty()) {
+    return Usage();
+  }
+  ObsSinks sinks(args);
+  int rc = CmdExploreImpl(args, sinks.session);
+  return sinks.Finish(args, "explore", rc == 0, rc);
+}
+
+// Renders (or, with --validate, only structurally validates) observability
+// artifacts: any mix of trace / metrics / profile / report JSON files.
+int CmdReport(const Args& args) {
+  if (args.positional.empty()) {
+    return Usage();
+  }
+  int rc = 0;
+  for (const std::string& path : args.positional) {
+    auto doc = json::ReadFile(path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   doc.status().ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    auto kind = obs::ValidateObsJson(*doc);
+    if (!kind.ok()) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                   kind.status().ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    if (args.validate) {
+      std::printf("%s: valid %s\n", path.c_str(), kind->c_str());
+      continue;
+    }
+    if (args.positional.size() > 1) {
+      std::printf("== %s ==\n", path.c_str());
+    }
+    if (*kind == "trace") {
+      std::fputs(obs::RenderTraceSummary(*doc).c_str(), stdout);
+    } else if (*kind == "metrics") {
+      std::fputs(obs::RenderMetrics(*doc).c_str(), stdout);
+    } else if (*kind == "profile") {
+      std::fputs(obs::RenderProfile(*doc, args.top).c_str(), stdout);
+    } else {
+      std::fputs(obs::RenderReport(*doc, args.top).c_str(), stdout);
+    }
+  }
+  return rc;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -696,6 +889,9 @@ int Main(int argc, char** argv) {
   }
   if (cmd == "explore") {
     return CmdExplore(args);
+  }
+  if (cmd == "report") {
+    return CmdReport(args);
   }
   return Usage();
 }

@@ -120,6 +120,7 @@ void Vm::Fault(std::string message, uint64_t pc) {
     faulted_ = true;
     fault_message_ = std::move(message);
     fault_pc_ = pc;
+    options_.obs.Add(obs::Counter::kVmFaults);
   }
 }
 
@@ -278,6 +279,7 @@ bool Vm::ExecuteInst(Thread& t, const Inst& inst) {
   }
   if (inst.lock) {
     cost += costs_.lock_extra;
+    options_.obs.Add(obs::Counter::kVmAtomics);
   }
 
   // Precise race mode: split plain RMW-on-memory instructions into a load
@@ -555,7 +557,9 @@ bool Vm::ExecuteInst(Thread& t, const Inst& inst) {
       WriteOperand(t, inst.ops[0], size, b, inst);
       WriteOperand(t, inst.ops[1], size, a, inst);
       if (inst.ops[0].is_mem()) {
+        // xchg with a memory operand is implicitly locked.
         cost += costs_.mem_access + costs_.lock_extra;
+        options_.obs.Add(obs::Counter::kVmAtomics);
       }
       break;
     }
@@ -826,6 +830,7 @@ RunResult Vm::Run() {
   POLY_CHECK(threads_.empty()) << "Run() may only be called once";
   CreateThread(image_.entry_point, 0, 0, kProgramExitMagic);
 
+  obs::Span span(options_.obs.trace, "vm", "run");
   while (!exited_ && !faulted_) {
     Thread* best = nullptr;
     for (auto& t : threads_) {
@@ -852,6 +857,9 @@ RunResult Vm::Run() {
       break;
     }
   }
+  options_.obs.Add(obs::Counter::kVmInstrs, steps_);
+  span.Arg("steps", static_cast<int64_t>(steps_));
+  span.End();
 
   RunResult result;
   result.ok = !faulted_;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/binary/image.h"
+#include "src/obs/report.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/vm/external.h"
@@ -40,6 +41,10 @@ struct VmOptions {
   // interleavings.
   bool cost_jitter = true;
   uint64_t max_steps = 4'000'000'000ull;
+  // Observability sinks (all nullable; see src/obs): one "vm"-category span
+  // per run plus the vm.* counters (instructions, lock-prefixed atomics,
+  // faults).
+  obs::Session obs;
 };
 
 // Cost model for original-binary execution (simulated cycles).

@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "src/cc/compiler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/recomp/recompiler.h"
 #include "src/support/rng.h"
 #include "src/support/testseed.h"
@@ -179,6 +181,14 @@ std::string RunConfig(const std::string& source, int opt, bool recompiled,
   // Every fuzz program also passes through the static TSO-soundness checker
   // (a violation aborts the recompile and shows up as a config divergence).
   recompile_options.check_tso = true;
+  // Recompiled configs run fully instrumented: per-function spans fire on the
+  // worker threads and the metrics shards merge at scrape. Any way the
+  // observability layer could perturb lifting/optimization shows up as a
+  // divergence against the untraced O0-original reference.
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+  recompile_options.obs.trace = &trace;
+  recompile_options.obs.metrics = &metrics;
   recomp::Recompiler recompiler(*image, recompile_options);
   auto binary = recompiler.Recompile();
   if (!binary.ok()) {

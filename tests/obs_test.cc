@@ -1,0 +1,257 @@
+// End-to-end tests for the observability layer (src/obs, DESIGN.md §4d):
+// one fully instrumented recompile+run of a multithreaded binary must yield
+// a trace spanning the whole pipeline, a metrics dump whose counters satisfy
+// the cross-subsystem invariants, a guest profile attributing the atomic
+// traffic, and a run report that passes the same structural validation
+// `polynima report --validate` applies in CI.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/cc/compiler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
+#include "src/recomp/recompiler.h"
+
+namespace polynima::obs {
+namespace {
+
+// Four threads hammering one shared atomic counter: the lifter sees both
+// stack-local traffic (elidable fences) and a genuine lock-prefixed RMW
+// (retained), and the profile sees atomic executions concentrated in the
+// worker's loop block.
+const char* kAtomicCounter = R"(
+extern void print_i64(long v);
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+
+long counter = 0;
+
+long worker(long arg) {
+  for (int i = 0; i < 200; i++) __atomic_fetch_add(&counter, 1, 5);
+  return arg;
+}
+
+int main() {
+  long tids[4];
+  for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+  print_i64(counter);
+  return 0;
+}
+)";
+
+// Distinct "cat" values over the complete ("ph":"X") events of a trace doc.
+std::set<std::string> SpanCategories(const json::Value& trace_doc) {
+  std::set<std::string> categories;
+  for (const json::Value& e : trace_doc.Find("traceEvents")->as_array()) {
+    const json::Value* ph = e.Find("ph");
+    if (ph != nullptr && ph->as_string() == "X") {
+      categories.insert(e.Find("cat")->as_string());
+    }
+  }
+  return categories;
+}
+
+// One instrumented recompile+run shared by the assertions below.
+class ObsEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cc::CompileOptions compile_options;
+    compile_options.name = "obs_test";
+    compile_options.opt_level = 0;
+    auto image = cc::Compile(kAtomicCounter, compile_options);
+    ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+    trace_ = new TraceSink;
+    metrics_ = new MetricsRegistry;
+    profile_ = new GuestProfile;
+    Session session;
+    session.trace = trace_;
+    session.metrics = metrics_;
+    session.profile = profile_;
+
+    recomp::RecompileOptions options;
+    options.jobs = 2;
+    options.check_tso = true;
+    options.obs = session;
+    recomp::Recompiler recompiler(*image, options);
+    auto binary = recompiler.Recompile();
+    ASSERT_TRUE(binary.ok()) << binary.status().ToString();
+
+    exec::ExecOptions exec_options;
+    exec_options.obs = session;
+    exec::ExecResult result = binary->Run({}, exec_options);
+    ASSERT_TRUE(result.ok) << result.fault_message;
+    ASSERT_EQ(result.output, "800");
+  }
+
+  static void TearDownTestSuite() {
+    delete profile_;
+    delete metrics_;
+    delete trace_;
+    profile_ = nullptr;
+    metrics_ = nullptr;
+    trace_ = nullptr;
+  }
+
+  static uint64_t Count(Counter c) { return metrics_->CounterValue(c); }
+
+  static TraceSink* trace_;
+  static MetricsRegistry* metrics_;
+  static GuestProfile* profile_;
+};
+
+TraceSink* ObsEndToEnd::trace_ = nullptr;
+MetricsRegistry* ObsEndToEnd::metrics_ = nullptr;
+GuestProfile* ObsEndToEnd::profile_ = nullptr;
+
+TEST_F(ObsEndToEnd, TraceCoversThePipeline) {
+  ASSERT_GT(trace_->event_count(), 0u);
+  json::Value doc = trace_->ToJson();
+  EXPECT_TRUE(ValidateTraceJson(doc).ok());
+
+  // The acceptance bar: at least six distinct span categories from one
+  // instrumented run. A recompile+run crosses cfg, lift, opt, verify,
+  // check, recomp, emit and exec.
+  std::set<std::string> categories = SpanCategories(doc);
+  EXPECT_GE(categories.size(), 6u);
+  for (const char* expected :
+       {"cfg", "lift", "opt", "verify", "check", "recomp", "emit", "exec"}) {
+    EXPECT_EQ(categories.count(expected), 1u) << "missing span: " << expected;
+  }
+
+  // Worker lanes are labelled: every lane that carries a span must have a
+  // thread_name metadata record.
+  std::set<int64_t> span_lanes;
+  std::set<int64_t> named_lanes;
+  for (const json::Value& e : doc.Find("traceEvents")->as_array()) {
+    int64_t tid = e.Find("tid")->as_int();
+    if (e.Find("ph")->as_string() == "X") {
+      span_lanes.insert(tid);
+    } else if (e.Find("name")->as_string() == "thread_name") {
+      named_lanes.insert(tid);
+    }
+  }
+  EXPECT_EQ(span_lanes, named_lanes);
+}
+
+TEST_F(ObsEndToEnd, MetricsSatisfyCrossSubsystemInvariants) {
+  // Every fence candidate site is decided exactly one way.
+  EXPECT_EQ(Count(Counter::kFenceoptFencesInserted),
+            Count(Counter::kFenceoptFencesElided) +
+                Count(Counter::kFenceoptFencesRetained));
+  EXPECT_GT(Count(Counter::kFenceoptFencesInserted), 0u);
+  // An atomic-RMW program must retain at least one fence/atomic site.
+  EXPECT_GT(Count(Counter::kFenceoptFencesRetained), 0u);
+
+  // Cold cache: every lifted function passes the optimizer exactly once.
+  EXPECT_GT(Count(Counter::kLiftFunctionsLifted), 0u);
+  EXPECT_EQ(Count(Counter::kOptFunctionsOptimized),
+            Count(Counter::kLiftFunctionsLifted));
+  EXPECT_EQ(Count(Counter::kLiftFunctionsCached), 0u);
+  EXPECT_GT(Count(Counter::kLiftBytesDecoded), 0u);
+  EXPECT_GT(Count(Counter::kLiftIrInstrs), 0u);
+
+  // The TSO checker discharged every obligation (the recompile would have
+  // aborted otherwise).
+  EXPECT_GT(Count(Counter::kCheckAccessesChecked), 0u);
+  EXPECT_EQ(Count(Counter::kCheckObligationsDischarged),
+            Count(Counter::kCheckAccessesChecked));
+  EXPECT_EQ(Count(Counter::kCheckViolations), 0u);
+
+  // The run: 4 threads x 200 atomic increments.
+  EXPECT_GT(Count(Counter::kExecGuestInstrs), 0u);
+  EXPECT_GE(Count(Counter::kExecAtomics), 800u);
+
+  EXPECT_TRUE(ValidateMetricsJson(metrics_->ToJson()).ok());
+}
+
+TEST_F(ObsEndToEnd, ProfileAttributesTheAtomicTraffic) {
+  ASSERT_FALSE(profile_->sites().empty());
+  uint64_t entries = 0;
+  uint64_t atomics = 0;
+  uint64_t instrs = 0;
+  for (const GuestProfile::Site& site : profile_->sites()) {
+    EXPECT_FALSE(site.function.empty());
+    entries += site.entries;
+    atomics += site.atomics;
+    instrs += site.instrs;
+  }
+  EXPECT_GT(entries, 0u);
+  EXPECT_GT(instrs, 0u);
+  // The per-site attribution must account for every executed atomic.
+  EXPECT_EQ(atomics, Count(Counter::kExecAtomics));
+  EXPECT_TRUE(ValidateProfileJson(profile_->ToJson()).ok());
+}
+
+TEST_F(ObsEndToEnd, RunReportValidatesAndRenders) {
+  RunInfo info;
+  info.command = "recompile";
+  info.input = "obs_test.plyb";
+  info.artifacts = {{"trace", "t.json"}, {"metrics", "m.json"}};
+  Session session;
+  session.trace = trace_;
+  session.metrics = metrics_;
+  session.profile = profile_;
+  json::Value report = BuildRunReport(info, session);
+
+  EXPECT_TRUE(ValidateReportJson(report).ok());
+  auto kind = ValidateObsJson(report);
+  ASSERT_TRUE(kind.ok()) << kind.status().ToString();
+  EXPECT_EQ(*kind, "report");
+
+  // The renderers are what `polynima report` prints; they must survive a
+  // real document and mention the data they summarize.
+  std::string rendered = RenderReport(report, /*top_n=*/5);
+  EXPECT_NE(rendered.find("fenceopt.fences_inserted"), std::string::npos);
+  EXPECT_NE(rendered.find("lift"), std::string::npos);
+  EXPECT_NE(RenderMetrics(metrics_->ToJson()).find("check.accesses_checked"),
+            std::string::npos);
+  EXPECT_NE(RenderTraceSummary(trace_->ToJson()).find("spans"),
+            std::string::npos);
+  EXPECT_FALSE(RenderProfile(profile_->ToJson(), 5).empty());
+}
+
+TEST_F(ObsEndToEnd, ValidatorsRejectMalformedAndEmptyDocuments) {
+  // An empty trace is a red flag, not a pass: CI must not accept a run whose
+  // instrumentation silently recorded nothing.
+  json::Value empty_trace = trace_->ToJson();
+  empty_trace.as_object()["traceEvents"] = json::Value(json::Array{});
+  EXPECT_FALSE(ValidateTraceJson(empty_trace).ok());
+
+  // A metrics dump missing part of the taxonomy is malformed.
+  json::Value chopped = metrics_->ToJson();
+  chopped.as_object()["counters"].as_object().erase(
+      CounterName(Counter::kLiftFunctionsLifted));
+  EXPECT_FALSE(ValidateMetricsJson(chopped).ok());
+
+  // Wrong or missing schema markers are rejected by the sniffing validator.
+  json::Value wrong_schema = metrics_->ToJson();
+  wrong_schema.as_object()["schema"] = json::Value("polynima-metrics/v999");
+  EXPECT_FALSE(ValidateObsJson(wrong_schema).ok());
+  EXPECT_FALSE(ValidateObsJson(json::Value(json::Object{})).ok());
+}
+
+TEST(ObsDisabled, NullSessionIsInert) {
+  // The disabled path is the hot path: every obs entry point must tolerate
+  // null sinks (a branch, no work, no crash).
+  Session session;
+  EXPECT_FALSE(session.enabled());
+  session.Add(Counter::kLiftFunctionsLifted, 3);
+  session.Observe(Histogram::kLiftFunctionNs, 1000);
+  session.SetGauge("jobs", 8);
+  {
+    Span span(nullptr, "lift", "nothing");
+    span.Arg("bytes", 42);
+    span.End();
+    span.End();  // idempotent
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace polynima::obs

@@ -15,6 +15,8 @@
 
 #include "src/cc/compiler.h"
 #include "src/ir/printer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/recomp/recompiler.h"
 #include "src/support/thread_pool.h"
 #include "src/vm/vm.h"
@@ -80,6 +82,79 @@ TEST(ThreadPool, PropagatesExceptions) {
     // The pool must stay usable after an exception.
     EXPECT_TRUE(
         pool.ParallelFor(8, [](size_t) { return Status::Ok(); }).ok());
+  }
+}
+
+TEST(ThreadPool, RethrowsLowestIndexException) {
+  // With several items throwing, the caller must see the exception a serial
+  // loop would have hit first, whatever order workers claimed the indices.
+  for (int jobs : {2, 8}) {
+    ThreadPool pool(jobs);
+    for (int rep = 0; rep < 20; ++rep) {
+      std::string caught;
+      try {
+        (void)pool.ParallelFor(64, [&](size_t i) -> Status {
+          if (i == 3 || i == 40) {
+            throw std::runtime_error("boom at " + std::to_string(i));
+          }
+          return Status::Ok();
+        });
+        FAIL() << "no exception, jobs=" << jobs;
+      } catch (const std::runtime_error& e) {
+        caught = e.what();
+      }
+      EXPECT_EQ(caught, "boom at 3") << "jobs=" << jobs << " rep=" << rep;
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionsTakePrecedenceOverStatusErrors) {
+  // Mixed failures: the rethrown exception wins over any Status error, even
+  // one at a lower index (a throw is the more catastrophic signal).
+  ThreadPool pool(4);
+  EXPECT_THROW((void)pool.ParallelFor(32,
+                                      [&](size_t i) -> Status {
+                                        if (i == 2) {
+                                          return Status::Internal("status");
+                                        }
+                                        if (i == 20) {
+                                          throw std::runtime_error("thrown");
+                                        }
+                                        return Status::Ok();
+                                      }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DeterministicResultsUnderContention) {
+  // Uneven per-item cost makes workers race for the cursor; the per-index
+  // results (and hence anything assembled from them in index order) must be
+  // identical to a serial run every time.
+  constexpr size_t kItems = 512;
+  auto compute = [](size_t i) {
+    uint64_t acc = i * 0x9e3779b97f4a7c15ull + 1;
+    // Cost varies by ~100x across indices.
+    uint64_t spin = 100 + (i % 7) * (i % 7) * 1500;
+    for (uint64_t k = 0; k < spin; ++k) {
+      acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+    }
+    return acc;
+  };
+  std::vector<uint64_t> reference(kItems);
+  {
+    ThreadPool pool(1);
+    ASSERT_TRUE(pool.ParallelFor(kItems, [&](size_t i) {
+                      reference[i] = compute(i);
+                      return Status::Ok();
+                    }).ok());
+  }
+  ThreadPool pool(8);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<uint64_t> got(kItems);
+    ASSERT_TRUE(pool.ParallelFor(kItems, [&](size_t i) {
+                      got[i] = compute(i);
+                      return Status::Ok();
+                    }).ok());
+    EXPECT_EQ(got, reference) << "rep=" << rep;
   }
 }
 
@@ -289,6 +364,49 @@ TEST(ParallelRecomp, IrByteIdenticalAcrossJobs) {
       EXPECT_EQ(result.output, reference_output) << "jobs=" << jobs;
       EXPECT_EQ(result.exit_code, reference_exit) << "jobs=" << jobs;
     }
+  }
+}
+
+TEST(ParallelRecomp, TracingDoesNotPerturbParallelDeterminism) {
+  // Span instrumentation runs inside the worker threads (per-function
+  // "lift"/"opt" spans). Recording traces and metrics must not change the
+  // emitted IR or the execution result at any worker count — observability
+  // is deliberately absent from the additive-cache fingerprint.
+  auto image = CompileSource(kMultiFunction);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+
+  std::string reference_ir;
+  std::string reference_output;
+  {
+    RecompileOptions options;  // jobs=1, no sinks: the baseline
+    Recompiler recompiler(*image, options);
+    auto binary = recompiler.Recompile();
+    ASSERT_TRUE(binary.ok()) << binary.status().ToString();
+    reference_ir = ir::Print(*binary->program.module);
+    exec::ExecResult result = binary->Run({});
+    ASSERT_TRUE(result.ok) << result.fault_message;
+    reference_output = result.output;
+  }
+
+  for (int jobs : {1, 2, 8}) {
+    obs::TraceSink trace;
+    obs::MetricsRegistry metrics;
+    RecompileOptions options;
+    options.jobs = jobs;
+    options.obs.trace = &trace;
+    options.obs.metrics = &metrics;
+    Recompiler recompiler(*image, options);
+    auto binary = recompiler.Recompile();
+    ASSERT_TRUE(binary.ok()) << binary.status().ToString();
+    EXPECT_EQ(ir::Print(*binary->program.module), reference_ir)
+        << "tracing changed the IR at jobs=" << jobs;
+    exec::ExecResult result = binary->Run({});
+    ASSERT_TRUE(result.ok) << result.fault_message;
+    EXPECT_EQ(result.output, reference_output) << "jobs=" << jobs;
+    // The instrumentation must actually have been live.
+    EXPECT_GT(trace.event_count(), 0u) << "jobs=" << jobs;
+    EXPECT_GT(metrics.CounterValue(obs::Counter::kLiftFunctionsLifted), 0u)
+        << "jobs=" << jobs;
   }
 }
 

@@ -1,11 +1,14 @@
 // Tests for the support layer: JSON reader/writer, strings, Status/Expected,
 // and deterministic RNG.
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "src/support/json.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
 #include "src/support/strings.h"
+#include "src/support/testseed.h"
 
 namespace polynima {
 namespace {
@@ -69,6 +72,180 @@ TEST(Json, ParsesNegativeAndDoubleNumbers) {
   EXPECT_EQ(v->as_array()[0].as_int(), -42);
   EXPECT_DOUBLE_EQ(v->as_array()[1].as_double(), 3.5);
   EXPECT_DOUBLE_EQ(v->as_array()[2].as_double(), 1000.0);
+  // JSON forbids a leading '+'.
+  EXPECT_FALSE(json::Parse("+5").ok());
+}
+
+TEST(Json, EscapesControlCharactersAsU) {
+  std::string all_controls;
+  for (int c = 0; c < 0x20; ++c) {
+    all_controls.push_back(static_cast<char>(c));
+  }
+  json::Value v(all_controls);
+  std::string dumped = v.Dump();
+  // Every control character must leave the string as an escape sequence.
+  for (size_t i = 1; i + 1 < dumped.size(); ++i) {
+    EXPECT_GE(static_cast<unsigned char>(dumped[i]), 0x20u) << "offset " << i;
+  }
+  EXPECT_NE(dumped.find("\\u0000"), std::string::npos);
+  EXPECT_NE(dumped.find("\\u001f"), std::string::npos);
+  EXPECT_NE(dumped.find("\\b"), std::string::npos);
+  EXPECT_NE(dumped.find("\\f"), std::string::npos);
+  auto back = json::Parse(dumped);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->as_string(), all_controls);
+}
+
+TEST(Json, EscapesInvalidUtf8AndPassesValidUtf8Through) {
+  // Valid UTF-8 (2-, 3- and 4-byte sequences) passes through unescaped.
+  std::string valid = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x90\x94";
+  EXPECT_EQ(json::Value(valid).Dump(), "\"" + valid + "\"");
+
+  // Lone lead bytes, bare continuation bytes, overlong encodings and
+  // surrogate encodings all get \u00XX-escaped so the output stays valid.
+  for (const std::string& bad :
+       {std::string("\xff"), std::string("\x80"), std::string("\xc3"),
+        std::string("\xc0\xaf"), std::string("\xed\xa0\x80"),
+        std::string("\xf5\x80\x80\x80")}) {
+    std::string dumped = json::Value(bad).Dump();
+    for (char c : dumped) {
+      EXPECT_LT(static_cast<unsigned char>(c), 0x80u) << "raw byte leaked";
+    }
+    auto back = json::Parse(dumped);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->as_string(), bad);
+  }
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(json::Value(std::nan("")).Dump(), "null");
+  EXPECT_EQ(json::Value(INFINITY).Dump(), "null");
+  EXPECT_EQ(json::Value(-INFINITY).Dump(), "null");
+}
+
+TEST(Json, IntegralDoublesStayDoubles) {
+  auto back = json::Parse(json::Value(42.0).Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->is_double());
+  EXPECT_DOUBLE_EQ(back->as_double(), 42.0);
+}
+
+TEST(Json, DecodesBmpUEscapesToUtf8) {
+  auto v = json::Parse("\"\\u20ac\\u00e9\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  // >= 0x100 becomes UTF-8; < 0x100 is the raw byte (the writer's inverse).
+  EXPECT_EQ(v->as_string(), "\xe2\x82\xac\xe9");
+  EXPECT_FALSE(json::Parse("\"\\ud800\"").ok());  // lone surrogate
+}
+
+// ----- serialize -> parse round-trip property test -----
+
+json::Value RandomValue(Rng& rng, int depth) {
+  switch (rng.NextBelow(depth >= 3 ? 6 : 8)) {
+    case 0:
+      return json::Value(nullptr);
+    case 1:
+      return json::Value(rng.NextBelow(2) == 0);
+    case 2:
+      return json::Value(static_cast<int64_t>(rng.Next()));
+    case 3: {
+      // Mix of magnitudes, including non-finite (serialized as null).
+      double d = static_cast<double>(static_cast<int64_t>(rng.Next())) /
+                 static_cast<double>(rng.NextBelow(1000) + 1);
+      return json::Value(d);
+    }
+    case 4:
+      return json::Value(static_cast<double>(rng.NextBelow(1 << 20)));
+    case 5: {
+      // Arbitrary bytes: controls, quotes, raw UTF-8 and invalid sequences.
+      std::string s;
+      size_t n = rng.NextBelow(24);
+      for (size_t i = 0; i < n; ++i) {
+        s.push_back(static_cast<char>(rng.NextBelow(256)));
+      }
+      return json::Value(std::move(s));
+    }
+    case 6: {
+      json::Array arr;
+      size_t n = rng.NextBelow(5);
+      for (size_t i = 0; i < n; ++i) {
+        arr.push_back(RandomValue(rng, depth + 1));
+      }
+      return json::Value(std::move(arr));
+    }
+    default: {
+      json::Object obj;
+      size_t n = rng.NextBelow(5);
+      for (size_t i = 0; i < n; ++i) {
+        std::string key;
+        size_t len = rng.NextBelow(8) + 1;
+        for (size_t k = 0; k < len; ++k) {
+          key.push_back(static_cast<char>(rng.NextBelow(256)));
+        }
+        obj[std::move(key)] = RandomValue(rng, depth + 1);
+      }
+      return json::Value(std::move(obj));
+    }
+  }
+}
+
+void ExpectSameValue(const json::Value& a, const json::Value& b,
+                     const std::string& path) {
+  if (a.is_double() && !std::isfinite(a.as_double())) {
+    EXPECT_TRUE(b.is_null()) << path;  // non-finite doubles become null
+    return;
+  }
+  if (a.is_null()) {
+    EXPECT_TRUE(b.is_null()) << path;
+  } else if (a.is_bool()) {
+    ASSERT_TRUE(b.is_bool()) << path;
+    EXPECT_EQ(a.as_bool(), b.as_bool()) << path;
+  } else if (a.is_int()) {
+    ASSERT_TRUE(b.is_int()) << path;
+    EXPECT_EQ(a.as_int(), b.as_int()) << path;
+  } else if (a.is_double()) {
+    ASSERT_TRUE(b.is_double()) << path;
+    EXPECT_DOUBLE_EQ(a.as_double(), b.as_double()) << path;
+  } else if (a.is_string()) {
+    ASSERT_TRUE(b.is_string()) << path;
+    EXPECT_EQ(a.as_string(), b.as_string()) << path;
+  } else if (a.is_array()) {
+    ASSERT_TRUE(b.is_array()) << path;
+    ASSERT_EQ(a.as_array().size(), b.as_array().size()) << path;
+    for (size_t i = 0; i < a.as_array().size(); ++i) {
+      ExpectSameValue(a.as_array()[i], b.as_array()[i],
+                      path + "[" + std::to_string(i) + "]");
+    }
+  } else {
+    ASSERT_TRUE(b.is_object()) << path;
+    ASSERT_EQ(a.as_object().size(), b.as_object().size()) << path;
+    for (const auto& [key, v] : a.as_object()) {
+      const json::Value* other = b.Find(key);
+      ASSERT_NE(other, nullptr) << path << "/<key>";
+      ExpectSameValue(v, *other, path + "/<key>");
+    }
+  }
+}
+
+TEST(Json, SerializeParseRoundTripProperty) {
+  uint64_t seed = TestSeed(7);
+  Rng rng(seed);
+  for (int iter = 0; iter < 2000; ++iter) {
+    json::Value v = RandomValue(rng, 0);
+    for (bool pretty : {false, true}) {
+      std::string dumped = v.Dump(pretty);
+      // Dump must always be pure ASCII-or-UTF-8 valid JSON, whatever bytes
+      // went in.
+      auto back = json::Parse(dumped);
+      ASSERT_TRUE(back.ok())
+          << "seed=" << seed << " iter=" << iter << " pretty=" << pretty
+          << ": " << back.status().ToString() << "\n"
+          << dumped;
+      ExpectSameValue(v, *back,
+                      "seed=" + std::to_string(seed) +
+                          " iter=" + std::to_string(iter) + " $");
+    }
+  }
 }
 
 TEST(Status, CodesAndMessages) {
