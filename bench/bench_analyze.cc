@@ -1,0 +1,111 @@
+// Throughput and precision of the static concurrency analyzer (src/analyze)
+// over the racebench suite and the phoenix workloads: how many accesses each
+// module carries, how they classify, how many race pairs are reported, how
+// many fences the heap-privacy proof elides, and the analysis wall time on
+// top of recompilation. The racebench rows double as a precision gate: every
+// racy_* program must be flagged and every safe_* program must stay clean,
+// or the bench aborts red.
+#include "bench/bench_util.h"
+
+#include <chrono>
+
+#include "src/analyze/analyze.h"
+#include "src/fenceopt/static_elide.h"
+
+namespace polynima::bench {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int Run() {
+  std::printf("static concurrency analyzer coverage and throughput\n\n");
+  std::printf("%-16s %-9s %-7s %-7s %-7s %-6s %-7s %-9s %s\n", "benchmark",
+              "accesses", "stack", "heap", "shared", "races", "elided",
+              "analyze-ms", "Macc/s");
+
+  BenchReport bench_report("analyze");
+  bench_report.Config("suites", "racebench+phoenix");
+  bench_report.Config("reps", 3);
+  int precision_errors = 0;
+
+  std::vector<const workloads::Workload*> all;
+  for (const workloads::Workload& w : workloads::RaceBench()) {
+    all.push_back(&w);
+  }
+  for (const workloads::Workload& w : workloads::Phoenix()) {
+    all.push_back(&w);
+  }
+
+  for (const workloads::Workload* w : all) {
+    binary::Image image = CompileWorkload(*w, w->default_opt);
+    recomp::Recompiler recompiler(image, {});
+    auto binary = recompiler.Recompile();
+    POLY_CHECK(binary.ok()) << w->name << ": " << binary.status().ToString();
+
+    // Median-of-3 (best-of, like the tso bench) to dodge timer noise on the
+    // small modules. The result is deterministic across reps.
+    analyze::AnalysisResult result;
+    uint64_t best_ns = ~0ull;
+    for (int rep = 0; rep < 3; ++rep) {
+      uint64_t t0 = NowNs();
+      result = analyze::AnalyzeProgram(binary->program);
+      uint64_t dt = NowNs() - t0;
+      if (dt < best_ns) {
+        best_ns = dt;
+      }
+    }
+    // One elision pass so the heap-witness column reflects what the
+    // production `--analyze` recompile would strip (idempotent; the module
+    // is not reused afterwards).
+    fenceopt::ApplyStaticElision(*binary->program.module, result);
+    double ms = static_cast<double>(best_ns) / 1e6;
+    double macc_s = best_ns == 0 ? 0.0
+                                 : static_cast<double>(result.accesses) *
+                                       1e3 / static_cast<double>(best_ns);
+    std::printf("%-16s %-9d %-7d %-7d %-7d %-6zu %-7d %-9.2f %.1f\n",
+                w->name.c_str(), result.accesses, result.stack_local,
+                result.heap_local, result.shared, result.races.pairs.size(),
+                result.fences_elided, ms, macc_s);
+
+    BenchReport::Labels labels = {{"benchmark", w->name}};
+    bench_report.Sample("accesses", static_cast<double>(result.accesses),
+                        labels);
+    bench_report.Sample("shared", static_cast<double>(result.shared), labels);
+    bench_report.Sample("race_pairs",
+                        static_cast<double>(result.races.pairs.size()),
+                        labels);
+    bench_report.Sample("analyze_ms", ms, labels);
+    bench_report.Sample("macc_per_sec", macc_s, labels);
+
+    // Precision gate over the seeded suite.
+    if (w->suite == "racebench") {
+      bool racy_name = w->name.rfind("racy_", 0) == 0;
+      if (racy_name && !result.races.Racy()) {
+        std::printf("  FAIL: %s not flagged\n", w->name.c_str());
+        ++precision_errors;
+      }
+      if (!racy_name && result.races.Racy()) {
+        std::printf("  FAIL: %s flagged (%s vs %s: %s)\n", w->name.c_str(),
+                    result.races.pairs[0].a.function.c_str(),
+                    result.races.pairs[0].b.function.c_str(),
+                    result.races.pairs[0].reason.c_str());
+        ++precision_errors;
+      }
+    }
+  }
+
+  bench_report.Write();
+  POLY_CHECK(precision_errors == 0)
+      << "racebench precision gate failed (" << precision_errors << " rows)";
+  return 0;
+}
+
+}  // namespace
+}  // namespace polynima::bench
+
+int main() { return polynima::bench::Run(); }

@@ -39,6 +39,9 @@ ctest --preset sched -j "$jobs"
 step "ctest: obs (observability suite)"
 ctest --preset obs -j "$jobs"
 
+step "ctest: analyze (static concurrency analyzer suite)"
+ctest --preset analyze -j "$jobs"
+
 step "obs: traced+metered recompile, schema-validated"
 # A real CLI run with every sink attached, then the structural validator over
 # each artifact — CI fails on malformed OR empty observability output.
@@ -70,6 +73,39 @@ polynima=build/src/tools/polynima
   --profile "$obsdir/profile.json"
 "$polynima" report --validate "$obsdir/trace.json" "$obsdir/metrics.json" \
   "$obsdir/run.json" "$obsdir/profile.json"
+
+step "analyze: static race detection + certified elision, schema-validated"
+# The racy example must be flagged, its race-free twin must stay clean, and
+# the analyzed recompile (static fence elision under a StaticCert, TSO
+# cross-check on) must produce a report that validates.
+cat > "$obsdir/racy.c" <<'EOF'
+extern void print_i64(long v);
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+long counter = 0;
+long worker(long arg) {
+  for (int i = 0; i < 100; i++) counter = counter + 1;
+  return 0;
+}
+int main() {
+  long tids[2];
+  for (int i = 0; i < 2; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 2; i++) pthread_join(tids[i], 0);
+  print_i64(counter);
+  return 0;
+}
+EOF
+"$polynima" compile "$obsdir/racy.c" -o "$obsdir/racy.plyb" -O2
+"$polynima" analyze "$obsdir/racy.plyb" | tee "$obsdir/racy.txt"
+grep -q "^RACE" "$obsdir/racy.txt" || {
+  echo "FAIL: seeded race not reported" >&2; exit 1; }
+# counter.c from the obs step is the atomic (race-free) twin.
+"$polynima" analyze "$obsdir/counter.plyb" | tee "$obsdir/clean.txt"
+grep -q "^RACE" "$obsdir/clean.txt" && {
+  echo "FAIL: race reported on race-free program" >&2; exit 1; }
+"$polynima" recompile "$obsdir/racy.plyb" --analyze --check-tso \
+  --report-out "$obsdir/analyze-run.json"
+"$polynima" report --validate "$obsdir/analyze-run.json"
 
 step "configure+build: asan-ubsan"
 cmake --preset asan-ubsan

@@ -1,0 +1,168 @@
+#include "src/analyze/escape.h"
+
+#include "src/support/strings.h"
+#include "src/vm/external.h"
+
+namespace polynima::analyze {
+
+namespace {
+
+using check::Provenance;
+using check::RegionDeriver;
+using ir::Instruction;
+using ir::Op;
+
+uint64_t BlockGuestAddress(const Instruction& inst) {
+  return inst.parent() != nullptr ? inst.parent()->guest_address : 0;
+}
+
+// Resolves an address expression built purely from constants and integer
+// arithmetic to a constant base. `exact` is true when the whole expression
+// folded (extent is the access width); false when an unresolved non-negative
+// index term remains (extent unbounded upward). Only meaningful when the
+// value's provenance is Bottom — a pointer-derived term would make the
+// resolved constant an offset, not a base.
+bool ResolveConstBase(const ir::Value* v, int depth, uint64_t& base,
+                      bool& exact) {
+  if (v == nullptr) {
+    return false;
+  }
+  if (v->is_const()) {
+    base = static_cast<uint64_t>(static_cast<const ir::Constant*>(v)->value());
+    exact = true;
+    return true;
+  }
+  if (!v->is_inst() || depth <= 0) {
+    return false;
+  }
+  const auto* inst = static_cast<const Instruction*>(v);
+  uint64_t lb = 0, rb = 0;
+  bool le = false, re = false;
+  switch (inst->op()) {
+    case Op::kAdd: {
+      bool lok = ResolveConstBase(inst->operand(0), depth - 1, lb, le);
+      bool rok = ResolveConstBase(inst->operand(1), depth - 1, rb, re);
+      if (lok && rok) {
+        base = lb + rb;
+        exact = le && re;
+        return true;
+      }
+      if (lok || rok) {
+        base = lok ? lb : rb;
+        exact = false;  // base + unknown (assumed non-negative) index
+        return true;
+      }
+      return false;
+    }
+    case Op::kSub: {
+      if (!ResolveConstBase(inst->operand(0), depth - 1, lb, le) ||
+          !ResolveConstBase(inst->operand(1), depth - 1, rb, re)) {
+        return false;  // subtracting an unknown would lower the base
+      }
+      base = lb - rb;
+      exact = le && re;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void ClassifyAddress(AccessInfo& a, const Provenance& p) {
+  if (p.PureStack()) {
+    a.addr_kind = AddrKind::kStackSym;
+  } else if (p.PureHeap()) {
+    a.addr_kind = AddrKind::kHeapSym;
+    a.sites = p.allocs;
+  } else if (p.Bottom() &&
+             ResolveConstBase(a.inst->operand(0), 8, a.const_base,
+                              a.const_exact)) {
+    a.addr_kind = AddrKind::kConstData;
+  } else {
+    a.addr_kind = AddrKind::kSym;
+  }
+}
+
+}  // namespace
+
+const char* RegionName(Region r) {
+  switch (r) {
+    case Region::kStackLocal:
+      return "stack-local";
+    case Region::kHeapLocal:
+      return "heap-local";
+    case Region::kShared:
+      return "shared";
+  }
+  return "?";
+}
+
+EscapeResult AnalyzeEscapes(const ir::Function& f, const ir::Module& module,
+                            const RegionDeriver& deriver,
+                            const std::vector<std::string>& externals) {
+  (void)externals;  // the deriver already carries the name table
+  EscapeResult out;
+  out.function = &f;
+
+  // The sink walk is the canonical one in src/check/derive — the TSO
+  // checker re-runs the exact same code to verify what we stamp.
+  check::EscapeFacts facts = check::ComputeEscapeFacts(f, module, deriver);
+  out.stack_escaped = facts.stack_escaped;
+  out.stack_escape_reason = facts.stack_reason;
+  for (const Instruction* call : deriver.alloc_sites()) {
+    SiteInfo s;
+    s.call = call;
+    s.guest_address = BlockGuestAddress(*call);
+    s.escaped = facts.SiteEscaped(call);
+    if (s.escaped) {
+      s.reason = facts.reasons.at(call);
+    }
+    out.sites.push_back(std::move(s));
+  }
+
+  for (const auto& b : f.blocks()) {
+    for (const auto& inst : b->insts()) {
+      bool atomic =
+          inst->op() == Op::kAtomicRmw || inst->op() == Op::kCmpXchg;
+      if (inst->op() != Op::kLoad && inst->op() != Op::kStore && !atomic) {
+        continue;
+      }
+      AccessInfo a;
+      a.inst = inst.get();
+      a.guest_address = BlockGuestAddress(*inst);
+      a.is_write = inst->op() != Op::kLoad;
+      a.is_atomic = atomic;
+      a.size = static_cast<uint32_t>(inst->size);
+      const Provenance& p = deriver.ValueOf(inst->operand(0));
+      ClassifyAddress(a, p);
+      if (atomic) {
+        a.region = Region::kShared;  // sharing intent by construction
+      } else if (p.PureStack() && !out.stack_escaped) {
+        a.region = Region::kStackLocal;
+      } else if (p.PureHeap()) {
+        bool all_private = true;
+        for (const Instruction* site : p.allocs) {
+          all_private = all_private && !facts.SiteEscaped(site);
+        }
+        a.region = all_private ? Region::kHeapLocal : Region::kShared;
+      } else {
+        a.region = Region::kShared;
+      }
+      switch (a.region) {
+        case Region::kStackLocal:
+          ++out.stack_local;
+          break;
+        case Region::kHeapLocal:
+          ++out.heap_local;
+          break;
+        case Region::kShared:
+          ++out.shared;
+          break;
+      }
+      out.accesses.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+}  // namespace polynima::analyze

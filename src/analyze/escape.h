@@ -1,0 +1,112 @@
+// Pass 1 of the static concurrency analyzer: per-function thread-escape /
+// memory-region classification.
+//
+// Built on the shared provenance dataflow (check::RegionDeriver), this pass
+// decides, for every guest memory access in a lifted function, which region
+// its address lies in:
+//
+//   kStackLocal  the emulated stack of the executing thread, and no pointer
+//                into that stack ever escaped the thread — provably private;
+//   kHeapLocal   an allocation made by this function whose pointer never
+//                escapes (not stored outside the pure stack, not passed to a
+//                call, not returned, not used atomically) — provably private
+//                and eligible for a kHeapLocal fence-elision witness under a
+//                sealed check::StaticCert;
+//   kShared      everything else: constant-data addresses, escaped objects,
+//                unknown provenance. Only these feed the race detector.
+//
+// Escape rules (conservative in every direction, DESIGN.md §4e):
+//   - storing a stack-derived value anywhere but the pure stack, passing it
+//     in an argument register at any call site, or holding it in vr_rax at a
+//     return marks the whole frame escaped (stack_escaped) — stack accesses
+//     then classify kShared;
+//   - the same sinks escape an allocation site; additionally a pointer
+//     stored *into* another heap object escapes transitively iff that object
+//     escapes, and a frame escape spills every site that was ever saved to
+//     the stack (a foreign thread could read the spill slot);
+//   - atomic operands always escape: atomicity is a sharing intent.
+#ifndef POLYNIMA_ANALYZE_ESCAPE_H_
+#define POLYNIMA_ANALYZE_ESCAPE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/check/derive.h"
+#include "src/ir/ir.h"
+
+namespace polynima::analyze {
+
+enum class Region : uint8_t { kStackLocal, kHeapLocal, kShared };
+
+const char* RegionName(Region r);
+
+// Alias type of an access address, used by the race detector (race.h):
+//   kConstData  resolves to a constant data address (+ bounded or unbounded
+//               extent) — two const-data accesses alias iff ranges overlap;
+//   kStackSym   derived from the emulated stack pointer — each thread's
+//               stack is private address space, so two stack-symbolic
+//               accesses in different threads never alias;
+//   kHeapSym    derived purely from same-function allocation sites — cross
+//               thread instances are distinct objects unless a common site
+//               escaped;
+//   kSym        unknown — may alias anything except provably-disjoint
+//               segments is not claimable, so it aliases everything.
+enum class AddrKind : uint8_t { kConstData, kStackSym, kHeapSym, kSym };
+
+// One allocation site (ext_call to malloc/calloc/realloc).
+struct SiteInfo {
+  const ir::Instruction* call = nullptr;
+  uint64_t guest_address = 0;  // owning block's guest address
+  bool escaped = false;
+  std::string reason;  // first escape reason, "" when private
+};
+
+// One classified guest memory access (kLoad/kStore/kAtomicRmw/kCmpXchg).
+struct AccessInfo {
+  const ir::Instruction* inst = nullptr;
+  uint64_t guest_address = 0;  // owning block's guest address
+  Region region = Region::kShared;
+  bool is_write = false;
+  bool is_atomic = false;
+  uint32_t size = 0;  // access width in bytes
+  // The allocation sites a PureHeap address derives from (kHeapLocal and
+  // shared-because-escaped heap accesses).
+  std::set<const ir::Instruction*> sites;
+  // Alias typing for the race detector.
+  AddrKind addr_kind = AddrKind::kSym;
+  uint64_t const_base = 0;   // kConstData: resolved base address
+  bool const_exact = false;  // kConstData: extent is exactly [base, base+size)
+};
+
+struct EscapeResult {
+  const ir::Function* function = nullptr;
+  std::vector<SiteInfo> sites;
+  std::vector<AccessInfo> accesses;
+  // A pointer into this frame's emulated stack left the thread.
+  bool stack_escaped = false;
+  std::string stack_escape_reason;
+  int stack_local = 0;
+  int heap_local = 0;
+  int shared = 0;
+
+  int EscapedSiteCount() const {
+    int n = 0;
+    for (const SiteInfo& s : sites) {
+      n += s.escaped ? 1 : 0;
+    }
+    return n;
+  }
+};
+
+// Classifies every guest memory access in `f`. `module` resolves the virtual
+// argument-register globals; `externals` is the image's slot -> name table.
+// `deriver` must have been built over the same function.
+EscapeResult AnalyzeEscapes(const ir::Function& f, const ir::Module& module,
+                            const check::RegionDeriver& deriver,
+                            const std::vector<std::string>& externals);
+
+}  // namespace polynima::analyze
+
+#endif  // POLYNIMA_ANALYZE_ESCAPE_H_

@@ -1,0 +1,80 @@
+// Pass 2 of the static concurrency analyzer: lockset + sync-aware static
+// race detection over the whole lifted program.
+//
+// Thread structure is recovered from the vm external-call interface: the
+// program's main entry plus every entry function handed to a thread-spawning
+// external (pthread_create arg 2, gomp_parallel arg 0) forms a *thread
+// root*; functions reachable from a root over direct calls execute in that
+// root's context. A root is multi-instance (concurrent with itself) when it
+// is a gomp_parallel body, is spawned from two or more sites, or its spawn
+// site sits on a CFG cycle.
+//
+// Two contexts are concurrent unless one of them is the main context at a
+// point where the outstanding-spawn dataflow (pthread_create increments,
+// pthread_join decrements, merges take the maximum, saturating at 8) proves
+// no child is alive — the join-quiescence rule that lets a spawn/join/verify
+// program stay race-free. gomp_parallel joins its children internally and
+// leaves the counter untouched.
+//
+// A candidate pair races when: both accesses are classified potentially
+// shared by escape analysis, their contexts are concurrent, at least one is
+// a write, they are not both atomic (atomic-vs-plain IS a race), their
+// address classes may alias (escape.h AddrKind rules), and their statically
+// computed locksets (pthread_mutex_lock/unlock with constant mutex
+// addresses; block merges intersect; a callee's entry lockset is the
+// intersection over its call sites) have an empty intersection.
+//
+// Unresolvable facts degrade conservatively toward reporting: an unknown
+// spawn entry makes every external-entry function a multi-instance root, an
+// indirect call (cfmiss) widens reachability to the whole program, an
+// unknown mutex release clears the lockset.
+#ifndef POLYNIMA_ANALYZE_RACE_H_
+#define POLYNIMA_ANALYZE_RACE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analyze/escape.h"
+#include "src/lift/lifter.h"
+
+namespace polynima::analyze {
+
+struct RaceAccess {
+  std::string function;
+  uint64_t guest_address = 0;
+  bool is_write = false;
+  bool is_atomic = false;
+};
+
+struct RacePair {
+  RaceAccess a;
+  RaceAccess b;
+  std::string reason;
+};
+
+struct RaceReport {
+  std::vector<RacePair> pairs;
+  int thread_roots = 0;
+  int candidate_accesses = 0;  // shared-classified accesses in live contexts
+  // An unresolved spawn entry or indirect call widened roots/reachability.
+  bool conservative_roots = false;
+  bool truncated = false;  // pair output hit the cap
+
+  bool Racy() const { return !pairs.empty(); }
+};
+
+// Runs the detector over every function that has an escape result. The map
+// must cover (at least) every function reachable from a thread root.
+RaceReport DetectRaces(
+    const lift::LiftedProgram& program,
+    const std::map<const ir::Function*, EscapeResult>& escapes);
+
+// Guest addresses involved in reported pairs — fed to the schedule explorer
+// (sched::ExploreOptions::preemption_hints) as preemption points.
+std::set<uint64_t> RaceHintAddresses(const RaceReport& report);
+
+}  // namespace polynima::analyze
+
+#endif  // POLYNIMA_ANALYZE_RACE_H_

@@ -2,9 +2,11 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
+#include "src/check/derive.h"
 #include "src/support/strings.h"
 
 namespace polynima::check {
@@ -381,29 +383,75 @@ std::string PathAnalysis::BackwardPath(const BasicBlock* from,
 }
 
 // Checks one function; appends to the report.
-void CheckFunction(const Function& f, bool cert_ok, TsoCheckReport* report) {
-  // Pass 1: verify every stack-local witness; verified accesses become
+void CheckFunction(const ir::Module& m, const Function& f, bool cert_ok,
+                   bool static_ok, const std::vector<std::string>* externals,
+                   TsoCheckReport* report) {
+  // Pass 1: verify every elision witness; verified accesses become
   // transparent to the path scans below (thread-private traffic cannot
   // participate in a TSO violation).
   StackDeriver deriver(f);
+  // The heap-witness machinery (whole-function provenance dataflow + escape
+  // sink walk — the same code the analyzer ran) is built lazily: most
+  // functions carry no kHeapLocal stamps.
+  std::unique_ptr<RegionDeriver> regions;
+  std::unique_ptr<EscapeFacts> escapes;
+  auto heap_private = [&](const ir::Value* addr) {
+    if (regions == nullptr) {
+      static const std::vector<std::string> kNoExternals;
+      regions = std::make_unique<RegionDeriver>(
+          f, externals != nullptr ? *externals : kNoExternals);
+      escapes = std::make_unique<EscapeFacts>(
+          ComputeEscapeFacts(f, m, *regions));
+    }
+    const Provenance& p = regions->ValueOf(addr);
+    if (!p.PureHeap()) {
+      return false;
+    }
+    for (const Instruction* site : p.allocs) {
+      if (escapes->SiteEscaped(site)) {
+        return false;
+      }
+    }
+    return true;
+  };
   std::set<const Instruction*> transparent;
   for (const auto& b : f.blocks()) {
     for (const auto& inst : b->insts()) {
       if (inst->op() != Op::kLoad && inst->op() != Op::kStore) {
         continue;
       }
-      if (inst->fence_witness != FenceWitness::kStackLocal) {
-        continue;
-      }
-      if (deriver.Derived(inst->operand(0))) {
-        transparent.insert(inst.get());
-        ++report->witnesses_consumed;
-      } else {
-        report->violations.push_back(
-            {f.name(), b->name(), b->guest_address, "forged-witness",
-             StrCat(DescribeAccess(*inst), " in @", f.name(), "/", b->name(),
-                    " claims a stack-local elision witness, but its address "
-                    "does not derive from the stack pointer")});
+      if (inst->fence_witness == FenceWitness::kStackLocal) {
+        if (deriver.Derived(inst->operand(0))) {
+          transparent.insert(inst.get());
+          ++report->witnesses_consumed;
+        } else {
+          report->violations.push_back(
+              {f.name(), b->name(), b->guest_address, "forged-witness",
+               StrCat(DescribeAccess(*inst), " in @", f.name(), "/",
+                      b->name(),
+                      " claims a stack-local elision witness, but its "
+                      "address does not derive from the stack pointer")});
+        }
+      } else if (inst->fence_witness == FenceWitness::kHeapLocal) {
+        if (!static_ok) {
+          report->violations.push_back(
+              {f.name(), b->name(), b->guest_address, "forged-witness",
+               StrCat(DescribeAccess(*inst), " in @", f.name(), "/",
+                      b->name(),
+                      " claims a heap-local elision witness, but no valid "
+                      "static certificate accompanies the module")});
+        } else if (heap_private(inst->operand(0))) {
+          transparent.insert(inst.get());
+          ++report->heap_witnesses_consumed;
+        } else {
+          report->violations.push_back(
+              {f.name(), b->name(), b->guest_address, "forged-witness",
+               StrCat(DescribeAccess(*inst), " in @", f.name(), "/",
+                      b->name(),
+                      " claims a heap-local elision witness, but its "
+                      "address does not re-derive as a non-escaping "
+                      "same-thread allocation")});
+        }
       }
     }
   }
@@ -549,8 +597,9 @@ void CheckFunction(const Function& f, bool cert_ok, TsoCheckReport* report) {
 std::string TsoCheckReport::Summary() const {
   return StrCat("tso-check: ", accesses_checked, " accesses, ",
                 fenced_accesses, " fenced, ", witnesses_consumed,
-                " witnessed, ", cert_covered, " cert-covered, ",
-                violations.size(), " violations");
+                " witnessed, ", heap_witnesses_consumed, " heap-witnessed, ",
+                cert_covered, " cert-covered, ", violations.size(),
+                " violations");
 }
 
 TsoCheckReport CheckModule(const ir::Module& m,
@@ -580,20 +629,50 @@ TsoCheckReport CheckModule(const ir::Module& m,
       cert_ok = true;
     }
   }
+  bool static_ok = false;
+  if (options.static_cert != nullptr) {
+    const StaticCert& cert = *options.static_cert;
+    if (!cert.Sealed()) {
+      report.violations.push_back(
+          {"", "", 0, "bad-cert",
+           "static elision certificate checksum mismatch: the certificate "
+           "was tampered with or hand-forged"});
+    } else if (options.binary_key != 0 && cert.binary_key != 0 &&
+               cert.binary_key != options.binary_key) {
+      report.violations.push_back(
+          {"", "", 0, "bad-cert",
+           "static elision certificate is bound to a different binary "
+           "image"});
+    } else {
+      static_ok = true;
+    }
+  }
   for (const auto& f : m.functions()) {
     if (f->blocks().empty()) {
       continue;  // declaration
     }
-    CheckFunction(*f, cert_ok, &report);
+    CheckFunction(m, *f, cert_ok, static_ok, options.externals, &report);
+  }
+  if (static_ok &&
+      report.heap_witnesses_consumed >
+          static_cast<size_t>(options.static_cert->heap_witnesses)) {
+    report.violations.push_back(
+        {"", "", 0, "bad-cert",
+         StrCat("module carries ", report.heap_witnesses_consumed,
+                " heap-local witnesses but the static certificate records "
+                "only ",
+                options.static_cert->heap_witnesses,
+                ": stamped after certification")});
   }
   if (options.obs.metrics != nullptr) {
     const obs::Session& obs = options.obs;
     obs.Add(obs::Counter::kCheckAccessesChecked, report.accesses_checked);
     obs.Add(obs::Counter::kCheckObligationsDischarged,
             report.fenced_accesses + report.witnesses_consumed +
-                report.cert_covered);
+                report.heap_witnesses_consumed + report.cert_covered);
     obs.Add(obs::Counter::kCheckPathsExplored, report.path_scans);
-    obs.Add(obs::Counter::kCheckWitnessesVerified, report.witnesses_consumed);
+    obs.Add(obs::Counter::kCheckWitnessesVerified,
+            report.witnesses_consumed + report.heap_witnesses_consumed);
     obs.Add(obs::Counter::kCheckViolations, report.violations.size());
   }
   span.Arg("accesses", static_cast<int64_t>(report.accesses_checked));

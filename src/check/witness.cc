@@ -33,6 +33,22 @@ uint64_t ElisionCert::ComputeChecksum() const {
   return h;
 }
 
+uint64_t StaticCert::ComputeChecksum() const {
+  uint64_t h = kFnvOffset;
+  HashU64(h, binary_key);
+  HashU64(h, static_cast<uint64_t>(functions_analyzed));
+  HashU64(h, static_cast<uint64_t>(alloc_sites));
+  HashU64(h, static_cast<uint64_t>(escaped_sites));
+  HashU64(h, static_cast<uint64_t>(heap_witnesses));
+  HashU64(h, static_cast<uint64_t>(shared_accesses));
+  HashU64(h, static_cast<uint64_t>(race_pairs));
+  for (const std::string& s : site_summaries) {
+    HashU64(h, s.size());
+    HashBytes(h, s.data(), s.size());
+  }
+  return h;
+}
+
 uint64_t BinaryKey(const binary::Image& image) {
   uint64_t h = kFnvOffset;
   HashU64(h, image.entry_point);

@@ -41,6 +41,33 @@ struct ElisionCert {
   bool Sealed() const { return checksum == ComputeChecksum(); }
 };
 
+// Module-wide certificate justifying per-access heap-local fence elision
+// (fence_witness == kHeapLocal), minted by the static concurrency analyzer
+// (src/analyze). Where the ElisionCert justifies *whole-program* fence
+// removal dynamically (no spinloops observed structurally), the StaticCert
+// justifies *per-access* elision statically: each stamped access was proven
+// to address a same-thread, non-escaping allocation, so no other thread can
+// observe its ordering. The TSO checker re-derives every stamped access with
+// the same check::RegionDeriver the analyzer used; a kHeapLocal witness that
+// fails re-derivation, or a cert that is unsealed or bound to a different
+// binary, is a reported violation.
+struct StaticCert {
+  uint64_t binary_key = 0;     // BinaryKey() of the analyzed image
+  int functions_analyzed = 0;
+  int alloc_sites = 0;         // allocation calls seen across the program
+  int escaped_sites = 0;       // allocation sites whose pointer escapes
+  int heap_witnesses = 0;      // accesses stamped kHeapLocal under this cert
+  int shared_accesses = 0;     // accesses classified potentially-shared
+  int race_pairs = 0;          // potentially-racing pairs reported
+  // One line per interesting site: "function@addr: classification".
+  std::vector<std::string> site_summaries;
+  uint64_t checksum = 0;       // seal over every field above
+
+  uint64_t ComputeChecksum() const;
+  void Seal() { checksum = ComputeChecksum(); }
+  bool Sealed() const { return checksum == ComputeChecksum(); }
+};
+
 // Stable fingerprint of an image (entry point + segment bytes): binds a
 // certificate to the exact binary it was derived from.
 uint64_t BinaryKey(const binary::Image& image);

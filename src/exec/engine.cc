@@ -934,7 +934,18 @@ void Engine::RunControlledLoop() {
           last_runnable
               ? ClassifyNextOp(*threads_[static_cast<size_t>(last)]).kind
               : sched::PointKind::kDispatch;
-      pick = scheduler.Pick({decision_index++, last, kind}, runnable);
+      // Guest address of the block the current thread is stopped in — lets
+      // hint-driven strategies (sched::HintedScheduler) recognize statically
+      // reported racing accesses.
+      uint64_t guest_address = 0;
+      if (last_runnable) {
+        const Thread& lt = *threads_[static_cast<size_t>(last)];
+        if (!lt.stack.empty() && lt.stack.back().block != nullptr) {
+          guest_address = lt.stack.back().block->guest_address;
+        }
+      }
+      pick = scheduler.Pick({decision_index++, last, kind, guest_address},
+                            runnable);
       POLY_CHECK(std::find(runnable.begin(), runnable.end(), pick) !=
                  runnable.end())
           << "scheduler picked non-runnable thread " << pick;

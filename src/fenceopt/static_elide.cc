@@ -1,0 +1,76 @@
+#include "src/fenceopt/static_elide.h"
+
+#include <set>
+
+namespace polynima::fenceopt {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::FenceOrder;
+using ir::FenceWitness;
+using ir::Instruction;
+using ir::Op;
+
+}  // namespace
+
+StaticElisionStats ApplyStaticElision(ir::Module& module,
+                                      analyze::AnalysisResult& result) {
+  StaticElisionStats stats;
+  std::set<const ir::Function*> owned;
+  for (const auto& f : module.functions()) {
+    owned.insert(f.get());
+  }
+  for (auto& [fn, er] : result.escapes) {
+    if (owned.count(fn) == 0) {
+      continue;  // stale result from a superseded module instance
+    }
+    for (const analyze::AccessInfo& a : er.accesses) {
+      if (a.region != analyze::Region::kHeapLocal || a.inst == nullptr) {
+        continue;
+      }
+      // The module owns the instruction; the const in AccessInfo only
+      // reflects that the *analysis* never mutates.
+      auto* inst = const_cast<Instruction*>(a.inst);
+      BasicBlock* block = inst->parent();
+      if (block == nullptr) {
+        continue;
+      }
+      if (inst->fence_witness == FenceWitness::kNone) {
+        inst->fence_witness = FenceWitness::kHeapLocal;
+      }
+      if (inst->fence_witness != FenceWitness::kHeapLocal) {
+        continue;  // keep a pre-existing (stack) witness authoritative
+      }
+      ++stats.witnesses;
+      auto it = block->insts().begin();
+      while (it != block->insts().end() && it->get() != inst) {
+        ++it;
+      }
+      if (it == block->insts().end()) {
+        continue;
+      }
+      if (inst->op() == Op::kLoad) {
+        auto next = std::next(it);
+        if (next != block->insts().end() &&
+            (*next)->op() == Op::kFence &&
+            (*next)->fence_order == FenceOrder::kAcquire) {
+          block->Erase(next);
+          ++stats.elided;
+        }
+      } else if (inst->op() == Op::kStore && it != block->insts().begin()) {
+        auto prev = std::prev(it);
+        if ((*prev)->op() == Op::kFence &&
+            (*prev)->fence_order == FenceOrder::kRelease) {
+          block->Erase(prev);
+          ++stats.elided;
+        }
+      }
+    }
+  }
+  result.heap_witnesses = stats.witnesses;
+  result.fences_elided += stats.elided;
+  return stats;
+}
+
+}  // namespace polynima::fenceopt

@@ -1,0 +1,42 @@
+// Static fence elision (pass 3 of the ISSUE-5 analyzer): consumes the
+// escape classification from src/analyze and, for every access proven
+// thread-local-heap, stamps FenceWitness::kHeapLocal and removes the one
+// Lasagne fence the lifter paired with it (the acquire immediately after a
+// guest load, the release immediately before a guest store).
+//
+// Scope is deliberately narrow:
+//   - only kHeapLocal claims are acted on here. Stack-local classifications
+//     are NOT stamped: the kStackLocal witness contract is "the TSO
+//     checker's per-block StackDeriver re-derives it", and this analyzer's
+//     cross-block facts would not re-derive under that rule. The lifter
+//     already stamps the per-block cases.
+//   - only the immediately adjacent fence is removed. A fence separated
+//     from the access (merged, moved, or belonging to an atomic) is left
+//     alone — seq_cst fences in particular are never touched.
+//   - idempotent: re-running over an already-elided module stamps nothing
+//     new and finds no adjacent fences, so additive rebuilds converge.
+//
+// Every stamped access must be covered by a sealed check::StaticCert
+// (analyze::MakeStaticCert) or the TSO checker reports it as forged.
+#ifndef POLYNIMA_FENCEOPT_STATIC_ELIDE_H_
+#define POLYNIMA_FENCEOPT_STATIC_ELIDE_H_
+
+#include "src/analyze/analyze.h"
+#include "src/ir/ir.h"
+
+namespace polynima::fenceopt {
+
+struct StaticElisionStats {
+  int witnesses = 0;  // accesses carrying kHeapLocal after the pass
+  int elided = 0;     // fences actually removed by this invocation
+};
+
+// `module` must be the module `result.escapes` was computed over (the
+// recorded instruction pointers are resolved against it directly). Updates
+// result.heap_witnesses / result.fences_elided with the totals.
+StaticElisionStats ApplyStaticElision(ir::Module& module,
+                                      analyze::AnalysisResult& result);
+
+}  // namespace polynima::fenceopt
+
+#endif  // POLYNIMA_FENCEOPT_STATIC_ELIDE_H_

@@ -197,6 +197,9 @@ enum class RmwOp : uint8_t { kAdd, kSub, kAnd, kOr, kXor, kXchg };
 enum class FenceWitness : uint8_t {
   kNone,        // no elision claimed: the access needs a fence on every path
   kStackLocal,  // lifter's escape analysis proved the address is thread-stack
+  kHeapLocal,   // static concurrency analysis (src/analyze) proved the
+                // address derives from a non-escaping same-thread allocation;
+                // only valid under a sealed check::StaticCert
 };
 
 const char* OpName(Op op);

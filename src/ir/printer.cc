@@ -85,6 +85,9 @@ void PrintInst(std::string& out, const Instruction& inst) {
   if (inst.fence_witness == FenceWitness::kStackLocal) {
     out += " !stack";
   }
+  if (inst.fence_witness == FenceWitness::kHeapLocal) {
+    out += " !heap";
+  }
   out += "\n";
 }
 

@@ -179,13 +179,18 @@ Status Verify(const Function& f) {
     defined.insert(const_cast<Function&>(f).arg(i));
   }
   // Position of each instruction within its block, for same-block ordering.
+  // Calls double as the justification points for kHeapLocal witnesses below.
   std::map<const Instruction*, int> position;
+  std::vector<const Instruction*> calls;
   for (const auto& b : f.blocks()) {
     int index = 0;
     for (const auto& inst : b->insts()) {
       position[inst.get()] = index++;
       if (inst->HasResult()) {
         defined.insert(inst.get());
+      }
+      if (inst->op() == Op::kCall) {
+        calls.push_back(inst.get());
       }
     }
   }
@@ -338,6 +343,47 @@ Status Verify(const Function& f) {
         }
         if (!f.has_result() && inst->num_operands() != 0) {
           return fail("ret with value in void function");
+        }
+      }
+      // Memory-ordering metadata consistency. A fence-elision witness is a
+      // claim about a guest memory access, so it may only annotate the two
+      // plain access ops (atomics order themselves; everything else has no
+      // fence to elide). The two witness kinds additionally have structural
+      // preconditions that any honest producer satisfies by construction:
+      //   - kStackLocal claims the address derives from the emulated stack
+      //     pointer; a literal-constant address (a global) trivially cannot,
+      //     so such a stamp is rejected before the TSO checker ever runs.
+      //   - kHeapLocal claims the address derives from an allocation made by
+      //     this function, which requires *some* call on every path to the
+      //     access: a call that reaches the access same-block-earlier or
+      //     from a dominating block. (The TSO checker re-derives the full
+      //     provenance; this catches stamps that cannot possibly be valid.)
+      if (inst->fence_witness != FenceWitness::kNone) {
+        if (inst->op() != Op::kLoad && inst->op() != Op::kStore) {
+          return fail(StrCat("fence witness on non-access op ",
+                             OpName(inst->op()), " in ", b->name()));
+        }
+        if (inst->fence_witness == FenceWitness::kStackLocal &&
+            inst->operand(0)->is_const()) {
+          return fail(StrCat("stack-local witness on constant address in ",
+                             b->name()));
+        }
+        if (inst->fence_witness == FenceWitness::kHeapLocal &&
+            dom.Reachable(b.get())) {
+          bool justified = false;
+          for (const Instruction* c : calls) {
+            const BasicBlock* cb = c->parent();
+            if (cb == b.get()) {
+              justified |= position[c] < position[inst.get()];
+            } else if (dom.Reachable(cb)) {
+              justified |= dom.Dominates(cb, b.get());
+            }
+          }
+          if (!justified) {
+            return fail(StrCat("heap-local witness in ", b->name(),
+                               " with no dominating call (no allocation "
+                               "site can reach it)"));
+          }
         }
       }
     }

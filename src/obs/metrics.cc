@@ -25,6 +25,13 @@ const char* const kCounterNames[] = {
     "check.paths_explored",
     "check.witnesses_verified",
     "check.violations",
+    "analyze.accesses_classified",
+    "analyze.stack_local",
+    "analyze.heap_local",
+    "analyze.shared",
+    "analyze.escaped_sites",
+    "analyze.race_pairs",
+    "analyze.fences_elided_static",
     "opt.functions_optimized",
     "opt.pass_iterations",
     "sched.schedules_run",
@@ -48,6 +55,7 @@ static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
 const char* const kHistogramNames[] = {
     "lift.function_ns",
     "opt.function_ns",
+    "analyze.function_ns",
 };
 static_assert(sizeof(kHistogramNames) / sizeof(kHistogramNames[0]) ==
                   static_cast<size_t>(Histogram::kNumHistograms),

@@ -48,6 +48,14 @@ enum class Counter : int {
   kCheckPathsExplored,           // block-level path scans performed
   kCheckWitnessesVerified,       // stack-local witnesses that re-derived
   kCheckViolations,              // unsatisfied obligations reported
+  // analyze: the static concurrency analyzer (src/analyze).
+  kAnalyzeAccessesClassified,   // guest accesses classified by region
+  kAnalyzeStackLocal,           // classified emulated-stack-local
+  kAnalyzeHeapLocal,            // classified thread-local heap
+  kAnalyzeShared,               // classified potentially-shared
+  kAnalyzeEscapedSites,         // allocation sites whose pointer escapes
+  kAnalyzeRacePairs,            // potentially-racing pairs reported
+  kAnalyzeFencesElidedStatic,   // fences removed under a StaticCert witness
   // opt: the per-function pass pipeline.
   kOptFunctionsOptimized,
   kOptPassIterations,        // pass-loop iterations actually run
@@ -74,8 +82,9 @@ enum class Counter : int {
 // Histogram taxonomy (power-of-two bucketed). Keep in sync with
 // kHistogramNames in metrics.cc.
 enum class Histogram : int {
-  kLiftFunctionNs = 0,  // wall time to lift one function body
-  kOptFunctionNs,       // wall time to optimize one function
+  kLiftFunctionNs = 0,    // wall time to lift one function body
+  kOptFunctionNs,         // wall time to optimize one function
+  kAnalyzeFunctionNs,     // wall time for one function's escape analysis
   kNumHistograms,
 };
 

@@ -13,6 +13,7 @@ namespace {
 constexpr char kReportSchema[] = "polynima-report/v1";
 constexpr char kMetricsSchema[] = "polynima-metrics/v1";
 constexpr char kProfileSchema[] = "polynima-profile/v1";
+constexpr char kAnalyzeSchema[] = "polynima-analyze/v1";
 
 // Summarizes a trace document: span count and per-category span counts.
 json::Value SummarizeTrace(const json::Value& trace_doc) {
@@ -105,6 +106,7 @@ json::Value BuildRunReport(const RunInfo& info, const Session& session) {
   }
   doc["artifacts"] = std::move(artifacts);
 
+  doc["analysis"] = info.analysis;
   doc["metrics"] = session.metrics != nullptr ? session.metrics->ToJson()
                                               : json::Value(nullptr);
   doc["trace_summary"] = session.trace != nullptr
@@ -270,6 +272,54 @@ Status ValidateReportJson(const json::Value& doc) {
   }
   if (!metrics->is_null()) {
     POLY_RETURN_IF_ERROR(ValidateMetricsJson(*metrics));
+  }
+  const json::Value* analysis = doc.Find("analysis");
+  if (analysis != nullptr && !analysis->is_null()) {
+    POLY_RETURN_IF_ERROR(ValidateAnalysisJson(*analysis));
+  }
+  return Status::Ok();
+}
+
+Status ValidateAnalysisJson(const json::Value& doc) {
+  const json::Value* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kAnalyzeSchema) {
+    return Malformed("analysis", StrCat("schema is not ", kAnalyzeSchema));
+  }
+  for (const char* key :
+       {"functions", "accesses", "stack_local", "heap_local", "shared",
+        "alloc_sites", "escaped_sites", "heap_witnesses",
+        "fences_elided_static", "analyze_ns", "thread_roots",
+        "candidate_accesses"}) {
+    const json::Value* v = doc.Find(key);
+    if (v == nullptr || !v->is_int()) {
+      return Malformed("analysis", StrCat("missing integer ", key));
+    }
+  }
+  for (const char* key : {"conservative_roots", "truncated"}) {
+    const json::Value* v = doc.Find(key);
+    if (v == nullptr || !v->is_bool()) {
+      return Malformed("analysis", StrCat("missing bool ", key));
+    }
+  }
+  const json::Value* pairs = doc.Find("race_pairs");
+  if (pairs == nullptr || !pairs->is_array()) {
+    return Malformed("analysis", "missing race_pairs array");
+  }
+  for (const json::Value& p : pairs->as_array()) {
+    for (const char* side : {"a", "b"}) {
+      const json::Value* s = p.Find(side);
+      if (s == nullptr || !s->is_object()) {
+        return Malformed("analysis", StrCat("race pair missing side ", side));
+      }
+      const json::Value* fn = s->Find("function");
+      const json::Value* ga = s->Find("guest_address");
+      const json::Value* w = s->Find("write");
+      if (fn == nullptr || !fn->is_string() || ga == nullptr ||
+          !ga->is_int() || w == nullptr || !w->is_bool()) {
+        return Malformed("analysis", "race pair side malformed");
+      }
+    }
   }
   return Status::Ok();
 }
@@ -494,6 +544,44 @@ std::string RenderReport(const json::Value& report_doc, int top_n) {
           "  ", kind != nullptr && kind->is_string() ? kind->as_string() : "",
           ": ", path != nullptr && path->is_string() ? path->as_string() : "",
           "\n");
+    }
+  }
+  const json::Value* analysis = report_doc.Find("analysis");
+  if (analysis != nullptr && analysis->is_object()) {
+    auto num = [&](const char* key) -> int64_t {
+      const json::Value* v = analysis->Find(key);
+      return v != nullptr && v->is_int() ? v->as_int() : 0;
+    };
+    out += StrCat("analysis: ", num("accesses"), " accesses (",
+                  num("stack_local"), " stack-local, ", num("heap_local"),
+                  " heap-local, ", num("shared"), " shared), ",
+                  num("escaped_sites"), "/", num("alloc_sites"),
+                  " sites escaped, ", num("fences_elided_static"),
+                  " fences elided statically\n");
+    const json::Value* pairs = analysis->Find("race_pairs");
+    if (pairs != nullptr && pairs->is_array() && !pairs->as_array().empty()) {
+      out += StrCat("race pairs (", pairs->as_array().size(), ")\n");
+      for (const json::Value& p : pairs->as_array()) {
+        auto side = [&](const char* key) -> std::string {
+          const json::Value* s = p.Find(key);
+          if (s == nullptr || !s->is_object()) {
+            return "?";
+          }
+          const json::Value* fn = s->Find("function");
+          const json::Value* ga = s->Find("guest_address");
+          const json::Value* w = s->Find("write");
+          return StrCat(
+              fn != nullptr && fn->is_string() ? fn->as_string() : "?", "@",
+              HexString(ga != nullptr && ga->is_int() ? ga->as_uint() : 0),
+              w != nullptr && w->is_bool() && w->as_bool() ? " W" : " R");
+        };
+        const json::Value* reason = p.Find("reason");
+        out += StrCat("  ", side("a"), " <-> ", side("b"),
+                      reason != nullptr && reason->is_string()
+                          ? StrCat(" (", reason->as_string(), ")")
+                          : "",
+                      "\n");
+      }
     }
   }
   const json::Value* trace_summary = report_doc.Find("trace_summary");

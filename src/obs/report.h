@@ -67,6 +67,9 @@ struct RunInfo {
   // (kind, path) of every sidecar file the run wrote, e.g.
   // ("trace", "t.json"), ("metrics", "m.json"), ("output", "out.cfg.json").
   std::vector<std::pair<std::string, std::string>> artifacts;
+  // Optional polynima-analyze/v1 section (analyze::AnalysisResult::ToJson);
+  // null when the run did not perform static concurrency analysis.
+  json::Value analysis;
 };
 
 // Builds the polynima-report/v1 document: run info, artifact paths, the full
@@ -82,6 +85,9 @@ Status ValidateTraceJson(const json::Value& doc);
 Status ValidateMetricsJson(const json::Value& doc);
 Status ValidateProfileJson(const json::Value& doc);
 Status ValidateReportJson(const json::Value& doc);
+// polynima-analyze/v1 (the report's optional "analysis" section, also
+// validated as part of ValidateReportJson when present).
+Status ValidateAnalysisJson(const json::Value& doc);
 
 // Sniffs which of the four document kinds `doc` is and validates it.
 // Returns the kind ("trace", "metrics", "profile", "report") on success.

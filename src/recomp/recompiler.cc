@@ -5,8 +5,10 @@
 #include <filesystem>
 #include <set>
 
+#include "src/analyze/analyze.h"
 #include "src/check/tso.h"
 #include "src/fenceopt/spinloop.h"
+#include "src/fenceopt/static_elide.h"
 #include "src/ir/clone.h"
 #include "src/support/strings.h"
 #include "src/vm/external.h"
@@ -62,6 +64,7 @@ uint64_t OptionsFingerprint(const RecompileOptions& options) {
   HashMix(h, options.pipeline.inline_functions);
   HashMix(h, options.optimize);
   HashMix(h, options.remove_fences);
+  HashMix(h, options.analyze);  // stamps witnesses + elides fences in the IR
   // check_tso is deliberately absent: the checker observes the IR, it never
   // changes what a function lifts/optimizes to.
   return h;
@@ -221,6 +224,31 @@ Expected<RecompiledBinary> Recompiler::Rebuild(
     cache_ = std::move(next);
   }
 
+  // Static concurrency analysis (src/analyze): classify every guest access,
+  // report potential races, stamp kHeapLocal witnesses on proven
+  // thread-private heap accesses, and elide their paired fences. Runs after
+  // the pipeline (register promotion decides which accesses remain) and
+  // before the TSO check, which re-derives every stamped witness. Cached
+  // bodies arrive already stamped+elided from the round that produced them;
+  // both the stamping and the elision are idempotent, and heap privacy is a
+  // purely intra-function fact, so re-analysis reaches the same verdicts.
+  if (options_.analyze) {
+    uint64_t a0 = NowNs();
+    analyze::AnalyzeOptions analyze_options;
+    analyze_options.jobs = options_.jobs;
+    analyze_options.obs = options_.obs;
+    analyze::AnalysisResult analysis =
+        analyze::AnalyzeProgram(program, analyze_options);
+    if (options_.lift.insert_fences && !options_.remove_fences) {
+      fenceopt::ApplyStaticElision(*program.module, analysis);
+    }
+    options_.static_cert = analyze::MakeStaticCert(analysis, image_);
+    stats_.analyze_ns += NowNs() - a0;
+    stats_.analyze_races = analysis.races.pairs.size();
+    stats_.analyze_fences_elided += static_cast<size_t>(analysis.fences_elided);
+    analysis_json_ = analysis.ToJson();
+  }
+
   // Static TSO-soundness check (src/check): every guest access must carry a
   // fence/atomic on all paths or a re-verifiable elision witness. Runs after
   // the pipeline so it judges the IR that will actually execute. Only the
@@ -239,10 +267,15 @@ Expected<RecompiledBinary> Recompiler::Rebuild(
       }
       check_options.cert = &*options_.elision_cert;
     }
+    if (options_.static_cert.has_value()) {
+      check_options.static_cert = &*options_.static_cert;
+      check_options.externals = &program.externals;
+    }
     check::TsoCheckReport report =
         check::CheckModule(*program.module, check_options);
     stats_.tso_accesses_checked += report.accesses_checked;
     stats_.tso_witnesses_consumed += report.witnesses_consumed;
+    stats_.tso_heap_witnesses_consumed += report.heap_witnesses_consumed;
     stats_.tso_violations += report.violations.size();
     if (!report.ok()) {
       return Status::Internal(
@@ -371,6 +404,8 @@ Expected<check::DifferentialResult> Recompiler::RunTsoDifferential(
   options_.lift.elide_stack_local_fences = false;
   options_.remove_fences = false;
   options_.elision_cert.reset();
+  options_.analyze = false;  // no static elision in the reference either
+  options_.static_cert.reset();
   options_.check_tso = false;  // the reference is fenced by construction
   auto reference = Rebuild(binary.graph);
   options_ = std::move(saved_options);

@@ -58,6 +58,17 @@ struct RecompileOptions {
   // sealed ElisionCert is required (minted automatically from the spinloop
   // analysis when absent); a failed check aborts the recompilation.
   bool check_tso = false;
+  // Run the static concurrency analyzer (src/analyze) after every rebuild:
+  // classify each guest access (stack-local / thread-local heap / shared),
+  // detect potential races, stamp kHeapLocal witnesses on proven-private
+  // heap accesses and elide their fences (fenceopt::ApplyStaticElision),
+  // and mint the StaticCert the TSO checker needs to accept those
+  // witnesses. Part of the additive-cache fingerprint (it mutates the IR).
+  bool analyze = false;
+  // Certificate justifying per-access kHeapLocal elision. Populated by
+  // Rebuild() when `analyze` is set and none was supplied; handed to the
+  // TSO checker alongside the program's external-name table.
+  std::optional<check::StaticCert> static_cert;
   // Certificate justifying whole-module fence removal. Populated by
   // Recompile() when check_tso && remove_fences and none was supplied.
   std::optional<check::ElisionCert> elision_cert;
@@ -89,7 +100,12 @@ struct RecompileStats {
   // TSO checker counters (accumulated over every rebuild when check_tso).
   size_t tso_accesses_checked = 0;
   size_t tso_witnesses_consumed = 0;
+  size_t tso_heap_witnesses_consumed = 0;
   size_t tso_violations = 0;
+  // Static concurrency analyzer counters (accumulated when analyze).
+  uint64_t analyze_ns = 0;
+  size_t analyze_races = 0;        // race pairs in the LAST rebuild's report
+  size_t analyze_fences_elided = 0;  // fences removed via kHeapLocal, total
   uint64_t total_ns() const {
     return disassemble_ns + trace_ns + lift_ns + opt_ns;
   }
@@ -141,6 +157,9 @@ class Recompiler {
   const RecompileStats& stats() const { return stats_; }
   const binary::Image& image() const { return image_; }
   RecompileOptions& options() { return options_; }
+  // polynima-analyze/v1 document from the last analyzed Rebuild (null until
+  // `analyze` has run); plugs straight into obs::RunInfo::analysis.
+  const json::Value& analysis_json() const { return analysis_json_; }
 
  private:
   // One cached function from the previous recompilation round. `holder`
@@ -159,6 +178,7 @@ class Recompiler {
   binary::Image image_;
   RecompileOptions options_;
   RecompileStats stats_;
+  json::Value analysis_json_;
   std::map<uint64_t, CacheEntry> cache_;  // guest entry -> cached function
 };
 

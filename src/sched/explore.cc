@@ -39,7 +39,19 @@ void RunPct(const RunFn& run, uint64_t engine_seed,
   PctOptions pct = options.pct;
   for (int i = 0; i < options.budget; ++i) {
     PctScheduler strategy(seeds.Next(), pct);
-    RecordingScheduler recorder(i == 0 ? nullptr : &strategy, engine_seed);
+    // Static race hints steer half the strategy runs: a HintedScheduler
+    // forces a preemption at every consultation inside a suspected racing
+    // block, delegating everywhere else. Run 0 stays all-default and the
+    // alternation keeps pure-PCT coverage for races the static pass missed.
+    HintedScheduler hinted(i == 0 ? nullptr : &strategy,
+                           options.preemption_hints, seeds.Next());
+    Scheduler* inner = nullptr;
+    if (i != 0) {
+      inner = options.preemption_hints.empty() || i % 2 == 0
+                  ? static_cast<Scheduler*>(&strategy)
+                  : &hinted;
+    }
+    RecordingScheduler recorder(inner, engine_seed);
     Outcome outcome = run(&recorder);
     ++set.runs;
     RecordOutcome(set, outcome, recorder.schedule());

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "src/obs/report.h"
@@ -59,6 +60,13 @@ struct ExploreOptions {
   // DFS: maximum preemptive deviations per prefix and total run cap.
   int dfs_preemption_bound = 2;
   int dfs_max_runs = 256;
+  // Guest addresses of suspected racing accesses (analyze::RaceHintAddresses
+  // from the static race detector). PCT runs wrap their strategy in a
+  // HintedScheduler that forces a preemption whenever the engine consults at
+  // one of these blocks, steering the sampled schedules toward interleavings
+  // that actually exercise the reported pairs. Empty = no hinting. DFS is
+  // unaffected (its enumeration is already exhaustive within the bound).
+  std::set<uint64_t> preemption_hints;
   // Observability sinks (all nullable; see src/obs): one "sched"-category
   // span per enumeration and the sched.* counters (runs, consultations,
   // preemptions, PCT change points).

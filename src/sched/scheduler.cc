@@ -129,6 +129,46 @@ int PctScheduler::Pick(const SchedPoint& point,
   return pick;
 }
 
+// --- HintedScheduler ---
+
+HintedScheduler::HintedScheduler(Scheduler* inner, std::set<uint64_t> hints,
+                                 uint64_t seed)
+    : inner_(inner), hints_(std::move(hints)), rng_(seed) {}
+
+int HintedScheduler::Pick(const SchedPoint& point,
+                          const std::vector<int>& candidates) {
+  if (point.guest_address != 0 && candidates.size() > 1 &&
+      hints_.count(point.guest_address) != 0) {
+    // Hinted block: yank the scheduler away from the thread sitting at the
+    // suspected racing access so another thread can reach its half of the
+    // race. Seeded rotation over the remaining candidates.
+    std::vector<int> others;
+    for (int c : candidates) {
+      if (c != point.current) {
+        others.push_back(c);
+      }
+    }
+    if (!others.empty()) {
+      ++hinted_preemptions_;
+      return others[rng_.NextBelow(others.size())];
+    }
+  }
+  return inner_ != nullptr ? inner_->Pick(point, candidates)
+                           : DefaultPick(point.current, candidates);
+}
+
+void HintedScheduler::OnSpawn(int tid) {
+  if (inner_ != nullptr) {
+    inner_->OnSpawn(tid);
+  }
+}
+
+void HintedScheduler::OnYield(int tid) {
+  if (inner_ != nullptr) {
+    inner_->OnYield(tid);
+  }
+}
+
 // --- DfsScheduler ---
 
 DfsScheduler::DfsScheduler(std::vector<Decision> prefix, int max_branch_points)

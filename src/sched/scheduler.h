@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "src/sched/schedule.h"
@@ -45,6 +46,10 @@ struct SchedPoint {
   uint64_t index = 0;  // dense consultation ordinal within the run
   int current = 0;     // thread that ran the previous step
   PointKind kind = PointKind::kDispatch;
+  // Guest address of the block the current thread is about to execute in
+  // (0 when unknown/synthetic). Diagnostics and hint matching only — replay
+  // never depends on it.
+  uint64_t guest_address = 0;
 };
 
 // Deterministic baseline pick: keep the previously running thread when it is
@@ -140,6 +145,31 @@ class PctScheduler : public Scheduler {
   // Demotions take decreasing values below every initial priority (initial
   // priorities are forced above 2^32).
   uint64_t demote_next_ = (uint64_t{1} << 32) - 1;
+};
+
+// Wraps an inner strategy with static race hints (analyze::RaceHintAddresses):
+// when the engine consults at a block whose guest address is in the hint set
+// and another thread is runnable, force a preemption away from the current
+// thread instead of delegating. The rotation through the other candidates is
+// seeded, so different seeds interleave the racing accesses differently.
+// Points off the hint set go to the inner strategy (or the default pick when
+// inner is null) — the hints sharpen the search, they do not replace it.
+class HintedScheduler : public Scheduler {
+ public:
+  HintedScheduler(Scheduler* inner, std::set<uint64_t> hints, uint64_t seed);
+
+  int Pick(const SchedPoint& point, const std::vector<int>& candidates) override;
+  void OnSpawn(int tid) override;
+  void OnYield(int tid) override;
+
+  // Preemptions forced because the point's guest address was hinted.
+  uint64_t hinted_preemptions() const { return hinted_preemptions_; }
+
+ private:
+  Scheduler* inner_;
+  std::set<uint64_t> hints_;
+  Rng rng_;
+  uint64_t hinted_preemptions_ = 0;
 };
 
 // Depth-first exploration support: follows a forced prefix of decisions and

@@ -6,15 +6,21 @@
 //   polynima disasm   <img.plyb>                        disassembly + CFG
 //   polynima recompile <img.plyb> -p <projectdir>
 //            [--trace <inputfile>...] [--remove-fences] [--no-optimize]
-//            [--jobs N] [--check-tso]
+//            [--jobs N] [--check-tso] [--analyze]
 //   polynima run      <img.plyb> -p <projectdir> [--input <file>]...
 //            [--original] [--jobs N] [--check-tso]      additive execution
-//   polynima analyze  <img.plyb> [--input <file>]...    spinloop analysis
+//   polynima analyze  <img.plyb> [--input <file>]... [--jobs N]
+//            static concurrency analysis (src/analyze): classifies every
+//            guest access (stack-local / thread-local heap / shared),
+//            reports potentially-racing access pairs with guest addresses,
+//            and counts the fences elided under kHeapLocal witnesses; with
+//            --input it additionally runs the spinloop analysis
 //   polynima check    <img.plyb> [--input <file>]... [--schedules N]
 //            [--jobs N]                                 full TSO soundness
 //   polynima explore  <img.plyb> [--input <file>]... [--remove-fences]
 //            [--budget N] [--depth N] [--strategy pct|dfs|both] [--seed N]
 //            [--dfs-bound N] [--replay <sched|file>] [--save-sched <file>]
+//            [--analyze]
 //            deterministic schedule exploration (src/sched): diff the
 //            outcome sets of the fenced reference and the optimized build,
 //            shrink any divergence to a minimal schedule, print the repro
@@ -57,6 +63,13 @@
 // certificate, which `recompile`/`run` mint automatically (and refuse when
 // the analysis finds a potentially-spinning loop).
 //
+// --analyze runs the static concurrency analyzer (src/analyze) after every
+// (re)compilation: escape/region classification, static race detection, and
+// kHeapLocal fence elision under a sealed StaticCert (which --check-tso
+// re-derives access by access). The analysis section lands in the
+// --report-out document (polynima-analyze/v1). `explore` feeds the reported
+// race addresses to the scheduler as preemption hints.
+//
 // `check` is the full soundness workflow: static check of the fenced build,
 // spinloop analysis + certificate, static check of the fence-removed build,
 // then the schedule-perturbing differential run (fenced vs optimized under
@@ -74,6 +87,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analyze/analyze.h"
 #include "src/cc/compiler.h"
 #include "src/cfg/cfg.h"
 #include "src/exec/engine.h"
@@ -120,6 +134,7 @@ struct Args {
   bool optimize = true;
   bool original = false;
   bool check_tso = false;
+  bool analyze = false;
   // explore
   int budget = 128;
   int depth = 3;
@@ -186,6 +201,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.remove_fences = true;
     } else if (a == "--check-tso") {
       args.check_tso = true;
+    } else if (a == "--analyze") {
+      args.analyze = true;
     } else if (a == "--schedules") {
       std::string v;
       if (!next(v)) return false;
@@ -256,6 +273,9 @@ struct ObsSinks {
   std::optional<obs::MetricsRegistry> metrics;
   std::optional<obs::GuestProfile> profile;
   obs::Session session;
+  // polynima-analyze/v1 section for the run report (set by commands that ran
+  // the static concurrency analyzer; null otherwise).
+  json::Value analysis;
 
   explicit ObsSinks(const Args& args) {
     if (!args.trace_out.empty()) {
@@ -288,6 +308,7 @@ struct ObsSinks {
     info.command = command;
     info.input = args.positional.empty() ? "" : args.positional[0];
     info.ok = run_ok;
+    info.analysis = std::move(analysis);
     if (trace.has_value()) {
       write(trace->WriteTo(args.trace_out), "trace", args.trace_out);
     }
@@ -400,6 +421,7 @@ recomp::RecompileOptions MakeOptions(const Args& args,
   options.optimize = args.optimize;
   options.jobs = args.jobs;
   options.check_tso = args.check_tso;
+  options.analyze = args.analyze;
   options.obs = session;
   if (!args.trace_files.empty()) {
     options.use_icft_tracer = true;
@@ -441,9 +463,17 @@ int CmdRecompile(const Args& args) {
   std::printf("  additive cache: %zu hits, %zu misses\n", stats.cache_hits,
               stats.cache_misses);
   if (args.check_tso) {
-    std::printf("  tso check: %zu accesses, %zu witnesses, %zu violations\n",
+    std::printf("  tso check: %zu accesses, %zu witnesses (%zu heap), "
+                "%zu violations\n",
                 stats.tso_accesses_checked, stats.tso_witnesses_consumed,
-                stats.tso_violations);
+                stats.tso_heap_witnesses_consumed, stats.tso_violations);
+  }
+  if (args.analyze) {
+    std::printf("  analyze: %.1f ms, %zu race pair(s), "
+                "%zu fence(s) elided statically\n",
+                stats.analyze_ns / 1e6, stats.analyze_races,
+                stats.analyze_fences_elided);
+    sinks.analysis = recompiler.analysis_json();
   }
   if (!args.project.empty()) {
     std::printf("  project CFG: %s/cfg.json\n", args.project.c_str());
@@ -517,27 +547,85 @@ int CmdAnalyze(const Args& args) {
     return 1;
   }
   ObsSinks sinks(args);
-  auto graph = cfg::RecoverStatic(*image);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-  auto analysis = fenceopt::DetectImplicitSynchronization(
-      *image, *graph, {LoadInputs(args)}, sinks.session);
-  if (!analysis.ok()) {
-    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+  // Static concurrency analysis (the subsystem this subcommand fronts):
+  // recompile with `analyze` so the lifted+optimized IR — the IR that will
+  // actually execute — is what gets classified.
+  recomp::RecompileOptions options = MakeOptions(args, sinks.session);
+  options.analyze = true;
+  recomp::Recompiler recompiler(*image, options);
+  auto binary = recompiler.Recompile();
+  if (!binary.ok()) {
+    std::fprintf(stderr, "%s\n", binary.status().ToString().c_str());
     return sinks.Finish(args, "analyze", /*run_ok=*/false, 1);
   }
-  for (const auto& loop : analysis->loops) {
-    std::printf("%-10s loop %s/%s: %s\n",
-                loop.spinning ? "SPINNING" : "non-spin",
-                loop.function.c_str(), loop.header_block.c_str(),
-                loop.reason.c_str());
+  sinks.analysis = recompiler.analysis_json();
+  const json::Value& a = recompiler.analysis_json();
+  auto num = [&](const char* key) -> int64_t {
+    const json::Value* v = a.Find(key);
+    return v != nullptr && v->is_int() ? v->as_int() : 0;
+  };
+  std::printf("analyzed %lld function(s): %lld accesses "
+              "(%lld stack-local, %lld heap-local, %lld shared)\n",
+              static_cast<long long>(num("functions")),
+              static_cast<long long>(num("accesses")),
+              static_cast<long long>(num("stack_local")),
+              static_cast<long long>(num("heap_local")),
+              static_cast<long long>(num("shared")));
+  std::printf("allocation sites: %lld (%lld escaped); "
+              "%lld heap witness(es), %lld fence(s) elided statically\n",
+              static_cast<long long>(num("alloc_sites")),
+              static_cast<long long>(num("escaped_sites")),
+              static_cast<long long>(num("heap_witnesses")),
+              static_cast<long long>(num("fences_elided_static")));
+  const json::Value* pairs = a.Find("race_pairs");
+  size_t race_count =
+      pairs != nullptr && pairs->is_array() ? pairs->as_array().size() : 0;
+  std::printf("thread roots: %lld%s; race pairs: %zu%s\n",
+              static_cast<long long>(num("thread_roots")),
+              num("conservative_roots") != 0 ? " (conservative)" : "",
+              race_count, num("truncated") != 0 ? " (truncated)" : "");
+  if (race_count != 0) {
+    for (const json::Value& p : pairs->as_array()) {
+      auto side = [&](const char* key) -> std::string {
+        const json::Value* s = p.Find(key);
+        if (s == nullptr || !s->is_object()) {
+          return "?";
+        }
+        const json::Value* fn = s->Find("function");
+        const json::Value* ga = s->Find("guest_address");
+        const json::Value* w = s->Find("write");
+        return StrCat(
+            fn != nullptr && fn->is_string() ? fn->as_string() : "?", "@",
+            HexString(ga != nullptr && ga->is_int() ? ga->as_uint() : 0),
+            w != nullptr && w->is_bool() && w->as_bool() ? " W" : " R");
+      };
+      const json::Value* reason = p.Find("reason");
+      std::printf("RACE  %s <-> %s (%s)\n", side("a").c_str(),
+                  side("b").c_str(),
+                  reason != nullptr && reason->is_string()
+                      ? reason->as_string().c_str()
+                      : "?");
+    }
   }
-  std::printf("fence removal: %s\n",
-              analysis->FenceRemovalSafe() ? "SAFE" : "withheld");
-  return sinks.Finish(args, "analyze", /*run_ok=*/true,
-                      analysis->FenceRemovalSafe() ? 0 : 1);
+  // With inputs, additionally run the dynamic spinloop analysis the fence
+  // optimizer uses for whole-module removal (the subcommand's original job).
+  if (!args.inputs.empty()) {
+    auto spin = fenceopt::DetectImplicitSynchronization(
+        *image, binary->graph, {LoadInputs(args)}, sinks.session);
+    if (!spin.ok()) {
+      std::fprintf(stderr, "%s\n", spin.status().ToString().c_str());
+      return sinks.Finish(args, "analyze", /*run_ok=*/false, 1);
+    }
+    for (const auto& loop : spin->loops) {
+      std::printf("%-10s loop %s/%s: %s\n",
+                  loop.spinning ? "SPINNING" : "non-spin",
+                  loop.function.c_str(), loop.header_block.c_str(),
+                  loop.reason.c_str());
+    }
+    std::printf("fence removal: %s\n",
+                spin->FenceRemovalSafe() ? "SAFE" : "withheld");
+  }
+  return sinks.Finish(args, "analyze", /*run_ok=*/true, 0);
 }
 
 // Full TSO-soundness workflow over one binary: static check fenced, spinloop
@@ -695,6 +783,9 @@ int CmdExploreImpl(const Args& args, const obs::Session& session) {
   opt_options.remove_fences = args.remove_fences;
   opt_options.optimize = args.optimize;
   opt_options.jobs = args.jobs;
+  // --analyze puts the statically-elided build under test and feeds the
+  // reported race addresses to the explorer as preemption hints below.
+  opt_options.analyze = args.analyze;
   opt_options.obs = session;
   recomp::Recompiler opt_recompiler(*image, opt_options);
   auto optimized = opt_recompiler.Recompile();
@@ -772,6 +863,20 @@ int CmdExploreImpl(const Args& args, const obs::Session& session) {
   explore_options.pct.depth = args.depth;
   explore_options.dfs_preemption_bound = args.dfs_bound;
   explore_options.obs = session;
+  if (args.analyze) {
+    // Statically reported racing blocks become preemption hints: the PCT
+    // side of the exploration forces context switches exactly where the
+    // race detector believes two threads can collide.
+    analyze::AnalyzeOptions analyze_options;
+    analyze_options.jobs = args.jobs;
+    analyze::AnalysisResult analysis =
+        analyze::AnalyzeProgram(optimized->program, analyze_options);
+    explore_options.preemption_hints =
+        analyze::RaceHintAddresses(analysis.races);
+    std::printf("analyze: %zu race pair(s) -> %zu preemption hint(s)\n",
+                analysis.races.pairs.size(),
+                explore_options.preemption_hints.size());
+  }
   if (args.strategy == "pct") {
     explore_options.strategy = sched::ExploreOptions::Strategy::kPct;
   } else if (args.strategy == "dfs") {

@@ -1,0 +1,216 @@
+// Race-detection benchmark suite for the static concurrency analyzer
+// (src/analyze) and its cross-validation against schedule exploration
+// (src/sched). Two families, distinguished by name prefix:
+//
+//   racy_*  Seeded data races: unsynchronized plain accesses to shared
+//           globals from concurrently-running threads. The static detector
+//           must report at least one pair, and schedule exploration must
+//           observe more than one distinct outcome.
+//   safe_*  Race-free twins: the same sharing shapes made sound with a
+//           mutex, atomics, or join-before-access. The static detector must
+//           report zero pairs, and every explored schedule must produce the
+//           same outcome.
+//
+// The programs are deliberately small so bounded-preemption DFS can cover
+// them exhaustively, and they avoid the analyzer's documented
+// over-approximations (symbolic disjoint indexing, stack pointers handed to
+// children) so "zero pairs on safe_*" is an honest precision bar rather
+// than an accident of conservatism.
+#include "src/workloads/workloads.h"
+
+namespace polynima::workloads {
+namespace {
+
+// Two workers bump a shared global with a plain read-modify-write. Lost
+// updates change the printed count; the writes race with each other and
+// with the re-reads.
+const char* kRacyCounter = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern void print_i64(long v);
+
+long counter = 0;
+
+long worker(long tid) {
+  for (long i = 0; i < 40; i++) {
+    counter = counter + 1;   // racy: no lock, not atomic
+  }
+  return 0;
+}
+
+int main() {
+  long tids[2];
+  for (int i = 0; i < 2; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 2; i++) pthread_join(tids[i], 0);
+  print_i64(counter);
+  return 0;
+}
+)";
+
+// Each worker stamps its id into a shared global; the printed value is
+// whichever write lands last. Write/write race, two observable outcomes.
+const char* kRacyLastWrite = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern void print_i64(long v);
+
+long last = -1;
+
+long worker(long tid) {
+  last = tid;              // racy: concurrent unsynchronized writes
+  return 0;
+}
+
+int main() {
+  long tids[2];
+  for (int i = 0; i < 2; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 2; i++) pthread_join(tids[i], 0);
+  print_i64(last);
+  return 0;
+}
+)";
+
+// racy_counter made sound: the same plain RMW under a global pthread mutex.
+// Both accesses hold {&mtx}, so their locksets intersect and the static
+// detector drops the pair.
+const char* kSafeMutex = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern int pthread_mutex_init(long* m, long attr);
+extern int pthread_mutex_lock(long* m);
+extern int pthread_mutex_unlock(long* m);
+extern void print_i64(long v);
+
+long counter = 0;
+long mtx;
+
+long worker(long tid) {
+  for (long i = 0; i < 40; i++) {
+    pthread_mutex_lock(&mtx);
+    counter = counter + 1;   // safe: serialized by mtx
+    pthread_mutex_unlock(&mtx);
+  }
+  return 0;
+}
+
+int main() {
+  pthread_mutex_init(&mtx, 0);
+  long tids[2];
+  for (int i = 0; i < 2; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 2; i++) pthread_join(tids[i], 0);
+  print_i64(counter);
+  return 0;
+}
+)";
+
+// racy_counter made sound the other way: hardware atomic accumulation.
+// Atomic pairs are never reported (both sides order themselves).
+const char* kSafeAtomic = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern void print_i64(long v);
+
+long counter = 0;
+
+long worker(long tid) {
+  for (long i = 0; i < 40; i++) {
+    __atomic_fetch_add(&counter, 1);
+  }
+  return 0;
+}
+
+int main() {
+  long tids[2];
+  for (int i = 0; i < 2; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 2; i++) pthread_join(tids[i], 0);
+  print_i64(counter);
+  return 0;
+}
+)";
+
+// One child fills a shared global; main touches it strictly after the join.
+// The spawn-window (join-quiescence) analysis sees the outstanding-thread
+// count drop to zero before main's accesses, so no pair is reported even
+// though both threads touch the same address unsynchronized.
+const char* kSafeJoin = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern void print_i64(long v);
+
+long result = 0;
+
+long worker(long arg) {
+  long acc = 0;
+  for (long i = 1; i <= 10; i++) acc = acc + i * arg;
+  result = acc;            // sole writer while main is blocked in join
+  return 0;
+}
+
+int main() {
+  long tid;
+  pthread_create(&tid, 0, worker, 3);
+  pthread_join(tid, 0);
+  print_i64(result);       // strictly after the join: not concurrent
+  return 0;
+}
+)";
+
+// Heap-privacy showcase: each worker computes in a malloc'd scratch buffer
+// that never escapes its frame (not stored anywhere, not passed to any
+// call — deliberately leaked), then publishes one total atomically. The
+// escape pass proves the buffer thread-local, ApplyStaticElision strips the
+// fences around its accesses under a kHeapLocal witness, and the race
+// detector stays silent.
+const char* kSafeHeap = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+long total = 0;
+
+long worker(long tid) {
+  long* scratch = (long*)malloc(16 * 8);
+  for (long i = 0; i < 16; i++) scratch[i] = (tid + 2) * i;
+  long sum = 0;
+  for (long i = 0; i < 16; i++) sum = sum + scratch[i];
+  __atomic_fetch_add(&total, sum);
+  return 0;
+}
+
+int main() {
+  long tids[2];
+  for (int i = 0; i < 2; i++) pthread_create(&tids[i], 0, worker, i);
+  for (int i = 0; i < 2; i++) pthread_join(tids[i], 0);
+  print_i64(total);
+  return 0;
+}
+)";
+
+}  // namespace
+
+const std::vector<Workload>& RaceBench() {
+  static const std::vector<Workload>* workloads = [] {
+    auto no_input = [](int) { return std::vector<std::vector<uint8_t>>{}; };
+    auto* list = new std::vector<Workload>();
+    auto add = [&](const char* name, const char* source) {
+      Workload w;
+      w.name = name;
+      w.suite = "racebench";
+      w.source = source;
+      w.make_inputs = no_input;
+      w.default_opt = 2;
+      list->push_back(std::move(w));
+    };
+    add("racy_counter", kRacyCounter);
+    add("racy_lastwrite", kRacyLastWrite);
+    add("safe_mutex", kSafeMutex);
+    add("safe_atomic", kSafeAtomic);
+    add("safe_join", kSafeJoin);
+    add("safe_heap", kSafeHeap);
+    return list;
+  }();
+  return *workloads;
+}
+
+}  // namespace polynima::workloads

@@ -687,7 +687,8 @@ const std::vector<Workload>& SpecLike() {
 
 const Workload* FindWorkload(const std::string& name) {
   for (const auto* suite :
-       {&Phoenix(), &Gapbs(true), &CkitSpinlocks(), &Apps(), &SpecLike()}) {
+       {&Phoenix(), &Gapbs(true), &CkitSpinlocks(), &Apps(), &SpecLike(),
+        &RaceBench()}) {
     for (const Workload& w : *suite) {
       if (w.name == name) {
         return &w;

@@ -20,6 +20,9 @@
 //  - speclike: SPECint-2006-profile programs for the lift-time comparison
 //    (Table 4) with matching indirect-control-flow profiles (mcf/libquantum
 //    have none; gobmk/gcc-like are indirect-heavy).
+//  - racebench: seeded racy / race-free program pairs for the static
+//    concurrency analyzer (src/analyze) and the schedule-exploration
+//    cross-validation (racy_* must be caught, safe_* must stay clean).
 #ifndef POLYNIMA_WORKLOADS_WORKLOADS_H_
 #define POLYNIMA_WORKLOADS_WORKLOADS_H_
 
@@ -45,6 +48,9 @@ const std::vector<Workload>& Gapbs(bool wide);
 const std::vector<Workload>& CkitSpinlocks();
 const std::vector<Workload>& Apps();
 const std::vector<Workload>& SpecLike();
+// Seeded racy (racy_*) / race-free (safe_*) programs for the static race
+// detector and its cross-validation against schedule exploration.
+const std::vector<Workload>& RaceBench();
 
 // Finds a workload by name across all suites (gapbs resolved as wide).
 const Workload* FindWorkload(const std::string& name);

@@ -216,6 +216,123 @@ TEST(MemOptPass, ReleaseFencePinsEarlierStores) {
   EXPECT_EQ(CountOp(*f, Op::kStore), 2u);
 }
 
+// --- No-motion-across-fences regression suite ----------------------------
+// The static concurrency analyzer's soundness argument (DESIGN.md §4e)
+// assumes no IR pass moves, merges, or deletes a guest memory access across
+// a fence, an atomic, or a call. Each test pairs the blocked transformation
+// with its positive control so a pass that silently stops optimizing at all
+// cannot masquerade as "respects barriers".
+
+TEST(FenceMotion, StoreForwardingBlockedByAcquireFence) {
+  Module m;
+  Function* f = m.AddFunction("f", 0, true);
+  IRBuilder b(&m);
+  b.SetInsertBlock(f->AddBlock("entry"));
+  Value* addr = m.GetConstant(0x601000);
+  b.Store(8, addr, b.Const(7));
+  b.Fence(FenceOrder::kAcquire);
+  Instruction* reload = b.Load(8, addr);  // must re-read: fence in between
+  b.Ret(reload);
+  MemOpt(*f);
+  DeadCodeElim(*f);
+  EXPECT_EQ(CountOp(*f, Op::kLoad), 1u) << ir::Print(*f);
+}
+
+TEST(FenceMotion, StoreForwardingControlWithoutFence) {
+  Module m;
+  Function* f = m.AddFunction("f", 0, true);
+  IRBuilder b(&m);
+  b.SetInsertBlock(f->AddBlock("entry"));
+  Value* addr = m.GetConstant(0x601000);
+  b.Store(8, addr, b.Const(7));
+  Instruction* reload = b.Load(8, addr);  // forwardable
+  b.Ret(reload);
+  EXPECT_TRUE(MemOpt(*f));
+  DeadCodeElim(*f);
+  EXPECT_EQ(CountOp(*f, Op::kLoad), 0u) << ir::Print(*f);
+}
+
+TEST(FenceMotion, SeqCstFenceIsAFullBarrier) {
+  Module m;
+  Function* f = m.AddFunction("f", 0, true);
+  IRBuilder b(&m);
+  b.SetInsertBlock(f->AddBlock("entry"));
+  Value* addr = m.GetConstant(0x601000);
+  Value* flag = m.GetConstant(0x602000);
+  b.Store(8, addr, b.Const(1));  // not dead: seq_cst publishes it
+  Instruction* l1 = b.Load(8, flag);
+  b.Fence(FenceOrder::kSeqCst);
+  b.Store(8, addr, b.Const(2));
+  Instruction* l2 = b.Load(8, flag);  // not redundant across seq_cst
+  b.Ret(b.Add(l1, l2));
+  MemOpt(*f);
+  DeadCodeElim(*f);
+  EXPECT_EQ(CountOp(*f, Op::kStore), 2u) << ir::Print(*f);
+  EXPECT_EQ(CountOp(*f, Op::kLoad), 2u) << ir::Print(*f);
+}
+
+TEST(FenceMotion, AtomicsAreBarriersForLoadsAndStores) {
+  Module m;
+  Function* f = m.AddFunction("f", 0, true);
+  IRBuilder b(&m);
+  b.SetInsertBlock(f->AddBlock("entry"));
+  Value* addr = m.GetConstant(0x601000);
+  Value* flag = m.GetConstant(0x602000);
+  Value* lock = m.GetConstant(0x603000);
+  b.Store(8, addr, b.Const(1));  // a racing reader may observe it at the rmw
+  Instruction* l1 = b.Load(8, flag);
+  b.AtomicRmw(ir::RmwOp::kAdd, 8, lock, b.Const(1));
+  Instruction* l2 = b.Load(8, flag);  // not redundant across the atomic
+  b.Store(8, addr, b.Const(2));  // does not make the first store dead
+  b.Ret(b.Add(l1, l2));
+  MemOpt(*f);
+  DeadCodeElim(*f);
+  EXPECT_EQ(CountOp(*f, Op::kLoad), 2u) << ir::Print(*f);
+  EXPECT_EQ(CountOp(*f, Op::kStore), 2u) << ir::Print(*f);
+}
+
+TEST(FenceMotion, CallsAreBarriers) {
+  Module m;
+  Function* callee = m.AddFunction("callee", 0, false);
+  {
+    IRBuilder cb(&m);
+    cb.SetInsertBlock(callee->AddBlock("entry"));
+    cb.Ret();
+  }
+  Function* f = m.AddFunction("f", 0, true);
+  IRBuilder b(&m);
+  b.SetInsertBlock(f->AddBlock("entry"));
+  Value* addr = m.GetConstant(0x601000);
+  Value* flag = m.GetConstant(0x602000);
+  b.Store(8, addr, b.Const(1));  // observable by the callee
+  Instruction* l1 = b.Load(8, flag);
+  b.Call(callee, {});
+  Instruction* l2 = b.Load(8, flag);  // callee may have written it
+  b.Store(8, addr, b.Const(2));  // ...so the first store is not dead
+  b.Ret(b.Add(l1, l2));
+  MemOpt(*f);
+  DeadCodeElim(*f);
+  EXPECT_EQ(CountOp(*f, Op::kLoad), 2u) << ir::Print(*f);
+  EXPECT_EQ(CountOp(*f, Op::kStore), 2u) << ir::Print(*f);
+}
+
+TEST(FenceMotion, LocalCseNeverMergesLoads) {
+  // CSE is for pure ops only; two syntactically identical loads are NOT the
+  // same value in a multithreaded guest (another thread can write between
+  // them), fences present or not. Redundant-load elimination belongs to
+  // MemOpt, which knows the barrier rules.
+  Module m;
+  Function* f = m.AddFunction("f", 0, true);
+  IRBuilder b(&m);
+  b.SetInsertBlock(f->AddBlock("entry"));
+  Value* addr = m.GetConstant(0x601000);
+  Instruction* l1 = b.Load(8, addr);
+  Instruction* l2 = b.Load(8, addr);
+  b.Ret(b.Add(l1, l2));
+  LocalCse(*f);
+  EXPECT_EQ(CountOp(*f, Op::kLoad), 2u) << ir::Print(*f);
+}
+
 TEST(DeadFlagElimPass, RemovesUnreadFlagStores) {
   Module m;
   Function* f = m.AddFunction("f", 0, true);

@@ -207,6 +207,87 @@ TEST(VerifierOperands, RejectsSelectWithTwoOperands) {
   EXPECT_TRUE(Rejects(*f, "expected 3"));
 }
 
+TEST(VerifierWitness, RejectsWitnessOnNonAccessOp) {
+  // A fence-elision witness is a claim about a plain guest load/store;
+  // stamping it on anything else (here an atomic, which orders itself) is
+  // metadata corruption.
+  Module m;
+  Function* f = m.AddFunction("f", 0, false);
+  BasicBlock* bb = f->AddBlock("entry");
+  IRBuilder b(&m);
+  b.SetInsertBlock(bb);
+  Instruction* rmw = b.AtomicRmw(RmwOp::kAdd, 8, b.Const(0x1000), b.Const(1));
+  rmw->fence_witness = FenceWitness::kStackLocal;
+  b.Ret();
+  EXPECT_TRUE(Rejects(*f, "fence witness on non-access op"));
+}
+
+TEST(VerifierWitness, RejectsStackLocalWitnessOnConstantAddress) {
+  // A literal-constant address is a global — it cannot derive from the
+  // emulated stack pointer, so the stamp is structurally impossible.
+  Module m;
+  Function* f = m.AddFunction("f", 0, false);
+  BasicBlock* bb = f->AddBlock("entry");
+  IRBuilder b(&m);
+  b.SetInsertBlock(bb);
+  Instruction* ld = b.Load(8, b.Const(0x4000));
+  ld->fence_witness = FenceWitness::kStackLocal;
+  b.Ret();
+  EXPECT_TRUE(Rejects(*f, "stack-local witness on constant address"));
+}
+
+TEST(VerifierWitness, RejectsHeapLocalWitnessWithNoDominatingCall) {
+  // kHeapLocal claims the address derives from an allocation made by this
+  // function; with no call dominating the access, no allocation site can
+  // possibly reach it.
+  Module m;
+  ir::Global* rax = m.AddGlobal("vr_rax", false, 0);
+  Function* f = m.AddFunction("f", 0, false);
+  BasicBlock* bb = f->AddBlock("entry");
+  IRBuilder b(&m);
+  b.SetInsertBlock(bb);
+  Instruction* p = b.GLoad(rax);
+  Instruction* st = b.Store(8, p, b.Const(1));
+  st->fence_witness = FenceWitness::kHeapLocal;
+  b.Ret();
+  EXPECT_TRUE(Rejects(*f, "no dominating call"));
+}
+
+TEST(VerifierWitness, AcceptsHeapLocalWitnessAfterCall) {
+  // The positive control: an ext_call earlier in the block justifies the
+  // stamp structurally (the TSO checker validates the actual provenance).
+  Module m;
+  ir::Global* rax = m.AddGlobal("vr_rax", false, 0);
+  Function* f = m.AddFunction("f", 0, false);
+  BasicBlock* bb = f->AddBlock("entry");
+  IRBuilder b(&m);
+  b.SetInsertBlock(bb);
+  b.CallIntrinsic("ext_call", {b.Const(0)});
+  Instruction* p = b.GLoad(rax);
+  Instruction* st = b.Store(8, p, b.Const(1));
+  st->fence_witness = FenceWitness::kHeapLocal;
+  b.Ret();
+  EXPECT_TRUE(Verify(*f).ok()) << Verify(*f).ToString();
+}
+
+TEST(VerifierWitness, AcceptsHeapLocalWitnessInDominatedBlock) {
+  Module m;
+  ir::Global* rax = m.AddGlobal("vr_rax", false, 0);
+  Function* f = m.AddFunction("f", 0, false);
+  BasicBlock* entry = f->AddBlock("entry");
+  BasicBlock* body = f->AddBlock("body");
+  IRBuilder b(&m);
+  b.SetInsertBlock(entry);
+  b.CallIntrinsic("ext_call", {b.Const(0)});
+  Instruction* p = b.GLoad(rax);
+  b.Br(body);
+  b.SetInsertBlock(body);
+  Instruction* st = b.Store(8, p, b.Const(1));
+  st->fence_witness = FenceWitness::kHeapLocal;
+  b.Ret();
+  EXPECT_TRUE(Verify(*f).ok()) << Verify(*f).ToString();
+}
+
 TEST(VerifierDefUse, UnreachableBlocksAreExemptFromDominance) {
   // Passes may orphan blocks that DCE later removes; a dangling use inside
   // one must not fail verification.
