@@ -44,9 +44,20 @@ std::string ExtName(const Instruction& call,
   return externals[static_cast<size_t>(slot)];
 }
 
+// True when `inst` is a call that writes the virtual GPR globals — a guest
+// call or an engine dispatch (ext_call/cfmiss/trap). Mirrors
+// check::RegionDeriver::ApplyCallClobbers; engine intrinsics like parity or
+// pause never touch the GPRs.
+bool CallClobbersGprs(const Instruction& inst) {
+  return inst.op() == Op::kCall &&
+         (inst.callee != nullptr || inst.intrinsic == "ext_call" ||
+          inst.intrinsic == "cfmiss" || inst.intrinsic == "trap");
+}
+
 // Last value stored to virtual register `g` before `call` within its block.
-// Returns false when no store is found or the reaching store is non-constant
-// — callers must then degrade conservatively.
+// Returns false when no store is found, the reaching store is non-constant,
+// or a call clobbers the (caller-saved) register after the store — callers
+// must then degrade conservatively.
 bool ResolveRegBefore(const Instruction& call, const Global* g,
                       uint64_t& value) {
   if (g == nullptr || call.parent() == nullptr) {
@@ -65,6 +76,11 @@ bool ResolveRegBefore(const Instruction& call, const Global* g,
       } else {
         found = false;
       }
+    } else if (CallClobbersGprs(*inst)) {
+      // The argument registers this resolver is used for are all
+      // caller-saved: a constant stored before an intervening call is stale
+      // by the time `call` executes.
+      found = false;
     }
   }
   return found;
@@ -155,8 +171,14 @@ LockFacts ComputeLocksets(const std::vector<Root>& roots,
   for (const Root& r : roots) {
     IntersectInto(entry[r.entry], {});
   }
-  for (int round = 0; round < 20; ++round) {
-    bool changed = false;
+  // Iterate to convergence: the entry-lockset lattice is finite (one set of
+  // observed constant mutex addresses per function) and IntersectInto only
+  // ever shrinks it, so this terminates. A fixed round cap would be unsound
+  // — stopping early leaves entry locksets larger than the true fixpoint,
+  // fabricating protection that suppresses real races.
+  bool changed = true;
+  while (changed) {
+    changed = false;
     for (auto& [fn, in] : entry) {
       if (!in.has_value()) {
         continue;
@@ -234,9 +256,6 @@ LockFacts ComputeLocksets(const std::vector<Root>& roots,
         }
       }
     }
-    if (!changed) {
-      break;
-    }
   }
   return facts;
 }
@@ -248,8 +267,52 @@ struct SpawnFacts {
   std::set<const Function*> windowed;
 };
 
+// Functions whose execution may leave new threads running when they return:
+// they call pthread_create themselves, make an indirect call (cfmiss) that
+// could reach one, or directly call such a function. gomp_parallel is
+// excluded — it joins its children before returning, so no spawn outlives
+// the call. Main's outstanding-spawn dataflow pins the counter at the cap
+// across calls into this set: the helper may have started any number of
+// threads that main never sees a pthread_create for.
+std::set<const Function*> MaySpawnFunctions(
+    const lift::LiftedProgram& program,
+    const std::vector<std::string>& externals) {
+  std::set<const Function*> out;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [addr, fn] : program.functions_by_entry) {
+      (void)addr;
+      if (out.count(fn) != 0) {
+        continue;
+      }
+      bool spawns = false;
+      for (const auto& b : fn->blocks()) {
+        for (const auto& inst : b->insts()) {
+          if (spawns || inst->op() != Op::kCall) {
+            continue;
+          }
+          if (inst->callee != nullptr) {
+            spawns = out.count(inst->callee) != 0;
+          } else if (inst->intrinsic == "cfmiss") {
+            spawns = true;  // unknown callee: may reach a spawn
+          } else {
+            spawns = ExtName(*inst, externals) == "pthread_create";
+          }
+        }
+      }
+      if (spawns) {
+        out.insert(fn);
+        changed = true;
+      }
+    }
+  }
+  return out;
+}
+
 SpawnFacts ComputeSpawnWindow(const Function* main,
-                              const std::vector<std::string>& externals) {
+                              const std::vector<std::string>& externals,
+                              const std::set<const Function*>& may_spawn) {
   SpawnFacts facts;
   std::map<const BasicBlock*, int> block_in;
   block_in[main->entry()] = 0;
@@ -295,8 +358,19 @@ SpawnFacts ComputeSpawnWindow(const Function* main,
             cur = std::min(cur + 1, kSpawnCap);
           } else if (name == "pthread_join") {
             cur = std::max(cur - 1, 0);
-          } else if (inst->callee != nullptr && cur > 0) {
-            window_seeds.insert(inst->callee);
+          } else if (inst->callee != nullptr) {
+            // A helper that can reach a spawn returns with an unknown number
+            // of children outstanding: saturate the counter so nothing after
+            // the call is treated as quiescent, and window the helper itself
+            // (its post-spawn code runs concurrently with the children).
+            if (may_spawn.count(inst->callee) != 0) {
+              cur = kSpawnCap;
+            }
+            if (cur > 0) {
+              window_seeds.insert(inst->callee);
+            }
+          } else if (inst->intrinsic == "cfmiss") {
+            cur = kSpawnCap;  // unknown callee: may spawn
           }
           // gomp_parallel joins its children internally: no change.
         }
@@ -488,7 +562,8 @@ RaceReport DetectRaces(
   // --- sync facts ---
   const Global* rdi = program.module->GetGlobal("vr_rdi");
   LockFacts locks = ComputeLocksets(roots, externals, rdi);
-  SpawnFacts spawn = ComputeSpawnWindow(main_fn, externals);
+  SpawnFacts spawn = ComputeSpawnWindow(
+      main_fn, externals, MaySpawnFunctions(program, externals));
 
   // --- candidates ---
   std::vector<Cand> cands;

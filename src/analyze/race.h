@@ -13,8 +13,11 @@
 // point where the outstanding-spawn dataflow (pthread_create increments,
 // pthread_join decrements, merges take the maximum, saturating at 8) proves
 // no child is alive — the join-quiescence rule that lets a spawn/join/verify
-// program stay race-free. gomp_parallel joins its children internally and
-// leaves the counter untouched.
+// program stay race-free. The dataflow is interprocedurally conservative: a
+// direct call into any function that can reach a pthread_create (or makes
+// an indirect call, which could) pins the counter at the cap, since the
+// helper may return with children still running. gomp_parallel joins its
+// children internally and leaves the counter untouched.
 //
 // A candidate pair races when: both accesses are classified potentially
 // shared by escape analysis, their contexts are concurrent, at least one is
@@ -27,7 +30,8 @@
 // Unresolvable facts degrade conservatively toward reporting: an unknown
 // spawn entry makes every external-entry function a multi-instance root, an
 // indirect call (cfmiss) widens reachability to the whole program, an
-// unknown mutex release clears the lockset.
+// unknown mutex release clears the lockset, and a register constant is
+// stale (unresolved) once any intervening call clobbers it.
 #ifndef POLYNIMA_ANALYZE_RACE_H_
 #define POLYNIMA_ANALYZE_RACE_H_
 

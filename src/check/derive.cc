@@ -32,6 +32,12 @@ bool Provenance::Join(const Provenance& o) {
   bool changed = false;
   if (o.stack && !stack) {
     stack = true;
+    delta_known = o.delta_known;
+    delta = o.delta;
+    changed = true;
+  } else if (o.stack && stack && delta_known &&
+             (!o.delta_known || o.delta != delta)) {
+    delta_known = false;  // two distinct slots: "some stack address"
     changed = true;
   }
   if (o.other && !other) {
@@ -94,8 +100,14 @@ Provenance RegionDeriver::Eval(const Value* v) const { return ValueOf(v); }
 // provenance.
 static Provenance DefaultGlobal(const Function& f, const Global* g) {
   Provenance p;
-  if (g->name() == "vr_rsp" || (g->name() == "vr_rbp" && f.frame_pointer)) {
+  if (g->name() == "vr_rsp") {
     p.stack = true;
+    // An unwritten vr_rsp is still the function-entry stack pointer: the
+    // origin all slot deltas are measured from.
+    p.delta_known = true;
+    p.delta = 0;
+  } else if (g->name() == "vr_rbp" && f.frame_pointer) {
+    p.stack = true;  // established by the prologue; entry offset unknown
   } else {
     p.other = true;
   }
@@ -187,15 +199,31 @@ bool RegionDeriver::Transfer(const BasicBlock& b, GlobalState state) {
         auto is_offset = [](const Provenance& p) {
           return !p.stack && p.allocs.empty();
         };
+        // Keeps a resolved slot delta current across base±offset: a literal
+        // constant shifts it, any symbolic offset makes the slot unknown.
+        auto shift_delta = [&](Provenance& p, const Value* off, bool add) {
+          if (!p.stack || !p.delta_known) {
+            return;
+          }
+          if (off->is_const()) {
+            int64_t c = static_cast<const ir::Constant*>(off)->value();
+            p.delta += add ? c : -c;
+          } else {
+            p.delta_known = false;
+          }
+        };
         Provenance p;
         if ((lhs.PureStack() || lhs.PureHeap()) && is_offset(rhs)) {
           p = lhs;
+          shift_delta(p, inst->operand(1), inst->op() == Op::kAdd);
         } else if (inst->op() == Op::kAdd &&
                    (rhs.PureStack() || rhs.PureHeap()) && is_offset(lhs)) {
           p = rhs;  // index + base, commuted
+          shift_delta(p, inst->operand(0), /*add=*/true);
         } else {
           p = lhs;
           p.Join(rhs);
+          p.delta_known = false;  // mixed bases never name one slot
         }
         set_value(inst.get(), p);
         break;
@@ -214,17 +242,63 @@ bool RegionDeriver::Transfer(const BasicBlock& b, GlobalState state) {
         set_value(inst.get(), p);
         break;
       }
-      case Op::kLoad: {
-        // A reload may materialize a spilled pointer of any provenance.
-        Provenance p;
-        p.other = true;
-        set_value(inst.get(), p);
+      case Op::kStore: {
+        // Values saved to provably-private memory are NOT escaped at the
+        // store (spill slots and private heap objects are the two escape
+        // exemptions in ComputeEscapeFacts), so reloads must be able to
+        // re-materialize their provenance — otherwise a pointer laundered
+        // through a spill slot would reach an escape sink as a bare `other`
+        // and slip past every escape rule. Accumulate them into the memory
+        // residue that kLoad folds back in, per slot when resolved.
+        Provenance dst = Eval(inst->operand(0));
+        Provenance val = Eval(inst->operand(1));
+        if (!val.Bottom()) {
+          if (dst.PureStack()) {
+            Provenance& r = dst.delta_known ? slot_residue_[dst.delta]
+                                            : stack_unknown_residue_;
+            changed = r.Join(val) || changed;
+          } else if (dst.PureHeap()) {
+            changed = heap_residue_.Join(val) || changed;
+          }
+          // Any other destination: the sink walk escapes `val` at this
+          // store, so the plain `other` a reload gets already covers it.
+        }
         break;
       }
+      case Op::kLoad:
       case Op::kAtomicRmw:
       case Op::kCmpXchg: {
+        // A reload materializes caller state (`other`, which also covers
+        // everything escaped at its own store) plus anything this function
+        // parked in private memory the address may alias: the matching
+        // stack slot (every slot when the offset is unresolved) and, for
+        // site-derived addresses, the private-heap residue. A pure
+        // `other`/constant address cannot name a still-private location —
+        // publishing a frame or heap pointer to reachable-from-elsewhere
+        // memory already escaped it (and the guest memory layout keeps
+        // constant data apart from stack and heap, the same assumption
+        // analyze::MayAlias makes).
         Provenance p;
         p.other = true;
+        Provenance addr = Eval(inst->operand(0));
+        if (addr.stack) {
+          if (addr.PureStack() && addr.delta_known) {
+            auto it = slot_residue_.find(addr.delta);
+            if (it != slot_residue_.end()) {
+              p.Join(it->second);
+            }
+          } else {
+            for (const auto& [delta, r] : slot_residue_) {
+              (void)delta;
+              p.Join(r);
+            }
+          }
+          p.Join(stack_unknown_residue_);
+        }
+        if (!addr.allocs.empty()) {
+          p.Join(heap_residue_);
+        }
+        p.delta_known = false;
         set_value(inst.get(), p);
         break;
       }

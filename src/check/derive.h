@@ -24,10 +24,17 @@
 // guest program itself.
 //
 // Deliberately lossy (documented over-approximations, DESIGN.md §4e):
-//   - kLoad results are `other` even when the address is stack-derived: a
-//     reload may materialize a spilled pointer of any provenance. Spilled
-//     heap pointers therefore lose their allocation site (the optimizer's
-//     store-to-load forwarding recovers the hot cases).
+//   - kLoad results are at least `other`: a reload may materialize caller
+//     state of any provenance. On top of that every load carries the *memory
+//     residue* — the join of all provenances stored to provably-private
+//     memory (pure-stack spill slots, private heap objects) anywhere in the
+//     function. Values stored to any other destination were already escaped
+//     at the store, so `other` covers them; the residue keeps a pointer
+//     laundered through a spill slot attached to its allocation sites, so
+//     the escape sinks still see it when the reload is published. Stack
+//     residue is per-slot (keyed by the resolved entry-rsp delta) so that
+//     the return-PC load and pops do not inherit every spill; a load whose
+//     address has unresolved stack provenance joins every slot.
 //   - only add/sub/phi/select/global-load propagate; masked or multiplied
 //     pointers degrade to `other`.
 // Both directions only ever widen provenance toward `other`, which consumers
@@ -49,6 +56,13 @@ namespace polynima::check {
 struct Provenance {
   bool stack = false;
   bool other = false;
+  // When `stack` is set and `delta_known`, the value is exactly
+  // entry-rsp + delta — a resolved frame slot. Joining two different deltas
+  // (or any unknown-offset contribution) widens to "some stack address"
+  // (delta_known = false). The deriver keys its spill residue on this, so a
+  // reload only inherits what was stored at its own slot.
+  bool delta_known = false;
+  int64_t delta = 0;
   std::set<const ir::Instruction*> allocs;  // allocation ext_call instructions
 
   bool Bottom() const { return !stack && !other && allocs.empty(); }
@@ -107,6 +121,15 @@ class RegionDeriver {
   std::map<const ir::BasicBlock*, GlobalState> block_in_;
   std::map<const ir::Instruction*, Provenance> values_;
   std::vector<const ir::Instruction*> alloc_sites_;
+  // Memory residue: join of every provenance stored to a pure-stack spill
+  // slot / a private heap object. Folded into load results so a pointer
+  // round-tripped through private memory keeps its sites (see file header).
+  // Stack-side residue is keyed by the slot's entry-rsp delta when resolved;
+  // stores to unresolved stack offsets land in the catch-all, which every
+  // stack reload must include.
+  std::map<int64_t, Provenance> slot_residue_;
+  Provenance stack_unknown_residue_;
+  Provenance heap_residue_;
   Provenance bottom_;
 };
 

@@ -187,6 +187,36 @@ int main() {
 }
 )";
 
+// The spawn is hidden in a helper: main never calls pthread_create
+// directly, so a main-body-only spawn-window walk would see outstanding==0
+// at the read of `flag` and wrongly mark it quiescent. The interprocedural
+// may-spawn rule pins main's counter at the call to spawn_one(), keeping the
+// main-vs-worker pair reported (outcome is 0 or 7 depending on schedule).
+const char* kRacyHelperSpawn = R"(
+extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+extern int pthread_join(long tid, long* ret);
+extern void print_i64(long v);
+
+long flag = 0;
+long tid_slot = 0;
+
+long worker(long arg) {
+  flag = arg;              // racy with main's pre-join read
+  return 0;
+}
+
+void spawn_one() {
+  pthread_create(&tid_slot, 0, worker, 7);
+}
+
+int main() {
+  spawn_one();
+  print_i64(flag);         // child may or may not have written yet
+  pthread_join(tid_slot, 0);
+  return 0;
+}
+)";
+
 }  // namespace
 
 const std::vector<Workload>& RaceBench() {
@@ -204,6 +234,7 @@ const std::vector<Workload>& RaceBench() {
     };
     add("racy_counter", kRacyCounter);
     add("racy_lastwrite", kRacyLastWrite);
+    add("racy_helper_spawn", kRacyHelperSpawn);
     add("safe_mutex", kSafeMutex);
     add("safe_atomic", kSafeAtomic);
     add("safe_join", kSafeJoin);

@@ -283,6 +283,84 @@ TEST(Escape, AtomicOperandEscapes) {
   EXPECT_TRUE(a.is_write);
 }
 
+TEST(Escape, SpilledThenReloadedPointerEscapesAtCall) {
+  // The memory-laundering hole: a malloc'd pointer spilled to a stack slot
+  // and reloaded is still the same pointer. If the reload dropped the
+  // allocation site, publishing it (argument register at a call) would be a
+  // no-op for escape and the site would be certified private — unsound fence
+  // elision on genuinely shared memory. The per-slot stack residue keeps the
+  // site attached through the round-trip.
+  TestModule t;
+  Function* callee = t.m.AddFunction("callee", 0, false);
+  {
+    IRBuilder cb(&t.m);
+    cb.SetInsertBlock(callee->AddBlock("entry"));
+    cb.Ret();
+  }
+  t.b.CallIntrinsic("ext_call", {t.b.Const(0)});
+  Instruction* p = t.b.GLoad(t.rax);
+  Instruction* slot = t.b.Sub(t.b.GLoad(t.rsp), t.b.Const(8));
+  t.b.Store(8, slot, p);                  // spill: not yet an escape
+  Instruction* reload = t.b.Load(8, slot);
+  t.b.GStore(t.rdi, reload);              // publish the laundered copy
+  t.b.Call(callee, {});
+  Instruction* use = t.b.Store(8, p, t.b.Const(1));
+  t.b.GStore(t.rax, t.b.Const(0));  // don't return the pointer
+  t.b.Ret();
+  EscapeResult r = t.Analyze();
+  ASSERT_EQ(r.sites.size(), 1u);
+  EXPECT_TRUE(r.sites[0].escaped);
+  EXPECT_EQ(AccessOf(r, use).region, Region::kShared);
+  EXPECT_EQ(r.heap_local, 0);
+}
+
+TEST(Escape, SpilledAndReloadedLocallyStaysPrivate) {
+  // Precision guard for the laundering fix: a spill/reload that never feeds
+  // an escape sink must not cost the site its privacy — otherwise every
+  // register-pressure spill would defeat heap-local classification.
+  TestModule t;
+  t.b.CallIntrinsic("ext_call", {t.b.Const(0)});
+  Instruction* p = t.b.GLoad(t.rax);
+  Instruction* slot = t.b.Sub(t.b.GLoad(t.rsp), t.b.Const(8));
+  t.b.Store(8, slot, p);
+  Instruction* reload = t.b.Load(8, slot);
+  t.b.Load(8, reload);  // dereference only: not a sink
+  Instruction* init = t.b.Store(8, p, t.b.Const(7));
+  t.b.GStore(t.rax, t.b.Const(0));
+  t.b.Ret();
+  EscapeResult r = t.Analyze();
+  ASSERT_EQ(r.sites.size(), 1u);
+  EXPECT_FALSE(r.sites[0].escaped);
+  EXPECT_EQ(AccessOf(r, init).region, Region::kHeapLocal);
+}
+
+TEST(Escape, ReloadFromHeapObjectCarriesHeldSites) {
+  // Laundering through a private heap object instead of the stack: storing p
+  // into q and reloading it from q must keep p's site on the reload, so
+  // publishing the reload escapes p (while q itself stays private).
+  TestModule t;
+  Function* callee = t.m.AddFunction("callee", 0, false);
+  {
+    IRBuilder cb(&t.m);
+    cb.SetInsertBlock(callee->AddBlock("entry"));
+    cb.Ret();
+  }
+  t.b.CallIntrinsic("ext_call", {t.b.Const(0)});
+  Instruction* p = t.b.GLoad(t.rax);
+  t.b.CallIntrinsic("ext_call", {t.b.Const(0)});
+  Instruction* q = t.b.GLoad(t.rax);
+  t.b.Store(8, q, p);                     // p held by private q
+  Instruction* reload = t.b.Load(8, q);
+  t.b.GStore(t.rdi, reload);              // publish the laundered copy
+  t.b.Call(callee, {});
+  t.b.GStore(t.rax, t.b.Const(0));
+  t.b.Ret();
+  EscapeResult r = t.Analyze();
+  ASSERT_EQ(r.sites.size(), 2u);
+  EXPECT_TRUE(r.sites[0].escaped);   // p: published via the reload
+  EXPECT_FALSE(r.sites[1].escaped);  // q: never leaves the frame
+}
+
 // --- Race detection on the racebench workloads ---------------------------
 
 struct Built {
@@ -323,7 +401,10 @@ const Built& CachedBuild(const std::string& name, bool analyze = false) {
 }
 
 TEST(Race, RacyWorkloadsReportPairs) {
-  for (const char* name : {"racy_counter", "racy_lastwrite"}) {
+  // racy_helper_spawn hides its pthread_create inside a helper function —
+  // it is racy only because the spawn-window dataflow is interprocedural.
+  for (const char* name :
+       {"racy_counter", "racy_lastwrite", "racy_helper_spawn"}) {
     SCOPED_TRACE(name);
     const AnalysisResult& a = CachedBuild(name).analysis;
     EXPECT_TRUE(a.races.Racy());
@@ -360,6 +441,70 @@ TEST(Race, SafeHeapProvesItsBufferPrivate) {
   EXPECT_GE(a.alloc_sites, 1);
   EXPECT_EQ(a.escaped_sites, 0);
   EXPECT_GE(a.heap_local, 1);
+}
+
+// Hand-built two-thread program for the lockset resolver: main spawns two
+// instances of `worker`; worker stores a mutex address in vr_rdi, optionally
+// makes an intervening external call (which clobbers the caller-saved
+// argument registers), locks, writes a shared global, and unlocks.
+lift::LiftedProgram BuildLockProgram(bool clobber_between) {
+  lift::LiftedProgram program;
+  program.module = std::make_shared<ir::Module>();
+  ir::Module& m = *program.module;
+  ir::Global* rdi = m.AddGlobal("vr_rdi", false, 0);
+  ir::Global* rdx = m.AddGlobal("vr_rdx", false, 0);
+  program.externals = {"pthread_create", "pthread_mutex_lock",
+                       "pthread_mutex_unlock", "print_i64"};
+
+  Function* worker = m.AddFunction("worker", 0, false);
+  {
+    IRBuilder b(&m);
+    b.SetInsertBlock(worker->AddBlock("entry"));
+    b.GStore(rdi, b.Const(0x9000));  // &mtx
+    if (clobber_between) {
+      b.CallIntrinsic("ext_call", {b.Const(3)});  // print_i64: clobbers rdi
+    }
+    b.CallIntrinsic("ext_call", {b.Const(1)});  // pthread_mutex_lock
+    b.Store(8, b.Const(0x8000), b.Const(1));    // shared write
+    b.GStore(rdi, b.Const(0x9000));
+    b.CallIntrinsic("ext_call", {b.Const(2)});  // pthread_mutex_unlock
+    b.Ret();
+  }
+
+  Function* main_fn = m.AddFunction("main", 0, false);
+  {
+    IRBuilder b(&m);
+    b.SetInsertBlock(main_fn->AddBlock("entry"));
+    for (int i = 0; i < 2; ++i) {
+      b.GStore(rdx, b.Const(0x2000));  // worker entry (arg 2)
+      b.CallIntrinsic("ext_call", {b.Const(0)});  // pthread_create
+    }
+    b.Ret();
+  }
+
+  program.functions_by_entry = {{0x1000, main_fn}, {0x2000, worker}};
+  program.entry = 0x1000;
+  return program;
+}
+
+TEST(Race, CallClobberInvalidatesLockRegister) {
+  // The mutex-address constant is stale after an intervening call: vr_rdi is
+  // caller-saved, so print_i64 may have overwritten it and the lock operand
+  // is unknown. Resolving it anyway would fabricate lockset protection and
+  // suppress the worker-vs-worker self-race on 0x8000.
+  lift::LiftedProgram program = BuildLockProgram(/*clobber_between=*/true);
+  AnalysisResult a = AnalyzeProgram(program);
+  EXPECT_TRUE(a.races.Racy());
+}
+
+TEST(Race, ResolvedLockSuppressesSelfRace) {
+  // Converse guard: with no intervening clobber the constant resolves, both
+  // instances provably hold {0x9000} at the write, and no pair is reported.
+  lift::LiftedProgram program = BuildLockProgram(/*clobber_between=*/false);
+  AnalysisResult a = AnalyzeProgram(program);
+  EXPECT_FALSE(a.races.Racy())
+      << a.races.pairs.front().a.function << " ("
+      << a.races.pairs.front().reason << ")";
 }
 
 TEST(Race, AnalysisJsonValidates) {
@@ -500,8 +645,9 @@ TEST(CrossValidation, DynamicRacesAreStaticallyReported) {
   // racy workloads double as non-vacuousness controls — exploration (seeded
   // with the detector's own preemption hints) must actually exhibit their
   // races.
-  for (const char* name : {"racy_counter", "racy_lastwrite", "safe_mutex",
-                           "safe_atomic", "safe_join", "safe_heap"}) {
+  for (const char* name :
+       {"racy_counter", "racy_lastwrite", "racy_helper_spawn", "safe_mutex",
+        "safe_atomic", "safe_join", "safe_heap"}) {
     SCOPED_TRACE(name);
     const Built& built = CachedBuild(name);
     // Warm the CFG under the default schedule so exploration never trips
