@@ -128,6 +128,62 @@ void BM_EngineExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineExecution);
 
+// Same workload with a metrics sink attached: the delta against
+// BM_EngineExecution is the residual cost of per-instruction metering now
+// that the null-sink checks are hoisted out of the dispatch loop (the
+// no-sink case runs a template specialization with obs checks compiled out).
+void BM_EngineExecutionMetered(benchmark::State& state) {
+  const binary::Image& image = TestImage();
+  const workloads::Workload* w = workloads::FindWorkload("bzip2_like");
+  auto inputs = w->make_inputs(0);
+  auto graph = cfg::RecoverStatic(image);
+  POLY_CHECK(graph.ok());
+  auto program = lift::Lift(image, *graph, {});
+  POLY_CHECK(program.ok());
+  POLY_CHECK(opt::RunPipeline(*program->module).ok());
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    vm::ExternalLibrary library;
+    obs::MetricsRegistry metrics;
+    exec::ExecOptions options;
+    options.obs.metrics = &metrics;
+    exec::Engine engine(*program, image, &library, options);
+    engine.SetInputs(inputs);
+    exec::ExecResult r = engine.Run();
+    POLY_CHECK(r.ok);
+    steps += r.steps;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_EngineExecutionMetered);
+
+// Tier-1 (direct-threaded superinstruction) execution of the same workload;
+// bench_exec_tiered holds the dedicated tier comparison, this row just keeps
+// the pipeline microbench table self-contained.
+void BM_EngineExecutionTier1(benchmark::State& state) {
+  const binary::Image& image = TestImage();
+  const workloads::Workload* w = workloads::FindWorkload("bzip2_like");
+  auto inputs = w->make_inputs(0);
+  auto graph = cfg::RecoverStatic(image);
+  POLY_CHECK(graph.ok());
+  auto program = lift::Lift(image, *graph, {});
+  POLY_CHECK(program.ok());
+  POLY_CHECK(opt::RunPipeline(*program->module).ok());
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    vm::ExternalLibrary library;
+    exec::ExecOptions options;
+    options.tier = 1;
+    exec::Engine engine(*program, image, &library, options);
+    engine.SetInputs(inputs);
+    exec::ExecResult r = engine.Run();
+    POLY_CHECK(r.ok);
+    steps += r.steps;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_EngineExecutionTier1);
+
 // Adapter feeding every google-benchmark run into the shared BENCH_*.json
 // writer while keeping the stock console table. Aggregate rows (mean/stddev
 // from --benchmark_repetitions) are skipped — the summary block already

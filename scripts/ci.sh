@@ -42,6 +42,9 @@ ctest --preset obs -j "$jobs"
 step "ctest: analyze (static concurrency analyzer suite)"
 ctest --preset analyze -j "$jobs"
 
+step "ctest: exec (tiered execution backend suite)"
+ctest --preset exec -j "$jobs"
+
 step "obs: traced+metered recompile, schema-validated"
 # A real CLI run with every sink attached, then the structural validator over
 # each artifact — CI fails on malformed OR empty observability output.
@@ -106,6 +109,17 @@ grep -q "^RACE" "$obsdir/clean.txt" && {
 "$polynima" recompile "$obsdir/racy.plyb" --analyze --check-tso \
   --report-out "$obsdir/analyze-run.json"
 "$polynima" report --validate "$obsdir/analyze-run.json"
+
+step "exec: tier-1 CLI run matches tier 0, schema-validated"
+# The same multithreaded binary through both execution tiers — the printed
+# final counter must agree, and the tier-1 run report must validate.
+"$polynima" run "$obsdir/counter.plyb" -p "$obsdir/proj" --tier 0 \
+  | tee "$obsdir/tier0.txt"
+"$polynima" run "$obsdir/counter.plyb" -p "$obsdir/proj" --tier 1 \
+  --report-out "$obsdir/tier1-run.json" | tee "$obsdir/tier1.txt"
+diff "$obsdir/tier0.txt" "$obsdir/tier1.txt" || {
+  echo "FAIL: tier-1 output diverged from tier 0" >&2; exit 1; }
+"$polynima" report --validate "$obsdir/tier1-run.json"
 
 step "configure+build: asan-ubsan"
 cmake --preset asan-ubsan

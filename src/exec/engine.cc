@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "src/exec/exec_util.h"
+#include "src/exec/interp.h"
+#include "src/exec/tier1.h"
 #include "src/support/strings.h"
 #include "src/x86/registers.h"
 
@@ -17,68 +20,67 @@ using ir::Function;
 using ir::Global;
 using ir::Instruction;
 using ir::Op;
-using ir::Pred;
-using ir::RmwOp;
 using ir::Value;
 
 namespace {
 
 constexpr uint64_t kThreadStackSize = 1 << 20;
 
-uint64_t MaskBytes(uint64_t v, int size) {
-  if (size >= 8) {
-    return v;
+// Candidates: add/sub/shl-by-small-constant. Iteratively remove any whose
+// user is not a memory-address position or another surviving candidate.
+void ComputeFold(FuncInfo* info) {
+  std::set<const Instruction*>& fold = info->fold;
+  for (const auto& block : info->fn->blocks()) {
+    for (const auto& inst : block->insts()) {
+      if (inst->users().empty()) {
+        continue;
+      }
+      switch (inst->op()) {
+        case Op::kAdd:
+        case Op::kSub:
+          fold.insert(inst.get());
+          break;
+        case Op::kShl:
+          if (inst->operand(1)->is_const() &&
+              static_cast<const ir::Constant*>(inst->operand(1))->value() <=
+                  3) {
+            fold.insert(inst.get());
+          }
+          break;
+        default:
+          break;
+      }
+    }
   }
-  return v & ((uint64_t{1} << (size * 8)) - 1);
-}
-
-uint64_t EvalPred(Pred pred, uint64_t a, uint64_t b) {
-  int64_t sa = static_cast<int64_t>(a);
-  int64_t sb = static_cast<int64_t>(b);
-  switch (pred) {
-    case Pred::kEq:
-      return a == b;
-    case Pred::kNe:
-      return a != b;
-    case Pred::kSlt:
-      return sa < sb;
-    case Pred::kSle:
-      return sa <= sb;
-    case Pred::kSgt:
-      return sa > sb;
-    case Pred::kSge:
-      return sa >= sb;
-    case Pred::kUlt:
-      return a < b;
-    case Pred::kUle:
-      return a <= b;
-    case Pred::kUgt:
-      return a > b;
-    case Pred::kUge:
-      return a >= b;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = fold.begin(); it != fold.end();) {
+      bool ok = true;
+      for (const Instruction* user : (*it)->users()) {
+        bool address_use =
+            (user->op() == Op::kLoad && user->operand(0) == *it) ||
+            (user->op() == Op::kStore && user->operand(0) == *it) ||
+            fold.count(user) != 0;
+        if (!address_use) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) {
+        it = fold.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
   }
-  return 0;
-}
-
-uint64_t PackedLanes32(uint64_t a, uint64_t b, char op) {
-  uint32_t a0 = static_cast<uint32_t>(a), a1 = static_cast<uint32_t>(a >> 32);
-  uint32_t b0 = static_cast<uint32_t>(b), b1 = static_cast<uint32_t>(b >> 32);
-  uint32_t r0, r1;
-  switch (op) {
-    case '+':
-      r0 = a0 + b0;
-      r1 = a1 + b1;
-      break;
-    case '-':
-      r0 = a0 - b0;
-      r1 = a1 - b1;
-      break;
-    default:
-      r0 = a0 * b0;
-      r1 = a1 * b1;
-      break;
+  // Dense by-id mirror for the per-instruction hot path. Fold members are
+  // all value-producing, so their ids are in [0, num_slots).
+  info->fold_by_id.assign(static_cast<size_t>(info->num_slots), 0);
+  for (const Instruction* inst : fold) {
+    info->fold_by_id[static_cast<size_t>(inst->id)] = 1;
   }
-  return static_cast<uint64_t>(r0) | (static_cast<uint64_t>(r1) << 32);
 }
 
 }  // namespace
@@ -92,6 +94,10 @@ Engine::Engine(const lift::LiftedProgram& program, const binary::Image& image,
       rng_(options.seed) {
   for (const binary::Segment& seg : image_.segments) {
     memory_.MapSegment(seg.address, seg.bytes, /*writable=*/!seg.executable);
+    if (seg.executable) {
+      // Feeds the tier-1 self-modifying-code store guard.
+      memory_.MarkExecutable(seg.address, seg.address + seg.bytes.size());
+    }
   }
   memory_.AllowRegion(binary::kHeapBase, binary::kHeapLimit, true);
   memory_.AllowRegion(binary::kStackRegionBase, binary::kStackRegionLimit,
@@ -107,6 +113,39 @@ Engine::Engine(const lift::LiftedProgram& program, const binary::Image& image,
     vr_slot_[i] = g->slot();
     vr_tls_ = g->is_thread_local();
   }
+
+  // Per-function facts, resolved once: the dispatch/call hot paths index
+  // these tables instead of renumbering and re-resolving maps per call.
+  for (const auto& fn : program_.module->functions()) {
+    auto info = std::make_unique<FuncInfo>();
+    info->fn = fn.get();
+    info->num_slots = fn->Renumber();
+    ComputeFold(info.get());
+    by_fn_[fn.get()] = info.get();
+    func_infos_.push_back(std::move(info));
+  }
+  for (const auto& [pc, fn] : program_.functions_by_entry) {
+    entry_table_[pc] = by_fn_.at(fn);
+  }
+
+  interp_ = std::make_unique<InterpreterBackend>(*this);
+  tier1_ = std::make_unique<Tier1Backend>(*this);
+  // record_accesses keys its output by IR instruction identity, and
+  // schedule_skew draws scheduler perturbation from the shared rng stream
+  // mid-run — both force pure tier-0 execution.
+  tier1_enabled_ = options_.tier >= 1 && !options_.record_accesses &&
+                   options_.schedule_skew == 0;
+  tier_threshold_ = options_.tier_threshold;
+  obs_attached_ =
+      options_.obs.metrics != nullptr || options_.obs.profile != nullptr;
+}
+
+Engine::~Engine() = default;
+
+FuncInfo* Engine::InfoFor(const Function* fn) const {
+  auto it = by_fn_.find(fn);
+  POLY_CHECK(it != by_fn_.end()) << "unregistered function @" << fn->name();
+  return it->second;
 }
 
 uint64_t& Engine::GlobalSlot(Thread& t, const Global* g) {
@@ -116,12 +155,17 @@ uint64_t& Engine::GlobalSlot(Thread& t, const Global* g) {
   return shared_globals_[static_cast<size_t>(g->slot())];
 }
 
-Engine::Thread& Engine::CreateThread(uint64_t entry_pc, uint64_t arg0,
-                                     uint64_t arg1, uint64_t exit_magic) {
+Thread& Engine::CreateThread(uint64_t entry_pc, uint64_t arg0, uint64_t arg1,
+                             uint64_t exit_magic) {
   auto thread = std::make_unique<Thread>();
   thread->id = static_cast<int>(threads_.size());
   thread->tls.assign(
       static_cast<size_t>(program_.module->num_global_slots()), 0);
+  // Per-thread jitter stream (see backend.h): a deterministic function of
+  // (run seed, thread id), identical across execution tiers.
+  thread->jitter_rng = Rng(
+      options_.seed ^
+      (0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(thread->id) + 1)));
   uint64_t low = binary::kStackRegionBase +
                  static_cast<uint64_t>(thread->id) * kThreadStackSize;
   POLY_CHECK_LT(low + kThreadStackSize, binary::kStackRegionLimit);
@@ -174,11 +218,11 @@ void Engine::RecordAccess(const Instruction* inst, Thread& t, uint64_t addr) {
   }
 }
 
-uint32_t Engine::ProfileSite(const Frame& f, const BasicBlock* block) {
+uint32_t Engine::ProfileSite(const Function* fn, const BasicBlock* block) {
   auto it = profile_sites_.find(block);
   if (it == profile_sites_.end()) {
     uint32_t site = options_.obs.profile->RegisterSite(
-        f.fn->name(), block->name(), block->guest_address);
+        fn->name(), block->name(), block->guest_address);
     it = profile_sites_.emplace(block, site).first;
   }
   return it->second;
@@ -198,75 +242,49 @@ uint64_t Engine::Eval(const Frame& f, const Value* v) const {
   }
 }
 
-void Engine::ComputeAddressingOnly(const Function* fn) {
-  // Candidates: add/sub/shl-by-small-constant. Iteratively remove any whose
-  // user is not a memory-address position or another surviving candidate.
-  std::set<const Instruction*>& fold = addressing_only_[fn];
-  for (const auto& block : fn->blocks()) {
-    for (const auto& inst : block->insts()) {
-      if (inst->users().empty()) {
-        continue;
-      }
-      switch (inst->op()) {
-        case Op::kAdd:
-        case Op::kSub:
-          fold.insert(inst.get());
-          break;
-        case Op::kShl:
-          if (inst->operand(1)->is_const() &&
-              static_cast<const ir::Constant*>(inst->operand(1))->value() <=
-                  3) {
-            fold.insert(inst.get());
-          }
-          break;
-        default:
-          break;
-      }
-    }
-  }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (auto it = fold.begin(); it != fold.end();) {
-      bool ok = true;
-      for (const Instruction* user : (*it)->users()) {
-        bool address_use =
-            (user->op() == Op::kLoad && user->operand(0) == *it) ||
-            (user->op() == Op::kStore && user->operand(0) == *it) ||
-            fold.count(user) != 0;
-        if (!address_use) {
-          ok = false;
-          break;
-        }
-      }
-      if (!ok) {
-        it = fold.erase(it);
-        changed = true;
-      } else {
-        ++it;
-      }
-    }
-  }
-}
-
-void Engine::PushFrame(Thread& t, Function* fn, bool dispatch_root) {
-  auto it = slot_counts_.find(fn);
-  if (it == slot_counts_.end()) {
-    it = slot_counts_.emplace(fn, fn->Renumber()).first;
-    ComputeAddressingOnly(fn);
-  }
+void Engine::PushFrame(Thread& t, FuncInfo* info, bool dispatch_root) {
   Frame frame;
-  frame.fn = fn;
-  frame.values.assign(static_cast<size_t>(it->second), 0);
-  frame.block = fn->entry();
+  frame.info = info;
+  frame.values.assign(static_cast<size_t>(info->num_slots), 0);
+  frame.block = info->fn->entry();
   frame.it = frame.block->insts().begin();
   frame.dispatch_root = dispatch_root;
-  frame.fold = &addressing_only_[fn];
   if (options_.obs.profile != nullptr) {
-    frame.profile_site = ProfileSite(frame, frame.block);
+    frame.profile_site = ProfileSite(info->fn, frame.block);
     options_.obs.profile->AddEntry(frame.profile_site);
   }
   t.stack.push_back(std::move(frame));
+  MaybeTier1(t.stack.back());
+}
+
+void Engine::MaybeTier1(Frame& f) {
+  if (!tier1_enabled_ || f.translated) {
+    return;
+  }
+  FuncInfo* info = f.info;
+  if (info->translation == nullptr) {
+    if (info->translation_failed) {
+      return;
+    }
+    if (++info->heat < tier_threshold_) {
+      return;  // not hot yet (threshold 0 translates on first entry)
+    }
+    if (!tier1_->Translate(info)) {
+      return;
+    }
+    ++tier1_translations_;
+    options_.obs.Add(obs::Counter::kExecTier1Translations);
+  }
+  // On-stack replacement at the current block's bytecode head. The head is
+  // post-phi, and this runs only at block/function entry with phis already
+  // materialized. Uncovered current block: stay in tier 0 for now.
+  auto it = info->translation->block_heads.find(f.block);
+  if (it == info->translation->block_heads.end()) {
+    return;
+  }
+  f.translated = true;
+  f.tpc = it->second;
+  Tier1Backend::EnsureTier1Values(f);
 }
 
 void Engine::EnterBlock(Frame& f, BasicBlock* target) {
@@ -298,9 +316,10 @@ void Engine::EnterBlock(Frame& f, BasicBlock* target) {
     ++f.it;
   }
   if (options_.obs.profile != nullptr) {
-    f.profile_site = ProfileSite(f, target);
+    f.profile_site = ProfileSite(f.info->fn, target);
     options_.obs.profile->AddEntry(f.profile_site);
   }
+  MaybeTier1(f);
 }
 
 bool Engine::DispatchPending(Thread& t) {
@@ -323,14 +342,14 @@ bool Engine::DispatchPending(Thread& t) {
     }
     return true;
   }
-  auto it = program_.functions_by_entry.find(pc);
-  if (it == program_.functions_by_entry.end()) {
+  auto it = entry_table_.find(pc);
+  if (it == entry_table_.end()) {
     miss_ = MissInfo{0, pc};
     Fault(StrCat("control flow miss at dispatcher: ", HexString(pc)));
     return false;
   }
   if (options_.record_callbacks) {
-    observed_callbacks_.insert(it->second->name());
+    observed_callbacks_.insert(it->second->fn->name());
   }
   PushFrame(t, it->second, /*dispatch_root=*/true);
   t.clock += costs_.dispatch_entry;
@@ -338,448 +357,26 @@ bool Engine::DispatchPending(Thread& t) {
   return true;
 }
 
-bool Engine::Step(Thread& t) {
+bool Engine::Step(Thread& t, StepMode mode) {
   if (t.stack.empty()) {
     return DispatchPending(t);
   }
-  return StepInstruction(t);
-}
-
-bool Engine::StepInstruction(Thread& t) {
-  // Index, not reference: intrinsics (qsort callbacks) may push frames and
-  // reallocate the stack vector.
-  const size_t frame_index = t.stack.size() - 1;
-  Frame& f = t.stack.back();
-  POLY_CHECK(f.it != f.block->insts().end())
-      << "fell off block " << f.block->name();
-  const Instruction& inst = **f.it;
-  if (options_.obs.profile != nullptr) {
-    options_.obs.profile->AddInstrs(f.profile_site, 1);
+  if (t.stack.back().translated) {
+    return tier1_->Step(t, mode);
   }
-  // Copy: `f` may dangle after a call pushes a frame (vector reallocation).
-  const std::set<const Instruction*>* fold = f.fold;
-  uint64_t cost = costs_.alu;
-  bool advance = true;
-
-  switch (inst.op()) {
-    case Op::kAdd:
-    case Op::kSub:
-    case Op::kMul:
-    case Op::kSDiv:
-    case Op::kSRem:
-    case Op::kUDiv:
-    case Op::kURem:
-    case Op::kAnd:
-    case Op::kOr:
-    case Op::kXor:
-    case Op::kShl:
-    case Op::kLShr:
-    case Op::kAShr: {
-      uint64_t a = Eval(f, inst.operand(0));
-      uint64_t b = Eval(f, inst.operand(1));
-      uint64_t r = 0;
-      switch (inst.op()) {
-        case Op::kAdd:
-          r = a + b;
-          break;
-        case Op::kSub:
-          r = a - b;
-          break;
-        case Op::kMul:
-          r = a * b;
-          cost += 2;
-          break;
-        case Op::kSDiv:
-        case Op::kSRem: {
-          if (b == 0) {
-            Fault("division by zero in lifted code");
-            return false;
-          }
-          int64_t sa = static_cast<int64_t>(a);
-          int64_t sb = static_cast<int64_t>(b);
-          if (sa == INT64_MIN && sb == -1) {
-            Fault("division overflow in lifted code");
-            return false;
-          }
-          r = static_cast<uint64_t>(inst.op() == Op::kSDiv ? sa / sb
-                                                           : sa % sb);
-          cost += 20;
-          break;
-        }
-        case Op::kUDiv:
-        case Op::kURem:
-          if (b == 0) {
-            Fault("division by zero in lifted code");
-            return false;
-          }
-          r = inst.op() == Op::kUDiv ? a / b : a % b;
-          cost += 20;
-          break;
-        case Op::kAnd:
-          r = a & b;
-          break;
-        case Op::kOr:
-          r = a | b;
-          break;
-        case Op::kXor:
-          r = a ^ b;
-          break;
-        case Op::kShl:
-          r = b >= 64 ? 0 : a << b;
-          break;
-        case Op::kLShr:
-          r = b >= 64 ? 0 : a >> b;
-          break;
-        case Op::kAShr:
-          r = static_cast<uint64_t>(
-              static_cast<int64_t>(a) >> (b >= 64 ? 63 : b));
-          break;
-        default:
-          POLY_UNREACHABLE("covered above");
-      }
-      f.values[static_cast<size_t>(inst.id)] = r;
-      break;
-    }
-
-    case Op::kICmp: {
-      uint64_t a = Eval(f, inst.operand(0));
-      uint64_t b = Eval(f, inst.operand(1));
-      f.values[static_cast<size_t>(inst.id)] = EvalPred(inst.pred, a, b);
-      break;
-    }
-
-    case Op::kSelect: {
-      uint64_t c = Eval(f, inst.operand(0));
-      f.values[static_cast<size_t>(inst.id)] =
-          c != 0 ? Eval(f, inst.operand(1)) : Eval(f, inst.operand(2));
-      break;
-    }
-
-    case Op::kSExt: {
-      uint64_t v = Eval(f, inst.operand(0));
-      int shift = 64 - inst.width;
-      f.values[static_cast<size_t>(inst.id)] = static_cast<uint64_t>(
-          (static_cast<int64_t>(v << shift)) >> shift);
-      break;
-    }
-
-    case Op::kLoad: {
-      uint64_t addr = Eval(f, inst.operand(0));
-      RecordAccess(&inst, t, addr);
-      f.values[static_cast<size_t>(inst.id)] = memory_.Read(addr, inst.size);
-      cost = costs_.mem_access;
-      break;
-    }
-    case Op::kStore: {
-      uint64_t addr = Eval(f, inst.operand(0));
-      RecordAccess(&inst, t, addr);
-      memory_.Write(addr, inst.size,
-                    MaskBytes(Eval(f, inst.operand(1)), inst.size));
-      cost = costs_.mem_access;
-      break;
-    }
-
-    case Op::kGlobalLoad:
-      f.values[static_cast<size_t>(inst.id)] = GlobalSlot(t, inst.global);
-      cost = costs_.global_access;
-      break;
-    case Op::kGlobalStore:
-      GlobalSlot(t, inst.global) = Eval(f, inst.operand(0));
-      cost = costs_.global_access;
-      break;
-
-    case Op::kBr: {
-      BasicBlock* target;
-      if (inst.num_operands() == 0) {
-        target = inst.targets[0];
-      } else {
-        target = Eval(f, inst.operand(0)) != 0 ? inst.targets[0]
-                                               : inst.targets[1];
-      }
-      EnterBlock(f, target);
-      advance = false;
-      cost = costs_.branch;
-      break;
-    }
-
-    case Op::kSwitch: {
-      uint64_t v = Eval(f, inst.operand(0));
-      BasicBlock* target = inst.targets[0];
-      for (size_t i = 0; i < inst.case_values.size(); ++i) {
-        if (static_cast<uint64_t>(inst.case_values[i]) == v) {
-          target = inst.targets[i + 1];
-          break;
-        }
-      }
-      EnterBlock(f, target);
-      advance = false;
-      // Dispatch cost grows with the target set (switch-on-PC, §3.2).
-      uint64_t n = inst.case_values.size();
-      cost = 2;
-      while (n > 1) {
-        n >>= 1;
-        ++cost;
-      }
-      break;
-    }
-
-    case Op::kRet: {
-      uint64_t value =
-          inst.num_operands() > 0 ? Eval(f, inst.operand(0)) : 0;
-      bool was_root = f.dispatch_root;
-      t.stack.pop_back();
-      cost = costs_.ret;
-      if (t.stack.empty() || was_root) {
-        t.pending_pc = value;
-        t.last_toplevel_pc = value;
-      } else {
-        Frame& caller = t.stack.back();
-        const Instruction& call_inst = **caller.it;
-        POLY_CHECK(call_inst.op() == Op::kCall);
-        if (call_inst.HasResult()) {
-          caller.values[static_cast<size_t>(call_inst.id)] = value;
-        }
-        ++caller.it;
-      }
-      advance = false;
-      break;
-    }
-
-    case Op::kUnreachable:
-      Fault(StrCat("unreachable executed in @", f.fn->name()));
-      return false;
-
-    case Op::kCall: {
-      if (inst.callee != nullptr) {
-        PushFrame(t, inst.callee, /*dispatch_root=*/false);
-        cost = costs_.call;
-        advance = false;  // the matching ret advances the caller
-        break;
-      }
-      if (!HandleIntrinsic(t, frame_index, inst)) {
-        return !faulted_ && miss_ == std::nullopt;
-      }
-      // HandleIntrinsic may request a retry (blocking external).
-      if (retry_pending_) {
-        retry_pending_ = false;
-        last_step_retried_ = true;
-        advance = false;
-      }
-      cost = 0;  // intrinsics charge their own cost
-      break;
-    }
-
-    case Op::kPhi:
-      // Materialized at block entry.
-      cost = costs_.phi;
-      break;
-
-    case Op::kFence:
-      if (options_.obs.profile != nullptr) {
-        options_.obs.profile->AddFence(f.profile_site);
-      }
-      options_.obs.Add(obs::Counter::kExecFences);
-      cost = costs_.fence;
-      break;
-
-    case Op::kAtomicRmw: {
-      uint64_t addr = Eval(f, inst.operand(0));
-      uint64_t operand = Eval(f, inst.operand(1));
-      RecordAccess(&inst, t, addr);
-      uint64_t old = memory_.Read(addr, inst.size);
-      uint64_t r = old;
-      switch (inst.rmw_op) {
-        case RmwOp::kAdd:
-          r = old + operand;
-          break;
-        case RmwOp::kSub:
-          r = old - operand;
-          break;
-        case RmwOp::kAnd:
-          r = old & operand;
-          break;
-        case RmwOp::kOr:
-          r = old | operand;
-          break;
-        case RmwOp::kXor:
-          r = old ^ operand;
-          break;
-        case RmwOp::kXchg:
-          r = operand;
-          break;
-      }
-      memory_.Write(addr, inst.size, MaskBytes(r, inst.size));
-      f.values[static_cast<size_t>(inst.id)] = old;
-      if (options_.obs.profile != nullptr) {
-        options_.obs.profile->AddAtomic(f.profile_site);
-      }
-      options_.obs.Add(obs::Counter::kExecAtomics);
-      cost = costs_.atomic;
-      break;
-    }
-
-    case Op::kCmpXchg: {
-      uint64_t addr = Eval(f, inst.operand(0));
-      uint64_t expected = MaskBytes(Eval(f, inst.operand(1)), inst.size);
-      uint64_t desired = Eval(f, inst.operand(2));
-      RecordAccess(&inst, t, addr);
-      uint64_t old = memory_.Read(addr, inst.size);
-      if (old == expected) {
-        memory_.Write(addr, inst.size, MaskBytes(desired, inst.size));
-      }
-      f.values[static_cast<size_t>(inst.id)] = old;
-      if (options_.obs.profile != nullptr) {
-        options_.obs.profile->AddAtomic(f.profile_site);
-      }
-      options_.obs.Add(obs::Counter::kExecAtomics);
-      cost = costs_.atomic;
-      break;
-    }
-  }
-
-  // Address arithmetic feeding only memory operands is free: the native
-  // backend folds it into x86 addressing modes.
-  if (fold != nullptr && fold->count(&inst) != 0) {
-    cost = 0;
-  } else if (options_.cost_jitter) {
-    cost += rng_.Next() & 1;
-  }
-  t.clock += cost;
-  if (advance) {
-    ++t.stack[frame_index].it;
-  }
-  return true;
-}
-
-bool Engine::HandleIntrinsic(Thread& t, size_t frame_index,
-                             const Instruction& inst) {
-  const std::string& name = inst.intrinsic;
-  // Re-fetch the frame on every use: nested dispatch may reallocate.
-  auto frame = [&]() -> Frame& { return t.stack[frame_index]; };
-  auto set_result = [&](uint64_t v) {
-    if (inst.HasResult()) {
-      frame().values[static_cast<size_t>(inst.id)] = v;
-    }
-  };
-  Frame& f = frame();  // valid until a nested dispatch occurs
-
-  if (name == "ext_call") {
-    uint64_t slot = Eval(f, inst.operand(0));
-    if (slot >= program_.externals.size()) {
-      Fault(StrCat("ext_call to unmapped slot ", slot));
-      return false;
-    }
-    t.clock += costs_.ext_marshal;
-    options_.obs.Add(obs::Counter::kExecExtCalls);
-    vm::ExtResult result = library_->Call(program_.externals[slot], *this);
-    switch (result.status) {
-      case vm::ExtStatus::kDone:
-        set_result(0);
-        return true;
-      case vm::ExtStatus::kBlock:
-        retry_pending_ = true;
-        return true;
-      case vm::ExtStatus::kFault:
-        Fault(StrCat("external ", program_.externals[slot], ": ",
-                     result.fault_message));
-        return false;
-    }
-    return false;
-  }
-  if (name == "cfmiss") {
-    uint64_t target = Eval(f, inst.operand(0));
-    uint64_t transfer = Eval(f, inst.operand(1));
-    miss_ = MissInfo{transfer, target};
-    Fault(StrCat("control flow miss: ", HexString(transfer), " -> ",
-                 HexString(target)));
-    return false;
-  }
-  if (name == "trap") {
-    Fault(StrCat("lifted trap at ",
-                 HexString(Eval(f, inst.operand(0)))));
-    return false;
-  }
-  if (name == "parity") {
-    uint64_t v = Eval(f, inst.operand(0));
-    set_result((__builtin_popcountll(v & 0xff) % 2) == 0 ? 1 : 0);
-    t.clock += 1;
-    return true;
-  }
-  if (name == "pause") {
-    t.clock += 4;
-    set_result(0);
-    return true;
-  }
-  if (name == "helper_paddd" || name == "helper_psubd" ||
-      name == "helper_pmulld") {
-    uint64_t a = Eval(f, inst.operand(0));
-    uint64_t b = Eval(f, inst.operand(1));
-    char op = name == "helper_paddd" ? '+' : name == "helper_psubd" ? '-' : '*';
-    set_result(PackedLanes32(a, b, op));
-    t.clock += costs_.helper;
-    return true;
-  }
-  if (name == "simd_paddd" || name == "simd_psubd" || name == "simd_pmulld") {
-    // First-class SIMD translation (§5.3): lowers back to one packed
-    // instruction, so it costs like one.
-    uint64_t a = Eval(f, inst.operand(0));
-    uint64_t b = Eval(f, inst.operand(1));
-    char op = name == "simd_paddd" ? '+' : name == "simd_psubd" ? '-' : '*';
-    set_result(PackedLanes32(a, b, op));
-    t.clock += costs_.alu;
-    return true;
-  }
-  if (name == "helper_mulh") {
-    __int128 full = static_cast<__int128>(
-                        static_cast<int64_t>(Eval(f, inst.operand(0)))) *
-                    static_cast<__int128>(
-                        static_cast<int64_t>(Eval(f, inst.operand(1))));
-    set_result(static_cast<uint64_t>(full >> 64));
-    t.clock += costs_.helper;
-    return true;
-  }
-  if (name == "helper_sdiv128" || name == "helper_srem128") {
-    __int128 dividend =
-        (static_cast<__int128>(static_cast<int64_t>(Eval(f, inst.operand(0))))
-         << 64) |
-        static_cast<__int128>(Eval(f, inst.operand(1)));
-    int64_t divisor = static_cast<int64_t>(Eval(f, inst.operand(2)));
-    if (divisor == 0) {
-      Fault("division by zero in lifted code");
-      return false;
-    }
-    set_result(static_cast<uint64_t>(name == "helper_sdiv128"
-                                         ? dividend / divisor
-                                         : dividend % divisor));
-    t.clock += costs_.helper + 20;
-    return true;
-  }
-  if (name == "global_lock") {
-    if (global_lock_owner_ != -1 && global_lock_owner_ != t.id) {
-      retry_pending_ = true;
-      t.clock += 10;
-      return true;
-    }
-    global_lock_owner_ = t.id;
-    set_result(0);
-    t.clock += 8;
-    return true;
-  }
-  if (name == "global_unlock") {
-    global_lock_owner_ = -1;
-    set_result(0);
-    t.clock += 8;
-    return true;
-  }
-  Fault("unknown intrinsic: " + name);
-  return false;
+  return interp_->Step(t, mode);
 }
 
 void Engine::RunMinClockLoop() {
   while (!exited_ && !faulted_) {
     Thread* best = nullptr;
+    int live = 0;
     for (auto& t : threads_) {
-      if (!t->finished && (best == nullptr || t->clock < best->clock)) {
+      if (t->finished) {
+        continue;
+      }
+      ++live;
+      if (best == nullptr || t->clock < best->clock) {
         best = t.get();
       }
     }
@@ -800,7 +397,11 @@ void Engine::RunMinClockLoop() {
       }
     }
     current_ = best->id;
-    if (!Step(*best)) {
+    // With several live threads tier-1 batches must stop before visible
+    // operations so those interleave at the same clocks as tier 0; a sole
+    // survivor has nobody to observe it and runs free.
+    StepMode mode = live > 1 ? StepMode::kBatch : StepMode::kBatchFree;
+    if (!Step(*best, mode)) {
       break;
     }
     if (memory_.faulted()) {
@@ -815,7 +416,7 @@ void Engine::RunMinClockLoop() {
   }
 }
 
-Engine::NextOp Engine::ClassifyNextOp(const Thread& t) const {
+NextOp Engine::ClassifyNextOp(const Thread& t) const {
   NextOp op;
   if (t.stack.empty()) {
     // Dispatcher boundary: thread entry, exit (join-state change), or a
@@ -826,6 +427,9 @@ Engine::NextOp Engine::ClassifyNextOp(const Thread& t) const {
     return op;
   }
   const Frame& f = t.stack.back();
+  if (f.translated) {
+    return tier1_->Classify(t, f);
+  }
   const Instruction& inst = **f.it;
   switch (inst.op()) {
     case Op::kLoad:
@@ -887,6 +491,14 @@ Engine::NextOp Engine::ClassifyNextOp(const Thread& t) const {
   }
 }
 
+BasicBlock* Engine::CurrentBlock(const Thread& t) const {
+  if (t.stack.empty()) {
+    return nullptr;
+  }
+  const Frame& f = t.stack.back();
+  return f.translated ? tier1_->CurrentBlock(f) : f.block;
+}
+
 void Engine::RunControlledLoop() {
   // A thread that spends this many consecutive visible steps without a
   // state-changing operation is treated as spinning and reported to the
@@ -939,9 +551,10 @@ void Engine::RunControlledLoop() {
       // reported racing accesses.
       uint64_t guest_address = 0;
       if (last_runnable) {
-        const Thread& lt = *threads_[static_cast<size_t>(last)];
-        if (!lt.stack.empty() && lt.stack.back().block != nullptr) {
-          guest_address = lt.stack.back().block->guest_address;
+        const BasicBlock* b =
+            CurrentBlock(*threads_[static_cast<size_t>(last)]);
+        if (b != nullptr) {
+          guest_address = b->guest_address;
         }
       }
       pick = scheduler.Pick({decision_index++, last, kind, guest_address},
@@ -955,7 +568,7 @@ void Engine::RunControlledLoop() {
     NextOp next = ClassifyNextOp(t);
     current_ = pick;
     last_step_retried_ = false;
-    if (!Step(t)) {
+    if (!Step(t, StepMode::kSingle)) {
       break;
     }
     last = pick;
@@ -1027,6 +640,9 @@ ExecResult Engine::Run() {
     RunMinClockLoop();
   }
   options_.obs.Add(obs::Counter::kExecGuestInstrs, steps_);
+  if (tier1_instrs_ > 0) {
+    options_.obs.Add(obs::Counter::kExecTier1Instrs, tier1_instrs_);
+  }
   span.Arg("steps", static_cast<int64_t>(steps_));
   span.End();
 
@@ -1039,6 +655,12 @@ ExecResult Engine::Run() {
   result.output = output_;
   result.accesses = accesses_;
   result.observed_callbacks = observed_callbacks_;
+  result.tier1_translations = tier1_translations_;
+  result.tier1_instrs = tier1_instrs_;
+  for (int i = 0; i < static_cast<int>(DeoptReason::kNumReasons); ++i) {
+    result.deopts_by_reason[i] = deopt_counts_[i];
+    result.deopts += deopt_counts_[i];
+  }
   for (const auto& t : threads_) {
     result.wall_time = std::max(result.wall_time, t->clock);
   }
@@ -1115,20 +737,21 @@ uint64_t Engine::CallGuest(uint64_t entry, std::span<const uint64_t> args) {
   size_t base_depth = t.stack.size();
   uint64_t pc = entry;
   while (!faulted_ && !exited_) {
-    auto it = program_.functions_by_entry.find(pc);
-    if (it == program_.functions_by_entry.end()) {
+    auto it = entry_table_.find(pc);
+    if (it == entry_table_.end()) {
       miss_ = MissInfo{0, pc};
       Fault(StrCat("control flow miss in callback: ", HexString(pc)));
       break;
     }
     if (options_.record_callbacks) {
-      observed_callbacks_.insert(it->second->name());
+      observed_callbacks_.insert(it->second->fn->name());
     }
     PushFrame(t, it->second, /*dispatch_root=*/true);
     t.clock += costs_.dispatch_entry;
-    // Run until this dispatch-root frame returns.
+    // Run until this dispatch-root frame returns. The scheduler is already
+    // committed to this external call, so nested execution runs free.
     while (t.stack.size() > base_depth && !faulted_ && !exited_) {
-      if (!StepInstruction(t)) {
+      if (!Step(t, StepMode::kBatchFree)) {
         break;
       }
       if (++steps_ > options_.max_steps) {

@@ -9,6 +9,13 @@
 //     into it),
 //   - a native call stack of lifted-function frames.
 //
+// Execution is tiered (DESIGN.md §4f, src/exec/backend.h): the engine owns
+// the threads, scheduling loops and dispatcher, and delegates instruction
+// execution to a Backend per frame — tier 0 interprets the IR, tier 1 runs
+// direct-threaded superinstruction bytecode for hot functions and deopts
+// back to tier 0 at guard points. Both tiers share the per-frame value
+// array, so results, schedules, and state digests are bit-identical.
+//
 // The dispatcher implements the trampoline/callback-wrapper mechanism
 // (§3.3.3): any guest PC that reaches the top level is mapped to its lifted
 // function; entering through the dispatcher charges the marshaling cost the
@@ -25,9 +32,11 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/binary/image.h"
+#include "src/exec/backend.h"
 #include "src/ir/ir.h"
 #include "src/lift/lifter.h"
 #include "src/obs/report.h"
@@ -38,6 +47,9 @@
 #include "src/vm/memory.h"
 
 namespace polynima::exec {
+
+class InterpreterBackend;
+class Tier1Backend;
 
 struct ExecOptions {
   uint64_t seed = 1;
@@ -57,10 +69,18 @@ struct ExecOptions {
   // log), which is what record/replay, PCT search and schedule shrinking
   // build on. Mutually exclusive with schedule_skew. Not owned.
   sched::Scheduler* scheduler = nullptr;
+  // Highest execution tier: 0 = interpret everything, 1 = translate hot
+  // functions to superinstruction bytecode (DESIGN.md §4f). Results are
+  // bit-identical across tiers; tier 1 only changes host-side speed.
+  int tier = 0;
+  // Block-entry count at which a function becomes hot enough to translate.
+  // 0 with tier >= 1 means translate eagerly on first entry.
+  uint64_t tier_threshold = 0;
   // Compute ExecResult::state_digest (implied by `scheduler`).
   bool record_state_digest = false;
   // Record per-instruction memory access classification (stack-local vs
-  // shared) for the fence-optimization dynamic analysis (§3.4.2).
+  // shared) for the fence-optimization dynamic analysis (§3.4.2). Forces
+  // tier 0: the record is keyed by IR instruction identity.
   bool record_accesses = false;
   // Record which lifted functions are entered from external code (thread
   // entries, callbacks) for the callback-wrapper removal analysis (§3.3.3).
@@ -69,7 +89,9 @@ struct ExecOptions {
   // every basic-block entry and every fence/atomic site is attributed to a
   // per-block profile site (the `polynima report` hot-block and
   // fence-density tables); the exec.* counters summarize the run. The hot
-  // path stays a null check + array increment.
+  // path stays a null check + array increment — and when neither metrics
+  // nor profile sink is attached, dispatch selects an instruction loop
+  // compiled without any of those checks.
   obs::Session obs;
 };
 
@@ -131,12 +153,18 @@ struct ExecResult {
   std::string output;
   std::map<const ir::Instruction*, AccessRecord> accesses;
   std::set<std::string> observed_callbacks;
+  // Tiered-execution telemetry (zero in pure tier-0 runs).
+  uint64_t tier1_translations = 0;
+  uint64_t tier1_instrs = 0;  // guest instructions retired by tier-1 code
+  uint64_t deopts = 0;
+  uint64_t deopts_by_reason[static_cast<int>(DeoptReason::kNumReasons)] = {};
 };
 
 class Engine : public vm::GuestContext {
  public:
   Engine(const lift::LiftedProgram& program, const binary::Image& image,
          vm::ExternalLibrary* library, ExecOptions options);
+  ~Engine() override;
 
   void SetInputs(std::vector<std::vector<uint8_t>> inputs) {
     inputs_ = std::move(inputs);
@@ -161,58 +189,27 @@ class Engine : public vm::GuestContext {
   void RequestExit(int64_t code) override;
 
  private:
-  struct Frame {
-    ir::Function* fn = nullptr;
-    std::vector<uint64_t> values;
-    ir::BasicBlock* block = nullptr;
-    ir::BasicBlock::InstList::const_iterator it;
-    ir::BasicBlock* prev_block = nullptr;
-    // Frames pushed by the dispatcher/CallGuest do not propagate their
-    // return value into the frame below.
-    bool dispatch_root = false;
-    // Addressing-only instruction set of this frame's function.
-    const std::set<const ir::Instruction*>* fold = nullptr;
-    // Guest-profile site of the current block (valid only while profiling;
-    // cached so the per-instruction hook is an array increment).
-    uint32_t profile_site = 0;
-  };
-
-  struct Thread {
-    int id = 0;
-    uint64_t clock = 0;
-    bool finished = false;
-    uint64_t retval = 0;
-    std::vector<Frame> stack;
-    // Valid when stack is empty: guest PC awaiting dispatch.
-    uint64_t pending_pc = 0;
-    uint64_t exit_magic = 0;
-    std::vector<uint64_t> tls;
-    uint64_t estack_low = 0, estack_high = 0;
-    // Return PC observed by the most recent top-level return.
-    uint64_t last_toplevel_pc = 0;
-    // Controlled scheduling only: the thread's last step was a blocking
-    // retry (kBlock external, busy global lock); it leaves the candidate
-    // set until some thread performs a state-changing visible operation.
-    bool blocked = false;
-    // Consecutive non-mutating visible steps (spinloop detector).
-    int spin_streak = 0;
-  };
+  friend class InterpreterBackend;
+  friend class Tier1Backend;
 
   Thread& CreateThread(uint64_t entry_pc, uint64_t arg0, uint64_t arg1,
                        uint64_t exit_magic);
-  bool Step(Thread& t);            // one scheduling step
-  bool StepInstruction(Thread& t); // execute one IR instruction
+  // One scheduling step: dispatch a pending PC or delegate the top frame to
+  // its tier's backend under `mode`.
+  bool Step(Thread& t, StepMode mode);
+  bool StepInstruction(Thread& t);  // execute one IR instruction (tier 0)
+  template <bool kObs>
+  bool StepInstructionImpl(Thread& t);
   bool DispatchPending(Thread& t);
-  void PushFrame(Thread& t, ir::Function* fn, bool dispatch_root);
+  void PushFrame(Thread& t, FuncInfo* info, bool dispatch_root);
+  // Tier-up check: translate `info` when hot and OSR-enter the frame's
+  // current block if a translation covers it.
+  void MaybeTier1(Frame& f);
 
-  // Classification of a thread's next step for the controlled scheduler.
-  struct NextOp {
-    bool visible = false;     // preemption point: consult the scheduler
-    bool mutates = false;     // state-changing: wakes blocked threads
-    bool yield_hint = false;  // pause intrinsic: deprioritize immediately
-    sched::PointKind kind = sched::PointKind::kDispatch;
-  };
   NextOp ClassifyNextOp(const Thread& t) const;
+  // Block the thread's top frame currently executes, tier-agnostic
+  // (Frame::block is stale while a frame runs tier-1 bytecode).
+  ir::BasicBlock* CurrentBlock(const Thread& t) const;
   void RunMinClockLoop();
   void RunControlledLoop();
   uint64_t StateDigest();
@@ -225,7 +222,11 @@ class Engine : public vm::GuestContext {
 
   void Fault(std::string message);
   void RecordAccess(const ir::Instruction* inst, Thread& t, uint64_t addr);
-  uint32_t ProfileSite(const Frame& f, const ir::BasicBlock* block);
+  uint32_t ProfileSite(const ir::Function* fn, const ir::BasicBlock* block);
+
+  // Resolves fn to its eagerly-built FuncInfo (never fails for module
+  // functions).
+  FuncInfo* InfoFor(const ir::Function* fn) const;
 
   const lift::LiftedProgram& program_;
   const binary::Image& image_;
@@ -253,15 +254,27 @@ class Engine : public vm::GuestContext {
   // Sticky per-step echo of retry_pending_ for the controlled loop (which
   // runs after StepInstruction has already consumed the flag).
   bool last_step_retried_ = false;
-  // Cached value-slot counts per function (Renumber is run once).
-  std::map<const ir::Function*, int> slot_counts_;
-  // Instructions whose results feed only memory-operand addresses: a native
-  // x86 backend folds base+index*scale+disp into the addressing mode, so
-  // they cost nothing (computed per function on first entry).
-  std::map<const ir::Function*, std::set<const ir::Instruction*>>
-      addressing_only_;
-  const std::set<const ir::Instruction*>* current_addressing_ = nullptr;
-  void ComputeAddressingOnly(const ir::Function* fn);
+
+  // Per-function facts, built once at construction: value-slot counts,
+  // addressing-fold sets, entry-PC and Function* lookup tables. The per-call
+  // hot paths (dispatch, kCall, CallGuest) index these instead of
+  // re-resolving maps keyed by lazily-discovered functions.
+  std::vector<std::unique_ptr<FuncInfo>> func_infos_;
+  std::unordered_map<uint64_t, FuncInfo*> entry_table_;
+  std::unordered_map<const ir::Function*, FuncInfo*> by_fn_;
+
+  // Execution tiers. tier1_ exists only when enabled by options.
+  std::unique_ptr<InterpreterBackend> interp_;
+  std::unique_ptr<Tier1Backend> tier1_;
+  bool tier1_enabled_ = false;
+  uint64_t tier_threshold_ = 0;
+  // True when no metrics/profile sink is attached: instruction loops run
+  // the template specialization with every obs check compiled out.
+  bool obs_attached_ = false;
+  // Tier telemetry.
+  uint64_t tier1_translations_ = 0;
+  uint64_t tier1_instrs_ = 0;
+  uint64_t deopt_counts_[static_cast<int>(DeoptReason::kNumReasons)] = {};
 
   bool exited_ = false;
   int64_t exit_code_ = 0;

@@ -1,0 +1,71 @@
+// Scalar-semantics helpers shared by the tier-0 interpreter and the tier-1
+// bytecode executor. Both tiers must agree bit-for-bit on these, so they
+// live in one place.
+#ifndef POLYNIMA_EXEC_EXEC_UTIL_H_
+#define POLYNIMA_EXEC_EXEC_UTIL_H_
+
+#include <cstdint>
+
+#include "src/ir/ir.h"
+
+namespace polynima::exec {
+
+inline uint64_t MaskBytes(uint64_t v, int size) {
+  if (size >= 8) {
+    return v;
+  }
+  return v & ((uint64_t{1} << (size * 8)) - 1);
+}
+
+inline uint64_t EvalPred(ir::Pred pred, uint64_t a, uint64_t b) {
+  int64_t sa = static_cast<int64_t>(a);
+  int64_t sb = static_cast<int64_t>(b);
+  switch (pred) {
+    case ir::Pred::kEq:
+      return a == b;
+    case ir::Pred::kNe:
+      return a != b;
+    case ir::Pred::kSlt:
+      return sa < sb;
+    case ir::Pred::kSle:
+      return sa <= sb;
+    case ir::Pred::kSgt:
+      return sa > sb;
+    case ir::Pred::kSge:
+      return sa >= sb;
+    case ir::Pred::kUlt:
+      return a < b;
+    case ir::Pred::kUle:
+      return a <= b;
+    case ir::Pred::kUgt:
+      return a > b;
+    case ir::Pred::kUge:
+      return a >= b;
+  }
+  return 0;
+}
+
+inline uint64_t PackedLanes32(uint64_t a, uint64_t b, char op) {
+  uint32_t a0 = static_cast<uint32_t>(a), a1 = static_cast<uint32_t>(a >> 32);
+  uint32_t b0 = static_cast<uint32_t>(b), b1 = static_cast<uint32_t>(b >> 32);
+  uint32_t r0, r1;
+  switch (op) {
+    case '+':
+      r0 = a0 + b0;
+      r1 = a1 + b1;
+      break;
+    case '-':
+      r0 = a0 - b0;
+      r1 = a1 - b1;
+      break;
+    default:
+      r0 = a0 * b0;
+      r1 = a1 * b1;
+      break;
+  }
+  return static_cast<uint64_t>(r0) | (static_cast<uint64_t>(r1) << 32);
+}
+
+}  // namespace polynima::exec
+
+#endif  // POLYNIMA_EXEC_EXEC_UTIL_H_

@@ -1,0 +1,27 @@
+// Tier-0 backend: the reference IR interpreter (see backend.h).
+#ifndef POLYNIMA_EXEC_INTERP_H_
+#define POLYNIMA_EXEC_INTERP_H_
+
+#include "src/exec/backend.h"
+
+namespace polynima::exec {
+
+class Engine;
+
+// Executes one IR instruction per Step regardless of mode: the interpreter
+// is the semantic baseline, and everything visible to schedulers, digests
+// and the cost model is defined by what it does.
+class InterpreterBackend : public Backend {
+ public:
+  explicit InterpreterBackend(Engine& e) : e_(e) {}
+
+  const char* name() const override { return "interp"; }
+  bool Step(Thread& t, StepMode mode) override;
+
+ private:
+  Engine& e_;
+};
+
+}  // namespace polynima::exec
+
+#endif  // POLYNIMA_EXEC_INTERP_H_

@@ -44,6 +44,12 @@ const char* const kCounterNames[] = {
     "exec.ext_calls",
     "exec.dispatches",
     "exec.faults",
+    "exec.tier1_translations",
+    "exec.tier1_instrs",
+    "exec.deopts",
+    "exec.deopt_preempt",
+    "exec.deopt_smc_write",
+    "exec.deopt_uncovered",
     "vm.instrs",
     "vm.atomics",
     "vm.faults",

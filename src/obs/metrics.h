@@ -72,6 +72,12 @@ enum class Counter : int {
   kExecExtCalls,             // external library calls
   kExecDispatches,           // dispatcher entries (callback-wrapper cost)
   kExecFaults,               // runtime faults (cfmiss included)
+  kExecTier1Translations,    // functions translated to tier-1 bytecode
+  kExecTier1Instrs,          // guest instructions executed in tier 1
+  kExecDeopts,               // tier-1 -> tier-0 transfers (all reasons)
+  kExecDeoptPreempt,         //   at scheduler preemption boundaries
+  kExecDeoptSmcWrite,        //   at self-modifying-code store guards
+  kExecDeoptUncovered,       //   at uncovered CFG edges
   // vm: the original binary's interpreter (vm::Vm).
   kVmInstrs,
   kVmAtomics,                // lock-prefixed instructions executed

@@ -8,7 +8,8 @@
 //            [--trace <inputfile>...] [--remove-fences] [--no-optimize]
 //            [--jobs N] [--check-tso] [--analyze]
 //   polynima run      <img.plyb> -p <projectdir> [--input <file>]...
-//            [--original] [--jobs N] [--check-tso]      additive execution
+//            [--original] [--jobs N] [--check-tso]
+//            [--tier 0|1] [--tier-threshold N]          additive execution
 //   polynima analyze  <img.plyb> [--input <file>]... [--jobs N]
 //            static concurrency analysis (src/analyze): classifies every
 //            guest access (stack-local / thread-local heap / shared),
@@ -20,7 +21,7 @@
 //   polynima explore  <img.plyb> [--input <file>]... [--remove-fences]
 //            [--budget N] [--depth N] [--strategy pct|dfs|both] [--seed N]
 //            [--dfs-bound N] [--replay <sched|file>] [--save-sched <file>]
-//            [--analyze]
+//            [--analyze] [--tier 0|1] [--tier-threshold N]
 //            deterministic schedule exploration (src/sched): diff the
 //            outcome sets of the fenced reference and the optimized build,
 //            shrink any divergence to a minimal schedule, print the repro
@@ -43,6 +44,14 @@
 // Flags may be spelled --flag value or --flag=value. All sinks are off by
 // default; the disabled cost at every instrumentation point is one branch
 // on a null pointer.
+//
+// Tiered execution (src/exec, DESIGN.md §4f) — `run` and `explore` accept:
+//   --tier 0|1           highest execution tier (default 0). Tier 1
+//                        translates hot functions to direct-threaded
+//                        superinstruction bytecode; results, schedules and
+//                        state digests are bit-identical to tier 0.
+//   --tier-threshold N   block-entry count before a function is translated
+//                        (default 0 = translate eagerly on first entry)
 //
 // `explore` builds a fully-fenced reference and an optimized build
 // (--remove-fences deletes every fence — the fault-injection mode used to
@@ -140,6 +149,9 @@ struct Args {
   int depth = 3;
   int dfs_bound = 2;
   uint64_t seed = 1;
+  // tiered execution (run / explore)
+  int tier = 0;
+  uint64_t tier_threshold = 0;
   std::string strategy = "both";
   std::string replay;      // inline repro string or .sched file path
   std::string save_sched;  // write the shrunk witness here
@@ -225,6 +237,15 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       std::string v;
       if (!next(v)) return false;
       args.seed = static_cast<uint64_t>(std::strtoull(v.c_str(), nullptr, 0));
+    } else if (a == "--tier") {
+      std::string v;
+      if (!next(v)) return false;
+      args.tier = std::atoi(v.c_str());
+    } else if (a == "--tier-threshold") {
+      std::string v;
+      if (!next(v)) return false;
+      args.tier_threshold =
+          static_cast<uint64_t>(std::strtoull(v.c_str(), nullptr, 0));
     } else if (a == "--strategy") {
       if (!next(args.strategy)) return false;
     } else if (a == "--replay") {
@@ -515,6 +536,8 @@ int CmdRun(const Args& args) {
   }
   exec::ExecOptions exec_options;
   exec_options.obs = sinks.session;
+  exec_options.tier = args.tier;
+  exec_options.tier_threshold = args.tier_threshold;
   auto result = recompiler.RunAdditive(*binary, inputs, exec_options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -808,6 +831,8 @@ int CmdExploreImpl(const Args& args, const obs::Session& session) {
       exec_options.seed = args.seed;
       exec_options.scheduler = scheduler;
       exec_options.obs = session;
+      exec_options.tier = args.tier;
+      exec_options.tier_threshold = args.tier_threshold;
       exec::Engine engine(*program, *image, &library, exec_options);
       engine.SetInputs(inputs);
       exec::ExecResult r = engine.Run();

@@ -11,6 +11,22 @@ void Memory::AllowRegion(uint64_t lo, uint64_t hi, bool writable) {
                       (hi + kPageSize - 1) & ~(kPageSize - 1), writable});
 }
 
+void Memory::MarkExecutable(uint64_t lo, uint64_t hi) {
+  if (lo < hi) {
+    exec_ranges_.push_back({lo, hi});
+  }
+}
+
+bool Memory::InExecutableRange(uint64_t addr, int size) const {
+  uint64_t end = addr + static_cast<uint64_t>(size);
+  for (const auto& [lo, hi] : exec_ranges_) {
+    if (addr < hi && end > lo) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Memory::MapSegment(uint64_t addr, const std::vector<uint8_t>& bytes,
                         bool writable) {
   AllowRegion(addr, addr + bytes.size(), /*writable=*/true);

@@ -28,6 +28,16 @@ class Memory {
   void MapSegment(uint64_t addr, const std::vector<uint8_t>& bytes,
                   bool writable);
 
+  // Registers [lo, hi) as executable image bytes. Pages stay non-writable
+  // (MapSegment decides that); the range only feeds InExecutableRange.
+  void MarkExecutable(uint64_t lo, uint64_t hi);
+  // True when [addr, addr+size) overlaps an executable image range. The
+  // tier-1 translator guards every translated store with this check: a guest
+  // write into its own code must transfer back to the interpreter (deopt)
+  // before executing, because the translation it would invalidate is the one
+  // currently running.
+  bool InExecutableRange(uint64_t addr, int size) const;
+
   uint64_t Read(uint64_t addr, int size);
   void Write(uint64_t addr, int size, uint64_t value);
   void ReadBytes(uint64_t addr, void* dst, size_t n);
@@ -69,6 +79,8 @@ class Memory {
     bool writable;
   };
   std::vector<Region> regions_;
+  // Executable image ranges, [lo, hi) — few and static, linear scan is fine.
+  std::vector<std::pair<uint64_t, uint64_t>> exec_ranges_;
   bool faulted_ = false;
   uint64_t fault_address_ = 0;
 };

@@ -1,0 +1,391 @@
+// Cross-tier differential suite for the tiered execution backend (ctest
+// label: exec).
+//
+// The tier-1 acceptance bar is bit-identical observable behavior: for any
+// program, schedule and seed, tier 1 (direct-threaded superinstruction
+// bytecode with deopt) must produce the same exit code, output, step count,
+// simulated wall time and final state digest as tier 0 (the interpreter).
+// These tests enforce that bar three ways:
+//   - free-running and mixed-tier-threshold runs of single- and
+//     multi-threaded programs,
+//   - recorded PCT schedules and the checked-in tests/schedules/*.sched
+//     corpus replayed under tier 0, tier 1 and a mid-run tier-up threshold,
+//   - one dedicated test per deopt guard reason (preempt, SMC write,
+//     uncovered CFG edge) proving the guard fires and behavior still
+//     matches the interpreter.
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cc/compiler.h"
+#include "src/cfg/cfg.h"
+#include "src/exec/engine.h"
+#include "src/lift/lifter.h"
+#include "src/opt/passes.h"
+#include "src/sched/schedule.h"
+#include "src/sched/scheduler.h"
+#include "src/support/testseed.h"
+#include "tests/sched_corpus.h"
+
+#ifndef POLY_SCHEDULES_DIR
+#error "POLY_SCHEDULES_DIR must point at the tests/schedules corpus"
+#endif
+
+namespace polynima::exec {
+namespace {
+
+struct Built {
+  binary::Image image;
+  lift::LiftedProgram program;
+};
+
+Built Build(const std::string& source, int opt = 2, bool optimize = true) {
+  cc::CompileOptions options;
+  options.name = "exec_tiered_test";
+  options.opt_level = opt;
+  auto image = cc::Compile(source, options);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  auto graph = cfg::RecoverStatic(*image);
+  EXPECT_TRUE(graph.ok());
+  auto program = lift::Lift(*image, *graph, {});
+  EXPECT_TRUE(program.ok());
+  if (optimize) {
+    EXPECT_TRUE(opt::RunPipeline(*program->module).ok());
+  }
+  return {std::move(*image), std::move(*program)};
+}
+
+ExecResult RunBuilt(const Built& built, ExecOptions options = {}) {
+  vm::ExternalLibrary library;
+  Engine engine(built.program, built.image, &library, options);
+  return engine.Run();
+}
+
+ExecOptions Tiered(int tier, uint64_t threshold = 0) {
+  ExecOptions options;
+  options.tier = tier;
+  options.tier_threshold = threshold;
+  options.record_state_digest = true;
+  return options;
+}
+
+// The full observable surface two tiers must agree on.
+void ExpectSameRun(const ExecResult& t0, const ExecResult& t1,
+                   const std::string& what) {
+  EXPECT_EQ(t1.ok, t0.ok) << what;
+  EXPECT_EQ(t1.exit_code, t0.exit_code) << what;
+  EXPECT_EQ(t1.output, t0.output) << what;
+  EXPECT_EQ(t1.fault_message, t0.fault_message) << what;
+  EXPECT_EQ(t1.steps, t0.steps) << what;
+  EXPECT_EQ(t1.wall_time, t0.wall_time) << what;
+  EXPECT_EQ(t1.state_digest, t0.state_digest) << what;
+  EXPECT_EQ(t1.miss.has_value(), t0.miss.has_value()) << what;
+  if (t1.miss.has_value() && t0.miss.has_value()) {
+    EXPECT_EQ(t1.miss->target, t0.miss->target) << what;
+    EXPECT_EQ(t1.miss->transfer_address, t0.miss->transfer_address) << what;
+  }
+}
+
+const char* kComputeSource = R"(
+  extern long malloc(long n);
+  int main() {
+    int* a = (int*)malloc(4096);
+    for (long i = 0; i < 1024; i++) a[i] = (int)(i * 7 + 3);
+    long sum = 0;
+    for (long r = 0; r < 12; r++) {
+      for (long i = 0; i < 1024; i++) {
+        if (a[i] & 1) sum += a[i]; else sum -= i;
+      }
+    }
+    return (int)(sum & 0xff);
+  })";
+
+const char* kThreadedSource = R"(
+  extern int pthread_create(long* tid, long attr, long (*fn)(long), long arg);
+  extern int pthread_join(long tid, long* ret);
+  long total = 0;
+  long worker(long n) {
+    long acc = 0;
+    for (long i = 0; i < n; i++) acc += i * 3 + (i & 7);
+    __atomic_fetch_add(&total, acc);
+    return 0;
+  }
+  int main() {
+    long tids[4];
+    for (int i = 0; i < 4; i++) pthread_create(&tids[i], 0, worker, 200 + i);
+    for (int i = 0; i < 4; i++) pthread_join(tids[i], 0);
+    return (int)(total % 100000);
+  })";
+
+// Minimal shapes first: straight-line code, a phi-carried loop (exercises
+// the edge-stub parallel copies), and direct calls (cross-frame return).
+TEST(ExecTiered, StraightLineIdentical) {
+  Built built = Build("int main() { return 42; }");
+  ExecResult t0 = RunBuilt(built, Tiered(0));
+  ExecResult t1 = RunBuilt(built, Tiered(1));
+  ExpectSameRun(t0, t1, "straight line");
+  EXPECT_EQ(t1.exit_code, 42);
+}
+
+TEST(ExecTiered, PhiLoopIdentical) {
+  Built built = Build(R"(
+    int main() {
+      long s = 0;
+      for (long i = 0; i < 10; i++) s += i;
+      return (int)s;
+    })");
+  ExecResult t0 = RunBuilt(built, Tiered(0));
+  ExecResult t1 = RunBuilt(built, Tiered(1));
+  ExpectSameRun(t0, t1, "phi loop");
+  EXPECT_EQ(t1.exit_code, 45);
+}
+
+TEST(ExecTiered, DirectCallsIdentical) {
+  Built built = Build(R"(
+    long f(long x) { return x * 2 + 1; }
+    int main() { return (int)(f(3) + f(10)); })");
+  ExecResult t0 = RunBuilt(built, Tiered(0));
+  ExecResult t1 = RunBuilt(built, Tiered(1));
+  ExpectSameRun(t0, t1, "direct calls");
+  EXPECT_EQ(t1.exit_code, 28);
+}
+
+TEST(ExecTiered, SingleThreadedIdenticalAcrossTiers) {
+  Built built = Build(kComputeSource);
+  ExecResult t0 = RunBuilt(built, Tiered(0));
+  ExecResult t1 = RunBuilt(built, Tiered(1));
+  ASSERT_TRUE(t0.ok) << t0.fault_message;
+  ExpectSameRun(t0, t1, "compute");
+  // Tier 1 must actually have carried the run, or this proves nothing.
+  EXPECT_EQ(t0.tier1_translations, 0u);
+  EXPECT_GT(t1.tier1_translations, 0u);
+  EXPECT_GT(t1.tier1_instrs, t1.steps / 2) << "tier 1 barely used";
+}
+
+TEST(ExecTiered, MultithreadedMinClockIdenticalAcrossTiers) {
+  Built built = Build(kThreadedSource);
+  for (uint64_t seed : {1ull, 7ull, 23ull, 12345ull}) {
+    ExecOptions base0 = Tiered(0);
+    ExecOptions base1 = Tiered(1);
+    base0.seed = base1.seed = seed;
+    ExecResult t0 = RunBuilt(built, base0);
+    ExecResult t1 = RunBuilt(built, base1);
+    ASSERT_TRUE(t0.ok) << t0.fault_message;
+    ExpectSameRun(t0, t1, "seed " + std::to_string(seed));
+    EXPECT_GT(t1.tier1_instrs, 0u);
+  }
+}
+
+TEST(ExecTiered, MixedTierUpMidRun) {
+  // A mid-range threshold makes functions tier up only after the run has
+  // interpreted them for a while: the transition itself must be invisible.
+  Built built = Build(kThreadedSource);
+  ExecResult t0 = RunBuilt(built, Tiered(0));
+  for (uint64_t threshold : {1ull, 16ull, 200ull}) {
+    ExecResult mixed = RunBuilt(built, Tiered(1, threshold));
+    ExpectSameRun(t0, mixed, "threshold " + std::to_string(threshold));
+    EXPECT_GT(mixed.tier1_translations, 0u)
+        << "threshold " << threshold << " never tiered up";
+    EXPECT_LT(mixed.tier1_instrs, mixed.steps)
+        << "threshold " << threshold << " should leave a tier-0 warmup";
+  }
+  // A threshold beyond the whole run must behave as pure tier 0.
+  ExecResult cold = RunBuilt(built, Tiered(1, 1u << 30));
+  ExpectSameRun(t0, cold, "cold threshold");
+  EXPECT_EQ(cold.tier1_translations, 0u);
+}
+
+TEST(ExecTiered, RecordedPctSchedulesReplayIdenticalAcrossTiers) {
+  uint64_t engine_seed = TestSeed(1);
+  SCOPED_TRACE("POLYNIMA_SEED=" + std::to_string(engine_seed));
+  const recomp::RecompiledBinary binary =
+      schedtest::BuildCorpus("rle_flag", "fenced");
+
+  int nondefault_runs = 0;
+  uint64_t preempt_deopts = 0;
+  for (uint64_t s = 0; s < 6; ++s) {
+    // Record under tier 0 — the semantic reference.
+    sched::PctOptions pct_options;
+    pct_options.expected_length = 256;
+    sched::PctScheduler pct(engine_seed + s, pct_options);
+    sched::RecordingScheduler recorder(&pct, engine_seed);
+    sched::Outcome recorded =
+        schedtest::RunCorpus(binary, &recorder, engine_seed);
+    nondefault_runs += recorder.schedule().decisions.empty() ? 0 : 1;
+
+    // Replay the exact recording under every tier configuration.
+    for (uint64_t threshold : {0ull, 8ull}) {
+      SCOPED_TRACE("pct " + std::to_string(s) + " threshold " +
+                   std::to_string(threshold));
+      ExecOptions base;
+      base.tier = 1;
+      base.tier_threshold = threshold;
+      sched::ReplayScheduler replay(recorder.schedule());
+      sched::Outcome replayed =
+          schedtest::RunCorpus(binary, &replay, engine_seed, base);
+      EXPECT_EQ(replayed.Key(), recorded.Key())
+          << recorder.schedule().Serialize();
+      EXPECT_EQ(replayed.state_digest, recorded.state_digest)
+          << recorder.schedule().Serialize();
+      EXPECT_EQ(replay.skipped_decisions(), 0);
+    }
+
+    // Count preempt deopts once (eager tier 1) to prove the guard carried
+    // the controlled run rather than tier 1 silently staying off.
+    ExecOptions eager;
+    eager.tier = 1;
+    sched::ReplayScheduler replay(recorder.schedule());
+    exec::ExecOptions options = eager;
+    options.seed = engine_seed;
+    options.scheduler = &replay;
+    ExecResult r = binary.Run({}, options);
+    preempt_deopts +=
+        r.deopts_by_reason[static_cast<int>(DeoptReason::kPreempt)];
+  }
+  EXPECT_GT(nondefault_runs, 0);
+  EXPECT_GT(preempt_deopts, 0u);
+}
+
+TEST(ExecTiered, CorpusScheduleFilesIdenticalAcrossTiers) {
+  std::filesystem::path dir(POLY_SCHEDULES_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::map<std::pair<std::string, std::string>,
+           std::unique_ptr<recomp::RecompiledBinary>>
+      builds;
+  int entries = 0;
+  for (const auto& file : std::filesystem::directory_iterator(dir)) {
+    if (file.path().extension() != ".sched") {
+      continue;
+    }
+    SCOPED_TRACE(file.path().filename().string());
+    std::ifstream in(file.path());
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto entry = sched::CorpusEntry::Parse(buffer.str());
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+    ++entries;
+
+    auto key = std::make_pair(entry->program, entry->variant);
+    auto it = builds.find(key);
+    if (it == builds.end()) {
+      it = builds
+               .emplace(key, std::make_unique<recomp::RecompiledBinary>(
+                                 schedtest::BuildCorpus(entry->program,
+                                                        entry->variant)))
+               .first;
+    }
+    const recomp::RecompiledBinary& binary = *it->second;
+
+    sched::ReplayScheduler tier0(entry->schedule);
+    sched::Outcome a =
+        schedtest::RunCorpus(binary, &tier0, entry->schedule.seed);
+    EXPECT_EQ(a.Key(), entry->expect) << entry->schedule.Serialize();
+
+    ExecOptions base;
+    base.tier = 1;
+    sched::ReplayScheduler tier1(entry->schedule);
+    sched::Outcome b =
+        schedtest::RunCorpus(binary, &tier1, entry->schedule.seed, base);
+    EXPECT_EQ(b.Key(), a.Key()) << entry->schedule.Serialize();
+    EXPECT_EQ(b.state_digest, a.state_digest) << entry->schedule.Serialize();
+    EXPECT_EQ(tier1.skipped_decisions(), 0);
+  }
+  EXPECT_GE(entries, 3);
+}
+
+TEST(ExecTiered, DeoptSmcWrite) {
+  // A store into the image's executable range (code loads at
+  // binary::kCodeBase) must transfer to the interpreter before executing,
+  // and the run must end exactly as tier 0 ends it.
+  Built built = Build(R"(
+    int main() {
+      long* p = (long*)0x400000;   // binary::kCodeBase
+      *p = 42;
+      return (int)*p;
+    })");
+  ExecResult t0 = RunBuilt(built, Tiered(0));
+  ExecResult t1 = RunBuilt(built, Tiered(1));
+  ExpectSameRun(t0, t1, "smc write");
+  EXPECT_EQ(t0.deopts, 0u);
+  EXPECT_GE(t1.deopts_by_reason[static_cast<int>(DeoptReason::kSmcWrite)], 1u);
+}
+
+TEST(ExecTiered, DeoptUncoveredEdge) {
+  // An indirect call through a variable lifts to a dispatch switch whose
+  // default edge is a cfmiss stub — uncovered by the translator. Taking it
+  // at runtime (static CFG recovery does not know the callee here) must
+  // deopt, and the surfaced control-flow miss must match tier 0's exactly.
+  Built built = Build(R"(
+    long add_one(long x) { return x + 1; }
+    int main() {
+      long (*p)(long) = add_one;
+      return (int)p(41);
+    })",
+                      /*opt=*/0, /*optimize=*/false);
+  ExecResult t0 = RunBuilt(built, Tiered(0));
+  ExecResult t1 = RunBuilt(built, Tiered(1));
+  ExpectSameRun(t0, t1, "uncovered edge");
+  if (t0.miss.has_value()) {
+    // The miss surfaced mid-function: tier 1 must have reached it through
+    // the uncovered-edge guard.
+    EXPECT_GE(
+        t1.deopts_by_reason[static_cast<int>(DeoptReason::kUncoveredEdge)],
+        1u);
+  }
+}
+
+TEST(ExecTiered, StepLimitIdenticalAcrossTiers) {
+  Built built = Build(R"(
+    int main() {
+      long x = 1;
+      while (x) { x = x * 2 + 1; }
+      return 0;
+    })");
+  ExecOptions base0 = Tiered(0);
+  ExecOptions base1 = Tiered(1);
+  base0.max_steps = base1.max_steps = 100000;
+  ExecResult t0 = RunBuilt(built, base0);
+  ExecResult t1 = RunBuilt(built, base1);
+  EXPECT_FALSE(t0.ok);
+  EXPECT_NE(t0.fault_message.find("step limit"), std::string::npos);
+  ExpectSameRun(t0, t1, "step limit");
+}
+
+TEST(ExecTiered, NestedCallbacksThroughMemoizedDispatch) {
+  // qsort's comparator re-enters lifted code through the dispatcher while a
+  // translated frame is live below it, and the comparator itself calls
+  // another lifted function — exercising the entry-PC table and cross-tier
+  // call/return in both directions.
+  Built built = Build(R"(
+    extern void qsort(long* base, long n, long size, int (*c)(long*, long*));
+    long keyof(long v) { return v % 10; }
+    long data[6] = {31, 12, 53, 24, 45, 6};
+    int cmp(long* a, long* b) {
+      long ka = keyof(*a);
+      long kb = keyof(*b);
+      if (ka < kb) return -1;
+      if (ka > kb) return 1;
+      return 0;
+    }
+    int main() {
+      qsort(data, 6, 8, cmp);
+      return (int)(data[0] * 100 + data[5]);
+    })");
+  ExecResult t0 = RunBuilt(built, Tiered(0));
+  ExecResult t1 = RunBuilt(built, Tiered(1));
+  ASSERT_TRUE(t0.ok) << t0.fault_message;
+  EXPECT_EQ(t0.exit_code, 3106);
+  ExpectSameRun(t0, t1, "nested callbacks");
+  EXPECT_GT(t1.tier1_instrs, 0u);
+}
+
+}  // namespace
+}  // namespace polynima::exec

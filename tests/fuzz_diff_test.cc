@@ -1,9 +1,10 @@
 // Differential fuzzing across the whole stack: randomly generated mcc
 // programs (bounded loops, guarded division, masked indices — no undefined
-// behaviour) must produce identical output in four configurations:
-// O0-original, O2-original, O0-recompiled, O2-recompiled. Any divergence is
-// a bug in the compiler, the VM, the recovery, the lifter, the optimizer or
-// the execution engine.
+// behaviour) must produce identical output in six configurations:
+// O0-original, O2-original, O0-recompiled, O2-recompiled, plus the
+// O2-recompiled binary executed under tier 1 (eager) and a mixed tier-up
+// threshold. Any divergence is a bug in the compiler, the VM, the recovery,
+// the lifter, the optimizer or the execution engine (either tier).
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -157,7 +158,8 @@ class ProgramGenerator {
 };
 
 std::string RunConfig(const std::string& source, int opt, bool recompiled,
-                      std::string* error, int jobs = 1) {
+                      std::string* error, int jobs = 1, int tier = 0,
+                      uint64_t tier_threshold = 0) {
   cc::CompileOptions options;
   options.name = "fuzz";
   options.opt_level = opt;
@@ -195,7 +197,10 @@ std::string RunConfig(const std::string& source, int opt, bool recompiled,
     *error = binary.status().ToString();
     return "";
   }
-  auto result = recompiler.RunAdditive(*binary, {});
+  exec::ExecOptions exec_options;
+  exec_options.tier = tier;
+  exec_options.tier_threshold = tier_threshold;
+  auto result = recompiler.RunAdditive(*binary, {}, exec_options);
   if (!result.ok() || !result->ok) {
     *error = "engine: " + (result.ok() ? result->fault_message
                                        : result.status().ToString());
@@ -220,12 +225,27 @@ TEST_P(FuzzDiff, FourWayEquivalence) {
   // The recompiled configs run with a seed-derived worker count so the fuzz
   // corpus also exercises the parallel lift+optimize pipeline.
   Rng jobs_rng(seed * 0x9e3779b97f4a7c15ull + 1);
-  for (auto [opt, recompiled] :
-       {std::pair{2, false}, {0, true}, {2, true}}) {
-    int jobs = recompiled ? 1 + static_cast<int>(jobs_rng.NextBelow(4)) : 1;
-    std::string got = RunConfig(source, opt, recompiled, &error, jobs);
+  // {opt, recompiled, tier, tier_threshold}: the last two rows run the
+  // recompiled binary through the tier-1 translator — eagerly and with a
+  // mid-run tier-up threshold — and must still match the O0-original VM.
+  struct Config {
+    int opt;
+    bool recompiled;
+    int tier;
+    uint64_t tier_threshold;
+  };
+  for (const Config& config :
+       {Config{2, false, 0, 0}, Config{0, true, 0, 0}, Config{2, true, 0, 0},
+        Config{2, true, 1, 0}, Config{2, true, 1, 64}}) {
+    int jobs =
+        config.recompiled ? 1 + static_cast<int>(jobs_rng.NextBelow(4)) : 1;
+    std::string got =
+        RunConfig(source, config.opt, config.recompiled, &error, jobs,
+                  config.tier, config.tier_threshold);
     EXPECT_EQ(got, reference)
-        << "config O" << opt << (recompiled ? " recompiled" : " original")
+        << "config O" << config.opt
+        << (config.recompiled ? " recompiled" : " original")
+        << " tier=" << config.tier << "/" << config.tier_threshold
         << " jobs=" << jobs << " diverged (" << error << ")\nsource:\n"
         << source;
   }

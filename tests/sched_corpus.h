@@ -96,9 +96,12 @@ inline recomp::RecompiledBinary BuildCorpus(const std::string& name,
   return std::move(*binary);
 }
 
+// `base` carries any extra execution options (e.g. tier selection for the
+// cross-tier differential suite); seed and scheduler are overwritten.
 inline sched::Outcome RunCorpus(const recomp::RecompiledBinary& binary,
-                                sched::Scheduler* scheduler, uint64_t seed) {
-  exec::ExecOptions options;
+                                sched::Scheduler* scheduler, uint64_t seed,
+                                exec::ExecOptions base = {}) {
+  exec::ExecOptions options = base;
   options.seed = seed;
   options.scheduler = scheduler;
   exec::ExecResult r = binary.Run({}, options);
