@@ -1,13 +1,14 @@
 // Tiered-execution throughput: host-side instructions/second of the exec
 // engine at tier 0 (IR interpreter) vs tier 1 (direct-threaded
-// superinstruction bytecode), on hot single-threaded kernels.
+// superinstruction bytecode) vs tier 2 (native x86 re-emission of the
+// tier-1 stream), on hot single-threaded kernels.
 //
 // This measures the toolchain's own speed, not guest-level simulated cycles:
-// both tiers retire the same guest instruction stream with bit-identical
+// all tiers retire the same guest instruction stream with bit-identical
 // results (enforced by tests/exec_tiered_test.cc), so the only thing allowed
-// to differ is how fast the host gets through it. The acceptance bar for the
-// tier-1 backend is >= 2x instructions/sec over tier 0 on at least two
-// workloads.
+// to differ is how fast the host gets through it. The acceptance bars are
+// tier 1 >= 2x instructions/sec over tier 0 and tier 2 >= 1.5x over tier 1,
+// each on at least two workloads.
 //
 // Emits BENCH_exec_tiered.json (polynima-bench/v1).
 #include <algorithm>
@@ -18,6 +19,7 @@
 #include "src/cfg/cfg.h"
 #include "src/lift/lifter.h"
 #include "src/opt/passes.h"
+#include "src/vm/code_buffer.h"
 
 namespace polynima::bench {
 namespace {
@@ -126,51 +128,80 @@ Measured Measure(const Built& built, int tier, int reps) {
 
 int Run() {
   constexpr int kReps = 5;
+  const bool tier2_active = vm::CodeBuffer::Supported();
   std::printf(
-      "Tiered execution backend: host instructions/second, tier 1 vs tier 0\n"
+      "Tiered execution backend: host instructions/second across tiers\n"
       "(median of %d runs; identical guest results enforced per run)\n\n",
       kReps);
-  std::printf("%-16s %14s %14s %8s %12s %7s\n", "kernel", "tier0 (M/s)",
-              "tier1 (M/s)", "speedup", "translations", "deopts");
+  std::printf("%-16s %12s %12s %12s %8s %8s %7s\n", "kernel", "tier0 (M/s)",
+              "tier1 (M/s)", "tier2 (M/s)", "t1/t0", "t2/t1", "deopts");
 
   BenchReport report("exec_tiered");
   report.Config("suite", "exec_tiered");
   report.Config("reps", static_cast<int64_t>(kReps));
+  report.Config("tier2_active", tier2_active ? "yes" : "no");
 
-  int met_bar = 0;
+  int met_bar_t1 = 0;
+  int met_bar_t2 = 0;
   for (const Kernel& kernel : kKernels) {
     Built built = BuildKernel(kernel);
     Measured t0 = Measure(built, 0, kReps);
     Measured t1 = Measure(built, 1, kReps);
+    Measured t2 = Measure(built, 2, kReps);
     // Bit-identical observable behavior between tiers — a wrong answer
     // makes any speedup meaningless.
     POLY_CHECK(t1.result.exit_code == t0.result.exit_code);
     POLY_CHECK(t1.result.steps == t0.result.steps);
     POLY_CHECK(t1.result.wall_time == t0.result.wall_time);
-    double speedup = t1.instrs_per_sec / t0.instrs_per_sec;
-    if (speedup >= 2.0) {
-      ++met_bar;
+    POLY_CHECK(t2.result.exit_code == t0.result.exit_code);
+    POLY_CHECK(t2.result.steps == t0.result.steps);
+    POLY_CHECK(t2.result.wall_time == t0.result.wall_time);
+    double speedup1 = t1.instrs_per_sec / t0.instrs_per_sec;
+    double speedup2 = t2.instrs_per_sec / t1.instrs_per_sec;
+    if (speedup1 >= 2.0) {
+      ++met_bar_t1;
     }
-    std::printf("%-16s %14.1f %14.1f %7.2fx %12llu %7llu\n", kernel.name,
-                t0.instrs_per_sec / 1e6, t1.instrs_per_sec / 1e6, speedup,
-                static_cast<unsigned long long>(t1.result.tier1_translations),
-                static_cast<unsigned long long>(t1.result.deopts));
+    if (speedup2 >= 1.5) {
+      ++met_bar_t2;
+    }
+    std::printf("%-16s %12.1f %12.1f %12.1f %7.2fx %7.2fx %7llu\n",
+                kernel.name, t0.instrs_per_sec / 1e6, t1.instrs_per_sec / 1e6,
+                t2.instrs_per_sec / 1e6, speedup1, speedup2,
+                static_cast<unsigned long long>(t2.result.deopts));
     report.Sample("instrs_per_sec", t0.instrs_per_sec,
                   {{"bench", kernel.name}, {"tier", "0"}});
     report.Sample("instrs_per_sec", t1.instrs_per_sec,
                   {{"bench", kernel.name}, {"tier", "1"}});
-    report.Sample("speedup", speedup, {{"bench", kernel.name}});
+    report.Sample("instrs_per_sec", t2.instrs_per_sec,
+                  {{"bench", kernel.name}, {"tier", "2"}});
+    report.Sample("speedup", speedup1, {{"bench", kernel.name}});
+    report.Sample("speedup_tier2", speedup2, {{"bench", kernel.name}});
     report.Sample("tier1_translations",
                   static_cast<double>(t1.result.tier1_translations),
+                  {{"bench", kernel.name}});
+    report.Sample("tier2_translations",
+                  static_cast<double>(t2.result.tier2_translations),
                   {{"bench", kernel.name}});
     report.Sample("deopts", static_cast<double>(t1.result.deopts),
                   {{"bench", kernel.name}});
   }
-  std::printf("\n%d/%zu kernels at >= 2x (acceptance: >= 2 kernels)\n",
-              met_bar, std::size(kKernels));
-  report.Sample("kernels_at_2x", met_bar);
+  std::printf("\n%d/%zu kernels at tier1 >= 2x tier0 (acceptance: >= 2)\n",
+              met_bar_t1, std::size(kKernels));
+  std::printf("%d/%zu kernels at tier2 >= 1.5x tier1 (acceptance: >= 2%s)\n",
+              met_bar_t2, std::size(kKernels),
+              tier2_active ? "" : "; waived — no executable mappings");
+  report.Sample("kernels_at_2x", met_bar_t1);
+  report.Sample("kernels_at_1_5x_tier2", met_bar_t2);
   report.Write();
-  return met_bar >= 2 ? 0 : 1;
+  if (met_bar_t1 < 2) {
+    return 1;
+  }
+  // Hosts without executable mappings silently cap at tier 1; the tier-2
+  // bar only applies where native code actually runs.
+  if (tier2_active && met_bar_t2 < 2) {
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace

@@ -121,6 +121,15 @@ diff "$obsdir/tier0.txt" "$obsdir/tier1.txt" || {
   echo "FAIL: tier-1 output diverged from tier 0" >&2; exit 1; }
 "$polynima" report --validate "$obsdir/tier1-run.json"
 
+step "exec: tier-2 CLI run matches tier 0, schema-validated"
+# Same binary through the native tier (silently capped at tier 1 on hosts
+# without executable mappings — the diff must hold either way).
+"$polynima" run "$obsdir/counter.plyb" -p "$obsdir/proj" --tier 2 \
+  --report-out "$obsdir/tier2-run.json" | tee "$obsdir/tier2.txt"
+diff "$obsdir/tier0.txt" "$obsdir/tier2.txt" || {
+  echo "FAIL: tier-2 output diverged from tier 0" >&2; exit 1; }
+"$polynima" report --validate "$obsdir/tier2-run.json"
+
 step "configure+build: asan-ubsan"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"

@@ -37,6 +37,7 @@ namespace polynima::exec {
 
 class Engine;
 struct Translation;  // tier-1 bytecode unit (src/exec/tier1.h)
+struct NativeCode;   // tier-2 native re-emission (src/exec/tier2.h)
 
 // Why a tier-1 frame transferred back to the interpreter.
 enum class DeoptReason : int {
@@ -88,6 +89,10 @@ struct FuncInfo {
   uint64_t heat = 0;
   bool translation_failed = false;
   std::shared_ptr<Translation> translation;
+  // Tier-2 native re-emission of `translation` (promoted by continued heat
+  // once the bytecode tier is in place; see src/exec/tier2.h).
+  std::shared_ptr<NativeCode> native;
+  bool native_failed = false;
 };
 
 // One lifted-function activation. `values` is the register file both tiers
@@ -105,6 +110,10 @@ struct Frame {
   // True while this frame executes tier-1 bytecode at `tpc`; false while
   // the interpreter drives (block, it). Deopt flips this mid-function.
   bool translated = false;
+  // True while this frame executes tier-2 native code (implies `translated`:
+  // both tiers share the TInst stream, and `tpc` is always the resume
+  // position at batch boundaries). Deopt clears both flags.
+  bool native = false;
   uint32_t tpc = 0;
   // Guest-profile site of the current block (valid only while profiling;
   // cached so the per-instruction hook is an array increment).

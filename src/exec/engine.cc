@@ -5,7 +5,9 @@
 #include "src/exec/exec_util.h"
 #include "src/exec/interp.h"
 #include "src/exec/tier1.h"
+#include "src/exec/tier2.h"
 #include "src/support/strings.h"
+#include "src/vm/code_buffer.h"
 #include "src/x86/registers.h"
 
 namespace polynima::exec {
@@ -136,6 +138,17 @@ Engine::Engine(const lift::LiftedProgram& program, const binary::Image& image,
   tier1_enabled_ = options_.tier >= 1 && !options_.record_accesses &&
                    options_.schedule_skew == 0;
   tier_threshold_ = options_.tier_threshold;
+  // Tier 2 re-emits tier-1 streams as native code, so it inherits tier 1's
+  // gating and additionally requires executable mappings on this host.
+  tier2_enabled_ = tier1_enabled_ && options_.tier >= 2 &&
+                   vm::CodeBuffer::Supported();
+  if (tier2_enabled_) {
+    tier2_ = std::make_unique<Tier2Backend>(*this);
+    tier2_enabled_ = tier2_->ready();
+  }
+  // Staged promotion: a function crosses into tier 1 at the threshold and
+  // into native code at twice that heat (eager at threshold 0).
+  tier2_threshold_ = tier_threshold_ * 2;
   obs_attached_ =
       options_.obs.metrics != nullptr || options_.obs.profile != nullptr;
 }
@@ -254,37 +267,59 @@ void Engine::PushFrame(Thread& t, FuncInfo* info, bool dispatch_root) {
     options_.obs.profile->AddEntry(frame.profile_site);
   }
   t.stack.push_back(std::move(frame));
-  MaybeTier1(t.stack.back());
+  MaybeTierUp(t.stack.back());
 }
 
-void Engine::MaybeTier1(Frame& f) {
-  if (!tier1_enabled_ || f.translated) {
+void Engine::MaybeTierUp(Frame& f) {
+  if (!tier1_enabled_ || f.native) {
     return;
   }
   FuncInfo* info = f.info;
-  if (info->translation == nullptr) {
-    if (info->translation_failed) {
+  if (!f.translated) {
+    if (info->translation == nullptr) {
+      if (info->translation_failed) {
+        return;
+      }
+      if (++info->heat < tier_threshold_) {
+        return;  // not hot yet (threshold 0 translates on first entry)
+      }
+      if (!tier1_->Translate(info)) {
+        return;
+      }
+      ++tier1_translations_;
+      options_.obs.Add(obs::Counter::kExecTier1Translations);
+    }
+    // On-stack replacement at the current block's bytecode head. The head is
+    // post-phi, and this runs only at block/function entry with phis already
+    // materialized. Uncovered current block: stay in tier 0 for now.
+    auto it = info->translation->block_heads.find(f.block);
+    if (it == info->translation->block_heads.end()) {
       return;
     }
-    if (++info->heat < tier_threshold_) {
-      return;  // not hot yet (threshold 0 translates on first entry)
-    }
-    if (!tier1_->Translate(info)) {
-      return;
-    }
-    ++tier1_translations_;
-    options_.obs.Add(obs::Counter::kExecTier1Translations);
+    f.translated = true;
+    f.tpc = it->second;
+    Tier1Backend::EnsureTier1Values(f);
   }
-  // On-stack replacement at the current block's bytecode head. The head is
-  // post-phi, and this runs only at block/function entry with phis already
-  // materialized. Uncovered current block: stay in tier 0 for now.
-  auto it = info->translation->block_heads.find(f.block);
-  if (it == info->translation->block_heads.end()) {
+  // Native promotion. Heat keeps counting past the tier-1 threshold — once
+  // per activation/OSR boundary and once per exhausted tier-1 batch quantum
+  // (Engine::Step re-dispatch), so both call-heavy functions and one long
+  // activation eventually cross tier2_threshold_. Tier-1-only configs never
+  // reach this point with tier2_enabled_, so their heat stops at
+  // translation exactly as before.
+  if (!tier2_enabled_ || info->native_failed) {
     return;
   }
-  f.translated = true;
-  f.tpc = it->second;
-  Tier1Backend::EnsureTier1Values(f);
+  if (info->native == nullptr) {
+    if (++info->heat < tier2_threshold_) {
+      return;
+    }
+    if (!tier2_->Translate(info)) {
+      return;
+    }
+    ++tier2_translations_;
+    options_.obs.Add(obs::Counter::kExecTier2Translations);
+  }
+  f.native = true;
 }
 
 void Engine::EnterBlock(Frame& f, BasicBlock* target) {
@@ -319,7 +354,7 @@ void Engine::EnterBlock(Frame& f, BasicBlock* target) {
     f.profile_site = ProfileSite(f.info->fn, target);
     options_.obs.profile->AddEntry(f.profile_site);
   }
-  MaybeTier1(f);
+  MaybeTierUp(f);
 }
 
 bool Engine::DispatchPending(Thread& t) {
@@ -361,7 +396,22 @@ bool Engine::Step(Thread& t, StepMode mode) {
   if (t.stack.empty()) {
     return DispatchPending(t);
   }
-  if (t.stack.back().translated) {
+  Frame& f = t.stack.back();
+  // A hot tier-1 frame inside one long activation never re-crosses an
+  // activation boundary, so batch re-dispatch is the second place heat can
+  // accrue and the frame can enter native code: every tpc has a tier-2
+  // entry point, making any batch boundary a valid OSR site.
+  if (tier2_enabled_ && f.translated && !f.native &&
+      mode != StepMode::kSingle) {
+    MaybeTierUp(f);
+  }
+  // Native frames batch through tier 2; controlled (kSingle) steps drive
+  // the same TInst stream through the tier-1 executor so decision points
+  // stay bit-identical.
+  if (f.native && mode != StepMode::kSingle) {
+    return tier2_->Step(t, mode);
+  }
+  if (f.translated) {
     return tier1_->Step(t, mode);
   }
   return interp_->Step(t, mode);
@@ -643,6 +693,9 @@ ExecResult Engine::Run() {
   if (tier1_instrs_ > 0) {
     options_.obs.Add(obs::Counter::kExecTier1Instrs, tier1_instrs_);
   }
+  if (tier2_instrs_ > 0) {
+    options_.obs.Add(obs::Counter::kExecTier2Instrs, tier2_instrs_);
+  }
   span.Arg("steps", static_cast<int64_t>(steps_));
   span.End();
 
@@ -657,6 +710,8 @@ ExecResult Engine::Run() {
   result.observed_callbacks = observed_callbacks_;
   result.tier1_translations = tier1_translations_;
   result.tier1_instrs = tier1_instrs_;
+  result.tier2_translations = tier2_translations_;
+  result.tier2_instrs = tier2_instrs_;
   for (int i = 0; i < static_cast<int>(DeoptReason::kNumReasons); ++i) {
     result.deopts_by_reason[i] = deopt_counts_[i];
     result.deopts += deopt_counts_[i];

@@ -50,6 +50,7 @@ namespace polynima::exec {
 
 class InterpreterBackend;
 class Tier1Backend;
+class Tier2Backend;
 
 struct ExecOptions {
   uint64_t seed = 1;
@@ -70,11 +71,14 @@ struct ExecOptions {
   // build on. Mutually exclusive with schedule_skew. Not owned.
   sched::Scheduler* scheduler = nullptr;
   // Highest execution tier: 0 = interpret everything, 1 = translate hot
-  // functions to superinstruction bytecode (DESIGN.md §4f). Results are
-  // bit-identical across tiers; tier 1 only changes host-side speed.
+  // functions to superinstruction bytecode (DESIGN.md §4f), 2 = additionally
+  // re-emit hot tier-1 streams as native x86 (DESIGN.md §4g; silently capped
+  // at 1 on hosts without executable mappings). Results are bit-identical
+  // across tiers; higher tiers only change host-side speed.
   int tier = 0;
   // Block-entry count at which a function becomes hot enough to translate.
-  // 0 with tier >= 1 means translate eagerly on first entry.
+  // 0 with tier >= 1 means translate eagerly on first entry. Tier-2
+  // promotion uses twice this threshold (staged 0 -> 1 -> 2 tier-up).
   uint64_t tier_threshold = 0;
   // Compute ExecResult::state_digest (implied by `scheduler`).
   bool record_state_digest = false;
@@ -156,6 +160,8 @@ struct ExecResult {
   // Tiered-execution telemetry (zero in pure tier-0 runs).
   uint64_t tier1_translations = 0;
   uint64_t tier1_instrs = 0;  // guest instructions retired by tier-1 code
+  uint64_t tier2_translations = 0;
+  uint64_t tier2_instrs = 0;  // guest instructions retired by native code
   uint64_t deopts = 0;
   uint64_t deopts_by_reason[static_cast<int>(DeoptReason::kNumReasons)] = {};
 };
@@ -191,6 +197,7 @@ class Engine : public vm::GuestContext {
  private:
   friend class InterpreterBackend;
   friend class Tier1Backend;
+  friend class Tier2Backend;
 
   Thread& CreateThread(uint64_t entry_pc, uint64_t arg0, uint64_t arg1,
                        uint64_t exit_magic);
@@ -203,8 +210,9 @@ class Engine : public vm::GuestContext {
   bool DispatchPending(Thread& t);
   void PushFrame(Thread& t, FuncInfo* info, bool dispatch_root);
   // Tier-up check: translate `info` when hot and OSR-enter the frame's
-  // current block if a translation covers it.
-  void MaybeTier1(Frame& f);
+  // current block if a translation covers it; promote tier-1 frames to
+  // native code once heat doubles the threshold.
+  void MaybeTierUp(Frame& f);
 
   NextOp ClassifyNextOp(const Thread& t) const;
   // Block the thread's top frame currently executes, tier-agnostic
@@ -266,14 +274,19 @@ class Engine : public vm::GuestContext {
   // Execution tiers. tier1_ exists only when enabled by options.
   std::unique_ptr<InterpreterBackend> interp_;
   std::unique_ptr<Tier1Backend> tier1_;
+  std::unique_ptr<Tier2Backend> tier2_;
   bool tier1_enabled_ = false;
+  bool tier2_enabled_ = false;
   uint64_t tier_threshold_ = 0;
+  uint64_t tier2_threshold_ = 0;
   // True when no metrics/profile sink is attached: instruction loops run
   // the template specialization with every obs check compiled out.
   bool obs_attached_ = false;
   // Tier telemetry.
   uint64_t tier1_translations_ = 0;
   uint64_t tier1_instrs_ = 0;
+  uint64_t tier2_translations_ = 0;
+  uint64_t tier2_instrs_ = 0;
   uint64_t deopt_counts_[static_cast<int>(DeoptReason::kNumReasons)] = {};
 
   bool exited_ = false;

@@ -706,6 +706,7 @@ void Tier1Backend::Deopt(Thread& t, Frame& f, const TInst& ti,
                          DeoptReason reason) {
   (void)t;
   f.translated = false;
+  f.native = false;  // a preempt deopt may hit a tier-2 frame (kSingle path)
   f.block = ti.block;
   f.it = ti.anchor;
   f.profile_site = ti.site;

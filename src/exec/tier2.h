@@ -1,0 +1,151 @@
+// Tier 2: native x86-64 re-emission of tier-1 superinstruction streams
+// (DESIGN.md §4g).
+//
+// Tier 2 is deliberately *not* a new compiler. It takes the tier-1
+// Translation — the fused, cost-annotated TInst stream that already encodes
+// every determinism rule (fusion boundaries, per-TInst cost and jitter-draw
+// counts, deopt stubs on uncovered edges) — and re-emits each TInst as a
+// short host-code snippet through the project's own x86 assembler. Because
+// both tiers execute the same stream position-for-position, everything that
+// makes tier 1 bit-identical to the interpreter is inherited wholesale:
+//
+//   - the virtual clock advances by the same per-TInst costs, and jitter
+//     draws come from the same per-thread SplitMix64 stream (inlined into
+//     the native code, state carried in a callee-saved register);
+//   - stores check Memory::InExecutableRange before retiring and exit with a
+//     self-modifying-code deopt, exactly where tier 1 would;
+//   - branches into uncovered blocks exit through the same kDeopt stub
+//     TInsts, before any charging;
+//   - batch execution stops before guest-visible operations under the same
+//     executed>0 rule, so min-clock interleavings are unchanged;
+//   - controlled-scheduler (kSingle) stepping is delegated to the tier-1
+//     executor over the same stream, so preemption deopts and decision
+//     points are trivially identical.
+//
+// Mechanically, a translated function becomes one flat code region with a
+// native entry offset per TInst index (tpc). Entry happens through a single
+// shared thunk that loads the hot state (values base, clock, executed
+// counter, rng state) from a Tier2Ctx into callee-saved registers and jumps
+// to the resume offset; every exit writes the state back and reports an exit
+// status + tpc. All frame manipulation — returns, calls, intrinsics, deopt
+// bookkeeping, fault propagation — stays in C++, in Tier2Backend::Step,
+// which mirrors tier 1's accounting exactly. Guest memory accesses go
+// through C++ helpers so Memory's paging/digest/fault machinery is shared;
+// a helper observing a guest fault latches it in the context and the native
+// code exits at the same TInst boundary tier 1 would have stopped at.
+//
+// Code is installed into a W^X vm::CodeBuffer; on hosts where executable
+// mappings are unavailable the tier silently stays off (engine gates on
+// CodeBuffer::Supported() and Tier2Backend::ready()).
+#ifndef POLYNIMA_EXEC_TIER2_H_
+#define POLYNIMA_EXEC_TIER2_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exec/backend.h"
+#include "src/vm/code_buffer.h"
+
+namespace polynima::exec {
+
+class Engine;
+class Tier1Backend;
+struct TInst;
+
+// Installed native code for one translated function. Offsets are per-TInst
+// so execution can resume at any tpc (OSR entry, return to a call site,
+// re-entry after an intrinsic).
+struct NativeCode {
+  const uint8_t* code = nullptr;
+  std::vector<uint32_t> entry_off;  // entry_off[tpc] = offset of that TInst
+};
+
+// Shared state block between Tier2Backend::Step and generated code. Layout
+// is part of the emitted-code ABI: fixed offsets, asserted in tier2.cc.
+// Generated code keeps values/clock/executed/rng in registers and only
+// touches the rest through [ctx + offset] addressing.
+struct Tier2Ctx {
+  uint64_t* values = nullptr;      // 0: frame value array base
+  uint64_t clock = 0;              // 8: thread virtual clock (in/out)
+  uint64_t executed = 0;           // 16: IR instructions retired this batch
+  uint64_t rng_state = 0;          // 24: jitter SplitMix64 state (in/out)
+  uint64_t budget = 0;             // 32: batch instruction budget
+  uint64_t estack_low = 0;         // 40: private-stack visibility bounds
+  uint64_t estack_high = 0;        // 48
+  const uint8_t* resume = nullptr; // 56: host address to resume at
+  uint64_t exit_status = 0;        // 64: Tier2Exit (out)
+  uint64_t exit_tpc = 0;           // 72: TInst index of the exit site (out)
+  uint64_t batch_stop = 0;         // 80: 1 = stop before visible ops (kBatch)
+  uint64_t mem_fault = 0;          // 88: latched by helpers on guest fault
+  uint64_t* tls = nullptr;         // 96: thread-local global slots
+  uint64_t* shared = nullptr;      // 104: shared global slots
+  Engine* engine = nullptr;        // 112: for helper calls
+  Thread* thread = nullptr;        // 120
+};
+
+// Why generated code returned to Tier2Backend::Step.
+enum class Tier2Exit : uint64_t {
+  // Batch boundary: budget exhausted, visible-op stop, or a latched guest
+  // memory fault. exit_tpc is the resume position (for a fault, the TInst
+  // after the faulting access, mirroring tier 1's post-charge stop).
+  kStop = 1,
+  kRet,           // at a kRet TInst, already charged; C++ pops the frame
+  kCall,          // at a kCall TInst, already charged; C++ pushes the callee
+  kIntrinsic,     // at a kIntrinsic TInst, NOT charged; C++ runs the protocol
+  kDeoptSmc,      // store into executable range; exit_tpc = the store TInst
+  kDeoptAnchor,   // at a kDeopt stub TInst; reason is in its `extra`
+  kDivZero,       // guest division by zero (engine faults)
+  kDivOverflow,   // guest INT64_MIN / -1 (engine faults)
+};
+
+class Tier2Backend : public Backend {
+ public:
+  explicit Tier2Backend(Engine& e);
+  ~Tier2Backend() override;
+
+  const char* name() const override { return "tier2"; }
+
+  // True once the entry thunk is installed; false means the host cannot run
+  // generated code and the engine must not promote frames to tier 2.
+  bool ready() const { return entry_ != nullptr; }
+
+  // Assembles info->translation into native code and attaches it as
+  // info->native. Returns false (and sets info->native_failed) when the
+  // function cannot be installed; the frame then simply stays at tier 1.
+  bool Translate(FuncInfo* info);
+
+  // Executes the top frame natively (kBatch/kBatchFree). kSingle is
+  // delegated to the tier-1 executor over the same stream so controlled
+  // scheduling is decision-for-decision identical.
+  bool Step(Thread& t, StepMode mode) override;
+
+  // Guest-memory and observability helpers called from generated code (SysV
+  // C calling convention; static so their address is an ordinary function
+  // pointer). Public only because the emitter materializes their addresses —
+  // not part of the C++ API.
+  static uint64_t MemRead(Tier2Ctx* ctx, uint64_t addr, uint64_t size);
+  static uint64_t MemWrite(Tier2Ctx* ctx, uint64_t addr, uint64_t size,
+                           uint64_t value);
+  static uint64_t AtomicRmw(Tier2Ctx* ctx, uint64_t addr, uint64_t operand,
+                            uint64_t size_op, uint64_t site);
+  static uint64_t CmpXchg(Tier2Ctx* ctx, uint64_t addr, uint64_t expected,
+                          uint64_t desired, uint64_t size, uint64_t site);
+  static void ObsFence(Tier2Ctx* ctx, uint64_t site);
+  static void ObsInstrs(Tier2Ctx* ctx, uint64_t site, uint64_t n);
+  static void ObsEntry(Tier2Ctx* ctx, uint64_t site);
+
+ private:
+  void InstallThunk();
+  void Deopt(Frame& f, const TInst& ti, DeoptReason reason);
+
+  Engine& e_;
+  vm::CodeBuffer buffer_;
+  // Entry thunk: saves callee-saved registers, loads hot state from the ctx
+  // and jumps to ctx->resume. Generated function code exits through its own
+  // epilogue (store state back, restore registers, return).
+  uint64_t (*entry_)(Tier2Ctx*) = nullptr;
+};
+
+}  // namespace polynima::exec
+
+#endif  // POLYNIMA_EXEC_TIER2_H_

@@ -46,6 +46,8 @@ const char* const kCounterNames[] = {
     "exec.faults",
     "exec.tier1_translations",
     "exec.tier1_instrs",
+    "exec.tier2_translations",
+    "exec.tier2_instrs",
     "exec.deopts",
     "exec.deopt_preempt",
     "exec.deopt_smc_write",

@@ -74,7 +74,9 @@ enum class Counter : int {
   kExecFaults,               // runtime faults (cfmiss included)
   kExecTier1Translations,    // functions translated to tier-1 bytecode
   kExecTier1Instrs,          // guest instructions executed in tier 1
-  kExecDeopts,               // tier-1 -> tier-0 transfers (all reasons)
+  kExecTier2Translations,    // functions re-emitted as tier-2 native code
+  kExecTier2Instrs,          // guest instructions executed in tier 2
+  kExecDeopts,               // translated -> tier-0 transfers (all reasons)
   kExecDeoptPreempt,         //   at scheduler preemption boundaries
   kExecDeoptSmcWrite,        //   at self-modifying-code store guards
   kExecDeoptUncovered,       //   at uncovered CFG edges

@@ -1,6 +1,7 @@
 #include "src/sched/schedule.h"
 
 #include <charconv>
+#include <limits>
 
 #include "src/support/strings.h"
 
@@ -53,9 +54,15 @@ Expected<Schedule> Schedule::Parse(std::string_view text) {
       continue;
     }
     if (StartsWith(f, "seed=")) {
+      if (saw_seed) {
+        return Status::InvalidArgument("duplicate seed= field");
+      }
       POLY_ASSIGN_OR_RETURN(schedule.seed, ParseU64(f.substr(5)));
       saw_seed = true;
     } else if (StartsWith(f, "d=")) {
+      if (saw_decisions) {
+        return Status::InvalidArgument("duplicate d= field");
+      }
       saw_decisions = true;
       std::string_view body = f.substr(2);
       if (body == "-") {
@@ -70,6 +77,10 @@ Expected<Schedule> Schedule::Parse(std::string_view text) {
         Decision d;
         POLY_ASSIGN_OR_RETURN(d.index, ParseU64(parts[0]));
         POLY_ASSIGN_OR_RETURN(uint64_t tid, ParseU64(parts[1]));
+        if (tid > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+          return Status::InvalidArgument(
+              StrCat("thread id out of range: ", tid));
+        }
         d.thread = static_cast<int>(tid);
         if (!schedule.decisions.empty() &&
             schedule.decisions.back().index >= d.index) {

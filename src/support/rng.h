@@ -36,6 +36,13 @@ class Rng {
 
   bool NextBool() { return (Next() & 1) != 0; }
 
+  // Raw stream position, for handing the generator to code that advances it
+  // out-of-line (the native execution tier inlines SplitMix64 and writes the
+  // state back on exit). Round-tripping state() through set_state() resumes
+  // the stream exactly.
+  uint64_t state() const { return state_; }
+  void set_state(uint64_t state) { state_ = state; }
+
  private:
   uint64_t state_;
 };

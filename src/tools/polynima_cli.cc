@@ -9,7 +9,7 @@
 //            [--jobs N] [--check-tso] [--analyze]
 //   polynima run      <img.plyb> -p <projectdir> [--input <file>]...
 //            [--original] [--jobs N] [--check-tso]
-//            [--tier 0|1] [--tier-threshold N]          additive execution
+//            [--tier 0|1|2] [--tier-threshold N]        additive execution
 //   polynima analyze  <img.plyb> [--input <file>]... [--jobs N]
 //            static concurrency analysis (src/analyze): classifies every
 //            guest access (stack-local / thread-local heap / shared),
@@ -21,7 +21,7 @@
 //   polynima explore  <img.plyb> [--input <file>]... [--remove-fences]
 //            [--budget N] [--depth N] [--strategy pct|dfs|both] [--seed N]
 //            [--dfs-bound N] [--replay <sched|file>] [--save-sched <file>]
-//            [--analyze] [--tier 0|1] [--tier-threshold N]
+//            [--analyze] [--tier 0|1|2] [--tier-threshold N]
 //            deterministic schedule exploration (src/sched): diff the
 //            outcome sets of the fenced reference and the optimized build,
 //            shrink any divergence to a minimal schedule, print the repro
@@ -45,13 +45,17 @@
 // default; the disabled cost at every instrumentation point is one branch
 // on a null pointer.
 //
-// Tiered execution (src/exec, DESIGN.md §4f) — `run` and `explore` accept:
-//   --tier 0|1           highest execution tier (default 0). Tier 1
+// Tiered execution (src/exec, DESIGN.md §4f-4g) — `run` and `explore` accept:
+//   --tier 0|1|2         highest execution tier (default 0). Tier 1
 //                        translates hot functions to direct-threaded
-//                        superinstruction bytecode; results, schedules and
-//                        state digests are bit-identical to tier 0.
+//                        superinstruction bytecode; tier 2 re-emits the
+//                        tier-1 stream as native x86 behind the same deopt
+//                        guards (silently capped at 1 when the host cannot
+//                        map executable code). Results, schedules and state
+//                        digests are bit-identical across all tiers.
 //   --tier-threshold N   block-entry count before a function is translated
-//                        (default 0 = translate eagerly on first entry)
+//                        (default 0 = translate eagerly on first entry);
+//                        tier-2 re-emission fires at twice this threshold
 //
 // `explore` builds a fully-fenced reference and an optimized build
 // (--remove-fences deletes every fence — the fault-injection mode used to

@@ -1,0 +1,61 @@
+#include "src/vm/code_buffer.h"
+
+#include <cstring>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace polynima::vm {
+
+namespace {
+
+size_t PageRoundUp(size_t n) {
+  size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return (n + page - 1) & ~(page - 1);
+}
+
+}  // namespace
+
+CodeBuffer::~CodeBuffer() {
+  for (const Mapping& m : mappings_) {
+    munmap(m.addr, m.length);
+  }
+}
+
+bool CodeBuffer::Supported() {
+  static const bool supported = [] {
+    size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    void* p = mmap(nullptr, page, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED) {
+      return false;
+    }
+    bool ok = mprotect(p, page, PROT_READ | PROT_EXEC) == 0;
+    munmap(p, page);
+    return ok;
+  }();
+  return supported;
+}
+
+const uint8_t* CodeBuffer::Install(const std::vector<uint8_t>& bytes) {
+  if (bytes.empty()) {
+    return nullptr;
+  }
+  size_t length = PageRoundUp(bytes.size());
+  void* addr = mmap(nullptr, length, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (addr == MAP_FAILED) {
+    return nullptr;
+  }
+  std::memcpy(addr, bytes.data(), bytes.size());
+  // W^X: writable during the copy above, executable (and no longer writable)
+  // from here on.
+  if (mprotect(addr, length, PROT_READ | PROT_EXEC) != 0) {
+    munmap(addr, length);
+    return nullptr;
+  }
+  mappings_.push_back({addr, length});
+  return static_cast<const uint8_t*>(addr);
+}
+
+}  // namespace polynima::vm

@@ -1,0 +1,51 @@
+// Executable code buffer for the native execution tier (W^X discipline).
+//
+// Translated functions are assembled into ordinary byte vectors, then
+// installed here: each installation mmaps a fresh page-aligned region as
+// read+write, copies the bytes in, and flips the protection to read+execute
+// before returning. The mapping is never writable and executable at the same
+// time, so the buffer stays clean under sanitizers and hardened kernels that
+// reject RWX mappings.
+//
+// Installed code is immutable and lives until the buffer is destroyed (the
+// engine owns one buffer for the run; translations are never retired
+// mid-run). On platforms or configurations where executable mappings are
+// unavailable, Supported() reports false and the native tier silently stays
+// off — callers must not treat installation failure as fatal.
+#ifndef POLYNIMA_VM_CODE_BUFFER_H_
+#define POLYNIMA_VM_CODE_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace polynima::vm {
+
+class CodeBuffer {
+ public:
+  CodeBuffer() = default;
+  ~CodeBuffer();
+
+  CodeBuffer(const CodeBuffer&) = delete;
+  CodeBuffer& operator=(const CodeBuffer&) = delete;
+
+  // True when this host can map and execute generated code (probed once per
+  // process with a throwaway mapping).
+  static bool Supported();
+
+  // Copies `bytes` into a fresh executable mapping and returns its start, or
+  // nullptr on failure. The returned code is valid for the buffer's
+  // lifetime.
+  const uint8_t* Install(const std::vector<uint8_t>& bytes);
+
+ private:
+  struct Mapping {
+    void* addr = nullptr;
+    size_t length = 0;
+  };
+  std::vector<Mapping> mappings_;
+};
+
+}  // namespace polynima::vm
+
+#endif  // POLYNIMA_VM_CODE_BUFFER_H_

@@ -18,9 +18,18 @@ void Memory::MarkExecutable(uint64_t lo, uint64_t hi) {
 }
 
 bool Memory::InExecutableRange(uint64_t addr, int size) const {
-  uint64_t end = addr + static_cast<uint64_t>(size);
+  if (size <= 0) {
+    return false;
+  }
+  // Inclusive last byte, saturated: `addr + size` wraps for accesses at the
+  // top of the address space, which would place `end` below `lo` and skip
+  // the SMC deopt check entirely.
+  uint64_t last = addr + static_cast<uint64_t>(size) - 1;
+  if (last < addr) {
+    last = UINT64_MAX;
+  }
   for (const auto& [lo, hi] : exec_ranges_) {
-    if (addr < hi && end > lo) {
+    if (addr < hi && last >= lo) {
       return true;
     }
   }
@@ -32,8 +41,12 @@ void Memory::MapSegment(uint64_t addr, const std::vector<uint8_t>& bytes,
   AllowRegion(addr, addr + bytes.size(), /*writable=*/true);
   WriteBytes(addr, bytes.data(), bytes.size());
   if (!writable) {
-    // Freeze the covered pages after initialization.
+    // Freeze the covered pages after initialization. Marking the region
+    // frozen (not just non-writable) makes it win in PageFor over any
+    // overlapping writable AllowRegion, so pages inside the frozen segment
+    // that are first touched *after* this point still come up read-only.
     regions_.back().writable = false;
+    regions_.back().frozen = true;
     for (uint64_t page = regions_.back().lo; page < regions_.back().hi;
          page += kPageSize) {
       auto it = pages_.find(page);
@@ -48,14 +61,21 @@ Memory::Page* Memory::PageFor(uint64_t addr, bool for_write) {
   uint64_t page_addr = addr & ~(kPageSize - 1);
   auto it = pages_.find(page_addr);
   if (it == pages_.end()) {
-    // Lazily create if inside an allowed region.
+    // Lazily create if inside an allowed region. Frozen regions win: a page
+    // inside a frozen .text segment stays read-only even when an overlapping
+    // writable region also covers it.
     bool writable = false;
     bool allowed = false;
+    bool frozen = false;
     for (const Region& r : regions_) {
       if (page_addr >= r.lo && page_addr < r.hi) {
         allowed = true;
         writable = writable || r.writable;
+        frozen = frozen || r.frozen;
       }
+    }
+    if (frozen) {
+      writable = false;
     }
     if (!allowed) {
       Fault(addr);

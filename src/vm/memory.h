@@ -77,6 +77,10 @@ class Memory {
   struct Region {
     uint64_t lo, hi;
     bool writable;
+    // Frozen regions (immutable image segments) beat any overlapping
+    // writable region when deciding a lazily-materialized page's
+    // writability — see PageFor.
+    bool frozen = false;
   };
   std::vector<Region> regions_;
   // Executable image ranges, [lo, hi) — few and static, linear scan is fine.

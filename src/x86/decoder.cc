@@ -598,6 +598,10 @@ Expected<Inst> DecodeImpl(Cursor& cur) {
           inst.mnemonic = Mnemonic::kNeg;
           inst.num_ops = 1;
           return inst;
+        case 6:
+          inst.mnemonic = Mnemonic::kDiv;
+          inst.num_ops = 1;
+          return inst;
         case 7:
           inst.mnemonic = Mnemonic::kIdiv;
           inst.num_ops = 1;

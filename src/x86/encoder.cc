@@ -398,6 +398,11 @@ Status Encode(const Inst& inst, std::vector<uint8_t>& out) {
       return Status::Ok();
     }
 
+    case Mnemonic::kDiv: {
+      b.EmitRexOpModRM(size, {0xF7}, 6, op0, /*reg_is_gpr=*/false);
+      return Status::Ok();
+    }
+
     case Mnemonic::kCqo: {
       if (size == 8) {
         b.Byte(0x48);

@@ -93,6 +93,8 @@ const char* MnemonicName(Mnemonic m) {
       return "imul";
     case Mnemonic::kIdiv:
       return "idiv";
+    case Mnemonic::kDiv:
+      return "div";
     case Mnemonic::kCqo:
       return "cqo";
     case Mnemonic::kShl:

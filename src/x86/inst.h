@@ -37,6 +37,7 @@ enum class Mnemonic : uint8_t {
   kNot,
   kImul,
   kIdiv,
+  kDiv,
   kCqo,
   kShl,
   kShr,

@@ -2,9 +2,10 @@
 // programs (bounded loops, guarded division, masked indices — no undefined
 // behaviour) must produce identical output in six configurations:
 // O0-original, O2-original, O0-recompiled, O2-recompiled, plus the
-// O2-recompiled binary executed under tier 1 (eager) and a mixed tier-up
-// threshold. Any divergence is a bug in the compiler, the VM, the recovery,
-// the lifter, the optimizer or the execution engine (either tier).
+// O2-recompiled binary executed under tier 1 and tier 2 (eager and with a
+// mixed tier-up threshold each). Any divergence is a bug in the compiler,
+// the VM, the recovery, the lifter, the optimizer or the execution engine
+// (any tier).
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -225,9 +226,10 @@ TEST_P(FuzzDiff, FourWayEquivalence) {
   // The recompiled configs run with a seed-derived worker count so the fuzz
   // corpus also exercises the parallel lift+optimize pipeline.
   Rng jobs_rng(seed * 0x9e3779b97f4a7c15ull + 1);
-  // {opt, recompiled, tier, tier_threshold}: the last two rows run the
-  // recompiled binary through the tier-1 translator — eagerly and with a
-  // mid-run tier-up threshold — and must still match the O0-original VM.
+  // {opt, recompiled, tier, tier_threshold}: the last four rows run the
+  // recompiled binary through the tier-1 translator and the tier-2 native
+  // re-emitter — eagerly and with a mid-run tier-up threshold each — and
+  // must still match the O0-original VM.
   struct Config {
     int opt;
     bool recompiled;
@@ -236,7 +238,8 @@ TEST_P(FuzzDiff, FourWayEquivalence) {
   };
   for (const Config& config :
        {Config{2, false, 0, 0}, Config{0, true, 0, 0}, Config{2, true, 0, 0},
-        Config{2, true, 1, 0}, Config{2, true, 1, 64}}) {
+        Config{2, true, 1, 0}, Config{2, true, 1, 64}, Config{2, true, 2, 0},
+        Config{2, true, 2, 64}}) {
     int jobs =
         config.recompiled ? 1 + static_cast<int>(jobs_rng.NextBelow(4)) : 1;
     std::string got =

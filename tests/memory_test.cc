@@ -184,6 +184,56 @@ TEST(Memory, BulkAccessOutOfBoundsDiagnostics) {
   EXPECT_EQ(mem.fault_address(), 0x2000u);
 }
 
+TEST(Memory, InExecutableRangeAtTopOfAddressSpace) {
+  Memory mem;
+  mem.MarkExecutable(0xffffffffffffff00ull, 0xffffffffffffffffull);
+  // addr + size wraps past zero — the check must still hit the range
+  // instead of computing end < lo and skipping the SMC deopt.
+  EXPECT_TRUE(mem.InExecutableRange(0xfffffffffffffffeull, 8));
+  EXPECT_TRUE(mem.InExecutableRange(0xffffffffffffff80ull, 4));
+  // A wrapped access that starts below the range still overlaps it.
+  EXPECT_TRUE(mem.InExecutableRange(0xfffffffffffffe00ull, 0x400));
+  // Non-overlapping stays false, wrap or not.
+  EXPECT_FALSE(mem.InExecutableRange(0xfffffffffffffe00ull, 8));
+  EXPECT_FALSE(mem.InExecutableRange(0x1000, 8));
+  EXPECT_FALSE(mem.InExecutableRange(0xffffffffffffff00ull, 0));
+}
+
+TEST(Memory, FrozenSegmentWinsOverOverlappingWritableRegion) {
+  Memory mem;
+  // A frozen (.text-style) segment spanning two pages...
+  std::vector<uint8_t> text(2 * Memory::kPageSize, 0x90);
+  mem.MapSegment(0x400000, text, /*writable=*/false);
+  // ...later overlapped by a writable region (e.g. a sloppy data mapping).
+  mem.AllowRegion(0x400000, 0x403000, /*writable=*/true);
+
+  // A page materialized during MapSegment is read-only (already covered by
+  // the eager freeze loop).
+  mem.Write(0x400000, 1, 0xcc);
+  EXPECT_TRUE(mem.faulted());
+  EXPECT_EQ(mem.fault_address(), 0x400000u);
+  mem.ClearFault();
+
+  // Drop the materialized pages' state from the picture: touch a frozen
+  // page for the *first time* through the writable overlap. Before the
+  // frozen-wins rule this page came up writable.
+  Memory fresh;
+  fresh.MapSegment(0x400000, text, /*writable=*/false);
+  fresh.AllowRegion(0x400000, 0x403000, /*writable=*/true);
+  // Reads inside the frozen range work and see the image bytes.
+  EXPECT_EQ(fresh.Read(0x401000, 1), 0x90u);
+  // Writes into the frozen range fault even on the lazily-created path.
+  fresh.Write(0x401008, 1, 0xcc);
+  EXPECT_TRUE(fresh.faulted());
+  EXPECT_EQ(fresh.fault_address(), 0x401008u);
+  fresh.ClearFault();
+  // The page past the frozen segment, covered only by the writable region,
+  // stays writable.
+  fresh.Write(0x402000, 1, 0x11);
+  EXPECT_FALSE(fresh.faulted());
+  EXPECT_EQ(fresh.Read(0x402000, 1), 0x11u);
+}
+
 TEST(Memory, DigestReflectsContentNotTouchOrder) {
   auto build = [](bool reverse, uint8_t payload) {
     Memory mem;

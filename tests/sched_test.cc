@@ -13,6 +13,7 @@
 #include "src/sched/explore.h"
 #include "src/sched/schedule.h"
 #include "src/sched/scheduler.h"
+#include "src/support/rng.h"
 #include "src/support/testseed.h"
 
 namespace polynima::sched {
@@ -45,6 +46,48 @@ TEST(ScheduleTest, ParseRejectsBadInput) {
   EXPECT_FALSE(Schedule::Parse("polysched/v1 seed=1 d=3:1,3:0").ok())
       << "decision indices must be strictly increasing";
   EXPECT_FALSE(Schedule::Parse("polysched/v1 seed=1 d=9:1,3:0").ok());
+}
+
+TEST(ScheduleTest, ParseRejectsOutOfRangeThreadId) {
+  // Thread ids live in an int; ids beyond INT_MAX must be rejected instead
+  // of silently truncating into negative threads at replay.
+  EXPECT_FALSE(Schedule::Parse("polysched/v1 seed=1 d=3:2147483648").ok());
+  EXPECT_FALSE(
+      Schedule::Parse("polysched/v1 seed=1 d=3:18446744073709551615").ok());
+  auto max_ok = Schedule::Parse("polysched/v1 seed=1 d=3:2147483647");
+  ASSERT_TRUE(max_ok.ok()) << max_ok.status().ToString();
+  EXPECT_EQ(max_ok->decisions[0].thread, 2147483647);
+}
+
+TEST(ScheduleTest, ParseRejectsDuplicateFields) {
+  EXPECT_FALSE(Schedule::Parse("polysched/v1 seed=1 seed=2 d=-").ok());
+  EXPECT_FALSE(Schedule::Parse("polysched/v1 seed=1 d=- d=3:1").ok());
+  EXPECT_FALSE(Schedule::Parse("polysched/v1 seed=1 d=3:1 d=-").ok());
+}
+
+TEST(ScheduleTest, RandomizedSerializeParseRoundTrip) {
+  // Property test: any schedule with strictly-increasing decision indices
+  // and in-range thread ids survives Serialize -> Parse bit-exactly.
+  const uint64_t seed = TestSeed(0x5eed);
+  Rng rng(seed);
+  for (int trial = 0; trial < 200; ++trial) {
+    Schedule schedule;
+    schedule.seed = rng.Next();
+    uint64_t index = 0;
+    int n = static_cast<int>(rng.Next() % 8);
+    for (int i = 0; i < n; ++i) {
+      index += 1 + (rng.Next() % 1000);
+      Decision d;
+      d.index = index;
+      d.thread = static_cast<int>(rng.Next() % 2147483648ull);
+      schedule.decisions.push_back(d);
+    }
+    std::string text = schedule.Serialize();
+    auto parsed = Schedule::Parse(text);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status().ToString() << "\nseed=" << seed << "\n" << text;
+    EXPECT_EQ(*parsed, schedule) << "seed=" << seed << "\n" << text;
+  }
 }
 
 TEST(ScheduleTest, CorpusEntryRoundTripWithComments) {

@@ -356,6 +356,23 @@ TEST_P(RoundTripTest, RandomizedMisc) {
   }
 }
 
+TEST_P(RoundTripTest, RandomizedDivide) {
+  // idiv (F7 /7) and div (F7 /6) share an opcode byte and differ only in
+  // the modrm reg field — round-trip both so the decoder can't conflate
+  // signed and unsigned division.
+  POLY_TRACE_SEED();
+  Rng rng(Seed() * 11 + 3);
+  for (int iter = 0; iter < 50; ++iter) {
+    int size = rng.NextBool() ? 8 : 4;
+    Mnemonic m = rng.NextBool() ? Mnemonic::kIdiv : Mnemonic::kDiv;
+    if (rng.NextBool()) {
+      ExpectRoundTrip(I1(m, size, Operand::R(RandomReg(rng))));
+    } else {
+      ExpectRoundTrip(I1(m, size, Operand::M(RandomMem(rng))));
+    }
+  }
+}
+
 TEST_P(RoundTripTest, RandomizedSimd) {
   POLY_TRACE_SEED();
   Rng rng(Seed() * 13 + 5);
