@@ -176,14 +176,31 @@ int Run() {
                   {{"bench", kernel.name}, {"tier", "2"}});
     report.Sample("speedup", speedup1, {{"bench", kernel.name}});
     report.Sample("speedup_tier2", speedup2, {{"bench", kernel.name}});
-    report.Sample("tier1_translations",
-                  static_cast<double>(t1.result.tier1_translations),
-                  {{"bench", kernel.name}});
-    report.Sample("tier2_translations",
-                  static_cast<double>(t2.result.tier2_translations),
-                  {{"bench", kernel.name}});
-    report.Sample("deopts", static_cast<double>(t1.result.deopts),
-                  {{"bench", kernel.name}});
+    // Per-tier JIT lifecycle counts: how many functions each run translated
+    // and how often translated code bailed back, broken down by reason.
+    for (const auto& [tier, result] :
+         {std::pair<const char*, const exec::ExecResult*>{"1", &t1.result},
+          {"2", &t2.result}}) {
+      report.Sample("tier1_translations",
+                    static_cast<double>(result->tier1_translations),
+                    {{"bench", kernel.name}, {"tier", tier}});
+      report.Sample("tier2_translations",
+                    static_cast<double>(result->tier2_translations),
+                    {{"bench", kernel.name}, {"tier", tier}});
+      report.Sample("deopts", static_cast<double>(result->deopts),
+                    {{"bench", kernel.name}, {"tier", tier}});
+      for (int reason = 0;
+           reason < static_cast<int>(exec::DeoptReason::kNumReasons);
+           ++reason) {
+        report.Sample(
+            "deopts_by_reason",
+            static_cast<double>(result->deopts_by_reason[reason]),
+            {{"bench", kernel.name},
+             {"tier", tier},
+             {"reason",
+              exec::DeoptReasonName(static_cast<exec::DeoptReason>(reason))}});
+      }
+    }
   }
   std::printf("\n%d/%zu kernels at tier1 >= 2x tier0 (acceptance: >= 2)\n",
               met_bar_t1, std::size(kKernels));

@@ -157,6 +157,39 @@ void BM_EngineExecutionMetered(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineExecutionMetered);
 
+// Metered dispatch with the tier-telemetry recorder attached on top of the
+// metrics sink. The delta against BM_EngineExecutionMetered is the tier-prof
+// hot-path cost (per-function residency scratch counters plus lifecycle
+// events); the acceptance bar is < 5% against the metered row, and exactly
+// 0% against BM_EngineExecution when the sink is absent (same compiled-out
+// specialization).
+void BM_EngineExecutionTierProf(benchmark::State& state) {
+  const binary::Image& image = TestImage();
+  const workloads::Workload* w = workloads::FindWorkload("bzip2_like");
+  auto inputs = w->make_inputs(0);
+  auto graph = cfg::RecoverStatic(image);
+  POLY_CHECK(graph.ok());
+  auto program = lift::Lift(image, *graph, {});
+  POLY_CHECK(program.ok());
+  POLY_CHECK(opt::RunPipeline(*program->module).ok());
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    vm::ExternalLibrary library;
+    obs::MetricsRegistry metrics;
+    obs::TierProf tierprof;
+    exec::ExecOptions options;
+    options.obs.metrics = &metrics;
+    options.obs.tierprof = &tierprof;
+    exec::Engine engine(*program, image, &library, options);
+    engine.SetInputs(inputs);
+    exec::ExecResult r = engine.Run();
+    POLY_CHECK(r.ok);
+    steps += r.steps;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(steps));
+}
+BENCHMARK(BM_EngineExecutionTierProf);
+
 // Tier-1 (direct-threaded superinstruction) execution of the same workload;
 // bench_exec_tiered holds the dedicated tier comparison, this row just keeps
 // the pipeline microbench table self-contained.

@@ -130,6 +130,49 @@ diff "$obsdir/tier0.txt" "$obsdir/tier2.txt" || {
   echo "FAIL: tier-2 output diverged from tier 0" >&2; exit 1; }
 "$polynima" report --validate "$obsdir/tier2-run.json"
 
+step "exec: tier-prof telemetry artifact + perf map, schema-validated"
+# The hot kernel again at the native tier, now with the telemetry recorder
+# attached: the run output must stay identical to tier 0 (observability is
+# free), the polynima-tierprof/v1 artifact and the enclosing run report must
+# validate (which cross-checks it against the exec.* counters), the rendered
+# report must show the run actually resided in tier 2 where the host runs
+# native code, and every perf-map row must agree with the artifact's
+# installed-code map. (The containment check against the live CodeBuffer
+# mappings runs in-process in exec_tiered_test.)
+"$polynima" run "$obsdir/counter.plyb" -p "$obsdir/proj" --tier 2 \
+  --tier-prof "$obsdir/tierprof.json" --perf-map "$obsdir/perf.map" \
+  --report-out "$obsdir/tierprof-run.json" | tee "$obsdir/tierprof.txt"
+diff "$obsdir/tier0.txt" "$obsdir/tierprof.txt" || {
+  echo "FAIL: tier-prof run output diverged from tier 0" >&2; exit 1; }
+"$polynima" report --validate "$obsdir/tierprof.json" \
+  "$obsdir/tierprof-run.json"
+"$polynima" report "$obsdir/tierprof.json" | tee "$obsdir/tierprof-report.txt"
+python3 - "$obsdir" <<'EOF'
+import json, re, sys
+d = sys.argv[1]
+doc = json.load(open(d + "/tierprof.json"))
+totals = doc["totals"]
+report = open(d + "/tierprof-report.txt").read()
+if totals["tier2_translations"] > 0:
+    m = re.search(
+        r"residency \(steps retired\): tier0=\d+ tier1=\d+ tier2=(\d+)",
+        report)
+    assert m, "no residency line in rendered report"
+    assert int(m.group(1)) > 0, "tier-2 residency zero despite translations"
+else:
+    print("note: no executable mappings; tier-2 residency check waived")
+ranges = {(e["addr"], e["size"], e["symbol"]) for e in doc["code_map"]}
+rows = set()
+for line in open(d + "/perf.map"):
+    addr, size, symbol = line.split(" ", 2)
+    row = (int(addr, 16), int(size, 16), symbol.strip())
+    assert row[1] > 0 and row[2].startswith("tier2:"), row
+    rows.add(row)
+assert rows == ranges, "perf map and artifact code_map disagree"
+print("perf map: %d symbol(s) consistent with the artifact code map"
+      % len(rows))
+EOF
+
 step "configure+build: asan-ubsan"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"

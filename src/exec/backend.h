@@ -93,6 +93,15 @@ struct FuncInfo {
   // once the bytecode tier is in place; see src/exec/tier2.h).
   std::shared_ptr<NativeCode> native;
   bool native_failed = false;
+  // Tier-telemetry scratch (obs::TierProf attached only; dead otherwise).
+  // The hot paths bump these plain counters inline and the engine folds
+  // them into the sink once at session end, so residency attribution costs
+  // one array increment per retired batch. Array sizes mirror
+  // obs::TierProf::{kNumTiers,kNumHelpers} (static_assert in engine.cc).
+  static constexpr uint32_t kNoTierProfId = 0xffffffffu;
+  uint32_t tp_id = kNoTierProfId;  // interned TierProf function id
+  uint64_t tp_steps[3] = {};       // guest steps retired per tier
+  uint64_t tp_helpers[5] = {};     // tier-2 out-of-line helper calls
 };
 
 // One lifted-function activation. `values` is the register file both tiers

@@ -1,6 +1,7 @@
 #include "src/exec/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/exec/exec_util.h"
 #include "src/exec/interp.h"
@@ -130,6 +131,12 @@ Engine::Engine(const lift::LiftedProgram& program, const binary::Image& image,
     entry_table_[pc] = by_fn_.at(fn);
   }
 
+  // Attach the obs sinks before the backends: Tier2Backend's constructor
+  // installs the entry thunk and records it into the tierprof code map.
+  tierprof_ = options_.obs.tierprof;
+  obs_attached_ = options_.obs.metrics != nullptr ||
+                  options_.obs.profile != nullptr || tierprof_ != nullptr;
+
   interp_ = std::make_unique<InterpreterBackend>(*this);
   tier1_ = std::make_unique<Tier1Backend>(*this);
   // record_accesses keys its output by IR instruction identity, and
@@ -149,8 +156,6 @@ Engine::Engine(const lift::LiftedProgram& program, const binary::Image& image,
   // Staged promotion: a function crosses into tier 1 at the threshold and
   // into native code at twice that heat (eager at threshold 0).
   tier2_threshold_ = tier_threshold_ * 2;
-  obs_attached_ =
-      options_.obs.metrics != nullptr || options_.obs.profile != nullptr;
 }
 
 Engine::~Engine() = default;
@@ -241,6 +246,31 @@ uint32_t Engine::ProfileSite(const Function* fn, const BasicBlock* block) {
   return it->second;
 }
 
+// The obs sink mirrors the exec deopt-reason enum (obs is a leaf library);
+// keep the raw values in lock-step so the engine can pass them through.
+static_assert(static_cast<int>(DeoptReason::kPreempt) ==
+              obs::TierProf::kDeoptPreempt);
+static_assert(static_cast<int>(DeoptReason::kSmcWrite) ==
+              obs::TierProf::kDeoptSmcWrite);
+static_assert(static_cast<int>(DeoptReason::kUncoveredEdge) ==
+              obs::TierProf::kDeoptUncoveredEdge);
+static_assert(static_cast<int>(DeoptReason::kNumReasons) ==
+              obs::TierProf::kNumDeoptReasons);
+// FuncInfo's inline telemetry scratch is sized to the sink's taxonomy.
+static_assert(sizeof(FuncInfo::tp_steps) / sizeof(uint64_t) ==
+              obs::TierProf::kNumTiers);
+static_assert(sizeof(FuncInfo::tp_helpers) / sizeof(uint64_t) ==
+              obs::TierProf::kNumHelpers);
+
+uint32_t Engine::TierProfId(FuncInfo* info) {
+  if (info->tp_id == FuncInfo::kNoTierProfId) {
+    const BasicBlock* entry = info->fn->entry();
+    info->tp_id = tierprof_->InternFunction(
+        info->fn->name(), entry != nullptr ? entry->guest_address : 0);
+  }
+  return info->tp_id;
+}
+
 uint64_t Engine::Eval(const Frame& f, const Value* v) const {
   switch (v->kind()) {
     case Value::Kind::kConstant:
@@ -283,11 +313,32 @@ void Engine::MaybeTierUp(Frame& f) {
       if (++info->heat < tier_threshold_) {
         return;  // not hot yet (threshold 0 translates on first entry)
       }
-      if (!tier1_->Translate(info)) {
+      // Translation wall time is host-side observation only: the clock is
+      // read when the sink is attached and feeds nothing the guest sees.
+      uint64_t wall_ns = 0;
+      bool translated;
+      if (tierprof_ != nullptr) {
+        auto t0 = std::chrono::steady_clock::now();
+        translated = tier1_->Translate(info);
+        wall_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      } else {
+        translated = tier1_->Translate(info);
+      }
+      if (!translated) {
         return;
       }
       ++tier1_translations_;
       options_.obs.Add(obs::Counter::kExecTier1Translations);
+      if (tierprof_ != nullptr) {
+        uint32_t id = TierProfId(info);
+        tierprof_->RecordTranslation(current_, id, 1,
+                                     info->translation->code.size(), wall_ns,
+                                     steps_);
+        tierprof_->RecordTierUp(current_, id, 1, info->heat, steps_);
+      }
     }
     // On-stack replacement at the current block's bytecode head. The head is
     // post-phi, and this runs only at block/function entry with phis already
@@ -295,6 +346,13 @@ void Engine::MaybeTierUp(Frame& f) {
     auto it = info->translation->block_heads.find(f.block);
     if (it == info->translation->block_heads.end()) {
       return;
+    }
+    // A mid-function promotion (any non-entry block, including re-entry
+    // after a deopt) is an OSR; plain activations enter at the entry block
+    // and are residency, not events.
+    if (tierprof_ != nullptr && f.block != info->fn->entry()) {
+      tierprof_->RecordOsrEntry(current_, TierProfId(info), 1,
+                                f.block->guest_address, steps_);
     }
     f.translated = true;
     f.tpc = it->second;
@@ -313,11 +371,43 @@ void Engine::MaybeTierUp(Frame& f) {
     if (++info->heat < tier2_threshold_) {
       return;
     }
-    if (!tier2_->Translate(info)) {
+    uint64_t wall_ns = 0;
+    bool emitted;
+    if (tierprof_ != nullptr) {
+      auto t0 = std::chrono::steady_clock::now();
+      emitted = tier2_->Translate(info);
+      wall_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      emitted = tier2_->Translate(info);
+    }
+    if (!emitted) {
       return;
     }
     ++tier2_translations_;
     options_.obs.Add(obs::Counter::kExecTier2Translations);
+    if (tierprof_ != nullptr) {
+      uint32_t id = TierProfId(info);
+      tierprof_->RecordTranslation(current_, id, 2, info->native->code_size,
+                                   wall_ns, steps_);
+      tierprof_->RecordTierUp(current_, id, 2, info->heat, steps_);
+      // The frame that crossed the threshold continues mid-function in
+      // native code: an OSR into tier 2 unless it resumes at the entry
+      // block's bytecode head (a fresh activation). Frame::block is stale
+      // for translated frames, so test the resume pc.
+      auto entry_head =
+          info->translation->block_heads.find(info->fn->entry());
+      if (entry_head == info->translation->block_heads.end() ||
+          f.tpc != entry_head->second) {
+        const auto& code = info->translation->code;
+        uint64_t resume_pc = f.tpc < code.size() && code[f.tpc].block != nullptr
+                                 ? code[f.tpc].block->guest_address
+                                 : 0;
+        tierprof_->RecordOsrEntry(current_, id, 2, resume_pc, steps_);
+      }
+    }
   }
   f.native = true;
 }
@@ -695,6 +785,35 @@ ExecResult Engine::Run() {
   }
   if (tier2_instrs_ > 0) {
     options_.obs.Add(obs::Counter::kExecTier2Instrs, tier2_instrs_);
+  }
+  if (tierprof_ != nullptr) {
+    // Fold the inline per-function scratch (residency steps, tier-2 helper
+    // calls) into the sink — deferred to session end so the hot paths never
+    // call into obs.
+    for (const auto& owned : func_infos_) {
+      FuncInfo* info = owned.get();
+      bool any = info->tp_id != FuncInfo::kNoTierProfId;
+      for (uint64_t s : info->tp_steps) {
+        any |= s != 0;
+      }
+      for (uint64_t h : info->tp_helpers) {
+        any |= h != 0;
+      }
+      if (!any) {
+        continue;
+      }
+      uint32_t id = TierProfId(info);
+      for (int tier = 0; tier < obs::TierProf::kNumTiers; ++tier) {
+        if (info->tp_steps[tier] != 0) {
+          tierprof_->AddResidency(id, tier, info->tp_steps[tier]);
+        }
+      }
+      for (uint8_t h = 0; h < obs::TierProf::kNumHelpers; ++h) {
+        if (info->tp_helpers[h] != 0) {
+          tierprof_->AddHelperCalls(id, h, info->tp_helpers[h]);
+        }
+      }
+    }
   }
   span.Arg("steps", static_cast<int64_t>(steps_));
   span.End();

@@ -179,6 +179,11 @@ class Engine : public vm::GuestContext {
 
   ExecResult Run();
 
+  // Native-tier backend, or null when tier 2 is off / unsupported on this
+  // host. Exposed so tests can check perf-map ranges against the installed
+  // code-buffer mappings.
+  const Tier2Backend* tier2_backend() const { return tier2_.get(); }
+
   // --- GuestContext ---
   uint64_t GetArg(int index) override;
   void SetResult(uint64_t value) override;
@@ -231,6 +236,8 @@ class Engine : public vm::GuestContext {
   void Fault(std::string message);
   void RecordAccess(const ir::Instruction* inst, Thread& t, uint64_t addr);
   uint32_t ProfileSite(const ir::Function* fn, const ir::BasicBlock* block);
+  // Lazily interns `info` into the attached TierProf sink (tierprof_ only).
+  uint32_t TierProfId(FuncInfo* info);
 
   // Resolves fn to its eagerly-built FuncInfo (never fails for module
   // functions).
@@ -279,9 +286,12 @@ class Engine : public vm::GuestContext {
   bool tier2_enabled_ = false;
   uint64_t tier_threshold_ = 0;
   uint64_t tier2_threshold_ = 0;
-  // True when no metrics/profile sink is attached: instruction loops run
-  // the template specialization with every obs check compiled out.
+  // True when no metrics/profile/tierprof sink is attached: instruction
+  // loops run the template specialization with every obs check compiled out.
   bool obs_attached_ = false;
+  // Cached options_.obs.tierprof: the tier-telemetry hooks (lifecycle
+  // events, residency scratch, helper counts) key off this one pointer.
+  obs::TierProf* tierprof_ = nullptr;
   // Tier telemetry.
   uint64_t tier1_translations_ = 0;
   uint64_t tier1_instrs_ = 0;

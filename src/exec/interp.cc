@@ -42,6 +42,9 @@ bool Engine::StepInstructionImpl(Thread& t) {
     if (options_.obs.profile != nullptr) {
       options_.obs.profile->AddInstrs(f.profile_site, 1);
     }
+    if (tierprof_ != nullptr) {
+      ++f.info->tp_steps[0];  // tier-0 residency attribution
+    }
   }
   // Copy: `f` may dangle after a call pushes a frame (vector reallocation).
   const FuncInfo* info = f.info;

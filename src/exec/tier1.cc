@@ -704,13 +704,20 @@ ir::BasicBlock* Tier1Backend::CurrentBlock(const Frame& f) const {
 
 void Tier1Backend::Deopt(Thread& t, Frame& f, const TInst& ti,
                          DeoptReason reason) {
-  (void)t;
+  // Resident tier before the flags flip (forensics: where the guard fired).
+  const int resident_tier = f.native ? 2 : 1;
   f.translated = false;
   f.native = false;  // a preempt deopt may hit a tier-2 frame (kSingle path)
   f.block = ti.block;
   f.it = ti.anchor;
   f.profile_site = ti.site;
   ++e_.deopt_counts_[static_cast<int>(reason)];
+  if (e_.tierprof_ != nullptr) {
+    e_.tierprof_->RecordDeopt(
+        t.id, e_.TierProfId(f.info), resident_tier,
+        static_cast<uint8_t>(reason),
+        ti.block != nullptr ? ti.block->guest_address : 0, e_.steps_);
+  }
   e_.options_.obs.Add(obs::Counter::kExecDeopts);
   switch (reason) {
     case DeoptReason::kPreempt:
@@ -814,6 +821,11 @@ bool Tier1Backend::StepImpl(Thread& t, StepMode mode) {
   vm::Memory& mem = e_.memory_;
   const bool jitter = e_.options_.cost_jitter;
   auto* profile = kObs ? e_.options_.obs.profile : nullptr;
+  // Residency attribution target: the whole batch retires in this frame's
+  // function (call/ret end the batch), and FuncInfo outlives the frame, so
+  // the flush sites below stay valid even after kRet pops `f`.
+  FuncInfo* fi = kObs ? f->info : nullptr;
+  auto* tierprof = kObs ? e_.tierprof_ : nullptr;
 
   // `executed` counts retired IR instructions; the outer scheduling loop
   // adds 1 per Step, so normal returns flush executed-1 (fault returns flush
@@ -833,11 +845,21 @@ bool Tier1Backend::StepImpl(Thread& t, StepMode mode) {
   auto finish_true = [&]() {
     e_.steps_ += executed > 0 ? executed - 1 : 0;
     e_.tier1_instrs_ += executed;
+    if constexpr (kObs) {
+      if (tierprof != nullptr) {
+        fi->tp_steps[1] += executed;
+      }
+    }
     return true;
   };
   auto finish_false = [&]() {
     e_.steps_ += executed;
     e_.tier1_instrs_ += executed;
+    if constexpr (kObs) {
+      if (tierprof != nullptr) {
+        fi->tp_steps[1] += executed;
+      }
+    }
     return false;
   };
   auto do_deopt = [&](const TInst& anchor_ti, DeoptReason reason) {
@@ -849,6 +871,11 @@ bool Tier1Backend::StepImpl(Thread& t, StepMode mode) {
     }
     e_.steps_ += executed - 1;
     e_.tier1_instrs_ += executed;
+    if constexpr (kObs) {
+      if (tierprof != nullptr) {
+        fi->tp_steps[1] += executed;
+      }
+    }
     return true;
   };
   auto charge = [&](const TInst& ti) {
@@ -1334,6 +1361,11 @@ bool Tier1Backend::StepImpl(Thread& t, StepMode mode) {
         // intrinsic itself is covered by the outer loop's +1.
         e_.steps_ += executed;
         e_.tier1_instrs_ += executed;
+        if constexpr (kObs) {
+          if (tierprof != nullptr) {
+            fi->tp_steps[1] += executed;
+          }
+        }
         executed = 0;
         const Instruction& inst = **ti.anchor;
         if (!e_.HandleIntrinsic(t, frame_index, inst)) {
@@ -1352,6 +1384,9 @@ bool Tier1Backend::StepImpl(Thread& t, StepMode mode) {
         if constexpr (kObs) {
           if (profile != nullptr) {
             profile->AddInstrs(ti.site, 1);
+          }
+          if (tierprof != nullptr) {
+            fi->tp_steps[1] += 1;
           }
         }
         e_.tier1_instrs_ += 1;

@@ -798,9 +798,13 @@ void Tier2Backend::InstallThunk() {
   a.Emit(I2(Mnemonic::kMov, 8, Operand::R(kRngState),
             Operand::M(CtxField(kOffRng))));
   a.Emit(I1(Mnemonic::kJmp, 4, Operand::M(CtxField(kOffResume))));
-  const uint8_t* code = buffer_.Install(a.Finalize());
+  std::vector<uint8_t> bytes = a.Finalize();
+  const uint8_t* code = buffer_.Install(bytes);
   if (code == nullptr) {
     return;
+  }
+  if (e_.tierprof_ != nullptr) {
+    e_.tierprof_->RecordInstall("tier2:<entry-thunk>", code, bytes.size());
   }
   entry_ = reinterpret_cast<uint64_t (*)(Tier2Ctx*)>(
       reinterpret_cast<uintptr_t>(code));
@@ -829,6 +833,12 @@ bool Tier2Backend::Translate(FuncInfo* info) {
     info->native_failed = true;
     return false;
   }
+  nc->code_size = bytes.size();
+  if (e_.tierprof_ != nullptr) {
+    // Symbolize the installed range for external profilers (perf map).
+    e_.tierprof_->RecordInstall("tier2:" + info->fn->name(), nc->code,
+                                nc->code_size);
+  }
   info->native = std::move(nc);
   return true;
 }
@@ -837,7 +847,17 @@ bool Tier2Backend::Translate(FuncInfo* info) {
 // Helpers called from generated code
 // ---------------------------------------------------------------------------
 
+// Helper-call attribution: with a tierprof sink attached, each out-of-line
+// helper bumps the running function's scratch counter — the evidence base
+// for inlining the guest-memory fast path (DESIGN.md §4h).
+void Tier2Backend::CountHelper(Tier2Ctx* ctx, uint8_t helper) {
+  if (ctx->engine->tierprof_ != nullptr) {
+    ++ctx->thread->stack.back().info->tp_helpers[helper];
+  }
+}
+
 uint64_t Tier2Backend::MemRead(Tier2Ctx* ctx, uint64_t addr, uint64_t size) {
+  CountHelper(ctx, obs::TierProf::kHelperMemRead);
   vm::Memory& mem = ctx->engine->memory_;
   uint64_t value = mem.Read(addr, static_cast<int>(size));
   if (mem.faulted()) {
@@ -848,6 +868,7 @@ uint64_t Tier2Backend::MemRead(Tier2Ctx* ctx, uint64_t addr, uint64_t size) {
 
 uint64_t Tier2Backend::MemWrite(Tier2Ctx* ctx, uint64_t addr, uint64_t size,
                                 uint64_t value) {
+  CountHelper(ctx, obs::TierProf::kHelperMemWrite);
   vm::Memory& mem = ctx->engine->memory_;
   int sz = static_cast<int>(size);
   if (mem.InExecutableRange(addr, sz)) {
@@ -863,6 +884,7 @@ uint64_t Tier2Backend::MemWrite(Tier2Ctx* ctx, uint64_t addr, uint64_t size,
 uint64_t Tier2Backend::AtomicRmw(Tier2Ctx* ctx, uint64_t addr,
                                  uint64_t operand, uint64_t size_op,
                                  uint64_t site) {
+  CountHelper(ctx, obs::TierProf::kHelperAtomicRmw);
   Engine& e = *ctx->engine;
   vm::Memory& mem = e.memory_;
   int size = static_cast<int>(size_op & 0xff);
@@ -904,6 +926,7 @@ uint64_t Tier2Backend::AtomicRmw(Tier2Ctx* ctx, uint64_t addr,
 uint64_t Tier2Backend::CmpXchg(Tier2Ctx* ctx, uint64_t addr, uint64_t expected,
                                uint64_t desired, uint64_t size,
                                uint64_t site) {
+  CountHelper(ctx, obs::TierProf::kHelperCmpXchg);
   Engine& e = *ctx->engine;
   vm::Memory& mem = e.memory_;
   int sz = static_cast<int>(size);
@@ -925,6 +948,7 @@ uint64_t Tier2Backend::CmpXchg(Tier2Ctx* ctx, uint64_t addr, uint64_t expected,
 }
 
 void Tier2Backend::ObsFence(Tier2Ctx* ctx, uint64_t site) {
+  CountHelper(ctx, obs::TierProf::kHelperFence);
   Engine& e = *ctx->engine;
   if (e.options_.obs.profile != nullptr) {
     e.options_.obs.profile->AddFence(static_cast<uint32_t>(site));
@@ -952,6 +976,12 @@ void Tier2Backend::Deopt(Frame& f, const TInst& ti, DeoptReason reason) {
   f.it = ti.anchor;
   f.profile_site = ti.site;
   ++e_.deopt_counts_[static_cast<int>(reason)];
+  if (e_.tierprof_ != nullptr) {
+    e_.tierprof_->RecordDeopt(
+        e_.current_, e_.TierProfId(f.info), /*resident_tier=*/2,
+        static_cast<uint8_t>(reason),
+        ti.block != nullptr ? ti.block->guest_address : 0, e_.steps_);
+  }
   e_.options_.obs.Add(obs::Counter::kExecDeopts);
   switch (reason) {
     case DeoptReason::kPreempt:
@@ -1007,17 +1037,27 @@ bool Tier2Backend::Step(Thread& t, StepMode mode) {
   t.jitter_rng.set_state(ctx.rng_state);
   uint64_t executed = ctx.executed;
   const uint32_t tpc = static_cast<uint32_t>(ctx.exit_tpc);
+  // Residency attribution target: the batch retires in this frame's
+  // function, and FuncInfo outlives the frame (kRet pops `f`).
+  FuncInfo* fi = f->info;
+  auto* tierprof = e_.tierprof_;
 
   // Step accounting mirrors tier 1: the outer loop adds +1 per Step, so
   // normal returns flush executed-1 and fault returns flush all of it.
   auto finish_true = [&]() {
     e_.steps_ += executed > 0 ? executed - 1 : 0;
     e_.tier2_instrs_ += executed;
+    if (tierprof != nullptr) {
+      fi->tp_steps[2] += executed;
+    }
     return true;
   };
   auto finish_false = [&]() {
     e_.steps_ += executed;
     e_.tier2_instrs_ += executed;
+    if (tierprof != nullptr) {
+      fi->tp_steps[2] += executed;
+    }
     return false;
   };
   auto do_deopt = [&](const TInst& anchor_ti, DeoptReason reason) {
@@ -1029,6 +1069,9 @@ bool Tier2Backend::Step(Thread& t, StepMode mode) {
     }
     e_.steps_ += executed - 1;
     e_.tier2_instrs_ += executed;
+    if (tierprof != nullptr) {
+      fi->tp_steps[2] += executed;
+    }
     return true;
   };
 
@@ -1078,6 +1121,9 @@ bool Tier2Backend::Step(Thread& t, StepMode mode) {
       // the intrinsic itself is covered by the outer loop's +1.
       e_.steps_ += executed;
       e_.tier2_instrs_ += executed;
+      if (tierprof != nullptr) {
+        fi->tp_steps[2] += executed;
+      }
       const TInst& ti = tr->code[tpc];
       const ir::Instruction& inst = **ti.anchor;
       if (!e_.HandleIntrinsic(t, frame_index, inst)) {
@@ -1097,6 +1143,9 @@ bool Tier2Backend::Step(Thread& t, StepMode mode) {
         e_.options_.obs.profile->AddInstrs(ti.site, 1);
       }
       e_.tier2_instrs_ += 1;
+      if (tierprof != nullptr) {
+        fi->tp_steps[2] += 1;
+      }
       return true;
     }
 

@@ -57,6 +57,7 @@ struct TInst;
 // re-entry after an intrinsic).
 struct NativeCode {
   const uint8_t* code = nullptr;
+  size_t code_size = 0;  // installed bytes (telemetry / perf-map extent)
   std::vector<uint32_t> entry_off;  // entry_off[tpc] = offset of that TInst
 };
 
@@ -119,6 +120,10 @@ class Tier2Backend : public Backend {
   // scheduling is decision-for-decision identical.
   bool Step(Thread& t, StepMode mode) override;
 
+  // Installed executable mappings (entry thunk + translated functions).
+  // Tests and CI use this to check perf-map ranges land inside real code.
+  const vm::CodeBuffer& buffer() const { return buffer_; }
+
   // Guest-memory and observability helpers called from generated code (SysV
   // C calling convention; static so their address is an ordinary function
   // pointer). Public only because the emitter materializes their addresses —
@@ -137,6 +142,9 @@ class Tier2Backend : public Backend {
  private:
   void InstallThunk();
   void Deopt(Frame& f, const TInst& ti, DeoptReason reason);
+  // Bumps the running function's tier-telemetry helper counter (no-op
+  // without a tierprof sink); called at the top of each helper above.
+  static void CountHelper(Tier2Ctx* ctx, uint8_t helper);
 
   Engine& e_;
   vm::CodeBuffer buffer_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <utility>
 
 #include "src/support/strings.h"
 
@@ -14,6 +15,7 @@ constexpr char kReportSchema[] = "polynima-report/v1";
 constexpr char kMetricsSchema[] = "polynima-metrics/v1";
 constexpr char kProfileSchema[] = "polynima-profile/v1";
 constexpr char kAnalyzeSchema[] = "polynima-analyze/v1";
+constexpr char kTierProfSchema[] = "polynima-tierprof/v1";
 
 // Summarizes a trace document: span count and per-category span counts.
 json::Value SummarizeTrace(const json::Value& trace_doc) {
@@ -87,6 +89,100 @@ void AppendRule(std::string& out, size_t width) {
   out.push_back('\n');
 }
 
+// Integer counter lookup in a metrics document; -1 when absent.
+int64_t CounterValue(const json::Value& metrics_doc, const char* name) {
+  const json::Value* counters = metrics_doc.Find("counters");
+  if (counters == nullptr) {
+    return -1;
+  }
+  const json::Value* v = counters->Find(name);
+  return v != nullptr && v->is_int() ? v->as_int() : -1;
+}
+
+// Accounting invariant internal to the metrics dump: the deopt total must
+// equal the sum of its per-reason counters.
+Status CheckDeoptCounterAccounting(const json::Value& metrics_doc) {
+  int64_t total = CounterValue(metrics_doc, "exec.deopts");
+  int64_t preempt = CounterValue(metrics_doc, "exec.deopt_preempt");
+  int64_t smc = CounterValue(metrics_doc, "exec.deopt_smc_write");
+  int64_t uncovered = CounterValue(metrics_doc, "exec.deopt_uncovered");
+  if (total < 0 || preempt < 0 || smc < 0 || uncovered < 0) {
+    return Malformed("report", "metrics missing exec deopt counters");
+  }
+  if (total != preempt + smc + uncovered) {
+    return Malformed(
+        "report",
+        StrCat("exec.deopts (", total, ") != sum of per-reason counters (",
+               preempt + smc + uncovered, ")"));
+  }
+  return Status::Ok();
+}
+
+// Cross-document accounting: the tier telemetry and the exec.* counters
+// describe the same run and must not silently disagree.
+Status CheckTierAccounting(const json::Value& metrics_doc,
+                           const json::Value& tierprof_doc) {
+  const json::Value* totals = tierprof_doc.Find("totals");
+  if (totals == nullptr || !totals->is_object()) {
+    return Malformed("report", "tierprof section missing totals");
+  }
+  auto total = [&](const char* key) -> int64_t {
+    const json::Value* v = totals->Find(key);
+    return v != nullptr && v->is_int() ? v->as_int() : -1;
+  };
+  // Translation counters must match exactly: both sides count the same
+  // Translate() successes.
+  for (const auto& [counter, key] :
+       {std::pair<const char*, const char*>{"exec.tier1_translations",
+                                            "tier1_translations"},
+        std::pair<const char*, const char*>{"exec.tier2_translations",
+                                            "tier2_translations"}}) {
+    int64_t m = CounterValue(metrics_doc, counter);
+    int64_t t = total(key);
+    if (m >= 0 && t >= 0 && m != t) {
+      return Malformed("report", StrCat(counter, " (", m, ") != tierprof ",
+                                        key, " (", t, ")"));
+    }
+  }
+  // Every tiered-up function was translated at least once.
+  int64_t functions_tiered_up = 0;
+  if (const json::Value* functions = tierprof_doc.Find("functions")) {
+    if (functions->is_array()) {
+      for (const json::Value& f : functions->as_array()) {
+        const json::Value* ups = f.Find("tier_ups");
+        if (ups != nullptr && ups->is_int() && ups->as_int() > 0) {
+          ++functions_tiered_up;
+        }
+      }
+    }
+  }
+  int64_t translations = CounterValue(metrics_doc, "exec.tier1_translations") +
+                         CounterValue(metrics_doc, "exec.tier2_translations");
+  if (translations < functions_tiered_up) {
+    return Malformed(
+        "report",
+        StrCat("tier translations (", translations,
+               ") < functions tiered up (", functions_tiered_up, ")"));
+  }
+  // The deopt counter must equal the sum of per-reason tierprof events.
+  const json::Value* by_reason = totals->Find("deopts_by_reason");
+  if (by_reason == nullptr || !by_reason->is_object()) {
+    return Malformed("report", "tierprof totals missing deopts_by_reason");
+  }
+  int64_t tierprof_deopts = 0;
+  for (const auto& [reason, count] : by_reason->as_object()) {
+    tierprof_deopts += count.is_int() ? count.as_int() : 0;
+  }
+  int64_t metric_deopts = CounterValue(metrics_doc, "exec.deopts");
+  if (metric_deopts >= 0 && metric_deopts != tierprof_deopts) {
+    return Malformed(
+        "report", StrCat("exec.deopts (", metric_deopts,
+                         ") != sum of per-reason tierprof events (",
+                         tierprof_deopts, ")"));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 json::Value BuildRunReport(const RunInfo& info, const Session& session) {
@@ -115,6 +211,10 @@ json::Value BuildRunReport(const RunInfo& info, const Session& session) {
   doc["profile_summary"] = session.profile != nullptr
                                ? SummarizeProfile(*session.profile)
                                : json::Value(nullptr);
+  // The tierprof document is small enough to inline whole: the report's
+  // deopt-forensics and residency tables render straight from it.
+  doc["tierprof"] = session.tierprof != nullptr ? session.tierprof->ToJson()
+                                                : json::Value(nullptr);
   return doc;
 }
 
@@ -277,6 +377,16 @@ Status ValidateReportJson(const json::Value& doc) {
   if (analysis != nullptr && !analysis->is_null()) {
     POLY_RETURN_IF_ERROR(ValidateAnalysisJson(*analysis));
   }
+  const json::Value* tierprof = doc.Find("tierprof");
+  if (tierprof != nullptr && !tierprof->is_null()) {
+    POLY_RETURN_IF_ERROR(ValidateTierProfJson(*tierprof));
+    if (!metrics->is_null()) {
+      POLY_RETURN_IF_ERROR(CheckTierAccounting(*metrics, *tierprof));
+    }
+  }
+  if (!metrics->is_null()) {
+    POLY_RETURN_IF_ERROR(CheckDeoptCounterAccounting(*metrics));
+  }
   return Status::Ok();
 }
 
@@ -324,6 +434,159 @@ Status ValidateAnalysisJson(const json::Value& doc) {
   return Status::Ok();
 }
 
+Status ValidateTierProfJson(const json::Value& doc) {
+  const json::Value* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kTierProfSchema) {
+    return Malformed("tierprof", StrCat("schema is not ", kTierProfSchema));
+  }
+  const json::Value* totals = doc.Find("totals");
+  if (totals == nullptr || !totals->is_object()) {
+    return Malformed("tierprof", "missing totals object");
+  }
+  for (const char* key :
+       {"functions", "events", "events_dropped", "tier1_translations",
+        "tier2_translations", "tier_ups", "osr_entries", "deopts", "flaps"}) {
+    const json::Value* v = totals->Find(key);
+    if (v == nullptr || !v->is_int()) {
+      return Malformed("tierprof", StrCat("totals missing ", key));
+    }
+  }
+  const json::Value* by_reason = totals->Find("deopts_by_reason");
+  if (by_reason == nullptr || !by_reason->is_object()) {
+    return Malformed("tierprof", "totals missing deopts_by_reason");
+  }
+  int64_t reason_sum = 0;
+  for (const auto& [reason, count] : by_reason->as_object()) {
+    if (!count.is_int()) {
+      return Malformed("tierprof",
+                       StrCat("deopt reason ", reason, " not an integer"));
+    }
+    reason_sum += count.as_int();
+  }
+  if (reason_sum != totals->Find("deopts")->as_int()) {
+    return Malformed("tierprof",
+                     "deopt total != sum of deopts_by_reason histogram");
+  }
+  const json::Value* residency = totals->Find("residency");
+  if (residency == nullptr || !residency->is_object()) {
+    return Malformed("tierprof", "totals missing residency");
+  }
+  for (const char* key : {"tier0", "tier1", "tier2"}) {
+    const json::Value* v = residency->Find(key);
+    if (v == nullptr || !v->is_int()) {
+      return Malformed("tierprof", StrCat("residency missing ", key));
+    }
+  }
+  const json::Value* helpers = totals->Find("helper_calls");
+  if (helpers == nullptr || !helpers->is_object()) {
+    return Malformed("tierprof", "totals missing helper_calls");
+  }
+  const json::Value* functions = doc.Find("functions");
+  if (functions == nullptr || !functions->is_array()) {
+    return Malformed("tierprof", "missing functions array");
+  }
+  if (static_cast<int64_t>(functions->as_array().size()) !=
+      totals->Find("functions")->as_int()) {
+    return Malformed("tierprof", "functions array size != totals.functions");
+  }
+  for (const json::Value& f : functions->as_array()) {
+    const json::Value* name = f.Find("name");
+    if (name == nullptr || !name->is_string()) {
+      return Malformed("tierprof", "function without name");
+    }
+    for (const char* key : {"entry", "tier_ups", "osr_entries", "flaps"}) {
+      const json::Value* v = f.Find(key);
+      if (v == nullptr || !v->is_int()) {
+        return Malformed("tierprof",
+                         StrCat("function ", name->as_string(), " missing ",
+                                key));
+      }
+    }
+    for (const char* key : {"residency", "deopts", "helper_calls"}) {
+      const json::Value* v = f.Find(key);
+      if (v == nullptr || !v->is_object()) {
+        return Malformed("tierprof",
+                         StrCat("function ", name->as_string(), " missing ",
+                                key, " object"));
+      }
+    }
+    const json::Value* deopts = f.Find("deopts");
+    int64_t fn_reason_sum = 0;
+    for (const auto& [key, count] : deopts->as_object()) {
+      if (std::string(key) != "total") {
+        fn_reason_sum += count.is_int() ? count.as_int() : 0;
+      }
+    }
+    const json::Value* fn_total = deopts->Find("total");
+    if (fn_total == nullptr || !fn_total->is_int() ||
+        fn_total->as_int() != fn_reason_sum) {
+      return Malformed("tierprof",
+                       StrCat("function ", name->as_string(),
+                              " deopt total != per-reason sum"));
+    }
+  }
+  const json::Value* threads = doc.Find("threads");
+  if (threads == nullptr || !threads->is_array()) {
+    return Malformed("tierprof", "missing threads array");
+  }
+  int64_t retained = 0;
+  int64_t dropped = 0;
+  for (const json::Value& t : threads->as_array()) {
+    const json::Value* tid = t.Find("tid");
+    const json::Value* td = t.Find("events_dropped");
+    const json::Value* events = t.Find("events");
+    if (tid == nullptr || !tid->is_int() || td == nullptr || !td->is_int() ||
+        events == nullptr || !events->is_array()) {
+      return Malformed("tierprof", "thread entry malformed");
+    }
+    dropped += td->as_int();
+    retained += static_cast<int64_t>(events->as_array().size());
+    for (const json::Value& e : events->as_array()) {
+      const json::Value* kind = e.Find("kind");
+      if (kind == nullptr || !kind->is_string()) {
+        return Malformed("tierprof", "event without kind");
+      }
+      for (const char* key : {"tier", "step", "guest_pc"}) {
+        const json::Value* v = e.Find(key);
+        if (v == nullptr || !v->is_int()) {
+          return Malformed("tierprof", StrCat("event missing ", key));
+        }
+      }
+      if (kind->as_string() == "deopt") {
+        const json::Value* reason = e.Find("reason");
+        if (reason == nullptr || !reason->is_string()) {
+          return Malformed("tierprof", "deopt event without reason");
+        }
+      }
+    }
+  }
+  // Drop accounting: retained + dropped events must equal the recorded
+  // total — overflow is never silent.
+  if (retained + dropped != totals->Find("events")->as_int()) {
+    return Malformed("tierprof",
+                     "retained + dropped events != totals.events");
+  }
+  if (dropped != totals->Find("events_dropped")->as_int()) {
+    return Malformed("tierprof",
+                     "per-thread events_dropped != totals.events_dropped");
+  }
+  const json::Value* code_map = doc.Find("code_map");
+  if (code_map == nullptr || !code_map->is_array()) {
+    return Malformed("tierprof", "missing code_map array");
+  }
+  for (const json::Value& r : code_map->as_array()) {
+    const json::Value* symbol = r.Find("symbol");
+    const json::Value* addr = r.Find("addr");
+    const json::Value* size = r.Find("size");
+    if (symbol == nullptr || !symbol->is_string() || addr == nullptr ||
+        !addr->is_int() || size == nullptr || !size->is_int()) {
+      return Malformed("tierprof", "code_map entry malformed");
+    }
+  }
+  return Status::Ok();
+}
+
 Expected<std::string> ValidateObsJson(const json::Value& doc) {
   if (doc.Find("traceEvents") != nullptr) {
     POLY_RETURN_IF_ERROR(ValidateTraceJson(doc));
@@ -339,6 +602,10 @@ Expected<std::string> ValidateObsJson(const json::Value& doc) {
     if (s == kProfileSchema) {
       POLY_RETURN_IF_ERROR(ValidateProfileJson(doc));
       return std::string("profile");
+    }
+    if (s == kTierProfSchema) {
+      POLY_RETURN_IF_ERROR(ValidateTierProfJson(doc));
+      return std::string("tierprof");
     }
     if (s == kReportSchema) {
       POLY_RETURN_IF_ERROR(ValidateReportJson(doc));
@@ -521,6 +788,160 @@ std::string RenderTraceSummary(const json::Value& trace_doc) {
   return out;
 }
 
+std::string RenderTierProf(const json::Value& tierprof_doc, int top_n) {
+  std::string out;
+  const json::Value* totals = tierprof_doc.Find("totals");
+  auto total = [&](const char* key) -> uint64_t {
+    if (totals == nullptr) {
+      return 0;
+    }
+    const json::Value* v = totals->Find(key);
+    return v != nullptr && v->is_int() ? v->as_uint() : 0;
+  };
+  out += StrCat("tier telemetry: ", total("functions"), " functions, ",
+                FormatCount(total("events")), " events (",
+                FormatCount(total("events_dropped")), " dropped), ",
+                total("tier1_translations"), " t1 + ",
+                total("tier2_translations"), " t2 translations, ",
+                total("tier_ups"), " tier-ups, ", total("osr_entries"),
+                " OSR entries, ", FormatCount(total("deopts")), " deopts, ",
+                total("flaps"), " flaps\n");
+  if (totals != nullptr) {
+    if (const json::Value* residency = totals->Find("residency")) {
+      auto tier = [&](const char* key) -> uint64_t {
+        const json::Value* v = residency->Find(key);
+        return v != nullptr && v->is_int() ? v->as_uint() : 0;
+      };
+      out += StrCat("residency (steps retired): tier0=", tier("tier0"),
+                    " tier1=", tier("tier1"), " tier2=", tier("tier2"), "\n");
+    }
+  }
+  // Per-function residency timeline, hottest first (input is pre-sorted).
+  const json::Value* functions = tierprof_doc.Find("functions");
+  if (functions != nullptr && functions->is_array() &&
+      !functions->as_array().empty()) {
+    out += StrCat("tier residency by function (top ", top_n, ")\n");
+    AppendRule(out, 78);
+    out += "      tier0       tier1       tier2  deopts  flaps  function\n";
+    int shown = 0;
+    for (const json::Value& f : functions->as_array()) {
+      if (shown++ >= top_n) {
+        break;
+      }
+      auto num = [&](const char* obj, const char* key) -> uint64_t {
+        const json::Value* o = f.Find(obj);
+        const json::Value* v = o != nullptr ? o->Find(key) : nullptr;
+        return v != nullptr && v->is_int() ? v->as_uint() : 0;
+      };
+      const json::Value* name = f.Find("name");
+      const json::Value* flaps = f.Find("flaps");
+      char line[256];
+      std::snprintf(
+          line, sizeof(line), "  %9s %11s %11s %7s %6llu  %s\n",
+          FormatCount(num("residency", "tier0")).c_str(),
+          FormatCount(num("residency", "tier1")).c_str(),
+          FormatCount(num("residency", "tier2")).c_str(),
+          FormatCount(num("deopts", "total")).c_str(),
+          static_cast<unsigned long long>(
+              flaps != nullptr && flaps->is_int() ? flaps->as_uint() : 0),
+          name != nullptr && name->is_string() ? name->as_string().c_str()
+                                               : "?");
+      out += line;
+    }
+  }
+  // Deopt forensics: the reason histogram, then the retained per-thread
+  // deopt events (most recent window; drops are accounted above).
+  if (totals != nullptr && total("deopts") != 0) {
+    if (const json::Value* by_reason = totals->Find("deopts_by_reason")) {
+      if (by_reason->is_object()) {
+        out += "deopt reasons\n";
+        AppendRule(out, 46);
+        for (const auto& [reason, count] : by_reason->as_object()) {
+          char line[96];
+          std::snprintf(line, sizeof(line), "  %-24s %12s\n", reason.c_str(),
+                        FormatCount(count.is_int() ? count.as_uint() : 0)
+                            .c_str());
+          out += line;
+        }
+      }
+    }
+    const json::Value* threads = tierprof_doc.Find("threads");
+    if (threads != nullptr && threads->is_array()) {
+      int rows = 0;
+      std::string table;
+      for (const json::Value& t : threads->as_array()) {
+        const json::Value* tid = t.Find("tid");
+        const json::Value* events = t.Find("events");
+        if (events == nullptr || !events->is_array()) {
+          continue;
+        }
+        for (const json::Value& e : events->as_array()) {
+          const json::Value* kind = e.Find("kind");
+          if (kind == nullptr || !kind->is_string() ||
+              kind->as_string() != "deopt") {
+            continue;
+          }
+          if (rows++ >= top_n) {
+            continue;  // keep counting for the truncation note
+          }
+          auto num = [&](const char* key) -> uint64_t {
+            const json::Value* v = e.Find(key);
+            return v != nullptr && v->is_int() ? v->as_uint() : 0;
+          };
+          auto str = [&](const char* key) -> std::string {
+            const json::Value* v = e.Find(key);
+            return v != nullptr && v->is_string() ? v->as_string()
+                                                  : std::string("?");
+          };
+          char line[256];
+          std::snprintf(line, sizeof(line),
+                        "  %10s  t%llu  tid=%lld  %-14s %s @%#llx\n",
+                        FormatCount(num("step")).c_str(),
+                        static_cast<unsigned long long>(num("tier")),
+                        static_cast<long long>(
+                            tid != nullptr && tid->is_int() ? tid->as_int()
+                                                            : -1),
+                        str("reason").c_str(), str("func").c_str(),
+                        static_cast<unsigned long long>(num("guest_pc")));
+          table += line;
+        }
+      }
+      if (!table.empty()) {
+        out += "deopt events (step, resident tier, thread, reason, site)\n";
+        AppendRule(out, 78);
+        out += table;
+        if (rows > top_n) {
+          out += StrCat("  ... ", rows - top_n, " more in the artifact\n");
+        }
+      }
+    }
+  }
+  // Tier-2 helper-call overhead: out-of-line helpers invoked per function.
+  if (const json::Value* helpers =
+          totals != nullptr ? totals->Find("helper_calls") : nullptr) {
+    if (helpers->is_object()) {
+      uint64_t helper_sum = 0;
+      for (const auto& [name, count] : helpers->as_object()) {
+        helper_sum += count.is_int() ? count.as_uint() : 0;
+      }
+      if (helper_sum != 0) {
+        out += "tier-2 helper calls (out-of-line)\n";
+        AppendRule(out, 46);
+        for (const auto& [name, count] : helpers->as_object()) {
+          if (!count.is_int() || count.as_int() == 0) {
+            continue;
+          }
+          char line[96];
+          std::snprintf(line, sizeof(line), "  %-24s %12s\n", name.c_str(),
+                        FormatCount(count.as_uint()).c_str());
+          out += line;
+        }
+      }
+    }
+  }
+  return out;
+}
+
 std::string RenderReport(const json::Value& report_doc, int top_n) {
   std::string out;
   auto str = [&](const char* key) -> std::string {
@@ -605,6 +1026,10 @@ std::string RenderReport(const json::Value& report_doc, int top_n) {
   const json::Value* metrics = report_doc.Find("metrics");
   if (metrics != nullptr && metrics->is_object()) {
     out += RenderMetrics(*metrics);
+  }
+  const json::Value* tierprof = report_doc.Find("tierprof");
+  if (tierprof != nullptr && tierprof->is_object()) {
+    out += RenderTierProf(*tierprof, top_n);
   }
   const json::Value* profile_summary = report_doc.Find("profile_summary");
   if (profile_summary != nullptr && profile_summary->is_object()) {

@@ -1,15 +1,16 @@
 // Session plumbing, run reports, validators, and text renderers for the
 // observability layer (DESIGN.md §4d).
 //
-// obs::Session is the single handle every pipeline stage receives: three
-// optional sinks (trace, metrics, guest profile), all nullable. The helpers
-// here make the disabled path a branch on a null pointer, so stages can
-// instrument unconditionally.
+// obs::Session is the single handle every pipeline stage receives: four
+// optional sinks (trace, metrics, guest profile, tier telemetry), all
+// nullable. The helpers here make the disabled path a branch on a null
+// pointer, so stages can instrument unconditionally.
 //
-// Everything the layer emits exits through four machine-readable documents:
+// Everything the layer emits exits through five machine-readable documents:
 //   polynima-trace     Chrome trace_event JSON        (TraceSink::ToJson)
 //   polynima-metrics/v1  merged counter/gauge/histogram dump
 //   polynima-profile/v1  per-block guest execution profile
+//   polynima-tierprof/v1 JIT lifecycle / tier-residency telemetry
 //   polynima-report/v1   one RunReport tying a run's artifacts together
 // ValidateX() functions check structural well-formedness (used by
 // `polynima report --validate`, the obs tests, and scripts/ci.sh);
@@ -24,21 +25,24 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/profile.h"
+#include "src/obs/tierprof.h"
 #include "src/obs/trace.h"
 #include "src/support/json.h"
 #include "src/support/status.h"
 
 namespace polynima::obs {
 
-// Borrowed, nullable sinks; a default-constructed Session disables all three
-// pillars. Copy freely — it is three pointers.
+// Borrowed, nullable sinks; a default-constructed Session disables all four
+// pillars. Copy freely — it is four pointers.
 struct Session {
   TraceSink* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
   GuestProfile* profile = nullptr;
+  TierProf* tierprof = nullptr;
 
   bool enabled() const {
-    return trace != nullptr || metrics != nullptr || profile != nullptr;
+    return trace != nullptr || metrics != nullptr || profile != nullptr ||
+           tierprof != nullptr;
   }
 
   // Null-tolerant metric helpers so call sites stay one-liners.
@@ -73,8 +77,9 @@ struct RunInfo {
 };
 
 // Builds the polynima-report/v1 document: run info, artifact paths, the full
-// merged metrics dump (inline), a trace summary (event/category counts), and
-// a profile summary (totals + hottest site) when those sinks are present.
+// merged metrics dump (inline), a trace summary (event/category counts), a
+// profile summary (totals + hottest site), and the full tierprof document
+// when those sinks are present.
 json::Value BuildRunReport(const RunInfo& info, const Session& session);
 
 // Structural validators. Each returns OK iff the document has the required
@@ -88,15 +93,20 @@ Status ValidateReportJson(const json::Value& doc);
 // polynima-analyze/v1 (the report's optional "analysis" section, also
 // validated as part of ValidateReportJson when present).
 Status ValidateAnalysisJson(const json::Value& doc);
+// polynima-tierprof/v1 (the report's optional "tierprof" section, also
+// validated as part of ValidateReportJson when present, including the
+// accounting invariants against the inline exec.* counters).
+Status ValidateTierProfJson(const json::Value& doc);
 
-// Sniffs which of the four document kinds `doc` is and validates it.
-// Returns the kind ("trace", "metrics", "profile", "report") on success.
+// Sniffs which of the document kinds `doc` is and validates it. Returns the
+// kind ("trace", "metrics", "profile", "tierprof", "report") on success.
 Expected<std::string> ValidateObsJson(const json::Value& doc);
 
 // Human-readable renderers for `polynima report`.
 std::string RenderMetrics(const json::Value& metrics_doc);
 std::string RenderProfile(const json::Value& profile_doc, int top_n);
 std::string RenderTraceSummary(const json::Value& trace_doc);
+std::string RenderTierProf(const json::Value& tierprof_doc, int top_n);
 std::string RenderReport(const json::Value& report_doc, int top_n);
 
 }  // namespace polynima::obs

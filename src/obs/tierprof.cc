@@ -1,0 +1,388 @@
+#include "src/obs/tierprof.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <utility>
+
+namespace polynima::obs {
+
+namespace {
+
+json::Value TierTriple(const uint64_t (&v)[TierProf::kNumTiers]) {
+  json::Object o;
+  o["tier0"] = v[0];
+  o["tier1"] = v[1];
+  o["tier2"] = v[2];
+  return o;
+}
+
+std::string HexAddr(uint64_t addr) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(addr));
+  return buf;
+}
+
+}  // namespace
+
+const char* TierProf::EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTranslate:
+      return "translate";
+    case EventKind::kTierUp:
+      return "tier_up";
+    case EventKind::kOsrEntry:
+      return "osr_entry";
+    case EventKind::kDeopt:
+      return "deopt";
+    default:
+      return "?";
+  }
+}
+
+const char* TierProf::DeoptReasonName(uint8_t reason) {
+  switch (reason) {
+    case kDeoptPreempt:
+      return "preempt";
+    case kDeoptSmcWrite:
+      return "smc_write";
+    case kDeoptUncoveredEdge:
+      return "uncovered_edge";
+    default:
+      return "?";
+  }
+}
+
+const char* TierProf::HelperName(uint8_t helper) {
+  switch (helper) {
+    case kHelperMemRead:
+      return "mem_read";
+    case kHelperMemWrite:
+      return "mem_write";
+    case kHelperAtomicRmw:
+      return "atomic_rmw";
+    case kHelperCmpXchg:
+      return "cmpxchg";
+    case kHelperFence:
+      return "fence";
+    default:
+      return "?";
+  }
+}
+
+TierProf::TierProf(size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+uint32_t TierProf::InternFunction(std::string name, uint64_t entry) {
+  uint32_t id = static_cast<uint32_t>(functions_.size());
+  FnStats fs;
+  fs.name = std::move(name);
+  fs.entry = entry;
+  functions_.push_back(std::move(fs));
+  return id;
+}
+
+void TierProf::Push(const Event& ev) {
+  ++events_recorded_;
+  ThreadRing& ring = rings_[ev.tid];
+  if (ring.events.size() < ring_capacity_) {
+    ring.events.push_back(ev);
+    return;
+  }
+  // Full: overwrite the oldest event and account for the loss.
+  ring.events[ring.next] = ev;
+  ring.next = (ring.next + 1) % ring_capacity_;
+  ++ring.dropped;
+}
+
+void TierProf::RecordTranslation(int tid, uint32_t func, int tier,
+                                 uint64_t units, uint64_t wall_ns,
+                                 uint64_t step) {
+  FnStats& fs = functions_[func];
+  ++fs.translations[tier];
+  fs.translate_units[tier] += units;
+  fs.translate_wall_ns[tier] += wall_ns;
+  Event ev;
+  ev.kind = EventKind::kTranslate;
+  ev.tier = static_cast<uint8_t>(tier);
+  ev.tid = tid;
+  ev.func = func;
+  ev.guest_pc = fs.entry;
+  ev.step = step;
+  ev.units = units;
+  ev.wall_ns = wall_ns;
+  Push(ev);
+}
+
+void TierProf::RecordTierUp(int tid, uint32_t func, int tier, uint64_t heat,
+                            uint64_t step) {
+  FnStats& fs = functions_[func];
+  ++fs.tier_ups[tier];
+  if (fs.deopted_since_tier_up) {
+    ++fs.flaps;
+    fs.deopted_since_tier_up = false;
+  }
+  Event ev;
+  ev.kind = EventKind::kTierUp;
+  ev.tier = static_cast<uint8_t>(tier);
+  ev.tid = tid;
+  ev.func = func;
+  ev.guest_pc = fs.entry;
+  ev.step = step;
+  ev.units = heat;
+  Push(ev);
+}
+
+void TierProf::RecordOsrEntry(int tid, uint32_t func, int tier,
+                              uint64_t guest_pc, uint64_t step) {
+  FnStats& fs = functions_[func];
+  ++fs.osr_entries[tier];
+  // Re-promotion after a deopt closes a tier-up -> deopt -> tier-up cycle.
+  if (fs.deopted_since_tier_up) {
+    ++fs.flaps;
+    fs.deopted_since_tier_up = false;
+  }
+  Event ev;
+  ev.kind = EventKind::kOsrEntry;
+  ev.tier = static_cast<uint8_t>(tier);
+  ev.tid = tid;
+  ev.func = func;
+  ev.guest_pc = guest_pc;
+  ev.step = step;
+  Push(ev);
+}
+
+void TierProf::RecordDeopt(int tid, uint32_t func, int resident_tier,
+                           uint8_t reason, uint64_t guest_pc, uint64_t step) {
+  FnStats& fs = functions_[func];
+  if (reason < kNumDeoptReasons) {
+    ++fs.deopts[reason];
+  }
+  fs.deopted_since_tier_up = true;
+  Event ev;
+  ev.kind = EventKind::kDeopt;
+  ev.tier = static_cast<uint8_t>(resident_tier);
+  ev.reason = reason;
+  ev.tid = tid;
+  ev.func = func;
+  ev.guest_pc = guest_pc;
+  ev.step = step;
+  Push(ev);
+}
+
+void TierProf::AddResidency(uint32_t func, int tier, uint64_t steps) {
+  functions_[func].residency[tier] += steps;
+}
+
+void TierProf::AddHelperCalls(uint32_t func, uint8_t helper, uint64_t n) {
+  functions_[func].helper_calls[helper] += n;
+}
+
+void TierProf::RecordInstall(std::string symbol, const void* addr,
+                             size_t size) {
+  InstalledRange r;
+  r.symbol = std::move(symbol);
+  r.addr = reinterpret_cast<uint64_t>(addr);
+  r.size = size;
+  installed_.push_back(std::move(r));
+}
+
+uint64_t TierProf::events_dropped() const {
+  uint64_t total = 0;
+  for (const auto& [tid, ring] : rings_) {
+    total += ring.dropped;
+  }
+  return total;
+}
+
+std::string TierProf::PerfMapText() const {
+  std::string out;
+  for (const InstalledRange& r : installed_) {
+    out += HexAddr(r.addr);
+    out += ' ';
+    out += HexAddr(r.size);
+    out += ' ';
+    out += r.symbol;
+    out += '\n';
+  }
+  return out;
+}
+
+Status TierProf::WritePerfMap(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open perf map file: " + path);
+  }
+  std::string text = PerfMapText();
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal("short write to perf map file: " + path);
+  }
+  return Status::Ok();
+}
+
+json::Value TierProf::ToJson() const {
+  uint64_t total_translations[kNumTiers] = {};
+  uint64_t total_tier_ups = 0;
+  uint64_t total_osr = 0;
+  uint64_t total_deopts[kNumDeoptReasons] = {};
+  uint64_t total_residency[kNumTiers] = {};
+  uint64_t total_helpers[kNumHelpers] = {};
+  uint64_t total_flaps = 0;
+  for (const FnStats& fs : functions_) {
+    for (int t = 0; t < kNumTiers; ++t) {
+      total_translations[t] += fs.translations[t];
+      total_tier_ups += fs.tier_ups[t];
+      total_osr += fs.osr_entries[t];
+      total_residency[t] += fs.residency[t];
+    }
+    for (int r = 0; r < kNumDeoptReasons; ++r) {
+      total_deopts[r] += fs.deopts[r];
+    }
+    for (int h = 0; h < kNumHelpers; ++h) {
+      total_helpers[h] += fs.helper_calls[h];
+    }
+    total_flaps += fs.flaps;
+  }
+
+  json::Object totals;
+  totals["functions"] = static_cast<uint64_t>(functions_.size());
+  totals["events"] = events_recorded_;
+  totals["events_dropped"] = events_dropped();
+  totals["tier1_translations"] = total_translations[1];
+  totals["tier2_translations"] = total_translations[2];
+  totals["tier_ups"] = total_tier_ups;
+  totals["osr_entries"] = total_osr;
+  totals["deopts"] = std::accumulate(total_deopts,
+                                     total_deopts + kNumDeoptReasons,
+                                     uint64_t{0});
+  json::Object deopt_hist;
+  for (int r = 0; r < kNumDeoptReasons; ++r) {
+    deopt_hist[DeoptReasonName(static_cast<uint8_t>(r))] = total_deopts[r];
+  }
+  totals["deopts_by_reason"] = std::move(deopt_hist);
+  totals["residency"] = TierTriple(total_residency);
+  json::Object helper_totals;
+  for (int h = 0; h < kNumHelpers; ++h) {
+    helper_totals[HelperName(static_cast<uint8_t>(h))] = total_helpers[h];
+  }
+  totals["helper_calls"] = std::move(helper_totals);
+  totals["flaps"] = total_flaps;
+
+  // Hottest (by total residency) first, ties by name for determinism.
+  std::vector<const FnStats*> order;
+  order.reserve(functions_.size());
+  for (const FnStats& fs : functions_) {
+    order.push_back(&fs);
+  }
+  auto residency_sum = [](const FnStats* fs) {
+    return fs->residency[0] + fs->residency[1] + fs->residency[2];
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const FnStats* a, const FnStats* b) {
+                     uint64_t ra = residency_sum(a), rb = residency_sum(b);
+                     if (ra != rb) {
+                       return ra > rb;
+                     }
+                     return a->name < b->name;
+                   });
+
+  json::Array functions;
+  for (const FnStats* fs : order) {
+    json::Object fo;
+    fo["name"] = fs->name;
+    fo["entry"] = fs->entry;
+    json::Object translations;
+    for (int t = 1; t < kNumTiers; ++t) {
+      if (fs->translations[t] == 0) {
+        continue;
+      }
+      json::Object to;
+      to["count"] = fs->translations[t];
+      to["units"] = fs->translate_units[t];
+      to["wall_ns"] = fs->translate_wall_ns[t];
+      translations[std::string("tier") + static_cast<char>('0' + t)] =
+          std::move(to);
+    }
+    fo["translations"] = std::move(translations);
+    fo["tier_ups"] = fs->tier_ups[1] + fs->tier_ups[2];
+    fo["osr_entries"] = fs->osr_entries[1] + fs->osr_entries[2];
+    json::Object deopts;
+    uint64_t deopt_total = 0;
+    for (int r = 0; r < kNumDeoptReasons; ++r) {
+      deopts[DeoptReasonName(static_cast<uint8_t>(r))] = fs->deopts[r];
+      deopt_total += fs->deopts[r];
+    }
+    deopts["total"] = deopt_total;
+    fo["deopts"] = std::move(deopts);
+    fo["flaps"] = fs->flaps;
+    fo["residency"] = TierTriple(fs->residency);
+    json::Object helpers;
+    for (int h = 0; h < kNumHelpers; ++h) {
+      if (fs->helper_calls[h] != 0) {
+        helpers[HelperName(static_cast<uint8_t>(h))] = fs->helper_calls[h];
+      }
+    }
+    fo["helper_calls"] = std::move(helpers);
+    functions.push_back(std::move(fo));
+  }
+
+  json::Array threads;
+  for (const auto& [tid, ring] : rings_) {
+    json::Object to;
+    to["tid"] = static_cast<int64_t>(tid);
+    to["events_dropped"] = ring.dropped;
+    json::Array events;
+    // Oldest retained first: once the ring wrapped, `next` points at the
+    // oldest slot.
+    size_t n = ring.events.size();
+    size_t start = ring.dropped > 0 ? ring.next : 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Event& ev = ring.events[(start + i) % n];
+      json::Object eo;
+      eo["kind"] = EventKindName(ev.kind);
+      eo["tier"] = static_cast<uint64_t>(ev.tier);
+      eo["func"] = functions_[ev.func].name;
+      eo["guest_pc"] = ev.guest_pc;
+      eo["step"] = ev.step;
+      if (ev.kind == EventKind::kDeopt) {
+        eo["reason"] = DeoptReasonName(ev.reason);
+      }
+      if (ev.kind == EventKind::kTranslate) {
+        eo["units"] = ev.units;
+        eo["wall_ns"] = ev.wall_ns;
+      }
+      if (ev.kind == EventKind::kTierUp) {
+        eo["heat"] = ev.units;
+      }
+      events.push_back(std::move(eo));
+    }
+    to["events"] = std::move(events);
+    threads.push_back(std::move(to));
+  }
+
+  json::Array code_map;
+  for (const InstalledRange& r : installed_) {
+    json::Object ro;
+    ro["symbol"] = r.symbol;
+    ro["addr"] = r.addr;
+    ro["size"] = r.size;
+    code_map.push_back(std::move(ro));
+  }
+
+  json::Object doc;
+  doc["schema"] = "polynima-tierprof/v1";
+  doc["totals"] = std::move(totals);
+  doc["functions"] = std::move(functions);
+  doc["threads"] = std::move(threads);
+  doc["code_map"] = std::move(code_map);
+  return doc;
+}
+
+Status TierProf::WriteTo(const std::string& path) const {
+  return json::WriteFile(path, ToJson());
+}
+
+}  // namespace polynima::obs

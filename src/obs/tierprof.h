@@ -1,0 +1,179 @@
+// Execution-tier telemetry (DESIGN.md §4h): JIT lifecycle events,
+// tier-residency attribution, deopt forensics, and native-code perf hooks.
+//
+// TierProf is the fourth obs pillar, consumed by the tiered exec engine
+// (src/exec): a bounded per-thread ring buffer of JIT lifecycle events
+// (translation begin/end with unit count and wall time, heat-threshold
+// tier-up, OSR entry, and every deoptimization tagged with reason, guest pc
+// and resident tier) plus incremental per-function aggregates that stay
+// exact even when the ring overflows — the ring is a forensic window into
+// *when* things happened; the aggregates are the accounting record of *how
+// often*. Overflow never silently truncates: each thread carries an explicit
+// `events_dropped` counter surfaced in the artifact.
+//
+// Residency attribution (guest steps retired per tier per function) and
+// tier-2 helper-call counts are folded in by the engine at session end from
+// scratch counters it bumps inline, so the per-step hot path stays an array
+// increment and the disabled path costs nothing (the engine's obs-off
+// template specialization compiles the checks out entirely).
+//
+// Output: a `polynima-tierprof/v1` JSON artifact (ToJson/WriteTo) and a
+// Linux perf-compatible map file (PerfMapText/WritePerfMap) mapping each
+// installed vm::CodeBuffer range to a `tierN:<function>` symbol, so external
+// profilers can attribute native samples to guest functions.
+//
+// Like GuestProfile, TierProf is IR-ignorant (names/addresses only, so
+// src/obs stays a leaf library) and not thread-safe (the exec engine is
+// single-threaded; guest threads are simulated).
+#ifndef POLYNIMA_OBS_TIERPROF_H_
+#define POLYNIMA_OBS_TIERPROF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/support/status.h"
+
+namespace polynima::obs {
+
+class TierProf {
+ public:
+  enum class EventKind : uint8_t {
+    kTranslate = 0,  // a tier finished translating a function
+    kTierUp,         // heat crossed a threshold; frame promoted
+    kOsrEntry,       // promotion entered mid-function (on-stack replacement)
+    kDeopt,          // a guard transferred the frame back to tier 0
+    kNumKinds,
+  };
+  static const char* EventKindName(EventKind kind);
+
+  // Deopt reasons, mirroring exec::DeoptReason (obs cannot include exec).
+  // The engine passes the raw enum value; kept in sync by a static_assert
+  // at the engine wiring site.
+  enum DeoptReason : uint8_t {
+    kDeoptPreempt = 0,
+    kDeoptSmcWrite,
+    kDeoptUncoveredEdge,
+    kNumDeoptReasons,
+  };
+  static const char* DeoptReasonName(uint8_t reason);
+
+  // Tier-2 runtime helpers whose per-function call counts quantify the
+  // native tier's out-of-line overhead (the guest-memory fast-path
+  // evidence base).
+  enum Helper : uint8_t {
+    kHelperMemRead = 0,
+    kHelperMemWrite,
+    kHelperAtomicRmw,
+    kHelperCmpXchg,
+    kHelperFence,
+    kNumHelpers,
+  };
+  static const char* HelperName(uint8_t helper);
+
+  static constexpr int kNumTiers = 3;
+
+  struct Event {
+    EventKind kind = EventKind::kTranslate;
+    uint8_t tier = 0;    // tier translated / promoted to / resident at deopt
+    uint8_t reason = 0;  // DeoptReason (kDeopt only)
+    int tid = 0;         // guest thread the event occurred on
+    uint32_t func = 0;   // interned function id
+    uint64_t guest_pc = 0;  // deopt anchor / OSR block / function entry
+    uint64_t step = 0;      // engine step count when the event fired
+    uint64_t units = 0;     // translate: TInsts (t1) or code bytes (t2);
+                            // tier-up: heat at promotion
+    uint64_t wall_ns = 0;   // translate: host wall time spent translating
+  };
+
+  // Per-function aggregates, updated incrementally on every Record* call
+  // (never reconstructed from the lossy ring).
+  struct FnStats {
+    std::string name;
+    uint64_t entry = 0;  // guest entry address (0 if synthetic)
+    uint64_t translations[kNumTiers] = {};
+    uint64_t translate_units[kNumTiers] = {};
+    uint64_t translate_wall_ns[kNumTiers] = {};
+    uint64_t tier_ups[kNumTiers] = {};
+    uint64_t osr_entries[kNumTiers] = {};
+    uint64_t deopts[kNumDeoptReasons] = {};
+    // Tier-up events that re-promote a function after it deopted: a
+    // tier-up -> deopt -> tier-up cycle (tier flapping).
+    uint64_t flaps = 0;
+    // Guest steps retired while this function was resident in each tier
+    // (folded in by the engine at session end).
+    uint64_t residency[kNumTiers] = {};
+    // Tier-2 out-of-line helper invocations attributed to this function.
+    uint64_t helper_calls[kNumHelpers] = {};
+    bool deopted_since_tier_up = false;  // flap-detection state
+  };
+
+  struct InstalledRange {
+    std::string symbol;  // "tierN:<function>"
+    uint64_t addr = 0;
+    uint64_t size = 0;
+  };
+
+  // `ring_capacity` bounds each per-thread event ring; older events are
+  // overwritten on overflow and counted in that thread's events_dropped.
+  explicit TierProf(size_t ring_capacity = kDefaultRingCapacity);
+
+  static constexpr size_t kDefaultRingCapacity = 4096;
+
+  // Registers a function once and returns its dense id.
+  uint32_t InternFunction(std::string name, uint64_t entry);
+
+  void RecordTranslation(int tid, uint32_t func, int tier, uint64_t units,
+                         uint64_t wall_ns, uint64_t step);
+  void RecordTierUp(int tid, uint32_t func, int tier, uint64_t heat,
+                    uint64_t step);
+  void RecordOsrEntry(int tid, uint32_t func, int tier, uint64_t guest_pc,
+                      uint64_t step);
+  void RecordDeopt(int tid, uint32_t func, int resident_tier, uint8_t reason,
+                   uint64_t guest_pc, uint64_t step);
+
+  // Session-end folds from the engine's inline scratch counters.
+  void AddResidency(uint32_t func, int tier, uint64_t steps);
+  void AddHelperCalls(uint32_t func, uint8_t helper, uint64_t n);
+
+  // Registers an installed native-code range for the perf map.
+  void RecordInstall(std::string symbol, const void* addr, size_t size);
+
+  const std::vector<FnStats>& functions() const { return functions_; }
+  const std::vector<InstalledRange>& installed() const { return installed_; }
+  uint64_t events_recorded() const { return events_recorded_; }
+  uint64_t events_dropped() const;
+
+  // Linux perf map format: one "<hex-addr> <hex-size> <symbol>" line per
+  // installed range (the /tmp/perf-<pid>.map convention).
+  std::string PerfMapText() const;
+  Status WritePerfMap(const std::string& path) const;
+
+  // {"schema": "polynima-tierprof/v1", "totals": {...}, "functions": [...],
+  //  "threads": [...], "code_map": [...]}; functions sorted by total
+  // residency, hottest first.
+  json::Value ToJson() const;
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  struct ThreadRing {
+    std::vector<Event> events;  // ring storage, capacity-bounded
+    size_t next = 0;            // write cursor once full
+    uint64_t dropped = 0;       // events overwritten (ring overflow)
+  };
+
+  void Push(const Event& ev);
+
+  size_t ring_capacity_;
+  std::vector<FnStats> functions_;
+  std::map<int, ThreadRing> rings_;  // keyed by guest tid (ordered output)
+  std::vector<InstalledRange> installed_;
+  uint64_t events_recorded_ = 0;
+};
+
+}  // namespace polynima::obs
+
+#endif  // POLYNIMA_OBS_TIERPROF_H_

@@ -27,8 +27,8 @@
 //            shrink any divergence to a minimal schedule, print the repro
 //   polynima report   <obs.json>... [--top N] [--validate]
 //            render any observability artifact (trace / metrics / profile /
-//            run report) as human tables; --validate only checks structure
-//            and exits non-zero on a malformed or empty document
+//            tierprof / run report) as human tables; --validate only checks
+//            structure and exits non-zero on a malformed or empty document
 //
 // Observability (src/obs) — every subcommand that builds or runs a binary
 // accepts:
@@ -41,9 +41,18 @@
 //                      per-site fence/atomic frequencies
 //   --report-out <f>   one polynima-report/v1 document tying the run and
 //                      its artifacts together (implies a metrics registry)
+//   --tier-prof <f>    execution-tier telemetry (polynima-tierprof/v1):
+//                      JIT lifecycle events (translation, tier-up, OSR,
+//                      per-reason deopts), per-function tier-residency
+//                      timelines, tier-flap counts and tier-2 helper-call
+//                      frequencies (run / explore)
+//   --perf-map <f>     Linux perf-compatible map of the installed native
+//                      code ranges (`addr size tierN:<function>` rows;
+//                      implies the --tier-prof recorder)
 // Flags may be spelled --flag value or --flag=value. All sinks are off by
 // default; the disabled cost at every instrumentation point is one branch
-// on a null pointer.
+// on a null pointer — and with no sink at all, dispatch selects instruction
+// loops with every check compiled out.
 //
 // Tiered execution (src/exec, DESIGN.md §4f-4g) — `run` and `explore` accept:
 //   --tier 0|1|2         highest execution tier (default 0). Tier 1
@@ -164,6 +173,8 @@ struct Args {
   std::string metrics_out;  // polynima-metrics/v1
   std::string profile_out;  // polynima-profile/v1 (--profile)
   std::string report_out;   // polynima-report/v1
+  std::string tierprof_out;  // polynima-tierprof/v1 (--tier-prof)
+  std::string perf_map;      // Linux perf /tmp/perf-<pid>.map format
   int top = 10;             // report: rows per table
   bool validate = false;    // report: structural validation only
 };
@@ -266,6 +277,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       if (!next(args.profile_out)) return false;
     } else if (a == "--report-out") {
       if (!next(args.report_out)) return false;
+    } else if (a == "--tier-prof") {
+      if (!next(args.tierprof_out)) return false;
+    } else if (a == "--perf-map") {
+      if (!next(args.perf_map)) return false;
     } else if (a == "--top") {
       std::string v;
       if (!next(v)) return false;
@@ -297,6 +312,7 @@ struct ObsSinks {
   std::optional<obs::TraceSink> trace;
   std::optional<obs::MetricsRegistry> metrics;
   std::optional<obs::GuestProfile> profile;
+  std::optional<obs::TierProf> tierprof;
   obs::Session session;
   // polynima-analyze/v1 section for the run report (set by commands that ran
   // the static concurrency analyzer; null otherwise).
@@ -313,6 +329,11 @@ struct ObsSinks {
     }
     if (!args.profile_out.empty()) {
       session.profile = &profile.emplace();
+    }
+    // --perf-map implies the tier-telemetry recorder: the map rows come from
+    // its installed-code registry.
+    if (!args.tierprof_out.empty() || !args.perf_map.empty()) {
+      session.tierprof = &tierprof.emplace();
     }
   }
 
@@ -342,6 +363,13 @@ struct ObsSinks {
     }
     if (profile.has_value()) {
       write(profile->WriteTo(args.profile_out), "profile", args.profile_out);
+    }
+    if (tierprof.has_value() && !args.tierprof_out.empty()) {
+      write(tierprof->WriteTo(args.tierprof_out), "tierprof",
+            args.tierprof_out);
+    }
+    if (tierprof.has_value() && !args.perf_map.empty()) {
+      write(tierprof->WritePerfMap(args.perf_map), "perf-map", args.perf_map);
     }
     if (!args.report_out.empty()) {
       Status st = json::WriteFile(args.report_out,
@@ -953,7 +981,8 @@ int CmdExplore(const Args& args) {
 }
 
 // Renders (or, with --validate, only structurally validates) observability
-// artifacts: any mix of trace / metrics / profile / report JSON files.
+// artifacts: any mix of trace / metrics / profile / tierprof / report JSON
+// files.
 int CmdReport(const Args& args) {
   if (args.positional.empty()) {
     return Usage();
@@ -987,6 +1016,8 @@ int CmdReport(const Args& args) {
       std::fputs(obs::RenderMetrics(*doc).c_str(), stdout);
     } else if (*kind == "profile") {
       std::fputs(obs::RenderProfile(*doc, args.top).c_str(), stdout);
+    } else if (*kind == "tierprof") {
+      std::fputs(obs::RenderTierProf(*doc, args.top).c_str(), stdout);
     } else {
       std::fputs(obs::RenderReport(*doc, args.top).c_str(), stdout);
     }

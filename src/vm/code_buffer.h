@@ -38,11 +38,16 @@ class CodeBuffer {
   // lifetime.
   const uint8_t* Install(const std::vector<uint8_t>& bytes);
 
- private:
+  // One installed executable mapping (page-aligned `length` covers the
+  // requested bytes). Exposed so telemetry can check perf-map symbol ranges
+  // fall inside real mappings.
   struct Mapping {
     void* addr = nullptr;
     size_t length = 0;
   };
+  const std::vector<Mapping>& mappings() const { return mappings_; }
+
+ private:
   std::vector<Mapping> mappings_;
 };
 

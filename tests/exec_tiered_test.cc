@@ -35,7 +35,9 @@
 #include "src/cc/compiler.h"
 #include "src/cfg/cfg.h"
 #include "src/exec/engine.h"
+#include "src/exec/tier2.h"
 #include "src/lift/lifter.h"
+#include "src/obs/report.h"
 #include "src/opt/passes.h"
 #include "src/sched/schedule.h"
 #include "src/sched/scheduler.h"
@@ -525,6 +527,261 @@ TEST(ExecTiered, NestedCallbacksThroughMemoizedDispatch) {
     ExpectSameRun(t0, tn, "nested callbacks tier " + std::to_string(tier));
     EXPECT_GT(tn.tier1_instrs + tn.tier2_instrs, 0u);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Execution-tier telemetry (src/obs/tierprof.h, DESIGN.md §4h). The recorder
+// is an observer in the strict sense: attaching it must leave the entire
+// observable run surface — including the state digest — bit-identical, while
+// the artifact it produces must validate and agree exactly with the engine's
+// own tier counters.
+
+int64_t TotalsField(const json::Value& doc, const char* name) {
+  const json::Value* totals = doc.Find("totals");
+  EXPECT_NE(totals, nullptr);
+  const json::Value* field = totals->Find(name);
+  EXPECT_NE(field, nullptr) << name;
+  return field != nullptr ? field->as_int() : -1;
+}
+
+TEST(ExecTierProf, RecorderInvisibleAcrossTiers) {
+  Built built = Build(kComputeSource);
+  for (int tier : {0, 1, 2}) {
+    ExecResult off = RunBuilt(built, Tiered(tier));
+    obs::TierProf tierprof;
+    ExecOptions options = Tiered(tier);
+    options.obs.tierprof = &tierprof;
+    ExecResult on = RunBuilt(built, options);
+    ExpectSameRun(off, on, "tier-prof on, tier " + std::to_string(tier));
+    if (tier >= 1) {
+      EXPECT_GT(tierprof.events_recorded(), 0u);
+    }
+  }
+}
+
+TEST(ExecTierProf, RecorderInvisibleThreadedAndMidRunPromotion) {
+  Built built = Build(kThreadedSource);
+  for (uint64_t seed : {1ull, 23ull}) {
+    for (uint64_t threshold : {0ull, 8ull}) {
+      ExecOptions off_options = Tiered(2, threshold);
+      off_options.seed = seed;
+      ExecResult off = RunBuilt(built, off_options);
+      obs::TierProf tierprof;
+      ExecOptions on_options = off_options;
+      on_options.obs.tierprof = &tierprof;
+      ExecResult on = RunBuilt(built, on_options);
+      ExpectSameRun(off, on,
+                    "threaded seed " + std::to_string(seed) + " threshold " +
+                        std::to_string(threshold));
+    }
+  }
+}
+
+TEST(ExecTierProf, RecorderInvisibleOnCorpusScheduleReplay) {
+  // Every checked-in .sched replay must reach the same outcome and digest
+  // with the recorder attached — controlled scheduling is the most
+  // perturbation-sensitive mode (one extra RNG draw or reordered decision
+  // shows up immediately as a digest mismatch).
+  std::filesystem::path dir(POLY_SCHEDULES_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::map<std::pair<std::string, std::string>,
+           std::unique_ptr<recomp::RecompiledBinary>>
+      builds;
+  int entries = 0;
+  for (const auto& file : std::filesystem::directory_iterator(dir)) {
+    if (file.path().extension() != ".sched") {
+      continue;
+    }
+    SCOPED_TRACE(file.path().filename().string());
+    std::ifstream in(file.path());
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto entry = sched::CorpusEntry::Parse(buffer.str());
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+    ++entries;
+
+    auto key = std::make_pair(entry->program, entry->variant);
+    auto it = builds.find(key);
+    if (it == builds.end()) {
+      it = builds
+               .emplace(key, std::make_unique<recomp::RecompiledBinary>(
+                                 schedtest::BuildCorpus(entry->program,
+                                                        entry->variant)))
+               .first;
+    }
+    const recomp::RecompiledBinary& binary = *it->second;
+
+    // Mid-run promotion under tier 2 exercises every lifecycle hook.
+    ExecOptions base;
+    base.tier = 2;
+    base.tier_threshold = 8;
+    sched::ReplayScheduler plain(entry->schedule);
+    sched::Outcome off =
+        schedtest::RunCorpus(binary, &plain, entry->schedule.seed, base);
+    EXPECT_EQ(off.Key(), entry->expect) << entry->schedule.Serialize();
+
+    obs::TierProf tierprof;
+    ExecOptions instrumented = base;
+    instrumented.obs.tierprof = &tierprof;
+    sched::ReplayScheduler replay(entry->schedule);
+    sched::Outcome on = schedtest::RunCorpus(binary, &replay,
+                                             entry->schedule.seed,
+                                             instrumented);
+    EXPECT_EQ(on.Key(), off.Key()) << entry->schedule.Serialize();
+    EXPECT_EQ(on.state_digest, off.state_digest)
+        << entry->schedule.Serialize();
+    EXPECT_EQ(replay.skipped_decisions(), 0);
+    EXPECT_TRUE(obs::ValidateTierProfJson(tierprof.ToJson()).ok());
+  }
+  EXPECT_GE(entries, 3);
+}
+
+TEST(ExecTierProf, ArtifactValidatesAndMatchesEngineCounters) {
+  Built built = Build(kComputeSource);
+  obs::TierProf tierprof;
+  ExecOptions options = Tiered(2, 4);  // staged 0 -> 1 -> 2 promotion
+  options.obs.tierprof = &tierprof;
+  ExecResult r = RunBuilt(built, options);
+  ASSERT_TRUE(r.ok) << r.fault_message;
+
+  json::Value doc = tierprof.ToJson();
+  Status valid = obs::ValidateTierProfJson(doc);
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+
+  // The artifact's accounting must agree exactly with the engine's own
+  // exec.* counters — same events, independently tallied.
+  EXPECT_EQ(TotalsField(doc, "tier1_translations"),
+            static_cast<int64_t>(r.tier1_translations));
+  EXPECT_EQ(TotalsField(doc, "tier2_translations"),
+            static_cast<int64_t>(r.tier2_translations));
+  EXPECT_EQ(TotalsField(doc, "deopts"), static_cast<int64_t>(r.deopts));
+  EXPECT_GT(TotalsField(doc, "tier_ups"), 0);
+
+  // Residency attribution: tier 1/2 steps must match the engine's
+  // instruction counters exactly, and the three tiers together must cover
+  // every step except dispatcher-boundary steps (thread entry and top-level
+  // tail transfers retire no guest instruction inside any function).
+  const json::Value* residency = doc.Find("totals")->Find("residency");
+  ASSERT_NE(residency, nullptr);
+  uint64_t res0 = residency->Find("tier0")->as_uint();
+  uint64_t res1 = residency->Find("tier1")->as_uint();
+  uint64_t res2 = residency->Find("tier2")->as_uint();
+  EXPECT_EQ(res1, r.tier1_instrs);
+  EXPECT_EQ(res2, r.tier2_instrs);
+  EXPECT_LE(res0 + res1 + res2, r.steps);
+  EXPECT_GT(res0 + res1 + res2, r.steps - 16) << "dispatch slack too large";
+
+  // The artifact renders (greppable residency line included) and the
+  // surrounding run report validates with the tierprof section inlined.
+  std::string rendered = obs::RenderTierProf(doc, 10);
+  EXPECT_NE(rendered.find("residency (steps retired):"), std::string::npos);
+  if (Tier2Active()) {
+    EXPECT_NE(rendered.find("tier2="), std::string::npos);
+  }
+}
+
+TEST(ExecTierProf, DeoptForensicsRecordReasonAndSite) {
+  // The SMC-write guard run from DeoptSmcWrite, instrumented: the artifact
+  // must carry the per-reason histogram and at least one ring event tagged
+  // smc_write at the resident tier.
+  Built built = Build(R"(
+    int main() {
+      long* p = (long*)0x400000;   // binary::kCodeBase
+      *p = 42;
+      return (int)*p;
+    })");
+  obs::TierProf tierprof;
+  ExecOptions options = Tiered(1);
+  options.obs.tierprof = &tierprof;
+  ExecResult r = RunBuilt(built, options);
+  EXPECT_GE(r.deopts_by_reason[static_cast<int>(DeoptReason::kSmcWrite)], 1u);
+
+  json::Value doc = tierprof.ToJson();
+  ASSERT_TRUE(obs::ValidateTierProfJson(doc).ok());
+  const json::Value* by_reason = doc.Find("totals")->Find("deopts_by_reason");
+  ASSERT_NE(by_reason, nullptr);
+  EXPECT_EQ(by_reason->Find("smc_write")->as_uint(),
+            r.deopts_by_reason[static_cast<int>(DeoptReason::kSmcWrite)]);
+  // Forensic ring: the deopt event survives with kind/reason intact.
+  const json::Value* threads = doc.Find("threads");
+  ASSERT_NE(threads, nullptr);
+  bool found_deopt_event = false;
+  for (const json::Value& thread : threads->as_array()) {
+    for (const json::Value& ev : thread.Find("events")->as_array()) {
+      if (ev.Find("kind")->as_string() == "deopt" &&
+          ev.Find("reason")->as_string() == "smc_write") {
+        found_deopt_event = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_deopt_event);
+}
+
+TEST(ExecTierProf, PerfMapRangesInsideInstalledCodeBuffers) {
+  if (!Tier2Active()) {
+    GTEST_SKIP() << "host cannot map executable code buffers";
+  }
+  Built built = Build(kComputeSource);
+  obs::TierProf tierprof;
+  ExecOptions options = Tiered(2);
+  options.obs.tierprof = &tierprof;
+  vm::ExternalLibrary library;
+  Engine engine(built.program, built.image, &library, options);
+  ExecResult r = engine.Run();
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  ASSERT_GT(r.tier2_translations, 0u);
+
+  const Tier2Backend* tier2 = engine.tier2_backend();
+  ASSERT_NE(tier2, nullptr);
+  const auto& mappings = tier2->buffer().mappings();
+  ASSERT_FALSE(mappings.empty());
+  ASSERT_FALSE(tierprof.installed().empty());
+
+  // Every perf-map symbol (entry thunk + one per translated function) must
+  // fall entirely inside one installed W^X mapping.
+  for (const obs::TierProf::InstalledRange& range : tierprof.installed()) {
+    EXPECT_GT(range.size, 0u) << range.symbol;
+    bool inside = false;
+    for (const vm::CodeBuffer::Mapping& m : mappings) {
+      uint64_t lo = reinterpret_cast<uint64_t>(m.addr);
+      if (range.addr >= lo && range.addr + range.size <= lo + m.length) {
+        inside = true;
+      }
+    }
+    EXPECT_TRUE(inside) << range.symbol << " outside every code mapping";
+  }
+  // One range per translation plus the shared entry thunk.
+  EXPECT_EQ(tierprof.installed().size(), r.tier2_translations + 1);
+  std::string text = tierprof.PerfMapText();
+  EXPECT_NE(text.find("tier2:"), std::string::npos);
+  EXPECT_NE(text.find("tier2:<entry-thunk>"), std::string::npos);
+}
+
+TEST(ExecTierProf, HelperCallCountsAttributedUnderTier2) {
+  if (!Tier2Active()) {
+    GTEST_SKIP() << "host cannot map executable code buffers";
+  }
+  // kComputeSource is load/store heavy: the out-of-line guest-memory
+  // helpers must show up against the functions that ran natively.
+  Built built = Build(kComputeSource);
+  obs::TierProf tierprof;
+  ExecOptions options = Tiered(2);
+  options.obs.tierprof = &tierprof;
+  ExecResult r = RunBuilt(built, options);
+  ASSERT_TRUE(r.ok) << r.fault_message;
+  ASSERT_GT(r.tier2_instrs, 0u);
+
+  json::Value doc = tierprof.ToJson();
+  ASSERT_TRUE(obs::ValidateTierProfJson(doc).ok());
+  const json::Value* helpers = doc.Find("totals")->Find("helper_calls");
+  ASSERT_NE(helpers, nullptr);
+  const json::Value* reads = helpers->Find("mem_read");
+  const json::Value* writes = helpers->Find("mem_write");
+  ASSERT_NE(reads, nullptr);
+  ASSERT_NE(writes, nullptr);
+  EXPECT_GT(reads->as_uint(), 0u);
+  EXPECT_GT(writes->as_uint(), 0u);
 }
 
 }  // namespace

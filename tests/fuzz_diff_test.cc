@@ -12,6 +12,7 @@
 
 #include "src/cc/compiler.h"
 #include "src/obs/metrics.h"
+#include "src/obs/tierprof.h"
 #include "src/obs/trace.h"
 #include "src/recomp/recompiler.h"
 #include "src/support/rng.h"
@@ -160,7 +161,7 @@ class ProgramGenerator {
 
 std::string RunConfig(const std::string& source, int opt, bool recompiled,
                       std::string* error, int jobs = 1, int tier = 0,
-                      uint64_t tier_threshold = 0) {
+                      uint64_t tier_threshold = 0, bool tierprof = false) {
   cc::CompileOptions options;
   options.name = "fuzz";
   options.opt_level = opt;
@@ -201,6 +202,12 @@ std::string RunConfig(const std::string& source, int opt, bool recompiled,
   exec::ExecOptions exec_options;
   exec_options.tier = tier;
   exec_options.tier_threshold = tier_threshold;
+  // Tier-telemetry configs record every JIT lifecycle event of the run; any
+  // perturbation of the execution itself diverges against the reference.
+  obs::TierProf tierprof_sink;
+  if (tierprof) {
+    exec_options.obs.tierprof = &tierprof_sink;
+  }
   auto result = recompiler.RunAdditive(*binary, {}, exec_options);
   if (!result.ok() || !result->ok) {
     *error = "engine: " + (result.ok() ? result->fault_message
@@ -226,30 +233,34 @@ TEST_P(FuzzDiff, FourWayEquivalence) {
   // The recompiled configs run with a seed-derived worker count so the fuzz
   // corpus also exercises the parallel lift+optimize pipeline.
   Rng jobs_rng(seed * 0x9e3779b97f4a7c15ull + 1);
-  // {opt, recompiled, tier, tier_threshold}: the last four rows run the
-  // recompiled binary through the tier-1 translator and the tier-2 native
-  // re-emitter — eagerly and with a mid-run tier-up threshold each — and
-  // must still match the O0-original VM.
+  // {opt, recompiled, tier, tier_threshold, tierprof}: the tiered rows run
+  // the recompiled binary through the tier-1 translator and the tier-2
+  // native re-emitter — eagerly and with a mid-run tier-up threshold each —
+  // and must still match the O0-original VM; the last row repeats the
+  // mixed-promotion tier-2 config with the tier-telemetry recorder attached
+  // (observability must not perturb execution).
   struct Config {
     int opt;
     bool recompiled;
     int tier;
     uint64_t tier_threshold;
+    bool tierprof = false;
   };
   for (const Config& config :
        {Config{2, false, 0, 0}, Config{0, true, 0, 0}, Config{2, true, 0, 0},
         Config{2, true, 1, 0}, Config{2, true, 1, 64}, Config{2, true, 2, 0},
-        Config{2, true, 2, 64}}) {
+        Config{2, true, 2, 64}, Config{2, true, 2, 64, /*tierprof=*/true}}) {
     int jobs =
         config.recompiled ? 1 + static_cast<int>(jobs_rng.NextBelow(4)) : 1;
     std::string got =
         RunConfig(source, config.opt, config.recompiled, &error, jobs,
-                  config.tier, config.tier_threshold);
+                  config.tier, config.tier_threshold, config.tierprof);
     EXPECT_EQ(got, reference)
         << "config O" << config.opt
         << (config.recompiled ? " recompiled" : " original")
         << " tier=" << config.tier << "/" << config.tier_threshold
-        << " jobs=" << jobs << " diverged (" << error << ")\nsource:\n"
+        << (config.tierprof ? " tier-prof" : "") << " jobs=" << jobs
+        << " diverged (" << error << ")\nsource:\n"
         << source;
   }
 }

@@ -236,6 +236,95 @@ TEST_F(ObsEndToEnd, ValidatorsRejectMalformedAndEmptyDocuments) {
   EXPECT_FALSE(ValidateObsJson(json::Value(json::Object{})).ok());
 }
 
+TEST(TierProfUnit, SyntheticLifecycleRoundTripsThroughValidator) {
+  TierProf tierprof;
+  uint32_t f = tierprof.InternFunction("hot_fn", 0x401000);
+  uint32_t g = tierprof.InternFunction("cold_fn", 0x402000);
+  tierprof.RecordTranslation(0, f, 1, /*units=*/40, /*wall_ns=*/1200,
+                             /*step=*/10);
+  tierprof.RecordTierUp(0, f, 1, /*heat=*/8, /*step=*/10);
+  tierprof.RecordDeopt(0, f, 1, TierProf::kDeoptSmcWrite, 0x401040,
+                       /*step=*/50);
+  tierprof.RecordTierUp(0, f, 2, /*heat=*/16, /*step=*/80);  // flap closes
+  tierprof.RecordOsrEntry(1, g, 1, 0x402010, /*step=*/90);
+  tierprof.AddResidency(f, 1, 500);
+  tierprof.AddResidency(f, 2, 300);
+  tierprof.AddResidency(g, 0, 200);
+  tierprof.AddHelperCalls(f, TierProf::kHelperMemRead, 17);
+  tierprof.RecordInstall("tier2:hot_fn", reinterpret_cast<void*>(0x7f0000),
+                         128);
+
+  json::Value doc = tierprof.ToJson();
+  Status valid = ValidateTierProfJson(doc);
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+  auto kind = ValidateObsJson(doc);
+  ASSERT_TRUE(kind.ok());
+  EXPECT_EQ(*kind, "tierprof");
+
+  const json::Value* totals = doc.Find("totals");
+  EXPECT_EQ(totals->Find("tier1_translations")->as_int(), 1);
+  EXPECT_EQ(totals->Find("deopts")->as_int(), 1);
+  EXPECT_EQ(totals->Find("flaps")->as_int(), 1);
+  EXPECT_EQ(totals->Find("residency")->Find("tier1")->as_int(), 500);
+  EXPECT_EQ(totals->Find("helper_calls")->Find("mem_read")->as_int(), 17);
+  // Functions sort hottest-first by total residency: hot_fn (800) > cold_fn.
+  const json::Value& first = doc.Find("functions")->as_array()[0];
+  EXPECT_EQ(first.Find("name")->as_string(), "hot_fn");
+
+  std::string rendered = RenderTierProf(doc, /*top_n=*/5);
+  EXPECT_NE(rendered.find("hot_fn"), std::string::npos);
+  EXPECT_NE(rendered.find("smc_write"), std::string::npos);
+
+  std::string map = tierprof.PerfMapText();
+  EXPECT_EQ(map, "7f0000 80 tier2:hot_fn\n");
+}
+
+TEST(TierProfUnit, RingOverflowKeepsAggregatesAndCountsDrops) {
+  // A 4-event ring under 10 deopts: the forensic window keeps the newest 4,
+  // the drop counter owns the other 6, and the aggregates never lose one.
+  TierProf tierprof(/*ring_capacity=*/4);
+  uint32_t f = tierprof.InternFunction("spinny", 0x401000);
+  for (uint64_t i = 0; i < 10; ++i) {
+    tierprof.RecordDeopt(0, f, 1, TierProf::kDeoptPreempt, 0x401000 + i,
+                         /*step=*/i);
+  }
+  EXPECT_EQ(tierprof.events_recorded(), 10u);
+  EXPECT_EQ(tierprof.events_dropped(), 6u);
+  EXPECT_EQ(tierprof.functions()[f].deopts[TierProf::kDeoptPreempt], 10u);
+
+  json::Value doc = tierprof.ToJson();
+  Status valid = ValidateTierProfJson(doc);
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_EQ(doc.Find("totals")->Find("events_dropped")->as_int(), 6);
+  const json::Value& thread = doc.Find("threads")->as_array()[0];
+  EXPECT_EQ(thread.Find("events_dropped")->as_int(), 6);
+  const json::Array& events = thread.Find("events")->as_array();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest retained first: steps 6..9 survive, in order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].Find("step")->as_uint(), 6 + i);
+  }
+}
+
+TEST(TierProfUnit, ValidatorRejectsInconsistentAccounting) {
+  TierProf tierprof;
+  uint32_t f = tierprof.InternFunction("fn", 0x401000);
+  tierprof.RecordDeopt(0, f, 1, TierProf::kDeoptUncoveredEdge, 0x401010, 5);
+  json::Value doc = tierprof.ToJson();
+  ASSERT_TRUE(ValidateTierProfJson(doc).ok());
+
+  // A per-reason histogram that no longer sums to the deopt total is a
+  // corrupted artifact, not a rendering quirk.
+  json::Value broken = doc;
+  broken.as_object()["totals"].as_object()["deopts"] = json::Value(7);
+  EXPECT_FALSE(ValidateTierProfJson(broken).ok());
+
+  // Drop accounting must cover every recorded event.
+  json::Value dropped = doc;
+  dropped.as_object()["totals"].as_object()["events"] = json::Value(99);
+  EXPECT_FALSE(ValidateTierProfJson(dropped).ok());
+}
+
 TEST(ObsDisabled, NullSessionIsInert) {
   // The disabled path is the hot path: every obs entry point must tolerate
   // null sinks (a branch, no work, no crash).
