@@ -173,6 +173,62 @@ print("perf map: %d symbol(s) consistent with the artifact code map"
       % len(rows))
 EOF
 
+step "analyze: certified cfmiss elision (--cfg-sound), cross-checked"
+# A function-pointer interpreter compiled with endbr64 landing pads: every
+# masked table dispatch must prove complete, the certified tier-2 run must
+# retire zero uncovered-edge deopts inside CfgCert-covered functions, and
+# the program output must be byte-identical to the unsound build.
+cat > "$obsdir/dispatch.c" <<'EOF'
+extern void print_i64(long v);
+long op_add(long a, long b) { return a + b; }
+long op_xor(long a, long b) { return a ^ b; }
+long op_dbl(long a, long b) { return a * 2 + b; }
+long op_min(long a, long b) { return a < b ? a : b; }
+const long (*ops[4])(long, long) = { op_add, op_xor, op_dbl, op_min };
+int main() {
+  long acc = 1;
+  long x = 12345;
+  for (long i = 0; i < 20000; i++) {
+    x = x * 1103515245 + 12345;
+    long b = (x >> 16) & 255;
+    acc = ops[b & 3](acc, b);
+  }
+  print_i64(acc & 0xffffff);
+  return 0;
+}
+EOF
+"$polynima" compile "$obsdir/dispatch.c" -o "$obsdir/dispatch.plyb" -O2 \
+  --landing-pads
+"$polynima" run "$obsdir/dispatch.plyb" --tier 2 \
+  | tee "$obsdir/dispatch-unsound.txt"
+"$polynima" run "$obsdir/dispatch.plyb" --cfg-sound --tier 2 \
+  --tier-prof "$obsdir/icf-tierprof.json" \
+  --report-out "$obsdir/icf-run.json" | tee "$obsdir/dispatch-sound.txt"
+# The sound run prepends its coverage summary; everything below it must
+# match the unsound build (grep on both sides normalizes the final newline).
+diff <(grep -v "cfg-sound:" "$obsdir/dispatch-sound.txt") \
+  <(grep -v "cfg-sound:" "$obsdir/dispatch-unsound.txt") || {
+  echo "FAIL: --cfg-sound run output diverged from unsound build" >&2
+  exit 1; }
+"$polynima" report --validate "$obsdir/icf-run.json" \
+  "$obsdir/icf-tierprof.json"
+python3 - "$obsdir" <<'EOF'
+import json, sys
+d = sys.argv[1]
+icf = json.load(open(d + "/icf-run.json"))["icf"]
+assert icf["sites_total"] > 0 and icf["sites_open"] == 0, icf
+covered = {f["entry"]: f["name"] for f in icf["covered_functions"]}
+assert covered, "no CfgCert-covered functions"
+prof = json.load(open(d + "/icf-tierprof.json"))
+bad = [(fn["name"], fn["deopts"]["uncovered_edge"])
+       for fn in prof["functions"]
+       if fn["entry"] in covered and fn["deopts"]["uncovered_edge"] > 0]
+assert not bad, "uncovered-edge deopts in certified functions: %r" % bad
+print("icf: %d/%d sites proven, %d covered function(s), "
+      "0 uncovered-edge deopts in certified code"
+      % (icf["sites_proven"], icf["sites_total"], len(covered)))
+EOF
+
 step "configure+build: asan-ubsan"
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"

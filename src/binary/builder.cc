@@ -30,8 +30,19 @@ Image ImageBuilder::Build() {
   text.address = kCodeBase;
   text.executable = true;
   text.bytes = code_.Finalize();
-  POLY_CHECK_LE(text.end(), kDataBase) << "code overflows into data region";
+  POLY_CHECK_LE(text.end(), kRodataBase) << "code overflows into rodata region";
   img.segments.push_back(std::move(text));
+
+  Segment rodata;
+  rodata.name = ".rodata";
+  rodata.address = kRodataBase;
+  rodata.executable = false;
+  rodata.read_only = true;
+  rodata.bytes = rodata_.Finalize();
+  POLY_CHECK_LE(rodata.end(), kDataBase) << "rodata overflows into data region";
+  if (!rodata.bytes.empty()) {
+    img.segments.push_back(std::move(rodata));
+  }
 
   Segment data;
   data.name = ".data";

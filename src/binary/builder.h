@@ -14,12 +14,18 @@ namespace polynima::binary {
 class ImageBuilder {
  public:
   explicit ImageBuilder(std::string name)
-      : name_(std::move(name)), code_(kCodeBase), data_(kDataBase) {}
+      : name_(std::move(name)),
+        code_(kCodeBase),
+        rodata_(kRodataBase),
+        data_(kDataBase) {}
 
   // Code assembler (instructions, jump tables).
   x86::Assembler& code() { return code_; }
   // Data assembler (globals, strings). Data is non-executable.
   x86::Assembler& data() { return data_; }
+  // Read-only data assembler (const globals, function-pointer tables).
+  // Mapped non-writable at runtime.
+  x86::Assembler& rodata() { return rodata_; }
 
   // Declares an imported external; returns its fixed address.
   uint64_t Extern(const std::string& external_name);
@@ -35,6 +41,7 @@ class ImageBuilder {
  private:
   std::string name_;
   x86::Assembler code_;
+  x86::Assembler rodata_;
   x86::Assembler data_;
   std::vector<std::string> externals_;
   std::vector<Symbol> symbols_;

@@ -121,7 +121,10 @@ std::vector<uint8_t> Image::Serialize() const {
   for (const Segment& seg : segments) {
     PutString(out, seg.name);
     PutU64(out, seg.address);
-    PutU64(out, seg.executable ? 1 : 0);
+    // Flag word: 0 = writable data, 1 = executable, 2 = read-only data.
+    // Older readers treat 2 as "not executable", which maps the segment
+    // writable — degraded but loadable.
+    PutU64(out, seg.executable ? 1 : (seg.read_only ? 2 : 0));
     PutU64(out, seg.bytes.size());
     out.insert(out.end(), seg.bytes.begin(), seg.bytes.end());
   }
@@ -152,8 +155,9 @@ Expected<Image> Image::Deserialize(const std::vector<uint8_t>& data) {
     Segment seg;
     POLY_ASSIGN_OR_RETURN(seg.name, r.Str());
     POLY_ASSIGN_OR_RETURN(seg.address, r.U64());
-    POLY_ASSIGN_OR_RETURN(uint64_t exec, r.U64());
-    seg.executable = exec != 0;
+    POLY_ASSIGN_OR_RETURN(uint64_t flags, r.U64());
+    seg.executable = flags == 1;
+    seg.read_only = flags == 2;
     POLY_ASSIGN_OR_RETURN(seg.bytes, r.Bytes());
     img.segments.push_back(std::move(seg));
   }

@@ -20,6 +20,7 @@ namespace polynima::binary {
 // Canonical address-space layout used by the toolchain. Everything lives
 // below 2^31 so absolute disp32 addressing reaches all of it.
 inline constexpr uint64_t kCodeBase = 0x400000;
+inline constexpr uint64_t kRodataBase = 0x500000;
 inline constexpr uint64_t kDataBase = 0x600000;
 inline constexpr uint64_t kHeapBase = 0x10000000;
 inline constexpr uint64_t kHeapLimit = 0x40000000;
@@ -43,7 +44,12 @@ struct Segment {
   std::string name;  // ".text", ".data", ...
   uint64_t address = 0;
   bool executable = false;
+  // Mapped non-writable without being code (.rodata). Executable segments
+  // are always non-writable regardless of this flag.
+  bool read_only = false;
   std::vector<uint8_t> bytes;
+
+  bool Writable() const { return !executable && !read_only; }
 
   uint64_t end() const { return address + bytes.size(); }
   bool Contains(uint64_t addr) const { return addr >= address && addr < end(); }

@@ -112,9 +112,15 @@ struct GlobalVar {
   const Type* type = nullptr;
   // Initializer: flat scalar list (arrays use element order) or a string.
   std::vector<int64_t> init_values;
+  // Parallel to init_values: non-empty entries name a function whose address
+  // initializes that element (function-pointer tables). The numeric value in
+  // init_values is ignored for those elements.
+  std::vector<std::string> init_funcs;
   std::string init_string;
   bool init_is_string = false;
   bool has_init = false;
+  // `const`: placed in the read-only .rodata segment.
+  bool is_const = false;
 };
 
 struct Program {

@@ -186,6 +186,16 @@ class CodeGen {
   std::vector<Label> continue_stack_;
 
   std::map<std::string, uint64_t> string_cache_;
+
+  // Global-initializer slots holding a function address, patched after all
+  // code is generated (function labels bound): {assembler, slot address,
+  // function name}.
+  struct GlobalFnFixup {
+    x86::Assembler* assembler;
+    uint64_t address;
+    std::string func;
+  };
+  std::vector<GlobalFnFixup> global_fn_fixups_;
 };
 
 Expected<binary::Image> CodeGen::Run() {
@@ -202,6 +212,15 @@ Expected<binary::Image> CodeGen::Run() {
   if (!error_.ok()) {
     return error_;
   }
+  for (const GlobalFnFixup& fixup : global_fn_fixups_) {
+    auto it = funcs_.find(fixup.func);
+    if (it == funcs_.end() || it->second.is_external) {
+      return Status::InvalidArgument(
+          StrCat("global initializer names unknown function ", fixup.func));
+    }
+    fixup.assembler->PatchQwordAt(fixup.address,
+                                  builder_.code().AddressOf(it->second.label));
+  }
   auto main_it = funcs_.find("main");
   if (main_it == funcs_.end() || main_it->second.is_external) {
     return Status::InvalidArgument("no main() defined");
@@ -211,8 +230,11 @@ Expected<binary::Image> CodeGen::Run() {
 }
 
 Status CodeGen::LayoutGlobals() {
-  auto& d = builder_.data();
   for (const GlobalVar& g : program_.globals) {
+    // `const` globals go to the read-only segment — the basis for the
+    // --cfg-sound provenance argument that function-pointer tables placed
+    // there cannot change at runtime.
+    auto& d = g.is_const ? builder_.rodata() : builder_.data();
     d.Align(static_cast<int>(std::max<int64_t>(g.type->Align(), 1)), 0);
     uint64_t addr = d.CurrentAddress();
     globals_[g.name] = {addr, g.type};
@@ -247,6 +269,21 @@ Status CodeGen::LayoutGlobals() {
     int64_t elem_size = elem->Size();
     int64_t count = g.type->kind == TypeKind::kArray ? g.type->array_len : 1;
     for (int64_t i = 0; i < count; ++i) {
+      // Function-name initializers (function-pointer tables): emit a
+      // placeholder qword and patch the function's address in after the code
+      // region is laid out (GenFunction binds the labels).
+      if (i < static_cast<int64_t>(g.init_funcs.size()) &&
+          !g.init_funcs[static_cast<size_t>(i)].empty()) {
+        if (elem_size != 8) {
+          return Status::InvalidArgument(
+              StrCat("global ", g.name,
+                     ": function-address initializer needs a pointer slot"));
+        }
+        global_fn_fixups_.push_back(
+            {&d, d.CurrentAddress(), g.init_funcs[static_cast<size_t>(i)]});
+        d.Dq(uint64_t{0});
+        continue;
+      }
       int64_t v = i < static_cast<int64_t>(g.init_values.size())
                       ? g.init_values[static_cast<size_t>(i)]
                       : 0;
@@ -382,6 +419,9 @@ Status CodeGen::GenFunction(const Func& fn) {
   a.Align(16);
   a.Bind(info.label);
   builder_.AddSymbol(fn.name, a.CurrentAddress());
+  if (options_.landing_pads) {
+    a.Emit(I0(Mnemonic::kEndbr64));
+  }
 
   locals_.clear();
   scopes_.clear();
@@ -2156,6 +2196,10 @@ void CodeGen::GenSwitch(const Stmt& s) {
   for (const StmtPtr& c : s.body->stmts) {
     if (c->kind == StmtKind::kCase || c->kind == StmtKind::kDefault) {
       a.Bind(marker_labels[c.get()]);
+      if (used_table && options_.landing_pads) {
+        // Jump-table entries are indirect-jump targets: mark them.
+        a.Emit(I0(Mnemonic::kEndbr64));
+      }
       continue;
     }
     GenStmt(*c);
@@ -2166,6 +2210,11 @@ void CodeGen::GenSwitch(const Stmt& s) {
   scopes_.pop_back();
   break_stack_.pop_back();
   a.Bind(lend);
+  if (used_table && options_.landing_pads && default_marker == nullptr) {
+    // Without a default, table holes point at the end label, which is then
+    // itself an indirect-jump target.
+    a.Emit(I0(Mnemonic::kEndbr64));
+  }
 }
 
 }  // namespace

@@ -38,6 +38,11 @@ namespace polynima::cc {
 struct CompileOptions {
   std::string name = "a.out";
   int opt_level = 0;  // 0 or 2
+  // Emit endbr64 landing pads at every indirect-transfer target (function
+  // entries and jump-table case labels), the CET-style annotation the
+  // --cfg-sound static recovery consumes. Off by default: the pads shift
+  // code addresses, so only landing-pad-aware workloads opt in.
+  bool landing_pads = false;
 };
 
 // Compiles mcc source to an executable Image. Function symbols (ground

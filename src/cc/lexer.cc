@@ -19,7 +19,7 @@ const std::unordered_map<std::string, Tok>& Keywords() {
       {"return", Tok::kReturn},   {"switch", Tok::kSwitch},
       {"case", Tok::kCase},       {"default", Tok::kDefault},
       {"extern", Tok::kExtern},   {"sizeof", Tok::kSizeof},
-      {"static", Tok::kStatic},
+      {"static", Tok::kStatic},   {"const", Tok::kConst},
   };
   return *map;
 }

@@ -37,6 +37,7 @@ enum class Tok : uint8_t {
   kExtern,
   kSizeof,
   kStatic,
+  kConst,
   // punctuation / operators
   kLParen,
   kRParen,

@@ -188,6 +188,7 @@ class Parser {
   void ParseTopLevel(Program& program) {
     bool is_extern = Accept(Tok::kExtern);
     Accept(Tok::kStatic);  // accepted and ignored (single TU)
+    bool is_const = Accept(Tok::kConst);
 
     if (At(Tok::kStruct) && Peek(1).kind == Tok::kIdent &&
         Peek(2).kind == Tok::kLBrace) {
@@ -204,11 +205,11 @@ class Parser {
       return;
     }
     // Global variable(s).
-    ParseGlobalRest(program, type, name);
+    ParseGlobalRest(program, type, name, is_const);
     while (Accept(Tok::kComma)) {
       std::string next_name;
       const Type* next_type = ParseDeclarator(base, next_name);
-      ParseGlobalRest(program, next_type, next_name);
+      ParseGlobalRest(program, next_type, next_name, is_const);
     }
     Expect(Tok::kSemi, "';'");
   }
@@ -240,10 +241,11 @@ class Parser {
   }
 
   void ParseGlobalRest(Program& program, const Type* type,
-                       const std::string& name) {
+                       const std::string& name, bool is_const) {
     GlobalVar g;
     g.name = name;
     g.type = type;
+    g.is_const = is_const;
     if (Accept(Tok::kAssign)) {
       g.has_init = true;
       if (At(Tok::kString)) {
@@ -251,17 +253,30 @@ class Parser {
         g.init_string = Advance().text;
       } else if (Accept(Tok::kLBrace)) {
         while (!At(Tok::kRBrace) && !At(Tok::kEof)) {
-          g.init_values.push_back(ParseConstant());
+          ParseInitElement(g);
           if (!Accept(Tok::kComma)) {
             break;
           }
         }
         Expect(Tok::kRBrace, "'}'");
       } else {
-        g.init_values.push_back(ParseConstant());
+        ParseInitElement(g);
       }
     }
     program.globals.push_back(std::move(g));
+  }
+
+  // One global-initializer element: an integer constant, or (for
+  // function-pointer tables) `name` / `&name` naming a defined function.
+  void ParseInitElement(GlobalVar& g) {
+    Accept(Tok::kAmp);  // optional address-of on a function name
+    if (At(Tok::kIdent)) {
+      g.init_funcs.resize(g.init_values.size());
+      g.init_funcs.push_back(Advance().text);
+      g.init_values.push_back(0);
+      return;
+    }
+    g.init_values.push_back(ParseConstant());
   }
 
   int64_t ParseConstant() {

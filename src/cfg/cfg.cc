@@ -179,6 +179,22 @@ Expected<ControlFlowGraph> ControlFlowGraph::ReadFrom(
   return FromJson(v);
 }
 
+std::vector<uint64_t> CollectLandingPads(const binary::Image& image) {
+  std::vector<uint64_t> pads;
+  for (const binary::Segment& seg : image.segments) {
+    if (!seg.executable || seg.bytes.size() < 4) {
+      continue;
+    }
+    for (size_t i = 0; i + 4 <= seg.bytes.size(); ++i) {
+      if (seg.bytes[i] == 0xF3 && seg.bytes[i + 1] == 0x0F &&
+          seg.bytes[i + 2] == 0x1E && seg.bytes[i + 3] == 0xFA) {
+        pads.push_back(seg.address + i);
+      }
+    }
+  }
+  return pads;
+}
+
 // ---------------------------------------------------------------------------
 // Static recursive-descent recovery
 // ---------------------------------------------------------------------------
@@ -194,15 +210,33 @@ class Recoverer {
     for (uint64_t e : entries) {
       AddFunctionEntry(e);
     }
+    ScanRodataPointers();
     // Iterate to a fixpoint: exploration may surface address constants and
-    // jump tables, which surface more code.
-    while (!pending_.empty()) {
-      std::deque<uint64_t> batch;
-      batch.swap(pending_);
-      for (uint64_t addr : batch) {
-        Explore(addr);
+    // jump tables, which surface more code. In sound mode, landing pads the
+    // heuristics missed become entries and the fixpoint resumes, so every
+    // possible indirect-transfer target is recovered.
+    while (true) {
+      while (!pending_.empty()) {
+        std::deque<uint64_t> batch;
+        batch.swap(pending_);
+        for (uint64_t addr : batch) {
+          Explore(addr);
+        }
+        ApplyHeuristics();
       }
-      ApplyHeuristics();
+      if (!options_.landing_pad_entries) {
+        break;
+      }
+      bool added = false;
+      for (uint64_t pad : CollectLandingPads(image_)) {
+        if (explored_.count(pad) == 0 && func_entries_.count(pad) == 0) {
+          AddFunctionEntry(pad);
+          added = true;
+        }
+      }
+      if (!added) {
+        break;
+      }
     }
     return BuildGraph(entries);
   }
@@ -242,6 +276,34 @@ class Recoverer {
     }
     if (leaders_.insert(addr).second) {
       pending_.push_back(addr);
+    }
+  }
+
+  // Function-pointer tables in read-only data: every 8-aligned qword in a
+  // read-only segment that holds a decodable code address is a candidate
+  // address-taken function (the rodata analogue of the movabs heuristic).
+  void ScanRodataPointers() {
+    if (!options_.rodata_pointer_scan) {
+      return;
+    }
+    for (const binary::Segment& seg : image_.segments) {
+      if (seg.executable || !seg.read_only) {
+        continue;
+      }
+      for (size_t i = 0; i + 8 <= seg.bytes.size(); i += 8) {
+        uint64_t v = 0;
+        for (int b = 7; b >= 0; --b) {
+          v = (v << 8) | seg.bytes[i + static_cast<size_t>(b)];
+        }
+        if (!image_.IsCodeAddress(v)) {
+          continue;
+        }
+        std::vector<uint8_t> code = image_.ReadBytes(v, 16);
+        if (x86::Decode(code, v).ok()) {
+          AddFunctionEntry(v);
+          address_taken_.insert(v);
+        }
+      }
     }
   }
 

@@ -81,7 +81,21 @@ struct RecoverOptions {
   // Treat code-address constants materialized by movabs as candidate
   // function entries (how disassemblers discover callback targets).
   bool address_constant_heuristic = true;
+  // Scan read-only data segments for 8-aligned qwords holding decodable
+  // code addresses (function-pointer tables in .rodata). Discovered targets
+  // become address-taken function entries. On by default: images without a
+  // read-only segment are unaffected.
+  bool rodata_pointer_scan = true;
+  // Sound mode (--cfg-sound): additionally treat every endbr64 landing pad
+  // in the image as a function entry, so indirect-transfer targets are
+  // recovered exhaustively rather than heuristically.
+  bool landing_pad_entries = false;
 };
+
+// All addresses of endbr64 landing pads in the image's executable segments
+// (byte scan for F3 0F 1E FA), sorted ascending. The sound recovery mode and
+// the icf pass both consume this set.
+std::vector<uint64_t> CollectLandingPads(const binary::Image& image);
 
 // Static recursive-descent recovery starting from the image entry point plus
 // `extra_entries` (used by additive lifting to integrate newly discovered

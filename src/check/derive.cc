@@ -129,6 +129,20 @@ void RegionDeriver::ApplyCallClobbers(const Instruction& call,
       p = other;
     }
   }
+  // A guest call returns through the callee's lifted `ret`, which pops the
+  // return address the caller pushed: vr_rsp comes back exactly 8 bytes above
+  // the value the caller stored before the call. Without this shift every
+  // loop that calls through its body joins two rsp deltas 8 apart at the
+  // header phi and loses slot resolution for the whole loop. External calls
+  // and the never-returning intrinsics do not touch the emulated stack
+  // pointer (the lifter emits no push for them).
+  if (call.callee != nullptr) {
+    for (auto& [g, p] : state) {
+      if (g->name() == "vr_rsp" && p.stack && p.delta_known) {
+        p.delta += 8;
+      }
+    }
+  }
   // Missing entries already default to `other` for caller-saved registers.
   std::string name = ExternalName(call);
   if (IsAllocatorExternal(name)) {

@@ -49,6 +49,43 @@ uint64_t StaticCert::ComputeChecksum() const {
   return h;
 }
 
+uint64_t CfgCert::ComputeChecksum() const {
+  uint64_t h = kFnvOffset;
+  HashU64(h, binary_key);
+  HashU64(h, static_cast<uint64_t>(landing_pads));
+  HashU64(h, static_cast<uint64_t>(sites_proven));
+  HashU64(h, static_cast<uint64_t>(sites_open));
+  for (const Site& site : sites) {
+    HashU64(h, site.transfer_address);
+    HashU64(h, site.is_call ? 1 : 0);
+    HashU64(h, site.targets.size());
+    for (uint64_t t : site.targets) {
+      HashU64(h, t);
+    }
+  }
+  for (uint64_t e : covered_functions) {
+    HashU64(h, e);
+  }
+  for (const std::string& s : site_summaries) {
+    HashU64(h, s.size());
+    HashBytes(h, s.data(), s.size());
+  }
+  return h;
+}
+
+const CfgCert::Site* CfgCert::FindSite(uint64_t transfer_address) const {
+  for (const Site& site : sites) {
+    if (site.transfer_address == transfer_address) {
+      return &site;
+    }
+  }
+  return nullptr;
+}
+
+bool VerifyCfgCert(const CfgCert& cert, const binary::Image& image) {
+  return cert.Sealed() && cert.binary_key == BinaryKey(image);
+}
+
 uint64_t BinaryKey(const binary::Image& image) {
   uint64_t h = kFnvOffset;
   HashU64(h, image.entry_point);

@@ -68,6 +68,46 @@ struct StaticCert {
   bool Sealed() const { return checksum == ComputeChecksum(); }
 };
 
+// Certificate of sound indirect control-flow recovery (--cfg-sound), minted
+// by the icf pass (src/analyze/icf.h). Each listed site is an indirect jump
+// or call whose feasible target set was bounded by pointer provenance
+// (targets come only from code-address constants and read-only memory) and
+// shown to consist entirely of endbr64 landing pads. The lifter consuming a
+// valid cert drops the cfmiss stub at those sites — and with it the tier-1/2
+// uncovered-edge deopt guards. An unsealed cert, or one whose binary_key
+// does not match the image being recompiled (stale/forged), is rejected and
+// the site falls back to dynamic recovery.
+struct CfgCert {
+  // One proven-complete indirect transfer site.
+  struct Site {
+    uint64_t transfer_address = 0;   // address of the jmp/call instruction
+    bool is_call = false;
+    std::vector<uint64_t> targets;   // sorted feasible targets (landing pads)
+  };
+
+  uint64_t binary_key = 0;        // BinaryKey() of the analyzed image
+  int landing_pads = 0;           // endbr64 pads discovered in the image
+  int sites_proven = 0;           // == sites.size()
+  int sites_open = 0;             // indirect sites left on dynamic recovery
+  std::vector<Site> sites;
+  // Entries of functions all of whose indirect sites are proven (tierprof
+  // cross-check: these functions must show zero uncovered-edge deopts).
+  std::vector<uint64_t> covered_functions;
+  // One line per site: "function@addr: proven|open reason".
+  std::vector<std::string> site_summaries;
+  uint64_t checksum = 0;          // seal over every field above
+
+  uint64_t ComputeChecksum() const;
+  void Seal() { checksum = ComputeChecksum(); }
+  bool Sealed() const { return checksum == ComputeChecksum(); }
+
+  const Site* FindSite(uint64_t transfer_address) const;
+};
+
+// Full validity check used by every cert consumer: sealed and bound to
+// `image`. Returns false for forged, tampered, or stale certificates.
+bool VerifyCfgCert(const CfgCert& cert, const binary::Image& image);
+
 // Stable fingerprint of an image (entry point + segment bytes): binds a
 // certificate to the exact binary it was derived from.
 uint64_t BinaryKey(const binary::Image& image);

@@ -96,7 +96,7 @@ Engine::Engine(const lift::LiftedProgram& program, const binary::Image& image,
       options_(options),
       rng_(options.seed) {
   for (const binary::Segment& seg : image_.segments) {
-    memory_.MapSegment(seg.address, seg.bytes, /*writable=*/!seg.executable);
+    memory_.MapSegment(seg.address, seg.bytes, seg.Writable());
     if (seg.executable) {
       // Feeds the tier-1 self-modifying-code store guard.
       memory_.MarkExecutable(seg.address, seg.address + seg.bytes.size());

@@ -89,6 +89,12 @@ struct ExecOptions {
   // Record which lifted functions are entered from external code (thread
   // entries, callbacks) for the callback-wrapper removal analysis (§3.3.3).
   bool record_callbacks = false;
+  // Guest entries of functions a sealed CfgCert declared fully covered
+  // (every indirect site proven, no other uncovered blocks). An
+  // uncovered-edge deopt inside one of these is a broken certificate claim:
+  // it additionally bumps exec.deopt_uncovered_certified, which the
+  // `report --validate` cross-check requires to be zero.
+  std::set<uint64_t> cfg_certified_entries;
   // Observability sinks (all nullable; see src/obs). With `obs.profile` set,
   // every basic-block entry and every fence/atomic site is attributed to a
   // per-block profile site (the `polynima report` hot-block and

@@ -728,6 +728,12 @@ void Tier1Backend::Deopt(Thread& t, Frame& f, const TInst& ti,
       break;
     default:
       e_.options_.obs.Add(obs::Counter::kExecDeoptUncovered);
+      if (f.info->fn != nullptr &&
+          e_.options_.cfg_certified_entries.count(f.info->fn->guest_entry) !=
+              0) {
+        // A certificate promised this function had no uncovered edges.
+        e_.options_.obs.Add(obs::Counter::kExecDeoptUncoveredCert);
+      }
       break;
   }
 }

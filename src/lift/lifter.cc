@@ -224,6 +224,7 @@ class FunctionLifter {
       case Mnemonic::kTest:
       case Mnemonic::kNop:
       case Mnemonic::kPause:
+      case Mnemonic::kEndbr64:
         return;  // no register writes
       default:
         if (inst.num_ops > 0 && dst.is_reg()) {
@@ -465,6 +466,52 @@ class FunctionLifter {
     b_.Unreachable();
   }
 
+  // True when a verified CfgCert proves the indirect site at
+  // `binfo.term_address` complete AND every certified target is an emitted
+  // switch arm here — lifted function for a call, indirect_targets member
+  // for a jump. Only then may the default arm drop its cfmiss stub: any
+  // certified target missing an arm would otherwise fall through to the
+  // (now miss-free) default and lose its additive-lifting hook.
+  bool CertProvesSite(const BlockInfo& binfo, bool is_call) const {
+    const check::CfgCert* cert = s_.options.cfg_cert;
+    if (cert == nullptr) {
+      return false;
+    }
+    for (const check::CfgCert::Site& site : cert->sites) {
+      if (site.transfer_address != binfo.term_address ||
+          site.is_call != is_call) {
+        continue;
+      }
+      for (uint64_t t : site.targets) {
+        if (binfo.indirect_targets.count(t) == 0) {
+          return false;
+        }
+        if (is_call &&
+            s_.functions_by_entry.find(t) == s_.functions_by_entry.end()) {
+          return false;
+        }
+      }
+      return !site.targets.empty();
+    }
+    return false;
+  }
+
+  // Default arm of an indirect-transfer switch: a cfmiss stub (dynamic
+  // additive-lifting hook), or — at a certificate-proven site — a covered
+  // dispatcher fallback that re-dispatches `target` through the engine.
+  // The fallback is statically infeasible when the proof holds, so replay
+  // digests and step counts are unchanged; but the block contains no
+  // cfmiss/unreachable, so the tier compilers translate it without an
+  // uncovered-edge guard.
+  void EmitIndirectDefault(const BlockInfo& binfo, bool is_call,
+                           Value* target) {
+    if (CertProvesSite(binfo, is_call)) {
+      b_.Ret(target);
+      return;
+    }
+    EmitCfMiss(target, binfo.term_address);
+  }
+
   Status LiftBlock(const BlockInfo& binfo) {
     // Lift straight-line instructions; the terminator (if any) is handled
     // separately because its successor structure comes from the CFG.
@@ -647,7 +694,7 @@ class FunctionLifter {
           b_.Ret(next);
         }
         b_.SetInsertBlock(miss_block);
-        EmitCfMiss(target, binfo.term_address);
+        EmitIndirectDefault(binfo, /*is_call=*/true, target);
         b_.SetInsertBlock(switch_block);
         return;
       }
@@ -673,7 +720,7 @@ class FunctionLifter {
         }
         BasicBlock* saved = b_.block();
         b_.SetInsertBlock(miss_block);
-        EmitCfMiss(target, binfo.term_address);
+        EmitIndirectDefault(binfo, /*is_call=*/false, target);
         b_.SetInsertBlock(saved);
         return;
       }
@@ -703,6 +750,7 @@ class FunctionLifter {
     const int size = inst.size;
     switch (inst.mnemonic) {
       case Mnemonic::kNop:
+      case Mnemonic::kEndbr64:  // landing-pad marker: architecturally a nop
         return Status::Ok();
       case Mnemonic::kPause:
         b_.CallIntrinsic("pause", {});

@@ -35,6 +35,7 @@
 
 #include "src/binary/image.h"
 #include "src/cfg/cfg.h"
+#include "src/check/witness.h"
 #include "src/ir/ir.h"
 #include "src/obs/report.h"
 #include "src/support/status.h"
@@ -76,6 +77,17 @@ struct LiftOptions {
   // byte-identical for every value because each function's IR depends only
   // on its own CFG, never on worker scheduling.
   int jobs = 1;
+
+  // Sound indirect-control-flow certificate (--cfg-sound), already verified
+  // against the image by the caller (check::VerifyCfgCert). At each proven
+  // site whose certified targets are all emitted switch arms, the cfmiss
+  // stub in the default block is replaced by a covered dispatcher-fallback
+  // block (Ret target) — statically infeasible when the proof holds, so the
+  // executed schedule is bit-identical, but the block is no longer
+  // "uncovered" and tiers 1/2 drop their uncovered-edge deopt guard. The
+  // switch arms themselves are untouched (translation costs stay equal).
+  // Must outlive the Lift call.
+  const check::CfgCert* cfg_cert = nullptr;
 
   // Function entries that are declared but whose bodies the caller provides
   // after Lift returns (the additive-lifting cache clones previously lifted

@@ -52,6 +52,7 @@ const char* const kCounterNames[] = {
     "exec.deopt_preempt",
     "exec.deopt_smc_write",
     "exec.deopt_uncovered",
+    "exec.deopt_uncovered_certified",
     "vm.instrs",
     "vm.atomics",
     "vm.faults",

@@ -80,6 +80,9 @@ enum class Counter : int {
   kExecDeoptPreempt,         //   at scheduler preemption boundaries
   kExecDeoptSmcWrite,        //   at self-modifying-code store guards
   kExecDeoptUncovered,       //   at uncovered CFG edges
+  kExecDeoptUncoveredCert,   //   subset of the above that fired inside a
+                             //   CfgCert-covered function (must stay zero —
+                             //   `report --validate` cross-checks it)
   // vm: the original binary's interpreter (vm::Vm).
   kVmInstrs,
   kVmAtomics,                // lock-prefixed instructions executed

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "src/support/strings.h"
@@ -16,6 +17,7 @@ constexpr char kMetricsSchema[] = "polynima-metrics/v1";
 constexpr char kProfileSchema[] = "polynima-profile/v1";
 constexpr char kAnalyzeSchema[] = "polynima-analyze/v1";
 constexpr char kTierProfSchema[] = "polynima-tierprof/v1";
+constexpr char kIcfSchema[] = "polynima-icf/v1";
 
 // Summarizes a trace document: span count and per-category span counts.
 json::Value SummarizeTrace(const json::Value& trace_doc) {
@@ -118,6 +120,56 @@ Status CheckDeoptCounterAccounting(const json::Value& metrics_doc) {
   return Status::Ok();
 }
 
+// Cross-check between the icf and tierprof sections: a function a sealed
+// CfgCert declared fully covered (every indirect site proven, no other
+// uncovered blocks) must never take an uncovered-edge deopt — the whole
+// point of eliding the cfmiss stub is that the guard can't fire. A nonzero
+// count here means the certificate's claim was violated at runtime.
+Status CheckCfgCoverageAccounting(const json::Value& icf_doc,
+                                  const json::Value& tierprof_doc) {
+  std::set<int64_t> covered;
+  const json::Value* covered_fns = icf_doc.Find("covered_functions");
+  if (covered_fns != nullptr && covered_fns->is_array()) {
+    for (const json::Value& f : covered_fns->as_array()) {
+      const json::Value* entry = f.Find("entry");
+      if (entry != nullptr && entry->is_int()) {
+        covered.insert(entry->as_int());
+      }
+    }
+  }
+  if (covered.empty()) {
+    return Status::Ok();
+  }
+  const json::Value* functions = tierprof_doc.Find("functions");
+  if (functions == nullptr || !functions->is_array()) {
+    return Status::Ok();
+  }
+  for (const json::Value& fn : functions->as_array()) {
+    const json::Value* entry = fn.Find("entry");
+    if (entry == nullptr || !entry->is_int() ||
+        covered.count(entry->as_int()) == 0) {
+      continue;
+    }
+    const json::Value* deopts = fn.Find("deopts");
+    if (deopts == nullptr || !deopts->is_object()) {
+      continue;
+    }
+    const json::Value* uncovered = deopts->Find("uncovered_edge");
+    if (uncovered != nullptr && uncovered->is_int() &&
+        uncovered->as_int() != 0) {
+      const json::Value* name = fn.Find("name");
+      return Malformed(
+          "report",
+          StrCat("CfgCert-covered function ",
+                 name != nullptr && name->is_string() ? name->as_string()
+                                                      : "?",
+                 " took ", uncovered->as_int(),
+                 " uncovered-edge deopts (certificate claim violated)"));
+    }
+  }
+  return Status::Ok();
+}
+
 // Cross-document accounting: the tier telemetry and the exec.* counters
 // describe the same run and must not silently disagree.
 Status CheckTierAccounting(const json::Value& metrics_doc,
@@ -203,6 +255,7 @@ json::Value BuildRunReport(const RunInfo& info, const Session& session) {
   doc["artifacts"] = std::move(artifacts);
 
   doc["analysis"] = info.analysis;
+  doc["icf"] = info.icf;
   doc["metrics"] = session.metrics != nullptr ? session.metrics->ToJson()
                                               : json::Value(nullptr);
   doc["trace_summary"] = session.trace != nullptr
@@ -384,6 +437,26 @@ Status ValidateReportJson(const json::Value& doc) {
       POLY_RETURN_IF_ERROR(CheckTierAccounting(*metrics, *tierprof));
     }
   }
+  const json::Value* icf = doc.Find("icf");
+  if (icf != nullptr && !icf->is_null()) {
+    POLY_RETURN_IF_ERROR(ValidateIcfJson(*icf));
+    if (tierprof != nullptr && !tierprof->is_null()) {
+      POLY_RETURN_IF_ERROR(CheckCfgCoverageAccounting(*icf, *tierprof));
+    }
+    if (!metrics->is_null()) {
+      // The runtime counterpart of the tierprof cross-check: the engine
+      // bumps this counter whenever an uncovered-edge deopt fires inside a
+      // certified function, whether or not a tierprof sink was attached.
+      int64_t cert_deopts =
+          CounterValue(*metrics, "exec.deopt_uncovered_certified");
+      if (cert_deopts > 0) {
+        return Malformed(
+            "report",
+            StrCat("exec.deopt_uncovered_certified is ", cert_deopts,
+                   " (must be zero: a CfgCert claim was violated)"));
+      }
+    }
+  }
   if (!metrics->is_null()) {
     POLY_RETURN_IF_ERROR(CheckDeoptCounterAccounting(*metrics));
   }
@@ -430,6 +503,81 @@ Status ValidateAnalysisJson(const json::Value& doc) {
         return Malformed("analysis", "race pair side malformed");
       }
     }
+  }
+  return Status::Ok();
+}
+
+Status ValidateIcfJson(const json::Value& doc) {
+  const json::Value* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kIcfSchema) {
+    return Malformed("icf", StrCat("schema is not ", kIcfSchema));
+  }
+  for (const char* key : {"landing_pads", "sites_total", "sites_proven",
+                          "sites_open", "analyze_ns"}) {
+    const json::Value* v = doc.Find(key);
+    if (v == nullptr || !v->is_int()) {
+      return Malformed("icf", StrCat("missing integer ", key));
+    }
+  }
+  int64_t total = doc.Find("sites_total")->as_int();
+  int64_t proven = doc.Find("sites_proven")->as_int();
+  int64_t open = doc.Find("sites_open")->as_int();
+  if (proven + open != total) {
+    return Malformed("icf",
+                     StrCat("sites_proven (", proven, ") + sites_open (", open,
+                            ") != sites_total (", total, ")"));
+  }
+  const json::Value* covered = doc.Find("covered_functions");
+  if (covered == nullptr || !covered->is_array()) {
+    return Malformed("icf", "missing covered_functions array");
+  }
+  for (const json::Value& f : covered->as_array()) {
+    const json::Value* entry = f.Find("entry");
+    const json::Value* name = f.Find("name");
+    if (entry == nullptr || !entry->is_int() || name == nullptr ||
+        !name->is_string()) {
+      return Malformed("icf", "covered function malformed");
+    }
+  }
+  const json::Value* sites = doc.Find("sites");
+  if (sites == nullptr || !sites->is_array()) {
+    return Malformed("icf", "missing sites array");
+  }
+  int64_t proven_seen = 0;
+  for (const json::Value& s : sites->as_array()) {
+    for (const char* key : {"transfer_address", "function_entry"}) {
+      const json::Value* v = s.Find(key);
+      if (v == nullptr || !v->is_int()) {
+        return Malformed("icf", StrCat("site missing integer ", key));
+      }
+    }
+    const json::Value* function = s.Find("function");
+    if (function == nullptr || !function->is_string()) {
+      return Malformed("icf", "site missing function name");
+    }
+    for (const char* key : {"call", "proven"}) {
+      const json::Value* v = s.Find(key);
+      if (v == nullptr || !v->is_bool()) {
+        return Malformed("icf", StrCat("site missing bool ", key));
+      }
+    }
+    const json::Value* targets = s.Find("targets");
+    if (targets == nullptr || !targets->is_array()) {
+      return Malformed("icf", "site missing targets array");
+    }
+    if (s.Find("proven")->as_bool()) {
+      ++proven_seen;
+      if (targets->as_array().empty()) {
+        return Malformed("icf", "proven site with empty target set");
+      }
+    }
+  }
+  if (static_cast<int64_t>(sites->as_array().size()) != total) {
+    return Malformed("icf", "sites array length != sites_total");
+  }
+  if (proven_seen != proven) {
+    return Malformed("icf", "proven site rows != sites_proven");
   }
   return Status::Ok();
 }
@@ -606,6 +754,10 @@ Expected<std::string> ValidateObsJson(const json::Value& doc) {
     if (s == kTierProfSchema) {
       POLY_RETURN_IF_ERROR(ValidateTierProfJson(doc));
       return std::string("tierprof");
+    }
+    if (s == kIcfSchema) {
+      POLY_RETURN_IF_ERROR(ValidateIcfJson(doc));
+      return std::string("icf");
     }
     if (s == kReportSchema) {
       POLY_RETURN_IF_ERROR(ValidateReportJson(doc));
@@ -1002,6 +1154,54 @@ std::string RenderReport(const json::Value& report_doc, int top_n) {
                           ? StrCat(" (", reason->as_string(), ")")
                           : "",
                       "\n");
+      }
+    }
+  }
+  const json::Value* icf = report_doc.Find("icf");
+  if (icf != nullptr && icf->is_object()) {
+    auto num = [&](const char* key) -> int64_t {
+      const json::Value* v = icf->Find(key);
+      return v != nullptr && v->is_int() ? v->as_int() : 0;
+    };
+    const json::Value* covered = icf->Find("covered_functions");
+    size_t covered_n = covered != nullptr && covered->is_array()
+                           ? covered->as_array().size()
+                           : 0;
+    out += StrCat("indirect coverage: ", num("landing_pads"),
+                  " landing pads, ", num("sites_total"), " sites (",
+                  num("sites_proven"), " proven, ", num("sites_open"),
+                  " open), ", covered_n, " fully-covered function",
+                  covered_n == 1 ? "" : "s", "\n");
+    const json::Value* sites = icf->Find("sites");
+    if (sites != nullptr && sites->is_array() && !sites->as_array().empty()) {
+      for (const json::Value& s : sites->as_array()) {
+        const json::Value* ta = s.Find("transfer_address");
+        const json::Value* fn = s.Find("function");
+        const json::Value* call = s.Find("call");
+        const json::Value* proven = s.Find("proven");
+        const json::Value* targets = s.Find("targets");
+        const json::Value* reason = s.Find("reason");
+        bool is_proven =
+            proven != nullptr && proven->is_bool() && proven->as_bool();
+        out += StrCat(
+            "  ", HexString(ta != nullptr && ta->is_int() ? ta->as_uint() : 0),
+            " ", call != nullptr && call->is_bool() && call->as_bool()
+                     ? "call"
+                     : "jump",
+            " in ", fn != nullptr && fn->is_string() ? fn->as_string() : "?",
+            ": ",
+            is_proven
+                ? StrCat("proven (",
+                         targets != nullptr && targets->is_array()
+                             ? targets->as_array().size()
+                             : 0,
+                         " targets)")
+                : StrCat("open",
+                         reason != nullptr && reason->is_string() &&
+                                 !reason->as_string().empty()
+                             ? StrCat(" (", reason->as_string(), ")")
+                             : ""),
+            "\n");
       }
     }
   }

@@ -74,6 +74,12 @@ struct RunInfo {
   // Optional polynima-analyze/v1 section (analyze::AnalysisResult::ToJson);
   // null when the run did not perform static concurrency analysis.
   json::Value analysis;
+  // Optional polynima-icf/v1 section (analyze::IcfResult::ToJson); null when
+  // the run did not perform sound indirect control-flow recovery
+  // (--cfg-sound). When both this and the tierprof section are present,
+  // ValidateReportJson cross-checks them: a function listed in
+  // covered_functions must show zero uncovered-edge deopts.
+  json::Value icf;
 };
 
 // Builds the polynima-report/v1 document: run info, artifact paths, the full
@@ -97,9 +103,16 @@ Status ValidateAnalysisJson(const json::Value& doc);
 // validated as part of ValidateReportJson when present, including the
 // accounting invariants against the inline exec.* counters).
 Status ValidateTierProfJson(const json::Value& doc);
+// polynima-icf/v1 (the report's optional "icf" section, also validated as
+// part of ValidateReportJson when present; there it is additionally
+// cross-checked against the tierprof section — CfgCert-covered functions
+// must report zero uncovered-edge deopts — and against the metrics dump —
+// exec.deopt_uncovered_certified must be zero).
+Status ValidateIcfJson(const json::Value& doc);
 
 // Sniffs which of the document kinds `doc` is and validates it. Returns the
-// kind ("trace", "metrics", "profile", "tierprof", "report") on success.
+// kind ("trace", "metrics", "profile", "tierprof", "icf", "report") on
+// success.
 Expected<std::string> ValidateObsJson(const json::Value& doc);
 
 // Human-readable renderers for `polynima report`.

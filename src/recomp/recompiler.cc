@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/analyze/analyze.h"
+#include "src/analyze/icf.h"
 #include "src/check/tso.h"
 #include "src/fenceopt/spinloop.h"
 #include "src/fenceopt/static_elide.h"
@@ -65,6 +66,13 @@ uint64_t OptionsFingerprint(const RecompileOptions& options) {
   HashMix(h, options.optimize);
   HashMix(h, options.remove_fences);
   HashMix(h, options.analyze);  // stamps witnesses + elides fences in the IR
+  // A consumed CfgCert changes how proven indirect sites lift (the cfmiss
+  // stub becomes a covered fallback), so cached bodies from a cert-less
+  // round must not survive into a certified one or vice versa.
+  HashMix(h, options.cfg_cert.has_value());
+  if (options.cfg_cert.has_value()) {
+    HashMix(h, options.cfg_cert->checksum);
+  }
   // check_tso is deliberately absent: the checker observes the IR, it never
   // changes what a function lifts/optimizes to.
   return h;
@@ -156,6 +164,13 @@ Expected<RecompiledBinary> Recompiler::Rebuild(
   lift_options.jobs = options_.jobs;
   lift_options.obs = options_.obs;
   lift_options.skip_bodies = reuse.empty() ? nullptr : &reuse;
+  // Consume the indirect-control-flow certificate only after re-verifying it
+  // against this image: a forged or stale certificate must never silence the
+  // cfmiss hooks (the sites simply stay on dynamic recovery).
+  if (options_.cfg_cert.has_value() &&
+      check::VerifyCfgCert(*options_.cfg_cert, image_)) {
+    lift_options.cfg_cert = &*options_.cfg_cert;
+  }
   options_.obs.Add(obs::Counter::kLiftFunctionsCached, reuse.size());
   POLY_ASSIGN_OR_RETURN(lift::LiftedProgram program,
                         lift::Lift(image_, graph, lift_options));
@@ -298,6 +313,11 @@ Expected<RecompiledBinary> Recompiler::Rebuild(
 
 Expected<RecompiledBinary> Recompiler::Recompile() {
   uint64_t t0 = NowNs();
+  if (options_.cfg_sound) {
+    // Sound mode explores from every endbr64 landing pad, so the recovered
+    // candidate sets are exhaustive rather than heuristic.
+    options_.recover.landing_pad_entries = true;
+  }
   obs::Span cfg_span(options_.obs.trace, "cfg", "recover-static");
   POLY_ASSIGN_OR_RETURN(cfg::ControlFlowGraph graph,
                         cfg::RecoverStatic(image_, options_.recover));
@@ -336,6 +356,39 @@ Expected<RecompiledBinary> Recompiler::Recompile() {
           analysis.SpinningCount(), " potentially-spinning loop(s)"));
     }
     options_.elision_cert = fenceopt::MakeElisionCert(analysis, image_);
+  }
+
+  // Sound indirect control-flow recovery: verify (or derive) the CfgCert,
+  // then rebuild with it. A supplied forged/stale certificate is rejected
+  // here — the pass re-derives a fresh one, so every site the analysis
+  // cannot prove falls back to dynamic recovery.
+  if (options_.cfg_sound) {
+    if (options_.cfg_cert.has_value() &&
+        !check::VerifyCfgCert(*options_.cfg_cert, image_)) {
+      options_.cfg_cert.reset();
+      ++stats_.icf_certs_rejected;
+    }
+    if (!options_.cfg_cert.has_value()) {
+      // First build keeps every cfmiss stub; the icf pass needs them to
+      // locate the indirect sites and their target values.
+      POLY_ASSIGN_OR_RETURN(RecompiledBinary probe, Rebuild(graph));
+      obs::Span icf_span(options_.obs.trace, "analyze", "icf-certify");
+      analyze::IcfOptions icf_options;
+      icf_options.obs = options_.obs;
+      analyze::IcfResult icf = analyze::AnalyzeIndirectControlFlow(
+          probe.program, image_, graph, icf_options);
+      stats_.icf_landing_pads = icf.landing_pads;
+      stats_.icf_sites_proven = icf.sites_proven;
+      stats_.icf_sites_open = icf.sites_open;
+      icf_json_ = icf.ToJson();
+      icf_span.Arg("proven", static_cast<int64_t>(icf.sites_proven));
+      icf_span.Arg("open", static_cast<int64_t>(icf.sites_open));
+      options_.cfg_cert = analyze::MakeCfgCert(icf, image_);
+    } else {
+      stats_.icf_landing_pads = options_.cfg_cert->landing_pads;
+      stats_.icf_sites_proven = options_.cfg_cert->sites_proven;
+      stats_.icf_sites_open = options_.cfg_cert->sites_open;
+    }
   }
   return Rebuild(graph);
 }

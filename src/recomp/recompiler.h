@@ -72,6 +72,19 @@ struct RecompileOptions {
   // Certificate justifying whole-module fence removal. Populated by
   // Recompile() when check_tso && remove_fences and none was supplied.
   std::optional<check::ElisionCert> elision_cert;
+  // Sound indirect control-flow recovery (--cfg-sound): recover the CFG with
+  // landing-pad entries, run the icf pass (src/analyze/icf.h) over a first
+  // build, mint a sealed CfgCert, and rebuild with the cfmiss stubs of
+  // proven sites replaced by covered dispatcher fallbacks (no tier-1/2
+  // uncovered-edge guards). Replay digests and step counts are unchanged:
+  // the fallback arm is statically infeasible at a proven site.
+  bool cfg_sound = false;
+  // Certificate consumed when cfg_sound is set. Populated by Recompile()
+  // when absent; a supplied certificate is verified against the image first
+  // and a forged/stale one is rejected (counted in stats.icf_certs_rejected)
+  // and re-derived — the build falls back to dynamic recovery at every site
+  // the fresh analysis cannot prove.
+  std::optional<check::CfgCert> cfg_cert;
   // Observability sinks (all nullable; see src/obs). The driver fans the
   // session out to every phase: "cfg"/"trace"/"recomp"/"emit" spans here,
   // per-function "lift"/"opt" spans on worker lanes, "check"/"fenceopt"
@@ -106,6 +119,11 @@ struct RecompileStats {
   uint64_t analyze_ns = 0;
   size_t analyze_races = 0;        // race pairs in the LAST rebuild's report
   size_t analyze_fences_elided = 0;  // fences removed via kHeapLocal, total
+  // Sound indirect-control-flow recovery (cfg_sound).
+  int icf_landing_pads = 0;
+  int icf_sites_proven = 0;
+  int icf_sites_open = 0;
+  size_t icf_certs_rejected = 0;  // supplied CfgCerts refused (forged/stale)
   uint64_t total_ns() const {
     return disassemble_ns + trace_ns + lift_ns + opt_ns;
   }
@@ -160,6 +178,10 @@ class Recompiler {
   // polynima-analyze/v1 document from the last analyzed Rebuild (null until
   // `analyze` has run); plugs straight into obs::RunInfo::analysis.
   const json::Value& analysis_json() const { return analysis_json_; }
+  // polynima-icf/v1 document from the cfg_sound analysis (null until
+  // Recompile has minted a certificate); attached to the analysis report as
+  // its "icf" section.
+  const json::Value& icf_json() const { return icf_json_; }
 
  private:
   // One cached function from the previous recompilation round. `holder`
@@ -179,6 +201,7 @@ class Recompiler {
   RecompileOptions options_;
   RecompileStats stats_;
   json::Value analysis_json_;
+  json::Value icf_json_;
   std::map<uint64_t, CacheEntry> cache_;  // guest entry -> cached function
 };
 

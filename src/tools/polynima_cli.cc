@@ -2,15 +2,18 @@
 // "Environment and Software"): project management, disassembly, lifting and
 // (additive) recompilation of binaries.
 //
-//   polynima compile  <src.c> -o <img.plyb> [-O0|-O2]   build a test binary
+//   polynima compile  <src.c> -o <img.plyb> [-O0|-O2] [--landing-pads]
+//            build a test binary; --landing-pads emits endbr64 at every
+//            indirect-transfer target (function entries, jump-table cases)
+//            so --cfg-sound recovery can bound indirect sites
 //   polynima disasm   <img.plyb>                        disassembly + CFG
 //   polynima recompile <img.plyb> -p <projectdir>
 //            [--trace <inputfile>...] [--remove-fences] [--no-optimize]
-//            [--jobs N] [--check-tso] [--analyze]
+//            [--jobs N] [--check-tso] [--analyze] [--cfg-sound]
 //   polynima run      <img.plyb> -p <projectdir> [--input <file>]...
-//            [--original] [--jobs N] [--check-tso]
+//            [--original] [--jobs N] [--check-tso] [--cfg-sound]
 //            [--tier 0|1|2] [--tier-threshold N]        additive execution
-//   polynima analyze  <img.plyb> [--input <file>]... [--jobs N]
+//   polynima analyze  <img.plyb> [--input <file>]... [--jobs N] [--cfg-sound]
 //            static concurrency analysis (src/analyze): classifies every
 //            guest access (stack-local / thread-local heap / shared),
 //            reports potentially-racing access pairs with guest addresses,
@@ -21,7 +24,7 @@
 //   polynima explore  <img.plyb> [--input <file>]... [--remove-fences]
 //            [--budget N] [--depth N] [--strategy pct|dfs|both] [--seed N]
 //            [--dfs-bound N] [--replay <sched|file>] [--save-sched <file>]
-//            [--analyze] [--tier 0|1|2] [--tier-threshold N]
+//            [--analyze] [--cfg-sound] [--tier 0|1|2] [--tier-threshold N]
 //            deterministic schedule exploration (src/sched): diff the
 //            outcome sets of the fenced reference and the optimized build,
 //            shrink any divergence to a minimal schedule, print the repro
@@ -92,6 +95,16 @@
 // --report-out document (polynima-analyze/v1). `explore` feeds the reported
 // race addresses to the scheduler as preemption hints.
 //
+// --cfg-sound runs sound indirect control-flow recovery (src/analyze/icf):
+// CFG exploration seeded from endbr64 landing pads, pointer-provenance
+// bounding of every indirect jump/call's feasible target set, and a sealed
+// image-bound CfgCert for proven-complete sites. Builds consuming the cert
+// drop the cfmiss stub (and the tier-1/2 uncovered-edge deopt guards) at
+// proven sites; open sites keep dynamic recovery. Digests, step counts and
+// schedule replays are bit-identical with the flag on or off. The analysis
+// lands in the --report-out document as its "icf" section, which
+// `report --validate` cross-checks against tierprof deopt forensics.
+//
 // `check` is the full soundness workflow: static check of the fenced build,
 // spinloop analysis + certificate, static check of the fence-removed build,
 // then the schedule-perturbing differential run (fenced vs optimized under
@@ -106,6 +119,7 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -157,6 +171,8 @@ struct Args {
   bool original = false;
   bool check_tso = false;
   bool analyze = false;
+  bool cfg_sound = false;
+  bool landing_pads = false;  // compile: emit endbr64 landing pads
   // explore
   int budget = 128;
   int depth = 3;
@@ -230,6 +246,10 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.check_tso = true;
     } else if (a == "--analyze") {
       args.analyze = true;
+    } else if (a == "--cfg-sound") {
+      args.cfg_sound = true;
+    } else if (a == "--landing-pads") {
+      args.landing_pads = true;
     } else if (a == "--schedules") {
       std::string v;
       if (!next(v)) return false;
@@ -317,6 +337,8 @@ struct ObsSinks {
   // polynima-analyze/v1 section for the run report (set by commands that ran
   // the static concurrency analyzer; null otherwise).
   json::Value analysis;
+  // polynima-icf/v1 section (set by commands that ran --cfg-sound).
+  json::Value icf;
 
   explicit ObsSinks(const Args& args) {
     if (!args.trace_out.empty()) {
@@ -355,6 +377,7 @@ struct ObsSinks {
     info.input = args.positional.empty() ? "" : args.positional[0];
     info.ok = run_ok;
     info.analysis = std::move(analysis);
+    info.icf = std::move(icf);
     if (trace.has_value()) {
       write(trace->WriteTo(args.trace_out), "trace", args.trace_out);
     }
@@ -400,6 +423,7 @@ int CmdCompile(const Args& args) {
   cc::CompileOptions options;
   options.name = std::filesystem::path(args.output).stem();
   options.opt_level = args.opt_level;
+  options.landing_pads = args.landing_pads;
   auto image = cc::Compile(source, options);
   if (!image.ok()) {
     std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
@@ -475,6 +499,7 @@ recomp::RecompileOptions MakeOptions(const Args& args,
   options.jobs = args.jobs;
   options.check_tso = args.check_tso;
   options.analyze = args.analyze;
+  options.cfg_sound = args.cfg_sound;
   options.obs = session;
   if (!args.trace_files.empty()) {
     options.use_icft_tracer = true;
@@ -483,6 +508,31 @@ recomp::RecompileOptions MakeOptions(const Args& args,
     }
   }
   return options;
+}
+
+// Shared --cfg-sound epilogue: prints the indirect-coverage summary, hands
+// the polynima-icf/v1 section to the run report, and returns the entries of
+// CfgCert-covered functions for ExecOptions::cfg_certified_entries.
+std::set<uint64_t> FinishCfgSound(recomp::Recompiler& recompiler,
+                                  ObsSinks& sinks) {
+  const recomp::RecompileStats& stats = recompiler.stats();
+  std::set<uint64_t> certified;
+  size_t covered = 0;
+  if (recompiler.options().cfg_cert.has_value()) {
+    for (uint64_t e : recompiler.options().cfg_cert->covered_functions) {
+      certified.insert(e);
+    }
+    covered = certified.size();
+  }
+  std::printf("  cfg-sound: %d landing pads, %d/%d indirect sites proven, "
+              "%zu fully-covered function(s)%s\n",
+              stats.icf_landing_pads, stats.icf_sites_proven,
+              stats.icf_sites_proven + stats.icf_sites_open, covered,
+              stats.icf_certs_rejected > 0
+                  ? " (stale/forged certificate rejected, re-derived)"
+                  : "");
+  sinks.icf = recompiler.icf_json();
+  return certified;
 }
 
 int CmdRecompile(const Args& args) {
@@ -528,6 +578,9 @@ int CmdRecompile(const Args& args) {
                 stats.analyze_fences_elided);
     sinks.analysis = recompiler.analysis_json();
   }
+  if (args.cfg_sound) {
+    FinishCfgSound(recompiler, sinks);
+  }
   if (!args.project.empty()) {
     std::printf("  project CFG: %s/cfg.json\n", args.project.c_str());
   }
@@ -570,6 +623,9 @@ int CmdRun(const Args& args) {
   exec_options.obs = sinks.session;
   exec_options.tier = args.tier;
   exec_options.tier_threshold = args.tier_threshold;
+  if (args.cfg_sound) {
+    exec_options.cfg_certified_entries = FinishCfgSound(recompiler, sinks);
+  }
   auto result = recompiler.RunAdditive(*binary, inputs, exec_options);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -614,6 +670,9 @@ int CmdAnalyze(const Args& args) {
     return sinks.Finish(args, "analyze", /*run_ok=*/false, 1);
   }
   sinks.analysis = recompiler.analysis_json();
+  if (args.cfg_sound) {
+    FinishCfgSound(recompiler, sinks);
+  }
   const json::Value& a = recompiler.analysis_json();
   auto num = [&](const char* key) -> int64_t {
     const json::Value* v = a.Find(key);
@@ -802,7 +861,8 @@ int CmdCheck(const Args& args) {
 
 // Deterministic schedule exploration: fenced reference vs optimized build,
 // outcome-set diff in both directions, shrinking, replayable repro strings.
-int CmdExploreImpl(const Args& args, const obs::Session& session) {
+int CmdExploreImpl(const Args& args, ObsSinks& sinks) {
+  const obs::Session& session = sinks.session;
   auto image = binary::Image::ReadFrom(args.positional[0]);
   if (!image.ok()) {
     std::fprintf(stderr, "%s\n", image.status().ToString().c_str());
@@ -841,6 +901,11 @@ int CmdExploreImpl(const Args& args, const obs::Session& session) {
   // --analyze puts the statically-elided build under test and feeds the
   // reported race addresses to the explorer as preemption hints below.
   opt_options.analyze = args.analyze;
+  // --cfg-sound puts the cfmiss-elided build under test: the optimized side
+  // runs with the certified sites' uncovered-edge guards dropped, while the
+  // fenced reference keeps full dynamic recovery — any digest divergence
+  // would expose an unsound certificate.
+  opt_options.cfg_sound = args.cfg_sound;
   opt_options.obs = session;
   recomp::Recompiler opt_recompiler(*image, opt_options);
   auto optimized = opt_recompiler.Recompile();
@@ -855,6 +920,10 @@ int CmdExploreImpl(const Args& args, const obs::Session& session) {
                  opt_warm.status().ToString().c_str());
     return 1;
   }
+  std::set<uint64_t> certified_entries;
+  if (args.cfg_sound) {
+    certified_entries = FinishCfgSound(opt_recompiler, sinks);
+  }
 
   auto make_run = [&](const lift::LiftedProgram* program) {
     return [&, program](sched::Scheduler* scheduler) {
@@ -865,6 +934,9 @@ int CmdExploreImpl(const Args& args, const obs::Session& session) {
       exec_options.obs = session;
       exec_options.tier = args.tier;
       exec_options.tier_threshold = args.tier_threshold;
+      if (program == &optimized->program) {
+        exec_options.cfg_certified_entries = certified_entries;
+      }
       exec::Engine engine(*program, *image, &library, exec_options);
       engine.SetInputs(inputs);
       exec::ExecResult r = engine.Run();
@@ -976,7 +1048,7 @@ int CmdExplore(const Args& args) {
     return Usage();
   }
   ObsSinks sinks(args);
-  int rc = CmdExploreImpl(args, sinks.session);
+  int rc = CmdExploreImpl(args, sinks);
   return sinks.Finish(args, "explore", rc == 0, rc);
 }
 

@@ -73,7 +73,7 @@ bool IsSimpleRmw(Mnemonic m) {
 Vm::Vm(const binary::Image& image, ExternalLibrary* library, VmOptions options)
     : image_(image), library_(library), options_(options), rng_(options.seed) {
   for (const binary::Segment& seg : image_.segments) {
-    memory_.MapSegment(seg.address, seg.bytes, /*writable=*/!seg.executable);
+    memory_.MapSegment(seg.address, seg.bytes, seg.Writable());
   }
   memory_.AllowRegion(binary::kHeapBase, binary::kHeapLimit, /*writable=*/true);
   memory_.AllowRegion(binary::kStackRegionBase, binary::kStackRegionLimit,
@@ -660,6 +660,7 @@ bool Vm::ExecuteInst(Thread& t, const Inst& inst) {
     }
 
     case Mnemonic::kNop:
+    case Mnemonic::kEndbr64:
       break;
     case Mnemonic::kPause:
       cost = costs_.pause_cost;

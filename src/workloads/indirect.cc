@@ -1,0 +1,174 @@
+// Indirect-control-flow workloads for the sound-recovery evaluation
+// (--cfg-sound, src/analyze/icf). Both programs are compiled with endbr64
+// landing pads and dispatch through `const` function-pointer tables indexed
+// with `& mask` idioms — the pattern the pointer-provenance analysis can
+// bound, so their sites are proven-complete and the cfmiss stubs elide.
+// switchboard additionally dispatches through a mutable .data hook slot,
+// which must stay open (a store anywhere could retarget it): the suite
+// exercises both verdicts and pins the proven/open split in CI.
+#include "src/workloads/workloads.h"
+
+#include "src/support/rng.h"
+
+namespace polynima::workloads {
+namespace {
+
+std::vector<uint8_t> RandomBytes(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<uint8_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+// Function-pointer dispatch table: an interpreter folding a byte program
+// through a const 8-entry op table. Every indirect site masks its index
+// (`& 7`), so the feasible target set is exactly the table — all three
+// sites prove complete and every function is CfgCert-covered.
+const char* kFnptrDispatch = R"(
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+long op_add(long a, long b) { return a + b; }
+long op_sub(long a, long b) { return a - b; }
+long op_mul(long a, long b) { return a * b; }
+long op_and(long a, long b) { return a & b; }
+long op_or(long a, long b) { return a | b; }
+long op_xor(long a, long b) { return a ^ b; }
+long op_shl(long a, long b) { return a << (b & 15); }
+long op_min(long a, long b) { return a < b ? a : b; }
+
+const long (*ops[8])(long, long) = {
+  op_add, op_sub, op_mul, op_and, op_or, op_xor, op_shl, op_min
+};
+
+char* prog;
+long n;
+
+long fold_run(long seed) {
+  long acc = seed;
+  for (long i = 0; i < n; i++) {
+    long b = prog[i] & 255;
+    acc = ops[b & 7](acc, b);        // masked index: proven-complete
+  }
+  return acc;
+}
+
+long fold_pairs() {
+  long acc = 0;
+  for (long i = 0; i + 1 < n; i += 2) {
+    long a = prog[i] & 255;
+    long b = prog[i + 1] & 255;
+    acc += ops[b & 7](a, b);         // masked index: proven-complete
+  }
+  return acc;
+}
+
+int main() {
+  n = input_len(0);
+  prog = (char*)malloc(n + 16);
+  input_read(0, 0, prog, n);
+  print_i64(fold_run(1) & 0xffffff);
+  print_i64(fold_pairs() & 0xffffff);
+  print_i64(ops[n & 7](n, 3) & 0xffff);  // masked index: proven-complete
+  return 0;
+}
+)";
+
+// Virtual-call-like switchboard: a flat kind-major vtable (2 kinds x 4
+// methods) in .rodata, plus a mutable audit hook in .data. The vtable sites
+// prove complete (two-term masked index arithmetic); the hook site stays
+// open — its slot is writable, so no static bound on its target exists.
+const char* kSwitchboard = R"(
+extern long input_len(long idx);
+extern long input_read(long idx, long off, char* dst, long n);
+extern long malloc(long n);
+extern void print_i64(long v);
+
+long area_rect(long s) { return (s & 63) * ((s >> 6) & 63); }
+long peri_rect(long s) { return 2 * ((s & 63) + ((s >> 6) & 63)); }
+long diag_rect(long s) { return (s & 63) + ((s >> 6) & 63); }
+long kind_rect(long s) { return 1; }
+long area_disc(long s) { return 3 * (s & 63) * (s & 63); }
+long peri_disc(long s) { return 6 * (s & 63); }
+long diag_disc(long s) { return 2 * (s & 63); }
+long kind_disc(long s) { return 2; }
+
+const long (*vtbl[8])(long) = {
+  area_rect, peri_rect, diag_rect, kind_rect,
+  area_disc, peri_disc, diag_disc, kind_disc
+};
+
+long audit_none(long s) { return 0; }
+long audit_sum(long s) { return s & 1023; }
+
+long (*audit_hook)(long);   // mutable slot: this site must stay open
+
+char* objs;
+long n;
+
+long dispatch(long kind, long method, long state) {
+  return vtbl[(kind & 1) * 4 + (method & 3)](state);  // proven-complete
+}
+
+long sweep() {
+  long total = 0;
+  for (long i = 0; i < n; i++) {
+    long b = objs[i] & 255;
+    total += vtbl[b & 7](b * 37 + i);   // masked index: proven-complete
+    total += audit_hook(total);         // open: loaded from writable .data
+  }
+  return total;
+}
+
+int main() {
+  n = input_len(0);
+  objs = (char*)malloc(n + 16);
+  input_read(0, 0, objs, n);
+  if (n & 1) {
+    audit_hook = audit_sum;
+  } else {
+    audit_hook = audit_none;
+  }
+  long total = sweep();
+  for (long i = 0; i < n; i++) {
+    long b = objs[i] & 255;
+    total += dispatch(b >> 4, b, b * 11 + i);
+  }
+  print_i64(total & 0xffffff);
+  return 0;
+}
+)";
+
+}  // namespace
+
+const std::vector<Workload>& Indirect() {
+  static const std::vector<Workload>* workloads = [] {
+    auto* list = new std::vector<Workload>;
+    auto bytes_input = [](uint64_t seed, size_t s, size_t m, size_t l) {
+      return [=](int scale) {
+        size_t n = scale <= 0 ? s : scale == 1 ? m : l;
+        return std::vector<std::vector<uint8_t>>{RandomBytes(seed, n)};
+      };
+    };
+    auto add = [&](const char* name, const char* source, auto inputs) {
+      Workload w;
+      w.name = name;
+      w.suite = "indirect";
+      w.source = source;
+      w.make_inputs = inputs;
+      w.default_opt = 2;
+      w.landing_pads = true;
+      list->push_back(std::move(w));
+    };
+    add("fnptr_dispatch", kFnptrDispatch, bytes_input(601, 800, 4000, 16000));
+    add("switchboard", kSwitchboard, bytes_input(607, 800, 4000, 16000));
+    return list;
+  }();
+  return *workloads;
+}
+
+}  // namespace polynima::workloads

@@ -688,7 +688,7 @@ const std::vector<Workload>& SpecLike() {
 const Workload* FindWorkload(const std::string& name) {
   for (const auto* suite :
        {&Phoenix(), &Gapbs(true), &CkitSpinlocks(), &Apps(), &SpecLike(),
-        &RaceBench()}) {
+        &RaceBench(), &Indirect()}) {
     for (const Workload& w : *suite) {
       if (w.name == name) {
         return &w;

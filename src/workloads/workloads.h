@@ -23,6 +23,10 @@
 //  - racebench: seeded racy / race-free program pairs for the static
 //    concurrency analyzer (src/analyze) and the schedule-exploration
 //    cross-validation (racy_* must be caught, safe_* must stay clean).
+//  - indirect: landing-pad-annotated indirect-control-flow kernels for the
+//    sound recovery pass (--cfg-sound): const function-pointer dispatch
+//    tables with masked indices (proven-complete sites) plus one mutable
+//    .data hook (the deliberately open site).
 #ifndef POLYNIMA_WORKLOADS_WORKLOADS_H_
 #define POLYNIMA_WORKLOADS_WORKLOADS_H_
 
@@ -40,6 +44,10 @@ struct Workload {
   std::function<std::vector<std::vector<uint8_t>>(int scale)> make_inputs;
   // Optimization level the suite is normally built at (O3 in the paper -> 2).
   int default_opt = 2;
+  // Compile with endbr64 landing pads at every indirect-transfer target
+  // (cc::CompileOptions::landing_pads) — required by the --cfg-sound
+  // workloads, harmless elsewhere.
+  bool landing_pads = false;
 };
 
 const std::vector<Workload>& Phoenix();
@@ -51,6 +59,10 @@ const std::vector<Workload>& SpecLike();
 // Seeded racy (racy_*) / race-free (safe_*) programs for the static race
 // detector and its cross-validation against schedule exploration.
 const std::vector<Workload>& RaceBench();
+// Landing-pad-annotated indirect-control-flow kernels for the --cfg-sound
+// evaluation: a const function-pointer dispatch table and a virtual-call
+// switchboard, with one deliberately open (mutable-hook) site.
+const std::vector<Workload>& Indirect();
 
 // Finds a workload by name across all suites (gapbs resolved as wide).
 const Workload* FindWorkload(const std::string& name);

@@ -159,6 +159,13 @@ void Assembler::Dstr(const std::string& s) {
   bytes_.push_back(0);
 }
 
+void Assembler::PatchQwordAt(uint64_t address, uint64_t value) {
+  POLY_CHECK(!finalized_);
+  POLY_CHECK_GE(address, base_);
+  POLY_CHECK_LE(address - base_ + 8, bytes_.size());
+  Patch64(address - base_, value);
+}
+
 void Assembler::Patch32(size_t offset, uint32_t value) {
   for (int i = 0; i < 4; ++i) {
     bytes_[offset + static_cast<size_t>(i)] =

@@ -73,6 +73,11 @@ class Assembler {
   void Dq(Label label);
   void Dstr(const std::string& s);  // bytes plus NUL terminator
 
+  // Overwrites the 8 bytes previously emitted at absolute `address` with
+  // `value`. Used for cross-assembler fixups (a data/rodata slot holding a
+  // code address that is only known after the code region is laid out).
+  void PatchQwordAt(uint64_t address, uint64_t value);
+
   // Resolves all fixups and returns the finished bytes. All referenced labels
   // must be bound. The assembler must not be used afterwards.
   std::vector<uint8_t> Finalize();

@@ -701,6 +701,18 @@ Expected<Inst> DecodeTwoByte(Cursor& cur, const Prefixes& pfx, Inst inst) {
       inst.mnemonic = Mnemonic::kUd2;
       return inst;
 
+    case 0x1E: {  // endbr64 (F3 0F 1E FA)
+      if (!pfx.pf3) {
+        return cur.Bad("0F 1E needs F3 prefix");
+      }
+      POLY_ASSIGN_OR_RETURN(uint8_t modrm, cur.U8());
+      if (modrm != 0xFA) {
+        return cur.Bad("unsupported 0F 1E form");
+      }
+      inst.mnemonic = Mnemonic::kEndbr64;
+      return inst;
+    }
+
     case 0x38:
       return DecodeThreeByte38(cur, pfx, inst);
 

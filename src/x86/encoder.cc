@@ -551,6 +551,12 @@ Status Encode(const Inst& inst, std::vector<uint8_t>& out) {
     case Mnemonic::kInt3:
       b.Byte(0xCC);
       return Status::Ok();
+    case Mnemonic::kEndbr64:
+      b.Byte(kPrefixF3);
+      b.Byte(0x0F);
+      b.Byte(0x1E);
+      b.Byte(0xFA);
+      return Status::Ok();
 
     case Mnemonic::kMovd: {
       // movd/movq xmm, r/m  (66 [REX.W] 0F 6E /r)

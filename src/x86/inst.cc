@@ -147,6 +147,8 @@ const char* MnemonicName(Mnemonic m) {
       return "pxor";
     case Mnemonic::kPaddq:
       return "paddq";
+    case Mnemonic::kEndbr64:
+      return "endbr64";
   }
   return "?";
 }

@@ -69,6 +69,9 @@ enum class Mnemonic : uint8_t {
   kPmulld,
   kPxor,
   kPaddq,
+  // CET-style landing pad: legal target marker for indirect jumps/calls
+  // (executes as a nop; F3 0F 1E FA).
+  kEndbr64,
 };
 
 const char* MnemonicName(Mnemonic m);

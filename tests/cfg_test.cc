@@ -122,6 +122,142 @@ TEST(CfgRecovery, JumpTableHeuristicRecoversTargets) {
   EXPECT_GE(fn->block_starts.size(), 4u);
 }
 
+// Jump table flush against the end of the code segment: the entry reader
+// must stop at the boundary instead of fabricating targets from the void.
+TEST(CfgRecovery, JumpTableAtSegmentEndStopsAtBoundary) {
+  ImageBuilder b("tableend");
+  auto& a = b.code();
+  Label table = a.NewLabel();
+  Label c0 = a.NewLabel(), c1 = a.NewLabel();
+  b.SetEntry(a.CurrentAddress());
+  a.MovLabelAddress(Reg::kRcx, table);
+  MemRef slot;
+  slot.base = Reg::kRcx;
+  slot.index = Reg::kRdi;
+  slot.scale = 8;
+  a.Emit(I2(Mnemonic::kMov, 8, Operand::R(Reg::kRax), Operand::M(slot)));
+  a.Emit(I1(Mnemonic::kJmp, 8, Operand::R(Reg::kRax)));
+  for (Label c : {c0, c1}) {
+    a.Bind(c);
+    a.Emit(I2(Mnemonic::kMov, 4, Operand::R(Reg::kRax), Operand::I(1)));
+    a.Emit(I0(Mnemonic::kRet));
+  }
+  a.Align(8);
+  a.Bind(table);  // the table is the last data in the segment
+  a.Dq(c0);
+  a.Dq(c1);
+
+  auto graph = RecoverStatic(b.Build());
+  ASSERT_TRUE(graph.ok());
+  const BlockInfo* dispatch = nullptr;
+  for (const auto& [start, block] : graph->blocks) {
+    if (block.term == TermKind::kIndirectJump) {
+      dispatch = &block;
+    }
+  }
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->indirect_targets.size(), 2u);
+  EXPECT_EQ(dispatch->indirect_targets.count(a.AddressOf(c0)), 1u);
+  EXPECT_EQ(dispatch->indirect_targets.count(a.AddressOf(c1)), 1u);
+}
+
+// A table entry that lands inside another function: the target is still
+// recovered, and the landing address becomes a block leader there.
+TEST(CfgRecovery, JumpTableEntryIntoAnotherFunctionIsRecovered) {
+  ImageBuilder b("tablecross");
+  auto& a = b.code();
+  Label helper = a.NewLabel(), inner = a.NewLabel();
+  a.Bind(helper);
+  a.Emit(I2(Mnemonic::kMov, 4, Operand::R(Reg::kRax), Operand::I(1)));
+  a.Bind(inner);  // mid-function: a table entry will point here
+  a.Emit(I2(Mnemonic::kAdd, 4, Operand::R(Reg::kRax), Operand::I(2)));
+  a.Emit(I0(Mnemonic::kRet));
+  uint64_t helper_addr = a.AddressOf(helper);
+  uint64_t inner_addr = a.AddressOf(inner);
+
+  Label table = a.NewLabel(), c0 = a.NewLabel();
+  b.SetEntry(a.CurrentAddress());
+  a.Call(helper);  // makes helper a proper function
+  a.MovLabelAddress(Reg::kRcx, table);
+  MemRef slot;
+  slot.base = Reg::kRcx;
+  slot.index = Reg::kRdi;
+  slot.scale = 8;
+  a.Emit(I2(Mnemonic::kMov, 8, Operand::R(Reg::kRax), Operand::M(slot)));
+  a.Emit(I1(Mnemonic::kJmp, 8, Operand::R(Reg::kRax)));
+  a.Align(8);
+  a.Bind(table);
+  a.Dq(c0);
+  a.Dq(inner);
+  a.Bind(c0);
+  a.Emit(I2(Mnemonic::kMov, 4, Operand::R(Reg::kRax), Operand::I(3)));
+  a.Emit(I0(Mnemonic::kRet));
+
+  auto graph = RecoverStatic(b.Build());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->functions.count(helper_addr), 1u);
+  const BlockInfo* dispatch = nullptr;
+  for (const auto& [start, block] : graph->blocks) {
+    if (block.term == TermKind::kIndirectJump) {
+      dispatch = &block;
+    }
+  }
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->indirect_targets.count(inner_addr), 1u);
+  EXPECT_EQ(dispatch->indirect_targets.count(a.AddressOf(c0)), 1u);
+  // The cross-function entry split helper at the landing address.
+  EXPECT_EQ(graph->blocks.count(inner_addr), 1u);
+}
+
+// With the jump-table heuristic disabled, landing-pad mode (--cfg-sound)
+// must still discover every endbr64-marked case as code: the two recoveries
+// agree on the covered case addresses even though they find them by
+// different means (table read vs pad scan).
+TEST(CfgRecovery, LandingPadModeAgreesWithJumpTableHeuristic) {
+  ImageBuilder b("padagree");
+  auto& a = b.code();
+  Label table = a.NewLabel();
+  Label c0 = a.NewLabel(), c1 = a.NewLabel(), c2 = a.NewLabel();
+  b.SetEntry(a.CurrentAddress());
+  a.MovLabelAddress(Reg::kRcx, table);
+  MemRef slot;
+  slot.base = Reg::kRcx;
+  slot.index = Reg::kRdi;
+  slot.scale = 8;
+  a.Emit(I2(Mnemonic::kMov, 8, Operand::R(Reg::kRax), Operand::M(slot)));
+  a.Emit(I1(Mnemonic::kJmp, 8, Operand::R(Reg::kRax)));
+  a.Align(8);
+  a.Bind(table);
+  a.Dq(c0);
+  a.Dq(c1);
+  a.Dq(c2);
+  for (Label c : {c0, c1, c2}) {
+    a.Bind(c);
+    a.Emit(I0(Mnemonic::kEndbr64));  // CET landing pad at every case
+    a.Emit(I2(Mnemonic::kMov, 4, Operand::R(Reg::kRax), Operand::I(1)));
+    a.Emit(I0(Mnemonic::kRet));
+  }
+  binary::Image image = b.Build();
+
+  const std::vector<uint64_t> pads = CollectLandingPads(image);
+  EXPECT_EQ(pads.size(), 3u);
+
+  auto with_tables = RecoverStatic(image);
+  ASSERT_TRUE(with_tables.ok());
+  RecoverOptions sound;
+  sound.jump_table_heuristic = false;
+  sound.address_constant_heuristic = false;
+  sound.landing_pad_entries = true;
+  auto with_pads = RecoverStatic(image, sound);
+  ASSERT_TRUE(with_pads.ok());
+
+  for (Label c : {c0, c1, c2}) {
+    uint64_t addr = a.AddressOf(c);
+    EXPECT_EQ(with_tables->blocks.count(addr), 1u) << std::hex << addr;
+    EXPECT_EQ(with_pads->blocks.count(addr), 1u) << std::hex << addr;
+  }
+}
+
 TEST(CfgRecovery, HeuristicCanBeDisabled) {
   ImageBuilder b("tableoff");
   auto& a = b.code();

@@ -3,7 +3,8 @@
 // behaviour) must produce identical output in six configurations:
 // O0-original, O2-original, O0-recompiled, O2-recompiled, plus the
 // O2-recompiled binary executed under tier 1 and tier 2 (eager and with a
-// mixed tier-up threshold each). Any divergence is a bug in the compiler,
+// mixed tier-up threshold each) and a --cfg-sound certified tier-2 build.
+// Any divergence is a bug in the compiler,
 // the VM, the recovery, the lifter, the optimizer or the execution engine
 // (any tier).
 #include <gtest/gtest.h>
@@ -161,7 +162,8 @@ class ProgramGenerator {
 
 std::string RunConfig(const std::string& source, int opt, bool recompiled,
                       std::string* error, int jobs = 1, int tier = 0,
-                      uint64_t tier_threshold = 0, bool tierprof = false) {
+                      uint64_t tier_threshold = 0, bool tierprof = false,
+                      bool cfg_sound = false) {
   cc::CompileOptions options;
   options.name = "fuzz";
   options.opt_level = opt;
@@ -185,6 +187,10 @@ std::string RunConfig(const std::string& source, int opt, bool recompiled,
   // Every fuzz program also passes through the static TSO-soundness checker
   // (a violation aborts the recompile and shows up as a config divergence).
   recompile_options.check_tso = true;
+  // The sound-recovery row: landing-pad CFG recovery + icf certification
+  // must leave the observable run bit-identical even on programs with no
+  // indirect site at all (the cert is simply empty).
+  recompile_options.cfg_sound = cfg_sound;
   // Recompiled configs run fully instrumented: per-function spans fire on the
   // worker threads and the metrics shards merge at scrape. Any way the
   // observability layer could perturb lifting/optimization shows up as a
@@ -245,21 +251,25 @@ TEST_P(FuzzDiff, FourWayEquivalence) {
     int tier;
     uint64_t tier_threshold;
     bool tierprof = false;
+    bool cfg_sound = false;
   };
   for (const Config& config :
        {Config{2, false, 0, 0}, Config{0, true, 0, 0}, Config{2, true, 0, 0},
         Config{2, true, 1, 0}, Config{2, true, 1, 64}, Config{2, true, 2, 0},
-        Config{2, true, 2, 64}, Config{2, true, 2, 64, /*tierprof=*/true}}) {
+        Config{2, true, 2, 64}, Config{2, true, 2, 64, /*tierprof=*/true},
+        Config{2, true, 2, 0, /*tierprof=*/false, /*cfg_sound=*/true}}) {
     int jobs =
         config.recompiled ? 1 + static_cast<int>(jobs_rng.NextBelow(4)) : 1;
     std::string got =
         RunConfig(source, config.opt, config.recompiled, &error, jobs,
-                  config.tier, config.tier_threshold, config.tierprof);
+                  config.tier, config.tier_threshold, config.tierprof,
+                  config.cfg_sound);
     EXPECT_EQ(got, reference)
         << "config O" << config.opt
         << (config.recompiled ? " recompiled" : " original")
         << " tier=" << config.tier << "/" << config.tier_threshold
-        << (config.tierprof ? " tier-prof" : "") << " jobs=" << jobs
+        << (config.tierprof ? " tier-prof" : "")
+        << (config.cfg_sound ? " cfg-sound" : "") << " jobs=" << jobs
         << " diverged (" << error << ")\nsource:\n"
         << source;
   }

@@ -325,6 +325,127 @@ TEST(TierProfUnit, ValidatorRejectsInconsistentAccounting) {
   EXPECT_FALSE(ValidateTierProfJson(dropped).ok());
 }
 
+// Synthetic polynima-icf/v1 document: one proven table site, one open
+// mutable-slot site, one fully covered function at `covered_entry`.
+json::Value MakeIcfDoc(uint64_t covered_entry) {
+  json::Object doc;
+  doc["schema"] = json::Value("polynima-icf/v1");
+  doc["landing_pads"] = json::Value(4);
+  doc["sites_total"] = json::Value(2);
+  doc["sites_proven"] = json::Value(1);
+  doc["sites_open"] = json::Value(1);
+  doc["analyze_ns"] = json::Value(1000);
+  json::Object covered_fn;
+  covered_fn["entry"] = json::Value(covered_entry);
+  covered_fn["name"] = json::Value("fn_covered");
+  doc["covered_functions"] = json::Value(json::Array{json::Value(covered_fn)});
+  json::Object proven_site;
+  proven_site["transfer_address"] = json::Value(covered_entry + 0x10);
+  proven_site["function"] = json::Value("fn_covered");
+  proven_site["function_entry"] = json::Value(covered_entry);
+  proven_site["call"] = json::Value(true);
+  proven_site["proven"] = json::Value(true);
+  proven_site["targets"] =
+      json::Value(json::Array{json::Value(0x402000), json::Value(0x402040)});
+  proven_site["reason"] = json::Value("bounded to 2 landing-pad targets");
+  json::Object open_site;
+  open_site["transfer_address"] = json::Value(0x405010);
+  open_site["function"] = json::Value("fn_open");
+  open_site["function_entry"] = json::Value(0x405000);
+  open_site["call"] = json::Value(false);
+  open_site["proven"] = json::Value(false);
+  open_site["targets"] = json::Value(json::Array{});
+  open_site["reason"] = json::Value("target value unbounded");
+  doc["sites"] =
+      json::Value(json::Array{json::Value(proven_site), json::Value(open_site)});
+  return json::Value(std::move(doc));
+}
+
+TEST(IcfJsonUnit, ValidatorAcceptsWellFormedDocument) {
+  json::Value doc = MakeIcfDoc(0x401000);
+  Status valid = ValidateIcfJson(doc);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+  auto kind = ValidateObsJson(doc);
+  ASSERT_TRUE(kind.ok()) << kind.status().ToString();
+  EXPECT_EQ(*kind, "icf");
+}
+
+TEST(IcfJsonUnit, ValidatorRejectsInconsistentDocuments) {
+  // Count accounting: proven + open must equal total.
+  json::Value bad_counts = MakeIcfDoc(0x401000);
+  bad_counts.as_object()["sites_open"] = json::Value(5);
+  EXPECT_FALSE(ValidateIcfJson(bad_counts).ok());
+
+  // The sites array must carry exactly sites_total rows.
+  json::Value short_sites = MakeIcfDoc(0x401000);
+  short_sites.as_object()["sites"].as_array().pop_back();
+  EXPECT_FALSE(ValidateIcfJson(short_sites).ok());
+
+  // A proven site with no targets is a vacuous certificate: rejected.
+  json::Value empty_proof = MakeIcfDoc(0x401000);
+  empty_proof.as_object()["sites"].as_array()[0].as_object()["targets"] =
+      json::Value(json::Array{});
+  EXPECT_FALSE(ValidateIcfJson(empty_proof).ok());
+
+  // Wrong schema marker.
+  json::Value wrong_schema = MakeIcfDoc(0x401000);
+  wrong_schema.as_object()["schema"] = json::Value("polynima-icf/v999");
+  EXPECT_FALSE(ValidateIcfJson(wrong_schema).ok());
+}
+
+// The report-level cross-check (`polynima report --validate`): a function a
+// CfgCert declared fully covered must show zero uncovered-edge deopts in the
+// tierprof section; a violation means the certificate's claim was false.
+TEST(IcfReportCrossCheck, CoveredFunctionWithUncoveredEdgeDeoptIsRejected) {
+  TierProf tierprof;
+  uint32_t f = tierprof.InternFunction("fn_covered", 0x401000);
+  tierprof.RecordDeopt(0, f, 1, TierProf::kDeoptUncoveredEdge, 0x401020, 5);
+
+  RunInfo info;
+  info.command = "run";
+  info.input = "cross.plyb";
+  info.icf = MakeIcfDoc(0x401000);
+  Session session;
+  session.tierprof = &tierprof;
+  json::Value report = BuildRunReport(info, session);
+  Status valid = ValidateReportJson(report);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_NE(valid.ToString().find("uncovered-edge"), std::string::npos);
+
+  // Control: the same deopt in a NON-covered function is fine.
+  TierProf open_prof;
+  uint32_t g = open_prof.InternFunction("fn_open", 0x405000);
+  open_prof.RecordDeopt(0, g, 1, TierProf::kDeoptUncoveredEdge, 0x405010, 5);
+  Session open_session;
+  open_session.tierprof = &open_prof;
+  json::Value open_report = BuildRunReport(info, open_session);
+  Status open_valid = ValidateReportJson(open_report);
+  EXPECT_TRUE(open_valid.ok()) << open_valid.ToString();
+}
+
+// Runtime counterpart of the cross-check: the engine-side counter of
+// uncovered-edge deopts inside certified functions must be zero whenever the
+// report carries an icf section, tierprof sink attached or not.
+TEST(IcfReportCrossCheck, CertifiedDeoptCounterMustBeZero) {
+  MetricsRegistry metrics;
+  RunInfo info;
+  info.command = "run";
+  info.input = "counter.plyb";
+  info.icf = MakeIcfDoc(0x401000);
+  Session session;
+  session.metrics = &metrics;
+  json::Value clean = BuildRunReport(info, session);
+  Status clean_valid = ValidateReportJson(clean);
+  EXPECT_TRUE(clean_valid.ok()) << clean_valid.ToString();
+
+  metrics.Add(Counter::kExecDeoptUncoveredCert, 3);
+  json::Value dirty = BuildRunReport(info, session);
+  Status dirty_valid = ValidateReportJson(dirty);
+  ASSERT_FALSE(dirty_valid.ok());
+  EXPECT_NE(dirty_valid.ToString().find("deopt_uncovered_certified"),
+            std::string::npos);
+}
+
 TEST(ObsDisabled, NullSessionIsInert) {
   // The disabled path is the hot path: every obs entry point must tolerate
   // null sinks (a branch, no work, no crash).

@@ -83,6 +83,49 @@ TEST(IcftTracer, AugmentAddsOnlyNewTargets) {
   EXPECT_GE(with_targets, 2u);
 }
 
+TEST(IcftTracer, MergeIsIdempotent) {
+  // Merging the same trace twice adds nothing: targets are a set, and the
+  // additive pipeline may legitimately replay an input set.
+  binary::Image image = CompileSource(kFnPtrProgram);
+  TraceResult once = TraceRun(image, {std::vector<uint8_t>(1, 0)});
+  TraceResult twice = once;
+  twice.MergeFrom(once);
+  EXPECT_EQ(twice.indirect_targets, once.indirect_targets);
+  EXPECT_EQ(twice.TotalTargets(), once.TotalTargets());
+  twice.MergeFrom(once);  // and again
+  EXPECT_EQ(twice.indirect_targets, once.indirect_targets);
+}
+
+TEST(IcftTracer, MergeOrderDoesNotChangeRecoveredCfg) {
+  // The recovered CFG must be a function of the *set* of traced runs, not
+  // the order they were merged in — otherwise two CI shards tracing the same
+  // corpus in different orders would disagree about the program's shape.
+  binary::Image image = CompileSource(kFnPtrProgram);
+  TraceResult r0 = TraceRun(image, {std::vector<uint8_t>(0)});
+  TraceResult r1 = TraceRun(image, {std::vector<uint8_t>(1, 0)});
+  TraceResult r2 = TraceRun(image, {std::vector<uint8_t>(2, 0)});
+
+  TraceResult forward = r0;
+  forward.MergeFrom(r1);
+  forward.MergeFrom(r2);
+  TraceResult backward = r2;
+  backward.MergeFrom(r1);
+  backward.MergeFrom(r0);
+  EXPECT_EQ(forward.indirect_targets, backward.indirect_targets);
+
+  // Augmenting a heuristic-free graph with either merge yields the same CFG
+  // (JSON dumps compare whole structures, byte for byte).
+  cfg::RecoverOptions bare;
+  bare.address_constant_heuristic = false;
+  bare.jump_table_heuristic = false;
+  auto graph_fwd = cfg::RecoverStatic(image, bare);
+  auto graph_bwd = cfg::RecoverStatic(image, bare);
+  ASSERT_TRUE(graph_fwd.ok() && graph_bwd.ok());
+  ASSERT_TRUE(AugmentCfg(image, *graph_fwd, forward, bare).ok());
+  ASSERT_TRUE(AugmentCfg(image, *graph_bwd, backward, bare).ok());
+  EXPECT_EQ(graph_fwd->ToJson().Dump(), graph_bwd->ToJson().Dump());
+}
+
 TEST(IcftTracer, DirectTransfersAreNotRecorded) {
   binary::Image image = CompileSource(R"(
     long helper(long x) { return x * 2; }

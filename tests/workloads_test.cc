@@ -22,7 +22,7 @@ std::vector<Case> AllCases() {
   std::vector<Case> cases;
   for (const auto* suite :
        {&Phoenix(), &Gapbs(false), &Gapbs(true), &CkitSpinlocks(), &Apps(),
-        &SpecLike()}) {
+        &SpecLike(), &Indirect()}) {
     for (const Workload& w : *suite) {
       cases.push_back({&w, 0});
       cases.push_back({&w, 2});
@@ -38,6 +38,7 @@ TEST_P(WorkloadEquivalence, RecompiledMatchesOriginal) {
   cc::CompileOptions cc_options;
   cc_options.name = w.name;
   cc_options.opt_level = GetParam().opt_level;
+  cc_options.landing_pads = w.landing_pads;
   auto image = cc::Compile(w.source, cc_options);
   ASSERT_TRUE(image.ok()) << image.status().ToString();
 
@@ -75,6 +76,8 @@ TEST(Workloads, RegistryIsComplete) {
   EXPECT_EQ(CkitSpinlocks().size(), 11u);
   EXPECT_EQ(Apps().size(), 4u);
   EXPECT_EQ(SpecLike().size(), 9u);
+  EXPECT_EQ(Indirect().size(), 2u);
+  EXPECT_NE(FindWorkload("fnptr_dispatch"), nullptr);
   EXPECT_NE(FindWorkload("histogram"), nullptr);
   EXPECT_NE(FindWorkload("ck_mcs"), nullptr);
   EXPECT_EQ(FindWorkload("nonexistent"), nullptr);

@@ -201,9 +201,10 @@ Inst RandomInst(Rng& rng) {
         return I2(Mnemonic::kMovdqu, 16, Operand::M(RandomMem(rng)),
                   Operand::X(static_cast<uint8_t>(rng.NextBelow(16))));
       case 15:  // no-operand forms
-        switch (rng.NextBelow(3)) {
+        switch (rng.NextBelow(4)) {
           case 0: return I0(Mnemonic::kRet);
           case 1: return I0(Mnemonic::kPause);
+          case 2: return I0(Mnemonic::kEndbr64);
           default: return I0(Mnemonic::kUd2);
         }
     }

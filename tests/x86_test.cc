@@ -122,6 +122,17 @@ TEST(Decoder, IndirectTransfers) {
   EXPECT_EQ(call.ops[0].mem.scale, 8);
 }
 
+TEST(Decoder, Endbr64GoldenBytesRoundTrip) {
+  // endbr64: F3 0F 1E FA (the CET landing-pad marker --cfg-sound keys on).
+  const std::vector<uint8_t> want = {0xF3, 0x0F, 0x1E, 0xFA};
+  EXPECT_EQ(MustEncode(I0(Mnemonic::kEndbr64)), want);
+  Inst decoded = MustDecode(want);
+  EXPECT_EQ(decoded.mnemonic, Mnemonic::kEndbr64);
+  EXPECT_EQ(decoded.length, 4u);
+  // endbr32 (modrm FB) is outside the subset and must not alias to endbr64.
+  EXPECT_FALSE(Decode({{0xF3, 0x0F, 0x1E, 0xFB}}, 0).ok());
+}
+
 TEST(Decoder, RejectsUnsupportedOpcodes) {
   EXPECT_FALSE(Decode({{0x06}}, 0).ok());        // push es (invalid in 64-bit)
   EXPECT_FALSE(Decode({{0xD8, 0xC0}}, 0).ok());  // x87
